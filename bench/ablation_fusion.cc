@@ -1,0 +1,75 @@
+// Ablation: canonical-fusion runtime as the number of hierarchies and of
+// interoperation constraints grows (the SCC-condensation construction of
+// Defs. 5-6).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "ontology/fusion.h"
+
+namespace {
+
+using namespace toss;
+using ontology::Hierarchy;
+using ontology::InteropConstraint;
+
+/// A random DAG hierarchy of n terms named t<i>-<salt>.
+Hierarchy MakeHierarchy(size_t n, int salt, uint64_t seed) {
+  Random rng(seed);
+  Hierarchy h;
+  for (size_t i = 0; i < n; ++i) {
+    h.AddNode({"t" + std::to_string(i) + "-" + std::to_string(salt)});
+    if (i > 0 && rng.Bernoulli(0.6)) {
+      (void)h.AddEdge(static_cast<ontology::HNodeId>(i),
+                      static_cast<ontology::HNodeId>(rng.Uniform(i)));
+    }
+  }
+  return h;
+}
+
+void BM_Fusion(benchmark::State& state) {
+  size_t hierarchies = static_cast<size_t>(state.range(0));
+  size_t terms = static_cast<size_t>(state.range(1));
+  size_t constraints = static_cast<size_t>(state.range(2));
+
+  std::vector<Hierarchy> hs;
+  for (size_t i = 0; i < hierarchies; ++i) {
+    hs.push_back(MakeHierarchy(terms, static_cast<int>(i), 100 + i));
+  }
+  std::vector<const Hierarchy*> ptrs;
+  for (const auto& h : hs) ptrs.push_back(&h);
+
+  // Equality constraints between consecutive hierarchies on shared
+  // indexes (term t<k>-<i> == t<k>-<i+1>).
+  Random rng(9);
+  std::vector<InteropConstraint> ics;
+  for (size_t c = 0; c < constraints; ++c) {
+    int i = static_cast<int>(c % (hierarchies - 1));
+    size_t k = rng.Uniform(terms);
+    ontology::Append(
+        &ics, ontology::Eq("t" + std::to_string(k) + "-" + std::to_string(i),
+                           i,
+                           "t" + std::to_string(k) + "-" +
+                               std::to_string(i + 1),
+                           i + 1));
+  }
+
+  for (auto _ : state) {
+    auto r = ontology::Fuse(ptrs, ics);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+
+BENCHMARK(BM_Fusion)
+    ->Args({2, 100, 10})
+    ->Args({2, 400, 10})
+    ->Args({2, 1600, 10})
+    ->Args({4, 400, 10})
+    ->Args({8, 400, 10})
+    ->Args({2, 400, 100})
+    ->Args({2, 400, 300})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Ablation: the store's index-backed document pruning on vs off, for the
+// three plan-hint classes (value equality, term containment, tag
+// existence). Validates the planner design called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace toss;
+
+struct Fixture {
+  store::Database db;
+  const store::Collection* coll = nullptr;
+
+  Fixture() {
+    data::BibConfig cfg;
+    cfg.seed = 5;
+    cfg.num_papers = 2000;
+    cfg.num_people = 150;
+    data::BibWorld world = data::GenerateWorld(cfg);
+    bench::CheckOk(
+        data::LoadIntoCollection(&db, "dblp",
+                                 data::EmitDblp(world, 0, 2000, cfg)),
+        "load");
+    coll = *db.GetCollection("dblp");
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void RunQuery(benchmark::State& state, const char* xpath,
+              bool use_indexes) {
+  auto& f = GetFixture();
+  auto compiled = xml::XPath::Compile(xpath);
+  bench::CheckOk(compiled.status(), "compile");
+  for (auto _ : state) {
+    auto matches = f.coll->Query(*compiled, use_indexes, nullptr);
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+
+void BM_ValueEquality_Indexed(benchmark::State& state) {
+  RunQuery(state, "//inproceedings[booktitle='VLDB'][year='1999']", true);
+}
+void BM_ValueEquality_Scan(benchmark::State& state) {
+  RunQuery(state, "//inproceedings[booktitle='VLDB'][year='1999']", false);
+}
+void BM_TermContains_Indexed(benchmark::State& state) {
+  RunQuery(state, "//title[contains(., 'Semistructured')]", true);
+}
+void BM_TermContains_Scan(benchmark::State& state) {
+  RunQuery(state, "//title[contains(., 'Semistructured')]", false);
+}
+void BM_TagOnly_Indexed(benchmark::State& state) {
+  RunQuery(state, "//booktitle", true);
+}
+void BM_TagOnly_Scan(benchmark::State& state) {
+  RunQuery(state, "//booktitle", false);
+}
+
+BENCHMARK(BM_ValueEquality_Indexed);
+BENCHMARK(BM_ValueEquality_Scan);
+BENCHMARK(BM_TermContains_Indexed);
+BENCHMARK(BM_TermContains_Scan);
+BENCHMARK(BM_TagOnly_Indexed);
+BENCHMARK(BM_TagOnly_Scan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

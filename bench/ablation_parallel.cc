@@ -1,0 +1,56 @@
+// Ablation: speedup of the executor's parallel phase-(iii) evaluation as
+// worker threads grow. The per-document work (XML -> DataTree conversion +
+// embedding enumeration) is embarrassingly parallel; the dedup merge is
+// sequential, bounding the scaling.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+using namespace toss;
+
+int main() {
+  data::BibConfig cfg;
+  cfg.seed = 21;
+  cfg.num_papers = 6000;
+  cfg.num_people = 250;
+  data::BibWorld world = data::GenerateWorld(cfg);
+  store::Database db;
+  bench::CheckOk(data::LoadIntoCollection(
+                     &db, "dblp", data::EmitDblp(world, 0, 6000, cfg)),
+                 "load");
+  ontology::Ontology onto =
+      bench::CollectionOntology(db, "dblp", data::DblpContentTags());
+  core::Seo seo = bench::BuildSeo({std::move(onto)}, "guarded-levenshtein",
+                                  3.0);
+  core::TypeSystem types = core::MakeBibliographicTypeSystem();
+
+  // A broad query so phase (iii) touches many documents.
+  tax::PatternTree pattern = data::MakeScalabilitySelectionPattern(
+      world.venues[0].short_name, world.venues[0].category);
+
+  std::printf("Parallel evaluation ablation (6000 papers, broad selection;"
+              " hw threads: %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %10s %9s\n", "threads", "time-ms", "speedup");
+  double base_ms = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    core::QueryExecutor exec(&db, &seo, &types);
+    exec.SetParallelism(threads);
+    // Warm once, then time the better of three runs.
+    bench::CheckOk(exec.Select("dblp", pattern, {1}, nullptr).status(),
+                   "warmup");
+    double best = 1e18;
+    for (int run = 0; run < 3; ++run) {
+      Timer timer;
+      auto r = exec.Select("dblp", pattern, {1}, nullptr);
+      bench::CheckOk(r.status(), "select");
+      best = std::min(best, timer.ElapsedMillis());
+    }
+    if (threads == 1) base_ms = best;
+    std::printf("%8zu %10.2f %8.2fx\n", threads, best, base_ms / best);
+  }
+  return 0;
+}

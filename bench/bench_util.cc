@@ -1,0 +1,170 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace toss::bench {
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+ontology::Ontology CollectionOntology(const store::Database& db,
+                                      const std::string& collection,
+                                      std::vector<std::string> content_tags) {
+  auto coll = db.GetCollection(collection);
+  CheckOk(coll.status(), "GetCollection");
+  std::vector<const xml::XmlDocument*> docs;
+  for (store::DocId id : (*coll)->AllDocs()) {
+    docs.push_back(&(*coll)->document(id));
+  }
+  ontology::OntologyMakerOptions opts;
+  opts.content_tags = std::move(content_tags);
+  return CheckResult(
+      ontology::MakeOntologyForDocuments(
+          docs, lexicon::BuiltinBibliographicLexicon(), opts),
+      "MakeOntologyForDocuments");
+}
+
+core::Seo BuildSeo(std::vector<ontology::Ontology> ontologies,
+                   const std::string& measure, double epsilon) {
+  core::SeoBuilder builder;
+  for (auto& onto : ontologies) {
+    builder.AddInstanceOntology(std::move(onto));
+  }
+  builder.SetMeasure(CheckResult(sim::MakeMeasure(measure), "MakeMeasure"));
+  builder.SetEpsilon(epsilon);
+  return CheckResult(builder.Build(), "SeoBuilder::Build");
+}
+
+struct Fig15Fixture::Impl {
+  struct Dataset {
+    std::string name;
+    std::unique_ptr<store::Database> db;
+    ontology::Ontology onto;
+    std::vector<data::SelectionQuery> queries;
+  };
+  std::vector<Dataset> datasets;
+  core::TypeSystem types = core::MakeBibliographicTypeSystem();
+};
+
+Fig15Fixture::Fig15Fixture(size_t datasets, size_t papers_per_dataset,
+                           size_t queries_per_dataset, uint64_t seed)
+    : impl_(std::make_unique<Impl>()) {
+  data::BibConfig cfg;
+  cfg.seed = seed;
+  cfg.num_papers = datasets * papers_per_dataset;
+  // A small author pool gives each (person, venue) intent several papers,
+  // keeping per-query recall away from the 0/1 extremes.
+  cfg.num_people = 10 * datasets;
+  data::BibWorld world = data::GenerateWorld(cfg);
+
+  for (size_t d = 0; d < datasets; ++d) {
+    size_t first = d * papers_per_dataset;
+    Impl::Dataset ds;
+    ds.name = "dblp" + std::to_string(d);
+    ds.db = std::make_unique<store::Database>();
+    CheckOk(data::LoadIntoCollection(
+                ds.db.get(), ds.name,
+                data::EmitDblp(world, first, papers_per_dataset, cfg)),
+            "LoadIntoCollection");
+    ds.onto = CollectionOntology(*ds.db, ds.name, data::DblpContentTags());
+    ds.queries = CheckResult(
+        data::MakeSelectionWorkload(world, first, papers_per_dataset,
+                                    queries_per_dataset, seed + 31 * d),
+        "MakeSelectionWorkload");
+    impl_->datasets.push_back(std::move(ds));
+  }
+}
+
+Fig15Fixture::~Fig15Fixture() = default;
+
+size_t Fig15Fixture::query_count() const {
+  size_t n = 0;
+  for (const auto& ds : impl_->datasets) n += ds.queries.size();
+  return n;
+}
+
+std::vector<std::string> Fig15Fixture::QueryNames() const {
+  std::vector<std::string> out;
+  for (const auto& ds : impl_->datasets) {
+    for (const auto& q : ds.queries) {
+      out.push_back(ds.name + "/" + q.name);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<eval::PrMetrics>> Fig15Fixture::Evaluate(
+    const std::string& measure, double epsilon) const {
+  std::vector<eval::PrMetrics> out;
+  for (const auto& ds : impl_->datasets) {
+    core::Seo seo;
+    std::unique_ptr<core::QueryExecutor> exec;
+    if (measure.empty()) {
+      exec = std::make_unique<core::QueryExecutor>(ds.db.get(), nullptr,
+                                                   nullptr);
+    } else {
+      core::SeoBuilder builder;
+      builder.AddInstanceOntology(ds.onto);
+      TOSS_ASSIGN_OR_RETURN(auto m, sim::MakeMeasure(measure));
+      builder.SetMeasure(std::move(m));
+      builder.SetEpsilon(epsilon);
+      TOSS_ASSIGN_OR_RETURN(seo, builder.Build());
+      exec = std::make_unique<core::QueryExecutor>(ds.db.get(), &seo,
+                                                   &impl_->types);
+    }
+    for (const auto& q : ds.queries) {
+      TOSS_ASSIGN_OR_RETURN(tax::TreeCollection r,
+                            exec->Select(ds.name, q.pattern, q.sl, nullptr));
+      out.push_back(
+          eval::ComputePr(eval::ExtractRootProvenance(r), q.correct));
+    }
+  }
+  return out;
+}
+
+eval::PrMetrics Average(const std::vector<eval::PrMetrics>& ms) {
+  eval::PrMetrics avg;
+  avg.precision = avg.recall = avg.quality = 0;
+  if (ms.empty()) return avg;
+  for (const auto& m : ms) {
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.quality += m.quality;
+    avg.returned += m.returned;
+    avg.correct += m.correct;
+    avg.hits += m.hits;
+  }
+  double n = static_cast<double>(ms.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.quality /= n;
+  return avg;
+}
+
+std::vector<QueryOutcome> RunFig15Workload(size_t datasets,
+                                           size_t papers_per_dataset,
+                                           size_t queries_per_dataset,
+                                           uint64_t seed) {
+  Fig15Fixture fixture(datasets, papers_per_dataset, queries_per_dataset,
+                       seed);
+  auto tax = CheckResult(fixture.Evaluate("", 0), "tax");
+  auto e2 = CheckResult(fixture.Evaluate("guarded-levenshtein", 2.0), "e2");
+  auto e3 = CheckResult(fixture.Evaluate("guarded-levenshtein", 3.0), "e3");
+  auto names = fixture.QueryNames();
+  std::vector<QueryOutcome> outcomes(tax.size());
+  for (size_t i = 0; i < tax.size(); ++i) {
+    outcomes[i].query = names[i];
+    outcomes[i].tax = tax[i];
+    outcomes[i].toss2 = e2[i];
+    outcomes[i].toss3 = e3[i];
+  }
+  return outcomes;
+}
+
+}  // namespace toss::bench

@@ -1,0 +1,86 @@
+// Shared setup for the figure-reproduction benches: world generation,
+// store loading, ontology construction, SEO building, and the Fig. 15
+// per-query evaluation loop.
+
+#ifndef TOSS_BENCH_BENCH_UTIL_H_
+#define TOSS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/toss.h"
+#include "data/bib_generator.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+
+namespace toss::bench {
+
+/// Dies with a message when a Status is not OK (benches have no callers to
+/// propagate to).
+void CheckOk(const Status& status, const char* what);
+
+template <typename T>
+T CheckResult(Result<T> r, const char* what) {
+  CheckOk(r.status(), what);
+  return std::move(r).value();
+}
+
+/// Builds the single fused ontology of a loaded collection.
+ontology::Ontology CollectionOntology(const store::Database& db,
+                                      const std::string& collection,
+                                      std::vector<std::string> content_tags);
+
+/// Builds an SEO over the given instance ontologies.
+core::Seo BuildSeo(std::vector<ontology::Ontology> ontologies,
+                   const std::string& measure, double epsilon);
+
+/// Outcome of one Fig. 15 query under one system.
+struct QueryOutcome {
+  std::string query;
+  eval::PrMetrics tax;
+  eval::PrMetrics toss2;  ///< epsilon = 2
+  eval::PrMetrics toss3;  ///< epsilon = 3
+};
+
+/// The paper's Section 6 "recall and precision" experiment: `datasets`
+/// collections of `papers_per_dataset` papers, `queries_per_dataset`
+/// selection queries each (1 isa + 1 similarTo + 3 tag conditions),
+/// evaluated under TAX, TOSS(eps=2) and TOSS(eps=3) against ground truth.
+std::vector<QueryOutcome> RunFig15Workload(size_t datasets,
+                                           size_t papers_per_dataset,
+                                           size_t queries_per_dataset,
+                                           uint64_t seed);
+
+/// Reusable Fig. 15 setup: datasets, per-dataset ontologies, and queries
+/// built once; Evaluate() then sweeps (measure, epsilon) configurations
+/// for the measure/epsilon ablation benches.
+class Fig15Fixture {
+ public:
+  Fig15Fixture(size_t datasets, size_t papers_per_dataset,
+               size_t queries_per_dataset, uint64_t seed);
+  ~Fig15Fixture();
+  Fig15Fixture(const Fig15Fixture&) = delete;
+  Fig15Fixture& operator=(const Fig15Fixture&) = delete;
+
+  /// Per-query metrics under TOSS with the given measure and epsilon;
+  /// `measure` == "" runs the TAX baseline. Similarity-inconsistent
+  /// configurations return Status::Inconsistent.
+  Result<std::vector<eval::PrMetrics>> Evaluate(const std::string& measure,
+                                                double epsilon) const;
+
+  size_t query_count() const;
+
+  /// Human-readable query intents, in Evaluate()'s result order.
+  std::vector<std::string> QueryNames() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Averages of a metric vector.
+eval::PrMetrics Average(const std::vector<eval::PrMetrics>& ms);
+
+}  // namespace toss::bench
+
+#endif  // TOSS_BENCH_BENCH_UTIL_H_

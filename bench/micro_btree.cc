@@ -1,0 +1,89 @@
+// Micro-benchmark: the store's B+-tree value index -- point inserts/gets
+// and range scans across tree sizes, vs a std::map baseline for context.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "store/btree.h"
+#include "store/key_encoding.h"
+
+namespace {
+
+using toss::Random;
+using toss::store::BPlusTree;
+using toss::store::DocId;
+
+std::vector<std::string> MakeKeys(size_t n) {
+  Random rng(77);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(*toss::store::EncodeOrderedInt(
+        std::to_string(rng.UniformRange(0, 1000000))));
+  }
+  return keys;
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      tree.Insert(keys[i], static_cast<DocId>(i));
+    }
+    benchmark::DoNotOptimize(tree.key_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BTreeGet(benchmark::State& state) {
+  auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  BPlusTree tree;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<DocId>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(keys[i++ % keys.size()]));
+  }
+}
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  BPlusTree tree;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<DocId>(i));
+  }
+  auto lo = *toss::store::EncodeOrderedInt("250000");
+  auto hi = *toss::store::EncodeOrderedInt("750000");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.DocsInRange(lo, hi).size());
+  }
+}
+
+void BM_StdMapInsertBaseline(benchmark::State& state) {
+  auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::map<std::string, std::set<DocId>> map;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      map[keys[i]].insert(static_cast<DocId>(i));
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StdMapInsertBaseline)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BTreeGet)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_BTreeRangeScan)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Micro-benchmark: pattern-tree embedding enumeration over data trees of
+// growing size, for pc-only, ad-heavy, and condition-filtered patterns.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "tax/condition_parser.h"
+#include "tax/embedding.h"
+#include "tax/tax_semantics.h"
+
+namespace {
+
+using toss::Random;
+using toss::tax::DataTree;
+using toss::tax::EdgeKind;
+using toss::tax::PatternTree;
+
+/// A DBLP-shaped tree with `papers` inproceedings under one root.
+DataTree MakeTree(size_t papers) {
+  Random rng(11);
+  DataTree t;
+  auto root = t.CreateRoot("dblp");
+  for (size_t i = 0; i < papers; ++i) {
+    auto paper = t.AppendChild(root, "inproceedings");
+    size_t n_authors = 1 + rng.Uniform(3);
+    for (size_t a = 0; a < n_authors; ++a) {
+      t.AppendChild(paper, "author", rng.AlphaString(12));
+    }
+    t.AppendChild(paper, "title", rng.AlphaString(30));
+    t.AppendChild(paper, "year",
+                  std::to_string(1995 + rng.Uniform(9)));
+  }
+  return t;
+}
+
+PatternTree PcPattern() {
+  PatternTree pt;
+  int root = pt.AddRoot();
+  int paper = pt.AddChild(root, EdgeKind::kPc);
+  pt.AddChild(paper, EdgeKind::kPc);
+  pt.SetCondition(toss::tax::ParseCondition(
+                      "$1.tag = \"dblp\" & $2.tag = \"inproceedings\" & "
+                      "$3.tag = \"author\"")
+                      .value());
+  return pt;
+}
+
+PatternTree AdPattern() {
+  PatternTree pt;
+  int root = pt.AddRoot();
+  pt.AddChild(root, EdgeKind::kAd);
+  pt.SetCondition(
+      toss::tax::ParseCondition("$1.tag = \"dblp\" & $2.tag = \"author\"")
+          .value());
+  return pt;
+}
+
+PatternTree FilteredPattern() {
+  PatternTree pt;
+  int root = pt.AddRoot();
+  pt.AddChild(root, EdgeKind::kPc);
+  pt.AddChild(root, EdgeKind::kPc);
+  pt.SetCondition(toss::tax::ParseCondition(
+                      "$1.tag = \"inproceedings\" & $2.tag = \"author\" & "
+                      "$3.tag = \"year\" & $3.content = \"1999\"")
+                      .value());
+  return pt;
+}
+
+void RunPattern(benchmark::State& state, const PatternTree& pattern) {
+  DataTree tree = MakeTree(static_cast<size_t>(state.range(0)));
+  toss::tax::TaxSemantics sem;
+  for (auto _ : state) {
+    auto r = toss::tax::FindEmbeddings(pattern, tree, sem);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+
+void BM_EmbeddingPc(benchmark::State& state) {
+  RunPattern(state, PcPattern());
+}
+void BM_EmbeddingAd(benchmark::State& state) {
+  RunPattern(state, AdPattern());
+}
+void BM_EmbeddingFiltered(benchmark::State& state) {
+  RunPattern(state, FilteredPattern());
+}
+
+BENCHMARK(BM_EmbeddingPc)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EmbeddingAd)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EmbeddingFiltered)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

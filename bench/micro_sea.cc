@@ -1,0 +1,66 @@
+// Micro-benchmark: SEA (the Similarity Enhancement Algorithm, Fig. 12) as
+// a function of hierarchy size and epsilon. The paper gives the complexity
+// O(|S|*|S'|) + O(|S|*|S'|^2); the pairwise distance scan with the banded
+// Levenshtein dominates at realistic sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "ontology/sea.h"
+#include "sim/string_measure.h"
+
+namespace {
+
+using toss::Random;
+using toss::ontology::Hierarchy;
+
+/// A flat-ish hierarchy of n name-like terms with some variant clusters
+/// (every 4th term is an edit of its predecessor) and a shallow order.
+Hierarchy MakeHierarchy(size_t n, uint64_t seed) {
+  Random rng(seed);
+  Hierarchy h;
+  std::string prev;
+  for (size_t i = 0; i < n; ++i) {
+    std::string term;
+    if (i % 4 == 3 && !prev.empty()) {
+      term = prev;
+      term[rng.Uniform(term.size())] = 'z';  // near-duplicate
+    } else {
+      term = rng.AlphaString(8 + rng.Uniform(8));
+    }
+    h.AddNode({term});
+    prev = term;
+    if (i > 0 && rng.Bernoulli(0.3)) {
+      (void)h.AddEdge(static_cast<toss::ontology::HNodeId>(i),
+                      static_cast<toss::ontology::HNodeId>(rng.Uniform(i)));
+    }
+  }
+  return h;
+}
+
+void BM_Sea(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  double eps = static_cast<double>(state.range(1));
+  Hierarchy h = MakeHierarchy(n, 7);
+  toss::sim::LevenshteinMeasure lev;
+  for (auto _ : state) {
+    auto r = toss::ontology::SimilarityEnhance(h, lev, eps);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+
+BENCHMARK(BM_Sea)
+    ->Args({100, 1})
+    ->Args({200, 1})
+    ->Args({400, 1})
+    ->Args({800, 1})
+    ->Args({400, 0})
+    ->Args({400, 2})
+    ->Args({400, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

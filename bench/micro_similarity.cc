@@ -1,0 +1,70 @@
+// Micro-benchmark: every registered string-similarity measure on
+// name-length and title-length inputs, plus the banded (bounded)
+// Levenshtein fast path SEA relies on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "sim/measure_registry.h"
+
+namespace {
+
+using toss::Random;
+using toss::sim::MakeMeasure;
+
+std::vector<std::pair<std::string, std::string>> MakePairs(size_t len) {
+  Random rng(123);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.push_back({rng.AlphaString(len), rng.AlphaString(len)});
+  }
+  return pairs;
+}
+
+void BM_Measure(benchmark::State& state, const std::string& name,
+                size_t len) {
+  auto measure = MakeMeasure(name);
+  if (!measure.ok()) {
+    state.SkipWithError("unknown measure");
+    return;
+  }
+  auto pairs = MakePairs(len);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize((*measure)->Distance(a, b));
+  }
+}
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  auto measure = *MakeMeasure("levenshtein");
+  auto pairs = MakePairs(static_cast<size_t>(state.range(0)));
+  double bound = static_cast<double>(state.range(1));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(measure->BoundedDistance(a, b, bound));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : toss::sim::MeasureNames()) {
+    benchmark::RegisterBenchmark(("BM_" + name + "/len=16").c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Measure(s, name, 16);
+                                 });
+    benchmark::RegisterBenchmark(("BM_" + name + "/len=64").c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Measure(s, name, 64);
+                                 });
+  }
+  benchmark::RegisterBenchmark("BM_BoundedLevenshtein", BM_BoundedLevenshtein)
+      ->Args({64, 3})
+      ->Args({64, 8})
+      ->Args({256, 3});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

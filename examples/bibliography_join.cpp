@@ -1,0 +1,107 @@
+// Paper Example 13: join DBLP and the SIGMOD proceedings pages on *similar*
+// titles -- the two sources store the same papers with small textual
+// differences (punctuation, capitalization), so an exact-match join (TAX)
+// misses pairs that a similarity join (TOSS) finds.
+//
+// This example also demonstrates interoperation constraints: the fused
+// ontology identifies DBLP's `booktitle` with SIGMOD's `conference`
+// (paper Example 9).
+//
+// Build & run:  ./build/examples/bibliography_join
+
+#include <cstdio>
+
+#include "core/toss.h"
+#include "data/bib_generator.h"
+#include "data/workload.h"
+
+using namespace toss;
+
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // Generate a shared world and emit both datasets over the same papers.
+  data::BibConfig cfg;
+  cfg.seed = 7;
+  cfg.num_papers = 24;
+  cfg.num_people = 20;
+  data::BibWorld world = data::GenerateWorld(cfg);
+
+  store::Database db;
+  Status s = data::LoadIntoCollection(&db, "dblp",
+                                      data::EmitDblp(world, 0, 12, cfg));
+  if (!s.ok()) return Fail(s);
+  s = data::LoadIntoCollection(&db, "sigmod",
+                               data::EmitSigmod(world, 6, 12, cfg));
+  if (!s.ok()) return Fail(s);
+  // Papers 6..11 exist in both sources (with perturbed SIGMOD titles).
+
+  // Per-source ontologies plus Example 9's interoperation constraint.
+  auto build_onto = [&](const char* name,
+                        std::vector<std::string> content_tags)
+      -> Result<ontology::Ontology> {
+    auto coll = db.GetCollection(name);
+    if (!coll.ok()) return coll.status();
+    std::vector<const xml::XmlDocument*> docs;
+    for (store::DocId id : (*coll)->AllDocs()) {
+      docs.push_back(&(*coll)->document(id));
+    }
+    ontology::OntologyMakerOptions opts;
+    opts.content_tags = std::move(content_tags);
+    return ontology::MakeOntologyForDocuments(
+        docs, lexicon::BuiltinBibliographicLexicon(), opts);
+  };
+  auto dblp_onto = build_onto("dblp", data::DblpContentTags());
+  if (!dblp_onto.ok()) return Fail(dblp_onto.status());
+  auto sigmod_onto = build_onto("sigmod", data::SigmodContentTags());
+  if (!sigmod_onto.ok()) return Fail(sigmod_onto.status());
+
+  core::SeoBuilder builder;
+  builder.AddInstanceOntology(std::move(dblp_onto).value());
+  builder.AddInstanceOntology(std::move(sigmod_onto).value());
+  // booktitle:0 = conference:1 (Example 9).
+  builder.AddConstraints(ontology::kPartOf,
+                         ontology::Eq("booktitle", 0, "conference", 1));
+  builder.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  builder.SetEpsilon(2.0);
+  auto seo = builder.Build();
+  if (!seo.ok()) return Fail(seo.status());
+  core::TypeSystem types = core::MakeBibliographicTypeSystem();
+
+  // The join pattern of Fig. 16(b): 5 tag conditions + 1 similarTo.
+  tax::PatternTree pattern = data::MakeTitleJoinPattern();
+
+  core::QueryExecutor tax_exec(&db, nullptr, nullptr);
+  core::QueryExecutor toss_exec(&db, &*seo, &types);
+
+  for (auto* exec : {&tax_exec, &toss_exec}) {
+    core::ExecStats stats;
+    auto joined = exec->Join("dblp", "sigmod", pattern, {2, 4}, &stats);
+    if (!joined.ok()) return Fail(joined.status());
+    std::printf("%s join: %zu matched pair(s) in %.2f ms "
+                "(rewrite %.2f + store %.2f + eval %.2f)\n",
+                exec->is_toss() ? "TOSS" : "TAX ", joined->size(),
+                stats.TotalMs(), stats.rewrite_ms, stats.store_ms,
+                stats.eval_ms);
+    for (const auto& tree : *joined) {
+      // Print the DBLP title of each matched pair.
+      for (tax::NodeId v = 0; v < tree.size(); ++v) {
+        if (tree.node(v).tag == "title") {
+          std::printf("  - %s\n", tree.node(v).content.c_str());
+          break;
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nTOSS pairs up titles that differ by punctuation or one-letter\n"
+      "typos; TAX only joins byte-identical titles.\n");
+  return 0;
+}

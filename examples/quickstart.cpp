@@ -1,0 +1,132 @@
+// Quickstart: the full TOSS pipeline on a handful of hand-written papers.
+//
+//   1. load XML documents into the embedded store,
+//   2. derive an ontology (structure + lexicon),
+//   3. build the similarity enhanced ontology (SEO),
+//   4. run the same pattern-tree query under TAX and under TOSS,
+//   5. print both answers -- TOSS finds the name/venue variants TAX misses.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/toss.h"
+
+using namespace toss;
+
+namespace {
+
+constexpr const char* kPapers[] = {
+    "<inproceedings><author>Jeffrey Ullman</author>"
+    "<title>A First Course in Database Systems</title>"
+    "<booktitle>SIGMOD Conference</booktitle><year>1997</year>"
+    "</inproceedings>",
+
+    "<inproceedings><author>Jeffrey D. Ullman</author>"
+    "<title>Information Integration Using Logical Views</title>"
+    "<booktitle>ACM SIGMOD International Conference on Management of Data"
+    "</booktitle><year>1999</year></inproceedings>",
+
+    "<inproceedings><author>Serge Abiteboul</author>"
+    "<title>Querying Semi-Structured Data</title>"
+    "<booktitle>SIGMOD Conference</booktitle><year>1997</year>"
+    "</inproceedings>",
+
+    "<inproceedings><author>Jeffrey Ullman</author>"
+    "<title>Data Mining Lectures</title>"
+    "<booktitle>KDD</booktitle><year>1998</year></inproceedings>",
+};
+
+void PrintAnswers(const char* label, const tax::TreeCollection& answers) {
+  std::printf("%s: %zu answer(s)\n", label, answers.size());
+  for (const auto& tree : answers) {
+    xml::WriteOptions opts;
+    opts.pretty = true;
+    std::printf("%s", xml::WriteSubtree(tree.ToXml(), 0, opts).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // 1. Load the documents into a store collection.
+  store::Database db;
+  auto coll = db.CreateCollection("dblp");
+  if (!coll.ok()) {
+    std::fprintf(stderr, "%s\n", coll.status().ToString().c_str());
+    return 1;
+  }
+  int key = 0;
+  for (const char* paper : kPapers) {
+    auto id = (*coll)->InsertXml("paper-" + std::to_string(key++), paper);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 2. Ontology Maker: one ontology for the collection.
+  std::vector<const xml::XmlDocument*> docs;
+  for (store::DocId id : (*coll)->AllDocs()) {
+    docs.push_back(&(*coll)->document(id));
+  }
+  ontology::OntologyMakerOptions opts;
+  opts.content_tags = {"author", "booktitle"};
+  auto onto = ontology::MakeOntologyForDocuments(
+      docs, lexicon::BuiltinBibliographicLexicon(), opts);
+  if (!onto.ok()) {
+    std::fprintf(stderr, "%s\n", onto.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Similarity Enhancer: SEO with Levenshtein, epsilon = 3.
+  core::SeoBuilder builder;
+  builder.AddInstanceOntology(std::move(onto).value());
+  builder.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  builder.SetEpsilon(3.0);
+  auto seo = builder.Build();
+  if (!seo.ok()) {
+    std::fprintf(stderr, "%s\n", seo.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SEO built: %zu enhanced ontology nodes, epsilon=%.1f\n\n",
+              seo->TotalNodeCount(), seo->epsilon());
+
+  // 4. The query: papers by someone similar to "Jeffrey Ullman" at a venue
+  //    that is a SIGMOD conference.
+  tax::PatternTree pattern;
+  int root = pattern.AddRoot();                  // $1 inproceedings
+  pattern.AddChild(root, tax::EdgeKind::kPc);    // $2 author
+  pattern.AddChild(root, tax::EdgeKind::kPc);    // $3 booktitle
+  auto cond = tax::ParseCondition(
+      "$1.tag = \"inproceedings\" & $2.tag = \"author\" & "
+      "$3.tag = \"booktitle\" & "
+      "$2.content ~ \"Jeffrey Ullman\" & "
+      "$3.content isa \"SIGMOD Conference\"");
+  if (!cond.ok()) {
+    std::fprintf(stderr, "%s\n", cond.status().ToString().c_str());
+    return 1;
+  }
+  pattern.SetCondition(std::move(cond).value());
+
+  core::TypeSystem types = core::MakeBibliographicTypeSystem();
+
+  // 5. Execute under both algebras.
+  core::QueryExecutor tax_exec(&db, nullptr, nullptr);
+  core::QueryExecutor toss_exec(&db, &*seo, &types);
+
+  auto tax_answers = tax_exec.Select("dblp", pattern, {1}, nullptr);
+  auto toss_answers = toss_exec.Select("dblp", pattern, {1}, nullptr);
+  if (!tax_answers.ok() || !toss_answers.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
+  PrintAnswers("TAX  (exact match)", *tax_answers);
+  PrintAnswers("TOSS (SEO, eps=3)", *toss_answers);
+
+  std::printf(
+      "TOSS additionally matched the \"Jeffrey D. Ullman\" variant and the\n"
+      "full venue name -- the recall the paper's Section 1 is about.\n");
+  return 0;
+}

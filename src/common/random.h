@@ -1,0 +1,53 @@
+// Deterministic pseudo-random generator for workload generation and tests.
+
+#ifndef TOSS_COMMON_RANDOM_H_
+#define TOSS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toss {
+
+/// xoshiro256** generator wrapped with convenience sampling helpers.
+///
+/// All data/workload generators take a Random seeded explicitly so every
+/// benchmark and test run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipfian rank in [0, n) with exponent `theta` (higher = more skew).
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Uniformly chosen element of `v`. Requires !v.empty().
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string AlphaString(size_t length);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace toss
+
+#endif  // TOSS_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, in the style of arrow::Result / absl::StatusOr.
+
+#ifndef TOSS_COMMON_RESULT_H_
+#define TOSS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace toss {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// could not be produced.
+///
+/// Accessing the value of an errored Result is a programming error (checked
+/// with assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is engaged
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, propagating errors. Usage:
+///   TOSS_ASSIGN_OR_RETURN(auto doc, ParseXml(text));
+#define TOSS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define TOSS_ASSIGN_OR_RETURN(lhs, expr) \
+  TOSS_ASSIGN_OR_RETURN_IMPL(            \
+      TOSS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define TOSS_CONCAT_INNER_(a, b) a##b
+#define TOSS_CONCAT_(a, b) TOSS_CONCAT_INNER_(a, b)
+
+}  // namespace toss
+
+#endif  // TOSS_COMMON_RESULT_H_

@@ -1,0 +1,112 @@
+// Status: lightweight error-reporting value type, in the style of
+// RocksDB's rocksdb::Status / Arrow's arrow::Status.
+//
+// Library code never throws across module boundaries; fallible operations
+// return Status (or Result<T>, see result.h) and callers decide how to react.
+
+#ifndef TOSS_COMMON_STATUS_H_
+#define TOSS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace toss {
+
+/// Error categories used across the TOSS libraries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< named entity (document, collection, type, ...) absent
+  kAlreadyExists,     ///< creation collided with an existing entity
+  kParseError,        ///< XML / condition / query text could not be parsed
+  kTypeError,         ///< ill-typed condition or missing conversion function
+  kInconsistent,      ///< similarity inconsistency or unsatisfiable constraints
+  kIOError,           ///< filesystem-level failure
+  kInternal,          ///< invariant violation inside the library
+  kUnsupported,       ///< valid request the implementation does not handle
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// The OK status is represented without allocation. Statuses are cheap to
+/// copy and move; an engaged message is stored in a std::string.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsInconsistent() const { return code_ == StatusCode::kInconsistent; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usage:
+///   TOSS_RETURN_NOT_OK(DoThing());
+#define TOSS_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::toss::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace toss
+
+#endif  // TOSS_COMMON_STATUS_H_

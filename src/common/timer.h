@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for benchmarks and the query executor's
+// per-phase instrumentation.
+
+#ifndef TOSS_COMMON_TIMER_H_
+#define TOSS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace toss {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in microseconds since construction or last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace toss
+
+#endif  // TOSS_COMMON_TIMER_H_

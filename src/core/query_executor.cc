@@ -1,0 +1,535 @@
+#include "core/query_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace toss::core {
+
+using tax::CondOp;
+using tax::Condition;
+using tax::CondTerm;
+using tax::PatternTree;
+
+namespace {
+
+/// Single-label atoms in conjunctive context, grouped by label (the only
+/// conditions that can be pushed down into XPath).
+void CollectPushdownAtoms(
+    const Condition& c,
+    std::map<int, std::vector<const Condition*>>* by_label) {
+  if (c.kind == Condition::Kind::kAnd) {
+    for (const auto& child : c.children) {
+      CollectPushdownAtoms(*child, by_label);
+    }
+    return;
+  }
+  if (c.kind != Condition::Kind::kAtom) return;
+  auto labels = c.ReferencedLabels();
+  if (labels.size() == 1) (*by_label)[labels[0]].push_back(&c);
+}
+
+/// Quotes `s` as an XPath-lite string literal, or returns false when it
+/// cannot be represented (contains both quote kinds).
+bool QuoteLiteral(const std::string& s, std::string* out) {
+  if (s.find('\'') == std::string::npos) {
+    *out = "'" + s + "'";
+    return true;
+  }
+  if (s.find('"') == std::string::npos) {
+    *out = "\"" + s + "\"";
+    return true;
+  }
+  return false;
+}
+
+/// True when the atom is `$n.tag = "literal"` with a concrete literal.
+bool TagEquality(const Condition& atom, std::string* tag) {
+  if (atom.op != CondOp::kEq) return false;
+  const CondTerm *node = nullptr, *lit = nullptr;
+  if (atom.lhs.kind == CondTerm::Kind::kNodeTag &&
+      atom.rhs.kind == CondTerm::Kind::kTypedValue) {
+    node = &atom.lhs;
+    lit = &atom.rhs;
+  } else if (atom.rhs.kind == CondTerm::Kind::kNodeTag &&
+             atom.lhs.kind == CondTerm::Kind::kTypedValue) {
+    node = &atom.rhs;
+    lit = &atom.lhs;
+  } else {
+    return false;
+  }
+  (void)node;
+  if (Contains(lit->text, "*")) return false;
+  *tag = lit->text;
+  return true;
+}
+
+/// True when the atom constrains `$n.content` against a literal with one of
+/// the expandable operators; extracts operator and literal, normalized so
+/// the node attribute is conceptually on the LEFT (ordering operators are
+/// flipped for `literal op $n.content` forms; non-symmetric ontology
+/// operators in reversed form are not pushdown-safe and are rejected).
+/// Ordering atoms with an explicitly *typed* literal ("2000":year) are
+/// rejected too: their evaluation goes through conversion functions and may
+/// legitimately raise TypeError, which index pruning must not swallow.
+bool ContentAtom(const Condition& atom, CondOp* op, std::string* literal) {
+  const CondTerm* lit = nullptr;
+  bool reversed = false;
+  if (atom.lhs.kind == CondTerm::Kind::kNodeContent &&
+      atom.rhs.kind == CondTerm::Kind::kTypedValue) {
+    lit = &atom.rhs;
+  } else if (atom.rhs.kind == CondTerm::Kind::kNodeContent &&
+             atom.lhs.kind == CondTerm::Kind::kTypedValue) {
+    lit = &atom.lhs;
+    reversed = true;
+  } else {
+    return false;
+  }
+  *op = atom.op;
+  if (reversed) {
+    switch (atom.op) {
+      case CondOp::kEq:
+      case CondOp::kNeq:
+      case CondOp::kSimilar:
+        break;  // symmetric
+      case CondOp::kLt:
+        *op = CondOp::kGt;
+        break;
+      case CondOp::kLeq:
+        *op = CondOp::kGeq;
+        break;
+      case CondOp::kGt:
+        *op = CondOp::kLt;
+        break;
+      case CondOp::kGeq:
+        *op = CondOp::kLeq;
+        break;
+      default:
+        return false;  // isa / part_of / below etc. are not symmetric
+    }
+  }
+  switch (*op) {
+    case CondOp::kLt:
+    case CondOp::kLeq:
+    case CondOp::kGt:
+    case CondOp::kGeq:
+      if (!lit->value_type.empty() && lit->value_type != "string") {
+        return false;  // typed ordering: eval-only (see doc comment)
+      }
+      break;
+    default:
+      break;
+  }
+  *literal = lit->text;
+  return true;
+}
+
+/// Collects the labels of the pattern subtree rooted at node index `root`.
+void SubtreeLabels(const PatternTree& p, int root, std::vector<int>* out) {
+  out->push_back(p.node(root).label);
+  for (int c : p.node(root).children) SubtreeLabels(p, c, out);
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const store::Database* db, const Seo* seo,
+                             const TypeSystem* types)
+    : db_(db), seo_(seo), types_(types), seo_semantics_(seo, types) {}
+
+void QueryExecutor::SetParallelism(size_t threads) {
+  parallelism_ = std::max<size_t>(1, threads);
+}
+
+void QueryExecutor::WarmCaches() const {
+  if (seo_ != nullptr) seo_->WarmCaches();
+  if (types_ != nullptr) types_->WarmCaches();
+}
+
+Result<tax::TreeCollection> QueryExecutor::ParallelSelectEval(
+    const store::Collection& coll, const std::vector<store::DocId>& docs,
+    const PatternTree& pattern, const std::vector<int>& sl) const {
+  WarmCaches();
+  const tax::ConditionSemantics& sem = semantics();
+  const std::set<int> expand(sl.begin(), sl.end());
+
+  // Per-document output buckets keep the final order deterministic; the
+  // atomic cursor load-balances across workers.
+  std::vector<tax::TreeCollection> buckets(docs.size());
+  std::vector<Status> failures(parallelism_, Status::OK());
+  std::atomic<size_t> cursor{0};
+  auto worker = [&](size_t worker_id) {
+    for (;;) {
+      size_t i = cursor.fetch_add(1);
+      if (i >= docs.size()) return;
+      const xml::XmlDocument& doc = coll.document(docs[i]);
+      tax::DataTree tree = tax::DataTree::FromXml(doc, doc.root());
+      auto embeddings = tax::FindEmbeddings(pattern, tree, sem);
+      if (!embeddings.ok()) {
+        failures[worker_id] = embeddings.status();
+        return;
+      }
+      for (const auto& h : *embeddings) {
+        buckets[i].push_back(
+            tax::BuildWitnessTree(pattern, tree, h, expand));
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  size_t n_threads = std::min(parallelism_, docs.size());
+  threads.reserve(n_threads);
+  for (size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  for (const auto& st : failures) {
+    TOSS_RETURN_NOT_OK(st);
+  }
+  // Sequential merge with global dedup, in document order (matches the
+  // sequential tax::Select exactly).
+  tax::TreeCollection out;
+  std::unordered_set<std::string> seen;
+  for (auto& bucket : buckets) {
+    for (auto& tree : bucket) {
+      if (seen.insert(tree.CanonicalKey()).second) {
+        out.push_back(std::move(tree));
+      }
+    }
+  }
+  return out;
+}
+
+const tax::ConditionSemantics& QueryExecutor::semantics() const {
+  if (seo_ != nullptr) return seo_semantics_;
+  return tax_semantics_;
+}
+
+Result<std::vector<std::string>> QueryExecutor::RewriteToXPaths(
+    const PatternTree& pattern, const std::vector<int>& labels,
+    size_t* expanded_terms) const {
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  std::map<int, std::vector<const Condition*>> atoms;
+  CollectPushdownAtoms(pattern.condition(), &atoms);
+
+  std::set<int> wanted(labels.begin(), labels.end());
+  std::vector<std::string> xpaths;
+
+  for (const auto& [label, conds] : atoms) {
+    if (!wanted.empty() && !wanted.count(label)) continue;
+    // A pushdown query needs a concrete tag to anchor on.
+    std::string tag;
+    bool has_tag = false;
+    for (const Condition* atom : conds) {
+      if (TagEquality(*atom, &tag)) {
+        has_tag = true;
+        break;
+      }
+    }
+    if (!has_tag) continue;
+
+    std::string predicates;
+    for (const Condition* atom : conds) {
+      CondOp op;
+      std::string literal;
+      if (!ContentAtom(*atom, &op, &literal)) continue;
+      std::string quoted;
+      switch (op) {
+        case CondOp::kEq: {
+          // "*X*" wildcards push down as contains(); other wildcard shapes
+          // stay eval-only.
+          if (literal.size() > 2 && literal.front() == '*' &&
+              literal.back() == '*' &&
+              literal.find('*', 1) == literal.size() - 1) {
+            std::string inner = literal.substr(1, literal.size() - 2);
+            if (QuoteLiteral(inner, &quoted)) {
+              predicates += "[contains(., " + quoted + ")]";
+            }
+          } else if (!Contains(literal, "*") &&
+                     QuoteLiteral(literal, &quoted)) {
+            predicates += "[. = " + quoted + "]";
+          }
+          break;
+        }
+        case CondOp::kSimilar:
+        case CondOp::kIsa:
+        case CondOp::kPartOf:
+        case CondOp::kBelow: {
+          if (seo_ == nullptr) {
+            // TAX baseline: ~ is exact equality; ontology operators are
+            // "contains" -- both push down without expansion.
+            if (op == CondOp::kSimilar) {
+              if (QuoteLiteral(literal, &quoted)) {
+                predicates += "[. = " + quoted + "]";
+              }
+            } else if (QuoteLiteral(literal, &quoted)) {
+              predicates += "[contains(., " + quoted + ")]";
+            }
+            break;
+          }
+          // TOSS: expand the literal through the SEO into a disjunction of
+          // concrete terms.
+          std::vector<std::string> terms;
+          if (op == CondOp::kSimilar) {
+            terms = seo_->SimilarTerms(literal);
+          } else {
+            const char* rel =
+                (op == CondOp::kPartOf) ? ontology::kPartOf : ontology::kIsa;
+            terms = seo_->TermsBelow(rel, literal);
+          }
+          if (expanded_terms != nullptr) *expanded_terms += terms.size();
+          std::string disjunction;
+          for (const auto& term : terms) {
+            if (!QuoteLiteral(term, &quoted)) continue;
+            if (!disjunction.empty()) disjunction += " or ";
+            disjunction += ". = " + quoted;
+          }
+          if (!disjunction.empty()) {
+            predicates += "[(" + disjunction + ")]";
+          }
+          break;
+        }
+        case CondOp::kLt:
+        case CondOp::kLeq:
+        case CondOp::kGt:
+        case CondOp::kGeq: {
+          // Ordering atoms push down verbatim: XPath-lite comparisons use
+          // the same CompareScalar semantics, and the store's ordered
+          // indexes turn them into range scans.
+          if (Contains(literal, "*")) break;
+          if (!QuoteLiteral(literal, &quoted)) break;
+          const char* op_token = op == CondOp::kLt    ? "<"
+                                 : op == CondOp::kLeq ? "<="
+                                 : op == CondOp::kGt  ? ">"
+                                                      : ">=";
+          predicates += std::string("[. ") + op_token + " " + quoted + "]";
+          break;
+        }
+        default:
+          break;  // other operators stay eval-only
+      }
+    }
+    xpaths.push_back("//" + tag + predicates);
+  }
+  return xpaths;
+}
+
+Result<std::string> QueryExecutor::Explain(
+    const std::string& collection, const PatternTree& pattern) const {
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
+                        db_->GetCollection(collection));
+  size_t expanded = 0;
+  TOSS_ASSIGN_OR_RETURN(std::vector<std::string> xpaths,
+                        RewriteToXPaths(pattern, {}, &expanded));
+  std::string out;
+  out += "system: ";
+  out += (seo_ != nullptr ? "TOSS (SEO epsilon=" +
+                                std::to_string(seo_->epsilon()) + ")"
+                          : "TAX (exact baseline)");
+  out += "\ncollection: " + collection + " (" +
+         std::to_string(coll->AllDocs().size()) + " documents)\n";
+  out += "condition: " + pattern.condition().ToString() + "\n";
+  out += "expanded terms: " + std::to_string(expanded) + "\n";
+  std::set<store::DocId> intersection;
+  bool first = true;
+  if (xpaths.empty()) {
+    out += "no pushdown queries: full collection scan\n";
+  }
+  for (const auto& xp : xpaths) {
+    store::QueryStats qstats;
+    TOSS_ASSIGN_OR_RETURN(std::vector<store::Match> matches,
+                          coll->QueryText(xp, true, &qstats));
+    std::set<store::DocId> ids;
+    for (const auto& m : matches) ids.insert(m.doc);
+    out += "xpath: " + xp + "\n";
+    out += "  -> " + std::to_string(ids.size()) + " documents (index " +
+           (qstats.used_indexes ? "pruned to " +
+                                      std::to_string(qstats.scanned_docs) +
+                                      " scanned"
+                                : "not used") +
+           ")\n";
+    if (first) {
+      intersection = std::move(ids);
+      first = false;
+    } else {
+      std::set<store::DocId> merged;
+      for (store::DocId d : intersection) {
+        if (ids.count(d)) merged.insert(d);
+      }
+      intersection = std::move(merged);
+    }
+  }
+  if (!xpaths.empty()) {
+    out += "candidates after intersection: " +
+           std::to_string(intersection.size()) + "\n";
+  }
+  return out;
+}
+
+Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
+    const store::Collection& coll, const PatternTree& pattern,
+    const std::vector<int>& labels, ExecStats* stats) const {
+  Timer timer;
+  size_t expanded = 0;
+  TOSS_ASSIGN_OR_RETURN(std::vector<std::string> xpaths,
+                        RewriteToXPaths(pattern, labels, &expanded));
+  if (stats != nullptr) {
+    stats->rewrite_ms += timer.ElapsedMillis();
+    stats->xpath_queries += xpaths.size();
+    stats->expanded_terms += expanded;
+  }
+
+  timer.Reset();
+  std::vector<store::DocId> docs;
+  if (xpaths.empty()) {
+    docs = coll.AllDocs();
+  } else {
+    bool first = true;
+    for (const auto& xp : xpaths) {
+      TOSS_ASSIGN_OR_RETURN(std::vector<store::Match> matches,
+                            coll.QueryText(xp));
+      std::set<store::DocId> ids;
+      for (const auto& m : matches) ids.insert(m.doc);
+      if (first) {
+        docs.assign(ids.begin(), ids.end());
+        first = false;
+      } else {
+        std::vector<store::DocId> next;
+        for (store::DocId d : docs) {
+          if (ids.count(d)) next.push_back(d);
+        }
+        docs = std::move(next);
+      }
+      if (docs.empty()) break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->store_ms += timer.ElapsedMillis();
+    stats->candidate_docs += docs.size();
+  }
+  return docs;
+}
+
+Result<tax::TreeCollection> QueryExecutor::LoadCandidates(
+    const store::Collection& coll, const std::vector<store::DocId>& docs,
+    ExecStats* stats) const {
+  Timer timer;
+  tax::TreeCollection trees;
+  trees.reserve(docs.size());
+  for (store::DocId id : docs) {
+    trees.push_back(
+        tax::DataTree::FromXml(coll.document(id), coll.document(id).root()));
+  }
+  if (stats != nullptr) stats->eval_ms += timer.ElapsedMillis();
+  return trees;
+}
+
+Result<tax::TreeCollection> QueryExecutor::Select(
+    const std::string& collection, const PatternTree& pattern,
+    const std::vector<int>& sl, ExecStats* stats) const {
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
+                        db_->GetCollection(collection));
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
+                        CandidateDocs(*coll, pattern, {}, stats));
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  if (parallelism_ > 1 && docs.size() >= 2 * parallelism_) {
+    Timer timer;
+    TOSS_ASSIGN_OR_RETURN(tax::TreeCollection result,
+                          ParallelSelectEval(*coll, docs, pattern, sl));
+    if (stats != nullptr) {
+      stats->eval_ms += timer.ElapsedMillis();
+      stats->result_trees += result.size();
+    }
+    return result;
+  }
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection trees,
+                        LoadCandidates(*coll, docs, stats));
+  Timer timer;
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection result,
+                        tax::Select(trees, pattern, sl, semantics()));
+  if (stats != nullptr) {
+    stats->eval_ms += timer.ElapsedMillis();
+    stats->result_trees += result.size();
+  }
+  return result;
+}
+
+Result<tax::TreeCollection> QueryExecutor::Project(
+    const std::string& collection, const PatternTree& pattern,
+    const std::vector<tax::ProjectItem>& pl, ExecStats* stats) const {
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
+                        db_->GetCollection(collection));
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
+                        CandidateDocs(*coll, pattern, {}, stats));
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection trees,
+                        LoadCandidates(*coll, docs, stats));
+  Timer timer;
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection result,
+                        tax::Project(trees, pattern, pl, semantics()));
+  if (stats != nullptr) {
+    stats->eval_ms += timer.ElapsedMillis();
+    stats->result_trees += result.size();
+  }
+  return result;
+}
+
+Result<tax::TreeCollection> QueryExecutor::GroupBy(
+    const std::string& collection, const PatternTree& pattern,
+    int group_label, const std::vector<int>& sl, ExecStats* stats) const {
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
+                        db_->GetCollection(collection));
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
+                        CandidateDocs(*coll, pattern, {}, stats));
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection trees,
+                        LoadCandidates(*coll, docs, stats));
+  Timer timer;
+  TOSS_ASSIGN_OR_RETURN(
+      tax::TreeCollection result,
+      tax::GroupBy(trees, pattern, group_label, sl, semantics()));
+  if (stats != nullptr) {
+    stats->eval_ms += timer.ElapsedMillis();
+    stats->result_trees += result.size();
+  }
+  return result;
+}
+
+Result<tax::TreeCollection> QueryExecutor::Join(
+    const std::string& left, const std::string& right,
+    const PatternTree& pattern, const std::vector<int>& sl,
+    ExecStats* stats) const {
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  if (pattern.node(0).children.size() < 2) {
+    return Status::InvalidArgument(
+        "Join pattern root must have two subtrees (left and right operand)");
+  }
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* lcoll,
+                        db_->GetCollection(left));
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* rcoll,
+                        db_->GetCollection(right));
+
+  std::vector<int> left_labels, right_labels;
+  SubtreeLabels(pattern, pattern.node(0).children[0], &left_labels);
+  SubtreeLabels(pattern, pattern.node(0).children[1], &right_labels);
+
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> ldocs,
+                        CandidateDocs(*lcoll, pattern, left_labels, stats));
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> rdocs,
+                        CandidateDocs(*rcoll, pattern, right_labels, stats));
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection ltrees,
+                        LoadCandidates(*lcoll, ldocs, stats));
+  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection rtrees,
+                        LoadCandidates(*rcoll, rdocs, stats));
+
+  Timer timer;
+  TOSS_ASSIGN_OR_RETURN(
+      tax::TreeCollection result,
+      tax::Join(ltrees, rtrees, pattern, sl, semantics()));
+  if (stats != nullptr) {
+    stats->eval_ms += timer.ElapsedMillis();
+    stats->result_trees += result.size();
+  }
+  return result;
+}
+
+}  // namespace toss::core

@@ -1,0 +1,138 @@
+// Query Executor (paper Section 3, component 3; Section 6 timing model).
+//
+// Executes TAX/TOSS algebra queries against the embedded XML store in the
+// paper's three instrumented phases:
+//   (i)   parse the pattern tree and rewrite it into XPath queries -- for
+//         TOSS, ~ / isa / part_of conditions are first expanded through the
+//         SEO into disjunctions of concrete terms;
+//   (ii)  execute the XPath queries in the store, intersecting their
+//         document sets;
+//   (iii) convert surviving documents into TAX data trees and evaluate the
+//         full algebra operator (selection / projection / join) with the
+//         appropriate condition semantics.
+//
+// The same executor runs the TAX baseline: construct it without an SEO and
+// conditions degrade to exact / "contains" matching (TaxSemantics), with no
+// term expansion in phase (i).
+
+#ifndef TOSS_CORE_QUERY_EXECUTOR_H_
+#define TOSS_CORE_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/seo.h"
+#include "core/seo_semantics.h"
+#include "core/types.h"
+#include "store/database.h"
+#include "tax/operators.h"
+#include "tax/tax_semantics.h"
+
+namespace toss::core {
+
+/// Per-query phase timings and counters (Fig. 16's measured quantities).
+struct ExecStats {
+  double rewrite_ms = 0.0;  ///< phase (i)
+  double store_ms = 0.0;    ///< phase (ii)
+  double eval_ms = 0.0;     ///< phase (iii)
+  size_t xpath_queries = 0;
+  size_t expanded_terms = 0;   ///< total SEO expansion fan-out
+  size_t candidate_docs = 0;   ///< documents surviving phase (ii)
+  size_t result_trees = 0;
+
+  double TotalMs() const { return rewrite_ms + store_ms + eval_ms; }
+};
+
+class QueryExecutor {
+ public:
+  /// `seo == nullptr` selects the TAX baseline. `types` may be null only
+  /// when `seo` is null. All pointers must outlive the executor.
+  QueryExecutor(const store::Database* db, const Seo* seo,
+                const TypeSystem* types);
+
+  /// Evaluates Select's phase (iii) across `threads` worker threads
+  /// (1 = sequential, the default; Project and Join always run
+  /// sequentially). Answers are identical to the sequential path, in the
+  /// same order. The SEO / type-system reachability caches are frozen
+  /// before fan-out, so shared state is read-only.
+  void SetParallelism(size_t threads);
+  size_t parallelism() const { return parallelism_; }
+
+  /// sigma_{P,SL} over one collection.
+  Result<tax::TreeCollection> Select(const std::string& collection,
+                                     const tax::PatternTree& pattern,
+                                     const std::vector<int>& sl,
+                                     ExecStats* stats = nullptr) const;
+
+  /// pi_{P,PL} over one collection.
+  Result<tax::TreeCollection> Project(const std::string& collection,
+                                      const tax::PatternTree& pattern,
+                                      const std::vector<tax::ProjectItem>& pl,
+                                      ExecStats* stats = nullptr) const;
+
+  /// Grouping over one collection: witness trees of `pattern` partitioned
+  /// by the content of the `group_label` node (tax::GroupBy).
+  Result<tax::TreeCollection> GroupBy(const std::string& collection,
+                                      const tax::PatternTree& pattern,
+                                      int group_label,
+                                      const std::vector<int>& sl,
+                                      ExecStats* stats = nullptr) const;
+
+  /// Join of two collections: `pattern`'s root must be the product root
+  /// (tag tax_prod_root); its first child subtree constrains `left`, its
+  /// second constrains `right` (paper Example 13).
+  Result<tax::TreeCollection> Join(const std::string& left,
+                                   const std::string& right,
+                                   const tax::PatternTree& pattern,
+                                   const std::vector<int>& sl,
+                                   ExecStats* stats = nullptr) const;
+
+  /// The semantics in effect (TaxSemantics or SeoSemantics).
+  const tax::ConditionSemantics& semantics() const;
+
+  bool is_toss() const { return seo_ != nullptr; }
+
+  /// Phase (i) in isolation: the XPath rewrites for `pattern`, restricted
+  /// to the labels in `labels` (empty = all). Exposed for tests and the
+  /// rewrite-cost ablation bench.
+  Result<std::vector<std::string>> RewriteToXPaths(
+      const tax::PatternTree& pattern, const std::vector<int>& labels,
+      size_t* expanded_terms) const;
+
+  /// EXPLAIN: a human-readable account of how a selection over
+  /// `collection` would run -- the rewritten XPath queries (with SEO term
+  /// expansions inlined), each query's candidate-document count, and the
+  /// final intersected candidate set size. Runs phases (i) and (ii) but
+  /// not (iii).
+  Result<std::string> Explain(const std::string& collection,
+                              const tax::PatternTree& pattern) const;
+
+ private:
+  Result<std::vector<store::DocId>> CandidateDocs(
+      const store::Collection& coll, const tax::PatternTree& pattern,
+      const std::vector<int>& labels, ExecStats* stats) const;
+
+  Result<tax::TreeCollection> LoadCandidates(
+      const store::Collection& coll, const std::vector<store::DocId>& docs,
+      ExecStats* stats) const;
+
+  /// Parallel phase (iii) for Select: per-document witness computation
+  /// fanned out over parallelism_ threads, merged in document order.
+  Result<tax::TreeCollection> ParallelSelectEval(
+      const store::Collection& coll, const std::vector<store::DocId>& docs,
+      const tax::PatternTree& pattern, const std::vector<int>& sl) const;
+
+  void WarmCaches() const;
+
+  const store::Database* db_;
+  const Seo* seo_;
+  const TypeSystem* types_;
+  size_t parallelism_ = 1;
+  tax::TaxSemantics tax_semantics_;
+  SeoSemantics seo_semantics_;
+};
+
+}  // namespace toss::core
+
+#endif  // TOSS_CORE_QUERY_EXECUTOR_H_

@@ -1,0 +1,176 @@
+#include "core/seo.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace toss::core {
+
+using ontology::HNodeId;
+using ontology::Hierarchy;
+using ontology::kInvalidHNode;
+
+namespace {
+
+/// Ontology terms are stored lowercase by the Ontology Maker for content
+/// strings but verbatim for tags; normalize lookups across both.
+std::vector<HNodeId> LookupTerm(const Hierarchy& h, const std::string& term) {
+  auto ids = h.NodesContaining(term);
+  if (!ids.empty()) return ids;
+  return h.NodesContaining(ToLower(term));
+}
+
+}  // namespace
+
+const Hierarchy* Seo::EnhancedHierarchy(const std::string& relation) const {
+  auto it = enhancements_.find(relation);
+  return it == enhancements_.end() ? nullptr : &it->second.enhanced;
+}
+
+const ontology::SimilarityEnhancement* Seo::Enhancement(
+    const std::string& relation) const {
+  auto it = enhancements_.find(relation);
+  return it == enhancements_.end() ? nullptr : &it->second;
+}
+
+bool Seo::Similar(const std::string& x, const std::string& y) const {
+  if (x == y) return true;
+  const Hierarchy* h = EnhancedHierarchy(ontology::kIsa);
+  if (h != nullptr) {
+    auto xs = LookupTerm(*h, x);
+    auto ys = LookupTerm(*h, y);
+    if (!xs.empty() && !ys.empty()) {
+      // Def. of ~: some enhanced node contains both.
+      std::set<HNodeId> sx(xs.begin(), xs.end());
+      for (HNodeId ny : ys) {
+        if (sx.count(ny)) return true;
+      }
+      return false;
+    }
+  }
+  // Fallback for terms outside the ontology (see header).
+  if (measure_ == nullptr) return false;
+  return measure_->BoundedDistance(ToLower(x), ToLower(y), epsilon_) <=
+         epsilon_;
+}
+
+bool Seo::Leq(const std::string& relation, const std::string& x,
+              const std::string& y) const {
+  const Hierarchy* h = EnhancedHierarchy(relation);
+  if (h == nullptr) return false;
+  for (HNodeId nx : LookupTerm(*h, x)) {
+    for (HNodeId ny : LookupTerm(*h, y)) {
+      if (h->Leq(nx, ny)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Seo::SimilarTerms(const std::string& term) const {
+  std::set<std::string> out{term};
+  const Hierarchy* h = EnhancedHierarchy(ontology::kIsa);
+  if (h != nullptr) {
+    auto nodes = LookupTerm(*h, term);
+    if (!nodes.empty()) {
+      for (HNodeId id : nodes) {
+        for (const auto& t : h->terms(id)) out.insert(t);
+      }
+    } else if (measure_ != nullptr) {
+      // The query literal is not an ontology term: fall back to comparing
+      // it against every term (the paper's option (i) when a string is
+      // outside the enhancement).
+      for (const auto& t : h->AllTerms()) {
+        if (measure_->BoundedDistance(term, t, epsilon_) <= epsilon_) {
+          out.insert(t);
+        }
+      }
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Seo::TermsBelow(const std::string& relation,
+                                         const std::string& term) const {
+  std::set<std::string> out{term};
+  const Hierarchy* h = EnhancedHierarchy(relation);
+  if (h != nullptr) {
+    for (HNodeId id : LookupTerm(*h, term)) {
+      for (HNodeId below : h->Below(id)) {
+        for (const auto& t : h->terms(below)) out.insert(t);
+      }
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+size_t Seo::TotalNodeCount() const {
+  size_t n = 0;
+  for (const auto& [rel, enh] : enhancements_) n += enh.enhanced.node_count();
+  return n;
+}
+
+void Seo::WarmCaches() const {
+  for (const auto& rel : fused_.relations()) {
+    fused_.Find(rel)->EnsureReachabilityCache();
+  }
+  for (const auto& [rel, enh] : enhancements_) {
+    enh.enhanced.EnsureReachabilityCache();
+  }
+}
+
+SeoBuilder::SeoBuilder() = default;
+
+SeoBuilder& SeoBuilder::AddInstanceOntology(ontology::Ontology onto) {
+  ontologies_.push_back(std::move(onto));
+  return *this;
+}
+
+SeoBuilder& SeoBuilder::AddConstraints(
+    const std::string& relation,
+    std::vector<ontology::InteropConstraint> cs) {
+  auto& dst = constraints_[relation];
+  dst.insert(dst.end(), std::make_move_iterator(cs.begin()),
+             std::make_move_iterator(cs.end()));
+  return *this;
+}
+
+SeoBuilder& SeoBuilder::SetMeasure(sim::StringMeasurePtr measure) {
+  measure_ = std::move(measure);
+  return *this;
+}
+
+SeoBuilder& SeoBuilder::SetEpsilon(double epsilon) {
+  epsilon_ = epsilon;
+  return *this;
+}
+
+Result<Seo> SeoBuilder::Build() const {
+  if (ontologies_.empty()) {
+    return Status::InvalidArgument("SeoBuilder: no instance ontologies");
+  }
+  if (measure_ == nullptr) {
+    return Status::InvalidArgument("SeoBuilder: no similarity measure set");
+  }
+  if (epsilon_ < 0) {
+    return Status::InvalidArgument("SeoBuilder: epsilon must be >= 0");
+  }
+  std::vector<const ontology::Ontology*> ptrs;
+  ptrs.reserve(ontologies_.size());
+  for (const auto& o : ontologies_) ptrs.push_back(&o);
+
+  Seo seo;
+  TOSS_ASSIGN_OR_RETURN(seo.fused_,
+                        ontology::FuseOntologies(ptrs, constraints_));
+  seo.measure_ = measure_;
+  seo.epsilon_ = epsilon_;
+  for (const auto& rel : seo.fused_.relations()) {
+    const Hierarchy* h = seo.fused_.Find(rel);
+    TOSS_ASSIGN_OR_RETURN(
+        ontology::SimilarityEnhancement enh,
+        ontology::SimilarityEnhance(*h, *measure_, epsilon_));
+    seo.enhancements_[rel] = std::move(enh);
+  }
+  return seo;
+}
+
+}  // namespace toss::core

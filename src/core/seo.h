@@ -1,0 +1,125 @@
+// The similarity enhanced (fused) ontology -- the precomputed artifact the
+// whole TOSS pipeline revolves around (paper Section 3): per-instance
+// ontologies are fused under interoperation constraints, then each fused
+// hierarchy is similarity-enhanced with the administrator's measure and
+// threshold epsilon.
+//
+// SeoBuilder mirrors the paper's pipeline:
+//   SeoBuilder b;
+//   b.AddInstanceOntology(MakeOntology(doc1, lexicon, opts));   // per source
+//   b.AddInstanceOntology(MakeOntology(doc2, lexicon, opts));
+//   b.AddConstraints("partof", Eq("booktitle", 0, "conference", 1));
+//   b.SetMeasure(measure).SetEpsilon(3.0);
+//   TOSS_ASSIGN_OR_RETURN(Seo seo, b.Build());
+
+#ifndef TOSS_CORE_SEO_H_
+#define TOSS_CORE_SEO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "ontology/sea.h"
+#include "sim/string_measure.h"
+
+namespace toss::core {
+
+/// Fused + similarity-enhanced ontology bundle.
+class Seo {
+ public:
+  Seo() = default;
+
+  /// The fused (pre-enhancement) ontology.
+  const ontology::Ontology& fused() const { return fused_; }
+
+  /// The enhanced hierarchy of `relation`, or nullptr if undefined.
+  const ontology::Hierarchy* EnhancedHierarchy(
+      const std::string& relation) const;
+
+  /// The enhancement (H', mu) of `relation`, or nullptr.
+  const ontology::SimilarityEnhancement* Enhancement(
+      const std::string& relation) const;
+
+  const sim::StringMeasure& measure() const { return *measure_; }
+  double epsilon() const { return epsilon_; }
+
+  /// X ~ Y (paper Section 5.1.1): true iff some enhanced-isa node contains
+  /// both terms. Terms absent from the ontology fall back to a direct
+  /// measure comparison d(x, y) <= epsilon -- equivalent to the SEO check
+  /// had the terms been present as singleton nodes.
+  bool Similar(const std::string& x, const std::string& y) const;
+
+  /// Term-level x <= y in the enhanced hierarchy of `relation`.
+  bool Leq(const std::string& relation, const std::string& x,
+           const std::string& y) const;
+
+  /// All terms similar to `term` (sharing an enhanced-isa node), including
+  /// `term` itself. Query rewriting expands search terms through this.
+  std::vector<std::string> SimilarTerms(const std::string& term) const;
+
+  /// All terms t with t <= `term` in `relation`'s enhanced hierarchy,
+  /// including `term`. Used to expand isa/part_of query conditions.
+  std::vector<std::string> TermsBelow(const std::string& relation,
+                                      const std::string& term) const;
+
+  /// Total node count over the enhanced hierarchies (Fig. 16's
+  /// "ontology size" axis).
+  size_t TotalNodeCount() const;
+
+  /// Prebuilds every hierarchy's reachability cache so a frozen Seo can be
+  /// shared across query threads (see Hierarchy::EnsureReachabilityCache).
+  void WarmCaches() const;
+
+ private:
+  friend class SeoBuilder;
+  friend std::string FormatSeo(const Seo& seo);
+  friend Result<Seo> ParseSeoText(std::string_view text);
+
+  ontology::Ontology fused_;
+  std::map<std::string, ontology::SimilarityEnhancement> enhancements_;
+  sim::StringMeasurePtr measure_;
+  double epsilon_ = 0.0;
+};
+
+/// SEO persistence: the fused ontology, every enhancement (H', mu), the
+/// measure's registry name and epsilon -- everything needed to answer
+/// queries without re-running fusion + SEA (the paper precomputes the SEO
+/// during integration). The measure is restored via sim::MakeMeasure.
+std::string FormatSeo(const Seo& seo);
+Result<Seo> ParseSeoText(std::string_view text);
+Status SaveSeo(const Seo& seo, const std::string& path);
+Result<Seo> LoadSeo(const std::string& path);
+
+class SeoBuilder {
+ public:
+  SeoBuilder();
+
+  /// Adds one instance's ontology (index = order of addition; constraint
+  /// hierarchy indexes refer to these).
+  SeoBuilder& AddInstanceOntology(ontology::Ontology onto);
+
+  /// Adds constraints for one relation's fusion.
+  SeoBuilder& AddConstraints(const std::string& relation,
+                             std::vector<ontology::InteropConstraint> cs);
+
+  SeoBuilder& SetMeasure(sim::StringMeasurePtr measure);
+  SeoBuilder& SetEpsilon(double epsilon);
+
+  /// Fuses and enhances. Fails with Inconsistent on unsatisfiable
+  /// constraints or similarity inconsistency.
+  Result<Seo> Build() const;
+
+ private:
+  std::vector<ontology::Ontology> ontologies_;
+  std::map<std::string, std::vector<ontology::InteropConstraint>>
+      constraints_;
+  sim::StringMeasurePtr measure_;
+  double epsilon_ = 0.0;
+};
+
+}  // namespace toss::core
+
+#endif  // TOSS_CORE_SEO_H_

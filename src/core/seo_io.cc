@@ -1,0 +1,174 @@
+// SEO persistence (see seo.h). Document layout:
+//
+//   seo-version 1
+//   measure <registry name>
+//   epsilon <double>
+//   fused
+//   <ontology dump: relation/node/edge lines>
+//   end-fused
+//   enhancement <relation>
+//   <hierarchy dump: node/edge lines>
+//   mu <original-node>: <enhanced-node> <enhanced-node> ...
+//   end-enhancement
+//   ...
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/seo.h"
+#include "ontology/hierarchy_io.h"
+#include "sim/measure_registry.h"
+
+namespace toss::core {
+
+std::string FormatSeo(const Seo& seo) {
+  std::string out = "seo-version 1\n";
+  out += "measure " + seo.measure_->name() + "\n";
+  out += "epsilon " + std::to_string(seo.epsilon_) + "\n";
+  out += "fused\n";
+  out += ontology::FormatOntology(seo.fused_);
+  out += "end-fused\n";
+  for (const auto& [rel, enh] : seo.enhancements_) {
+    out += "enhancement " + rel + "\n";
+    out += ontology::FormatHierarchy(enh.enhanced);
+    for (size_t v = 0; v < enh.mu.size(); ++v) {
+      out += "mu " + std::to_string(v) + ":";
+      for (ontology::HNodeId e : enh.mu[v]) {
+        out += " " + std::to_string(e);
+      }
+      out += "\n";
+    }
+    out += "end-enhancement\n";
+  }
+  return out;
+}
+
+Result<Seo> ParseSeoText(std::string_view text) {
+  Seo seo;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError("seo line " + std::to_string(line_no) + ": " +
+                              what);
+  };
+
+  auto next_meaningful = [&](std::string_view* out) {
+    while (std::getline(lines, line)) {
+      ++line_no;
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      // NOTE: trimmed views into `line`, which stays alive until the next
+      // getline -- callers must consume before re-calling.
+      *out = trimmed;
+      return true;
+    }
+    return false;
+  };
+
+  std::string_view cur;
+  if (!next_meaningful(&cur) || cur != "seo-version 1") {
+    return fail("expected 'seo-version 1' header");
+  }
+  if (!next_meaningful(&cur) || !StartsWith(cur, "measure ")) {
+    return fail("expected 'measure <name>'");
+  }
+  TOSS_ASSIGN_OR_RETURN(seo.measure_,
+                        sim::MakeMeasure(std::string(Trim(cur.substr(8)))));
+  if (!next_meaningful(&cur) || !StartsWith(cur, "epsilon ")) {
+    return fail("expected 'epsilon <value>'");
+  }
+  if (!ParseDouble(cur.substr(8), &seo.epsilon_) || seo.epsilon_ < 0) {
+    return fail("bad epsilon value");
+  }
+  if (!next_meaningful(&cur) || cur != "fused") {
+    return fail("expected 'fused'");
+  }
+  std::string block;
+  while (next_meaningful(&cur) && cur != "end-fused") {
+    block += std::string(cur) + "\n";
+  }
+  if (cur != "end-fused") return fail("missing end-fused");
+  TOSS_ASSIGN_OR_RETURN(seo.fused_, ontology::ParseOntologyText(block));
+
+  while (next_meaningful(&cur)) {
+    if (!StartsWith(cur, "enhancement ")) {
+      return fail("expected 'enhancement <relation>'");
+    }
+    std::string rel{Trim(cur.substr(12))};
+    if (rel.empty()) return fail("empty enhancement relation");
+    std::string hblock;
+    std::vector<std::vector<ontology::HNodeId>> mu;
+    while (next_meaningful(&cur) && cur != "end-enhancement") {
+      if (StartsWith(cur, "mu ")) {
+        size_t colon = cur.find(':');
+        if (colon == std::string_view::npos) return fail("mu missing ':'");
+        long long orig;
+        if (!ParseInt(cur.substr(3, colon - 3), &orig) || orig < 0) {
+          return fail("bad mu node id");
+        }
+        if (orig != static_cast<long long>(mu.size())) {
+          return fail("mu ids must be dense and ascending");
+        }
+        std::vector<ontology::HNodeId> targets;
+        for (const auto& piece : SplitWhitespace(cur.substr(colon + 1))) {
+          long long e;
+          if (!ParseInt(piece, &e) || e < 0) return fail("bad mu target");
+          targets.push_back(static_cast<ontology::HNodeId>(e));
+        }
+        if (targets.empty()) return fail("mu with no targets");
+        mu.push_back(std::move(targets));
+      } else {
+        hblock += std::string(cur) + "\n";
+      }
+    }
+    if (cur != "end-enhancement") return fail("missing end-enhancement");
+    ontology::SimilarityEnhancement enh;
+    TOSS_ASSIGN_OR_RETURN(enh.enhanced,
+                          ontology::ParseHierarchyText(hblock));
+    // Validate mu against both hierarchies.
+    const ontology::Hierarchy* fused_h = seo.fused_.Find(rel);
+    if (fused_h == nullptr) {
+      return fail("enhancement for relation '" + rel +
+                  "' absent from fused ontology");
+    }
+    if (mu.size() != fused_h->node_count()) {
+      return fail("mu covers " + std::to_string(mu.size()) +
+                  " nodes but fused hierarchy has " +
+                  std::to_string(fused_h->node_count()));
+    }
+    for (const auto& targets : mu) {
+      for (ontology::HNodeId e : targets) {
+        if (e >= enh.enhanced.node_count()) {
+          return fail("mu target out of range");
+        }
+      }
+    }
+    enh.mu = std::move(mu);
+    seo.enhancements_[rel] = std::move(enh);
+  }
+  if (seo.enhancements_.empty()) {
+    return fail("seo document has no enhancements");
+  }
+  return seo;
+}
+
+Status SaveSeo(const Seo& seo, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << FormatSeo(seo);
+  out.close();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Seo> LoadSeo(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseSeoText(ss.str());
+}
+
+}  // namespace toss::core

@@ -1,0 +1,95 @@
+#include "core/seo_semantics.h"
+
+#include "tax/tax_semantics.h"
+
+namespace toss::core {
+
+using tax::CondOp;
+using tax::TermValue;
+
+Result<bool> SeoSemantics::Compare(const TermValue& x, CondOp op,
+                                   const TermValue& y) const {
+  if (x.is_type_name || y.is_type_name) {
+    // Type names only support (in)equality on the name itself.
+    if (op == CondOp::kEq) return x.text == y.text;
+    if (op == CondOp::kNeq) return x.text != y.text;
+    return Status::TypeError("ordering comparison on a type name");
+  }
+  std::string tx = x.type.empty() ? "string" : x.type;
+  std::string ty = y.type.empty() ? "string" : y.type;
+  if (tx == ty) {
+    return tax::CompareValues(x.text, op, y.text);
+  }
+  // Well-typedness (Section 5.1.1): lub must exist with conversions into it.
+  TOSS_ASSIGN_OR_RETURN(std::string lub,
+                        types_->LeastCommonSupertype(tx, ty));
+  if (!types_->HasConversion(tx, lub) || !types_->HasConversion(ty, lub)) {
+    return Status::TypeError("comparison of " + tx + " and " + ty +
+                             " is not well-typed: missing conversion to " +
+                             lub);
+  }
+  TOSS_ASSIGN_OR_RETURN(std::string vx, types_->Convert(x.text, tx, lub));
+  TOSS_ASSIGN_OR_RETURN(std::string vy, types_->Convert(y.text, ty, lub));
+  return tax::CompareValues(vx, op, vy);
+}
+
+Result<bool> SeoSemantics::Similar(const TermValue& x,
+                                   const TermValue& y) const {
+  return seo_->Similar(x.text, y.text);
+}
+
+Result<bool> SeoSemantics::Related(const std::string& relation,
+                                   const TermValue& x,
+                                   const TermValue& y) const {
+  if (seo_->Leq(relation, x.text, y.text)) return true;
+  // isa additionally covers the subtype order over *declared* types
+  // ("1999":year isa "5":int). Untyped string values must not trigger
+  // this -- string <= string would make every isa atom true.
+  if (relation == ontology::kIsa && !x.is_type_name && !y.is_type_name &&
+      !x.type.empty() && !y.type.empty() &&
+      !(x.type == "string" && y.type == "string") &&
+      types_->IsSubtype(x.type, y.type)) {
+    return true;
+  }
+  return false;
+}
+
+Result<bool> SeoSemantics::InstanceOf(const TermValue& x,
+                                      const TermValue& y) const {
+  if (!y.is_type_name && y.type.empty()) {
+    return Status::TypeError("instance_of requires a type on the right");
+  }
+  const std::string& target = y.is_type_name ? y.text : y.type;
+  if (types_->HasType(target)) {
+    // Paper: type(X) <=_H Y and X in dom(Y).
+    std::string tx = x.type.empty() ? "string" : x.type;
+    if (!x.is_type_name && types_->IsSubtype(tx, target) &&
+        types_->IsInstance(x.text, target)) {
+      return true;
+    }
+    // A value whose declared type is unrelated can still be in dom(Y).
+    if (!x.is_type_name && types_->IsInstance(x.text, target) &&
+        tx == "string") {
+      return true;
+    }
+    return false;
+  }
+  // Target is an ontology term rather than a registered type: fall back to
+  // the enhanced isa hierarchy (value-as-type view, Section 5).
+  return seo_->Leq(ontology::kIsa, x.text, target);
+}
+
+Result<bool> SeoSemantics::SubtypeOf(const TermValue& x,
+                                     const TermValue& y) const {
+  const std::string& sub = x.is_type_name ? x.text : x.type;
+  const std::string& super = y.is_type_name ? y.text : y.type;
+  if (sub.empty() || super.empty()) {
+    return Status::TypeError("subtype_of requires type operands");
+  }
+  if (types_->HasType(sub) && types_->HasType(super)) {
+    return types_->IsSubtype(sub, super);
+  }
+  return seo_->Leq(ontology::kIsa, sub, super);
+}
+
+}  // namespace toss::core

@@ -1,0 +1,49 @@
+// TOSS condition satisfaction (paper Section 5.1.1): ConditionSemantics
+// backed by the similarity enhanced ontology and the type system.
+//
+//  * Comparisons are *well-typed* evaluations: the least common supertype
+//    tau of the operand types must exist along with conversions into it;
+//    both operands are converted before comparing. Ill-typed atoms yield
+//    Status::TypeError, surfacing through query evaluation exactly as the
+//    paper's well-typedness precondition demands.
+//  * X ~ Y        -> shared node in the enhanced isa hierarchy (Seo::Similar).
+//  * X isa / part_of Y -> term-level <= in the relation's enhanced hierarchy;
+//    the isa relation additionally holds when the *types* are subtypes.
+//  * X instance_of Y -> type(X) <= Y in the type hierarchy and X in dom(Y).
+//  * X subtype_of Y  -> type-name <= in the type hierarchy, or term-level
+//    isa between type names recorded in the ontology.
+
+#ifndef TOSS_CORE_SEO_SEMANTICS_H_
+#define TOSS_CORE_SEO_SEMANTICS_H_
+
+#include "core/seo.h"
+#include "core/types.h"
+#include "tax/condition.h"
+
+namespace toss::core {
+
+class SeoSemantics : public tax::ConditionSemantics {
+ public:
+  /// Both pointers must outlive the semantics object.
+  SeoSemantics(const Seo* seo, const TypeSystem* types)
+      : seo_(seo), types_(types) {}
+
+  Result<bool> Compare(const tax::TermValue& x, tax::CondOp op,
+                       const tax::TermValue& y) const override;
+  Result<bool> Similar(const tax::TermValue& x,
+                       const tax::TermValue& y) const override;
+  Result<bool> Related(const std::string& relation, const tax::TermValue& x,
+                       const tax::TermValue& y) const override;
+  Result<bool> InstanceOf(const tax::TermValue& x,
+                          const tax::TermValue& y) const override;
+  Result<bool> SubtypeOf(const tax::TermValue& x,
+                         const tax::TermValue& y) const override;
+
+ private:
+  const Seo* seo_;
+  const TypeSystem* types_;
+};
+
+}  // namespace toss::core
+
+#endif  // TOSS_CORE_SEO_SEMANTICS_H_

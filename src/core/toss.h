@@ -1,0 +1,34 @@
+// Umbrella header: the TOSS public API.
+//
+// Typical pipeline (see examples/quickstart.cpp):
+//   1. Load XML into a store::Database collection.
+//   2. Build per-instance ontologies with ontology::MakeOntology.
+//   3. Fuse + enhance with core::SeoBuilder (measure, epsilon,
+//      interoperation constraints).
+//   4. Express queries as tax::PatternTree + condition
+//      (tax::ParseCondition).
+//   5. Execute with core::QueryExecutor (TOSS), or construct the executor
+//      without an SEO for the plain TAX baseline.
+
+#ifndef TOSS_CORE_TOSS_H_
+#define TOSS_CORE_TOSS_H_
+
+#include "core/query_executor.h"
+#include "core/seo.h"
+#include "core/seo_semantics.h"
+#include "core/types.h"
+#include "lexicon/lexicon.h"
+#include "ontology/fusion.h"
+#include "ontology/ontology.h"
+#include "ontology/ontology_maker.h"
+#include "ontology/sea.h"
+#include "sim/measure_registry.h"
+#include "sim/string_measure.h"
+#include "store/database.h"
+#include "tax/condition_parser.h"
+#include "tax/operators.h"
+#include "tax/tax_semantics.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+#endif  // TOSS_CORE_TOSS_H_

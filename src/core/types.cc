@@ -1,0 +1,218 @@
+#include "core/types.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace toss::core {
+
+using ontology::HNodeId;
+using ontology::kInvalidHNode;
+
+TypeSystem::TypeSystem() {
+  // "string" is the root type of plain TAX instances (tax::kStringType).
+  (void)AddType("string");
+}
+
+Status TypeSystem::AddType(const std::string& name,
+                           const std::string& supertype) {
+  if (name.empty()) {
+    return Status::InvalidArgument("type name must be non-empty");
+  }
+  hierarchy_.EnsureTerm(name);
+  if (!supertype.empty()) {
+    TOSS_RETURN_NOT_OK(hierarchy_.AddTermEdge(name, supertype));
+    if (!hierarchy_.IsAcyclic()) {
+      return Status::InvalidArgument("subtype edge " + name + " <= " +
+                                     supertype + " creates a cycle");
+    }
+  }
+  return Status::OK();
+}
+
+bool TypeSystem::HasType(const std::string& name) const {
+  return hierarchy_.FindTerm(name) != kInvalidHNode;
+}
+
+std::vector<std::string> TypeSystem::TypeNames() const {
+  return hierarchy_.AllTerms();
+}
+
+bool TypeSystem::IsSubtype(const std::string& sub,
+                           const std::string& super) const {
+  if (sub == super) return true;
+  return hierarchy_.LeqTerms(sub, super);
+}
+
+Result<std::string> TypeSystem::LeastCommonSupertype(
+    const std::string& a, const std::string& b) const {
+  HNodeId na = hierarchy_.FindTerm(a);
+  HNodeId nb = hierarchy_.FindTerm(b);
+  if (na == kInvalidHNode || nb == kInvalidHNode) {
+    return Status::TypeError("unknown type in lub(" + a + ", " + b + ")");
+  }
+  // Common upper bounds, then keep the minimal ones.
+  auto above_a = hierarchy_.Above(na);
+  auto above_b = hierarchy_.Above(nb);
+  std::set<HNodeId> common;
+  std::set<HNodeId> sb(above_b.begin(), above_b.end());
+  for (HNodeId v : above_a) {
+    if (sb.count(v)) common.insert(v);
+  }
+  if (common.empty()) {
+    return Status::TypeError("types " + a + " and " + b +
+                             " have no common supertype");
+  }
+  std::vector<HNodeId> minimal;
+  for (HNodeId v : common) {
+    bool is_minimal = true;
+    for (HNodeId w : common) {
+      if (w != v && hierarchy_.Leq(w, v)) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(v);
+  }
+  if (minimal.size() != 1) {
+    return Status::TypeError("least common supertype of " + a + " and " + b +
+                             " is ambiguous");
+  }
+  return hierarchy_.terms(minimal[0]).front();
+}
+
+Status TypeSystem::SetDomain(const std::string& type,
+                             DomainPredicate predicate) {
+  if (!HasType(type)) {
+    return Status::NotFound("SetDomain: unknown type " + type);
+  }
+  domains_[type] = std::move(predicate);
+  return Status::OK();
+}
+
+bool TypeSystem::IsInstance(const std::string& value,
+                            const std::string& type) const {
+  if (!HasType(type)) return false;
+  auto it = domains_.find(type);
+  if (it == domains_.end()) return true;  // unconstrained domain
+  return it->second(value);
+}
+
+Status TypeSystem::AddConversion(const std::string& from,
+                                 const std::string& to, ConversionFn fn) {
+  if (!HasType(from) || !HasType(to)) {
+    return Status::NotFound("AddConversion: unknown type " + from + " or " +
+                            to);
+  }
+  conversions_[{from, to}] = std::move(fn);
+  return Status::OK();
+}
+
+std::vector<std::string> TypeSystem::ConversionPath(
+    const std::string& from, const std::string& to) const {
+  if (from == to) return {from};
+  // BFS over registered conversion edges; the paper's composition-coherence
+  // assumption makes any shortest path as good as any other.
+  std::map<std::string, std::string> came_from;
+  std::deque<std::string> frontier{from};
+  came_from[from] = from;
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [key, fn] : conversions_) {
+      if (key.first != cur) continue;
+      if (came_from.count(key.second)) continue;
+      came_from[key.second] = cur;
+      if (key.second == to) {
+        std::vector<std::string> path{to};
+        std::string back = to;
+        while (back != from) {
+          back = came_from[back];
+          path.push_back(back);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(key.second);
+    }
+  }
+  return {};
+}
+
+bool TypeSystem::HasConversion(const std::string& from,
+                               const std::string& to) const {
+  return !ConversionPath(from, to).empty();
+}
+
+Result<std::string> TypeSystem::Convert(const std::string& value,
+                                        const std::string& from,
+                                        const std::string& to) const {
+  auto path = ConversionPath(from, to);
+  if (path.empty()) {
+    return Status::TypeError("no conversion from " + from + " to " + to);
+  }
+  std::string current = value;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = conversions_.find({path[i], path[i + 1]});
+    TOSS_ASSIGN_OR_RETURN(current, it->second(current));
+  }
+  return current;
+}
+
+Status TypeSystem::ValidateClosure() const {
+  for (const auto& sub : TypeNames()) {
+    for (const auto& super : TypeNames()) {
+      if (sub == super || !IsSubtype(sub, super)) continue;
+      if (!HasConversion(sub, super)) {
+        return Status::TypeError("subtype " + sub + " <= " + super +
+                                 " lacks a conversion function");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+TypeSystem MakeBibliographicTypeSystem() {
+  TypeSystem ts;
+  auto identity = [](const std::string& v) -> Result<std::string> {
+    return v;
+  };
+  auto int_check = [](const std::string& v) -> Result<std::string> {
+    long long out;
+    if (!ParseInt(v, &out)) {
+      return Status::TypeError("'" + v + "' is not an integer");
+    }
+    return v;
+  };
+  (void)ts.AddType("int", "string");
+  (void)ts.AddType("year", "int");
+  (void)ts.AddType("month", "int");
+  (void)ts.AddType("pages", "string");
+  (void)ts.AddType("person", "string");
+  (void)ts.AddType("venue", "string");
+
+  (void)ts.SetDomain("int", [](const std::string& v) {
+    long long out;
+    return ParseInt(v, &out);
+  });
+  (void)ts.SetDomain("year", [](const std::string& v) {
+    long long out;
+    return ParseInt(v, &out) && out >= 0 && out <= 9999;
+  });
+  (void)ts.SetDomain("month", [](const std::string& v) {
+    long long out;
+    return ParseInt(v, &out) && out >= 1 && out <= 12;
+  });
+
+  (void)ts.AddConversion("int", "string", identity);
+  (void)ts.AddConversion("year", "int", int_check);
+  (void)ts.AddConversion("month", "int", int_check);
+  (void)ts.AddConversion("pages", "string", identity);
+  (void)ts.AddConversion("person", "string", identity);
+  (void)ts.AddConversion("venue", "string", identity);
+  return ts;
+}
+
+}  // namespace toss::core

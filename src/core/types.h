@@ -1,0 +1,108 @@
+// Types, domains, type hierarchies, and conversion functions
+// (paper Section 5, "Types, Domain Values, and Hierarchies" and
+// "Conversion Functions").
+//
+// A TypeSystem owns
+//  * a type hierarchy (subtype partial order over type names),
+//  * per-type domain predicates (membership in dom(tau)), and
+//  * conversion functions tau1 -> tau2 with the paper's closure rules:
+//    identity conversions always exist, and conversions compose (Convert
+//    searches the conversion graph, so registering year->int and
+//    int->string makes year->string available).
+//
+// Well-typedness of comparisons (Section 5.1.1) asks for the least common
+// supertype of the operand types plus conversions into it; both queries are
+// answered here.
+
+#ifndef TOSS_CORE_TYPES_H_
+#define TOSS_CORE_TYPES_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/hierarchy.h"
+
+namespace toss::core {
+
+/// Converts a value of the source type into the target type's
+/// representation; may fail on out-of-domain input.
+using ConversionFn =
+    std::function<Result<std::string>(const std::string&)>;
+
+/// Membership test for dom(tau).
+using DomainPredicate = std::function<bool(const std::string&)>;
+
+class TypeSystem {
+ public:
+  TypeSystem();
+
+  /// Registers a type; optionally as a subtype of `supertype` (created if
+  /// new). Re-registering an existing type with a new supertype adds the
+  /// edge.
+  Status AddType(const std::string& name, const std::string& supertype = "");
+
+  bool HasType(const std::string& name) const;
+
+  /// All registered type names.
+  std::vector<std::string> TypeNames() const;
+
+  /// Reflexive-transitive subtype test.
+  bool IsSubtype(const std::string& sub, const std::string& super) const;
+
+  /// Least upper bound of two types in the subtype hierarchy; TypeError
+  /// when none exists or the minimal upper bounds are ambiguous.
+  Result<std::string> LeastCommonSupertype(const std::string& a,
+                                           const std::string& b) const;
+
+  /// Registers dom(tau) membership. Types without a predicate accept any
+  /// string.
+  Status SetDomain(const std::string& type, DomainPredicate predicate);
+
+  /// X in dom(tau)?
+  bool IsInstance(const std::string& value, const std::string& type) const;
+
+  /// Registers an explicit conversion function.
+  Status AddConversion(const std::string& from, const std::string& to,
+                       ConversionFn fn);
+
+  /// True when `from` converts to `to` directly, by identity, or by
+  /// composition.
+  bool HasConversion(const std::string& from, const std::string& to) const;
+
+  /// Applies the (possibly composed) conversion.
+  Result<std::string> Convert(const std::string& value,
+                              const std::string& from,
+                              const std::string& to) const;
+
+  /// Checks the paper's constraint that tau1 <= tau2 implies a conversion
+  /// tau1 -> tau2 exists; returns the first violation.
+  Status ValidateClosure() const;
+
+  const ontology::Hierarchy& hierarchy() const { return hierarchy_; }
+
+  /// Prebuilds the subtype reachability cache for cross-thread sharing.
+  void WarmCaches() const { hierarchy_.EnsureReachabilityCache(); }
+
+ private:
+  /// Shortest conversion path from -> to as a type-name chain, empty when
+  /// unreachable.
+  std::vector<std::string> ConversionPath(const std::string& from,
+                                          const std::string& to) const;
+
+  ontology::Hierarchy hierarchy_;  // subtype DAG over type names
+  std::map<std::string, DomainPredicate> domains_;
+  std::map<std::pair<std::string, std::string>, ConversionFn> conversions_;
+};
+
+/// The type system used by the bibliographic examples and benchmarks:
+/// string, int <= string, year <= int, month <= int, pages <= string,
+/// person <= string, venue <= string -- with numeric domains and the
+/// obvious conversions.
+TypeSystem MakeBibliographicTypeSystem();
+
+}  // namespace toss::core
+
+#endif  // TOSS_CORE_TYPES_H_

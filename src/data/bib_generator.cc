@@ -1,0 +1,406 @@
+#include "data/bib_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace toss::data {
+
+namespace {
+
+// Entity-id ranges keep people / venues / papers distinguishable in mixed
+// provenance streams.
+constexpr EntityId kPersonBase = 1000;
+constexpr EntityId kVenueBase = 2000;
+constexpr EntityId kPaperBase = 10000;
+
+const char* kFirstNames[] = {
+    "Jeffrey", "Michael", "Sarah",   "David",   "Rakesh",  "Elena",
+    "Hector",  "Jennifer", "Alberto", "Ricardo", "Sophie",  "Thomas",
+    "Patricia", "Andreas", "Laura",   "Stefano", "Monica",  "Carlos",
+    "Hiroshi", "Yannis",  "Dimitri", "Susan",   "Gerhard", "Claudia",
+    "Victor",  "Marta",   "Antonio", "Kevin",   "Ingrid",  "Pavel",
+};
+
+const char* kCompoundFirstNames[] = {
+    "Gian Luigi", "Jose Maria", "Anna Lisa", "Jean Pierre", "Mary Ann",
+};
+
+const char* kLastNames[] = {
+    "Ullman",    "Ferrari",  "Widom",    "Garcia",   "Agrawal", "Bernstein",
+    "Stonebraker", "DeWitt", "Navathe",  "Abiteboul", "Vianu",  "Suciu",
+    "Halevy",    "Ioannidis", "Ramakrishnan", "Gehrke", "Chaudhuri",
+    "Weikum",    "Kossmann", "Naughton", "Carey",    "Franklin", "Hellerstein",
+    "Lenzerini", "Mendelzon", "Milo",    "Tannen",   "Buneman",
+};
+
+const char* kTitleAdjectives[] = {
+    "Efficient", "Scalable", "Adaptive", "Incremental", "Approximate",
+    "Distributed", "Secure",  "Optimal",  "Flexible",    "Robust",
+};
+
+const char* kTitleNouns[] = {
+    "Query Processing", "View Maintenance",  "Index Selection",
+    "Join Algorithms",  "Schema Integration", "Data Mining",
+    "Access Control",   "Query Optimization", "Caching Strategies",
+    "Storage Management",
+};
+
+const char* kTitleTopics[] = {
+    "XML Databases",       "Relational Systems",  "Semistructured Data",
+    "Data Warehouses",     "Web Repositories",    "Heterogeneous Sources",
+    "Streaming Data",      "Object Databases",    "Digital Libraries",
+    "Scientific Archives",
+};
+
+struct VenueSeed {
+  const char* short_name;
+  const char* full_name;
+  const char* category;
+};
+
+const VenueSeed kVenueSeeds[] = {
+    {"SIGMOD Conference",
+     "ACM SIGMOD International Conference on Management of Data",
+     "database conference"},
+    {"VLDB", "International Conference on Very Large Data Bases",
+     "database conference"},
+    {"ICDE", "IEEE International Conference on Data Engineering",
+     "database conference"},
+    {"PODS", "ACM Symposium on Principles of Database Systems",
+     "database conference"},
+    {"SIGIR",
+     "International ACM SIGIR Conference on Research and Development in "
+     "Information Retrieval",
+     "information retrieval conference"},
+    {"KDD",
+     "ACM SIGKDD International Conference on Knowledge Discovery and Data "
+     "Mining",
+     "data mining conference"},
+};
+
+/// Substitutes `count` distinct positions of `s` with a shifted letter.
+std::string MutateLetters(const std::string& s, int count, Random* rng) {
+  std::string out = s;
+  std::set<size_t> used;
+  int done = 0;
+  while (done < count && used.size() < out.size()) {
+    size_t pos = rng->Uniform(out.size());
+    if (!used.insert(pos).second) continue;
+    char c = out[pos];
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      char base = std::islower(static_cast<unsigned char>(c)) ? 'a' : 'A';
+      out[pos] = static_cast<char>(base + (c - base + 1 + rng->Uniform(24)) %
+                                              26);
+      ++done;
+    } else {
+      used.erase(pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BibWorld GenerateWorld(const BibConfig& config) {
+  Random rng(config.seed);
+  BibWorld world;
+
+  // --- People ---------------------------------------------------------------
+  size_t confusables = static_cast<size_t>(
+      static_cast<double>(config.num_people) * config.confusable_fraction);
+  // Confusables come in pairs.
+  confusables -= confusables % 2;
+  size_t regular = config.num_people - confusables;
+
+  EntityId next_person = kPersonBase;
+  std::set<std::string> used_names;
+  auto add_person = [&](std::string first, std::string middle,
+                        std::string last) -> const PersonEntity& {
+    PersonEntity p;
+    p.id = next_person++;
+    p.first = std::move(first);
+    p.middle = std::move(middle);
+    p.last = std::move(last);
+    world.people.push_back(std::move(p));
+    return world.people.back();
+  };
+  auto fresh_name = [&](std::string* first, std::string* last) {
+    do {
+      *first = rng.Bernoulli(0.12)
+                   ? rng.Choice(std::vector<std::string>(
+                         std::begin(kCompoundFirstNames),
+                         std::end(kCompoundFirstNames)))
+                   : rng.Choice(std::vector<std::string>(
+                         std::begin(kFirstNames), std::end(kFirstNames)));
+      *last = rng.Choice(std::vector<std::string>(std::begin(kLastNames),
+                                                  std::end(kLastNames)));
+    } while (!used_names.insert(*first + " " + *last).second);
+  };
+
+  for (size_t i = 0; i < regular; ++i) {
+    std::string first, last;
+    fresh_name(&first, &last);
+    std::string middle =
+        rng.Bernoulli(0.9) ? std::string(1, 'A' + char(rng.Uniform(26))) : "";
+    add_person(first, middle, last);
+  }
+  std::vector<EntityId> confusable_people;
+  for (size_t i = 0; i < confusables / 2; ++i) {
+    // A pair sharing a last name whose first names are 2-3 edits apart.
+    std::string first, last;
+    fresh_name(&first, &last);
+    confusable_people.push_back(add_person(first, "", last).id);
+    int edits = rng.Bernoulli(0.25) ? 2 : 3;
+    std::string sibling_first = MutateLetters(first, edits, &rng);
+    used_names.insert(sibling_first + " " + last);
+    confusable_people.push_back(add_person(sibling_first, "", last).id);
+  }
+
+  // --- Venues ---------------------------------------------------------------
+  size_t venue_count =
+      std::min(config.num_venues, std::size(kVenueSeeds));
+  for (size_t i = 0; i < venue_count; ++i) {
+    VenueEntity v;
+    v.id = kVenueBase + i;
+    v.short_name = kVenueSeeds[i].short_name;
+    v.full_name = kVenueSeeds[i].full_name;
+    v.category = kVenueSeeds[i].category;
+    world.venues.push_back(std::move(v));
+  }
+
+  // Confusable pairs share a "home venue": people who get mixed up in
+  // practice publish in the same community, which is what makes an
+  // over-generous epsilon cost precision (Fig. 15's tradeoff).
+  std::map<EntityId, EntityId> home_venue;
+  for (size_t i = 0; i + 1 < confusable_people.size(); i += 2) {
+    EntityId venue = world.venues[rng.Uniform(world.venues.size())].id;
+    home_venue[confusable_people[i]] = venue;
+    home_venue[confusable_people[i + 1]] = venue;
+  }
+
+  // --- Papers ---------------------------------------------------------------
+  for (size_t i = 0; i < config.num_papers; ++i) {
+    PaperEntity p;
+    p.id = kPaperBase + i;
+    p.title = std::string(kTitleAdjectives[rng.Uniform(
+                  std::size(kTitleAdjectives))]) +
+              " " + kTitleNouns[rng.Uniform(std::size(kTitleNouns))] +
+              " for " + kTitleTopics[rng.Uniform(std::size(kTitleTopics))];
+    size_t n_authors = rng.Bernoulli(config.multi_author_prob)
+                           ? 2 + rng.Uniform(2)
+                           : 1;
+    std::set<EntityId> chosen;
+    while (chosen.size() < n_authors) {
+      chosen.insert(world.people[rng.Uniform(world.people.size())].id);
+    }
+    p.authors.assign(chosen.begin(), chosen.end());
+    p.venue = world.venues[rng.Uniform(world.venues.size())].id;
+    for (EntityId author : p.authors) {
+      auto it = home_venue.find(author);
+      if (it != home_venue.end() && rng.Bernoulli(0.6)) {
+        p.venue = it->second;
+        break;
+      }
+    }
+    p.year = static_cast<int>(
+        rng.UniformRange(config.year_min, config.year_max));
+    int start = static_cast<int>(rng.UniformRange(1, 600));
+    p.pages = std::to_string(start) + "-" +
+              std::to_string(start + static_cast<int>(rng.UniformRange(8, 24)));
+    world.papers.push_back(std::move(p));
+  }
+  return world;
+}
+
+namespace {
+
+/// Emits one surface form of the person's name (see header).
+std::string MentionName(const PersonEntity& p, Random* rng,
+                        const BibConfig& cfg) {
+  // Each surface form owns a fixed probability slot; when a form does not
+  // apply to this person (no middle initial / no compound first name) its
+  // slot degrades to the canonical form rather than sliding into the next
+  // slot, so the initials rate stays at cfg.initials_prob for everyone.
+  double roll = rng->NextDouble();
+  double acc = cfg.typo_prob;
+  if (roll < acc) {
+    // One-letter typo in the last name: edit distance 1 from canonical.
+    return p.first + " " + MutateLetters(p.last, 1, rng);
+  }
+  acc += cfg.middle_initial_prob;
+  if (roll < acc) {
+    if (p.middle.empty()) return p.CanonicalName();
+    // "Jeffrey D. Ullman": distance 3 from canonical "Jeffrey Ullman".
+    return p.first + " " + p.middle + ". " + p.last;
+  }
+  acc += cfg.spacing_prob;
+  if (roll < acc) {
+    if (!Contains(p.first, " ")) return p.CanonicalName();
+    // "GianLuigi Ferrari": distance 1 from "Gian Luigi Ferrari".
+    std::string merged;
+    for (char c : p.first) {
+      if (c != ' ') merged += c;
+    }
+    return merged + " " + p.last;
+  }
+  acc += cfg.initials_prob;
+  if (roll < acc) {
+    // "J. Ullman": far from the canonical form under edit distance.
+    std::string out;
+    out += p.first[0];
+    out += ". ";
+    if (!p.middle.empty()) {
+      out += p.middle + ". ";
+    }
+    out += p.last;
+    return out;
+  }
+  return p.CanonicalName();
+}
+
+std::string VenueMention(const VenueEntity& v, Random* rng,
+                         const BibConfig& cfg) {
+  return rng->Bernoulli(cfg.full_venue_prob) ? v.full_name : v.short_name;
+}
+
+/// Small title perturbation (punctuation / case), edit distance <= 2; used
+/// for the SIGMOD copies so title-similarity joins have work to do.
+std::string PerturbTitle(const std::string& title, Random* rng) {
+  double roll = rng->NextDouble();
+  if (roll < 0.3) return title;
+  if (roll < 0.6) return title + ".";
+  std::string out = title;
+  // Lowercase one connective-ish word start.
+  size_t pos = out.find(" for ");
+  if (pos != std::string::npos && roll < 0.8) {
+    out.replace(pos, 5, " For ");
+    return out;
+  }
+  return MutateLetters(out, 1, rng);
+}
+
+}  // namespace
+
+std::vector<NamedDoc> EmitDblp(const BibWorld& world, size_t first,
+                               size_t count, const BibConfig& config) {
+  Random rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<NamedDoc> out;
+  size_t end = std::min(first + count, world.papers.size());
+  for (size_t i = first; i < end; ++i) {
+    const PaperEntity& paper = world.papers[i];
+    const VenueEntity& venue = world.VenueById(paper.venue);
+    xml::XmlDocument doc;
+    xml::NodeId root = doc.CreateRoot("inproceedings");
+    doc.SetAttribute(root, "gtid", std::to_string(paper.id));
+    for (EntityId pid : paper.authors) {
+      const PersonEntity& person = world.PersonById(pid);
+      xml::NodeId a =
+          doc.AppendTextElement(root, "author", MentionName(person, &rng,
+                                                            config));
+      doc.SetAttribute(a, "gtid", std::to_string(person.id));
+    }
+    doc.AppendTextElement(root, "title", paper.title);
+    xml::NodeId bt = doc.AppendTextElement(
+        root, "booktitle", VenueMention(venue, &rng, config));
+    doc.SetAttribute(bt, "gtid", std::to_string(venue.id));
+    doc.AppendTextElement(root, "year", std::to_string(paper.year));
+    doc.AppendTextElement(root, "pages", paper.pages);
+    out.push_back({"dblp-" + std::to_string(paper.id), std::move(doc)});
+  }
+  return out;
+}
+
+std::vector<NamedDoc> EmitSigmod(const BibWorld& world, size_t first,
+                                 size_t count, const BibConfig& config,
+                                 size_t page_size) {
+  Random rng(config.seed ^ 0x2545f4914f6cdd1dULL);
+  // Group papers by (venue, year) the way proceedings pages are organized.
+  std::map<std::pair<EntityId, int>, std::vector<const PaperEntity*>> groups;
+  size_t end = std::min(first + count, world.papers.size());
+  for (size_t i = first; i < end; ++i) {
+    const PaperEntity& p = world.papers[i];
+    groups[{p.venue, p.year}].push_back(&p);
+  }
+  std::vector<NamedDoc> out;
+  size_t page_no = 0;
+  for (const auto& [key, papers] : groups) {
+    const VenueEntity& venue = world.VenueById(key.first);
+    for (size_t chunk = 0; chunk < papers.size(); chunk += page_size) {
+      xml::XmlDocument doc;
+      xml::NodeId root = doc.CreateRoot("proceedingsPage");
+      xml::NodeId conf =
+          doc.AppendTextElement(root, "conference", venue.full_name);
+      doc.SetAttribute(conf, "gtid", std::to_string(venue.id));
+      doc.AppendTextElement(root, "confYear", std::to_string(key.second));
+      xml::NodeId articles = doc.AppendElement(root, "articles");
+      for (size_t j = chunk; j < std::min(chunk + page_size, papers.size());
+           ++j) {
+        const PaperEntity& paper = *papers[j];
+        xml::NodeId article = doc.AppendElement(articles, "article");
+        doc.SetAttribute(article, "gtid", std::to_string(paper.id));
+        doc.AppendTextElement(article, "title",
+                              PerturbTitle(paper.title, &rng));
+        xml::NodeId authors = doc.AppendElement(article, "authors");
+        for (EntityId pid : paper.authors) {
+          const PersonEntity& person = world.PersonById(pid);
+          xml::NodeId a = doc.AppendTextElement(
+              authors, "author", MentionName(person, &rng, config));
+          doc.SetAttribute(a, "gtid", std::to_string(person.id));
+        }
+        // initPage/endPage from the stored "330-341" range.
+        auto dash = paper.pages.find('-');
+        if (dash != std::string::npos) {
+          doc.AppendTextElement(article, "initPage",
+                                paper.pages.substr(0, dash));
+          doc.AppendTextElement(article, "endPage",
+                                paper.pages.substr(dash + 1));
+        }
+      }
+      out.push_back(
+          {"sigmod-page-" + std::to_string(page_no++), std::move(doc)});
+    }
+  }
+  return out;
+}
+
+Status LoadIntoCollection(store::Database* db, const std::string& collection,
+                          std::vector<NamedDoc> docs) {
+  TOSS_ASSIGN_OR_RETURN(store::Collection * coll,
+                        db->CreateCollection(collection));
+  for (auto& [key, doc] : docs) {
+    TOSS_ASSIGN_OR_RETURN(store::DocId id,
+                          coll->Insert(std::move(key), std::move(doc)));
+    (void)id;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DblpContentTags() {
+  return {"author", "booktitle"};
+}
+
+std::vector<std::string> SigmodContentTags() {
+  return {"author", "conference"};
+}
+
+void InflateOntology(ontology::Ontology* onto, size_t extra_terms,
+                     uint64_t seed) {
+  Random rng(seed);
+  ontology::Hierarchy& isa = onto->isa();
+  std::vector<ontology::HNodeId> pads;
+  for (size_t i = 0; i < extra_terms; ++i) {
+    // Random 12-letter terms: far from real data under any edit measure,
+    // so padding never changes query results.
+    std::string term = "pad-" + rng.AlphaString(12);
+    pads.push_back(isa.AddNode({term}));
+    if (i > 0) {
+      // Chain into a balanced-ish forest.
+      (void)isa.AddEdge(pads[i], pads[rng.Uniform(i)]);
+    }
+  }
+}
+
+}  // namespace toss::data

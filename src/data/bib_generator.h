@@ -1,0 +1,104 @@
+// Synthetic DBLP / SIGMOD proceedings generator.
+//
+// Structure matches the paper's Figures 1 and 2:
+//
+//   DBLP document (one per paper):
+//     <inproceedings gtid="...">
+//       <author gtid="...">J. D. Ullman</author>+
+//       <title>...</title>
+//       <booktitle gtid="...">SIGMOD Conference</booktitle>
+//       <year>1999</year>  <pages>330-341</pages>
+//     </inproceedings>
+//
+//   SIGMOD proceedings page (several articles per document):
+//     <proceedingsPage>
+//       <conference gtid="...">ACM SIGMOD International ...</conference>
+//       <confYear>1999</confYear>
+//       <articles>
+//         <article gtid="...">
+//           <title>...</title>
+//           <authors><author gtid="...">J. Ullman</author>+</authors>
+//           <initPage>330</initPage><endPage>341</endPage>
+//         </article>+
+//       </articles>
+//     </proceedingsPage>
+//
+// Name-variant model (drives the paper's recall experiments): each author
+// mention is emitted in one of several surface forms of the canonical name
+// -- canonical, one-letter typo, middle-initial form, spacing-merged given
+// names, or initials-only -- with configured probabilities. The pool also
+// contains *confusable* person pairs (edit distance 2-3 apart) so that a
+// too-generous epsilon merges distinct people and costs precision, exactly
+// the precision/recall tradeoff of Fig. 15. Venue mentions flip between
+// short and full names.
+
+#ifndef TOSS_DATA_BIB_GENERATOR_H_
+#define TOSS_DATA_BIB_GENERATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/entities.h"
+#include "ontology/ontology.h"
+#include "store/database.h"
+#include "xml/xml_document.h"
+
+namespace toss::data {
+
+struct BibConfig {
+  uint64_t seed = 42;
+  size_t num_people = 60;
+  size_t num_venues = 6;
+  size_t num_papers = 100;
+  int year_min = 1995;
+  int year_max = 2003;
+  double multi_author_prob = 0.6;  ///< paper has 2-3 authors
+  /// Author-mention surface form probabilities (remainder = canonical).
+  double typo_prob = 0.15;            ///< one-letter edit, distance 1
+  double middle_initial_prob = 0.35;  ///< "Jeffrey D. Ullman" form, d=3
+  double spacing_prob = 0.10;         ///< "GianLuigi" merged form, d=1
+  double initials_prob = 0.15;        ///< "J. Ullman" form, usually d>3
+  /// Probability a DBLP booktitle uses the venue's full name instead of the
+  /// short one (SIGMOD pages always use the full name).
+  double full_venue_prob = 0.35;
+  /// Fraction of the person pool generated as confusable pairs.
+  double confusable_fraction = 0.2;
+};
+
+/// Generates the entity pools.
+BibWorld GenerateWorld(const BibConfig& config);
+
+/// One emitted document: (document key, XML).
+using NamedDoc = std::pair<std::string, xml::XmlDocument>;
+
+/// Emits DBLP-style documents for papers [first, first+count) of the world.
+std::vector<NamedDoc> EmitDblp(const BibWorld& world, size_t first,
+                               size_t count, const BibConfig& config);
+
+/// Emits SIGMOD-style proceedings pages covering the same paper range,
+/// grouped by (venue, year), `page_size` articles per page.
+std::vector<NamedDoc> EmitSigmod(const BibWorld& world, size_t first,
+                                 size_t count, const BibConfig& config,
+                                 size_t page_size = 8);
+
+/// Inserts documents into a (new) collection of `db`.
+Status LoadIntoCollection(store::Database* db, const std::string& collection,
+                          std::vector<NamedDoc> docs);
+
+/// Ontology-maker options appropriate for each dataset (which tags' content
+/// strings become ontology terms).
+std::vector<std::string> DblpContentTags();
+std::vector<std::string> SigmodContentTags();
+
+/// Pads `onto`'s hierarchies with `extra_terms` synthetic chained terms;
+/// used to sweep the "ontology size" axis of Fig. 16(a) without changing
+/// query answers (padding terms never occur in data or queries).
+void InflateOntology(ontology::Ontology* onto, size_t extra_terms,
+                     uint64_t seed);
+
+}  // namespace toss::data
+
+#endif  // TOSS_DATA_BIB_GENERATOR_H_

@@ -1,0 +1,86 @@
+#include "data/bulk_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace toss::data {
+
+Result<BulkLoadStats> BulkLoadXml(store::Database* db,
+                                  const std::string& collection,
+                                  std::string_view text,
+                                  const std::string& key_prefix) {
+  TOSS_ASSIGN_OR_RETURN(xml::XmlDocument dump, xml::Parse(text));
+  TOSS_ASSIGN_OR_RETURN(store::Collection * coll,
+                        db->CreateCollection(collection));
+  BulkLoadStats stats;
+  stats.root_tag = dump.node(dump.root()).tag;
+  size_t ordinal = 0;
+  for (xml::NodeId child : dump.node(dump.root()).children) {
+    if (dump.node(child).kind != xml::NodeKind::kElement) {
+      ++stats.skipped;
+      continue;
+    }
+    xml::XmlDocument doc;
+    doc.CopySubtree(dump, child, xml::kInvalidNode);
+    // Prefer the record's own key attribute (DBLP) or gtid (generator).
+    std::string key{dump.Attribute(child, "key")};
+    if (key.empty()) {
+      std::string_view gtid = dump.Attribute(child, "gtid");
+      if (!gtid.empty()) {
+        key = key_prefix + "-" + std::string(gtid);
+      }
+    }
+    if (key.empty()) {
+      key = key_prefix + "-" + std::to_string(ordinal);
+    }
+    // Key collisions in dirty dumps get a disambiguating ordinal.
+    auto inserted = coll->Insert(key, std::move(doc));
+    if (!inserted.ok() && inserted.status().IsAlreadyExists()) {
+      xml::XmlDocument retry;
+      retry.CopySubtree(dump, child, xml::kInvalidNode);
+      inserted = coll->Insert(key + "#" + std::to_string(ordinal),
+                              std::move(retry));
+    }
+    TOSS_RETURN_NOT_OK(inserted.status());
+    ++stats.records;
+    ++ordinal;
+  }
+  return stats;
+}
+
+Result<BulkLoadStats> BulkLoadFile(store::Database* db,
+                                   const std::string& collection,
+                                   const std::string& path,
+                                   const std::string& key_prefix) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return BulkLoadXml(db, collection, ss.str(), key_prefix);
+}
+
+std::string FormatAsDump(const std::vector<NamedDoc>& docs,
+                         const std::string& root_tag) {
+  std::string out = "<?xml version=\"1.0\"?>\n<" + root_tag + ">\n";
+  for (const auto& [key, doc] : docs) {
+    out += xml::Write(doc);
+    out += "\n";
+  }
+  out += "</" + root_tag + ">\n";
+  return out;
+}
+
+Status WriteDumpFile(const std::vector<NamedDoc>& docs,
+                     const std::string& path, const std::string& root_tag) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << FormatAsDump(docs, root_tag);
+  out.close();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace toss::data

@@ -1,0 +1,53 @@
+// Bulk ingestion of DBLP-style XML dumps: one large file whose root wraps
+// many record elements, split into one store document per record -- how a
+// real DBLP snapshot (a single ~100 MB <dblp> file) gets into the store.
+//
+// Also provides the reverse: dumping a generated dataset as a single
+// DBLP-style file, so the generator <-> loader path round-trips and the
+// loader can be exercised at realistic shapes.
+
+#ifndef TOSS_DATA_BULK_LOADER_H_
+#define TOSS_DATA_BULK_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/bib_generator.h"
+#include "store/database.h"
+
+namespace toss::data {
+
+struct BulkLoadStats {
+  size_t records = 0;         ///< documents inserted
+  size_t skipped = 0;         ///< non-element root children skipped
+  std::string root_tag;       ///< tag of the wrapping element
+};
+
+/// Splits the children of `text`'s root element into separate documents of
+/// a NEW collection `collection`. Document keys are `<prefix>-<ordinal>`,
+/// or the child's `key`/`gtid` attribute when present (DBLP records carry
+/// `key="conf/sigmod/..."`).
+Result<BulkLoadStats> BulkLoadXml(store::Database* db,
+                                  const std::string& collection,
+                                  std::string_view text,
+                                  const std::string& key_prefix = "rec");
+
+/// File variant of BulkLoadXml.
+Result<BulkLoadStats> BulkLoadFile(store::Database* db,
+                                   const std::string& collection,
+                                   const std::string& path,
+                                   const std::string& key_prefix = "rec");
+
+/// Serializes `docs` as one DBLP-style dump wrapped in `<root_tag>`.
+std::string FormatAsDump(const std::vector<NamedDoc>& docs,
+                         const std::string& root_tag = "dblp");
+
+/// Writes FormatAsDump output to `path`.
+Status WriteDumpFile(const std::vector<NamedDoc>& docs,
+                     const std::string& path,
+                     const std::string& root_tag = "dblp");
+
+}  // namespace toss::data
+
+#endif  // TOSS_DATA_BULK_LOADER_H_

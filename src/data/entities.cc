@@ -1,0 +1,37 @@
+#include "data/entities.h"
+
+#include <cassert>
+
+namespace toss::data {
+
+std::string PersonEntity::CanonicalName() const {
+  // The canonical surface form omits the middle initial; mentions that
+  // include it ("Jeffrey D. Ullman") are *variants* at edit distance 3 --
+  // the distance ladder the epsilon=2 vs epsilon=3 experiments probe.
+  return first + " " + last;
+}
+
+namespace {
+
+template <typename T>
+const T& ById(const std::vector<T>& pool, EntityId id) {
+  for (const T& e : pool) {
+    if (e.id == id) return e;
+  }
+  assert(false && "unknown entity id");
+  return pool.front();
+}
+
+}  // namespace
+
+const PersonEntity& BibWorld::PersonById(EntityId id) const {
+  return ById(people, id);
+}
+const VenueEntity& BibWorld::VenueById(EntityId id) const {
+  return ById(venues, id);
+}
+const PaperEntity& BibWorld::PaperById(EntityId id) const {
+  return ById(papers, id);
+}
+
+}  // namespace toss::data

@@ -1,0 +1,59 @@
+// Entity model behind the synthetic bibliographic data (the repository's
+// substitute for the DBLP [6] and SIGMOD [13] XML dumps; see DESIGN.md).
+//
+// Every generated person, venue, and paper has a canonical identity; the
+// XML emitters attach these ids as `gtid` attributes, which DataTree
+// preserves as node provenance. Query results can therefore be audited
+// against exact ground truth instead of the paper's manual checking.
+
+#ifndef TOSS_DATA_ENTITIES_H_
+#define TOSS_DATA_ENTITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toss::data {
+
+using EntityId = uint64_t;
+
+struct PersonEntity {
+  EntityId id = 0;
+  std::string first;
+  std::string middle;  ///< single initial letter, or empty
+  std::string last;
+
+  /// "First Last" (the middle initial appears only in mention variants).
+  std::string CanonicalName() const;
+};
+
+struct VenueEntity {
+  EntityId id = 0;
+  std::string short_name;  ///< e.g. "SIGMOD Conference" (DBLP style)
+  std::string full_name;   ///< e.g. "ACM SIGMOD International Conference..."
+  std::string category;    ///< e.g. "database conference" (lexicon term)
+};
+
+struct PaperEntity {
+  EntityId id = 0;
+  std::string title;
+  std::vector<EntityId> authors;  ///< indexes into BibWorld::people by id
+  EntityId venue = 0;
+  int year = 0;
+  std::string pages;
+};
+
+/// The generated universe: entity pools shared by all emitted datasets.
+struct BibWorld {
+  std::vector<PersonEntity> people;
+  std::vector<VenueEntity> venues;
+  std::vector<PaperEntity> papers;
+
+  const PersonEntity& PersonById(EntityId id) const;
+  const VenueEntity& VenueById(EntityId id) const;
+  const PaperEntity& PaperById(EntityId id) const;
+};
+
+}  // namespace toss::data
+
+#endif  // TOSS_DATA_ENTITIES_H_

@@ -1,0 +1,137 @@
+#include "data/workload.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "tax/condition_parser.h"
+
+namespace toss::data {
+
+namespace {
+
+/// The paper's selection-query shape: inproceedings with an author child
+/// and a booktitle child. 3 tag conditions + 1 similarTo + 1 isa.
+Result<tax::PatternTree> BuildSelectionPattern(
+    const std::string& person_literal, const std::string& venue_literal) {
+  tax::PatternTree pt;
+  int root = pt.AddRoot();
+  pt.AddChild(root, tax::EdgeKind::kPc);  // $2 author
+  pt.AddChild(root, tax::EdgeKind::kPc);  // $3 booktitle
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  TOSS_ASSIGN_OR_RETURN(
+      tax::Condition cond,
+      tax::ParseCondition(
+          "$1.tag = \"inproceedings\" & $2.tag = \"author\" & "
+          "$3.tag = \"booktitle\" & $2.content ~ \"" +
+          escape(person_literal) + "\" & $3.content isa \"" +
+          escape(venue_literal) + "\""));
+  pt.SetCondition(std::move(cond));
+  return pt;
+}
+
+}  // namespace
+
+Result<std::vector<SelectionQuery>> MakeSelectionWorkload(
+    const BibWorld& world, size_t paper_first, size_t paper_count,
+    size_t num_queries, uint64_t seed) {
+  size_t end = std::min(paper_first + paper_count, world.papers.size());
+  if (paper_first >= end) {
+    return Status::InvalidArgument("workload: empty paper range");
+  }
+  Random rng(seed);
+  std::vector<SelectionQuery> out;
+  size_t attempts = 0;
+  // Prefer intents with >= 3 correct answers (the paper's result sets
+  // contain 1-38 papers; tiny sets make per-query recall all-or-nothing);
+  // fall back to any non-empty intent when the range is too sparse.
+  const size_t strict_attempts = num_queries * 120;
+  while (out.size() < num_queries && attempts < num_queries * 200) {
+    ++attempts;
+    // Anchor on a real paper so the query has at least one correct answer.
+    const PaperEntity& anchor =
+        world.papers[paper_first + rng.Uniform(end - paper_first)];
+    EntityId person = anchor.authors[rng.Uniform(anchor.authors.size())];
+    const VenueEntity& venue = world.VenueById(anchor.venue);
+    bool category_query = (out.size() % 3 == 2);
+
+    SelectionQuery q;
+    q.person = person;
+    q.person_literal = world.PersonById(person).CanonicalName();
+    q.venue_literal = category_query ? venue.category : venue.short_name;
+    q.category_query = category_query;
+    q.name = "q" + std::to_string(out.size() + 1) + "[" + q.person_literal +
+             " @ " + q.venue_literal + "]";
+    q.sl = {1};
+    TOSS_ASSIGN_OR_RETURN(
+        q.pattern, BuildSelectionPattern(q.person_literal, q.venue_literal));
+
+    for (size_t i = paper_first; i < end; ++i) {
+      const PaperEntity& p = world.papers[i];
+      if (std::find(p.authors.begin(), p.authors.end(), person) ==
+          p.authors.end()) {
+        continue;
+      }
+      const VenueEntity& pv = world.VenueById(p.venue);
+      bool venue_ok = category_query ? (pv.category == venue.category)
+                                     : (p.venue == venue.id);
+      if (venue_ok) q.correct.insert(p.id);
+    }
+    if (q.correct.empty()) continue;
+    if (attempts < strict_attempts && q.correct.size() < 3) continue;
+    // Avoid duplicate (person, venue) intents.
+    bool dup = false;
+    for (const auto& existing : out) {
+      if (existing.person == q.person &&
+          existing.venue_literal == q.venue_literal) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(q));
+  }
+  if (out.size() < num_queries) {
+    return Status::Internal("workload: could not build enough queries");
+  }
+  return out;
+}
+
+tax::PatternTree MakeScalabilitySelectionPattern(
+    const std::string& venue_literal, const std::string& category_literal) {
+  tax::PatternTree pt;
+  int root = pt.AddRoot();          // $1 inproceedings
+  pt.AddChild(root, tax::EdgeKind::kPc);  // $2 booktitle
+  pt.AddChild(root, tax::EdgeKind::kPc);  // $3 year
+  pt.AddChild(root, tax::EdgeKind::kPc);  // $4 author
+  auto cond = tax::ParseCondition(
+      "$1.tag = \"inproceedings\" & $2.tag = \"booktitle\" & "
+      "$3.tag = \"year\" & $4.tag = \"author\" & "
+      "$2.content isa \"" + venue_literal + "\" & "
+      "$2.content isa \"" + category_literal + "\"");
+  pt.SetCondition(std::move(cond).value());
+  return pt;
+}
+
+tax::PatternTree MakeTitleJoinPattern() {
+  tax::PatternTree pt;
+  int root = pt.AddRoot();                          // $1 tax_prod_root
+  int left = pt.AddChild(root, tax::EdgeKind::kPc);    // $2 inproceedings
+  pt.AddChild(left, tax::EdgeKind::kPc);               // $3 title (dblp)
+  int article = pt.AddChild(root, tax::EdgeKind::kAd); // $4 article (sigmod)
+  pt.AddChild(article, tax::EdgeKind::kPc);            // $5 title (sigmod)
+  // Exactly the paper's join-query shape: 5 tag conditions + 1 similarTo.
+  auto cond = tax::ParseCondition(
+      "$1.tag = \"tax_prod_root\" & $2.tag = \"inproceedings\" & "
+      "$3.tag = \"title\" & $4.tag = \"article\" & $5.tag = \"title\" & "
+      "$3.content ~ $5.content");
+  pt.SetCondition(std::move(cond).value());
+  return pt;
+}
+
+}  // namespace toss::data

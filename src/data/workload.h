@@ -1,0 +1,54 @@
+// Query workload for the Fig. 15 experiments: selection queries in the
+// paper's mix -- each with 1 isa condition, 1 similarTo condition, and 3
+// tag-matching conditions -- plus exact entity-level ground truth.
+//
+// Query intent: "papers at <venue> by <person>". The similarTo condition
+// targets one person's canonical name (whose mentions appear in many
+// surface forms); the isa condition targets the venue's short name (whose
+// mentions alternate between short and full forms) or, for a slice of the
+// workload, a whole venue *category* ("database conference").
+
+#ifndef TOSS_DATA_WORKLOAD_H_
+#define TOSS_DATA_WORKLOAD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/entities.h"
+#include "tax/pattern_tree.h"
+
+namespace toss::data {
+
+struct SelectionQuery {
+  std::string name;
+  tax::PatternTree pattern;  ///< $1 inproceedings, $2 author, $3 booktitle
+  std::vector<int> sl;       ///< selection list (the paper node, {1})
+  EntityId person = 0;       ///< intended author
+  std::string person_literal;   ///< the ~ literal used
+  std::string venue_literal;    ///< the isa literal used
+  bool category_query = false;  ///< isa targets a category, not a venue
+  std::set<EntityId> correct;   ///< ground-truth paper ids
+};
+
+/// Builds `num_queries` selection queries over papers
+/// [paper_first, paper_first + paper_count) of `world`. Every third query
+/// is a category query. Each query is guaranteed at least one correct
+/// answer. InvalidArgument when the range has no papers.
+Result<std::vector<SelectionQuery>> MakeSelectionWorkload(
+    const BibWorld& world, size_t paper_first, size_t paper_count,
+    size_t num_queries, uint64_t seed);
+
+/// The conjunctive selection pattern of Fig. 16(a)'s scalability queries
+/// (2 isa + 4 tag conditions), parameterized by venue/category literals.
+tax::PatternTree MakeScalabilitySelectionPattern(
+    const std::string& venue_literal, const std::string& category_literal);
+
+/// The join pattern of Fig. 16(b) (5 tag + 1 similarTo): DBLP inproceedings
+/// joined with SIGMOD articles on similar titles (paper Example 13).
+tax::PatternTree MakeTitleJoinPattern();
+
+}  // namespace toss::data
+
+#endif  // TOSS_DATA_WORKLOAD_H_

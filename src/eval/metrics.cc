@@ -1,0 +1,47 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace toss::eval {
+
+PrMetrics ComputePr(const std::set<uint64_t>& returned,
+                    const std::set<uint64_t>& correct) {
+  PrMetrics m;
+  m.returned = returned.size();
+  m.correct = correct.size();
+  for (uint64_t id : returned) m.hits += correct.count(id);
+  m.precision = returned.empty()
+                    ? 1.0
+                    : static_cast<double>(m.hits) /
+                          static_cast<double>(returned.size());
+  m.recall = correct.empty() ? 1.0
+                             : static_cast<double>(m.hits) /
+                                   static_cast<double>(correct.size());
+  m.quality = std::sqrt(m.precision * m.recall);
+  return m;
+}
+
+std::set<uint64_t> ExtractProvenance(const tax::TreeCollection& trees,
+                                     const std::string& tag) {
+  std::set<uint64_t> out;
+  for (const auto& tree : trees) {
+    for (tax::NodeId v = 0; v < tree.size(); ++v) {
+      const auto& n = tree.node(v);
+      if (n.tag == tag && n.provenance != 0) out.insert(n.provenance);
+    }
+  }
+  return out;
+}
+
+std::set<uint64_t> ExtractRootProvenance(const tax::TreeCollection& trees) {
+  std::set<uint64_t> out;
+  for (const auto& tree : trees) {
+    if (!tree.empty() && tree.node(tree.root()).provenance != 0) {
+      out.insert(tree.node(tree.root()).provenance);
+    }
+  }
+  return out;
+}
+
+}  // namespace toss::eval

@@ -1,0 +1,44 @@
+// Answer-quality metrics (paper Section 1 footnotes and Section 6):
+//   precision = |returned AND correct| / |returned|
+//   recall    = |returned AND correct| / |correct|
+//   quality   = sqrt(precision * recall)              [14]
+//
+// Results are audited mechanically: generated entities carry `gtid`
+// provenance that survives into witness trees (see data/entities.h), so
+// "returned" is the provenance set of the answer trees.
+
+#ifndef TOSS_EVAL_METRICS_H_
+#define TOSS_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "tax/data_tree.h"
+
+namespace toss::eval {
+
+struct PrMetrics {
+  double precision = 1.0;  ///< 1.0 when nothing was returned (paper conv.)
+  double recall = 0.0;
+  double quality = 0.0;    ///< sqrt(precision * recall)
+  size_t returned = 0;
+  size_t correct = 0;
+  size_t hits = 0;
+};
+
+/// Computes the metrics of `returned` against ground truth `correct`.
+PrMetrics ComputePr(const std::set<uint64_t>& returned,
+                    const std::set<uint64_t>& correct);
+
+/// Collects the provenance ids of all nodes tagged `tag` across the
+/// collection (0/untracked skipped).
+std::set<uint64_t> ExtractProvenance(const tax::TreeCollection& trees,
+                                     const std::string& tag);
+
+/// Provenance of every tree's root node.
+std::set<uint64_t> ExtractRootProvenance(const tax::TreeCollection& trees);
+
+}  // namespace toss::eval
+
+#endif  // TOSS_EVAL_METRICS_H_

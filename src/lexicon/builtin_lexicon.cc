@@ -1,0 +1,157 @@
+// The bundled lexical KB standing in for WordNet (see lexicon.h).
+//
+// Coverage is scoped to what the paper's Ontology Maker needs over
+// bibliographic data: document taxonomy, venue taxonomy, bibliographic
+// record structure (part-of), research-field taxonomy, and the organisation
+// taxonomy behind the introduction's "authors from the US government" and
+// "web search company" examples.
+
+#include "lexicon/lexicon.h"
+
+namespace toss::lexicon {
+
+namespace {
+
+Lexicon BuildBibliographicLexicon() {
+  Lexicon lex;
+
+  // --- Synonym synsets -----------------------------------------------------
+  lex.AddSynset({"paper", "article", "publication item"});
+  lex.AddSynset({"conference", "meeting", "symposium"});
+  lex.AddSynset({"booktitle", "conference name", "venue name"});
+  lex.AddSynset({"author", "writer"});
+  lex.AddSynset({"journal", "periodical"});
+  lex.AddSynset({"proceedings", "conference record"});
+  lex.AddSynset({"year", "publication year"});
+  lex.AddSynset({"affiliation", "institution"});
+
+  // --- Document taxonomy (isa) ----------------------------------------------
+  lex.AddIsaTerms("inproceedings", "paper");
+  lex.AddIsaTerms("article", "paper");
+  lex.AddIsaTerms("incollection", "paper");
+  lex.AddIsaTerms("paper", "publication");
+  lex.AddIsaTerms("book", "publication");
+  lex.AddIsaTerms("phdthesis", "thesis");
+  lex.AddIsaTerms("mastersthesis", "thesis");
+  lex.AddIsaTerms("thesis", "publication");
+  lex.AddIsaTerms("techreport", "publication");
+  lex.AddIsaTerms("publication", "document");
+  lex.AddIsaTerms("document", "artifact");
+
+  // --- Venue taxonomy (isa) --------------------------------------------------
+  // Short and full conference names are synonyms: one synset each, so the
+  // Ontology Maker folds both surface forms into a single hierarchy node.
+  lex.AddSynset({"sigmod conference",
+                 "acm sigmod international conference on management of data"});
+  lex.AddSynset({"vldb",
+                 "international conference on very large data bases"});
+  lex.AddSynset({"icde",
+                 "ieee international conference on data engineering"});
+  lex.AddSynset({"pods", "acm symposium on principles of database systems"});
+  lex.AddSynset({"sigir",
+                 "international acm sigir conference on research and "
+                 "development in information retrieval"});
+  lex.AddSynset({"kdd",
+                 "acm sigkdd international conference on knowledge discovery "
+                 "and data mining"});
+  lex.AddIsaTerms("sigmod conference", "database conference");
+  lex.AddIsaTerms("vldb", "database conference");
+  lex.AddIsaTerms("icde", "database conference");
+  lex.AddIsaTerms("pods", "database conference");
+  lex.AddIsaTerms("edbt", "database conference");
+  lex.AddIsaTerms("cikm", "information management conference");
+  lex.AddIsaTerms("sigir", "information retrieval conference");
+  lex.AddIsaTerms("www", "web conference");
+  lex.AddIsaTerms("kdd", "data mining conference");
+  lex.AddIsaTerms("database conference", "computer science conference");
+  lex.AddIsaTerms("information management conference",
+                  "computer science conference");
+  lex.AddIsaTerms("information retrieval conference",
+                  "computer science conference");
+  lex.AddIsaTerms("web conference", "computer science conference");
+  lex.AddIsaTerms("data mining conference", "computer science conference");
+  lex.AddIsaTerms("computer science conference", "conference");
+  lex.AddIsaTerms("conference", "event");
+  lex.AddIsaTerms("workshop", "event");
+  lex.AddIsaTerms("tods", "database journal");
+  lex.AddIsaTerms("vldb journal", "database journal");
+  lex.AddIsaTerms("database journal", "computer science journal");
+  lex.AddIsaTerms("computer science journal", "journal");
+  lex.AddIsaTerms("journal", "publication venue");
+  lex.AddIsaTerms("conference", "publication venue");
+
+  // --- Bibliographic record structure (part-of) -----------------------------
+  lex.AddPartOfTerms("author", "paper");
+  lex.AddPartOfTerms("title", "paper");
+  lex.AddPartOfTerms("year", "paper");
+  lex.AddPartOfTerms("pages", "paper");
+  lex.AddPartOfTerms("booktitle", "paper");
+  lex.AddPartOfTerms("conference", "proceedings");
+  lex.AddPartOfTerms("volume", "proceedings");
+  lex.AddPartOfTerms("number", "proceedings");
+  lex.AddPartOfTerms("month", "proceedings");
+  lex.AddPartOfTerms("location", "proceedings");
+  lex.AddPartOfTerms("paper", "proceedings");
+  lex.AddPartOfTerms("proceedings", "bibliography");
+  lex.AddPartOfTerms("abstract", "paper");
+  lex.AddPartOfTerms("section", "paper");
+  lex.AddPartOfTerms("reference", "paper");
+
+  // --- Research-field taxonomy (isa) -----------------------------------------
+  lex.AddIsaTerms("relational databases", "database systems");
+  lex.AddIsaTerms("xml databases", "database systems");
+  lex.AddIsaTerms("semistructured data", "data management");
+  lex.AddIsaTerms("query processing", "database systems");
+  lex.AddIsaTerms("query optimization", "query processing");
+  lex.AddIsaTerms("data integration", "data management");
+  lex.AddIsaTerms("database systems", "data management");
+  lex.AddIsaTerms("data management", "computer science");
+  lex.AddIsaTerms("information retrieval", "computer science");
+  lex.AddIsaTerms("data mining", "computer science");
+  lex.AddIsaTerms("machine learning", "computer science");
+  lex.AddIsaTerms("computer science", "science");
+
+  // --- Organisation taxonomy (the introduction's motivating queries) --------
+  lex.AddPartOfTerms("us census bureau", "us department of commerce");
+  lex.AddPartOfTerms("us department of commerce", "us government");
+  lex.AddPartOfTerms("us army", "us department of defense");
+  lex.AddPartOfTerms("us navy", "us department of defense");
+  lex.AddPartOfTerms("us air force", "us department of defense");
+  lex.AddPartOfTerms("us department of defense", "us government");
+  lex.AddPartOfTerms("army research lab", "us army");
+  lex.AddPartOfTerms("naval research laboratory", "us navy");
+  lex.AddPartOfTerms("nist", "us department of commerce");
+  lex.AddPartOfTerms("nasa", "us government");
+  lex.AddPartOfTerms("nsf", "us government");
+  lex.AddPartOfTerms("national institutes of health", "us government");
+
+  lex.AddIsaTerms("google", "web search company");
+  lex.AddIsaTerms("altavista", "web search company");
+  lex.AddIsaTerms("yahoo", "web search company");
+  lex.AddIsaTerms("web search company", "computer company");
+  lex.AddIsaTerms("microsoft", "software company");
+  lex.AddIsaTerms("oracle", "software company");
+  lex.AddIsaTerms("software company", "computer company");
+  lex.AddIsaTerms("ibm", "computer company");
+  lex.AddIsaTerms("computer company", "company");
+  lex.AddIsaTerms("company", "organization");
+  lex.AddIsaTerms("us government", "government");
+  lex.AddIsaTerms("government", "organization");
+
+  lex.AddIsaTerms("stanford university", "university");
+  lex.AddIsaTerms("university of maryland", "university");
+  lex.AddIsaTerms("mit", "university");
+  lex.AddIsaTerms("university", "educational institution");
+  lex.AddIsaTerms("educational institution", "organization");
+
+  return lex;
+}
+
+}  // namespace
+
+const Lexicon& BuiltinBibliographicLexicon() {
+  static const Lexicon kLexicon = BuildBibliographicLexicon();
+  return kLexicon;
+}
+
+}  // namespace toss::lexicon

@@ -1,0 +1,121 @@
+#include "lexicon/lexicon.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace toss::lexicon {
+
+SynsetId Lexicon::AddSynset(std::vector<std::string> terms) {
+  SynsetId id = static_cast<SynsetId>(synsets_.size());
+  Synset s;
+  s.id = id;
+  for (auto& t : terms) s.terms.push_back(ToLower(t));
+  synsets_.push_back(std::move(s));
+  for (const auto& t : synsets_[id].terms) index_[t].push_back(id);
+  return id;
+}
+
+Status Lexicon::AddIsa(SynsetId child, SynsetId parent) {
+  if (child >= synsets_.size() || parent >= synsets_.size()) {
+    return Status::InvalidArgument("synset id out of range");
+  }
+  synsets_[child].hypernyms.push_back(parent);
+  return Status::OK();
+}
+
+Status Lexicon::AddPartOf(SynsetId part, SynsetId whole) {
+  if (part >= synsets_.size() || whole >= synsets_.size()) {
+    return Status::InvalidArgument("synset id out of range");
+  }
+  synsets_[part].holonyms.push_back(whole);
+  return Status::OK();
+}
+
+SynsetId Lexicon::GetOrCreate(const std::string& term) {
+  auto ids = Lookup(term);
+  if (!ids.empty()) return ids.front();
+  return AddSynset({term});
+}
+
+void Lexicon::AddIsaTerms(const std::string& child,
+                          const std::string& parent) {
+  SynsetId c = GetOrCreate(child);
+  SynsetId p = GetOrCreate(parent);
+  (void)AddIsa(c, p);
+}
+
+void Lexicon::AddPartOfTerms(const std::string& part,
+                             const std::string& whole) {
+  SynsetId c = GetOrCreate(part);
+  SynsetId p = GetOrCreate(whole);
+  (void)AddPartOf(c, p);
+}
+
+std::vector<SynsetId> Lexicon::Lookup(const std::string& term) const {
+  auto it = index_.find(ToLower(term));
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+bool Lexicon::Knows(const std::string& term) const {
+  return index_.count(ToLower(term)) > 0;
+}
+
+std::vector<std::string> Lexicon::Synonyms(const std::string& term) const {
+  std::string lower = ToLower(term);
+  std::set<std::string> out;
+  for (SynsetId id : Lookup(term)) {
+    for (const auto& t : synsets_[id].terms) {
+      if (t != lower) out.insert(t);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Lexicon::ParentTerms(
+    const std::string& term,
+    const std::vector<SynsetId> Synset::*link) const {
+  std::set<std::string> out;
+  for (SynsetId id : Lookup(term)) {
+    for (SynsetId parent : synsets_[id].*link) {
+      if (!synsets_[parent].terms.empty()) {
+        out.insert(synsets_[parent].terms.front());
+      }
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Lexicon::Hypernyms(const std::string& term) const {
+  return ParentTerms(term, &Synset::hypernyms);
+}
+
+std::vector<std::string> Lexicon::Holonyms(const std::string& term) const {
+  return ParentTerms(term, &Synset::holonyms);
+}
+
+std::vector<std::string> Lexicon::HypernymClosure(
+    const std::string& term) const {
+  std::vector<std::string> out;
+  std::set<SynsetId> seen;
+  std::vector<SynsetId> frontier = Lookup(term);
+  while (!frontier.empty()) {
+    std::vector<SynsetId> next;
+    for (SynsetId id : frontier) {
+      for (SynsetId parent : synsets_[id].hypernyms) {
+        if (seen.insert(parent).second) {
+          if (!synsets_[parent].terms.empty()) {
+            out.push_back(synsets_[parent].terms.front());
+          }
+          next.push_back(parent);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace toss::lexicon

@@ -1,0 +1,104 @@
+// Lexical knowledge base: the repository's WordNet substitute.
+//
+// The paper's Ontology Maker consults WordNet for isa (hypernym),
+// equivalence (synonym), and part-of (meronym) relationships between terms
+// appearing in an XML instance. WordNet itself is proprietaryly licensed
+// data we do not ship; instead `BuiltinBibliographicLexicon()` bundles a
+// hand-curated KB covering the vocabulary of bibliographic databases
+// (document kinds, venues, organisations, research fields, bibliographic
+// record parts) plus the intro's motivating examples (US government
+// agencies, web search companies). The API surface is shaped like a WordNet
+// client so the ontology-construction code path is identical.
+
+#ifndef TOSS_LEXICON_LEXICON_H_
+#define TOSS_LEXICON_LEXICON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace toss::lexicon {
+
+using SynsetId = uint32_t;
+
+/// A set of mutually synonymous terms plus its taxonomy links.
+struct Synset {
+  SynsetId id = 0;
+  std::vector<std::string> terms;       ///< lowercase lemmas
+  std::vector<SynsetId> hypernyms;      ///< isa parents
+  std::vector<SynsetId> holonyms;       ///< part-of parents
+};
+
+/// In-memory lexical KB with WordNet-shaped lookups.
+class Lexicon {
+ public:
+  /// Adds a synset; terms are lowercased. Returns its id.
+  SynsetId AddSynset(std::vector<std::string> terms);
+
+  /// Records `child isa parent` between synsets.
+  Status AddIsa(SynsetId child, SynsetId parent);
+
+  /// Records `part partof whole` between synsets.
+  Status AddPartOf(SynsetId part, SynsetId whole);
+
+  /// Convenience: AddIsa by term lookup; creates missing synsets.
+  void AddIsaTerms(const std::string& child, const std::string& parent);
+
+  /// Convenience: AddPartOf by term lookup; creates missing synsets.
+  void AddPartOfTerms(const std::string& part, const std::string& whole);
+
+  /// Synsets containing `term` (case-insensitive).
+  std::vector<SynsetId> Lookup(const std::string& term) const;
+
+  /// True if the lexicon knows the term.
+  bool Knows(const std::string& term) const;
+
+  /// Synonyms of `term`: all terms sharing a synset with it (term excluded).
+  std::vector<std::string> Synonyms(const std::string& term) const;
+
+  /// Direct hypernym terms of `term` (representative term per synset).
+  std::vector<std::string> Hypernyms(const std::string& term) const;
+
+  /// Direct holonym (part-of parent) terms of `term`.
+  std::vector<std::string> Holonyms(const std::string& term) const;
+
+  /// Transitive hypernym closure of `term`, nearest first.
+  std::vector<std::string> HypernymClosure(const std::string& term) const;
+
+  const Synset& synset(SynsetId id) const { return synsets_[id]; }
+  size_t size() const { return synsets_.size(); }
+
+ private:
+  SynsetId GetOrCreate(const std::string& term);
+  std::vector<std::string> ParentTerms(
+      const std::string& term,
+      const std::vector<SynsetId> Synset::*link) const;
+
+  std::vector<Synset> synsets_;
+  std::map<std::string, std::vector<SynsetId>> index_;  // lowercase term -> ids
+};
+
+/// The bundled bibliographic/organisation KB (see file comment).
+const Lexicon& BuiltinBibliographicLexicon();
+
+/// Text serialization, WordNet-dump-like. Line formats:
+///   synset: term | term | ...
+///   isa: child -> parent
+///   partof: part -> whole
+/// Blank lines and lines starting with '#' are ignored. isa/partof lines
+/// reference terms; unknown terms get fresh synsets (like AddIsaTerms).
+Result<Lexicon> LoadLexicon(const std::string& path);
+Status SaveLexicon(const Lexicon& lexicon, const std::string& path);
+
+/// Parses lexicon text directly (the file-format core of LoadLexicon).
+Result<Lexicon> ParseLexiconText(std::string_view text);
+
+/// Serializes to the text format.
+std::string FormatLexicon(const Lexicon& lexicon);
+
+}  // namespace toss::lexicon
+
+#endif  // TOSS_LEXICON_LEXICON_H_

@@ -1,0 +1,112 @@
+// Text (de)serialization of Lexicon -- see lexicon.h for the format.
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "lexicon/lexicon.h"
+
+namespace toss::lexicon {
+
+namespace {
+
+std::vector<std::string> SplitTrimmed(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      auto piece = Trim(s.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Lexicon> ParseLexiconText(std::string_view text) {
+  Lexicon lex;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fail = [&](const std::string& what) {
+      return Status::ParseError("lexicon line " + std::to_string(line_no) +
+                                ": " + what);
+    };
+    size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      return fail("expected 'synset:', 'isa:' or 'partof:'");
+    }
+    std::string_view kind = Trim(trimmed.substr(0, colon));
+    std::string_view rest = Trim(trimmed.substr(colon + 1));
+    if (kind == "synset") {
+      auto terms = SplitTrimmed(rest, '|');
+      if (terms.empty()) return fail("empty synset");
+      lex.AddSynset(std::move(terms));
+    } else if (kind == "isa" || kind == "partof") {
+      size_t arrow = rest.find("->");
+      if (arrow == std::string_view::npos) {
+        return fail("expected 'child -> parent'");
+      }
+      std::string child{Trim(rest.substr(0, arrow))};
+      std::string parent{Trim(rest.substr(arrow + 2))};
+      if (child.empty() || parent.empty()) {
+        return fail("empty term in relation");
+      }
+      if (kind == "isa") {
+        lex.AddIsaTerms(child, parent);
+      } else {
+        lex.AddPartOfTerms(child, parent);
+      }
+    } else {
+      return fail("unknown directive '" + std::string(kind) + "'");
+    }
+  }
+  return lex;
+}
+
+std::string FormatLexicon(const Lexicon& lexicon) {
+  std::string out = "# TOSS lexicon dump\n";
+  for (SynsetId id = 0; id < lexicon.size(); ++id) {
+    const Synset& s = lexicon.synset(id);
+    out += "synset: " + Join(s.terms, " | ") + "\n";
+  }
+  auto head = [&](SynsetId id) -> const std::string& {
+    return lexicon.synset(id).terms.front();
+  };
+  for (SynsetId id = 0; id < lexicon.size(); ++id) {
+    const Synset& s = lexicon.synset(id);
+    if (s.terms.empty()) continue;
+    for (SynsetId parent : s.hypernyms) {
+      out += "isa: " + s.terms.front() + " -> " + head(parent) + "\n";
+    }
+    for (SynsetId parent : s.holonyms) {
+      out += "partof: " + s.terms.front() + " -> " + head(parent) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<Lexicon> LoadLexicon(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseLexiconText(ss.str());
+}
+
+Status SaveLexicon(const Lexicon& lexicon, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << FormatLexicon(lexicon);
+  out.close();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace toss::lexicon

@@ -1,0 +1,52 @@
+// Interoperation constraints (paper Def. 4).
+//
+// Constraints relate terms of *different* hierarchies being integrated:
+//   x:i <= y:j   -- term x of hierarchy i is below term y of hierarchy j
+//   x:i != y:j   -- the two terms must NOT be identified by the fusion
+// Equality x:i = y:j is expressed as the two <= constraints (the paper's
+// convention); the Eq() helper expands it.
+
+#ifndef TOSS_ONTOLOGY_CONSTRAINTS_H_
+#define TOSS_ONTOLOGY_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+namespace toss::ontology {
+
+struct InteropConstraint {
+  enum class Kind { kLeq, kNeq };
+
+  Kind kind = Kind::kLeq;
+  std::string left_term;
+  int left_hierarchy = 0;
+  std::string right_term;
+  int right_hierarchy = 0;
+};
+
+/// x:i <= y:j
+inline InteropConstraint Leq(std::string x, int i, std::string y, int j) {
+  return {InteropConstraint::Kind::kLeq, std::move(x), i, std::move(y), j};
+}
+
+/// x:i != y:j
+inline InteropConstraint Neq(std::string x, int i, std::string y, int j) {
+  return {InteropConstraint::Kind::kNeq, std::move(x), i, std::move(y), j};
+}
+
+/// x:i = y:j, expanded into { x:i <= y:j, y:j <= x:i }.
+inline std::vector<InteropConstraint> Eq(const std::string& x, int i,
+                                         const std::string& y, int j) {
+  return {Leq(x, i, y, j), Leq(y, j, x, i)};
+}
+
+/// Appends all of `cs` to `out` (convenience for building constraint sets
+/// from Eq()).
+inline void Append(std::vector<InteropConstraint>* out,
+                   const std::vector<InteropConstraint>& cs) {
+  out->insert(out->end(), cs.begin(), cs.end());
+}
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_CONSTRAINTS_H_

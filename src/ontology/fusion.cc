@@ -1,0 +1,222 @@
+#include "ontology/fusion.h"
+
+#include <algorithm>
+#include <map>
+
+namespace toss::ontology {
+
+namespace {
+
+// Iterative Tarjan SCC over a flat adjacency list. Returns the component id
+// of each vertex; component ids are in reverse topological order of the
+// condensation (standard Tarjan property).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const std::vector<std::vector<int>>& adj)
+      : adj_(adj),
+        n_(static_cast<int>(adj.size())),
+        index_(n_, -1),
+        lowlink_(n_, 0),
+        on_stack_(n_, false),
+        component_(n_, -1) {}
+
+  int Run() {
+    for (int v = 0; v < n_; ++v) {
+      if (index_[v] == -1) Visit(v);
+    }
+    return num_components_;
+  }
+
+  const std::vector<int>& component() const { return component_; }
+
+ private:
+  struct Frame {
+    int v;
+    size_t edge = 0;
+  };
+
+  void Visit(int root) {
+    std::vector<Frame> frames{{root}};
+    Push(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj_[f.v].size()) {
+        int w = adj_[f.v][f.edge++];
+        if (index_[w] == -1) {
+          Push(w);
+          frames.push_back({w});
+        } else if (on_stack_[w]) {
+          lowlink_[f.v] = std::min(lowlink_[f.v], index_[w]);
+        }
+      } else {
+        if (lowlink_[f.v] == index_[f.v]) {
+          // f.v is an SCC root: pop its component.
+          for (;;) {
+            int w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            component_[w] = num_components_;
+            if (w == f.v) break;
+          }
+          ++num_components_;
+        }
+        int finished = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink_[frames.back().v] =
+              std::min(lowlink_[frames.back().v], lowlink_[finished]);
+        }
+      }
+    }
+  }
+
+  void Push(int v) {
+    index_[v] = lowlink_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  int n_;
+  std::vector<int> index_, lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<int> component_;
+  std::vector<int> stack_;
+  int next_index_ = 0;
+  int num_components_ = 0;
+};
+
+}  // namespace
+
+Result<FusionResult> Fuse(const std::vector<const Hierarchy*>& hierarchies,
+                          const std::vector<InteropConstraint>& constraints) {
+  if (hierarchies.empty()) {
+    return Status::InvalidArgument("Fuse: no hierarchies given");
+  }
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    if (hierarchies[i] == nullptr) {
+      return Status::InvalidArgument("Fuse: null hierarchy pointer");
+    }
+    if (!hierarchies[i]->IsAcyclic()) {
+      return Status::Inconsistent("Fuse: input hierarchy " +
+                                  std::to_string(i) + " is cyclic");
+    }
+  }
+
+  // Vertex numbering: (hierarchy i, node v) -> base[i] + v.
+  std::vector<int> base(hierarchies.size() + 1, 0);
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    base[i + 1] = base[i] + static_cast<int>(hierarchies[i]->node_count());
+  }
+  const int total = base.back();
+
+  // Resolves a constraint endpoint to its graph vertex.
+  auto resolve = [&](const std::string& term, int hi) -> Result<int> {
+    if (hi < 0 || hi >= static_cast<int>(hierarchies.size())) {
+      return Status::InvalidArgument("constraint references hierarchy " +
+                                     std::to_string(hi) + " which is absent");
+    }
+    HNodeId node = hierarchies[hi]->FindTerm(term);
+    if (node == kInvalidHNode) {
+      return Status::InvalidArgument("constraint term '" + term +
+                                     "' not found in hierarchy " +
+                                     std::to_string(hi));
+    }
+    return base[hi] + static_cast<int>(node);
+  };
+
+  // Hierarchy graph (Def. 6): Hasse edges plus <= constraint edges, directed
+  // lower -> upper.
+  std::vector<std::vector<int>> adj(total);
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    const Hierarchy& h = *hierarchies[i];
+    for (HNodeId v = 0; v < h.node_count(); ++v) {
+      for (HNodeId p : h.parents(v)) {
+        adj[base[i] + v].push_back(base[i] + p);
+      }
+    }
+  }
+  for (const auto& c : constraints) {
+    if (c.kind != InteropConstraint::Kind::kLeq) continue;
+    TOSS_ASSIGN_OR_RETURN(int from, resolve(c.left_term, c.left_hierarchy));
+    TOSS_ASSIGN_OR_RETURN(int to, resolve(c.right_term, c.right_hierarchy));
+    adj[from].push_back(to);
+  }
+
+  TarjanScc scc(adj);
+  const int num_components = scc.Run();
+  const std::vector<int>& comp = scc.component();
+
+  // Def. 5 requires each psi_i to be injective: two distinct nodes of one
+  // hierarchy in the same SCC would be forced equal, contradicting the input
+  // partial order (a <= b and b <= a with a != b).
+  {
+    std::map<std::pair<int, int>, int> seen;  // (hierarchy, comp) -> node
+    for (size_t i = 0; i < hierarchies.size(); ++i) {
+      for (HNodeId v = 0; v < hierarchies[i]->node_count(); ++v) {
+        int c = comp[base[i] + v];
+        auto [it, inserted] =
+            seen.insert({{static_cast<int>(i), c}, static_cast<int>(v)});
+        if (!inserted) {
+          return Status::Inconsistent(
+              "Fuse: constraints force nodes " +
+              hierarchies[i]->NodeLabel(static_cast<HNodeId>(it->second)) +
+              " and " + hierarchies[i]->NodeLabel(v) + " of hierarchy " +
+              std::to_string(i) + " to be equal");
+        }
+      }
+    }
+  }
+
+  // != constraints must separate components.
+  for (const auto& c : constraints) {
+    if (c.kind != InteropConstraint::Kind::kNeq) continue;
+    TOSS_ASSIGN_OR_RETURN(int left, resolve(c.left_term, c.left_hierarchy));
+    TOSS_ASSIGN_OR_RETURN(int right, resolve(c.right_term, c.right_hierarchy));
+    if (comp[left] == comp[right]) {
+      return Status::Inconsistent("Fuse: != constraint violated: " +
+                                  c.left_term + ":" +
+                                  std::to_string(c.left_hierarchy) + " vs " +
+                                  c.right_term + ":" +
+                                  std::to_string(c.right_hierarchy));
+    }
+  }
+
+  // Build the fused hierarchy: one node per SCC, terms = union over members.
+  FusionResult result;
+  std::vector<std::vector<std::string>> comp_terms(num_components);
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    for (HNodeId v = 0; v < hierarchies[i]->node_count(); ++v) {
+      auto& terms = comp_terms[comp[base[i] + v]];
+      for (const auto& t : hierarchies[i]->terms(v)) terms.push_back(t);
+    }
+  }
+  std::vector<HNodeId> comp_to_node(num_components);
+  for (int c = 0; c < num_components; ++c) {
+    comp_to_node[c] = result.fused.AddNode(std::move(comp_terms[c]));
+  }
+
+  // Condensation edges (deduplicated by Hierarchy::AddEdge).
+  for (int v = 0; v < total; ++v) {
+    for (int w : adj[v]) {
+      if (comp[v] != comp[w]) {
+        TOSS_RETURN_NOT_OK(
+            result.fused.AddEdge(comp_to_node[comp[v]], comp_to_node[comp[w]]));
+      }
+    }
+  }
+
+  // The condensation of any digraph is acyclic, so reduction must succeed.
+  TOSS_RETURN_NOT_OK(result.fused.TransitiveReduction());
+
+  result.witness.resize(hierarchies.size());
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    result.witness[i].resize(hierarchies[i]->node_count());
+    for (HNodeId v = 0; v < hierarchies[i]->node_count(); ++v) {
+      result.witness[i][v] = comp_to_node[comp[base[i] + v]];
+    }
+  }
+  return result;
+}
+
+}  // namespace toss::ontology

@@ -1,0 +1,41 @@
+// Canonical fusion of hierarchies under interoperation constraints
+// (paper Defs. 5-6, following the graph-merge construction of [3, 2]).
+//
+// The hierarchy graph has one vertex per (hierarchy, node) pair; its edges
+// are the input Hasse edges plus one edge per <= constraint. The *canonical*
+// integration condenses the graph's strongly connected components -- exactly
+// the node groups forced equal by the constraints -- into fused nodes, then
+// transitively reduces the resulting DAG.
+//
+// Integration fails (Status::Inconsistent) when:
+//  * an SCC contains two distinct nodes of the same input hierarchy
+//    (the witness mappings of Def. 5 must be injective), or
+//  * a != constraint's endpoints land in the same SCC.
+
+#ifndef TOSS_ONTOLOGY_FUSION_H_
+#define TOSS_ONTOLOGY_FUSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/constraints.h"
+#include "ontology/hierarchy.h"
+
+namespace toss::ontology {
+
+/// A witness to integrability (Def. 5): the fused hierarchy plus the
+/// injections psi_i from each input hierarchy's nodes into it.
+struct FusionResult {
+  Hierarchy fused;
+  /// witness[i][v] = fused node that input hierarchy i's node v maps to.
+  std::vector<std::vector<HNodeId>> witness;
+};
+
+/// Computes the canonical fusion of `hierarchies` under `constraints`.
+/// Constraint terms must exist in the hierarchy their index names.
+Result<FusionResult> Fuse(const std::vector<const Hierarchy*>& hierarchies,
+                          const std::vector<InteropConstraint>& constraints);
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_FUSION_H_

@@ -1,0 +1,301 @@
+#include "ontology/hierarchy.h"
+
+#include <algorithm>
+#include <set>
+
+namespace toss::ontology {
+
+HNodeId Hierarchy::AddNode(std::vector<std::string> terms) {
+  // Deduplicate while preserving first-occurrence order.
+  std::vector<std::string> unique;
+  std::set<std::string> seen;
+  for (auto& t : terms) {
+    if (seen.insert(t).second) unique.push_back(std::move(t));
+  }
+  HNodeId id = static_cast<HNodeId>(nodes_.size());
+  nodes_.push_back(std::move(unique));
+  parents_.emplace_back();
+  children_.emplace_back();
+  for (const auto& t : nodes_[id]) term_index_[t].push_back(id);
+  InvalidateClosure();
+  return id;
+}
+
+HNodeId Hierarchy::EnsureTerm(const std::string& term) {
+  HNodeId id = FindTerm(term);
+  if (id != kInvalidHNode) return id;
+  return AddNode({term});
+}
+
+Status Hierarchy::AddTermToNode(HNodeId id, const std::string& term) {
+  if (id >= nodes_.size()) {
+    return Status::InvalidArgument("hierarchy node id out of range");
+  }
+  auto& terms = nodes_[id];
+  if (std::find(terms.begin(), terms.end(), term) != terms.end()) {
+    return Status::OK();
+  }
+  terms.push_back(term);
+  term_index_[term].push_back(id);
+  return Status::OK();
+}
+
+Status Hierarchy::AddEdge(HNodeId lower, HNodeId upper) {
+  if (lower >= nodes_.size() || upper >= nodes_.size()) {
+    return Status::InvalidArgument("hierarchy node id out of range");
+  }
+  if (lower == upper) {
+    return Status::InvalidArgument("self edge in hierarchy: " +
+                                   NodeLabel(lower));
+  }
+  auto& ps = parents_[lower];
+  if (std::find(ps.begin(), ps.end(), upper) != ps.end()) {
+    return Status::OK();  // duplicate edges are harmless
+  }
+  ps.push_back(upper);
+  children_[upper].push_back(lower);
+  InvalidateClosure();
+  return Status::OK();
+}
+
+Status Hierarchy::AddTermEdge(const std::string& lower,
+                              const std::string& upper) {
+  HNodeId lo = EnsureTerm(lower);
+  HNodeId up = EnsureTerm(upper);
+  if (lo == up) {
+    // Both terms landed in the same node (synonyms); ordering within a node
+    // is trivially satisfied, not an error.
+    return Status::OK();
+  }
+  return AddEdge(lo, up);
+}
+
+size_t Hierarchy::edge_count() const {
+  size_t n = 0;
+  for (const auto& ps : parents_) n += ps.size();
+  return n;
+}
+
+std::string Hierarchy::NodeLabel(HNodeId id) const {
+  std::string out = "{";
+  for (size_t i = 0; i < nodes_[id].size(); ++i) {
+    if (i > 0) out += ", ";
+    out += nodes_[id][i];
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<HNodeId> Hierarchy::NodesContaining(
+    const std::string& term) const {
+  auto it = term_index_.find(term);
+  if (it == term_index_.end()) return {};
+  return it->second;
+}
+
+HNodeId Hierarchy::FindTerm(const std::string& term) const {
+  auto it = term_index_.find(term);
+  if (it == term_index_.end() || it->second.empty()) return kInvalidHNode;
+  return it->second.front();
+}
+
+std::vector<std::string> Hierarchy::AllTerms() const {
+  std::vector<std::string> out;
+  out.reserve(term_index_.size());
+  for (const auto& [term, ids] : term_index_) out.push_back(term);
+  return out;
+}
+
+void Hierarchy::EnsureClosure() const {
+  if (closure_valid_) return;
+  const size_t n = nodes_.size();
+  closure_words_ = (n + 63) / 64;
+  closure_.assign(n * closure_words_, 0);
+  auto set_bit = [&](size_t row, size_t col) {
+    closure_[row * closure_words_ + col / 64] |= uint64_t{1} << (col % 64);
+  };
+  auto or_row = [&](size_t dst, size_t src) {
+    for (size_t w = 0; w < closure_words_; ++w) {
+      closure_[dst * closure_words_ + w] |= closure_[src * closure_words_ + w];
+    }
+  };
+  // Reverse-topological accumulation when acyclic; fall back to iterating
+  // to a fixed point when a cycle is present (closure is still well-defined).
+  std::vector<int> indeg(n, 0);  // in "upward" orientation: count children
+  for (size_t v = 0; v < n; ++v) {
+    indeg[v] = static_cast<int>(children_[v].size());
+  }
+  std::vector<HNodeId> order;
+  order.reserve(n);
+  std::vector<HNodeId> queue;
+  for (size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(static_cast<HNodeId>(v));
+  }
+  while (!queue.empty()) {
+    HNodeId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (HNodeId p : parents_[v]) {
+      if (--indeg[p] == 0) queue.push_back(p);
+    }
+  }
+  for (size_t v = 0; v < n; ++v) set_bit(v, v);
+  if (order.size() == n) {
+    // Acyclic: `order` lists every node after all of its children, so one
+    // pass folding children rows upward computes each node's downward
+    // closure (row b holds everything <= b; Leq reads bit a of row b).
+    for (HNodeId v : order) {
+      for (HNodeId c : children_[v]) or_row(v, c);
+    }
+  } else {
+    // Cyclic: fixed-point iteration on downward closure.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t v = 0; v < n; ++v) {
+        for (HNodeId c : children_[v]) {
+          for (size_t w = 0; w < closure_words_; ++w) {
+            uint64_t before = closure_[v * closure_words_ + w];
+            uint64_t merged = before | closure_[c * closure_words_ + w];
+            if (merged != before) {
+              closure_[v * closure_words_ + w] = merged;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  closure_valid_ = true;
+}
+
+bool Hierarchy::Leq(HNodeId a, HNodeId b) const {
+  if (a == b) return true;
+  EnsureClosure();
+  // Rows store downward closures: bit a of row b <=> a <= b.
+  return (closure_[b * closure_words_ + a / 64] >> (a % 64)) & 1;
+}
+
+bool Hierarchy::LeqTerms(const std::string& a, const std::string& b) const {
+  for (HNodeId na : NodesContaining(a)) {
+    for (HNodeId nb : NodesContaining(b)) {
+      if (Leq(na, nb)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<HNodeId> Hierarchy::Above(HNodeId id) const {
+  std::vector<HNodeId> out;
+  for (HNodeId v = 0; v < nodes_.size(); ++v) {
+    if (Leq(id, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<HNodeId> Hierarchy::Below(HNodeId id) const {
+  std::vector<HNodeId> out;
+  for (HNodeId v = 0; v < nodes_.size(); ++v) {
+    if (Leq(v, id)) out.push_back(v);
+  }
+  return out;
+}
+
+bool Hierarchy::IsAcyclic() const {
+  const size_t n = nodes_.size();
+  std::vector<int> indeg(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    indeg[v] = static_cast<int>(children_[v].size());
+  }
+  std::vector<HNodeId> queue;
+  for (size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(static_cast<HNodeId>(v));
+  }
+  size_t visited = 0;
+  while (!queue.empty()) {
+    HNodeId v = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (HNodeId p : parents_[v]) {
+      if (--indeg[p] == 0) queue.push_back(p);
+    }
+  }
+  return visited == n;
+}
+
+Status Hierarchy::TransitiveReduction() {
+  if (!IsAcyclic()) {
+    return Status::Inconsistent("transitive reduction requires a DAG");
+  }
+  // Edge (u, p) is redundant iff some other parent path already reaches p.
+  EnsureClosure();
+  for (HNodeId u = 0; u < nodes_.size(); ++u) {
+    std::vector<HNodeId> keep;
+    for (HNodeId p : parents_[u]) {
+      bool redundant = false;
+      for (HNodeId q : parents_[u]) {
+        if (q != p && Leq(q, p)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) keep.push_back(p);
+    }
+    if (keep.size() != parents_[u].size()) {
+      parents_[u] = std::move(keep);
+    }
+  }
+  // Rebuild children lists from the pruned parent lists.
+  for (auto& cs : children_) cs.clear();
+  for (HNodeId u = 0; u < nodes_.size(); ++u) {
+    for (HNodeId p : parents_[u]) children_[p].push_back(u);
+  }
+  // Note: the closure itself is unchanged by reduction.
+  return Status::OK();
+}
+
+bool Hierarchy::IsTransitivelyReduced() const {
+  for (HNodeId u = 0; u < nodes_.size(); ++u) {
+    for (HNodeId p : parents_[u]) {
+      for (HNodeId q : parents_[u]) {
+        if (q != p && Leq(q, p)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Hierarchy::EquivalentTo(const Hierarchy& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  // Canonical key per node: sorted term set. Multi-node term collisions with
+  // identical term sets are resolved by sorted edge keys; for the hierarchies
+  // arising here (distinct term sets per node) the key is unique.
+  auto canon = [](const Hierarchy& h) {
+    std::vector<std::pair<std::vector<std::string>, HNodeId>> keys;
+    for (HNodeId v = 0; v < h.nodes_.size(); ++v) {
+      auto sorted = h.nodes_[v];
+      std::sort(sorted.begin(), sorted.end());
+      keys.push_back({std::move(sorted), v});
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  auto ka = canon(*this);
+  auto kb = canon(other);
+  std::vector<HNodeId> map_a_to_b(nodes_.size());
+  for (size_t i = 0; i < ka.size(); ++i) {
+    if (ka[i].first != kb[i].first) return false;
+    map_a_to_b[ka[i].second] = kb[i].second;
+  }
+  // Compare edge sets under the mapping.
+  std::set<std::pair<HNodeId, HNodeId>> ea, eb;
+  for (HNodeId v = 0; v < nodes_.size(); ++v) {
+    for (HNodeId p : parents_[v]) ea.insert({map_a_to_b[v], map_a_to_b[p]});
+  }
+  for (HNodeId v = 0; v < other.nodes_.size(); ++v) {
+    for (HNodeId p : other.parents_[v]) eb.insert({v, p});
+  }
+  return ea == eb;
+}
+
+}  // namespace toss::ontology

@@ -1,0 +1,131 @@
+// Hierarchies (paper Section 4.1).
+//
+// A hierarchy for a partially ordered set (S, <=) is its Hasse diagram: a
+// DAG over S with a minimal edge set such that a path u ~> v exists iff
+// u <= v. Nodes here carry *sets* of terms, because both fusion (terms
+// forced equal by constraints) and similarity enhancement (terms grouped by
+// closeness) produce multi-term nodes.
+//
+// Edge direction: an edge (u, v) means u <= v ("u is below v"); for the isa
+// hierarchy that reads "u isa v", for partof "u partof v".
+
+#ifndef TOSS_ONTOLOGY_HIERARCHY_H_
+#define TOSS_ONTOLOGY_HIERARCHY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace toss::ontology {
+
+using HNodeId = uint32_t;
+inline constexpr HNodeId kInvalidHNode = 0xFFFFFFFFu;
+
+/// DAG of term-set nodes with reachability, closure, and reduction support.
+///
+/// Mutation invalidates the cached transitive closure; reachability queries
+/// rebuild it lazily.
+class Hierarchy {
+ public:
+  Hierarchy() = default;
+
+  /// Adds a node containing `terms` (deduplicated, order preserved).
+  /// Terms may appear in multiple nodes (Def. 8 allows overlapping SEO
+  /// nodes).
+  HNodeId AddNode(std::vector<std::string> terms);
+
+  /// Returns the node containing exactly/at least `term`, creating a fresh
+  /// singleton node when the term is unknown.
+  HNodeId EnsureTerm(const std::string& term);
+
+  /// Adds `term` to an existing node's term set (synonym registration).
+  /// No-op when already present in that node.
+  Status AddTermToNode(HNodeId id, const std::string& term);
+
+  /// Adds the covering edge `lower <= upper`. Self-edges are rejected;
+  /// duplicate edges are ignored.
+  Status AddEdge(HNodeId lower, HNodeId upper);
+
+  /// Convenience: EnsureTerm on both sides then AddEdge.
+  Status AddTermEdge(const std::string& lower, const std::string& upper);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const;
+
+  const std::vector<std::string>& terms(HNodeId id) const {
+    return nodes_[id];
+  }
+
+  /// Display form of a node: "{a, b, c}".
+  std::string NodeLabel(HNodeId id) const;
+
+  const std::vector<HNodeId>& parents(HNodeId id) const {
+    return parents_[id];
+  }
+  const std::vector<HNodeId>& children(HNodeId id) const {
+    return children_[id];
+  }
+
+  /// All nodes whose term set contains `term`.
+  std::vector<HNodeId> NodesContaining(const std::string& term) const;
+
+  /// First node containing `term`, or kInvalidHNode.
+  HNodeId FindTerm(const std::string& term) const;
+
+  /// All distinct terms in the hierarchy.
+  std::vector<std::string> AllTerms() const;
+
+  /// True iff a <= b, i.e. a == b or a path a ~> b exists.
+  bool Leq(HNodeId a, HNodeId b) const;
+
+  /// Builds the reachability cache now. Concurrent Leq() readers are only
+  /// safe after this has been called (the cache is otherwise built lazily
+  /// on first use, which races); call it before sharing a frozen hierarchy
+  /// across threads.
+  void EnsureReachabilityCache() const { EnsureClosure(); }
+
+  /// Term-level Leq: true iff some node containing `a` is <= some node
+  /// containing `b`.
+  bool LeqTerms(const std::string& a, const std::string& b) const;
+
+  /// Upward closure of `id` (everything >= id, including id).
+  std::vector<HNodeId> Above(HNodeId id) const;
+
+  /// Downward closure of `id` (everything <= id, including id).
+  std::vector<HNodeId> Below(HNodeId id) const;
+
+  /// True when the edge relation has no directed cycle.
+  bool IsAcyclic() const;
+
+  /// Removes edges implied by transitivity, restoring the Hasse property.
+  /// Requires acyclicity.
+  Status TransitiveReduction();
+
+  /// True when no edge is implied by a longer path (Hasse minimality).
+  bool IsTransitivelyReduced() const;
+
+  /// Structural equality after canonical node ordering (used by tests for
+  /// Theorem 1's equivalence-up-to-isomorphism).
+  bool EquivalentTo(const Hierarchy& other) const;
+
+ private:
+  void InvalidateClosure() const { closure_valid_ = false; }
+  void EnsureClosure() const;
+
+  std::vector<std::vector<std::string>> nodes_;
+  std::vector<std::vector<HNodeId>> parents_;   // adjacency: id -> uppers
+  std::vector<std::vector<HNodeId>> children_;  // reverse adjacency
+  std::map<std::string, std::vector<HNodeId>> term_index_;
+
+  // Cached transitive closure as bit matrix (row = node, bit = reachable).
+  mutable bool closure_valid_ = false;
+  mutable size_t closure_words_ = 0;
+  mutable std::vector<uint64_t> closure_;
+};
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_HIERARCHY_H_

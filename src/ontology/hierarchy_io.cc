@@ -1,0 +1,157 @@
+#include "ontology/hierarchy_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace toss::ontology {
+
+namespace {
+
+/// Shared line-oriented hierarchy parser; `on_other_line` handles lines
+/// that are not node/edge (returns false to reject).
+class HierarchyParser {
+ public:
+  Status Feed(int line_no, std::string_view line, Hierarchy* h) {
+    auto fail = [&](const std::string& what) {
+      return Status::ParseError("hierarchy line " + std::to_string(line_no) +
+                                ": " + what);
+    };
+    if (StartsWith(line, "node ")) {
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) return fail("expected ':'");
+      long long id;
+      if (!ParseInt(line.substr(5, colon - 5), &id)) {
+        return fail("bad node id");
+      }
+      if (id != static_cast<long long>(h->node_count())) {
+        return fail("node ids must be dense and ascending");
+      }
+      std::vector<std::string> terms;
+      std::string_view rest = line.substr(colon + 1);
+      size_t start = 0;
+      for (size_t i = 0; i <= rest.size(); ++i) {
+        if (i == rest.size() || rest[i] == '|') {
+          auto piece = Trim(rest.substr(start, i - start));
+          if (!piece.empty()) terms.emplace_back(piece);
+          start = i + 1;
+        }
+      }
+      if (terms.empty()) return fail("node with no terms");
+      h->AddNode(std::move(terms));
+      return Status::OK();
+    }
+    if (StartsWith(line, "edge ")) {
+      size_t arrow = line.find("->");
+      if (arrow == std::string_view::npos) return fail("expected '->'");
+      long long lower, upper;
+      if (!ParseInt(line.substr(5, arrow - 5), &lower) ||
+          !ParseInt(line.substr(arrow + 2), &upper)) {
+        return fail("bad edge endpoints");
+      }
+      if (lower < 0 || upper < 0 ||
+          lower >= static_cast<long long>(h->node_count()) ||
+          upper >= static_cast<long long>(h->node_count())) {
+        return fail("edge endpoint out of range");
+      }
+      return h->AddEdge(static_cast<HNodeId>(lower),
+                        static_cast<HNodeId>(upper));
+    }
+    return fail("expected 'node' or 'edge' line");
+  }
+};
+
+}  // namespace
+
+std::string FormatHierarchy(const Hierarchy& h) {
+  std::string out;
+  for (HNodeId v = 0; v < h.node_count(); ++v) {
+    out += "node " + std::to_string(v) + ": ";
+    const auto& terms = h.terms(v);
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += terms[i];
+    }
+    out += "\n";
+  }
+  for (HNodeId v = 0; v < h.node_count(); ++v) {
+    for (HNodeId p : h.parents(v)) {
+      out += "edge " + std::to_string(v) + " -> " + std::to_string(p) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<Hierarchy> ParseHierarchyText(std::string_view text) {
+  Hierarchy h;
+  HierarchyParser parser;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    TOSS_RETURN_NOT_OK(parser.Feed(line_no, trimmed, &h));
+  }
+  return h;
+}
+
+std::string FormatOntology(const Ontology& onto) {
+  std::string out = "# TOSS ontology dump\n";
+  for (const auto& rel : onto.relations()) {
+    out += "relation " + rel + "\n";
+    out += FormatHierarchy(*onto.Find(rel));
+  }
+  return out;
+}
+
+Result<Ontology> ParseOntologyText(std::string_view text) {
+  Ontology onto;
+  Hierarchy* current = nullptr;
+  HierarchyParser parser;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (StartsWith(trimmed, "relation ")) {
+      std::string name{Trim(trimmed.substr(9))};
+      if (name.empty()) {
+        return Status::ParseError("ontology line " +
+                                  std::to_string(line_no) +
+                                  ": empty relation name");
+      }
+      current = &onto.hierarchy(name);
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::ParseError("ontology line " + std::to_string(line_no) +
+                                ": content before any 'relation' header");
+    }
+    TOSS_RETURN_NOT_OK(parser.Feed(line_no, trimmed, current));
+  }
+  return onto;
+}
+
+Status SaveOntology(const Ontology& onto, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << FormatOntology(onto);
+  out.close();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Ontology> LoadOntology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseOntologyText(ss.str());
+}
+
+}  // namespace toss::ontology

@@ -1,0 +1,46 @@
+// Text (de)serialization of hierarchies and ontologies, so fused/enhanced
+// ontologies can be precomputed once and shipped alongside a database
+// (the paper's Section 3: "After SEO is precomputed, ...").
+//
+// Hierarchy block format (within a surrounding document):
+//   node <id>: term | term | ...
+//   edge <lower> -> <upper>
+// Node ids must be dense and ascending from 0.
+//
+// Ontology format: one `relation <name>` line opening each hierarchy block:
+//   relation isa
+//   node 0: paper | article
+//   edge 0 -> 1
+//   relation partof
+//   ...
+
+#ifndef TOSS_ONTOLOGY_HIERARCHY_IO_H_
+#define TOSS_ONTOLOGY_HIERARCHY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ontology/hierarchy.h"
+#include "ontology/ontology.h"
+
+namespace toss::ontology {
+
+/// Serializes one hierarchy as node/edge lines.
+std::string FormatHierarchy(const Hierarchy& h);
+
+/// Parses a hierarchy from node/edge lines (other directives rejected).
+Result<Hierarchy> ParseHierarchyText(std::string_view text);
+
+/// Serializes a whole ontology with `relation` section headers.
+std::string FormatOntology(const Ontology& onto);
+
+/// Parses an ontology (relation sections of node/edge lines).
+Result<Ontology> ParseOntologyText(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveOntology(const Ontology& onto, const std::string& path);
+Result<Ontology> LoadOntology(const std::string& path);
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_HIERARCHY_IO_H_

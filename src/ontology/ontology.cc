@@ -1,0 +1,82 @@
+#include "ontology/ontology.h"
+
+#include "ontology/fusion.h"
+
+namespace toss::ontology {
+
+Ontology::Ontology() {
+  hierarchies_[kIsa];
+  hierarchies_[kPartOf];
+}
+
+Hierarchy& Ontology::hierarchy(const std::string& relation) {
+  return hierarchies_[relation];
+}
+
+const Hierarchy* Ontology::Find(const std::string& relation) const {
+  auto it = hierarchies_.find(relation);
+  return it == hierarchies_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Ontology::relations() const {
+  std::vector<std::string> out;
+  for (const auto& [name, h] : hierarchies_) out.push_back(name);
+  return out;
+}
+
+size_t Ontology::TotalNodeCount() const {
+  size_t n = 0;
+  for (const auto& [name, h] : hierarchies_) n += h.node_count();
+  return n;
+}
+
+Result<Ontology> FuseOntologies(
+    const std::vector<const Ontology*>& ontologies,
+    const std::map<std::string, std::vector<InteropConstraint>>& constraints) {
+  if (ontologies.empty()) {
+    return Status::InvalidArgument("FuseOntologies: no ontologies given");
+  }
+  // Collect the union of relation names.
+  std::map<std::string, std::vector<const Hierarchy*>> by_relation;
+  std::map<std::string, std::vector<int>> source_index;
+  for (size_t i = 0; i < ontologies.size(); ++i) {
+    if (ontologies[i] == nullptr) {
+      return Status::InvalidArgument("FuseOntologies: null ontology");
+    }
+    for (const auto& rel : ontologies[i]->relations()) {
+      by_relation[rel].push_back(ontologies[i]->Find(rel));
+      source_index[rel].push_back(static_cast<int>(i));
+    }
+  }
+  Ontology fused;
+  for (auto& [rel, hs] : by_relation) {
+    std::vector<InteropConstraint> ics;
+    auto it = constraints.find(rel);
+    if (it != constraints.end()) {
+      // Constraint hierarchy indexes refer to positions in `ontologies`;
+      // remap them to positions within this relation's present hierarchies.
+      const auto& present = source_index[rel];
+      for (InteropConstraint c : it->second) {
+        auto remap = [&](int global) -> int {
+          for (size_t k = 0; k < present.size(); ++k) {
+            if (present[k] == global) return static_cast<int>(k);
+          }
+          return -1;
+        };
+        c.left_hierarchy = remap(c.left_hierarchy);
+        c.right_hierarchy = remap(c.right_hierarchy);
+        if (c.left_hierarchy < 0 || c.right_hierarchy < 0) {
+          return Status::InvalidArgument(
+              "FuseOntologies: constraint for relation '" + rel +
+              "' references an ontology lacking that relation");
+        }
+        ics.push_back(std::move(c));
+      }
+    }
+    TOSS_ASSIGN_OR_RETURN(FusionResult fr, Fuse(hs, ics));
+    fused.hierarchy(rel) = std::move(fr.fused);
+  }
+  return fused;
+}
+
+}  // namespace toss::ontology

@@ -1,0 +1,58 @@
+// Ontologies (paper Def. 3): a partial mapping from relation names
+// ("isa", "partof", ...) to hierarchies. The paper fixes that Theta(isa)
+// and Theta(partof) are always defined; the constructor creates both.
+
+#ifndef TOSS_ONTOLOGY_ONTOLOGY_H_
+#define TOSS_ONTOLOGY_ONTOLOGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/constraints.h"
+#include "ontology/hierarchy.h"
+
+namespace toss::ontology {
+
+/// Distinguished relation names.
+inline constexpr const char* kIsa = "isa";
+inline constexpr const char* kPartOf = "partof";
+
+/// A named bundle of hierarchies.
+class Ontology {
+ public:
+  Ontology();
+
+  /// Hierarchy for `relation`, created empty on first access.
+  Hierarchy& hierarchy(const std::string& relation);
+
+  /// Hierarchy for `relation` or nullptr when undefined.
+  const Hierarchy* Find(const std::string& relation) const;
+
+  Hierarchy& isa() { return hierarchy(kIsa); }
+  const Hierarchy& isa() const { return *Find(kIsa); }
+  Hierarchy& partof() { return hierarchy(kPartOf); }
+  const Hierarchy& partof() const { return *Find(kPartOf); }
+
+  /// Defined relation names, sorted.
+  std::vector<std::string> relations() const;
+
+  /// Total node count across all hierarchies (the "ontology size" axis of
+  /// the paper's Fig. 16 experiments).
+  size_t TotalNodeCount() const;
+
+ private:
+  std::map<std::string, Hierarchy> hierarchies_;
+};
+
+/// Fuses each relation's hierarchies across `ontologies` under that
+/// relation's constraints (missing key = no constraints). Relations defined
+/// in only some inputs are fused across those inputs.
+Result<Ontology> FuseOntologies(
+    const std::vector<const Ontology*>& ontologies,
+    const std::map<std::string, std::vector<InteropConstraint>>& constraints);
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_ONTOLOGY_H_

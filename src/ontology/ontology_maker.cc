@@ -1,0 +1,171 @@
+#include "ontology/ontology_maker.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace toss::ontology {
+
+namespace {
+
+/// Adds `lower <= upper` unless it would create a cycle (the reverse order
+/// already holds). Returns true when the edge was added.
+bool AddEdgeIfAcyclic(Hierarchy* h, const std::string& lower,
+                      const std::string& upper) {
+  if (lower == upper) return false;
+  HNodeId lo = h->EnsureTerm(lower);
+  HNodeId up = h->EnsureTerm(upper);
+  if (lo == up) return false;
+  if (h->Leq(up, lo)) return false;  // would close a cycle
+  return h->AddEdge(lo, up).ok();
+}
+
+/// Walks lexicon ancestor chains from `term`, adding each covering edge.
+void AddLexiconChain(
+    Hierarchy* h, const lexicon::Lexicon& lex, const std::string& term,
+    std::vector<std::string> (lexicon::Lexicon::*parents_of)(
+        const std::string&) const,
+    bool transitive) {
+  std::set<std::string> visited;
+  std::vector<std::string> frontier{term};
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const auto& t : frontier) {
+      if (!visited.insert(t).second) continue;
+      for (const auto& parent : (lex.*parents_of)(t)) {
+        AddEdgeIfAcyclic(h, t, parent);
+        if (transitive) next.push_back(parent);
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace
+
+Result<Ontology> MakeOntology(const xml::XmlDocument& doc,
+                              const lexicon::Lexicon& lexicon,
+                              const OntologyMakerOptions& options) {
+  return MakeOntologyForDocuments({&doc}, lexicon, options);
+}
+
+Result<Ontology> MakeOntologyForDocuments(
+    const std::vector<const xml::XmlDocument*>& docs,
+    const lexicon::Lexicon& lexicon, const OntologyMakerOptions& options) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("MakeOntology: no documents");
+  }
+  for (const auto* doc : docs) {
+    if (doc == nullptr || doc->empty()) {
+      return Status::InvalidArgument("MakeOntology: empty document");
+    }
+  }
+  Ontology onto;
+  Hierarchy& partof = onto.partof();
+  Hierarchy& isa = onto.isa();
+
+  std::set<std::string> tags;
+  std::set<std::string> content_terms;
+  const std::set<std::string> content_tags(options.content_tags.begin(),
+                                           options.content_tags.end());
+
+  for (const auto* doc_ptr : docs) {
+    const xml::XmlDocument& doc = *doc_ptr;
+    std::vector<xml::NodeId> elements{doc.root()};
+    auto descendants = doc.ElementDescendants(doc.root());
+    elements.insert(elements.end(), descendants.begin(), descendants.end());
+
+    for (xml::NodeId id : elements) {
+      const auto& n = doc.node(id);
+      tags.insert(n.tag);
+      if (options.use_structure && n.parent != xml::kInvalidNode) {
+        const auto& parent = doc.node(n.parent);
+        AddEdgeIfAcyclic(&partof, n.tag, parent.tag);
+      }
+      if (content_tags.count(n.tag)) {
+        // Content terms keep their original case so SEO term expansion can
+        // be matched back against document text verbatim; the lexicon
+        // lowercases internally for its own lookups.
+        std::string content = std::string(Trim(doc.TextContent(id)));
+        if (!content.empty()) content_terms.insert(content);
+      }
+    }
+  }
+
+  // Make sure every tag is an ontology term even when isolated.
+  for (const auto& t : tags) {
+    partof.EnsureTerm(t);
+    isa.EnsureTerm(t);
+  }
+
+  if (options.use_lexicon) {
+    for (const auto& t : tags) {
+      AddLexiconChain(&isa, lexicon, t, &lexicon::Lexicon::Hypernyms,
+                      options.transitive_lexicon);
+      AddLexiconChain(&partof, lexicon, t, &lexicon::Lexicon::Holonyms,
+                      options.transitive_lexicon);
+    }
+    for (const auto& t : content_terms) {
+      // Lexicon synonyms of a content term share its node: distinct surface
+      // forms of the same concept ("SIGMOD Conference" vs the conference's
+      // full name) must be interchangeable under isa/~ conditions.
+      HNodeId node = kInvalidHNode;
+      auto synonyms = lexicon.Synonyms(t);
+      for (const auto& syn : synonyms) {
+        auto ids = isa.NodesContaining(syn);
+        if (!ids.empty()) {
+          node = ids.front();
+          break;
+        }
+      }
+      if (node == kInvalidHNode) {
+        auto ids = isa.NodesContaining(ToLower(t));
+        if (!ids.empty()) node = ids.front();
+      }
+      if (node == kInvalidHNode) {
+        node = isa.EnsureTerm(t);
+      } else {
+        TOSS_RETURN_NOT_OK(isa.AddTermToNode(node, t));
+      }
+      for (const auto& syn : synonyms) {
+        TOSS_RETURN_NOT_OK(isa.AddTermToNode(node, syn));
+      }
+      AddLexiconChain(&isa, lexicon, t, &lexicon::Lexicon::Hypernyms,
+                      options.transitive_lexicon);
+      AddLexiconChain(&partof, lexicon, t, &lexicon::Lexicon::Holonyms,
+                      options.transitive_lexicon);
+    }
+  } else {
+    for (const auto& t : content_terms) isa.EnsureTerm(t);
+  }
+
+  TOSS_RETURN_NOT_OK(partof.TransitiveReduction());
+  TOSS_RETURN_NOT_OK(isa.TransitiveReduction());
+  return onto;
+}
+
+std::vector<InteropConstraint> SuggestEqualityConstraints(
+    const Hierarchy& left, const Hierarchy& right,
+    const lexicon::Lexicon& lexicon) {
+  std::vector<InteropConstraint> out;
+  std::set<std::pair<std::string, std::string>> emitted;
+  auto emit = [&](const std::string& x, const std::string& y) {
+    if (!emitted.insert({x, y}).second) return;
+    Append(&out, Eq(x, 0, y, 1));
+  };
+  for (const auto& x : left.AllTerms()) {
+    // Exact term match.
+    if (right.FindTerm(x) != kInvalidHNode) {
+      emit(x, x);
+      continue;
+    }
+    // Lexicon synonyms.
+    for (const auto& syn : lexicon.Synonyms(x)) {
+      if (right.FindTerm(syn) != kInvalidHNode) emit(x, syn);
+    }
+  }
+  return out;
+}
+
+}  // namespace toss::ontology

@@ -1,0 +1,61 @@
+// Ontology Maker (paper Section 3, component 1).
+//
+// Associates an ontology with an XML instance by combining two sources:
+//  * document structure: a tag nested under another tag yields a partof
+//    edge (Fig. 9's per-source hierarchies are exactly these), and
+//  * the lexical KB: isa (hypernym) and partof (holonym) facts for tags and
+//    for content strings of designated "entity" tags -- the paper's use of
+//    WordNet plus administrator rules.
+//
+// The resulting per-instance ontologies are then fused (ontology.h) and
+// similarity-enhanced (sea.h), mirroring the TOSS pipeline.
+
+#ifndef TOSS_ONTOLOGY_ONTOLOGY_MAKER_H_
+#define TOSS_ONTOLOGY_ONTOLOGY_MAKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lexicon/lexicon.h"
+#include "ontology/ontology.h"
+#include "xml/xml_document.h"
+
+namespace toss::ontology {
+
+struct OntologyMakerOptions {
+  /// Derive partof edges from element nesting.
+  bool use_structure = true;
+  /// Consult the lexicon for isa/partof facts about tags and content terms.
+  bool use_lexicon = true;
+  /// Tags whose *content strings* become ontology terms (e.g. "booktitle",
+  /// "conference", "author"). Empty = tags only.
+  std::vector<std::string> content_tags;
+  /// Follow lexicon hypernym/holonym chains transitively (true) or only one
+  /// level (false).
+  bool transitive_lexicon = true;
+};
+
+/// Builds the ontology of one XML instance. Edges that would create a cycle
+/// (e.g. recursive element nesting) are skipped, keeping hierarchies DAGs.
+Result<Ontology> MakeOntology(const xml::XmlDocument& doc,
+                              const lexicon::Lexicon& lexicon,
+                              const OntologyMakerOptions& options = {});
+
+/// Builds ONE ontology covering a whole multi-document instance (e.g. a
+/// store collection): tags and content terms are pooled across all
+/// documents before hierarchy construction, so shared terms share nodes.
+Result<Ontology> MakeOntologyForDocuments(
+    const std::vector<const xml::XmlDocument*>& docs,
+    const lexicon::Lexicon& lexicon, const OntologyMakerOptions& options = {});
+
+/// Proposes interoperation constraints between two instances' ontologies
+/// for one relation: x:0 = y:1 whenever x and y are equal strings or
+/// lexicon synonyms. DBA-authored constraints can be appended on top.
+std::vector<InteropConstraint> SuggestEqualityConstraints(
+    const Hierarchy& left, const Hierarchy& right,
+    const lexicon::Lexicon& lexicon);
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_ONTOLOGY_MAKER_H_

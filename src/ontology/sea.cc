@@ -1,0 +1,290 @@
+#include "ontology/sea.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/node_measure.h"
+
+namespace toss::ontology {
+
+namespace {
+
+// Bron-Kerbosch maximal clique enumeration with pivoting. Vertices are
+// hierarchy node ids; `adj` is a symmetric boolean matrix. Similarity graphs
+// over ontology terms are sparse, so this is fast in practice despite the
+// worst-case exponential bound.
+class CliqueEnumerator {
+ public:
+  CliqueEnumerator(size_t n, const std::vector<std::vector<bool>>& adj)
+      : n_(n), adj_(adj) {}
+
+  std::vector<std::vector<HNodeId>> Run() {
+    std::vector<int> p(n_), x, r;
+    for (size_t v = 0; v < n_; ++v) p[v] = static_cast<int>(v);
+    Expand(&r, p, x);
+    return std::move(cliques_);
+  }
+
+ private:
+  void Expand(std::vector<int>* r, std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      std::vector<HNodeId> clique(r->begin(), r->end());
+      std::sort(clique.begin(), clique.end());
+      cliques_.push_back(std::move(clique));
+      return;
+    }
+    // Pivot: vertex of P ∪ X with the most neighbours in P.
+    int pivot = -1;
+    size_t best = 0;
+    auto count_neighbours = [&](int u) {
+      size_t c = 0;
+      for (int v : p) {
+        if (adj_[u][v]) ++c;
+      }
+      return c;
+    };
+    for (int u : p) {
+      size_t c = count_neighbours(u);
+      if (pivot == -1 || c > best) {
+        pivot = u;
+        best = c;
+      }
+    }
+    for (int u : x) {
+      size_t c = count_neighbours(u);
+      if (pivot == -1 || c > best) {
+        pivot = u;
+        best = c;
+      }
+    }
+    std::vector<int> candidates;
+    for (int v : p) {
+      if (pivot == -1 || !adj_[pivot][v]) candidates.push_back(v);
+    }
+    for (int v : candidates) {
+      r->push_back(v);
+      std::vector<int> p2, x2;
+      for (int w : p) {
+        if (adj_[v][w]) p2.push_back(w);
+      }
+      for (int w : x) {
+        if (adj_[v][w]) x2.push_back(w);
+      }
+      Expand(r, std::move(p2), std::move(x2));
+      r->pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  size_t n_;
+  const std::vector<std::vector<bool>>& adj_;
+  std::vector<std::vector<HNodeId>> cliques_;
+};
+
+}  // namespace
+
+std::vector<HNodeId> SimilarityEnhancement::Preimage(HNodeId e) const {
+  std::vector<HNodeId> out;
+  for (HNodeId v = 0; v < mu.size(); ++v) {
+    if (std::find(mu[v].begin(), mu[v].end(), e) != mu[v].end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Result<SimilarityEnhancement> SimilarityEnhance(const Hierarchy& h,
+                                                const sim::StringMeasure& d,
+                                                double epsilon,
+                                                const SeaOptions& options) {
+  if (epsilon < 0) {
+    return Status::InvalidArgument("SEA: epsilon must be >= 0");
+  }
+  if (!h.IsAcyclic()) {
+    return Status::Inconsistent("SEA: input hierarchy is cyclic");
+  }
+  const size_t n = h.node_count();
+
+  // epsilon-similarity graph over H's nodes (lines 5-7 of Fig. 12).
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      double dist = sim::BoundedNodeDistance(
+          h.terms(static_cast<HNodeId>(a)), h.terms(static_cast<HNodeId>(b)),
+          d, epsilon);
+      if (dist <= epsilon) adj[a][b] = adj[b][a] = true;
+    }
+  }
+
+  // Maximal cliques = the unique grouped node set (Def. 8 conds 2-4,
+  // Thm. 1). Isolated vertices yield singleton cliques, covering line 3.
+  // (On an empty hierarchy Bron-Kerbosch reports the empty clique; drop
+  // it -- an enhancement of nothing has no nodes.)
+  std::vector<std::vector<HNodeId>> cliques = CliqueEnumerator(n, adj).Run();
+  std::erase_if(cliques,
+                [](const std::vector<HNodeId>& c) { return c.empty(); });
+
+  SimilarityEnhancement result;
+  result.mu.assign(n, {});
+  for (const auto& clique : cliques) {
+    std::vector<std::string> terms;
+    for (HNodeId v : clique) {
+      for (const auto& t : h.terms(v)) terms.push_back(t);
+    }
+    HNodeId e = result.enhanced.AddNode(std::move(terms));
+    for (HNodeId v : clique) result.mu[v].push_back(e);
+  }
+
+  // Order reconstruction (lines 11-13): condition (1) forces an enhanced
+  // path A0 ~> B0 whenever some preimage pair has a path in H, so add the
+  // edge for every strictly ordered preimage pair.
+  const HNodeId enhanced_count =
+      static_cast<HNodeId>(result.enhanced.node_count());
+  for (HNodeId e1 = 0; e1 < enhanced_count; ++e1) {
+    for (HNodeId e2 = 0; e2 < enhanced_count; ++e2) {
+      if (e1 == e2) continue;
+      bool ordered = false;
+      for (HNodeId a : cliques[e1]) {
+        for (HNodeId b : cliques[e2]) {
+          if (a != b && h.Leq(a, b)) {
+            ordered = true;
+            break;
+          }
+        }
+        if (ordered) break;
+      }
+      if (ordered) {
+        TOSS_RETURN_NOT_OK(result.enhanced.AddEdge(e1, e2));
+      }
+    }
+  }
+
+  // Line 14: check-acyclic. A cycle means the grouping collapsed an order
+  // the hierarchy needs, i.e. (H, d, epsilon) is similarity inconsistent.
+  if (!result.enhanced.IsAcyclic()) {
+    return Status::Inconsistent(
+        "SEA: similarity inconsistent (enhanced hierarchy is cyclic) at "
+        "epsilon=" +
+        std::to_string(epsilon));
+  }
+
+  if (options.strict) {
+    // Full Def. 8 condition (1) converse: every enhanced path must hold for
+    // all preimage pairs.
+    for (HNodeId e1 = 0; e1 < enhanced_count; ++e1) {
+      for (HNodeId e2 = 0; e2 < enhanced_count; ++e2) {
+        if (e1 == e2 || !result.enhanced.Leq(e1, e2)) continue;
+        for (HNodeId a : cliques[e1]) {
+          for (HNodeId b : cliques[e2]) {
+            if (!h.Leq(a, b)) {
+              return Status::Inconsistent(
+                  "SEA(strict): enhanced order " +
+                  result.enhanced.NodeLabel(e1) + " <= " +
+                  result.enhanced.NodeLabel(e2) +
+                  " is not backed by all preimage pairs (" + h.NodeLabel(a) +
+                  " vs " + h.NodeLabel(b) + ")");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  TOSS_RETURN_NOT_OK(result.enhanced.TransitiveReduction());
+  return result;
+}
+
+bool IsSimilarityConsistent(const Hierarchy& h, const sim::StringMeasure& d,
+                            double epsilon) {
+  return SimilarityEnhance(h, d, epsilon).ok();
+}
+
+Status VerifyEnhancement(const Hierarchy& h, const sim::StringMeasure& d,
+                         double epsilon, const SimilarityEnhancement& e) {
+  const size_t n = h.node_count();
+  if (e.mu.size() != n) {
+    return Status::InvalidArgument("mu size does not match hierarchy");
+  }
+  for (HNodeId v = 0; v < n; ++v) {
+    if (e.mu[v].empty()) {
+      return Status::Inconsistent("mu(" + h.NodeLabel(v) + ") is empty");
+    }
+  }
+
+  // Condition (2): nodes sharing an enhanced node are within epsilon.
+  // Condition (3): nodes within epsilon share an enhanced node.
+  for (HNodeId a = 0; a < n; ++a) {
+    for (HNodeId b = a + 1; b < n; ++b) {
+      double dist = sim::NodeDistance(h.terms(a), h.terms(b), d);
+      bool share = false;
+      for (HNodeId ea : e.mu[a]) {
+        for (HNodeId eb : e.mu[b]) {
+          if (ea == eb) share = true;
+        }
+      }
+      if (share && dist > epsilon) {
+        return Status::Inconsistent("condition 2 violated: " +
+                                    h.NodeLabel(a) + " and " +
+                                    h.NodeLabel(b) + " share a node");
+      }
+      if (!share && dist <= epsilon) {
+        return Status::Inconsistent("condition 3 violated: " +
+                                    h.NodeLabel(a) + " and " +
+                                    h.NodeLabel(b) + " share no node");
+      }
+    }
+  }
+
+  // Condition (4): no enhanced node's preimage is a subset of another's.
+  const HNodeId m = static_cast<HNodeId>(e.enhanced.node_count());
+  std::vector<std::set<HNodeId>> pre(m);
+  for (HNodeId v = 0; v < n; ++v) {
+    for (HNodeId ev : e.mu[v]) pre[ev].insert(v);
+  }
+  for (HNodeId x = 0; x < m; ++x) {
+    for (HNodeId y = 0; y < m; ++y) {
+      if (x == y) continue;
+      if (std::includes(pre[y].begin(), pre[y].end(), pre[x].begin(),
+                        pre[x].end())) {
+        return Status::Inconsistent("condition 4 violated: preimage of " +
+                                    e.enhanced.NodeLabel(x) +
+                                    " is contained in that of " +
+                                    e.enhanced.NodeLabel(y));
+      }
+    }
+  }
+
+  // Condition (1), both directions.
+  for (HNodeId a = 0; a < n; ++a) {
+    for (HNodeId b = 0; b < n; ++b) {
+      if (a == b || !h.Leq(a, b)) continue;
+      for (HNodeId ea : e.mu[a]) {
+        for (HNodeId eb : e.mu[b]) {
+          if (!e.enhanced.Leq(ea, eb)) {
+            return Status::Inconsistent(
+                "condition 1 (forward) violated between " + h.NodeLabel(a) +
+                " and " + h.NodeLabel(b));
+          }
+        }
+      }
+    }
+  }
+  for (HNodeId x = 0; x < m; ++x) {
+    for (HNodeId y = 0; y < m; ++y) {
+      if (x == y || !e.enhanced.Leq(x, y)) continue;
+      for (HNodeId a : pre[x]) {
+        for (HNodeId b : pre[y]) {
+          if (a != b && !h.Leq(a, b)) {
+            return Status::Inconsistent(
+                "condition 1 (converse) violated between " +
+                e.enhanced.NodeLabel(x) + " and " + e.enhanced.NodeLabel(y));
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace toss::ontology

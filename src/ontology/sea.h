@@ -1,0 +1,61 @@
+// Similarity enhancement of a hierarchy: algorithm SEA (paper Fig. 12,
+// Defs. 8-9, Theorems 1-2).
+//
+// Given a (fused) hierarchy H, a similarity measure d, and a threshold
+// epsilon, SEA groups nodes whose pairwise distance is <= epsilon. Def. 8's
+// conditions (2)-(4) pin the grouped node set down uniquely (Theorem 1): it
+// is exactly the set of *maximal cliques* of the epsilon-similarity graph
+// over H's nodes. We enumerate those with Bron-Kerbosch (pivoting), define
+// mu as clique membership, rebuild the order (an enhanced edge A' -> B' is
+// added when some preimage pair is strictly ordered in H), transitively
+// reduce, and reject cyclic results as *similarity inconsistent* (Def. 9).
+//
+// `strict` mode additionally verifies Def. 8 condition (1)'s converse --
+// every enhanced path must be backed by paths between *all* preimage pairs
+// -- rejecting enhancements the paper's acyclicity-only check would accept.
+
+#ifndef TOSS_ONTOLOGY_SEA_H_
+#define TOSS_ONTOLOGY_SEA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/hierarchy.h"
+#include "sim/string_measure.h"
+
+namespace toss::ontology {
+
+/// The pair (H', mu) of Def. 8.
+struct SimilarityEnhancement {
+  Hierarchy enhanced;
+  /// mu[v] = enhanced nodes that original node v belongs to (non-empty).
+  std::vector<std::vector<HNodeId>> mu;
+
+  /// Preimage mu^{-1}: original nodes mapped into enhanced node `e`.
+  std::vector<HNodeId> Preimage(HNodeId e) const;
+};
+
+struct SeaOptions {
+  /// Verify Def. 8 condition (1) fully instead of the paper's
+  /// acyclicity-only check (see file comment).
+  bool strict = false;
+};
+
+/// Runs SEA. Returns Status::Inconsistent when (H, d, epsilon) is similarity
+/// inconsistent.
+Result<SimilarityEnhancement> SimilarityEnhance(
+    const Hierarchy& h, const sim::StringMeasure& d, double epsilon,
+    const SeaOptions& options = {});
+
+/// Def. 9 predicate.
+bool IsSimilarityConsistent(const Hierarchy& h, const sim::StringMeasure& d,
+                            double epsilon);
+
+/// Checks all four Def. 8 conditions of `e` against (h, d, epsilon);
+/// returns the first violation found. Used by property tests (Theorem 2).
+Status VerifyEnhancement(const Hierarchy& h, const sim::StringMeasure& d,
+                         double epsilon, const SimilarityEnhancement& e);
+
+}  // namespace toss::ontology
+
+#endif  // TOSS_ONTOLOGY_SEA_H_

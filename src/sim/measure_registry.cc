@@ -1,0 +1,55 @@
+#include "sim/measure_registry.h"
+
+#include "sim/soft_tfidf.h"
+
+namespace toss::sim {
+
+Result<StringMeasurePtr> MakeMeasure(const std::string& name) {
+  if (name == "levenshtein") {
+    return StringMeasurePtr(std::make_shared<LevenshteinMeasure>());
+  }
+  if (name == "damerau") {
+    return StringMeasurePtr(std::make_shared<DamerauLevenshteinMeasure>());
+  }
+  if (name == "ci-levenshtein") {
+    return StringMeasurePtr(
+        std::make_shared<CaseInsensitiveLevenshteinMeasure>());
+  }
+  if (name == "jaro") {
+    return StringMeasurePtr(std::make_shared<JaroMeasure>());
+  }
+  if (name == "jaro-winkler") {
+    return StringMeasurePtr(std::make_shared<JaroWinklerMeasure>());
+  }
+  if (name == "monge-elkan") {
+    return StringMeasurePtr(std::make_shared<MongeElkanMeasure>());
+  }
+  if (name == "jaccard") {
+    return StringMeasurePtr(std::make_shared<JaccardMeasure>());
+  }
+  if (name == "qgram-cosine") {
+    return StringMeasurePtr(std::make_shared<QGramCosineMeasure>());
+  }
+  if (name == "person-name") {
+    return StringMeasurePtr(std::make_shared<PersonNameMeasure>());
+  }
+  if (name == "guarded-levenshtein") {
+    return StringMeasurePtr(std::make_shared<MinLengthGuardMeasure>(
+        std::make_shared<LevenshteinMeasure>()));
+  }
+  if (name == "soft-tfidf") {
+    // Untrained (uniform IDF); call Train() on a directly-constructed
+    // instance for corpus-weighted matching.
+    return StringMeasurePtr(std::make_shared<SoftTfIdfMeasure>());
+  }
+  return Status::NotFound("no similarity measure named '" + name + "'");
+}
+
+std::vector<std::string> MeasureNames() {
+  return {"levenshtein", "damerau",      "ci-levenshtein",
+          "jaro",        "jaro-winkler", "monge-elkan",
+          "jaccard",     "qgram-cosine", "person-name",
+          "guarded-levenshtein", "soft-tfidf"};
+}
+
+}  // namespace toss::sim

@@ -1,0 +1,27 @@
+// Name-keyed factory for similarity measures. The paper's Similarity
+// Enhancer lets the database administrator pick a measure "among a variety
+// of possible choices"; this registry is that choice point.
+
+#ifndef TOSS_SIM_MEASURE_REGISTRY_H_
+#define TOSS_SIM_MEASURE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/string_measure.h"
+
+namespace toss::sim {
+
+/// Returns the measure registered under `name` (see MeasureNames), or
+/// NotFound. The built-in names are:
+///   levenshtein, damerau, ci-levenshtein, jaro, jaro-winkler, monge-elkan,
+///   jaccard, qgram-cosine, person-name
+Result<StringMeasurePtr> MakeMeasure(const std::string& name);
+
+/// Names accepted by MakeMeasure.
+std::vector<std::string> MeasureNames();
+
+}  // namespace toss::sim
+
+#endif  // TOSS_SIM_MEASURE_REGISTRY_H_

@@ -1,0 +1,39 @@
+#include "sim/node_measure.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace toss::sim {
+
+double NodeDistance(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b,
+                    const StringMeasure& measure, bool assume_zero_within) {
+  return BoundedNodeDistance(a, b, measure,
+                             std::numeric_limits<double>::infinity(),
+                             assume_zero_within);
+}
+
+double BoundedNodeDistance(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           const StringMeasure& measure, double bound,
+                           bool assume_zero_within) {
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (measure.is_strong() && assume_zero_within) {
+    // Lemma 1: all cross pairs are equidistant.
+    return measure.BoundedDistance(a.front(), b.front(), bound);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      double effective_bound = std::min(bound, best);
+      double d = measure.BoundedDistance(x, y, effective_bound);
+      best = std::min(best, d);
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace toss::sim

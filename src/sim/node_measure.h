@@ -1,0 +1,34 @@
+// Node-level similarity (paper Def. 7 and Lemma 1).
+//
+// Ontology nodes contain *sets* of strings (synonyms grouped by fusion or by
+// an earlier enhancement). The node distance is the minimum string distance
+// over all cross pairs. Lemma 1: when the underlying string measure is
+// strong and within-node distances are 0, every cross pair has the same
+// distance, so one representative pair suffices.
+
+#ifndef TOSS_SIM_NODE_MEASURE_H_
+#define TOSS_SIM_NODE_MEASURE_H_
+
+#include <vector>
+
+#include "sim/string_measure.h"
+
+namespace toss::sim {
+
+/// Distance between two string sets under `measure`: min over cross pairs.
+/// Uses the Lemma-1 single-pair fast path when `measure->is_strong()` and
+/// `assume_zero_within` (the SEO invariant) hold.
+double NodeDistance(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b,
+                    const StringMeasure& measure,
+                    bool assume_zero_within = false);
+
+/// Bounded variant: may return any value > bound early.
+double BoundedNodeDistance(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           const StringMeasure& measure, double bound,
+                           bool assume_zero_within = false);
+
+}  // namespace toss::sim
+
+#endif  // TOSS_SIM_NODE_MEASURE_H_

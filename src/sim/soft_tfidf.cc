@@ -1,0 +1,83 @@
+#include "sim/soft_tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace toss::sim {
+
+void SoftTfIdfMeasure::Train(const std::vector<std::string>& corpus) {
+  document_count_ = corpus.size();
+  document_frequency_.clear();
+  for (const auto& doc : corpus) {
+    auto tokens = TokenizeWords(doc);
+    std::set<std::string> unique(tokens.begin(), tokens.end());
+    for (const auto& tok : unique) ++document_frequency_[tok];
+  }
+}
+
+std::map<std::string, double> SoftTfIdfMeasure::Weights(
+    const std::vector<std::string>& tokens) const {
+  std::map<std::string, double> tf;
+  for (const auto& tok : tokens) tf[tok] += 1.0;
+  double norm = 0.0;
+  for (auto& [tok, weight] : tf) {
+    double idf = 1.0;
+    if (document_count_ > 0) {
+      auto it = document_frequency_.find(tok);
+      double df = it == document_frequency_.end()
+                      ? 1.0
+                      : static_cast<double>(it->second);
+      idf = std::log(static_cast<double>(document_count_ + 1) / df);
+      if (idf <= 0) idf = 1e-6;  // corpus-universal token
+    }
+    // log-scaled tf, standard in the SecondString implementation.
+    weight = (1.0 + std::log(weight)) * idf;
+    norm += weight * weight;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [tok, weight] : tf) weight /= norm;
+  }
+  return tf;
+}
+
+double SoftTfIdfMeasure::Directional(
+    const std::map<std::string, double>& wa,
+    const std::map<std::string, double>& wb) const {
+  double sim = 0.0;
+  for (const auto& [ta, va] : wa) {
+    // Best soft match of ta among b's tokens.
+    double best_inner = 0.0;
+    double best_weight = 0.0;
+    for (const auto& [tb, vb] : wb) {
+      double inner = (ta == tb) ? 1.0 : JaroWinklerSimilarity(ta, tb);
+      if (inner >= inner_threshold_ && inner > best_inner) {
+        best_inner = inner;
+        best_weight = vb;
+      }
+    }
+    if (best_inner > 0) sim += va * best_weight * best_inner;
+  }
+  return sim;
+}
+
+double SoftTfIdfMeasure::Distance(std::string_view a,
+                                  std::string_view b) const {
+  if (a == b) return 0.0;
+  auto ta = TokenizeWords(a);
+  auto tb = TokenizeWords(b);
+  if (ta.empty() && tb.empty()) return 0.0;
+  if (ta.empty() || tb.empty()) return scale_;
+  auto wa = Weights(ta);
+  auto wb = Weights(tb);
+  // SoftTFIDF is asymmetric; symmetrize with the average so the result is
+  // a valid similarity measure (Def. 7 requires symmetry).
+  double sim = 0.5 * (Directional(wa, wb) + Directional(wb, wa));
+  sim = std::min(1.0, sim);
+  return (1.0 - sim) * scale_;
+}
+
+}  // namespace toss::sim

@@ -1,0 +1,58 @@
+// SoftTFIDF (Cohen, Ravikumar & Fienberg): the hybrid measure that won
+// their string-matching comparison [5]. Token sets are compared with
+// TF-IDF weights, but tokens need not match exactly -- an inner
+// character-based similarity (Jaro-Winkler) above a threshold counts as a
+// soft match scaled by its similarity.
+//
+// IDF weights come from Train()ing on a corpus of strings (e.g. all author
+// names in a collection); untrained instances fall back to uniform weights
+// (pure soft-cosine), which is still a usable measure.
+
+#ifndef TOSS_SIM_SOFT_TFIDF_H_
+#define TOSS_SIM_SOFT_TFIDF_H_
+
+#include <map>
+#include <vector>
+
+#include "sim/string_measure.h"
+
+namespace toss::sim {
+
+class SoftTfIdfMeasure : public StringMeasure {
+ public:
+  /// `inner_threshold`: minimum Jaro-Winkler similarity for a soft token
+  /// match (0.9 is the authors' setting). Distance = (1 - sim) * scale.
+  explicit SoftTfIdfMeasure(double scale = 10.0,
+                            double inner_threshold = 0.9)
+      : scale_(scale), inner_threshold_(inner_threshold) {}
+
+  /// Fits IDF weights on a corpus of strings (each string = one document).
+  /// May be called once, before any Distance() call is shared across
+  /// threads.
+  void Train(const std::vector<std::string>& corpus);
+
+  bool trained() const { return document_count_ > 0; }
+  size_t vocabulary_size() const { return document_frequency_.size(); }
+
+  double Distance(std::string_view a, std::string_view b) const override;
+  bool is_strong() const override { return false; }
+  std::string name() const override { return "soft-tfidf"; }
+
+ private:
+  /// Normalized tf-idf weight vector of a token list.
+  std::map<std::string, double> Weights(
+      const std::vector<std::string>& tokens) const;
+
+  /// Directional SoftTFIDF similarity.
+  double Directional(const std::map<std::string, double>& wa,
+                     const std::map<std::string, double>& wb) const;
+
+  double scale_;
+  double inner_threshold_;
+  size_t document_count_ = 0;
+  std::map<std::string, size_t> document_frequency_;
+};
+
+}  // namespace toss::sim
+
+#endif  // TOSS_SIM_SOFT_TFIDF_H_

@@ -1,0 +1,358 @@
+#include "sim/string_measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace toss::sim {
+
+namespace {
+
+// Two-row Levenshtein DP. O(|a| * |b|) time, O(min) space.
+int LevenshteinRaw(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<int> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+      int sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+// Banded Levenshtein: returns the exact distance when it is <= limit,
+// otherwise any value > limit. Only cells within `limit` of the diagonal can
+// contribute, so the scan is O(limit * max(|a|,|b|)).
+int LevenshteinBounded(std::string_view a, std::string_view b, int limit) {
+  if (limit < 0) return 1;  // any positive value exceeds a negative limit
+  int size_diff = static_cast<int>(
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  if (size_diff > limit) return limit + 1;
+  if (a.size() > b.size()) std::swap(a, b);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int kInf = limit + 1;
+  std::vector<int> prev(n + 1, kInf), cur(n + 1, kInf);
+  for (int i = 0; i <= std::min(n, limit); ++i) prev[i] = i;
+  for (int j = 1; j <= m; ++j) {
+    int lo = std::max(1, j - limit);
+    int hi = std::min(n, j + limit);
+    cur.assign(n + 1, kInf);
+    if (j <= limit) cur[0] = j;
+    int row_min = cur[0];
+    for (int i = lo; i <= hi; ++i) {
+      int sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      int del = prev[i] + 1;
+      int ins = cur[i - 1] + 1;
+      cur[i] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, cur[i]);
+    }
+    if (row_min > limit) return kInf;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[n], kInf);
+}
+
+std::vector<std::string> NameTokens(std::string_view s) {
+  // Split camel-case and punctuation: "GianLuigi" -> {gian, luigi}.
+  std::string expanded;
+  char prev = '\0';
+  for (char c : s) {
+    if (std::isupper(static_cast<unsigned char>(c)) &&
+        std::islower(static_cast<unsigned char>(prev))) {
+      expanded += ' ';
+    }
+    expanded += c;
+    prev = c;
+  }
+  return TokenizeWords(expanded);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Levenshtein family
+// ---------------------------------------------------------------------------
+
+double LevenshteinMeasure::Distance(std::string_view a,
+                                    std::string_view b) const {
+  return static_cast<double>(LevenshteinRaw(a, b));
+}
+
+double LevenshteinMeasure::BoundedDistance(std::string_view a,
+                                           std::string_view b,
+                                           double bound) const {
+  // Any bound at or above the worst case makes the band the whole matrix;
+  // also guards the int cast against +infinity.
+  double worst = static_cast<double>(std::max(a.size(), b.size()));
+  if (!(bound < worst)) return Distance(a, b);
+  int limit = static_cast<int>(std::floor(bound));
+  return static_cast<double>(LevenshteinBounded(a, b, limit));
+}
+
+double DamerauLevenshteinMeasure::Distance(std::string_view a,
+                                           std::string_view b) const {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1));
+  for (int i = 0; i <= n; ++i) d[i][0] = i;
+  for (int j = 0; j <= m; ++j) d[0][j] = j;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return static_cast<double>(d[n][m]);
+}
+
+double CaseInsensitiveLevenshteinMeasure::Distance(std::string_view a,
+                                                   std::string_view b) const {
+  return static_cast<double>(LevenshteinRaw(ToLower(a), ToLower(b)));
+}
+
+// ---------------------------------------------------------------------------
+// Jaro family
+// ---------------------------------------------------------------------------
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<bool> a_match(n, false), b_match(m, false);
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    int lo = std::max(0, i - window);
+    int hi = std::min(m - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_match[j] && a[i] == b[j]) {
+        a_match[i] = b_match[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among the matched characters.
+  int transpositions = 0;
+  int k = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double mm = matches;
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  // Standard Winkler boost for a shared prefix up to 4 characters, applied
+  // only when the base similarity is already reasonably high.
+  if (jaro < 0.7) return jaro;
+  int prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double JaroMeasure::Distance(std::string_view a, std::string_view b) const {
+  return (1.0 - JaroSimilarity(a, b)) * scale_;
+}
+
+double JaroWinklerMeasure::Distance(std::string_view a,
+                                    std::string_view b) const {
+  return (1.0 - JaroWinklerSimilarity(a, b)) * scale_;
+}
+
+// ---------------------------------------------------------------------------
+// Token-based measures
+// ---------------------------------------------------------------------------
+
+double MongeElkanMeasure::Distance(std::string_view a,
+                                   std::string_view b) const {
+  auto ta = TokenizeWords(a);
+  auto tb = TokenizeWords(b);
+  if (ta.empty() && tb.empty()) return 0.0;
+  if (ta.empty() || tb.empty()) return scale_;
+  auto directional = [](const std::vector<std::string>& xs,
+                        const std::vector<std::string>& ys) {
+    double total = 0.0;
+    for (const auto& x : xs) {
+      double best = 0.0;
+      for (const auto& y : ys) {
+        best = std::max(best, JaroWinklerSimilarity(x, y));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  // Monge-Elkan is asymmetric; symmetrize with the max so d(a,b)=d(b,a).
+  double sim = std::max(directional(ta, tb), directional(tb, ta));
+  return (1.0 - sim) * scale_;
+}
+
+double JaccardMeasure::Distance(std::string_view a, std::string_view b) const {
+  auto ta = TokenizeWords(a);
+  auto tb = TokenizeWords(b);
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  if (sa.empty() && sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& w : sa) inter += sb.count(w);
+  size_t uni = sa.size() + sb.size() - inter;
+  double jaccard = static_cast<double>(inter) / static_cast<double>(uni);
+  return (1.0 - jaccard) * scale_;
+}
+
+double QGramCosineMeasure::Distance(std::string_view a,
+                                    std::string_view b) const {
+  if (a == b) return 0.0;
+  auto grams = [this](std::string_view s) {
+    std::map<std::string, int> counts;
+    std::string lower = ToLower(s);
+    // Pad so short strings still produce q-grams.
+    std::string padded =
+        std::string(q_ - 1, '#') + lower + std::string(q_ - 1, '#');
+    for (size_t i = 0; i + q_ <= padded.size(); ++i) {
+      ++counts[padded.substr(i, q_)];
+    }
+    return counts;
+  };
+  auto ga = grams(a);
+  auto gb = grams(b);
+  if (ga.empty() && gb.empty()) return 0.0;
+  if (ga.empty() || gb.empty()) return scale_;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [g, c] : ga) {
+    na += static_cast<double>(c) * c;
+    auto it = gb.find(g);
+    if (it != gb.end()) dot += static_cast<double>(c) * it->second;
+  }
+  for (const auto& [g, c] : gb) nb += static_cast<double>(c) * c;
+  // Clamp: rounding can push the cosine of identical vectors past 1,
+  // which would make the distance (slightly) negative.
+  double cosine =
+      std::min(1.0, dot / (std::sqrt(na) * std::sqrt(nb)));
+  return (1.0 - cosine) * scale_;
+}
+
+// ---------------------------------------------------------------------------
+// Rule-based person-name measure
+// ---------------------------------------------------------------------------
+
+double PersonNameMeasure::Distance(std::string_view a,
+                                   std::string_view b) const {
+  if (a == b) return 0.0;
+  auto ta = NameTokens(a);
+  auto tb = NameTokens(b);
+  if (ta.empty() || tb.empty()) {
+    return std::max(4.0, static_cast<double>(LevenshteinRaw(a, b)));
+  }
+  if (ta == tb) return 0.0;
+  if (ta.back() != tb.back()) {
+    // Different last names: never similar under the domain rules.
+    return std::max(4.0, static_cast<double>(LevenshteinRaw(a, b)));
+  }
+  // Same last name; compare given-name token lists.
+  std::vector<std::string> ga(ta.begin(), ta.end() - 1);
+  std::vector<std::string> gb(tb.begin(), tb.end() - 1);
+  if (ga.empty() || gb.empty()) return 3.5;  // e.g. "Ullman" vs "J. Ullman"
+
+  // "Compatible" given names: one is an initial or prefix of the other,
+  // pairwise in order (extra middle names on either side are tolerated).
+  auto compatible = [](const std::vector<std::string>& xs,
+                       const std::vector<std::string>& ys) {
+    size_t i = 0, j = 0;
+    size_t matched = 0;
+    while (i < xs.size() && j < ys.size()) {
+      const std::string& x = xs[i];
+      const std::string& y = ys[j];
+      bool match = StartsWith(x, y) || StartsWith(y, x);
+      if (match) {
+        ++matched;
+        ++i;
+        ++j;
+      } else {
+        // Skip the shorter list's token? No: skip from the longer list
+        // (treat as an omitted middle name).
+        if (xs.size() - i > ys.size() - j) {
+          ++i;
+        } else if (ys.size() - j > xs.size() - i) {
+          ++j;
+        } else {
+          return false;
+        }
+      }
+    }
+    return matched > 0;
+  };
+
+  bool full_compat = compatible(ga, gb);
+  if (full_compat) {
+    // Distinguish full-name compatibility ("jeffrey" vs "jeffrey d") from
+    // initial-only matches ("j" vs "jeffrey").
+    bool initial_only = true;
+    for (size_t i = 0; i < std::min(ga.size(), gb.size()); ++i) {
+      if (ga[i].size() > 1 && gb[i].size() > 1) {
+        initial_only = false;
+        break;
+      }
+    }
+    return initial_only ? 2.0 : 0.5;
+  }
+  // Same last name, incompatible given names (e.g. Marco vs Mauro): check
+  // initials.
+  if (!ga.empty() && !gb.empty() && ga[0][0] == gb[0][0]) return 2.2;
+  return 3.5;
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+double MinLengthGuardMeasure::Distance(std::string_view a,
+                                       std::string_view b) const {
+  if (a == b) return 0.0;
+  double d = inner_->Distance(a, b);
+  if (a.size() < min_length_ || b.size() < min_length_) {
+    d = std::max(d, floor_);
+  }
+  return d;
+}
+
+double MinLengthGuardMeasure::BoundedDistance(std::string_view a,
+                                              std::string_view b,
+                                              double bound) const {
+  if (a == b) return 0.0;
+  if ((a.size() < min_length_ || b.size() < min_length_) &&
+      floor_ > bound) {
+    return floor_;
+  }
+  double d = inner_->BoundedDistance(a, b, bound);
+  if (a.size() < min_length_ || b.size() < min_length_) {
+    d = std::max(d, floor_);
+  }
+  return d;
+}
+
+}  // namespace toss::sim

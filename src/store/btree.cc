@@ -1,0 +1,304 @@
+#include "store/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace toss::store {
+
+// ---------------------------------------------------------------------------
+// Node layout: classic B+-tree. Inner nodes hold separator keys and
+// children (children.size() == keys.size() + 1); child i covers keys
+// < keys[i], the last child covers the rest. Leaves hold (key, postings)
+// pairs and a next-leaf pointer.
+// ---------------------------------------------------------------------------
+
+struct BPlusTree::Node {
+  bool leaf = true;
+  std::vector<std::string> keys;
+  // Inner:
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf:
+  std::vector<std::vector<DocId>> postings;
+  Node* next = nullptr;  // leaf chain
+};
+
+struct BPlusTree::Impl {
+  std::unique_ptr<Node> root;
+
+  Node* LeftmostLeafAtOrAbove(std::string_view key) const {
+    Node* n = root.get();
+    while (!n->leaf) {
+      size_t i = static_cast<size_t>(
+          std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+          n->keys.begin());
+      n = n->children[i].get();
+    }
+    return n;
+  }
+};
+
+BPlusTree::BPlusTree() : impl_(std::make_unique<Impl>()) {
+  impl_->root = std::make_unique<Node>();
+}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+namespace {
+
+/// Result of inserting into a subtree: when the child split, `split_key`
+/// separates the original node from `right`.
+struct SplitResult {
+  bool split = false;
+  std::string split_key;
+  std::unique_ptr<BPlusTree::Node> right;
+};
+
+}  // namespace
+
+// Recursive insert helper. Returns split info for the parent to absorb.
+static SplitResult InsertRec(BPlusTree::Node* node, std::string_view key,
+                             DocId doc, size_t* key_count) {
+  using Node = BPlusTree::Node;
+  SplitResult result;
+  if (node->leaf) {
+    size_t i = static_cast<size_t>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    if (i < node->keys.size() && node->keys[i] == key) {
+      auto& plist = node->postings[i];
+      bool was_tombstone = plist.empty();
+      auto it = std::lower_bound(plist.begin(), plist.end(), doc);
+      if (it == plist.end() || *it != doc) plist.insert(it, doc);
+      if (was_tombstone) ++*key_count;  // revived
+      return result;
+    }
+    node->keys.insert(node->keys.begin() + i, std::string(key));
+    node->postings.insert(node->postings.begin() + i, {doc});
+    ++*key_count;
+    if (node->keys.size() <= BPlusTree::kFanout) return result;
+    // Split leaf in half; right half moves to a new node.
+    size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                       std::make_move_iterator(node->keys.end()));
+    right->postings.assign(
+        std::make_move_iterator(node->postings.begin() + mid),
+        std::make_move_iterator(node->postings.end()));
+    node->keys.resize(mid);
+    node->postings.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    result.split = true;
+    result.split_key = right->keys.front();
+    result.right = std::move(right);
+    return result;
+  }
+  // Inner node: descend.
+  size_t i = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  SplitResult child = InsertRec(node->children[i].get(), key, doc,
+                                key_count);
+  if (!child.split) return result;
+  node->keys.insert(node->keys.begin() + i, std::move(child.split_key));
+  node->children.insert(node->children.begin() + i + 1,
+                        std::move(child.right));
+  if (node->keys.size() <= BPlusTree::kFanout) return result;
+  // Split inner node: middle key moves up.
+  size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  result.split_key = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() + mid + 1),
+      std::make_move_iterator(node->children.end()));
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  result.split = true;
+  result.right = std::move(right);
+  return result;
+}
+
+void BPlusTree::Insert(std::string_view key, DocId doc) {
+  SplitResult split = InsertRec(impl_->root.get(), key, doc, &key_count_);
+  if (split.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split.split_key));
+    new_root->children.push_back(std::move(impl_->root));
+    new_root->children.push_back(std::move(split.right));
+    impl_->root = std::move(new_root);
+    ++height_;
+  }
+}
+
+bool BPlusTree::Remove(std::string_view key, DocId doc) {
+  Node* leaf = impl_->LeftmostLeafAtOrAbove(key);
+  size_t i = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  if (i >= leaf->keys.size() || leaf->keys[i] != key) return false;
+  auto& plist = leaf->postings[i];
+  auto it = std::lower_bound(plist.begin(), plist.end(), doc);
+  if (it == plist.end() || *it != doc) return false;
+  plist.erase(it);
+  if (plist.empty()) --key_count_;  // tombstoned
+  return true;
+}
+
+const std::vector<DocId>* BPlusTree::Get(std::string_view key) const {
+  Node* leaf = impl_->LeftmostLeafAtOrAbove(key);
+  size_t i = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  if (i >= leaf->keys.size() || leaf->keys[i] != key) return nullptr;
+  return &leaf->postings[i];
+}
+
+namespace {
+
+template <typename PastEnd>
+void ScanFrom(BPlusTree::Node* leaf, std::string_view lo,
+              const PastEnd& past_end,
+              const std::function<bool(const std::string&,
+                                       const std::vector<DocId>&)>& fn) {
+  while (leaf != nullptr) {
+    size_t i = static_cast<size_t>(
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+        leaf->keys.begin());
+    for (; i < leaf->keys.size(); ++i) {
+      if (past_end(leaf->keys[i])) return;
+      if (leaf->postings[i].empty()) continue;  // tombstone
+      if (!fn(leaf->keys[i], leaf->postings[i])) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+}  // namespace
+
+void BPlusTree::RangeScan(
+    std::string_view lo, std::string_view hi,
+    const std::function<bool(const std::string&,
+                             const std::vector<DocId>&)>& fn) const {
+  if (hi < lo) return;
+  ScanFrom(impl_->LeftmostLeafAtOrAbove(lo), lo,
+           [&](const std::string& key) { return std::string_view(key) > hi; },
+           fn);
+}
+
+void BPlusTree::RangeScanExclusiveHi(
+    std::string_view lo, std::string_view hi_exclusive,
+    const std::function<bool(const std::string&,
+                             const std::vector<DocId>&)>& fn) const {
+  if (hi_exclusive <= lo) return;
+  ScanFrom(
+      impl_->LeftmostLeafAtOrAbove(lo), lo,
+      [&](const std::string& key) {
+        return std::string_view(key) >= hi_exclusive;
+      },
+      fn);
+}
+
+std::vector<DocId> BPlusTree::DocsInRange(std::string_view lo,
+                                          std::string_view hi) const {
+  std::vector<DocId> out;
+  RangeScan(lo, hi,
+            [&](const std::string&, const std::vector<DocId>& postings) {
+              out.insert(out.end(), postings.begin(), postings.end());
+              return true;
+            });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void BPlusTree::ForEach(
+    const std::function<bool(const std::string&,
+                             const std::vector<DocId>&)>& fn) const {
+  Node* leaf = impl_->LeftmostLeafAtOrAbove("");
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->postings[i].empty()) continue;  // tombstone
+      if (!fn(leaf->keys[i], leaf->postings[i])) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+void BPlusTree::Compact() {
+  // Collect live entries in order, rebuild from scratch.
+  std::vector<std::pair<std::string, std::vector<DocId>>> live;
+  live.reserve(key_count_);
+  ForEach([&](const std::string& key, const std::vector<DocId>& postings) {
+    live.push_back({key, postings});
+    return true;
+  });
+  impl_->root = std::make_unique<Node>();
+  key_count_ = 0;
+  height_ = 1;
+  for (auto& [key, postings] : live) {
+    for (DocId d : postings) Insert(key, d);
+  }
+}
+
+namespace {
+
+bool CheckNode(const BPlusTree::Node* node, size_t depth, size_t* leaf_depth,
+               const std::string* lower, const std::string* upper) {
+  // Keys sorted, within [lower, upper): child i of an inner node covers
+  // [keys[i-1], keys[i]) under the upper_bound routing used here.
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i > 0 && !(node->keys[i - 1] < node->keys[i])) return false;
+    if (lower != nullptr && node->keys[i] < *lower) return false;
+    if (upper != nullptr && node->keys[i] >= *upper) return false;
+  }
+  if (node->keys.size() > BPlusTree::kFanout) return false;
+  if (node->leaf) {
+    if (node->postings.size() != node->keys.size()) return false;
+    if (*leaf_depth == SIZE_MAX) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return false;  // non-uniform depth
+    }
+    return true;
+  }
+  if (node->children.size() != node->keys.size() + 1) return false;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const std::string* lo = (i == 0) ? lower : &node->keys[i - 1];
+    const std::string* hi =
+        (i == node->keys.size()) ? upper : &node->keys[i];
+    if (!CheckNode(node->children[i].get(), depth + 1, leaf_depth, lo, hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool BPlusTree::CheckInvariants() const {
+  size_t leaf_depth = SIZE_MAX;
+  if (!CheckNode(impl_->root.get(), 1, &leaf_depth, nullptr, nullptr)) {
+    return false;
+  }
+  if (leaf_depth != height_) return false;
+  // Leaf chain strictly ascending across all keys.
+  std::string prev;
+  bool first = true;
+  bool ordered = true;
+  ForEach([&](const std::string& key, const std::vector<DocId>&) {
+    if (!first && !(prev < key)) ordered = false;
+    prev = key;
+    first = false;
+    return ordered;
+  });
+  return ordered;
+}
+
+}  // namespace toss::store

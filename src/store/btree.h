@@ -1,0 +1,98 @@
+// In-memory B+-tree keyed by strings, holding sorted document-id posting
+// lists -- the ordered index behind the store's value index. Unlike the
+// previous std::map backend, leaves are linked so range scans
+// ("year in [1998, 2000]") stream postings in key order without touching
+// inner nodes, which is what lets the query executor push ordering
+// predicates down to the store.
+//
+// Deletion removes doc-ids from postings but never rebalances (tombstoned
+// empty postings are skipped by scans and reclaimed by Compact()); the
+// store's workload is insert-heavy with rare removals, so this keeps the
+// structure simple without affecting asymptotics.
+
+#ifndef TOSS_STORE_BTREE_H_
+#define TOSS_STORE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace toss::store {
+
+using DocId = uint32_t;
+
+class BPlusTree {
+ public:
+  /// Max keys per node before splitting.
+  static constexpr size_t kFanout = 32;
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Adds `doc` to the posting list of `key` (idempotent per (key, doc)).
+  void Insert(std::string_view key, DocId doc);
+
+  /// Removes `doc` from `key`'s posting list; false if absent.
+  bool Remove(std::string_view key, DocId doc);
+
+  /// The posting list of `key` (empty when the key is unknown).
+  const std::vector<DocId>* Get(std::string_view key) const;
+
+  /// Calls `fn(key, postings)` for every non-empty key in [lo, hi]
+  /// (inclusive, lexicographic), in key order. Return false from `fn` to
+  /// stop early.
+  void RangeScan(std::string_view lo, std::string_view hi,
+                 const std::function<bool(const std::string&,
+                                          const std::vector<DocId>&)>& fn)
+      const;
+
+  /// Half-open variant: keys in [lo, hi_exclusive). Used for prefix scans
+  /// over composite keys, where the natural end bound is "the next prefix".
+  void RangeScanExclusiveHi(
+      std::string_view lo, std::string_view hi_exclusive,
+      const std::function<bool(const std::string&,
+                               const std::vector<DocId>&)>& fn) const;
+
+  /// Union of postings over [lo, hi], sorted and deduplicated.
+  std::vector<DocId> DocsInRange(std::string_view lo,
+                                 std::string_view hi) const;
+
+  /// Calls `fn` for every non-empty key in key order (full scan).
+  void ForEach(const std::function<bool(const std::string&,
+                                        const std::vector<DocId>&)>& fn)
+      const;
+
+  /// Number of keys with non-empty postings.
+  size_t key_count() const { return key_count_; }
+
+  /// Tree height (1 = a single leaf). Exposed for structural tests.
+  size_t height() const { return height_; }
+
+  /// Drops tombstoned (empty-posting) keys and rebuilds the tree densely.
+  void Compact();
+
+  /// Internal invariant check (sorted keys, uniform depth, fanout bounds,
+  /// leaf chain order). Returns false on violation; test hook.
+  bool CheckInvariants() const;
+
+  /// Opaque node type (defined in btree.cc; public so the implementation's
+  /// free helper functions can name it).
+  struct Node;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  size_t key_count_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace toss::store
+
+#endif  // TOSS_STORE_BTREE_H_

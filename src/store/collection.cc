@@ -1,0 +1,293 @@
+#include "store/collection.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "store/key_encoding.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace toss::store {
+
+Result<DocId> Collection::Insert(std::string key, xml::XmlDocument doc) {
+  if (doc.empty()) {
+    return Status::InvalidArgument("Insert: empty document");
+  }
+  if (by_key_.count(key)) {
+    return Status::AlreadyExists("document key '" + key +
+                                 "' already present in collection '" +
+                                 name_ + "'");
+  }
+  DocId id = static_cast<DocId>(docs_.size());
+  docs_.push_back({key, std::move(doc), true});
+  by_key_[std::move(key)] = id;
+  IndexDocument(id);
+  return id;
+}
+
+Result<DocId> Collection::InsertXml(std::string key, std::string_view text) {
+  TOSS_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(text));
+  return Insert(std::move(key), std::move(doc));
+}
+
+Status Collection::Remove(const std::string& key) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("no document with key '" + key + "'");
+  }
+  DocId id = it->second;
+  UnindexDocument(id);
+  docs_[id].live = false;
+  by_key_.erase(it);
+  return Status::OK();
+}
+
+Result<DocId> Collection::Replace(const std::string& key,
+                                  xml::XmlDocument doc) {
+  if (doc.empty()) {
+    return Status::InvalidArgument("Replace: empty document");
+  }
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("no document with key '" + key + "'");
+  }
+  DocId old = it->second;
+  UnindexDocument(old);
+  docs_[old].live = false;
+  DocId id = static_cast<DocId>(docs_.size());
+  docs_.push_back({key, std::move(doc), true});
+  it->second = id;
+  IndexDocument(id);
+  return id;
+}
+
+Result<DocId> Collection::FindKey(const std::string& key) const {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("no document with key '" + key + "'");
+  }
+  return it->second;
+}
+
+std::vector<DocId> Collection::AllDocs() const {
+  std::vector<DocId> out;
+  for (DocId id = 0; id < docs_.size(); ++id) {
+    if (docs_[id].live) out.push_back(id);
+  }
+  return out;
+}
+
+void Collection::IndexDocument(DocId id) {
+  Entry& entry = docs_[id];
+  const xml::XmlDocument& doc = entry.doc;
+  std::vector<xml::NodeId> elements{doc.root()};
+  auto descendants = doc.ElementDescendants(doc.root());
+  elements.insert(elements.end(), descendants.begin(), descendants.end());
+  for (xml::NodeId nid : elements) {
+    const auto& n = doc.node(nid);
+    tag_index_[n.tag].insert(id);
+    // Value indexes: the element's text content (leaf-style values).
+    std::string content = doc.TextContent(nid);
+    if (!content.empty() && content.size() <= 256) {
+      std::string vkey = ValueKey(n.tag, content);
+      value_index_.Insert(vkey, id);
+      entry.value_keys.push_back(std::move(vkey));
+      if (auto nkey = NumericKey(n.tag, content); nkey.has_value()) {
+        numeric_index_.Insert(*nkey, id);
+        entry.numeric_keys.push_back(std::move(*nkey));
+      }
+    }
+    for (const auto& tok : TokenizeWords(content)) {
+      term_index_[tok].insert(id);
+    }
+  }
+}
+
+void Collection::UnindexDocument(DocId id) {
+  // Tag/term postings are erased by sweep (removal is rare); the ordered
+  // indexes use the per-document key log recorded at index time.
+  for (auto& [tag, postings] : tag_index_) postings.erase(id);
+  for (auto& [term, postings] : term_index_) postings.erase(id);
+  Entry& entry = docs_[id];
+  for (const auto& key : entry.value_keys) {
+    (void)value_index_.Remove(key, id);
+  }
+  for (const auto& key : entry.numeric_keys) {
+    (void)numeric_index_.Remove(key, id);
+  }
+  entry.value_keys.clear();
+  entry.numeric_keys.clear();
+}
+
+Result<std::vector<DocId>> Collection::DocsWithValueInRange(
+    std::string_view tag, const std::optional<std::string>& lo,
+    const std::optional<std::string>& hi) const {
+  bool numeric = true;
+  long long scratch;
+  for (const auto* bound : {&lo, &hi}) {
+    if (!bound->has_value()) continue;
+    if (!ParseInt(**bound, &scratch)) {
+      numeric = false;
+      double d;
+      if (ParseDouble(**bound, &d)) {
+        return Status::Unsupported(
+            "range scans over non-integer numeric bounds");
+      }
+    }
+  }
+  std::vector<DocId> out;
+  auto collect = [&](const std::string&, const std::vector<DocId>& p) {
+    out.insert(out.end(), p.begin(), p.end());
+    return true;
+  };
+  if (numeric) {
+    // Only integer-valued contents can satisfy an integer-bounded ordering
+    // (CompareScalar treats mixed representations as incomparable), so the
+    // numeric index is complete for this query.
+    std::string scan_lo =
+        lo.has_value() ? *NumericKey(tag, *lo) : ValueKey(tag, "");
+    if (hi.has_value()) {
+      numeric_index_.RangeScan(scan_lo, *NumericKey(tag, *hi), collect);
+    } else {
+      numeric_index_.RangeScanExclusiveHi(scan_lo, TagPrefixEnd(tag),
+                                          collect);
+    }
+  } else {
+    std::string scan_lo = ValueKey(tag, lo.value_or(""));
+    if (hi.has_value()) {
+      value_index_.RangeScan(scan_lo, ValueKey(tag, *hi), collect);
+    } else {
+      value_index_.RangeScanExclusiveHi(scan_lo, TagPrefixEnd(tag),
+                                        collect);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<DocId> Collection::PlanCandidates(const xml::PlanHints& hints,
+                                              bool* pruned) const {
+  *pruned = false;
+  // Materialize a sorted doc-id list per usable hint; missing posting = no
+  // possible match. Intersection starts from the smallest list.
+  std::vector<std::vector<DocId>> postings;
+  for (const auto& tag : hints.required_tags) {
+    auto it = tag_index_.find(tag);
+    postings.emplace_back(it == tag_index_.end()
+                              ? std::vector<DocId>{}
+                              : std::vector<DocId>(it->second.begin(),
+                                                   it->second.end()));
+  }
+  for (const auto& [tag, value] : hints.required_values) {
+    // Value index only covers short leaf values; skip long ones (the tag
+    // hint still applies).
+    if (value.size() > 256) continue;
+    const std::vector<DocId>* p = value_index_.Get(ValueKey(tag, value));
+    postings.emplace_back(p == nullptr ? std::vector<DocId>{} : *p);
+  }
+  for (const auto& term : hints.required_terms) {
+    auto it = term_index_.find(term);
+    postings.emplace_back(it == term_index_.end()
+                              ? std::vector<DocId>{}
+                              : std::vector<DocId>(it->second.begin(),
+                                                   it->second.end()));
+  }
+  // Disjunctive groups: union the value postings per group, then intersect
+  // the unions like ordinary postings. Keeps SEO-expanded TOSS queries as
+  // index-prunable as exact-match TAX queries.
+  for (const auto& group : hints.value_groups) {
+    std::vector<DocId> merged;
+    bool usable = true;
+    for (const auto& value : group.values) {
+      if (value.size() > 256) {
+        usable = false;  // unindexed long value: cannot prune soundly
+        break;
+      }
+      const std::vector<DocId>* p =
+          value_index_.Get(ValueKey(group.tag, value));
+      if (p != nullptr) merged.insert(merged.end(), p->begin(), p->end());
+    }
+    if (!usable) continue;
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    postings.push_back(std::move(merged));
+  }
+  // Range hints: scan the ordered indexes. Unsupported bound shapes
+  // (non-integer numerics) simply do not prune.
+  for (const auto& range : hints.ranges) {
+    auto docs = DocsWithValueInRange(range.tag, range.lo, range.hi);
+    if (docs.ok()) postings.push_back(std::move(docs).value());
+  }
+  if (postings.empty()) return AllDocs();
+  *pruned = true;
+  std::sort(postings.begin(), postings.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::vector<DocId> result = std::move(postings[0]);
+  for (size_t i = 1; i < postings.size() && !result.empty(); ++i) {
+    std::vector<DocId> next;
+    next.reserve(result.size());
+    std::set_intersection(result.begin(), result.end(),
+                          postings[i].begin(), postings[i].end(),
+                          std::back_inserter(next));
+    result = std::move(next);
+  }
+  // Deleted docs keep stale ids out via the live check in Query.
+  return result;
+}
+
+std::vector<Match> Collection::Query(const xml::XPath& xpath,
+                                     bool use_indexes,
+                                     QueryStats* stats) const {
+  std::vector<DocId> candidates;
+  bool pruned = false;
+  if (use_indexes) {
+    candidates = PlanCandidates(xpath.Hints(), &pruned);
+  } else {
+    candidates = AllDocs();
+  }
+  std::vector<Match> out;
+  size_t scanned = 0;
+  for (DocId id : candidates) {
+    if (id >= docs_.size() || !docs_[id].live) continue;
+    ++scanned;
+    for (xml::NodeId nid : xpath.Evaluate(docs_[id].doc)) {
+      out.push_back({id, nid});
+    }
+  }
+  if (stats != nullptr) {
+    stats->candidate_docs = candidates.size();
+    stats->scanned_docs = scanned;
+    stats->total_docs = by_key_.size();
+    stats->used_indexes = use_indexes && pruned;
+  }
+  return out;
+}
+
+Result<std::vector<Match>> Collection::QueryText(std::string_view xpath,
+                                                 bool use_indexes,
+                                                 QueryStats* stats) const {
+  TOSS_ASSIGN_OR_RETURN(xml::XPath compiled, xml::XPath::Compile(xpath));
+  return Query(compiled, use_indexes, stats);
+}
+
+Collection::Stats Collection::GetStats() const {
+  Stats stats;
+  stats.live_docs = by_key_.size();
+  stats.tag_index_entries = tag_index_.size();
+  stats.term_index_entries = term_index_.size();
+  stats.value_index_keys = value_index_.key_count();
+  stats.numeric_index_keys = numeric_index_.key_count();
+  stats.approx_bytes = ApproxByteSize();
+  return stats;
+}
+
+size_t Collection::ApproxByteSize() const {
+  size_t total = 0;
+  for (const auto& e : docs_) {
+    if (e.live) total += xml::Write(e.doc).size();
+  }
+  return total;
+}
+
+}  // namespace toss::store

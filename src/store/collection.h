@@ -1,0 +1,143 @@
+// A collection of XML documents with secondary indexes -- the unit of
+// storage of the embedded XML database (the repository's Apache Xindice
+// substitute; see DESIGN.md "Substitutions").
+//
+// Query processing follows the classic plan: the planner intersects the
+// query's PlanHints against the tag / value / term indexes to obtain a
+// candidate document set, then evaluates the full XPath only on candidates.
+// QueryStats exposes how much the indexes pruned (ablation benches flip
+// `use_indexes` off to quantify this).
+
+#ifndef TOSS_STORE_COLLECTION_H_
+#define TOSS_STORE_COLLECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "store/btree.h"
+#include "xml/xml_document.h"
+#include "xml/xpath.h"
+
+namespace toss::store {
+
+using DocId = uint32_t;
+
+/// One matched node: which document and which element within it.
+struct Match {
+  DocId doc = 0;
+  xml::NodeId node = 0;
+};
+
+/// Execution counters for one Query call.
+struct QueryStats {
+  size_t candidate_docs = 0;  ///< documents surviving index pruning
+  size_t scanned_docs = 0;    ///< documents actually evaluated
+  size_t total_docs = 0;      ///< collection size at query time
+  bool used_indexes = false;
+};
+
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return docs_.size(); }
+
+  /// Adds a document under `key` (unique within the collection). The
+  /// document is indexed immediately.
+  Result<DocId> Insert(std::string key, xml::XmlDocument doc);
+
+  /// Parses `text` then inserts it.
+  Result<DocId> InsertXml(std::string key, std::string_view text);
+
+  /// Removes the document stored under `key`.
+  Status Remove(const std::string& key);
+
+  /// Replaces the document stored under `key` (atomic from the reader's
+  /// perspective: lookups never observe the key missing). Returns the new
+  /// DocId; NotFound when the key is absent.
+  Result<DocId> Replace(const std::string& key, xml::XmlDocument doc);
+
+  /// Document lookup by key.
+  Result<DocId> FindKey(const std::string& key) const;
+
+  const xml::XmlDocument& document(DocId id) const { return docs_[id].doc; }
+  const std::string& key(DocId id) const { return docs_[id].key; }
+
+  /// Live document ids in insertion order.
+  std::vector<DocId> AllDocs() const;
+
+  /// Evaluates `xpath` over every live document (index-pruned when
+  /// `use_indexes`), returning matches in (doc, document-order) order.
+  std::vector<Match> Query(const xml::XPath& xpath, bool use_indexes = true,
+                           QueryStats* stats = nullptr) const;
+
+  /// Convenience: compile + Query.
+  Result<std::vector<Match>> QueryText(std::string_view xpath,
+                                       bool use_indexes = true,
+                                       QueryStats* stats = nullptr) const;
+
+  /// Total serialized byte size of all live documents (the paper's
+  /// "data size" axis).
+  size_t ApproxByteSize() const;
+
+  /// Aggregate statistics (sizes of the catalog and each index).
+  struct Stats {
+    size_t live_docs = 0;
+    size_t tag_index_entries = 0;
+    size_t term_index_entries = 0;
+    size_t value_index_keys = 0;
+    size_t numeric_index_keys = 0;
+    size_t approx_bytes = 0;
+  };
+  Stats GetStats() const;
+
+  /// Documents containing a `tag` element whose text content lies in
+  /// [lo, hi] (absent bound = open side). Ordering follows CompareScalar:
+  /// when every present bound parses as an integer the numeric index is
+  /// scanned (only integer-valued contents can match); pure-string bounds
+  /// scan the lexicographic index. Bounds parsing as non-integer numbers
+  /// ("3.5") are unsupported (Unsupported status) -- callers fall back to
+  /// full evaluation.
+  Result<std::vector<DocId>> DocsWithValueInRange(
+      std::string_view tag, const std::optional<std::string>& lo,
+      const std::optional<std::string>& hi) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    xml::XmlDocument doc;
+    bool live = true;
+    // Ordered-index keys this document contributed (for unindexing).
+    std::vector<std::string> value_keys;
+    std::vector<std::string> numeric_keys;
+  };
+
+  void IndexDocument(DocId id);
+  void UnindexDocument(DocId id);
+
+  /// Candidate docs per hints, or all live docs when hints give no leverage.
+  std::vector<DocId> PlanCandidates(const xml::PlanHints& hints,
+                                    bool* pruned) const;
+
+  std::string name_;
+  std::vector<Entry> docs_;
+  std::map<std::string, DocId> by_key_;
+
+  // Secondary indexes. Tag and term postings are doc-id sets; exact values
+  // live in two B+-trees -- lexicographic raw keys plus an order-preserving
+  // numeric encoding -- so equality lookups and range scans share storage.
+  std::map<std::string, std::set<DocId>> tag_index_;
+  std::map<std::string, std::set<DocId>> term_index_;
+  BPlusTree value_index_;    // ValueKey(tag, content)
+  BPlusTree numeric_index_;  // NumericKey(tag, content), integer contents
+};
+
+}  // namespace toss::store
+
+#endif  // TOSS_STORE_COLLECTION_H_

@@ -1,0 +1,148 @@
+#include "store/database.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "xml/xml_writer.h"
+
+namespace toss::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Keys may contain characters unusable in filenames; documents are stored
+/// as 000000.xml, 000001.xml, ... with the real keys in _keys.txt.
+std::string DocFileName(size_t ordinal) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06zu.xml", ordinal);
+  return buf;
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write " + path.string());
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    return Status::IOError("write failed for " + path.string());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Collection*> Database::CreateCollection(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("collection name must be non-empty");
+  }
+  auto [it, inserted] =
+      collections_.insert({name, std::make_unique<Collection>(name)});
+  if (!inserted) {
+    return Status::AlreadyExists("collection '" + name + "' already exists");
+  }
+  return it->second.get();
+}
+
+Result<Collection*> Database::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Collection*> Database::GetCollection(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return static_cast<const Collection*>(it->second.get());
+}
+
+Status Database::DropCollection(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, c] : collections_) out.push_back(name);
+  return out;
+}
+
+Status Database::Save(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  std::string manifest;
+  for (const auto& [name, coll] : collections_) {
+    manifest += name;
+    manifest += '\n';
+    fs::path cdir = fs::path(dir) / name;
+    fs::remove_all(cdir, ec);  // replace any previous snapshot
+    fs::create_directories(cdir, ec);
+    if (ec) {
+      return Status::IOError("cannot create directory " + cdir.string());
+    }
+    std::string keys;
+    size_t ordinal = 0;
+    for (DocId id : coll->AllDocs()) {
+      keys += coll->key(id);
+      keys += '\n';
+      TOSS_RETURN_NOT_OK(WriteFile(cdir / DocFileName(ordinal),
+                                   xml::Write(coll->document(id))));
+      ++ordinal;
+    }
+    TOSS_RETURN_NOT_OK(WriteFile(cdir / "_keys.txt", keys));
+  }
+  return WriteFile(fs::path(dir) / "manifest.txt", manifest);
+}
+
+Result<Database> Database::Open(const std::string& dir) {
+  TOSS_ASSIGN_OR_RETURN(std::string manifest,
+                        ReadFile(fs::path(dir) / "manifest.txt"));
+  Database db;
+  std::istringstream names(manifest);
+  std::string name;
+  while (std::getline(names, name)) {
+    if (name.empty()) continue;
+    TOSS_ASSIGN_OR_RETURN(Collection * coll, db.CreateCollection(name));
+    fs::path cdir = fs::path(dir) / name;
+    TOSS_ASSIGN_OR_RETURN(std::string keys, ReadFile(cdir / "_keys.txt"));
+    std::istringstream key_stream(keys);
+    std::string key;
+    size_t ordinal = 0;
+    while (std::getline(key_stream, key)) {
+      if (key.empty()) continue;
+      TOSS_ASSIGN_OR_RETURN(std::string text,
+                            ReadFile(cdir / DocFileName(ordinal)));
+      TOSS_ASSIGN_OR_RETURN(DocId id, coll->InsertXml(key, text));
+      (void)id;
+      ++ordinal;
+    }
+  }
+  return db;
+}
+
+}  // namespace toss::store

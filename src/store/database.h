@@ -1,0 +1,52 @@
+// Database: a named set of collections with directory-based persistence.
+//
+// On-disk layout (Save/Open):
+//   <dir>/manifest.txt          -- one collection name per line
+//   <dir>/<collection>/<key>.xml
+//   <dir>/<collection>/_keys.txt -- insertion-ordered keys (filenames are
+//                                   sanitized, so the real keys live here)
+
+#ifndef TOSS_STORE_DATABASE_H_
+#define TOSS_STORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "store/collection.h"
+
+namespace toss::store {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty collection. AlreadyExists when the name is taken.
+  Result<Collection*> CreateCollection(const std::string& name);
+
+  /// Returns the named collection, or NotFound.
+  Result<Collection*> GetCollection(const std::string& name);
+  Result<const Collection*> GetCollection(const std::string& name) const;
+
+  /// Drops the named collection.
+  Status DropCollection(const std::string& name);
+
+  std::vector<std::string> CollectionNames() const;
+  size_t collection_count() const { return collections_.size(); }
+
+  /// Writes every collection under `dir` (created if needed; existing
+  /// collection subdirectories are replaced).
+  Status Save(const std::string& dir) const;
+
+  /// Loads a database previously written by Save.
+  static Result<Database> Open(const std::string& dir);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace toss::store
+
+#endif  // TOSS_STORE_DATABASE_H_

@@ -1,0 +1,42 @@
+#include "store/key_encoding.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace toss::store {
+
+std::optional<std::string> EncodeOrderedInt(std::string_view value) {
+  long long v;
+  if (!ParseInt(value, &v)) return std::nullopt;
+  // Bias into [0, 2^64): two's-complement offset keeps order.
+  unsigned long long biased =
+      static_cast<unsigned long long>(v) + (1ULL << 63);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu", biased);
+  return std::string(buf);
+}
+
+std::string ValueKey(std::string_view tag, std::string_view value) {
+  std::string key;
+  key.reserve(tag.size() + 1 + value.size());
+  key.append(tag);
+  key.push_back(kKeySep);
+  key.append(value);
+  return key;
+}
+
+std::optional<std::string> NumericKey(std::string_view tag,
+                                      std::string_view value) {
+  auto encoded = EncodeOrderedInt(value);
+  if (!encoded.has_value()) return std::nullopt;
+  return ValueKey(tag, *encoded);
+}
+
+std::string TagPrefixEnd(std::string_view tag) {
+  std::string end(tag);
+  end.push_back(kKeySep + 1);
+  return end;
+}
+
+}  // namespace toss::store

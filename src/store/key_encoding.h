@@ -1,0 +1,41 @@
+// Order-preserving key encodings for the store's ordered indexes.
+//
+// B+-tree keys compare lexicographically; integer values must be encoded
+// so that byte order equals numeric order (the classic DB key-encoding
+// trick). EncodeOrderedInt biases the value into the non-negative range
+// and zero-pads to a fixed width, so "-5" < "40" < "1998" < "20000" holds
+// bytewise. Composite (tag, value) keys join components with an \x1f
+// separator, whose successor \x20 bounds prefix scans.
+
+#ifndef TOSS_STORE_KEY_ENCODING_H_
+#define TOSS_STORE_KEY_ENCODING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace toss::store {
+
+/// Separator between composite key components (never appears in tags).
+inline constexpr char kKeySep = '\x1f';
+
+/// Encodes an integer-parsing string into a fixed-width, order-preserving
+/// form; nullopt when `value` is not an integer. Distinct spellings of the
+/// same integer ("007", "7") encode identically.
+std::optional<std::string> EncodeOrderedInt(std::string_view value);
+
+/// tag + sep + raw value: the lexicographic value-index key.
+std::string ValueKey(std::string_view tag, std::string_view value);
+
+/// tag + sep + EncodeOrderedInt(value): the numeric-index key, or nullopt
+/// for non-integer values.
+std::optional<std::string> NumericKey(std::string_view tag,
+                                      std::string_view value);
+
+/// Smallest key strictly greater than every key with the given tag prefix
+/// (for half-open prefix scans).
+std::string TagPrefixEnd(std::string_view tag);
+
+}  // namespace toss::store
+
+#endif  // TOSS_STORE_KEY_ENCODING_H_

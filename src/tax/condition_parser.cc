@@ -1,0 +1,210 @@
+#include "tax/condition_parser.h"
+
+#include <cctype>
+
+namespace toss::tax {
+
+namespace {
+
+class CondParser {
+ public:
+  explicit CondParser(std::string_view text) : text_(text) {}
+
+  Result<Condition> Run() {
+    TOSS_ASSIGN_OR_RETURN(Condition c, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after condition");
+    }
+    return c;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("condition: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eof() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  bool Lookahead(std::string_view s) {
+    SkipSpace();
+    return text_.substr(pos_, s.size()) == s;
+  }
+  bool Consume(std::string_view s) {
+    if (!Lookahead(s)) return false;
+    pos_ += s.size();
+    return true;
+  }
+
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  bool LookaheadWord(std::string_view word) {
+    if (!Lookahead(word)) return false;
+    size_t after = pos_ + word.size();
+    return after >= text_.size() || !IsIdentChar(text_[after]);
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (!LookaheadWord(word)) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Result<Condition> ParseOr() {
+    TOSS_ASSIGN_OR_RETURN(Condition first, ParseAnd());
+    std::vector<Condition> parts;
+    parts.push_back(std::move(first));
+    while (Consume("|")) {
+      TOSS_ASSIGN_OR_RETURN(Condition next, ParseAnd());
+      parts.push_back(std::move(next));
+    }
+    return Condition::Or(std::move(parts));
+  }
+
+  Result<Condition> ParseAnd() {
+    TOSS_ASSIGN_OR_RETURN(Condition first, ParseUnary());
+    std::vector<Condition> parts;
+    parts.push_back(std::move(first));
+    while (Consume("&")) {
+      TOSS_ASSIGN_OR_RETURN(Condition next, ParseUnary());
+      parts.push_back(std::move(next));
+    }
+    return Condition::And(std::move(parts));
+  }
+
+  Result<Condition> ParseUnary() {
+    if (Consume("!")) {
+      TOSS_ASSIGN_OR_RETURN(Condition inner, ParseUnary());
+      return Condition::Not(std::move(inner));
+    }
+    if (Consume("(")) {
+      TOSS_ASSIGN_OR_RETURN(Condition inner, ParseOr());
+      if (!Consume(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (ConsumeWord("true")) return Condition::True();
+    return ParseAtom();
+  }
+
+  Result<Condition> ParseAtom() {
+    TOSS_ASSIGN_OR_RETURN(CondTerm lhs, ParseTerm());
+    TOSS_ASSIGN_OR_RETURN(CondOp op, ParseOp());
+    TOSS_ASSIGN_OR_RETURN(CondTerm rhs, ParseTerm());
+    return Condition::Atom(std::move(lhs), op, std::move(rhs));
+  }
+
+  Result<CondOp> ParseOp() {
+    SkipSpace();
+    // Multi-char symbols first.
+    if (Consume("!=")) return CondOp::kNeq;
+    if (Consume("<=")) return CondOp::kLeq;
+    if (Consume(">=")) return CondOp::kGeq;
+    if (Consume("=")) return CondOp::kEq;
+    if (Consume("<")) return CondOp::kLt;
+    if (Consume(">")) return CondOp::kGt;
+    if (Consume("~")) return CondOp::kSimilar;
+    if (ConsumeWord("instance_of")) return CondOp::kInstanceOf;
+    if (ConsumeWord("isa")) return CondOp::kIsa;
+    if (ConsumeWord("subtype_of")) return CondOp::kSubtypeOf;
+    if (ConsumeWord("part_of")) return CondOp::kPartOf;
+    if (ConsumeWord("above")) return CondOp::kAbove;
+    if (ConsumeWord("below")) return CondOp::kBelow;
+    return Error("expected operator");
+  }
+
+  Result<CondTerm> ParseTerm() {
+    SkipSpace();
+    if (Eof()) return Error("expected term");
+    char c = text_[pos_];
+    if (c == '$') {
+      ++pos_;
+      TOSS_ASSIGN_OR_RETURN(int label, ParseInt());
+      if (!Consume(".")) return Error("expected '.' after node label");
+      if (ConsumeWord("tag")) return TagOf(label);
+      if (ConsumeWord("content")) return ContentOf(label);
+      return Error("expected 'tag' or 'content'");
+    }
+    if (c == '"' || c == '\'') {
+      TOSS_ASSIGN_OR_RETURN(std::string literal, ParseString());
+      std::string type;
+      if (Consume(":")) {
+        TOSS_ASSIGN_OR_RETURN(type, ParseIdent());
+      }
+      return Value(std::move(literal), std::move(type));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      // Bare numbers are value literals.
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      std::string number(text_.substr(start, pos_ - start));
+      std::string type;
+      if (Consume(":")) {
+        TOSS_ASSIGN_OR_RETURN(type, ParseIdent());
+      }
+      return Value(std::move(number), std::move(type));
+    }
+    // Bare identifier: a type name.
+    TOSS_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    return TypeName(std::move(ident));
+  }
+
+  Result<int> ParseInt() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected integer");
+    return std::stoi(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseString() {
+    SkipSpace();
+    char quote = text_[pos_++];
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;  // escaped character
+      }
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string literal");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Condition> ParseCondition(std::string_view text) {
+  return CondParser(text).Run();
+}
+
+}  // namespace toss::tax

@@ -1,0 +1,36 @@
+// Textual syntax for selection conditions, used by tests, benches and
+// examples. Grammar (whitespace-insensitive):
+//
+//   cond    := orexpr
+//   orexpr  := andexpr ('|' andexpr)*
+//   andexpr := unary ('&' unary)*
+//   unary   := '!' unary | '(' cond ')' | atom
+//   atom    := term OP term
+//   OP      := '=' | '!=' | '<' | '<=' | '>' | '>=' | '~'
+//            | 'instance_of' | 'isa' | 'subtype_of' | 'part_of'
+//            | 'above' | 'below'
+//   term    := '$' INT '.' ('tag'|'content')
+//            | STRING (':' IDENT)?         -- typed value, e.g. "5":year
+//            | NUMBER (':' IDENT)?         -- sugar for "NUMBER"
+//            | IDENT                        -- type name
+//
+// Example (paper Example 12):
+//   $1.tag = "inproceedings" & $2.tag = "title"
+//     & $3.tag part_of "inproceedings" & $3.content = "*Microsoft*"
+
+#ifndef TOSS_TAX_CONDITION_PARSER_H_
+#define TOSS_TAX_CONDITION_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "tax/condition.h"
+
+namespace toss::tax {
+
+/// Parses `text` into a Condition; ParseError on malformed input.
+Result<Condition> ParseCondition(std::string_view text);
+
+}  // namespace toss::tax
+
+#endif  // TOSS_TAX_CONDITION_PARSER_H_

@@ -1,0 +1,161 @@
+#include "tax/data_tree.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace toss::tax {
+
+NodeId DataTree::CreateRoot(std::string_view tag, std::string_view content) {
+  assert(nodes_.empty() && "CreateRoot on non-empty tree");
+  nodes_.emplace_back();
+  nodes_[0].tag = tag;
+  nodes_[0].content = content;
+  return 0;
+}
+
+NodeId DataTree::AppendChild(NodeId parent, std::string_view tag,
+                             std::string_view content) {
+  assert(parent < nodes_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].tag = tag;
+  nodes_[id].content = content;
+  nodes_[id].parent = parent;
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> DataTree::Descendants(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack;
+  for (auto it = nodes_[id].children.rbegin();
+       it != nodes_[id].children.rend(); ++it) {
+    stack.push_back(*it);
+  }
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& n = nodes_[cur];
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool DataTree::IsAncestor(NodeId ancestor, NodeId node) const {
+  NodeId cur = nodes_[node].parent;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+NodeId DataTree::CopySubtree(const DataTree& src, NodeId src_id,
+                             NodeId parent) {
+  const DataNode& sn = src.node(src_id);
+  NodeId dst = (parent == kInvalidNode) ? CreateRoot(sn.tag, sn.content)
+                                        : AppendChild(parent, sn.tag,
+                                                      sn.content);
+  nodes_[dst].tag_type = sn.tag_type;
+  nodes_[dst].content_type = sn.content_type;
+  nodes_[dst].provenance = sn.provenance;
+  for (NodeId c : sn.children) CopySubtree(src, c, dst);
+  return dst;
+}
+
+namespace {
+
+void ConvertXml(const xml::XmlDocument& doc, xml::NodeId src, DataTree* out,
+                NodeId parent) {
+  const auto& n = doc.node(src);
+  // Content = concatenation of direct text children.
+  std::string content;
+  for (xml::NodeId c : n.children) {
+    if (doc.node(c).kind == xml::NodeKind::kText) content += doc.node(c).text;
+  }
+  NodeId id = (parent == kInvalidNode)
+                  ? out->CreateRoot(n.tag, content)
+                  : out->AppendChild(parent, n.tag, content);
+  // Ground-truth provenance survives XML round-trips via a reserved
+  // attribute (see data_tree.h on mechanical precision/recall auditing).
+  std::string_view gtid = doc.Attribute(src, "gtid");
+  if (!gtid.empty()) {
+    long long value = 0;
+    if (ParseInt(gtid, &value) && value > 0) {
+      out->node(id).provenance = static_cast<uint64_t>(value);
+    }
+  }
+  for (xml::NodeId c : n.children) {
+    if (doc.node(c).kind == xml::NodeKind::kElement) {
+      ConvertXml(doc, c, out, id);
+    }
+  }
+}
+
+void ConvertToXml(const DataTree& tree, NodeId src, xml::XmlDocument* out,
+                  xml::NodeId parent) {
+  const DataNode& n = tree.node(src);
+  xml::NodeId id = (parent == xml::kInvalidNode)
+                       ? out->CreateRoot(n.tag)
+                       : out->AppendElement(parent, n.tag);
+  if (n.provenance != 0) {
+    out->SetAttribute(id, "gtid", std::to_string(n.provenance));
+  }
+  if (!n.content.empty()) out->AppendText(id, n.content);
+  for (NodeId c : n.children) ConvertToXml(tree, c, out, id);
+}
+
+void AppendCanonical(const DataTree& tree, NodeId id, std::string* out) {
+  const DataNode& n = tree.node(id);
+  // Length-prefixed fields make the key collision-free.
+  auto field = [out](const std::string& s) {
+    *out += std::to_string(s.size());
+    *out += ':';
+    *out += s;
+  };
+  *out += '(';
+  field(n.tag);
+  field(n.content);
+  field(n.tag_type);
+  field(n.content_type);
+  for (NodeId c : n.children) AppendCanonical(tree, c, out);
+  *out += ')';
+}
+
+}  // namespace
+
+DataTree DataTree::FromXml(const xml::XmlDocument& doc, xml::NodeId root) {
+  DataTree out;
+  ConvertXml(doc, root, &out, kInvalidNode);
+  return out;
+}
+
+xml::XmlDocument DataTree::ToXml() const {
+  xml::XmlDocument out;
+  if (!empty()) ConvertToXml(*this, root(), &out, xml::kInvalidNode);
+  return out;
+}
+
+bool DataTree::Equals(const DataTree& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  return CanonicalKey() == other.CanonicalKey();
+}
+
+std::string DataTree::CanonicalKey() const {
+  std::string out;
+  out.reserve(nodes_.size() * 16);
+  if (!empty()) AppendCanonical(*this, root(), &out);
+  return out;
+}
+
+size_t TotalNodes(const TreeCollection& collection) {
+  size_t n = 0;
+  for (const auto& t : collection) n += t.size();
+  return n;
+}
+
+}  // namespace toss::tax

@@ -1,0 +1,100 @@
+// TAX data model (paper Def. 1).
+//
+// A semistructured instance is a set of rooted, ordered, labelled trees. A
+// tree node ("object") carries two attributes -- its tag and its content --
+// each with an associated type (plain TAX fixes both to "string"; the
+// ontology-extended model of Section 5 generalizes the type names).
+//
+// DataTree uses the same arena layout as xml::XmlDocument but folds text
+// children into the owning element's `content` attribute, matching the
+// o.tag / o.content view of the paper. `provenance` carries the generating
+// entity id through query pipelines so the evaluation harness can audit
+// precision/recall mechanically (our substitute for the paper's manual
+// relevance judgments).
+
+#ifndef TOSS_TAX_DATA_TREE_H_
+#define TOSS_TAX_DATA_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/xml_document.h"
+
+namespace toss::tax {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Default type of tags and contents in plain TAX.
+inline constexpr const char* kStringType = "string";
+
+struct DataNode {
+  std::string tag;
+  std::string content;
+  std::string tag_type = kStringType;
+  std::string content_type = kStringType;
+  uint64_t provenance = 0;  ///< generator entity id; 0 = untracked
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+};
+
+/// One rooted ordered tree of a semistructured instance.
+class DataTree {
+ public:
+  DataTree() = default;
+
+  /// Creates the root; exactly one per tree. Returns its id.
+  NodeId CreateRoot(std::string_view tag, std::string_view content = "");
+
+  /// Appends a child under `parent` in document order; returns its id.
+  NodeId AppendChild(NodeId parent, std::string_view tag,
+                     std::string_view content = "");
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return nodes_.size(); }
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
+
+  const DataNode& node(NodeId id) const { return nodes_[id]; }
+  DataNode& node(NodeId id) { return nodes_[id]; }
+
+  /// All descendants of `id` (excluding `id`) in document (pre)order.
+  std::vector<NodeId> Descendants(NodeId id) const;
+
+  /// True iff `ancestor` is a proper ancestor of `node`.
+  bool IsAncestor(NodeId ancestor, NodeId node) const;
+
+  /// Deep-copies the subtree rooted at `src_id` of `src` under `parent`
+  /// here (pass kInvalidNode to copy as this tree's root). Returns the id
+  /// of the copy.
+  NodeId CopySubtree(const DataTree& src, NodeId src_id, NodeId parent);
+
+  /// Converts an XML element subtree: element children become child nodes,
+  /// text children concatenate into `content`.
+  static DataTree FromXml(const xml::XmlDocument& doc, xml::NodeId root);
+
+  /// Converts back to XML (content becomes a text child when non-empty).
+  xml::XmlDocument ToXml() const;
+
+  /// Order-preserving value equality (paper Section 5.1.2): isomorphic
+  /// shapes with equal tags, contents and types at corresponding nodes.
+  bool Equals(const DataTree& other) const;
+
+  /// Canonical serialization; Equals(a,b) iff CanonicalKey()s are equal.
+  /// Set operations hash on this.
+  std::string CanonicalKey() const;
+
+ private:
+  std::vector<DataNode> nodes_;
+};
+
+/// A semistructured DB / intermediate result: an ordered list of trees.
+using TreeCollection = std::vector<DataTree>;
+
+/// Total node count across a collection.
+size_t TotalNodes(const TreeCollection& collection);
+
+}  // namespace toss::tax
+
+#endif  // TOSS_TAX_DATA_TREE_H_

@@ -1,0 +1,151 @@
+#include "tax/embedding.h"
+
+#include <algorithm>
+
+namespace toss::tax {
+
+namespace {
+
+/// Atoms usable as per-node candidate filters: atoms in conjunctive context
+/// referencing exactly one pattern label.
+void CollectSingleLabelAtoms(
+    const Condition& c,
+    std::map<int, std::vector<const Condition*>>* by_label) {
+  if (c.kind == Condition::Kind::kAnd) {
+    for (const auto& child : c.children) {
+      CollectSingleLabelAtoms(*child, by_label);
+    }
+    return;
+  }
+  if (c.kind != Condition::Kind::kAtom) return;
+  auto labels = c.ReferencedLabels();
+  if (labels.size() == 1) {
+    (*by_label)[labels[0]].push_back(&c);
+  }
+}
+
+class Enumerator {
+ public:
+  Enumerator(const PatternTree& pattern, const DataTree& tree,
+             const ConditionSemantics& semantics)
+      : pattern_(pattern), tree_(tree), semantics_(semantics) {
+    CollectSingleLabelAtoms(pattern.condition(), &prefilters_);
+  }
+
+  Result<std::vector<Embedding>> Run() {
+    if (pattern_.empty() || tree_.empty()) return std::vector<Embedding>{};
+    TOSS_RETURN_NOT_OK(Assign(0));
+    return std::move(results_);
+  }
+
+ private:
+  /// Checks the prefilter atoms of `label` against a partial mapping that
+  /// already contains `label`.
+  Result<bool> PassesPrefilters(int label) {
+    auto it = prefilters_.find(label);
+    if (it == prefilters_.end()) return true;
+    EmbeddingView view{&tree_, &current_.mapping};
+    for (const Condition* atom : it->second) {
+      TOSS_ASSIGN_OR_RETURN(bool ok, EvalCondition(*atom, view, semantics_));
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  Status Assign(size_t index) {
+    if (index == pattern_.node_count()) {
+      EmbeddingView view{&tree_, &current_.mapping};
+      TOSS_ASSIGN_OR_RETURN(
+          bool ok, EvalCondition(pattern_.condition(), view, semantics_));
+      if (ok) results_.push_back(current_);
+      return Status::OK();
+    }
+    const PatternNode& pnode = pattern_.node(index);
+    std::vector<NodeId> candidates;
+    if (pnode.parent < 0) {
+      // Root: any data node.
+      candidates.reserve(tree_.size());
+      for (NodeId v = 0; v < tree_.size(); ++v) candidates.push_back(v);
+    } else {
+      NodeId parent_image =
+          current_.mapping.at(pattern_.node(pnode.parent).label);
+      if (pnode.edge_from_parent == EdgeKind::kPc) {
+        candidates = tree_.node(parent_image).children;
+      } else {
+        candidates = tree_.Descendants(parent_image);
+      }
+    }
+    for (NodeId cand : candidates) {
+      current_.mapping[pnode.label] = cand;
+      TOSS_ASSIGN_OR_RETURN(bool pass, PassesPrefilters(pnode.label));
+      if (pass) {
+        TOSS_RETURN_NOT_OK(Assign(index + 1));
+      }
+      current_.mapping.erase(pnode.label);
+    }
+    return Status::OK();
+  }
+
+  const PatternTree& pattern_;
+  const DataTree& tree_;
+  const ConditionSemantics& semantics_;
+  std::map<int, std::vector<const Condition*>> prefilters_;
+  Embedding current_;
+  std::vector<Embedding> results_;
+};
+
+void BuildWitness(const DataTree& src, NodeId src_id,
+                  const std::set<NodeId>& witness_nodes,
+                  const std::set<NodeId>& expand_nodes, DataTree* out,
+                  NodeId out_parent) {
+  bool is_witness = witness_nodes.count(src_id) > 0;
+  NodeId next_parent = out_parent;
+  if (is_witness) {
+    if (expand_nodes.count(src_id)) {
+      // SL semantics: the whole data subtree comes along.
+      out->CopySubtree(src, src_id, out_parent);
+      return;
+    }
+    const DataNode& n = src.node(src_id);
+    NodeId id = (out_parent == kInvalidNode)
+                    ? out->CreateRoot(n.tag, n.content)
+                    : out->AppendChild(out_parent, n.tag, n.content);
+    out->node(id).tag_type = n.tag_type;
+    out->node(id).content_type = n.content_type;
+    out->node(id).provenance = n.provenance;
+    next_parent = id;
+  }
+  for (NodeId c : src.node(src_id).children) {
+    BuildWitness(src, c, witness_nodes, expand_nodes, out, next_parent);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Embedding>> FindEmbeddings(
+    const PatternTree& pattern, const DataTree& tree,
+    const ConditionSemantics& semantics) {
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  return Enumerator(pattern, tree, semantics).Run();
+}
+
+DataTree BuildWitnessTree(const PatternTree& pattern, const DataTree& tree,
+                          const Embedding& h,
+                          const std::set<int>& expand_labels) {
+  std::set<NodeId> witness_nodes;
+  for (const auto& [label, node] : h.mapping) witness_nodes.insert(node);
+  std::set<NodeId> expand_nodes;
+  for (int label : expand_labels) {
+    auto it = h.mapping.find(label);
+    if (it != h.mapping.end()) expand_nodes.insert(it->second);
+  }
+  DataTree out;
+  // The pattern root's image is an ancestor-or-self of every image node, so
+  // starting the walk there covers the whole witness set.
+  NodeId start = h.mapping.at(pattern.node(0).label);
+  (void)pattern;
+  BuildWitness(tree, start, witness_nodes, expand_nodes, &out, kInvalidNode);
+  return out;
+}
+
+}  // namespace toss::tax

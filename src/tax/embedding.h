@@ -1,0 +1,46 @@
+// Pattern-tree embeddings and witness trees (paper Section 2.1.1).
+//
+// An embedding h maps pattern nodes to data nodes preserving pc/ad edges,
+// such that the image satisfies the selection condition. Each embedding
+// induces a witness tree: the image nodes, connected by closest-ancestor
+// edges, in source document order.
+//
+// Enumeration is backtracking over pattern nodes in parent-before-child
+// order, with single-node atoms from conjunctive context pushed down as
+// candidate filters (the classic selection-pushdown optimization; the full
+// condition is still checked on every complete mapping).
+
+#ifndef TOSS_TAX_EMBEDDING_H_
+#define TOSS_TAX_EMBEDDING_H_
+
+#include <map>
+#include <set>
+
+#include "common/result.h"
+#include "tax/condition.h"
+#include "tax/data_tree.h"
+#include "tax/pattern_tree.h"
+
+namespace toss::tax {
+
+/// A total mapping from pattern node labels to data nodes.
+struct Embedding {
+  std::map<int, NodeId> mapping;
+};
+
+/// Enumerates all embeddings of `pattern` into `tree` whose witness
+/// satisfies the pattern's condition under `semantics`.
+Result<std::vector<Embedding>> FindEmbeddings(
+    const PatternTree& pattern, const DataTree& tree,
+    const ConditionSemantics& semantics);
+
+/// Builds the witness tree induced by `h`. Data subtrees of nodes
+/// h(l), l in `expand_labels`, are included wholesale (selection's SL
+/// semantics); pass {} for the bare witness.
+DataTree BuildWitnessTree(const PatternTree& pattern, const DataTree& tree,
+                          const Embedding& h,
+                          const std::set<int>& expand_labels);
+
+}  // namespace toss::tax
+
+#endif  // TOSS_TAX_EMBEDDING_H_

@@ -1,0 +1,234 @@
+#include "tax/operators.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace toss::tax {
+
+namespace {
+
+/// Appends `tree` to `out` unless an equal tree (CanonicalKey) was appended
+/// before.
+class Deduper {
+ public:
+  void Add(DataTree tree, TreeCollection* out) {
+    if (tree.empty()) return;
+    if (seen_.insert(tree.CanonicalKey()).second) {
+      out->push_back(std::move(tree));
+    }
+  }
+
+ private:
+  std::unordered_set<std::string> seen_;
+};
+
+/// Builds the induced forest over `kept` nodes of `src`: top-most kept
+/// nodes become roots of separate output trees; descendants attach to their
+/// closest kept ancestor. `full` nodes bring their whole data subtree.
+void BuildForest(const DataTree& src, NodeId src_id,
+                 const std::set<NodeId>& kept, const std::set<NodeId>& full,
+                 DataTree* current, NodeId current_parent, Deduper* dedup,
+                 TreeCollection* out) {
+  bool is_kept = kept.count(src_id) > 0;
+  if (is_kept && current == nullptr) {
+    // Top-most kept node: starts a fresh output tree.
+    DataTree tree;
+    if (full.count(src_id)) {
+      tree.CopySubtree(src, src_id, kInvalidNode);
+    } else {
+      const DataNode& n = src.node(src_id);
+      NodeId id = tree.CreateRoot(n.tag, n.content);
+      tree.node(id).tag_type = n.tag_type;
+      tree.node(id).content_type = n.content_type;
+      tree.node(id).provenance = n.provenance;
+      for (NodeId c : src.node(src_id).children) {
+        BuildForest(src, c, kept, full, &tree, id, dedup, out);
+      }
+    }
+    dedup->Add(std::move(tree), out);
+    return;
+  }
+  NodeId next_parent = current_parent;
+  if (is_kept) {
+    if (full.count(src_id)) {
+      current->CopySubtree(src, src_id, current_parent);
+      return;
+    }
+    const DataNode& n = src.node(src_id);
+    NodeId id = current->AppendChild(current_parent, n.tag, n.content);
+    current->node(id).tag_type = n.tag_type;
+    current->node(id).content_type = n.content_type;
+    current->node(id).provenance = n.provenance;
+    next_parent = id;
+  }
+  for (NodeId c : src.node(src_id).children) {
+    BuildForest(src, c, kept, full, current, next_parent, dedup, out);
+  }
+}
+
+}  // namespace
+
+Result<TreeCollection> Select(const TreeCollection& input,
+                              const PatternTree& pattern,
+                              const std::vector<int>& sl,
+                              const ConditionSemantics& semantics) {
+  TreeCollection out;
+  Deduper dedup;
+  std::set<int> expand(sl.begin(), sl.end());
+  for (const DataTree& tree : input) {
+    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                          FindEmbeddings(pattern, tree, semantics));
+    for (const Embedding& h : embeddings) {
+      dedup.Add(BuildWitnessTree(pattern, tree, h, expand), &out);
+    }
+  }
+  return out;
+}
+
+Result<TreeCollection> Project(const TreeCollection& input,
+                               const PatternTree& pattern,
+                               const std::vector<ProjectItem>& pl,
+                               const ConditionSemantics& semantics) {
+  TreeCollection out;
+  Deduper dedup;
+  for (const DataTree& tree : input) {
+    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                          FindEmbeddings(pattern, tree, semantics));
+    std::set<NodeId> kept;
+    std::set<NodeId> full;
+    for (const Embedding& h : embeddings) {
+      for (const ProjectItem& item : pl) {
+        auto it = h.mapping.find(item.label);
+        if (it == h.mapping.end()) continue;
+        kept.insert(it->second);
+        if (item.keep_subtree) full.insert(it->second);
+      }
+    }
+    if (kept.empty()) continue;
+    BuildForest(tree, tree.root(), kept, full, nullptr, kInvalidNode, &dedup,
+                &out);
+  }
+  return out;
+}
+
+TreeCollection Product(const TreeCollection& left,
+                       const TreeCollection& right) {
+  TreeCollection out;
+  out.reserve(left.size() * right.size());
+  for (const DataTree& a : left) {
+    for (const DataTree& b : right) {
+      DataTree tree;
+      NodeId root = tree.CreateRoot(kProductRootTag);
+      tree.CopySubtree(a, a.root(), root);
+      tree.CopySubtree(b, b.root(), root);
+      out.push_back(std::move(tree));
+    }
+  }
+  return out;
+}
+
+Result<TreeCollection> Join(const TreeCollection& left,
+                            const TreeCollection& right,
+                            const PatternTree& pattern,
+                            const std::vector<int>& sl,
+                            const ConditionSemantics& semantics) {
+  // Semantically Select(Product(left, right), ...), but the product is
+  // streamed one pair-tree at a time: materializing |L|*|R| trees up front
+  // dominates memory at realistic sizes.
+  TreeCollection out;
+  Deduper dedup;
+  std::set<int> expand(sl.begin(), sl.end());
+  for (const DataTree& a : left) {
+    for (const DataTree& b : right) {
+      DataTree pair;
+      NodeId root = pair.CreateRoot(kProductRootTag);
+      pair.CopySubtree(a, a.root(), root);
+      pair.CopySubtree(b, b.root(), root);
+      TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                            FindEmbeddings(pattern, pair, semantics));
+      for (const Embedding& h : embeddings) {
+        dedup.Add(BuildWitnessTree(pattern, pair, h, expand), &out);
+      }
+    }
+  }
+  return out;
+}
+
+Result<TreeCollection> GroupBy(const TreeCollection& input,
+                               const PatternTree& pattern, int group_label,
+                               const std::vector<int>& sl,
+                               const ConditionSemantics& semantics) {
+  if (pattern.IndexOfLabel(group_label) < 0) {
+    return Status::InvalidArgument("GroupBy: label $" +
+                                   std::to_string(group_label) +
+                                   " is not a pattern node");
+  }
+  std::set<int> expand(sl.begin(), sl.end());
+  // Grouping value -> (first-occurrence order, deduped member trees).
+  std::vector<std::string> group_order;
+  std::map<std::string, TreeCollection> groups;
+  std::map<std::string, std::unordered_set<std::string>> seen;
+  for (const DataTree& tree : input) {
+    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                          FindEmbeddings(pattern, tree, semantics));
+    for (const Embedding& h : embeddings) {
+      const std::string& value =
+          tree.node(h.mapping.at(group_label)).content;
+      if (groups.find(value) == groups.end()) {
+        group_order.push_back(value);
+      }
+      DataTree witness = BuildWitnessTree(pattern, tree, h, expand);
+      if (seen[value].insert(witness.CanonicalKey()).second) {
+        groups[value].push_back(std::move(witness));
+      }
+    }
+  }
+  TreeCollection out;
+  out.reserve(group_order.size());
+  for (const std::string& value : group_order) {
+    DataTree group;
+    NodeId root = group.CreateRoot(kGroupRootTag, value);
+    TreeCollection& members = groups[value];
+    group.node(root).provenance = members.size();  // count aggregate
+    for (const DataTree& member : members) {
+      group.CopySubtree(member, member.root(), root);
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+TreeCollection Union(const TreeCollection& left,
+                     const TreeCollection& right) {
+  TreeCollection out;
+  Deduper dedup;
+  for (const DataTree& t : left) dedup.Add(t, &out);
+  for (const DataTree& t : right) dedup.Add(t, &out);
+  return out;
+}
+
+TreeCollection Intersect(const TreeCollection& left,
+                         const TreeCollection& right) {
+  std::unordered_set<std::string> right_keys;
+  for (const DataTree& t : right) right_keys.insert(t.CanonicalKey());
+  TreeCollection out;
+  Deduper dedup;
+  for (const DataTree& t : left) {
+    if (right_keys.count(t.CanonicalKey())) dedup.Add(t, &out);
+  }
+  return out;
+}
+
+TreeCollection Difference(const TreeCollection& left,
+                          const TreeCollection& right) {
+  std::unordered_set<std::string> right_keys;
+  for (const DataTree& t : right) right_keys.insert(t.CanonicalKey());
+  TreeCollection out;
+  Deduper dedup;
+  for (const DataTree& t : left) {
+    if (!right_keys.count(t.CanonicalKey())) dedup.Add(t, &out);
+  }
+  return out;
+}
+
+}  // namespace toss::tax

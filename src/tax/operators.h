@@ -1,0 +1,86 @@
+// The TAX algebra operators (paper Section 2.1.2), parameterized by
+// ConditionSemantics so the identical code implements both TAX (with
+// TaxSemantics) and TOSS (with core::SeoSemantics) -- the paper's algebra
+// extension changes only condition satisfaction, not operator shape.
+
+#ifndef TOSS_TAX_OPERATORS_H_
+#define TOSS_TAX_OPERATORS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tax/data_tree.h"
+#include "tax/embedding.h"
+#include "tax/pattern_tree.h"
+
+namespace toss::tax {
+
+/// Tag of the fresh root created by Product (paper Fig. 7).
+inline constexpr const char* kProductRootTag = "tax_prod_root";
+
+/// Selection sigma_{P,SL}: all witness trees of P, with the data subtrees of
+/// SL-labelled images included wholesale. Duplicate witness trees (from
+/// distinct embeddings) are returned once.
+Result<TreeCollection> Select(const TreeCollection& input,
+                              const PatternTree& pattern,
+                              const std::vector<int>& sl,
+                              const ConditionSemantics& semantics);
+
+/// One projection-list entry: keep nodes matched by `label`; with
+/// `keep_subtree` their entire data subtree survives.
+struct ProjectItem {
+  int label = 0;
+  bool keep_subtree = false;
+};
+
+/// Projection pi_{P,PL}: per input tree, the nodes matched by PL labels
+/// under any embedding, with closest-ancestor structure preserved; each
+/// top-most surviving node roots its own output tree (paper Fig. 5).
+Result<TreeCollection> Project(const TreeCollection& input,
+                               const PatternTree& pattern,
+                               const std::vector<ProjectItem>& pl,
+                               const ConditionSemantics& semantics);
+
+/// Cross product: one tree per input pair, under a fresh kProductRootTag
+/// root with the pair as left/right children.
+TreeCollection Product(const TreeCollection& left,
+                       const TreeCollection& right);
+
+/// Condition join: Select over Product (paper Example 6).
+Result<TreeCollection> Join(const TreeCollection& left,
+                            const TreeCollection& right,
+                            const PatternTree& pattern,
+                            const std::vector<int>& sl,
+                            const ConditionSemantics& semantics);
+
+/// Tag of the root of each group tree produced by GroupBy.
+inline constexpr const char* kGroupRootTag = "tax_group_root";
+
+/// Grouping (from the original TAX algebra): partitions the witness trees
+/// of `pattern` by the *content* of the node matched by `group_label`.
+/// Each group becomes one output tree:
+///
+///   <tax_group_root>                 -- content = the grouping value
+///     <witness tree 1/> <witness tree 2/> ...
+///
+/// Witness trees carry the SL expansion of `sl`, and groups appear in
+/// first-occurrence order of their grouping value. The group root's
+/// content holds the grouping value; its provenance holds the member
+/// count (a simple aggregate).
+Result<TreeCollection> GroupBy(const TreeCollection& input,
+                               const PatternTree& pattern, int group_label,
+                               const std::vector<int>& sl,
+                               const ConditionSemantics& semantics);
+
+/// Set-theoretic operators under order-preserving tree equality
+/// (paper Section 5.1.2). Results keep left-operand order; duplicates
+/// within a result are collapsed.
+TreeCollection Union(const TreeCollection& left, const TreeCollection& right);
+TreeCollection Intersect(const TreeCollection& left,
+                         const TreeCollection& right);
+TreeCollection Difference(const TreeCollection& left,
+                          const TreeCollection& right);
+
+}  // namespace toss::tax
+
+#endif  // TOSS_TAX_OPERATORS_H_

@@ -1,0 +1,57 @@
+#include "tax/pattern_tree.h"
+
+#include <algorithm>
+
+namespace toss::tax {
+
+int PatternTree::AddRoot() {
+  if (!nodes_.empty()) return nodes_[0].label;
+  PatternNode n;
+  n.label = 1;
+  nodes_.push_back(n);
+  return 1;
+}
+
+int PatternTree::AddChild(int parent_label, EdgeKind edge) {
+  int parent_index = IndexOfLabel(parent_label);
+  if (parent_index < 0) return -1;
+  PatternNode n;
+  n.label = static_cast<int>(nodes_.size()) + 1;
+  n.edge_from_parent = edge;
+  n.parent = parent_index;
+  int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(n);
+  nodes_[parent_index].children.push_back(index);
+  return nodes_[index].label;
+}
+
+int PatternTree::IndexOfLabel(int label) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].label == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> PatternTree::Labels() const {
+  std::vector<int> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.label);
+  return out;
+}
+
+Status PatternTree::Validate() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("pattern tree has no nodes");
+  }
+  auto labels = Labels();
+  for (int ref : condition_.ReferencedLabels()) {
+    if (std::find(labels.begin(), labels.end(), ref) == labels.end()) {
+      return Status::InvalidArgument(
+          "condition references $" + std::to_string(ref) +
+          " which is not a pattern node");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace toss::tax

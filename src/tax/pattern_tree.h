@@ -1,0 +1,71 @@
+// Pattern trees (paper Def. 2): the query language of TAX and TOSS.
+//
+// A pattern tree is a node-labelled, edge-labelled tree (labels are the
+// integers referenced from the selection condition as $1, $2, ...) whose
+// edges are parent-child (pc) or ancestor-descendant (ad), plus a selection
+// condition F.
+
+#ifndef TOSS_TAX_PATTERN_TREE_H_
+#define TOSS_TAX_PATTERN_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tax/condition.h"
+
+namespace toss::tax {
+
+enum class EdgeKind : uint8_t {
+  kPc,  ///< parent-child
+  kAd,  ///< ancestor-descendant
+};
+
+struct PatternNode {
+  int label = 0;  ///< the $n label; assigned 1..n in creation order
+  EdgeKind edge_from_parent = EdgeKind::kPc;  ///< meaningless on the root
+  int parent = -1;                            ///< index, -1 for root
+  std::vector<int> children;                  ///< indexes
+};
+
+/// Builder + container for a pattern tree.
+class PatternTree {
+ public:
+  PatternTree() = default;
+
+  /// Creates the pattern root; returns its label ($1 on the first call).
+  int AddRoot();
+
+  /// Adds a child of the node labelled `parent_label`; returns the new
+  /// node's label.
+  int AddChild(int parent_label, EdgeKind edge);
+
+  /// Sets the selection condition F.
+  void SetCondition(Condition condition) {
+    condition_ = std::move(condition);
+  }
+  const Condition& condition() const { return condition_; }
+
+  size_t node_count() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Node by position index (preorder of creation).
+  const PatternNode& node(size_t index) const { return nodes_[index]; }
+
+  /// Position index of the node with `label`, or -1.
+  int IndexOfLabel(int label) const;
+
+  /// Labels in creation order (root first).
+  std::vector<int> Labels() const;
+
+  /// Validates: non-empty, condition references only existing labels.
+  Status Validate() const;
+
+ private:
+  std::vector<PatternNode> nodes_;
+  Condition condition_ = Condition::True();
+};
+
+}  // namespace toss::tax
+
+#endif  // TOSS_TAX_PATTERN_TREE_H_

@@ -1,0 +1,72 @@
+#include "tax/tax_semantics.h"
+
+#include "common/string_util.h"
+
+namespace toss::tax {
+
+Result<bool> CompareValues(const std::string& x, CondOp op,
+                           const std::string& y) {
+  if (op == CondOp::kEq || op == CondOp::kNeq) {
+    bool eq;
+    if (Contains(x, "*") || Contains(y, "*")) {
+      // Either side may be the pattern; data values rarely contain '*'.
+      eq = Contains(y, "*") ? GlobMatch(y, x) : GlobMatch(x, y);
+    } else {
+      eq = (x == y);
+    }
+    return op == CondOp::kEq ? eq : !eq;
+  }
+  // Ordering: shared scalar semantics (common/string_util.h) -- integer,
+  // double, or lexicographic, with mixed representations incomparable
+  // (false). The store's ordered indexes mirror the same order, which is
+  // what makes range-predicate pushdown exact.
+  std::optional<int> scalar = CompareScalar(x, y);
+  if (!scalar.has_value()) return false;
+  int cmp = *scalar;
+  switch (op) {
+    case CondOp::kLt:
+      return cmp < 0;
+    case CondOp::kLeq:
+      return cmp <= 0;
+    case CondOp::kGt:
+      return cmp > 0;
+    case CondOp::kGeq:
+      return cmp >= 0;
+    default:
+      return Status::InvalidArgument("CompareValues: non-comparison op");
+  }
+}
+
+Result<bool> TaxSemantics::Compare(const TermValue& x, CondOp op,
+                                   const TermValue& y) const {
+  return CompareValues(x.text, op, y.text);
+}
+
+Result<bool> TaxSemantics::Similar(const TermValue& x,
+                                   const TermValue& y) const {
+  // Baseline: similarity degrades to exact match.
+  return x.text == y.text;
+}
+
+Result<bool> TaxSemantics::Related(const std::string& relation,
+                                   const TermValue& x,
+                                   const TermValue& y) const {
+  (void)relation;
+  // Baseline: ontology relations degrade to "contains".
+  return ContainsIgnoreCase(x.text, y.text) ||
+         ContainsIgnoreCase(y.text, x.text);
+}
+
+Result<bool> TaxSemantics::InstanceOf(const TermValue& x,
+                                      const TermValue& y) const {
+  // Without a type hierarchy, instance_of holds only for the value's own
+  // declared type.
+  return !x.is_type_name && y.is_type_name && x.type == y.text;
+}
+
+Result<bool> TaxSemantics::SubtypeOf(const TermValue& x,
+                                     const TermValue& y) const {
+  return x.is_type_name && y.is_type_name && x.text == y.text;
+}
+
+}  // namespace toss::tax

@@ -1,0 +1,38 @@
+// Plain-TAX condition semantics: the baseline the paper measures TOSS
+// against (Section 6, "for isa and similarTo conditions, 'contains' and
+// exact match are used for TAX").
+//
+//  * Comparisons are numeric when both operands parse as numbers,
+//    lexicographic otherwise. Values may use '*' wildcards on equality
+//    (the paper's Example 12 wild card).
+//  * X ~ Y      -> exact string equality.
+//  * X isa Y / X part_of Y -> substring containment (case-insensitive).
+//  * instance_of / subtype_of -> type-name equality.
+
+#ifndef TOSS_TAX_TAX_SEMANTICS_H_
+#define TOSS_TAX_TAX_SEMANTICS_H_
+
+#include "tax/condition.h"
+
+namespace toss::tax {
+
+class TaxSemantics : public ConditionSemantics {
+ public:
+  Result<bool> Compare(const TermValue& x, CondOp op,
+                       const TermValue& y) const override;
+  Result<bool> Similar(const TermValue& x, const TermValue& y) const override;
+  Result<bool> Related(const std::string& relation, const TermValue& x,
+                       const TermValue& y) const override;
+  Result<bool> InstanceOf(const TermValue& x,
+                          const TermValue& y) const override;
+  Result<bool> SubtypeOf(const TermValue& x,
+                         const TermValue& y) const override;
+};
+
+/// Shared helper: equality with '*' glob support, numeric-aware ordering.
+Result<bool> CompareValues(const std::string& x, CondOp op,
+                           const std::string& y);
+
+}  // namespace toss::tax
+
+#endif  // TOSS_TAX_TAX_SEMANTICS_H_

@@ -1,0 +1,162 @@
+#include "xml/xml_document.h"
+
+#include <cassert>
+
+namespace toss::xml {
+
+NodeId XmlDocument::NewNode(NodeKind kind, NodeId parent) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].kind = kind;
+  nodes_[id].parent = parent;
+  if (parent != kInvalidNode) nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId XmlDocument::CreateRoot(std::string_view tag) {
+  assert(nodes_.empty() && "CreateRoot on non-empty document");
+  NodeId id = NewNode(NodeKind::kElement, kInvalidNode);
+  nodes_[id].tag = tag;
+  return id;
+}
+
+NodeId XmlDocument::AppendElement(NodeId parent, std::string_view tag) {
+  NodeId id = NewNode(NodeKind::kElement, parent);
+  nodes_[id].tag = tag;
+  return id;
+}
+
+NodeId XmlDocument::AppendText(NodeId parent, std::string_view text) {
+  NodeId id = NewNode(NodeKind::kText, parent);
+  nodes_[id].text = text;
+  return id;
+}
+
+NodeId XmlDocument::AppendTextElement(NodeId parent, std::string_view tag,
+                                      std::string_view text) {
+  NodeId el = AppendElement(parent, tag);
+  AppendText(el, text);
+  return el;
+}
+
+void XmlDocument::SetAttribute(NodeId node, std::string_view name,
+                               std::string_view value) {
+  assert(nodes_[node].kind == NodeKind::kElement);
+  for (auto& attr : nodes_[node].attributes) {
+    if (attr.name == name) {
+      attr.value = value;
+      return;
+    }
+  }
+  nodes_[node].attributes.push_back(
+      {std::string(name), std::string(value)});
+}
+
+std::string XmlDocument::TextContent(NodeId id) const {
+  std::string out;
+  // Iterative preorder walk collecting text nodes.
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const XmlNode& n = nodes_[cur];
+    if (n.kind == NodeKind::kText) out += n.text;
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::string_view XmlDocument::Attribute(NodeId id,
+                                        std::string_view name) const {
+  for (const auto& attr : nodes_[id].attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+std::vector<NodeId> XmlDocument::ElementDescendants(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack;
+  for (auto it = nodes_[id].children.rbegin();
+       it != nodes_[id].children.rend(); ++it) {
+    stack.push_back(*it);
+  }
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const XmlNode& n = nodes_[cur];
+    if (n.kind == NodeKind::kElement) out.push_back(cur);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> XmlDocument::ElementChildren(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].kind == NodeKind::kElement) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> XmlDocument::ChildrenByTag(NodeId id,
+                                               std::string_view tag) const {
+  std::vector<NodeId> out;
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].kind == NodeKind::kElement && nodes_[c].tag == tag) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+NodeId XmlDocument::FirstChildByTag(NodeId id, std::string_view tag) const {
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].kind == NodeKind::kElement && nodes_[c].tag == tag) {
+      return c;
+    }
+  }
+  return kInvalidNode;
+}
+
+bool XmlDocument::IsAncestor(NodeId ancestor, NodeId node) const {
+  NodeId cur = nodes_[node].parent;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+int XmlDocument::Depth(NodeId id) const {
+  int d = 0;
+  NodeId cur = nodes_[id].parent;
+  while (cur != kInvalidNode) {
+    ++d;
+    cur = nodes_[cur].parent;
+  }
+  return d;
+}
+
+NodeId XmlDocument::CopySubtree(const XmlDocument& src, NodeId src_id,
+                                NodeId parent) {
+  const XmlNode& sn = src.node(src_id);
+  NodeId dst;
+  if (sn.kind == NodeKind::kElement) {
+    dst = (parent == kInvalidNode && nodes_.empty())
+              ? CreateRoot(sn.tag)
+              : AppendElement(parent, sn.tag);
+    nodes_[dst].attributes = sn.attributes;
+    for (NodeId c : sn.children) CopySubtree(src, c, dst);
+  } else {
+    assert(parent != kInvalidNode && "text node cannot be a root");
+    dst = AppendText(parent, sn.text);
+  }
+  return dst;
+}
+
+}  // namespace toss::xml

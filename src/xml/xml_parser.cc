@@ -1,0 +1,297 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace toss::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XmlDocument> Run() {
+    SkipProlog();
+    // Status converts implicitly into an errored Result, so the usual
+    // propagation macro works here too.
+    TOSS_RETURN_NOT_OK(ParseElement(kInvalidNode));
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after document element");
+    }
+    if (doc_.empty()) return Error("no document element");
+    return std::move(doc_);
+  }
+
+ private:
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " (line " + std::to_string(Line()) +
+                              ")");
+  }
+
+  int Line() const {
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return line;
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+  void Skip(size_t n) { pos_ += n; }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, the XML declaration, a DOCTYPE line, and comments
+  // before the document element.
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<?")) {
+        size_t end = text_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+      } else if (Lookahead("<!--")) {
+        SkipComment();
+      } else if (Lookahead("<!DOCTYPE")) {
+        // Skip to the matching '>' (internal subsets are not supported,
+        // but a simple bracket-free DOCTYPE is tolerated).
+        size_t end = text_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        SkipComment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipComment() {
+    size_t end = text_.find("-->", pos_);
+    pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Status ParseName(std::string* out) {
+    if (Eof() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status DecodeEntities(std::string_view raw, std::string* out) {
+    out->clear();
+    out->reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i++]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long long cp = 0;
+        bool ok = ent.size() > 1 && ent[1] == 'x'
+                      ? ParseHex(ent.substr(2), &cp)
+                      : ParseInt(ent.substr(1), &cp);
+        if (!ok || cp < 0 || cp > 0x10FFFF) {
+          return Error("bad character reference &" + std::string(ent) + ";");
+        }
+        AppendUtf8(static_cast<uint32_t>(cp), out);
+      } else {
+        return Error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  static bool ParseHex(std::string_view s, long long* out) {
+    if (s.empty()) return false;
+    long long v = 0;
+    for (char c : s) {
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = c - 'A' + 10;
+      } else {
+        return false;
+      }
+      v = v * 16 + d;
+      if (v > 0x10FFFF) return false;
+    }
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseAttributes(NodeId el) {
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated start tag");
+      if (Peek() == '>' || Lookahead("/>")) return Status::OK();
+      std::string name;
+      TOSS_RETURN_NOT_OK(ParseName(&name));
+      SkipWhitespace();
+      if (Eof() || Peek() != '=') return Error("expected '=' in attribute");
+      Skip(1);
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      Skip(1);
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Error("unterminated attribute value");
+      std::string value;
+      TOSS_RETURN_NOT_OK(
+          DecodeEntities(text_.substr(start, pos_ - start), &value));
+      Skip(1);
+      doc_.SetAttribute(el, name, value);
+    }
+  }
+
+  Status ParseElement(NodeId parent) {
+    if (Eof() || Peek() != '<') return Error("expected '<'");
+    Skip(1);
+    std::string tag;
+    TOSS_RETURN_NOT_OK(ParseName(&tag));
+    NodeId el = (parent == kInvalidNode) ? doc_.CreateRoot(tag)
+                                         : doc_.AppendElement(parent, tag);
+    TOSS_RETURN_NOT_OK(ParseAttributes(el));
+    if (Lookahead("/>")) {
+      Skip(2);
+      return Status::OK();
+    }
+    if (Peek() != '>') return Error("expected '>'");
+    Skip(1);
+    return ParseContent(el, tag);
+  }
+
+  Status ParseContent(NodeId el, const std::string& tag) {
+    std::string pending;  // accumulated character data
+    auto flush = [&] {
+      // Whitespace-only runs between elements are not significant for
+      // bibliographic data; drop them, keep everything else verbatim.
+      if (!pending.empty() && !Trim(pending).empty()) {
+        doc_.AppendText(el, pending);
+      }
+      pending.clear();
+    };
+    for (;;) {
+      if (Eof()) return Error("unterminated element <" + tag + ">");
+      if (Lookahead("</")) {
+        flush();
+        Skip(2);
+        std::string close;
+        TOSS_RETURN_NOT_OK(ParseName(&close));
+        SkipWhitespace();
+        if (Eof() || Peek() != '>') return Error("malformed end tag");
+        Skip(1);
+        if (close != tag) {
+          return Error("mismatched end tag </" + close + ">, expected </" +
+                       tag + ">");
+        }
+        return Status::OK();
+      }
+      if (Lookahead("<!--")) {
+        SkipComment();
+        continue;
+      }
+      if (Lookahead("<![CDATA[")) {
+        Skip(9);
+        size_t end = text_.find("]]>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        pending += text_.substr(pos_, end - pos_);
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek() == '<') {
+        flush();
+        TOSS_RETURN_NOT_OK(ParseElement(el));
+        continue;
+      }
+      size_t start = pos_;
+      while (!Eof() && Peek() != '<') ++pos_;
+      std::string decoded;
+      TOSS_RETURN_NOT_OK(
+          DecodeEntities(text_.substr(start, pos_ - start), &decoded));
+      pending += decoded;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  XmlDocument doc_;
+};
+
+}  // namespace
+
+Result<XmlDocument> Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace toss::xml

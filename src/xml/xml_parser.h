@@ -1,0 +1,25 @@
+// Recursive-descent parser for the XML 1.0 subset used by bibliographic
+// data: prolog, comments, CDATA, elements with attributes, character data
+// with the five predefined entities plus numeric character references.
+//
+// Not supported (rejected with ParseError): DTDs, processing instructions
+// other than the XML declaration, namespaces beyond treating ':' as a tag
+// character, and external entities.
+
+#ifndef TOSS_XML_XML_PARSER_H_
+#define TOSS_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/xml_document.h"
+
+namespace toss::xml {
+
+/// Parses `text` into a document. On failure the Status message includes the
+/// 1-based line number of the offending construct.
+Result<XmlDocument> Parse(std::string_view text);
+
+}  // namespace toss::xml
+
+#endif  // TOSS_XML_XML_PARSER_H_

@@ -1,0 +1,101 @@
+#include "xml/xml_writer.h"
+
+namespace toss::xml {
+
+namespace {
+
+bool IsTextOnly(const XmlDocument& doc, NodeId id) {
+  for (NodeId c : doc.node(id).children) {
+    if (doc.node(c).kind != NodeKind::kText) return false;
+  }
+  return true;
+}
+
+void WriteNode(const XmlDocument& doc, NodeId id, const WriteOptions& opts,
+               int depth, std::string* out) {
+  const XmlNode& n = doc.node(id);
+  std::string indent = opts.pretty ? std::string(2 * depth, ' ') : "";
+  if (n.kind == NodeKind::kText) {
+    *out += indent;
+    *out += EscapeText(n.text);
+    if (opts.pretty) *out += '\n';
+    return;
+  }
+  *out += indent;
+  *out += '<';
+  *out += n.tag;
+  for (const auto& attr : n.attributes) {
+    *out += ' ';
+    *out += attr.name;
+    *out += "=\"";
+    *out += EscapeText(attr.value);
+    *out += '"';
+  }
+  if (n.children.empty()) {
+    *out += "/>";
+    if (opts.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (opts.pretty && IsTextOnly(doc, id)) {
+    // Keep <title>Some text</title> on one line.
+    for (NodeId c : n.children) *out += EscapeText(doc.node(c).text);
+    *out += "</";
+    *out += n.tag;
+    *out += ">\n";
+    return;
+  }
+  if (opts.pretty) *out += '\n';
+  for (NodeId c : n.children) {
+    WriteNode(doc, c, opts, depth + 1, out);
+  }
+  *out += indent;
+  *out += "</";
+  *out += n.tag;
+  *out += '>';
+  if (opts.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string WriteSubtree(const XmlDocument& doc, NodeId id,
+                         const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\"?>";
+    out += options.pretty ? "\n" : "";
+  }
+  WriteNode(doc, id, options, 0, &out);
+  return out;
+}
+
+std::string Write(const XmlDocument& doc, const WriteOptions& options) {
+  if (doc.empty()) return "";
+  return WriteSubtree(doc, doc.root(), options);
+}
+
+}  // namespace toss::xml

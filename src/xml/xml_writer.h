@@ -1,0 +1,33 @@
+// XML serialization with entity escaping and optional pretty-printing.
+
+#ifndef TOSS_XML_XML_WRITER_H_
+#define TOSS_XML_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/xml_document.h"
+
+namespace toss::xml {
+
+struct WriteOptions {
+  /// When true, nests elements with two-space indentation; text-only
+  /// elements stay on one line.
+  bool pretty = false;
+  /// When true, emits an `<?xml version="1.0"?>` declaration first.
+  bool declaration = false;
+};
+
+/// Escapes `&`, `<`, `>`, `"` for use in character data / attribute values.
+std::string EscapeText(std::string_view s);
+
+/// Serializes the subtree rooted at `id`.
+std::string WriteSubtree(const XmlDocument& doc, NodeId id,
+                         const WriteOptions& options = {});
+
+/// Serializes the whole document.
+std::string Write(const XmlDocument& doc, const WriteOptions& options = {});
+
+}  // namespace toss::xml
+
+#endif  // TOSS_XML_XML_WRITER_H_

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "store/btree.h"
+#include "store/key_encoding.h"
+
+namespace toss::store {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Key encoding
+// ---------------------------------------------------------------------------
+
+TEST(KeyEncodingTest, EncodeOrderedIntPreservesNumericOrder) {
+  Random rng(17);
+  std::vector<long long> values = {-1000000, -42, -1, 0, 1, 7,
+                                   1998,     2000, 123456789};
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(rng.UniformRange(-1000000000LL, 1000000000LL));
+  }
+  for (long long a : values) {
+    for (long long b : values) {
+      auto ea = EncodeOrderedInt(std::to_string(a));
+      auto eb = EncodeOrderedInt(std::to_string(b));
+      ASSERT_TRUE(ea.has_value());
+      ASSERT_TRUE(eb.has_value());
+      EXPECT_EQ(a < b, *ea < *eb) << a << " vs " << b;
+      EXPECT_EQ(a == b, *ea == *eb);
+    }
+  }
+}
+
+TEST(KeyEncodingTest, NonCanonicalSpellingsNormalize) {
+  EXPECT_EQ(EncodeOrderedInt("007"), EncodeOrderedInt("7"));
+  EXPECT_EQ(EncodeOrderedInt(" 42 "), EncodeOrderedInt("42"));
+  EXPECT_EQ(EncodeOrderedInt("abc"), std::nullopt);
+  EXPECT_EQ(EncodeOrderedInt("3.5"), std::nullopt);
+  EXPECT_EQ(EncodeOrderedInt(""), std::nullopt);
+}
+
+TEST(KeyEncodingTest, CompositeKeysAndPrefixBounds) {
+  std::string key = ValueKey("year", "1999");
+  EXPECT_EQ(key, std::string("year") + kKeySep + "1999");
+  // Every key with the tag prefix sorts below the prefix end.
+  std::string end = TagPrefixEnd("year");
+  EXPECT_LT(key, end);
+  EXPECT_LT(ValueKey("year", "\xf0\xf0"), end);
+  // Keys of other tags sort outside.
+  EXPECT_GT(ValueKey("zzz", "1"), end);
+  auto numeric = NumericKey("year", "1999");
+  ASSERT_TRUE(numeric.has_value());
+  EXPECT_LT(*numeric, end);
+  EXPECT_EQ(NumericKey("year", "abc"), std::nullopt);
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.key_count(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.Get("x"), nullptr);
+  EXPECT_TRUE(tree.DocsInRange("a", "z").empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertAndGet) {
+  BPlusTree tree;
+  tree.Insert("year\x1f""1999", 1);
+  tree.Insert("year\x1f""1999", 2);
+  tree.Insert("year\x1f""1999", 2);  // idempotent
+  tree.Insert("year\x1f""2000", 3);
+  EXPECT_EQ(tree.key_count(), 2u);
+  auto* p = tree.Get("year\x1f""1999");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, (std::vector<DocId>{1, 2}));
+  EXPECT_EQ(tree.Get("year\x1f""1998"), nullptr);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, RemoveAndTombstones) {
+  BPlusTree tree;
+  tree.Insert("k", 1);
+  tree.Insert("k", 2);
+  EXPECT_TRUE(tree.Remove("k", 1));
+  EXPECT_FALSE(tree.Remove("k", 1));
+  EXPECT_FALSE(tree.Remove("ghost", 1));
+  EXPECT_EQ(tree.key_count(), 1u);
+  EXPECT_TRUE(tree.Remove("k", 2));
+  EXPECT_EQ(tree.key_count(), 0u);
+  // Tombstoned keys are invisible to scans but revivable.
+  EXPECT_TRUE(tree.DocsInRange("a", "z").empty());
+  tree.Insert("k", 9);
+  EXPECT_EQ(tree.key_count(), 1u);
+  EXPECT_EQ(tree.DocsInRange("a", "z"), std::vector<DocId>{9});
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeightUniformly) {
+  BPlusTree tree;
+  // Enough distinct keys to force several levels at fanout 32.
+  for (int i = 0; i < 5000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%05d", i);
+    tree.Insert(buf, static_cast<DocId>(i));
+  }
+  EXPECT_EQ(tree.key_count(), 5000u);
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Spot-check lookups across the key space.
+  for (int i = 0; i < 5000; i += 379) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%05d", i);
+    auto* p = tree.Get(buf);
+    ASSERT_NE(p, nullptr) << buf;
+    EXPECT_EQ((*p)[0], static_cast<DocId>(i));
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanInclusiveBounds) {
+  BPlusTree tree;
+  for (int year = 1990; year <= 2005; ++year) {
+    tree.Insert(std::to_string(year), static_cast<DocId>(year));
+  }
+  EXPECT_EQ(tree.DocsInRange("1998", "2000"),
+            (std::vector<DocId>{1998, 1999, 2000}));
+  EXPECT_EQ(tree.DocsInRange("1990", "1990"), std::vector<DocId>{1990});
+  EXPECT_TRUE(tree.DocsInRange("2006", "2010").empty());
+  EXPECT_TRUE(tree.DocsInRange("2000", "1998").empty());  // hi < lo
+  // Scan callback order and early stop.
+  std::vector<std::string> keys;
+  tree.RangeScan("1995", "2002",
+                 [&](const std::string& k, const std::vector<DocId>&) {
+                   keys.push_back(k);
+                   return keys.size() < 3;
+                 });
+  EXPECT_EQ(keys, (std::vector<std::string>{"1995", "1996", "1997"}));
+}
+
+TEST(BPlusTreeTest, CompactDropsTombstones) {
+  BPlusTree tree;
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert("k" + std::to_string(i), static_cast<DocId>(i));
+  }
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(tree.Remove("k" + std::to_string(i), static_cast<DocId>(i)));
+  }
+  EXPECT_EQ(tree.key_count(), 100u);
+  tree.Compact();
+  EXPECT_EQ(tree.key_count(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Get("k1")->front(), 1u);
+  EXPECT_EQ(tree.Get("k2"), nullptr);  // physically gone
+}
+
+TEST(BPlusTreeTest, RandomizedAgainstReferenceModel) {
+  Random rng(4242);
+  BPlusTree tree;
+  std::map<std::string, std::set<DocId>> model;
+  auto random_key = [&] {
+    return "key-" + std::to_string(rng.Uniform(400));
+  };
+  for (int op = 0; op < 20000; ++op) {
+    std::string key = random_key();
+    DocId doc = static_cast<DocId>(rng.Uniform(50));
+    if (rng.Bernoulli(0.7)) {
+      tree.Insert(key, doc);
+      model[key].insert(doc);
+    } else {
+      bool tree_removed = tree.Remove(key, doc);
+      bool model_removed = model.count(key) && model[key].erase(doc) > 0;
+      EXPECT_EQ(tree_removed, model_removed) << key << " " << doc;
+      if (model.count(key) && model[key].empty()) model.erase(key);
+    }
+    if (op % 2500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "after op " << op;
+    }
+  }
+  // Full agreement on non-empty keys.
+  EXPECT_EQ(tree.key_count(), model.size());
+  for (const auto& [key, docs] : model) {
+    auto* p = tree.Get(key);
+    ASSERT_NE(p, nullptr) << key;
+    EXPECT_EQ(std::set<DocId>(p->begin(), p->end()), docs) << key;
+  }
+  // Random range scans agree with the model.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string lo = random_key();
+    std::string hi = random_key();
+    if (hi < lo) std::swap(lo, hi);
+    std::set<DocId> expected;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      expected.insert(it->second.begin(), it->second.end());
+    }
+    auto got = tree.DocsInRange(lo, hi);
+    EXPECT_EQ(std::set<DocId>(got.begin(), got.end()), expected)
+        << lo << " .. " << hi;
+  }
+  tree.Compact();
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.key_count(), model.size());
+}
+
+TEST(BPlusTreeTest, ForEachVisitsAllKeysInOrder) {
+  BPlusTree tree;
+  Random rng(7);
+  std::set<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    std::string k = rng.AlphaString(6);
+    keys.insert(k);
+    tree.Insert(k, 1);
+  }
+  std::vector<std::string> visited;
+  tree.ForEach([&](const std::string& k, const std::vector<DocId>&) {
+    visited.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(visited.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+TEST(BPlusTreeTest, MoveSemantics) {
+  BPlusTree a;
+  a.Insert("x", 1);
+  BPlusTree b = std::move(a);
+  ASSERT_NE(b.Get("x"), nullptr);
+  BPlusTree c;
+  c = std::move(b);
+  ASSERT_NE(c.Get("x"), nullptr);
+  EXPECT_EQ(c.key_count(), 1u);
+}
+
+}  // namespace
+}  // namespace toss::store

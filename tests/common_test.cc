@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace toss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasDistinctName) {
+  std::set<std::string> names;
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kTypeError, StatusCode::kInconsistent,
+        StatusCode::kIOError, StatusCode::kInternal,
+        StatusCode::kUnsupported}) {
+    names.insert(StatusCodeName(c));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::IOError("disk gone"); };
+  auto outer = [&]() -> Status {
+    TOSS_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::ParseError("bad int");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto makes = []() -> Result<std::string> { return std::string("x"); };
+  auto fails = []() -> Result<std::string> {
+    return Status::NotFound("nope");
+  };
+  auto use = [&](bool fail) -> Result<int> {
+    TOSS_ASSIGN_OR_RETURN(std::string s, fail ? fails() : makes());
+    return static_cast<int>(s.size());
+  };
+  EXPECT_EQ(*use(false), 1);
+  EXPECT_TRUE(use(true).status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC dEf"), "abc def");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto parts = SplitAny("a,b;;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(Join(parts, "-"), "a-b-c");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("inproceedings", "in"));
+  EXPECT_FALSE(StartsWith("in", "inproceedings"));
+  EXPECT_TRUE(EndsWith("booktitle", "title"));
+  EXPECT_TRUE(Contains("SIGMOD Conference", "MOD"));
+  EXPECT_TRUE(ContainsIgnoreCase("SIGMOD Conference", "sigmod"));
+  EXPECT_FALSE(ContainsIgnoreCase("SIGMOD", "sigmodx"));
+  EXPECT_TRUE(EqualsIgnoreCase("VLDB", "vldb"));
+}
+
+TEST(StringUtilTest, TokenizeWords) {
+  auto toks = TokenizeWords("J. D. Ullman-Smith 2nd");
+  std::vector<std::string> expect{"j", "d", "ullman", "smith", "2nd"};
+  EXPECT_EQ(toks, expect);
+}
+
+TEST(StringUtilTest, ParseIntAndDouble) {
+  long long i;
+  EXPECT_TRUE(ParseInt(" 42 ", &i));
+  EXPECT_EQ(i, 42);
+  EXPECT_FALSE(ParseInt("4x", &i));
+  EXPECT_FALSE(ParseInt("", &i));
+  double d;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+}
+
+TEST(StringUtilTest, CompareScalarIntegers) {
+  EXPECT_EQ(CompareScalar("2", "10"), -1);   // numeric, not lexicographic
+  EXPECT_EQ(CompareScalar("10", "2"), 1);
+  EXPECT_EQ(CompareScalar("007", "7"), 0);   // non-canonical spellings
+  EXPECT_EQ(CompareScalar("-5", "3"), -1);
+  EXPECT_EQ(CompareScalar("1999", "1999"), 0);
+}
+
+TEST(StringUtilTest, CompareScalarDoubles) {
+  EXPECT_EQ(CompareScalar("3.5", "4.25"), -1);
+  EXPECT_EQ(CompareScalar("4.25", "3.5"), 1);
+  EXPECT_EQ(CompareScalar("2.50", "2.5"), 0);
+}
+
+TEST(StringUtilTest, CompareScalarStrings) {
+  EXPECT_EQ(CompareScalar("apple", "banana"), -1);
+  EXPECT_EQ(CompareScalar("banana", "apple"), 1);
+  EXPECT_EQ(CompareScalar("same", "same"), 0);
+}
+
+TEST(StringUtilTest, CompareScalarMixedIsIncomparable) {
+  EXPECT_EQ(CompareScalar("1999", "abc"), std::nullopt);
+  EXPECT_EQ(CompareScalar("abc", "1999"), std::nullopt);
+  EXPECT_EQ(CompareScalar("3.5", "4"), std::nullopt);   // double vs int
+  EXPECT_EQ(CompareScalar("3.5", "abc"), std::nullopt);  // double vs string
+}
+
+TEST(StringUtilTest, CompareScalarTotalOrderWithinEachClass) {
+  // Antisymmetry and transitivity spot checks within one class.
+  Random rng(31);
+  std::vector<std::string> ints, strs;
+  for (int i = 0; i < 12; ++i) {
+    ints.push_back(std::to_string(rng.UniformRange(-500, 500)));
+    strs.push_back(rng.AlphaString(1 + rng.Uniform(6)));
+  }
+  for (const auto& pool : {ints, strs}) {
+    for (const auto& a : pool) {
+      for (const auto& b : pool) {
+        auto ab = CompareScalar(a, b);
+        auto ba = CompareScalar(b, a);
+        ASSERT_TRUE(ab.has_value());
+        ASSERT_TRUE(ba.has_value());
+        EXPECT_EQ(*ab, -*ba) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(StringUtilTest, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("*Microsoft*", "About Microsoft SQL Server"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("a*c", "abbbc"));
+  EXPECT_FALSE(GlobMatch("a*c", "abd"));
+  EXPECT_TRUE(GlobMatch("abc", "abc"));
+  EXPECT_FALSE(GlobMatch("abc", "abcd"));
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7), c(8);
+  std::vector<uint64_t> va, vb, vc;
+  for (int i = 0; i < 16; ++i) {
+    va.push_back(a.Next());
+    vb.push_back(b.Next());
+    vc.push_back(c.Next());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RandomTest, ZipfSkewsTowardsLowRanks) {
+  Random rng(17);
+  size_t low = 0, total = 5000;
+  for (size_t i = 0; i < total; ++i) {
+    if (rng.Zipf(100, 1.0) < 10) ++low;
+  }
+  // With theta=1, the first 10 of 100 ranks carry well over a third of
+  // the mass.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(RandomTest, AlphaStringShapeAndDeterminism) {
+  Random a(9), b(9);
+  std::string sa = a.AlphaString(24);
+  EXPECT_EQ(sa.size(), 24u);
+  for (char c : sa) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  EXPECT_EQ(sa, b.AlphaString(24));
+}
+
+}  // namespace
+}  // namespace toss

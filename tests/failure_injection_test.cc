@@ -1,0 +1,202 @@
+// Failure injection: corrupted on-disk state, inconsistent inputs, and
+// mid-pipeline errors must surface as typed Status values, never crashes
+// or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <cstring>
+#include <fstream>
+
+#include "core/toss.h"
+#include "data/bulk_loader.h"
+
+namespace toss {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CorruptStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "toss_failure_test";
+    fs::remove_all(dir_);
+    store::Database db;
+    auto coll = db.CreateCollection("dblp");
+    ASSERT_TRUE(coll.ok());
+    ASSERT_TRUE((*coll)->InsertXml("k1", "<a><b>x</b></a>").ok());
+    ASSERT_TRUE((*coll)->InsertXml("k2", "<c/>").ok());
+    ASSERT_TRUE(db.Save(dir_.string()).ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void Overwrite(const fs::path& relative, const std::string& content) {
+    std::ofstream out(dir_ / relative, std::ios::trunc);
+    out << content;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CorruptStoreTest, IntactStoreOpens) {
+  auto db = store::Database::Open(dir_.string());
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto coll = db->GetCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->size(), 2u);
+}
+
+TEST_F(CorruptStoreTest, MissingManifestIsIOError) {
+  fs::remove(dir_ / "manifest.txt");
+  EXPECT_TRUE(store::Database::Open(dir_.string()).status().IsIOError());
+}
+
+TEST_F(CorruptStoreTest, ManifestPointingToMissingCollection) {
+  Overwrite("manifest.txt", "dblp\nghost\n");
+  auto db = store::Database::Open(dir_.string());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsIOError());
+}
+
+TEST_F(CorruptStoreTest, CorruptDocumentXml) {
+  Overwrite(fs::path("dblp") / "000000.xml", "<a><unclosed>");
+  auto db = store::Database::Open(dir_.string());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsParseError()) << db.status();
+}
+
+TEST_F(CorruptStoreTest, MissingDocumentFile) {
+  fs::remove(dir_ / "dblp" / "000001.xml");
+  auto db = store::Database::Open(dir_.string());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsIOError());
+}
+
+TEST_F(CorruptStoreTest, MissingKeysFile) {
+  fs::remove(dir_ / "dblp" / "_keys.txt");
+  EXPECT_TRUE(store::Database::Open(dir_.string()).status().IsIOError());
+}
+
+TEST(CorruptSeoTest, TruncatedDocumentsRejected) {
+  // Build a valid SEO text and truncate it at several points; every prefix
+  // must fail cleanly with ParseError (never crash).
+  ontology::Ontology onto;
+  (void)onto.isa().AddTermEdge("a", "b");
+  core::SeoBuilder builder;
+  builder.AddInstanceOntology(std::move(onto));
+  builder.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  builder.SetEpsilon(1.0);
+  auto seo = builder.Build();
+  ASSERT_TRUE(seo.ok());
+  std::string full = core::FormatSeo(*seo);
+  // Any prefix that ends before the first "end-enhancement" terminator
+  // cannot be a complete document; such truncations must fail cleanly
+  // (ParseError for structural damage, NotFound for a truncated measure
+  // name -- any typed error is acceptable, crashing is not).
+  size_t first_terminator = full.find("end-enhancement");
+  ASSERT_NE(first_terminator, std::string::npos);
+  for (size_t cut = 0; cut < first_terminator; cut += 7) {
+    auto r = core::ParseSeoText(full.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << cut << " parsed";
+  }
+  // The untruncated document parses.
+  Status full_status = core::ParseSeoText(full).status();
+  EXPECT_TRUE(full_status.ok()) << full_status;
+}
+
+TEST(CorruptLexiconTest, TruncatedLinesFailCleanly) {
+  const char* kBroken[] = {
+      "synset",          "isa",
+      "isa: a",          "isa: a ->",
+      "partof: -> b",    "synset: |",
+  };
+  for (const char* text : kBroken) {
+    auto r = lexicon::ParseLexiconText(text);
+    EXPECT_FALSE(r.ok()) << text;
+  }
+}
+
+TEST(InconsistentPipelineTest, ContradictoryConstraintsSurface) {
+  // Two sources whose constraints force a <= b and b <= a across distinct
+  // nodes of the same hierarchy: fusion must fail, and SeoBuilder must
+  // propagate the failure.
+  ontology::Ontology o1, o2;
+  (void)o1.isa().AddTermEdge("x", "y");
+  o2.isa().EnsureTerm("z");
+  core::SeoBuilder builder;
+  builder.AddInstanceOntology(o1);
+  builder.AddInstanceOntology(o2);
+  builder.AddConstraints(
+      ontology::kIsa,
+      {ontology::Leq("y", 0, "z", 1), ontology::Leq("z", 1, "x", 0)});
+  builder.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  builder.SetEpsilon(0.0);
+  auto seo = builder.Build();
+  ASSERT_FALSE(seo.ok());
+  EXPECT_TRUE(seo.status().IsInconsistent());
+}
+
+TEST(InconsistentPipelineTest, SimilarityInconsistencySurfaces) {
+  // Ordered chain whose endpoints both merge with close middles: SEA
+  // reports inconsistency through the builder.
+  ontology::Ontology onto;
+  auto& h = onto.isa();
+  auto a = h.AddNode({"term1"});
+  auto b = h.AddNode({"term2"});
+  auto c = h.AddNode({"other1"});
+  auto d = h.AddNode({"other2"});
+  ASSERT_TRUE(h.AddEdge(a, c).ok());
+  ASSERT_TRUE(h.AddEdge(d, b).ok());
+  core::SeoBuilder builder;
+  builder.AddInstanceOntology(std::move(onto));
+  builder.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  builder.SetEpsilon(1.0);
+  auto seo = builder.Build();
+  ASSERT_FALSE(seo.ok());
+  EXPECT_TRUE(seo.status().IsInconsistent()) << seo.status();
+}
+
+TEST(ExecutorErrorTest, IllTypedQuerySurfacesTypeError) {
+  store::Database db;
+  auto coll = db.CreateCollection("c");
+  ASSERT_TRUE(coll.ok());
+  ASSERT_TRUE((*coll)->InsertXml("k", "<part><width>5</width></part>").ok());
+
+  core::TypeSystem types = core::MakeBibliographicTypeSystem();
+  ASSERT_TRUE(types.AddType("color").ok());
+
+  ontology::Ontology onto;
+  onto.isa().EnsureTerm("part");
+  core::SeoBuilder builder;
+  builder.AddInstanceOntology(std::move(onto));
+  builder.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  builder.SetEpsilon(0.0);
+  auto seo = builder.Build();
+  ASSERT_TRUE(seo.ok());
+
+  core::QueryExecutor exec(&db, &*seo, &types);
+  tax::PatternTree pt;
+  int root = pt.AddRoot();
+  pt.AddChild(root, tax::EdgeKind::kPc);
+  pt.SetCondition(tax::ParseCondition("$1.tag = \"part\" & "
+                                      "$2.tag = \"width\" & "
+                                      "$2.content < \"red\":color")
+                      .value());
+  auto r = exec.Select("c", pt, {1}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError()) << r.status();
+}
+
+TEST(BulkLoaderErrorTest, EmptyAndGarbageInputs) {
+  store::Database db;
+  EXPECT_TRUE(data::BulkLoadXml(&db, "a", "").status().IsParseError());
+  EXPECT_TRUE(
+      data::BulkLoadXml(&db, "b", "not xml at all").status().IsParseError());
+  EXPECT_TRUE(data::BulkLoadFile(&db, "c", "/nonexistent/path.xml")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace toss

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ontology/fusion.h"
+
+namespace toss::ontology {
+namespace {
+
+/// The paper's Figure 9(a): simplified SIGMOD partof hierarchy.
+Hierarchy SigmodHierarchy() {
+  Hierarchy h;
+  for (const char* leaf :
+       {"article", "conference", "volume", "number", "confYear", "month"}) {
+    (void)h.AddTermEdge(leaf, "proceedingsPage");
+  }
+  for (const char* leaf : {"author", "title", "year", "location"}) {
+    (void)h.AddTermEdge(leaf, "article");
+  }
+  return h;
+}
+
+/// The paper's Figure 9(b): simplified DBLP partof hierarchy.
+Hierarchy DblpHierarchy() {
+  Hierarchy h;
+  for (const char* leaf :
+       {"author", "title", "booktitle", "year", "pages"}) {
+    (void)h.AddTermEdge(leaf, "inproceedings");
+  }
+  return h;
+}
+
+TEST(FusionTest, PaperExample10CanonicalFusion) {
+  Hierarchy sigmod = SigmodHierarchy();
+  Hierarchy dblp = DblpHierarchy();
+  // Example 10's interoperation constraints:
+  //   conference:0 = booktitle:1, title:0 = title:1, author:0 = author:1,
+  //   confYear:0 = year:1.
+  std::vector<InteropConstraint> ics;
+  Append(&ics, Eq("conference", 0, "booktitle", 1));
+  Append(&ics, Eq("title", 0, "title", 1));
+  Append(&ics, Eq("author", 0, "author", 1));
+  Append(&ics, Eq("confYear", 0, "year", 1));
+
+  auto r = Fuse({&sigmod, &dblp}, ics);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Hierarchy& fused = r->fused;
+
+  // Merged nodes contain both constituent terms.
+  HNodeId conf = fused.FindTerm("conference");
+  ASSERT_NE(conf, kInvalidHNode);
+  EXPECT_EQ(conf, fused.FindTerm("booktitle"));
+
+  // confYear:0 = year:1 merged into one node, but SIGMOD's own 'year'
+  // (child of article) stays separate: the constraint named hierarchy 1's
+  // year only. So 'year' now appears in two fused nodes.
+  auto year_nodes = fused.NodesContaining("year");
+  ASSERT_EQ(year_nodes.size(), 2u);
+  HNodeId confyear = fused.FindTerm("confYear");
+  ASSERT_NE(confyear, kInvalidHNode);
+  EXPECT_TRUE(year_nodes[0] == confyear || year_nodes[1] == confyear);
+
+  // Orderings preserved (Def. 5 axiom 1):
+  EXPECT_TRUE(fused.LeqTerms("author", "article"));
+  EXPECT_TRUE(fused.LeqTerms("booktitle", "proceedingsPage"));
+  EXPECT_TRUE(fused.LeqTerms("author", "inproceedings"));
+  // Total size: 11 SIGMOD nodes + 6 DBLP nodes - 4 merges = 13.
+  EXPECT_EQ(fused.node_count(), 13u);
+  EXPECT_TRUE(fused.IsAcyclic());
+  EXPECT_TRUE(fused.IsTransitivelyReduced());
+}
+
+TEST(FusionTest, WitnessMapsEveryInputNode) {
+  Hierarchy sigmod = SigmodHierarchy();
+  Hierarchy dblp = DblpHierarchy();
+  std::vector<InteropConstraint> ics;
+  Append(&ics, Eq("author", 0, "author", 1));
+  auto r = Fuse({&sigmod, &dblp}, ics);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->witness.size(), 2u);
+  EXPECT_EQ(r->witness[0].size(), sigmod.node_count());
+  EXPECT_EQ(r->witness[1].size(), dblp.node_count());
+  // Def. 5 axiom 1: psi preserves order.
+  for (HNodeId u = 0; u < sigmod.node_count(); ++u) {
+    for (HNodeId v = 0; v < sigmod.node_count(); ++v) {
+      if (sigmod.Leq(u, v)) {
+        EXPECT_TRUE(r->fused.Leq(r->witness[0][u], r->witness[0][v]));
+      }
+    }
+  }
+  // Def. 5 axiom 2: constraints preserved.
+  EXPECT_TRUE(r->fused.Leq(r->witness[0][sigmod.FindTerm("author")],
+                           r->witness[1][dblp.FindTerm("author")]));
+}
+
+TEST(FusionTest, LeqConstraintAddsOrderWithoutMerging) {
+  Hierarchy h1, h2;
+  h1.EnsureTerm("us census bureau");
+  h2.EnsureTerm("us government");
+  auto r = Fuse({&h1, &h2}, {Leq("us census bureau", 0, "us government", 1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fused.node_count(), 2u);
+  EXPECT_TRUE(r->fused.LeqTerms("us census bureau", "us government"));
+  EXPECT_FALSE(r->fused.LeqTerms("us government", "us census bureau"));
+}
+
+TEST(FusionTest, NeqConstraintViolationFails) {
+  Hierarchy h1, h2;
+  h1.EnsureTerm("conference");
+  h2.EnsureTerm("booktitle");
+  std::vector<InteropConstraint> ics;
+  Append(&ics, Eq("conference", 0, "booktitle", 1));
+  ics.push_back(Neq("conference", 0, "booktitle", 1));
+  auto r = Fuse({&h1, &h2}, ics);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInconsistent());
+}
+
+TEST(FusionTest, NeqConstraintSatisfiedPasses) {
+  Hierarchy h1, h2;
+  h1.EnsureTerm("a");
+  h2.EnsureTerm("b");
+  auto r = Fuse({&h1, &h2}, {Neq("a", 0, "b", 1)});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(FusionTest, ConstraintsForcingSameHierarchyNodesEqualFail) {
+  // x:0 <= y:1 and y:1 <= z:0 with z <_0 x closes a cycle through two
+  // distinct nodes of hierarchy 0 -- psi_0 would not be injective.
+  Hierarchy h1, h2;
+  (void)h1.AddTermEdge("z", "x");
+  h2.EnsureTerm("y");
+  std::vector<InteropConstraint> ics;
+  ics.push_back(Leq("x", 0, "y", 1));
+  ics.push_back(Leq("y", 1, "z", 0));
+  auto r = Fuse({&h1, &h2}, ics);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInconsistent());
+}
+
+TEST(FusionTest, CrossHierarchyCycleMergesNodes) {
+  // a:0 = b:1 via two <= constraints: one merged node.
+  Hierarchy h1, h2;
+  h1.EnsureTerm("a");
+  h2.EnsureTerm("b");
+  std::vector<InteropConstraint> ics;
+  Append(&ics, Eq("a", 0, "b", 1));
+  auto r = Fuse({&h1, &h2}, ics);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fused.node_count(), 1u);
+  EXPECT_EQ(r->fused.terms(0).size(), 2u);
+}
+
+TEST(FusionTest, UnknownConstraintTermRejected) {
+  Hierarchy h1, h2;
+  h1.EnsureTerm("a");
+  h2.EnsureTerm("b");
+  auto r = Fuse({&h1, &h2}, {Leq("zzz", 0, "b", 1)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(FusionTest, BadHierarchyIndexRejected) {
+  Hierarchy h1;
+  h1.EnsureTerm("a");
+  auto r = Fuse({&h1}, {Leq("a", 0, "a", 5)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(FusionTest, CyclicInputHierarchyRejected) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("a");
+  HNodeId b = h.EnsureTerm("b");
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  ASSERT_TRUE(h.AddEdge(b, a).ok());
+  auto r = Fuse({&h}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInconsistent());
+}
+
+TEST(FusionTest, EmptyInputsRejected) {
+  EXPECT_TRUE(Fuse({}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(Fuse({nullptr}, {}).status().IsInvalidArgument());
+}
+
+TEST(FusionTest, SingleHierarchyFusesToItself) {
+  Hierarchy h = DblpHierarchy();
+  auto r = Fuse({&h}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->fused.EquivalentTo(h));
+}
+
+TEST(FusionTest, ThreeWayFusionChainsConstraints) {
+  Hierarchy h1, h2, h3;
+  h1.EnsureTerm("a");
+  h2.EnsureTerm("b");
+  h3.EnsureTerm("c");
+  std::vector<InteropConstraint> ics;
+  Append(&ics, Eq("a", 0, "b", 1));
+  Append(&ics, Eq("b", 1, "c", 2));
+  auto r = Fuse({&h1, &h2, &h3}, ics);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fused.node_count(), 1u);
+  EXPECT_EQ(r->fused.terms(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace toss::ontology

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "data/bib_generator.h"
+#include "data/workload.h"
+#include "xml/xml_writer.h"
+
+namespace toss::data {
+namespace {
+
+BibConfig SmallConfig() {
+  BibConfig cfg;
+  cfg.seed = 42;
+  cfg.num_people = 30;
+  cfg.num_papers = 60;
+  return cfg;
+}
+
+TEST(GeneratorTest, WorldIsDeterministic) {
+  BibConfig cfg = SmallConfig();
+  BibWorld a = GenerateWorld(cfg);
+  BibWorld b = GenerateWorld(cfg);
+  ASSERT_EQ(a.people.size(), b.people.size());
+  ASSERT_EQ(a.papers.size(), b.papers.size());
+  for (size_t i = 0; i < a.people.size(); ++i) {
+    EXPECT_EQ(a.people[i].CanonicalName(), b.people[i].CanonicalName());
+  }
+  for (size_t i = 0; i < a.papers.size(); ++i) {
+    EXPECT_EQ(a.papers[i].title, b.papers[i].title);
+    EXPECT_EQ(a.papers[i].authors, b.papers[i].authors);
+  }
+  BibConfig other = cfg;
+  other.seed = 43;
+  BibWorld c = GenerateWorld(other);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.papers.size(), c.papers.size()); ++i) {
+    if (a.papers[i].title != c.papers[i].title) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, WorldShape) {
+  BibConfig cfg = SmallConfig();
+  BibWorld w = GenerateWorld(cfg);
+  EXPECT_EQ(w.people.size(), cfg.num_people);
+  EXPECT_EQ(w.papers.size(), cfg.num_papers);
+  EXPECT_EQ(w.venues.size(), cfg.num_venues);
+  std::set<EntityId> ids;
+  for (const auto& p : w.people) ids.insert(p.id);
+  for (const auto& v : w.venues) ids.insert(v.id);
+  for (const auto& p : w.papers) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), w.people.size() + w.venues.size() + w.papers.size())
+      << "entity ids must be globally unique";
+  for (const auto& p : w.papers) {
+    EXPECT_FALSE(p.authors.empty());
+    EXPECT_GE(p.year, cfg.year_min);
+    EXPECT_LE(p.year, cfg.year_max);
+    EXPECT_NO_THROW(w.VenueById(p.venue));
+  }
+}
+
+TEST(GeneratorTest, ConfusablePairsExist) {
+  BibWorld w = GenerateWorld(SmallConfig());
+  // The confusable slice shares last names with close first names.
+  size_t shared_last = 0;
+  for (size_t i = 0; i + 1 < w.people.size(); ++i) {
+    if (w.people[i].last == w.people[i + 1].last &&
+        w.people[i].first != w.people[i + 1].first) {
+      ++shared_last;
+    }
+  }
+  EXPECT_GE(shared_last, 2u);
+}
+
+TEST(GeneratorTest, DblpDocumentStructure) {
+  BibWorld w = GenerateWorld(SmallConfig());
+  auto docs = EmitDblp(w, 0, 10, SmallConfig());
+  ASSERT_EQ(docs.size(), 10u);
+  for (const auto& [key, doc] : docs) {
+    EXPECT_EQ(doc.node(doc.root()).tag, "inproceedings");
+    EXPECT_FALSE(doc.ChildrenByTag(doc.root(), "author").empty());
+    EXPECT_NE(doc.FirstChildByTag(doc.root(), "title"), xml::kInvalidNode);
+    EXPECT_NE(doc.FirstChildByTag(doc.root(), "booktitle"),
+              xml::kInvalidNode);
+    EXPECT_NE(doc.FirstChildByTag(doc.root(), "year"), xml::kInvalidNode);
+    EXPECT_FALSE(std::string(doc.Attribute(doc.root(), "gtid")).empty());
+  }
+}
+
+TEST(GeneratorTest, SigmodPagesGroupByVenueAndYear) {
+  BibWorld w = GenerateWorld(SmallConfig());
+  auto pages = EmitSigmod(w, 0, 60, SmallConfig(), 4);
+  ASSERT_FALSE(pages.empty());
+  size_t articles = 0;
+  for (const auto& [key, doc] : pages) {
+    EXPECT_EQ(doc.node(doc.root()).tag, "proceedingsPage");
+    EXPECT_NE(doc.FirstChildByTag(doc.root(), "conference"),
+              xml::kInvalidNode);
+    auto descendants = doc.ElementDescendants(doc.root());
+    size_t page_articles = 0;
+    for (auto id : descendants) {
+      if (doc.node(id).tag == "article") ++page_articles;
+    }
+    EXPECT_GE(page_articles, 1u);
+    EXPECT_LE(page_articles, 4u);
+    articles += page_articles;
+  }
+  EXPECT_EQ(articles, 60u);  // every paper appears exactly once
+}
+
+TEST(GeneratorTest, MentionsProduceVariants) {
+  BibConfig cfg = SmallConfig();
+  cfg.num_papers = 200;
+  BibWorld w = GenerateWorld(cfg);
+  auto docs = EmitDblp(w, 0, 200, cfg);
+  // Collect mention strings per author entity; some entity must have > 1
+  // surface form.
+  std::map<uint64_t, std::set<std::string>> forms;
+  for (const auto& [key, doc] : docs) {
+    for (auto id : doc.ElementDescendants(doc.root())) {
+      if (doc.node(id).tag != "author") continue;
+      long long gtid = 0;
+      EXPECT_TRUE(
+          ParseInt(doc.Attribute(id, "gtid"), &gtid));
+      forms[gtid].insert(doc.TextContent(id));
+    }
+  }
+  size_t with_variants = 0;
+  for (const auto& [id, set] : forms) {
+    if (set.size() > 1) ++with_variants;
+  }
+  EXPECT_GT(with_variants, forms.size() / 4);
+}
+
+TEST(GeneratorTest, LoadIntoCollection) {
+  BibWorld w = GenerateWorld(SmallConfig());
+  store::Database db;
+  ASSERT_TRUE(LoadIntoCollection(&db, "dblp",
+                                 EmitDblp(w, 0, 20, SmallConfig()))
+                  .ok());
+  auto coll = db.GetCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->size(), 20u);
+  // Loading the same collection name again fails.
+  EXPECT_TRUE(LoadIntoCollection(&db, "dblp", {})
+                  .IsAlreadyExists());
+}
+
+TEST(GeneratorTest, InflateOntologyAddsInertTerms) {
+  ontology::Ontology onto;
+  onto.isa().EnsureTerm("real-term");
+  size_t before = onto.isa().node_count();
+  InflateOntology(&onto, 50, 7);
+  EXPECT_EQ(onto.isa().node_count(), before + 50);
+  EXPECT_TRUE(onto.isa().IsAcyclic());
+  // Padding terms never alias real ones.
+  EXPECT_NE(onto.isa().FindTerm("real-term"), ontology::kInvalidHNode);
+}
+
+TEST(WorkloadTest, BuildsRequestedQueryCount) {
+  BibWorld w = GenerateWorld(SmallConfig());
+  auto queries = MakeSelectionWorkload(w, 0, 60, 12, 5);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  ASSERT_EQ(queries->size(), 12u);
+  size_t category_queries = 0;
+  for (const auto& q : *queries) {
+    EXPECT_FALSE(q.correct.empty());
+    EXPECT_FALSE(q.person_literal.empty());
+    EXPECT_TRUE(q.pattern.Validate().ok());
+    EXPECT_EQ(q.sl, std::vector<int>{1});
+    if (q.category_query) ++category_queries;
+    // Every correct paper really has the intended author.
+    for (uint64_t pid : q.correct) {
+      const PaperEntity& p = w.PaperById(pid);
+      EXPECT_NE(std::find(p.authors.begin(), p.authors.end(), q.person),
+                p.authors.end());
+    }
+  }
+  EXPECT_GE(category_queries, 3u);
+}
+
+TEST(WorkloadTest, EmptyRangeRejected) {
+  BibWorld w = GenerateWorld(SmallConfig());
+  EXPECT_TRUE(
+      MakeSelectionWorkload(w, 1000, 10, 4, 1).status().IsInvalidArgument());
+}
+
+TEST(WorkloadTest, ScalabilityPatterns) {
+  auto sel = MakeScalabilitySelectionPattern("SIGMOD Conference",
+                                             "database conference");
+  EXPECT_TRUE(sel.Validate().ok());
+  EXPECT_EQ(sel.node_count(), 4u);
+  auto join = MakeTitleJoinPattern();
+  EXPECT_TRUE(join.Validate().ok());
+  EXPECT_EQ(join.node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace toss::data

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ontology/hierarchy.h"
+
+namespace toss::ontology {
+namespace {
+
+TEST(HierarchyTest, NodesAndTermIndex) {
+  Hierarchy h;
+  HNodeId a = h.AddNode({"author", "writer"});
+  HNodeId b = h.AddNode({"article"});
+  EXPECT_EQ(h.node_count(), 2u);
+  EXPECT_EQ(h.FindTerm("writer"), a);
+  EXPECT_EQ(h.FindTerm("article"), b);
+  EXPECT_EQ(h.FindTerm("nothing"), kInvalidHNode);
+  EXPECT_EQ(h.NodeLabel(a), "{author, writer}");
+}
+
+TEST(HierarchyTest, AddNodeDeduplicatesTerms) {
+  Hierarchy h;
+  HNodeId a = h.AddNode({"x", "y", "x"});
+  EXPECT_EQ(h.terms(a).size(), 2u);
+}
+
+TEST(HierarchyTest, EnsureTermReusesExisting) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("t");
+  EXPECT_EQ(h.EnsureTerm("t"), a);
+  EXPECT_EQ(h.node_count(), 1u);
+}
+
+TEST(HierarchyTest, AddTermToNode) {
+  Hierarchy h;
+  HNodeId a = h.AddNode({"SIGMOD Conference"});
+  ASSERT_TRUE(h.AddTermToNode(a, "sigmod conference").ok());
+  ASSERT_TRUE(h.AddTermToNode(a, "sigmod conference").ok());  // idempotent
+  EXPECT_EQ(h.terms(a).size(), 2u);
+  EXPECT_EQ(h.FindTerm("sigmod conference"), a);
+  EXPECT_TRUE(h.AddTermToNode(99, "x").IsInvalidArgument());
+}
+
+TEST(HierarchyTest, EdgesAndLeq) {
+  // Example 7 of the paper: author <= article, title <= article (partof).
+  Hierarchy h;
+  HNodeId article = h.AddNode({"article"});
+  HNodeId author = h.AddNode({"author"});
+  HNodeId title = h.AddNode({"title"});
+  ASSERT_TRUE(h.AddEdge(author, article).ok());
+  ASSERT_TRUE(h.AddEdge(title, article).ok());
+  EXPECT_TRUE(h.Leq(author, article));
+  EXPECT_TRUE(h.Leq(title, article));
+  EXPECT_TRUE(h.Leq(article, article));  // reflexive
+  EXPECT_FALSE(h.Leq(article, author));
+  EXPECT_FALSE(h.Leq(author, title));
+  EXPECT_TRUE(h.LeqTerms("author", "article"));
+  EXPECT_FALSE(h.LeqTerms("article", "author"));
+}
+
+TEST(HierarchyTest, LeqIsTransitive) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("a");
+  HNodeId b = h.EnsureTerm("b");
+  HNodeId c = h.EnsureTerm("c");
+  HNodeId d = h.EnsureTerm("d");
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  ASSERT_TRUE(h.AddEdge(b, c).ok());
+  ASSERT_TRUE(h.AddEdge(c, d).ok());
+  EXPECT_TRUE(h.Leq(a, d));
+  EXPECT_FALSE(h.Leq(d, a));
+}
+
+TEST(HierarchyTest, SelfEdgeRejectedDuplicateIgnored) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("a");
+  HNodeId b = h.EnsureTerm("b");
+  EXPECT_TRUE(h.AddEdge(a, a).IsInvalidArgument());
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  EXPECT_EQ(h.edge_count(), 1u);
+  EXPECT_TRUE(h.AddEdge(a, 57).IsInvalidArgument());
+}
+
+TEST(HierarchyTest, AboveBelowClosures) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("a");
+  HNodeId b = h.EnsureTerm("b");
+  HNodeId c = h.EnsureTerm("c");
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  ASSERT_TRUE(h.AddEdge(b, c).ok());
+  auto above = h.Above(a);
+  EXPECT_EQ(above.size(), 3u);  // a, b, c
+  auto below = h.Below(c);
+  EXPECT_EQ(below.size(), 3u);
+  EXPECT_EQ(h.Above(c).size(), 1u);
+  EXPECT_EQ(h.Below(a).size(), 1u);
+}
+
+TEST(HierarchyTest, CycleDetection) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("a");
+  HNodeId b = h.EnsureTerm("b");
+  HNodeId c = h.EnsureTerm("c");
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  ASSERT_TRUE(h.AddEdge(b, c).ok());
+  EXPECT_TRUE(h.IsAcyclic());
+  ASSERT_TRUE(h.AddEdge(c, a).ok());
+  EXPECT_FALSE(h.IsAcyclic());
+  // Leq remains well-defined on the cyclic graph (fixed-point closure).
+  EXPECT_TRUE(h.Leq(a, c));
+  EXPECT_TRUE(h.Leq(c, a));
+  EXPECT_TRUE(h.TransitiveReduction().IsInconsistent());
+}
+
+TEST(HierarchyTest, TransitiveReductionRemovesImpliedEdges) {
+  Hierarchy h;
+  HNodeId a = h.EnsureTerm("a");
+  HNodeId b = h.EnsureTerm("b");
+  HNodeId c = h.EnsureTerm("c");
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  ASSERT_TRUE(h.AddEdge(b, c).ok());
+  ASSERT_TRUE(h.AddEdge(a, c).ok());  // implied by a->b->c
+  EXPECT_FALSE(h.IsTransitivelyReduced());
+  ASSERT_TRUE(h.TransitiveReduction().ok());
+  EXPECT_TRUE(h.IsTransitivelyReduced());
+  EXPECT_EQ(h.edge_count(), 2u);
+  // Reachability is preserved.
+  EXPECT_TRUE(h.Leq(a, c));
+}
+
+TEST(HierarchyTest, ReductionPreservesReachabilityRandomized) {
+  Random rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    Hierarchy h;
+    const int n = 12;
+    for (int i = 0; i < n; ++i) h.EnsureTerm("t" + std::to_string(i));
+    // Random DAG: edges only from lower to higher index.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.25)) {
+          ASSERT_TRUE(h.AddEdge(i, j).ok());
+        }
+      }
+    }
+    // Record reachability, reduce, compare.
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) reach[i][j] = h.Leq(i, j);
+    }
+    ASSERT_TRUE(h.TransitiveReduction().ok());
+    EXPECT_TRUE(h.IsTransitivelyReduced());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(h.Leq(i, j), reach[i][j]) << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, AllTermsSorted) {
+  Hierarchy h;
+  h.EnsureTerm("b");
+  h.EnsureTerm("a");
+  h.AddNode({"c", "d"});
+  auto terms = h.AllTerms();
+  std::vector<std::string> expect{"a", "b", "c", "d"};
+  EXPECT_EQ(terms, expect);
+}
+
+TEST(HierarchyTest, EquivalentToDetectsIsomorphism) {
+  Hierarchy h1, h2;
+  // Same structure, different insertion order.
+  HNodeId a1 = h1.AddNode({"x"});
+  HNodeId b1 = h1.AddNode({"y", "z"});
+  ASSERT_TRUE(h1.AddEdge(a1, b1).ok());
+
+  HNodeId b2 = h2.AddNode({"z", "y"});
+  HNodeId a2 = h2.AddNode({"x"});
+  ASSERT_TRUE(h2.AddEdge(a2, b2).ok());
+
+  EXPECT_TRUE(h1.EquivalentTo(h2));
+
+  Hierarchy h3;
+  h3.AddNode({"x"});
+  h3.AddNode({"y", "z"});
+  EXPECT_FALSE(h1.EquivalentTo(h3));  // missing edge
+}
+
+TEST(HierarchyTest, OverlappingNodesShareTerms) {
+  // Def. 8 allows a term in several nodes; the index must return all.
+  Hierarchy h;
+  HNodeId n1 = h.AddNode({"a", "b"});
+  HNodeId n2 = h.AddNode({"a", "c"});
+  auto ids = h.NodesContaining("a");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], n1);
+  EXPECT_EQ(ids[1], n2);
+}
+
+}  // namespace
+}  // namespace toss::ontology

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lexicon/lexicon.h"
+
+namespace toss::lexicon {
+namespace {
+
+TEST(LexiconTest, SynsetsAndLookup) {
+  Lexicon lex;
+  SynsetId s = lex.AddSynset({"Paper", "Article"});
+  EXPECT_EQ(lex.synset(s).terms[0], "paper");  // lowercased
+  EXPECT_TRUE(lex.Knows("paper"));
+  EXPECT_TRUE(lex.Knows("ARTICLE"));
+  EXPECT_FALSE(lex.Knows("thesis"));
+  auto syns = lex.Synonyms("paper");
+  ASSERT_EQ(syns.size(), 1u);
+  EXPECT_EQ(syns[0], "article");
+}
+
+TEST(LexiconTest, IsaAndPartOfEdges) {
+  Lexicon lex;
+  lex.AddIsaTerms("inproceedings", "paper");
+  lex.AddIsaTerms("paper", "publication");
+  lex.AddPartOfTerms("author", "paper");
+
+  auto hyp = lex.Hypernyms("inproceedings");
+  ASSERT_EQ(hyp.size(), 1u);
+  EXPECT_EQ(hyp[0], "paper");
+  auto hol = lex.Holonyms("author");
+  ASSERT_EQ(hol.size(), 1u);
+  EXPECT_EQ(hol[0], "paper");
+  EXPECT_TRUE(lex.Hypernyms("publication").empty());
+}
+
+TEST(LexiconTest, HypernymClosureIsTransitiveNearestFirst) {
+  Lexicon lex;
+  lex.AddIsaTerms("a", "b");
+  lex.AddIsaTerms("b", "c");
+  lex.AddIsaTerms("c", "d");
+  auto closure = lex.HypernymClosure("a");
+  std::vector<std::string> expect{"b", "c", "d"};
+  EXPECT_EQ(closure, expect);
+}
+
+TEST(LexiconTest, BadSynsetIdsRejected) {
+  Lexicon lex;
+  SynsetId s = lex.AddSynset({"x"});
+  EXPECT_TRUE(lex.AddIsa(s, 999).IsInvalidArgument());
+  EXPECT_TRUE(lex.AddPartOf(999, s).IsInvalidArgument());
+}
+
+TEST(BuiltinLexiconTest, CoversPaperExamples) {
+  const Lexicon& lex = BuiltinBibliographicLexicon();
+  // Introduction: "US Census Bureau" partof "US government" (transitively).
+  auto hol = lex.Holonyms("us census bureau");
+  ASSERT_FALSE(hol.empty());
+  // Introduction: Google isa web search company isa computer company.
+  auto hyp = lex.HypernymClosure("google");
+  EXPECT_NE(std::find(hyp.begin(), hyp.end(), "web search company"),
+            hyp.end());
+  EXPECT_NE(std::find(hyp.begin(), hyp.end(), "computer company"),
+            hyp.end());
+  EXPECT_NE(std::find(hyp.begin(), hyp.end(), "company"), hyp.end());
+}
+
+TEST(BuiltinLexiconTest, VenueShortAndFullNamesAreSynonyms) {
+  const Lexicon& lex = BuiltinBibliographicLexicon();
+  auto syns = lex.Synonyms("SIGMOD Conference");
+  ASSERT_EQ(syns.size(), 1u);
+  EXPECT_EQ(syns[0],
+            "acm sigmod international conference on management of data");
+  // And the synset links to the venue taxonomy.
+  auto hyp = lex.Hypernyms("sigmod conference");
+  ASSERT_EQ(hyp.size(), 1u);
+  EXPECT_EQ(hyp[0], "database conference");
+  // The full name shares those hypernyms (same synset).
+  EXPECT_EQ(lex.Hypernyms(
+                "acm sigmod international conference on management of data"),
+            hyp);
+}
+
+TEST(BuiltinLexiconTest, BibliographicStructureFacts) {
+  const Lexicon& lex = BuiltinBibliographicLexicon();
+  auto hol = lex.Holonyms("author");
+  EXPECT_NE(std::find(hol.begin(), hol.end(), "paper"), hol.end());
+  auto hyp = lex.HypernymClosure("inproceedings");
+  EXPECT_NE(std::find(hyp.begin(), hyp.end(), "publication"), hyp.end());
+}
+
+}  // namespace
+}  // namespace toss::lexicon

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace toss::eval {
+namespace {
+
+TEST(MetricsTest, PerfectAnswer) {
+  PrMetrics m = ComputePr({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.quality, 1.0);
+  EXPECT_EQ(m.hits, 3u);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  // returned = {1,2,3,4}, correct = {3,4,5,6,7,8}: p=0.5, r=1/3.
+  PrMetrics m = ComputePr({1, 2, 3, 4}, {3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.quality, std::sqrt(0.5 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, EmptyReturnedHasFullPrecision) {
+  // The paper's convention: TAX "always gets 100% precision", including
+  // on queries it answers with the empty set.
+  PrMetrics m = ComputePr({}, {1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.quality, 0.0);
+}
+
+TEST(MetricsTest, EmptyCorrectHasFullRecall) {
+  PrMetrics m = ComputePr({1}, {});
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(MetricsTest, AllWrong) {
+  PrMetrics m = ComputePr({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.quality, 0.0);
+}
+
+TEST(MetricsTest, ExtractProvenanceByTag) {
+  tax::TreeCollection trees;
+  tax::DataTree t;
+  auto root = t.CreateRoot("inproceedings");
+  t.node(root).provenance = 10001;
+  auto author = t.AppendChild(root, "author", "X");
+  t.node(author).provenance = 1001;
+  t.AppendChild(root, "title", "T");  // no provenance
+  trees.push_back(t);
+
+  EXPECT_EQ(ExtractProvenance(trees, "inproceedings"),
+            std::set<uint64_t>{10001});
+  EXPECT_EQ(ExtractProvenance(trees, "author"), std::set<uint64_t>{1001});
+  EXPECT_TRUE(ExtractProvenance(trees, "title").empty());
+  EXPECT_EQ(ExtractRootProvenance(trees), std::set<uint64_t>{10001});
+}
+
+TEST(MetricsTest, ExtractSkipsUntracked) {
+  tax::TreeCollection trees;
+  tax::DataTree t;
+  t.CreateRoot("x");
+  trees.push_back(t);
+  EXPECT_TRUE(ExtractRootProvenance(trees).empty());
+}
+
+}  // namespace
+}  // namespace toss::eval

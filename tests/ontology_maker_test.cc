@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lexicon/lexicon.h"
+#include "ontology/ontology.h"
+#include "ontology/ontology_maker.h"
+#include "xml/xml_parser.h"
+
+namespace toss::ontology {
+namespace {
+
+xml::XmlDocument Doc(const char* text) {
+  auto r = xml::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(OntologyTest, IsaAndPartofAlwaysDefined) {
+  Ontology o;
+  EXPECT_NE(o.Find(kIsa), nullptr);
+  EXPECT_NE(o.Find(kPartOf), nullptr);
+  EXPECT_EQ(o.Find("custom"), nullptr);
+  o.hierarchy("custom").EnsureTerm("x");
+  EXPECT_NE(o.Find("custom"), nullptr);
+  EXPECT_EQ(o.relations().size(), 3u);
+  EXPECT_EQ(o.TotalNodeCount(), 1u);
+}
+
+TEST(OntologyMakerTest, StructureYieldsPartofHierarchy) {
+  auto doc = Doc(
+      "<inproceedings><author>X</author><title>T</title>"
+      "<booktitle>B</booktitle></inproceedings>");
+  lexicon::Lexicon empty;
+  OntologyMakerOptions opts;
+  opts.use_lexicon = false;
+  auto r = MakeOntology(doc, empty, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Hierarchy& partof = r->partof();
+  EXPECT_TRUE(partof.LeqTerms("author", "inproceedings"));
+  EXPECT_TRUE(partof.LeqTerms("title", "inproceedings"));
+  EXPECT_TRUE(partof.LeqTerms("booktitle", "inproceedings"));
+  EXPECT_FALSE(partof.LeqTerms("inproceedings", "author"));
+}
+
+TEST(OntologyMakerTest, RecursiveNestingStaysAcyclic) {
+  auto doc = Doc("<section><section><para>x</para></section></section>");
+  lexicon::Lexicon empty;
+  OntologyMakerOptions opts;
+  opts.use_lexicon = false;
+  auto r = MakeOntology(doc, empty, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->partof().IsAcyclic());
+}
+
+TEST(OntologyMakerTest, LexiconAddsIsaChains) {
+  auto doc = Doc("<inproceedings><title>T</title></inproceedings>");
+  auto r = MakeOntology(doc, lexicon::BuiltinBibliographicLexicon());
+  ASSERT_TRUE(r.ok()) << r.status();
+  // inproceedings isa paper isa publication (from the lexicon).
+  EXPECT_TRUE(r->isa().LeqTerms("inproceedings", "paper"));
+  EXPECT_TRUE(r->isa().LeqTerms("inproceedings", "publication"));
+}
+
+TEST(OntologyMakerTest, ContentTermsEnterOntology) {
+  auto doc = Doc(
+      "<inproceedings>"
+      "<author>Jeffrey Ullman</author>"
+      "<booktitle>SIGMOD Conference</booktitle>"
+      "</inproceedings>");
+  OntologyMakerOptions opts;
+  opts.content_tags = {"author", "booktitle"};
+  auto r = MakeOntology(doc, lexicon::BuiltinBibliographicLexicon(), opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Hierarchy& isa = r->isa();
+  EXPECT_NE(isa.FindTerm("Jeffrey Ullman"), kInvalidHNode);
+  // Venue content term links into the category taxonomy.
+  EXPECT_TRUE(isa.LeqTerms("SIGMOD Conference", "database conference"));
+}
+
+TEST(OntologyMakerTest, VenueSynonymsShareANode) {
+  auto doc = Doc(
+      "<dblp>"
+      "<inproceedings><booktitle>SIGMOD Conference</booktitle>"
+      "</inproceedings>"
+      "<inproceedings><booktitle>ACM SIGMOD International Conference on "
+      "Management of Data</booktitle></inproceedings>"
+      "</dblp>");
+  OntologyMakerOptions opts;
+  opts.content_tags = {"booktitle"};
+  auto r = MakeOntology(doc, lexicon::BuiltinBibliographicLexicon(), opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Hierarchy& isa = r->isa();
+  HNodeId a = isa.FindTerm("SIGMOD Conference");
+  HNodeId b = isa.FindTerm(
+      "ACM SIGMOD International Conference on Management of Data");
+  ASSERT_NE(a, kInvalidHNode);
+  EXPECT_EQ(a, b) << "both surface forms must share one node";
+}
+
+TEST(OntologyMakerTest, EmptyDocumentRejected) {
+  xml::XmlDocument empty;
+  lexicon::Lexicon lex;
+  EXPECT_TRUE(MakeOntology(empty, lex).status().IsInvalidArgument());
+}
+
+TEST(OntologyMakerTest, NonTransitiveLexiconStopsAtOneLevel) {
+  auto doc = Doc("<inproceedings/>");
+  OntologyMakerOptions opts;
+  opts.transitive_lexicon = false;
+  auto r = MakeOntology(doc, lexicon::BuiltinBibliographicLexicon(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->isa().LeqTerms("inproceedings", "paper"));
+  EXPECT_FALSE(r->isa().LeqTerms("inproceedings", "publication"));
+}
+
+TEST(SuggestConstraintsTest, ExactAndSynonymMatches) {
+  Hierarchy left, right;
+  left.EnsureTerm("author");
+  left.EnsureTerm("booktitle");
+  right.EnsureTerm("author");
+  right.EnsureTerm("conference name");
+  lexicon::Lexicon lex;
+  lex.AddSynset({"booktitle", "conference name"});
+  auto cs = SuggestEqualityConstraints(left, right, lex);
+  // author=author and booktitle=conference name, each as two <=.
+  ASSERT_EQ(cs.size(), 4u);
+  bool found_synonym = false;
+  for (const auto& c : cs) {
+    if (c.left_term == "booktitle" && c.right_term == "conference name") {
+      found_synonym = true;
+    }
+  }
+  EXPECT_TRUE(found_synonym);
+}
+
+TEST(FuseOntologiesTest, PerRelationConstraints) {
+  Ontology o1, o2;
+  (void)o1.partof().AddTermEdge("booktitle", "inproceedings");
+  (void)o2.partof().AddTermEdge("conference", "proceedingsPage");
+  std::map<std::string, std::vector<InteropConstraint>> cs;
+  Append(&cs[kPartOf], Eq("booktitle", 0, "conference", 1));
+  auto r = FuseOntologies({&o1, &o2}, cs);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Hierarchy& partof = r->partof();
+  EXPECT_EQ(partof.FindTerm("booktitle"), partof.FindTerm("conference"));
+  EXPECT_TRUE(partof.LeqTerms("conference", "inproceedings"));
+  EXPECT_TRUE(partof.LeqTerms("booktitle", "proceedingsPage"));
+}
+
+}  // namespace
+}  // namespace toss::ontology

@@ -1,0 +1,107 @@
+// The parallel evaluation path must return exactly the sequential answers,
+// in the same order, for both TAX and TOSS semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/toss.h"
+#include "data/bib_generator.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+
+namespace toss::core {
+namespace {
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::BibConfig cfg;
+    cfg.seed = 314;
+    cfg.num_papers = 120;
+    cfg.num_people = 30;
+    world_ = data::GenerateWorld(cfg);
+    ASSERT_TRUE(data::LoadIntoCollection(
+                    &db_, "dblp", data::EmitDblp(world_, 0, 120, cfg))
+                    .ok());
+    auto coll = db_.GetCollection("dblp");
+    ASSERT_TRUE(coll.ok());
+    std::vector<const xml::XmlDocument*> docs;
+    for (store::DocId id : (*coll)->AllDocs()) {
+      docs.push_back(&(*coll)->document(id));
+    }
+    ontology::OntologyMakerOptions opts;
+    opts.content_tags = data::DblpContentTags();
+    auto onto = ontology::MakeOntologyForDocuments(
+        docs, lexicon::BuiltinBibliographicLexicon(), opts);
+    ASSERT_TRUE(onto.ok());
+    SeoBuilder b;
+    b.AddInstanceOntology(std::move(onto).value());
+    b.SetMeasure(*sim::MakeMeasure("guarded-levenshtein"));
+    b.SetEpsilon(3.0);
+    auto seo = b.Build();
+    ASSERT_TRUE(seo.ok()) << seo.status();
+    seo_ = std::move(seo).value();
+    types_ = MakeBibliographicTypeSystem();
+
+    auto queries = data::MakeSelectionWorkload(world_, 0, 120, 5, 7);
+    ASSERT_TRUE(queries.ok());
+    queries_ = std::move(queries).value();
+  }
+
+  data::BibWorld world_;
+  store::Database db_;
+  Seo seo_;
+  TypeSystem types_;
+  std::vector<data::SelectionQuery> queries_;
+};
+
+TEST_F(ParallelExecTest, ParallelSelectMatchesSequentialExactly) {
+  for (bool use_toss : {false, true}) {
+    QueryExecutor seq(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    QueryExecutor par(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    par.SetParallelism(4);
+    EXPECT_EQ(par.parallelism(), 4u);
+    for (const auto& q : queries_) {
+      auto rs = seq.Select("dblp", q.pattern, q.sl, nullptr);
+      auto rp = par.Select("dblp", q.pattern, q.sl, nullptr);
+      ASSERT_TRUE(rs.ok()) << rs.status();
+      ASSERT_TRUE(rp.ok()) << rp.status();
+      ASSERT_EQ(rs->size(), rp->size()) << q.name;
+      for (size_t i = 0; i < rs->size(); ++i) {
+        EXPECT_TRUE((*rs)[i].Equals((*rp)[i]))
+            << q.name << " tree " << i << " differs";
+      }
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, ParallelismOfOneIsSequentialPath) {
+  QueryExecutor exec(&db_, &seo_, &types_);
+  exec.SetParallelism(0);  // clamped to 1
+  EXPECT_EQ(exec.parallelism(), 1u);
+  auto r = exec.Select("dblp", queries_[0].pattern, queries_[0].sl, nullptr);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(ParallelExecTest, StatsStillPopulatedInParallelMode) {
+  QueryExecutor par(&db_, &seo_, &types_);
+  par.SetParallelism(4);
+  ExecStats stats;
+  auto r = par.Select("dblp", queries_[0].pattern, queries_[0].sl, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.xpath_queries, 0u);
+  EXPECT_EQ(stats.result_trees, r->size());
+  EXPECT_GE(stats.eval_ms, 0.0);
+}
+
+TEST_F(ParallelExecTest, ManyThreadsOnFewDocsFallsBack) {
+  // Fewer docs than 2*threads: the sequential path runs; results valid.
+  QueryExecutor par(&db_, &seo_, &types_);
+  par.SetParallelism(64);
+  auto r = par.Select("dblp", queries_[0].pattern, queries_[0].sl, nullptr);
+  ASSERT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace toss::core

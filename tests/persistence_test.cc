@@ -1,0 +1,230 @@
+// Round-trip tests for the text persistence layers: lexicon dumps,
+// hierarchy/ontology dumps, and full SEO documents.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/seo.h"
+#include "lexicon/lexicon.h"
+#include "ontology/hierarchy_io.h"
+#include "ontology/ontology_maker.h"
+#include "sim/measure_registry.h"
+#include "xml/xml_parser.h"
+
+namespace toss {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Lexicon I/O
+// ---------------------------------------------------------------------------
+
+TEST(LexiconIoTest, ParseText) {
+  auto lex = lexicon::ParseLexiconText(R"(
+# comment
+synset: paper | article
+isa: inproceedings -> paper
+partof: author -> paper
+)");
+  ASSERT_TRUE(lex.ok()) << lex.status();
+  EXPECT_EQ(lex->Synonyms("paper"), std::vector<std::string>{"article"});
+  EXPECT_EQ(lex->Hypernyms("inproceedings"),
+            std::vector<std::string>{"paper"});
+  EXPECT_EQ(lex->Holonyms("author"), std::vector<std::string>{"paper"});
+}
+
+TEST(LexiconIoTest, ParseErrors) {
+  EXPECT_FALSE(lexicon::ParseLexiconText("bogus line").ok());
+  EXPECT_FALSE(lexicon::ParseLexiconText("frobnicate: a | b").ok());
+  EXPECT_FALSE(lexicon::ParseLexiconText("isa: a parent").ok());
+  EXPECT_FALSE(lexicon::ParseLexiconText("synset:   ").ok());
+  EXPECT_FALSE(lexicon::ParseLexiconText("isa:  -> x").ok());
+}
+
+TEST(LexiconIoTest, RoundTripPreservesSemantics) {
+  const lexicon::Lexicon& original =
+      lexicon::BuiltinBibliographicLexicon();
+  auto reparsed = lexicon::ParseLexiconText(FormatLexicon(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  for (const char* term :
+       {"inproceedings", "google", "us census bureau", "sigmod conference",
+        "author"}) {
+    EXPECT_EQ(original.Synonyms(term), reparsed->Synonyms(term)) << term;
+    EXPECT_EQ(original.Hypernyms(term), reparsed->Hypernyms(term)) << term;
+    EXPECT_EQ(original.Holonyms(term), reparsed->Holonyms(term)) << term;
+    EXPECT_EQ(original.HypernymClosure(term),
+              reparsed->HypernymClosure(term))
+        << term;
+  }
+}
+
+TEST(LexiconIoTest, FileRoundTrip) {
+  fs::path path = fs::temp_directory_path() / "toss_lexicon_test.txt";
+  lexicon::Lexicon lex;
+  lex.AddSynset({"a", "b"});
+  lex.AddIsaTerms("a", "c");
+  ASSERT_TRUE(lexicon::SaveLexicon(lex, path.string()).ok());
+  auto loaded = lexicon::LoadLexicon(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Synonyms("a"), std::vector<std::string>{"b"});
+  fs::remove(path);
+  EXPECT_TRUE(lexicon::LoadLexicon(path.string()).status().IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy / Ontology I/O
+// ---------------------------------------------------------------------------
+
+ontology::Hierarchy SampleHierarchy() {
+  ontology::Hierarchy h;
+  ontology::HNodeId a = h.AddNode({"author", "writer"});
+  ontology::HNodeId b = h.AddNode({"paper"});
+  ontology::HNodeId c = h.AddNode({"publication"});
+  (void)h.AddEdge(a, b);
+  (void)h.AddEdge(b, c);
+  return h;
+}
+
+TEST(HierarchyIoTest, RoundTrip) {
+  ontology::Hierarchy h = SampleHierarchy();
+  auto parsed = ontology::ParseHierarchyText(FormatHierarchy(h));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->EquivalentTo(h));
+}
+
+TEST(HierarchyIoTest, ParseErrors) {
+  EXPECT_FALSE(ontology::ParseHierarchyText("node 1: late start").ok());
+  EXPECT_FALSE(ontology::ParseHierarchyText("node 0:   ").ok());
+  EXPECT_FALSE(ontology::ParseHierarchyText("edge 0 -> 1").ok());
+  EXPECT_FALSE(
+      ontology::ParseHierarchyText("node 0: a\nedge 0 -> 9").ok());
+  EXPECT_FALSE(ontology::ParseHierarchyText("nonsense").ok());
+  EXPECT_FALSE(
+      ontology::ParseHierarchyText("node 0: a\nedge zero -> 0").ok());
+}
+
+TEST(OntologyIoTest, RoundTrip) {
+  ontology::Ontology onto;
+  onto.isa() = SampleHierarchy();
+  (void)onto.partof().AddTermEdge("title", "paper");
+  onto.hierarchy("custom").EnsureTerm("x");
+
+  auto parsed = ontology::ParseOntologyText(FormatOntology(onto));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->relations(), onto.relations());
+  EXPECT_TRUE(parsed->isa().EquivalentTo(onto.isa()));
+  EXPECT_TRUE(parsed->partof().EquivalentTo(onto.partof()));
+}
+
+TEST(OntologyIoTest, ContentBeforeRelationRejected) {
+  EXPECT_FALSE(ontology::ParseOntologyText("node 0: a").ok());
+  EXPECT_FALSE(ontology::ParseOntologyText("relation \n node 0: a").ok());
+}
+
+TEST(OntologyIoTest, FileRoundTrip) {
+  fs::path path = fs::temp_directory_path() / "toss_ontology_test.txt";
+  ontology::Ontology onto;
+  onto.isa() = SampleHierarchy();
+  ASSERT_TRUE(ontology::SaveOntology(onto, path.string()).ok());
+  auto loaded = ontology::LoadOntology(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->isa().EquivalentTo(onto.isa()));
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// SEO I/O
+// ---------------------------------------------------------------------------
+
+core::Seo SampleSeo() {
+  auto doc = xml::Parse(
+      "<dblp><inproceedings>"
+      "<author>Jeffrey Ullman</author>"
+      "<author>Jeffrey D. Ullman</author>"
+      "<booktitle>SIGMOD Conference</booktitle>"
+      "</inproceedings></dblp>");
+  EXPECT_TRUE(doc.ok());
+  ontology::OntologyMakerOptions opts;
+  opts.content_tags = {"author", "booktitle"};
+  auto onto = ontology::MakeOntology(
+      *doc, lexicon::BuiltinBibliographicLexicon(), opts);
+  EXPECT_TRUE(onto.ok());
+  core::SeoBuilder b;
+  b.AddInstanceOntology(std::move(onto).value());
+  b.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  b.SetEpsilon(3.0);
+  auto seo = b.Build();
+  EXPECT_TRUE(seo.ok()) << seo.status();
+  return std::move(seo).value();
+}
+
+TEST(SeoIoTest, RoundTripPreservesSemantics) {
+  core::Seo seo = SampleSeo();
+  auto reparsed = core::ParseSeoText(FormatSeo(seo));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_DOUBLE_EQ(reparsed->epsilon(), 3.0);
+  EXPECT_EQ(reparsed->measure().name(), "levenshtein");
+  EXPECT_EQ(reparsed->TotalNodeCount(), seo.TotalNodeCount());
+  // Semantic checks survive the round trip.
+  EXPECT_TRUE(reparsed->Similar("Jeffrey Ullman", "Jeffrey D. Ullman"));
+  EXPECT_FALSE(reparsed->Similar("Jeffrey Ullman", "SIGMOD Conference"));
+  EXPECT_TRUE(reparsed->Leq(ontology::kIsa, "SIGMOD Conference",
+                            "database conference"));
+  EXPECT_EQ(reparsed->SimilarTerms("Jeffrey Ullman"),
+            seo.SimilarTerms("Jeffrey Ullman"));
+  EXPECT_EQ(reparsed->TermsBelow(ontology::kIsa, "database conference"),
+            seo.TermsBelow(ontology::kIsa, "database conference"));
+}
+
+TEST(SeoIoTest, FileRoundTrip) {
+  fs::path path = fs::temp_directory_path() / "toss_seo_test.txt";
+  core::Seo seo = SampleSeo();
+  ASSERT_TRUE(core::SaveSeo(seo, path.string()).ok());
+  auto loaded = core::LoadSeo(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->TotalNodeCount(), seo.TotalNodeCount());
+  fs::remove(path);
+}
+
+TEST(SeoIoTest, ParseErrors) {
+  EXPECT_TRUE(core::ParseSeoText("").status().IsParseError());
+  EXPECT_FALSE(core::ParseSeoText("seo-version 2\n").ok());
+  EXPECT_FALSE(
+      core::ParseSeoText("seo-version 1\nmeasure nosuch\n").ok());
+  EXPECT_FALSE(core::ParseSeoText("seo-version 1\nmeasure levenshtein\n"
+                                  "epsilon -4\n")
+                   .ok());
+  // Missing enhancements.
+  EXPECT_FALSE(core::ParseSeoText("seo-version 1\nmeasure levenshtein\n"
+                                  "epsilon 1\nfused\nrelation isa\n"
+                                  "node 0: a\nend-fused\n")
+                   .ok());
+  // Mu target out of range.
+  EXPECT_FALSE(core::ParseSeoText("seo-version 1\nmeasure levenshtein\n"
+                                  "epsilon 1\nfused\nrelation isa\n"
+                                  "node 0: a\nend-fused\n"
+                                  "enhancement isa\nnode 0: a\n"
+                                  "mu 0: 7\nend-enhancement\n")
+                   .ok());
+}
+
+TEST(SeoIoTest, LoadedSeoAnswersQueriesIdentically) {
+  core::Seo seo = SampleSeo();
+  auto reparsed = core::ParseSeoText(FormatSeo(seo));
+  ASSERT_TRUE(reparsed.ok());
+  // Compare the full Similar relation over all ontology terms.
+  const ontology::Hierarchy* h = seo.EnhancedHierarchy(ontology::kIsa);
+  ASSERT_NE(h, nullptr);
+  auto terms = h->AllTerms();
+  for (const auto& a : terms) {
+    for (const auto& b : terms) {
+      EXPECT_EQ(seo.Similar(a, b), reparsed->Similar(a, b))
+          << a << " ~ " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace toss

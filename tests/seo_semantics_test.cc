@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/seo.h"
+#include "core/seo_semantics.h"
+#include "lexicon/lexicon.h"
+#include "ontology/ontology_maker.h"
+#include "sim/measure_registry.h"
+#include "xml/xml_parser.h"
+
+namespace toss::core {
+namespace {
+
+using tax::CondOp;
+using tax::TermValue;
+
+class SeoSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::Parse(
+        "<dblp><inproceedings>"
+        "<author>Jeffrey Ullman</author>"
+        "<author>Jeffrey D. Ullman</author>"
+        "<booktitle>SIGMOD Conference</booktitle>"
+        "</inproceedings></dblp>");
+    ASSERT_TRUE(doc.ok());
+    ontology::OntologyMakerOptions opts;
+    opts.content_tags = {"author", "booktitle"};
+    auto onto = ontology::MakeOntology(
+        *doc, lexicon::BuiltinBibliographicLexicon(), opts);
+    ASSERT_TRUE(onto.ok());
+    SeoBuilder b;
+    b.AddInstanceOntology(std::move(onto).value());
+    b.SetMeasure(*sim::MakeMeasure("levenshtein"));
+    b.SetEpsilon(3.0);
+    auto seo = b.Build();
+    ASSERT_TRUE(seo.ok()) << seo.status();
+    seo_ = std::move(seo).value();
+    types_ = MakeBibliographicTypeSystem();
+    sem_ = std::make_unique<SeoSemantics>(&seo_, &types_);
+  }
+
+  static TermValue Val(std::string text, std::string type = "string") {
+    TermValue v;
+    v.text = std::move(text);
+    v.type = std::move(type);
+    return v;
+  }
+  static TermValue Type(std::string name) {
+    TermValue v;
+    v.text = std::move(name);
+    v.is_type_name = true;
+    return v;
+  }
+
+  Seo seo_;
+  TypeSystem types_;
+  std::unique_ptr<SeoSemantics> sem_;
+};
+
+TEST_F(SeoSemanticsTest, SameTypeComparison) {
+  EXPECT_TRUE(*sem_->Compare(Val("a"), CondOp::kEq, Val("a")));
+  EXPECT_TRUE(*sem_->Compare(Val("1999", "year"), CondOp::kLeq,
+                             Val("2000", "year")));
+  EXPECT_FALSE(*sem_->Compare(Val("1999", "year"), CondOp::kGt,
+                              Val("2000", "year")));
+}
+
+TEST_F(SeoSemanticsTest, CrossTypeComparisonConvertsThroughLub) {
+  // year vs month: lub = int, both convert.
+  EXPECT_TRUE(
+      *sem_->Compare(Val("3", "month"), CondOp::kLt, Val("1999", "year")));
+  // year vs string: lub = string.
+  EXPECT_TRUE(*sem_->Compare(Val("1999", "year"), CondOp::kEq,
+                             Val("1999", "string")));
+}
+
+TEST_F(SeoSemanticsTest, IllTypedComparisonIsTypeError) {
+  ASSERT_TRUE(types_.AddType("isolated").ok());
+  auto r = sem_->Compare(Val("x", "isolated"), CondOp::kLt,
+                         Val("1999", "year"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST_F(SeoSemanticsTest, TypeNamesCompareByName) {
+  EXPECT_TRUE(*sem_->Compare(Type("year"), CondOp::kEq, Type("year")));
+  EXPECT_TRUE(*sem_->Compare(Type("year"), CondOp::kNeq, Type("month")));
+  EXPECT_TRUE(
+      sem_->Compare(Type("year"), CondOp::kLt, Type("month")).status()
+          .IsTypeError());
+}
+
+TEST_F(SeoSemanticsTest, SimilarUsesSeo) {
+  EXPECT_TRUE(*sem_->Similar(Val("Jeffrey Ullman"),
+                             Val("Jeffrey D. Ullman")));
+  EXPECT_FALSE(*sem_->Similar(Val("Jeffrey Ullman"),
+                              Val("Serge Abiteboul")));
+}
+
+TEST_F(SeoSemanticsTest, RelatedFollowsOntology) {
+  EXPECT_TRUE(*sem_->Related("isa", Val("SIGMOD Conference"),
+                             Val("database conference")));
+  EXPECT_TRUE(
+      *sem_->Related("partof", Val("author"), Val("inproceedings")));
+  EXPECT_FALSE(*sem_->Related("isa", Val("database conference"),
+                              Val("SIGMOD Conference")));
+}
+
+TEST_F(SeoSemanticsTest, RelatedIsaCoversDeclaredSubtypes) {
+  EXPECT_TRUE(
+      *sem_->Related("isa", Val("1999", "year"), Val("5", "int")));
+}
+
+TEST_F(SeoSemanticsTest, InstanceOfChecksTypeHierarchyAndDomain) {
+  EXPECT_TRUE(*sem_->InstanceOf(Val("1999", "year"), Type("int")));
+  EXPECT_TRUE(*sem_->InstanceOf(Val("1999", "year"), Type("string")));
+  // In-domain value of unrelated declared type, via the string escape.
+  EXPECT_TRUE(*sem_->InstanceOf(Val("7", "string"), Type("month")));
+  EXPECT_FALSE(*sem_->InstanceOf(Val("13", "string"), Type("month")));
+  // Ontology-term fallback: a value below an ontology concept.
+  EXPECT_TRUE(
+      *sem_->InstanceOf(Val("SIGMOD Conference"),
+                        Type("database conference")));
+  TermValue untyped;  // neither a type name nor a typed value
+  untyped.text = "y";
+  auto err = sem_->InstanceOf(Val("x"), untyped);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsTypeError());
+}
+
+TEST_F(SeoSemanticsTest, SubtypeOfTypeSystemAndOntology) {
+  EXPECT_TRUE(*sem_->SubtypeOf(Type("year"), Type("int")));
+  EXPECT_FALSE(*sem_->SubtypeOf(Type("int"), Type("year")));
+  // Ontology terms as types (Section 5's value-as-type view).
+  EXPECT_TRUE(*sem_->SubtypeOf(Type("inproceedings"), Type("paper")));
+}
+
+}  // namespace
+}  // namespace toss::core

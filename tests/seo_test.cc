@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/seo.h"
+#include "lexicon/lexicon.h"
+#include "ontology/ontology_maker.h"
+#include "sim/measure_registry.h"
+#include "xml/xml_parser.h"
+
+namespace toss::core {
+namespace {
+
+ontology::Ontology MakeDblpOntology() {
+  auto doc = xml::Parse(
+      "<dblp>"
+      "<inproceedings>"
+      "<author>Jeffrey Ullman</author>"
+      "<author>Jeffrey D. Ullman</author>"
+      "<author>Marco Ferrari</author>"
+      "<booktitle>SIGMOD Conference</booktitle>"
+      "</inproceedings>"
+      "<inproceedings>"
+      "<author>Mauro Ferrari</author>"
+      "<booktitle>ACM SIGMOD International Conference on Management of "
+      "Data</booktitle>"
+      "</inproceedings>"
+      "</dblp>");
+  EXPECT_TRUE(doc.ok());
+  ontology::OntologyMakerOptions opts;
+  opts.content_tags = {"author", "booktitle"};
+  auto onto = ontology::MakeOntology(
+      *doc, lexicon::BuiltinBibliographicLexicon(), opts);
+  EXPECT_TRUE(onto.ok()) << onto.status();
+  return std::move(onto).value();
+}
+
+Seo BuildSeo(double epsilon) {
+  SeoBuilder b;
+  b.AddInstanceOntology(MakeDblpOntology());
+  b.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  b.SetEpsilon(epsilon);
+  auto seo = b.Build();
+  EXPECT_TRUE(seo.ok()) << seo.status();
+  return std::move(seo).value();
+}
+
+TEST(SeoBuilderTest, RequiresInputs) {
+  SeoBuilder empty;
+  EXPECT_TRUE(empty.Build().status().IsInvalidArgument());
+  SeoBuilder no_measure;
+  no_measure.AddInstanceOntology(MakeDblpOntology());
+  EXPECT_TRUE(no_measure.Build().status().IsInvalidArgument());
+  SeoBuilder negative;
+  negative.AddInstanceOntology(MakeDblpOntology());
+  negative.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  negative.SetEpsilon(-2);
+  EXPECT_TRUE(negative.Build().status().IsInvalidArgument());
+}
+
+TEST(SeoTest, EnhancedHierarchiesExistPerRelation) {
+  Seo seo = BuildSeo(2.0);
+  EXPECT_NE(seo.EnhancedHierarchy(ontology::kIsa), nullptr);
+  EXPECT_NE(seo.EnhancedHierarchy(ontology::kPartOf), nullptr);
+  EXPECT_EQ(seo.EnhancedHierarchy("nosuch"), nullptr);
+  EXPECT_NE(seo.Enhancement(ontology::kIsa), nullptr);
+  EXPECT_GT(seo.TotalNodeCount(), 0u);
+  EXPECT_DOUBLE_EQ(seo.epsilon(), 2.0);
+}
+
+TEST(SeoTest, SimilarGroupsCloseOntologyTerms) {
+  Seo seo = BuildSeo(2.0);
+  // d(Marco Ferrari, Mauro Ferrari) = 2: similar at eps=2.
+  EXPECT_TRUE(seo.Similar("Marco Ferrari", "Mauro Ferrari"));
+  // d(Jeffrey Ullman, Jeffrey D. Ullman) = 3: not at eps=2.
+  EXPECT_FALSE(seo.Similar("Jeffrey Ullman", "Jeffrey D. Ullman"));
+  EXPECT_TRUE(seo.Similar("Jeffrey Ullman", "Jeffrey Ullman"));
+
+  Seo seo3 = BuildSeo(3.0);
+  EXPECT_TRUE(seo3.Similar("Jeffrey Ullman", "Jeffrey D. Ullman"));
+}
+
+TEST(SeoTest, SimilarFallsBackToMeasureForUnknownTerms) {
+  Seo seo = BuildSeo(2.0);
+  // Neither string is an ontology term.
+  EXPECT_TRUE(seo.Similar("zzzz", "zzzx"));
+  EXPECT_FALSE(seo.Similar("zzzz", "aaaa"));
+}
+
+TEST(SeoTest, LeqFollowsEnhancedHierarchy) {
+  Seo seo = BuildSeo(2.0);
+  EXPECT_TRUE(
+      seo.Leq(ontology::kIsa, "SIGMOD Conference", "database conference"));
+  EXPECT_TRUE(seo.Leq(ontology::kIsa, "inproceedings", "publication"));
+  EXPECT_FALSE(
+      seo.Leq(ontology::kIsa, "database conference", "SIGMOD Conference"));
+  EXPECT_FALSE(seo.Leq("nosuch", "a", "b"));
+  // partof from document structure.
+  EXPECT_TRUE(seo.Leq(ontology::kPartOf, "author", "inproceedings"));
+}
+
+TEST(SeoTest, VenueSurfaceFormsAreInterchangeable) {
+  Seo seo = BuildSeo(2.0);
+  // The full venue name shares a node with the short one (lexicon synonym
+  // merging), so both sit below the category.
+  EXPECT_TRUE(seo.Leq(
+      ontology::kIsa,
+      "ACM SIGMOD International Conference on Management of Data",
+      "database conference"));
+  auto below = seo.TermsBelow(ontology::kIsa, "SIGMOD Conference");
+  EXPECT_NE(std::find(below.begin(), below.end(),
+                      "ACM SIGMOD International Conference on Management "
+                      "of Data"),
+            below.end());
+}
+
+TEST(SeoTest, SimilarTermsExpandsThroughSharedNodes) {
+  Seo seo = BuildSeo(2.0);
+  auto terms = seo.SimilarTerms("Marco Ferrari");
+  EXPECT_NE(std::find(terms.begin(), terms.end(), "Mauro Ferrari"),
+            terms.end());
+  EXPECT_NE(std::find(terms.begin(), terms.end(), "Marco Ferrari"),
+            terms.end());
+  // Unknown literal: fallback full scan against ontology terms.
+  auto fallback = seo.SimilarTerms("Mxrco Ferrari");
+  EXPECT_NE(std::find(fallback.begin(), fallback.end(), "Marco Ferrari"),
+            fallback.end());
+}
+
+TEST(SeoTest, TermsBelowCollectsCategorySubtree) {
+  Seo seo = BuildSeo(2.0);
+  auto below = seo.TermsBelow(ontology::kIsa, "database conference");
+  EXPECT_NE(std::find(below.begin(), below.end(), "SIGMOD Conference"),
+            below.end());
+  // The category term itself is included.
+  EXPECT_NE(std::find(below.begin(), below.end(), "database conference"),
+            below.end());
+}
+
+TEST(SeoBuilderTest, MultiInstanceFusionWithConstraints) {
+  auto doc2 = xml::Parse(
+      "<proceedingsPage>"
+      "<conference>ACM SIGMOD International Conference on Management of "
+      "Data</conference>"
+      "<articles><article><authors><author>J. Ullman</author></authors>"
+      "</article></articles>"
+      "</proceedingsPage>");
+  ASSERT_TRUE(doc2.ok());
+  ontology::OntologyMakerOptions opts;
+  opts.content_tags = {"author", "conference"};
+  auto onto2 = ontology::MakeOntology(
+      *doc2, lexicon::BuiltinBibliographicLexicon(), opts);
+  ASSERT_TRUE(onto2.ok());
+
+  SeoBuilder b;
+  b.AddInstanceOntology(MakeDblpOntology());
+  b.AddInstanceOntology(std::move(onto2).value());
+  b.AddConstraints(ontology::kPartOf,
+                   ontology::Eq("booktitle", 0, "conference", 1));
+  b.SetMeasure(*sim::MakeMeasure("levenshtein"));
+  b.SetEpsilon(2.0);
+  auto seo = b.Build();
+  ASSERT_TRUE(seo.ok()) << seo.status();
+  // Fused partof: booktitle and conference merged.
+  const auto* partof = seo->EnhancedHierarchy(ontology::kPartOf);
+  ASSERT_NE(partof, nullptr);
+  EXPECT_EQ(partof->FindTerm("booktitle"), partof->FindTerm("conference"));
+}
+
+}  // namespace
+}  // namespace toss::core

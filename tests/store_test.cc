@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "store/database.h"
+#include "xml/xml_parser.h"
+
+namespace toss::store {
+namespace {
+
+Collection MakeSmallCollection() {
+  Collection coll("papers");
+  EXPECT_TRUE(coll.InsertXml("p1",
+                             "<inproceedings><author>Jeffrey Ullman</author>"
+                             "<booktitle>SIGMOD Conference</booktitle>"
+                             "<year>1999</year></inproceedings>")
+                  .ok());
+  EXPECT_TRUE(coll.InsertXml("p2",
+                             "<inproceedings><author>Serge Abiteboul</author>"
+                             "<booktitle>VLDB</booktitle>"
+                             "<year>2000</year></inproceedings>")
+                  .ok());
+  EXPECT_TRUE(coll.InsertXml("p3",
+                             "<article><author>Jeffrey Ullman</author>"
+                             "<journal>TODS</journal></article>")
+                  .ok());
+  return coll;
+}
+
+TEST(CollectionTest, InsertAndLookup) {
+  Collection coll = MakeSmallCollection();
+  EXPECT_EQ(coll.size(), 3u);
+  auto id = coll.FindKey("p2");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(coll.key(*id), "p2");
+  EXPECT_TRUE(coll.FindKey("nope").status().IsNotFound());
+}
+
+TEST(CollectionTest, DuplicateKeyRejected) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.InsertXml("k", "<a/>").ok());
+  EXPECT_TRUE(coll.InsertXml("k", "<b/>").status().IsAlreadyExists());
+}
+
+TEST(CollectionTest, MalformedXmlRejected) {
+  Collection coll("c");
+  EXPECT_TRUE(coll.InsertXml("k", "<a><b></a>").status().IsParseError());
+  EXPECT_EQ(coll.size(), 0u);
+}
+
+TEST(CollectionTest, QueryAcrossDocuments) {
+  Collection coll = MakeSmallCollection();
+  auto r = coll.QueryText("//author[. = 'Jeffrey Ullman']");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 2u);  // p1 and p3
+  auto r2 = coll.QueryText("//inproceedings[booktitle='VLDB']");
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->size(), 1u);
+  EXPECT_EQ(coll.key((*r2)[0].doc), "p2");
+}
+
+TEST(CollectionTest, IndexPruningStats) {
+  Collection coll = MakeSmallCollection();
+  QueryStats with_idx, without_idx;
+  auto r1 = coll.QueryText("//inproceedings[booktitle='VLDB']", true,
+                           &with_idx);
+  auto r2 = coll.QueryText("//inproceedings[booktitle='VLDB']", false,
+                           &without_idx);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->size(), r2->size());  // same answers either way
+  EXPECT_TRUE(with_idx.used_indexes);
+  EXPECT_FALSE(without_idx.used_indexes);
+  EXPECT_LT(with_idx.scanned_docs, without_idx.scanned_docs);
+  EXPECT_EQ(without_idx.scanned_docs, 3u);
+  EXPECT_EQ(with_idx.scanned_docs, 1u);  // value index pinpoints p2
+}
+
+TEST(CollectionTest, TermIndexPrunesContains) {
+  Collection coll = MakeSmallCollection();
+  QueryStats stats;
+  auto r = coll.QueryText("//author[contains(., 'Abiteboul')]", true,
+                          &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(stats.scanned_docs, 1u);
+}
+
+TEST(CollectionTest, MissingTagShortCircuits) {
+  Collection coll = MakeSmallCollection();
+  QueryStats stats;
+  auto r = coll.QueryText("//phdthesis", true, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(stats.scanned_docs, 0u);
+}
+
+TEST(CollectionTest, RemoveHidesDocument) {
+  Collection coll = MakeSmallCollection();
+  ASSERT_TRUE(coll.Remove("p1").ok());
+  EXPECT_TRUE(coll.Remove("p1").IsNotFound());
+  auto r = coll.QueryText("//author[. = 'Jeffrey Ullman']");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);  // only p3 remains
+  EXPECT_EQ(coll.AllDocs().size(), 2u);
+}
+
+TEST(CollectionTest, DocsWithValueInRange) {
+  Collection coll("papers");
+  for (int year = 1995; year <= 2003; ++year) {
+    ASSERT_TRUE(coll.InsertXml("p" + std::to_string(year),
+                               "<p><year>" + std::to_string(year) +
+                                   "</year><name>n" +
+                                   std::to_string(year) + "</name></p>")
+                    .ok());
+  }
+  // Closed numeric range.
+  auto r = coll.DocsWithValueInRange("year", std::string("1998"),
+                                     std::string("2000"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 3u);
+  // One-sided ranges.
+  auto ge = coll.DocsWithValueInRange("year", std::string("2001"),
+                                      std::nullopt);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge->size(), 3u);
+  auto le = coll.DocsWithValueInRange("year", std::nullopt,
+                                      std::string("1996"));
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(le->size(), 2u);
+  // Lexicographic range over a string field.
+  auto lex = coll.DocsWithValueInRange("name", std::string("n1999"),
+                                       std::string("n2001"));
+  ASSERT_TRUE(lex.ok());
+  EXPECT_EQ(lex->size(), 3u);
+  // Unknown tag: empty.
+  auto none = coll.DocsWithValueInRange("ghost", std::string("a"),
+                                        std::string("z"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // Non-integer numeric bounds are unsupported.
+  EXPECT_TRUE(coll.DocsWithValueInRange("year", std::string("3.5"),
+                                        std::nullopt)
+                  .status()
+                  .IsUnsupported());
+}
+
+TEST(CollectionTest, NumericRangeHandlesWidthsAndNegatives) {
+  Collection coll("vals");
+  for (const char* v : {"-20", "-3", "0", "7", "42", "999", "1000", "007"}) {
+    std::string key = std::string("k") + v;
+    ASSERT_TRUE(
+        coll.InsertXml(key, "<r><v>" + std::string(v) + "</v></r>").ok());
+  }
+  auto r = coll.DocsWithValueInRange("v", std::string("-5"),
+                                     std::string("50"));
+  ASSERT_TRUE(r.ok());
+  // -3, 0, 7, 42, and "007" (numeric 7) are in [-5, 50].
+  EXPECT_EQ(r->size(), 5u);
+  auto all = coll.DocsWithValueInRange("v", std::string("-100"),
+                                       std::string("2000"));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 8u);
+}
+
+TEST(CollectionTest, RangePredicatePrunesViaIndex) {
+  Collection coll("papers");
+  for (int year = 1990; year <= 2009; ++year) {
+    ASSERT_TRUE(coll.InsertXml("p" + std::to_string(year),
+                               "<p><year>" + std::to_string(year) +
+                                   "</year></p>")
+                    .ok());
+  }
+  QueryStats stats;
+  auto matches = coll.QueryText("//p[year >= '2000'][year <= '2002']",
+                                true, &stats);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(matches->size(), 3u);
+  EXPECT_TRUE(stats.used_indexes);
+  EXPECT_EQ(stats.scanned_docs, 3u);  // range scan pinpoints candidates
+  // Same answers without indexes.
+  auto scan = coll.QueryText("//p[year >= '2000'][year <= '2002']", false);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), matches->size());
+}
+
+TEST(CollectionTest, ReplaceSwapsContentAndReindexes) {
+  Collection coll = MakeSmallCollection();
+  auto id = coll.Replace("p1",
+                         std::move(*xml::Parse("<inproceedings>"
+                                               "<author>New Author</author>"
+                                               "</inproceedings>")));
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(coll.AllDocs().size(), 3u);
+  // Old content is gone from the indexes; new content is queryable.
+  auto old_match = coll.QueryText("//author[. = 'Jeffrey Ullman']");
+  ASSERT_TRUE(old_match.ok());
+  EXPECT_EQ(old_match->size(), 1u);  // only p3 now
+  auto new_match = coll.QueryText("//author[. = 'New Author']");
+  ASSERT_TRUE(new_match.ok());
+  ASSERT_EQ(new_match->size(), 1u);
+  EXPECT_EQ(coll.key((*new_match)[0].doc), "p1");
+  EXPECT_TRUE(coll.Replace("ghost", xml::XmlDocument()).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      coll.Replace("ghost", std::move(*xml::Parse("<x/>"))).status()
+          .IsNotFound());
+}
+
+TEST(CollectionTest, ApproxByteSizePositive) {
+  Collection coll = MakeSmallCollection();
+  size_t full = coll.ApproxByteSize();
+  EXPECT_GT(full, 100u);
+  ASSERT_TRUE(coll.Remove("p1").ok());
+  EXPECT_LT(coll.ApproxByteSize(), full);
+}
+
+TEST(CollectionTest, StatsTrackIndexes) {
+  Collection coll = MakeSmallCollection();
+  auto stats = coll.GetStats();
+  EXPECT_EQ(stats.live_docs, 3u);
+  EXPECT_GT(stats.tag_index_entries, 3u);
+  EXPECT_GT(stats.term_index_entries, 5u);
+  EXPECT_GT(stats.value_index_keys, 5u);
+  EXPECT_GE(stats.numeric_index_keys, 2u);  // the two year values
+  EXPECT_GT(stats.approx_bytes, 100u);
+  ASSERT_TRUE(coll.Remove("p1").ok());
+  auto after = coll.GetStats();
+  EXPECT_EQ(after.live_docs, 2u);
+  EXPECT_LT(after.value_index_keys, stats.value_index_keys);
+}
+
+TEST(DatabaseTest, CollectionLifecycle) {
+  Database db;
+  auto c1 = db.CreateCollection("dblp");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_TRUE(db.CreateCollection("dblp").status().IsAlreadyExists());
+  EXPECT_TRUE(db.CreateCollection("").status().IsInvalidArgument());
+  ASSERT_TRUE(db.CreateCollection("sigmod").ok());
+  EXPECT_EQ(db.CollectionNames().size(), 2u);
+  ASSERT_TRUE(db.GetCollection("dblp").ok());
+  EXPECT_TRUE(db.GetCollection("none").status().IsNotFound());
+  ASSERT_TRUE(db.DropCollection("dblp").ok());
+  EXPECT_TRUE(db.DropCollection("dblp").IsNotFound());
+  EXPECT_EQ(db.collection_count(), 1u);
+}
+
+TEST(DatabaseTest, SaveOpenRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "toss_store_test";
+  fs::remove_all(dir);
+
+  Database db;
+  auto coll = db.CreateCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  ASSERT_TRUE((*coll)
+                  ->InsertXml("p1",
+                              "<inproceedings gtid=\"10001\">"
+                              "<author>A &amp; B</author>"
+                              "</inproceedings>")
+                  .ok());
+  ASSERT_TRUE((*coll)->InsertXml("weird key / with : chars", "<x/>").ok());
+  auto coll2 = db.CreateCollection("sigmod");
+  ASSERT_TRUE(coll2.ok());
+  ASSERT_TRUE((*coll2)->InsertXml("page", "<proceedingsPage/>").ok());
+
+  ASSERT_TRUE(db.Save(dir.string()).ok());
+
+  auto reopened = Database::Open(dir.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->CollectionNames(), db.CollectionNames());
+  auto rc = reopened->GetCollection("dblp");
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ((*rc)->size(), 2u);
+  ASSERT_TRUE((*rc)->FindKey("weird key / with : chars").ok());
+  // Content and attributes survived.
+  auto matches = (*rc)->QueryText("//inproceedings[@gtid='10001']");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+  auto authors = (*rc)->QueryText("//author[. = 'A & B']");
+  ASSERT_TRUE(authors.ok());
+  EXPECT_EQ(authors->size(), 1u);
+
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, OpenMissingDirectoryFails) {
+  auto r = Database::Open("/nonexistent/toss/db/dir");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace toss::store

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "tax/condition.h"
+#include "tax/condition_parser.h"
+#include "tax/data_tree.h"
+#include "tax/tax_semantics.h"
+
+namespace toss::tax {
+namespace {
+
+// Shared fixture: one paper tree plus an embedding of $1..$3 onto it.
+class ConditionEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NodeId root = tree_.CreateRoot("inproceedings");
+    author_ = tree_.AppendChild(root, "author", "Jeffrey Ullman");
+    year_ = tree_.AppendChild(root, "year", "1999");
+    mapping_ = {{1, root}, {2, author_}, {3, year_}};
+    view_ = {&tree_, &mapping_};
+  }
+
+  Result<bool> Eval(const std::string& text) {
+    auto cond = ParseCondition(text);
+    if (!cond.ok()) return cond.status();
+    return EvalCondition(*cond, view_, semantics_);
+  }
+
+  DataTree tree_;
+  NodeId author_ = 0, year_ = 0;
+  std::map<int, NodeId> mapping_;
+  EmbeddingView view_;
+  TaxSemantics semantics_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ConditionParserTest, ParsesAtoms) {
+  auto c = ParseCondition("$1.tag = \"inproceedings\"");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->kind, Condition::Kind::kAtom);
+  EXPECT_EQ(c->lhs.kind, CondTerm::Kind::kNodeTag);
+  EXPECT_EQ(c->lhs.node_label, 1);
+  EXPECT_EQ(c->op, CondOp::kEq);
+  EXPECT_EQ(c->rhs.text, "inproceedings");
+}
+
+TEST(ConditionParserTest, ParsesAllOperators) {
+  for (const char* op :
+       {"=", "!=", "<", "<=", ">", ">=", "~", "instance_of", "isa",
+        "subtype_of", "part_of", "above", "below"}) {
+    std::string text = std::string("$1.content ") + op + " \"x\"";
+    auto c = ParseCondition(text);
+    EXPECT_TRUE(c.ok()) << text << ": " << c.status();
+  }
+}
+
+TEST(ConditionParserTest, ParsesConnectivesAndPrecedence) {
+  auto c = ParseCondition(
+      "$1.tag = \"a\" & $2.tag = \"b\" | !($3.tag = \"c\")");
+  ASSERT_TRUE(c.ok()) << c.status();
+  // Top level is OR of (AND, NOT).
+  EXPECT_EQ(c->kind, Condition::Kind::kOr);
+  ASSERT_EQ(c->children.size(), 2u);
+  EXPECT_EQ(c->children[0]->kind, Condition::Kind::kAnd);
+  EXPECT_EQ(c->children[1]->kind, Condition::Kind::kNot);
+}
+
+TEST(ConditionParserTest, ParsesTypedValuesAndNumbers) {
+  auto c = ParseCondition("$3.content <= \"2000\":year");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->rhs.value_type, "year");
+  auto n = ParseCondition("$3.content >= 1995");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->rhs.text, "1995");
+  auto tn = ParseCondition("$3.content instance_of year");
+  ASSERT_TRUE(tn.ok());
+  EXPECT_EQ(tn->rhs.kind, CondTerm::Kind::kTypeName);
+}
+
+TEST(ConditionParserTest, ParsesEscapesInLiterals) {
+  auto c = ParseCondition("$2.content = \"say \\\"hi\\\"\"");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->rhs.text, "say \"hi\"");
+}
+
+TEST(ConditionParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCondition("$1.tag =").ok());
+  EXPECT_FALSE(ParseCondition("$1.bogus = \"x\"").ok());
+  EXPECT_FALSE(ParseCondition("$1.tag = \"unterminated").ok());
+  EXPECT_FALSE(ParseCondition("$.tag = \"x\"").ok());
+  EXPECT_FALSE(ParseCondition("$1.tag = \"a\" extra").ok());
+  EXPECT_FALSE(ParseCondition("($1.tag = \"a\"").ok());
+}
+
+TEST(ConditionParserTest, RoundTripsThroughToString) {
+  const char* kConditions[] = {
+      "$1.tag = \"inproceedings\"",
+      "$1.tag = \"a\" & $2.content ~ \"J. Ullman\"",
+      "!($1.tag != \"x\") | $2.content below \"y\"",
+      "$3.content <= \"2000\":year",
+      "true",
+  };
+  for (const char* text : kConditions) {
+    auto first = ParseCondition(text);
+    ASSERT_TRUE(first.ok()) << text;
+    auto second = ParseCondition(first->ToString());
+    ASSERT_TRUE(second.ok()) << first->ToString();
+    EXPECT_EQ(first->ToString(), second->ToString()) << text;
+  }
+}
+
+TEST(ConditionTest, ReferencedLabels) {
+  auto c = ParseCondition(
+      "$1.tag = \"a\" & ($5.content ~ $2.content | $1.content = \"x\")");
+  ASSERT_TRUE(c.ok());
+  std::vector<int> expect{1, 2, 5};
+  EXPECT_EQ(c->ReferencedLabels(), expect);
+}
+
+TEST(ConditionTest, BuildersCollapseTrivialCases) {
+  EXPECT_EQ(Condition::And({}).kind, Condition::Kind::kTrue);
+  EXPECT_EQ(Condition::Or({}).kind, Condition::Kind::kTrue);
+  Condition atom =
+      Condition::Atom(TagOf(1), CondOp::kEq, Value("x"));
+  EXPECT_EQ(Condition::And({atom}).kind, Condition::Kind::kAtom);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation under TaxSemantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ConditionEvalTest, TagAndContentEquality) {
+  EXPECT_TRUE(*Eval("$1.tag = \"inproceedings\""));
+  EXPECT_FALSE(*Eval("$1.tag = \"article\""));
+  EXPECT_TRUE(*Eval("$2.content = \"Jeffrey Ullman\""));
+  EXPECT_TRUE(*Eval("$2.content != \"J. Ullman\""));
+}
+
+TEST_F(ConditionEvalTest, WildcardEquality) {
+  EXPECT_TRUE(*Eval("$2.content = \"*Ullman*\""));
+  EXPECT_TRUE(*Eval("$2.content = \"Jeff*\""));
+  EXPECT_FALSE(*Eval("$2.content = \"*Widom*\""));
+}
+
+TEST_F(ConditionEvalTest, NumericComparisons) {
+  EXPECT_TRUE(*Eval("$3.content <= \"2000\""));
+  EXPECT_TRUE(*Eval("$3.content >= \"1995\""));
+  EXPECT_FALSE(*Eval("$3.content < \"1999\""));
+  EXPECT_TRUE(*Eval("$3.content > \"200\""));  // numeric, not lexicographic
+}
+
+TEST_F(ConditionEvalTest, LexicographicFallback) {
+  EXPECT_TRUE(*Eval("$2.content < \"Zed\""));
+  EXPECT_FALSE(*Eval("$2.content < \"Aaron\""));
+}
+
+TEST_F(ConditionEvalTest, SimilarIsExactMatchInTax) {
+  EXPECT_TRUE(*Eval("$2.content ~ \"Jeffrey Ullman\""));
+  EXPECT_FALSE(*Eval("$2.content ~ \"Jeffrey D. Ullman\""));
+}
+
+TEST_F(ConditionEvalTest, IsaIsContainsInTax) {
+  EXPECT_TRUE(*Eval("$2.content isa \"Ullman\""));
+  EXPECT_TRUE(*Eval("$1.tag part_of \"inproceedings\""));
+  EXPECT_FALSE(*Eval("$2.content isa \"Widom\""));
+}
+
+TEST_F(ConditionEvalTest, Connectives) {
+  EXPECT_TRUE(
+      *Eval("$1.tag = \"inproceedings\" & $3.content = \"1999\""));
+  EXPECT_FALSE(
+      *Eval("$1.tag = \"inproceedings\" & $3.content = \"2000\""));
+  EXPECT_TRUE(
+      *Eval("$1.tag = \"article\" | $3.content = \"1999\""));
+  EXPECT_TRUE(*Eval("!($1.tag = \"article\")"));
+  EXPECT_TRUE(*Eval("true"));
+}
+
+TEST_F(ConditionEvalTest, UnboundLabelIsError) {
+  auto r = Eval("$9.tag = \"x\"");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(ConditionEvalTest, TwoNodeAtoms) {
+  EXPECT_FALSE(*Eval("$2.content = $3.content"));
+  EXPECT_TRUE(*Eval("$2.content != $3.content"));
+  EXPECT_TRUE(*Eval("$2.content ~ $2.content"));
+}
+
+TEST(TaxSemanticsTest, InstanceOfAndSubtypeOfAreNameChecks) {
+  TaxSemantics sem;
+  TermValue value{"1999", "year", false};
+  TermValue year_type{"year", "", true};
+  TermValue string_type{"string", "", true};
+  EXPECT_TRUE(*sem.InstanceOf(value, year_type));
+  EXPECT_FALSE(*sem.InstanceOf(value, string_type));  // no hierarchy in TAX
+  EXPECT_TRUE(*sem.SubtypeOf(year_type, year_type));
+  EXPECT_FALSE(*sem.SubtypeOf(year_type, string_type));
+}
+
+}  // namespace
+}  // namespace toss::tax

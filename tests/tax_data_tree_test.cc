@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "tax/data_tree.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace toss::tax {
+namespace {
+
+DataTree SamplePaper() {
+  DataTree t;
+  NodeId root = t.CreateRoot("inproceedings");
+  t.AppendChild(root, "author", "Jeffrey Ullman");
+  t.AppendChild(root, "title", "A Paper");
+  t.AppendChild(root, "year", "1999");
+  return t;
+}
+
+TEST(DataTreeTest, BuildAndInspect) {
+  DataTree t = SamplePaper();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.node(t.root()).tag, "inproceedings");
+  EXPECT_EQ(t.node(1).content, "Jeffrey Ullman");
+  EXPECT_EQ(t.node(1).parent, t.root());
+  EXPECT_EQ(t.node(t.root()).children.size(), 3u);
+  EXPECT_TRUE(t.IsAncestor(t.root(), 2));
+  EXPECT_FALSE(t.IsAncestor(2, t.root()));
+  EXPECT_EQ(t.node(0).tag_type, kStringType);
+}
+
+TEST(DataTreeTest, DescendantsPreorder) {
+  DataTree t;
+  NodeId root = t.CreateRoot("a");
+  NodeId b = t.AppendChild(root, "b");
+  NodeId c = t.AppendChild(b, "c");
+  NodeId d = t.AppendChild(root, "d");
+  auto desc = t.Descendants(root);
+  ASSERT_EQ(desc.size(), 3u);
+  EXPECT_EQ(desc[0], b);
+  EXPECT_EQ(desc[1], c);
+  EXPECT_EQ(desc[2], d);
+  EXPECT_TRUE(t.Descendants(c).empty());
+}
+
+TEST(DataTreeTest, CopySubtreeCarriesTypesAndProvenance) {
+  DataTree src = SamplePaper();
+  src.node(1).provenance = 1001;
+  src.node(1).content_type = "person";
+  DataTree dst;
+  dst.CopySubtree(src, src.root(), kInvalidNode);
+  EXPECT_TRUE(dst.Equals(src));
+  EXPECT_EQ(dst.node(1).provenance, 1001u);
+  EXPECT_EQ(dst.node(1).content_type, "person");
+}
+
+TEST(DataTreeTest, XmlRoundTrip) {
+  auto parsed = xml::Parse(
+      "<inproceedings gtid=\"10007\">"
+      "<author gtid=\"1003\">J. Ullman</author>"
+      "<title>Mixed <i>inline</i> text</title>"
+      "</inproceedings>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  DataTree t = DataTree::FromXml(*parsed, parsed->root());
+  EXPECT_EQ(t.node(t.root()).provenance, 10007u);
+  EXPECT_EQ(t.node(1).tag, "author");
+  EXPECT_EQ(t.node(1).provenance, 1003u);
+  EXPECT_EQ(t.node(1).content, "J. Ullman");
+  // Element children under <title> become child nodes; direct text stays
+  // as content.
+  NodeId title = 2;
+  EXPECT_EQ(t.node(title).tag, "title");
+  EXPECT_EQ(t.node(title).content, "Mixed  text");
+  ASSERT_EQ(t.node(title).children.size(), 1u);
+  EXPECT_EQ(t.node(t.node(title).children[0]).tag, "i");
+
+  // Back to XML: provenance becomes gtid again.
+  xml::XmlDocument out = t.ToXml();
+  EXPECT_EQ(out.Attribute(out.root(), "gtid"), "10007");
+  DataTree again = DataTree::FromXml(out, out.root());
+  EXPECT_TRUE(again.Equals(t));
+}
+
+TEST(DataTreeTest, EqualsIsOrderSensitive) {
+  DataTree a, b;
+  NodeId ra = a.CreateRoot("r");
+  a.AppendChild(ra, "x", "1");
+  a.AppendChild(ra, "y", "2");
+  NodeId rb = b.CreateRoot("r");
+  b.AppendChild(rb, "y", "2");
+  b.AppendChild(rb, "x", "1");
+  EXPECT_FALSE(a.Equals(b));  // sibling order matters (ordered trees)
+}
+
+TEST(DataTreeTest, EqualsComparesContentAndTypes) {
+  DataTree a = SamplePaper();
+  DataTree b = SamplePaper();
+  EXPECT_TRUE(a.Equals(b));
+  b.node(3).content = "2000";
+  EXPECT_FALSE(a.Equals(b));
+  DataTree c = SamplePaper();
+  c.node(3).content_type = "year";
+  EXPECT_FALSE(a.Equals(c));  // value-based atoms see types
+}
+
+TEST(DataTreeTest, CanonicalKeyInjective) {
+  // The classic collision shapes: nesting vs siblings, and field bleed.
+  DataTree a, b;
+  NodeId ra = a.CreateRoot("r");
+  NodeId x = a.AppendChild(ra, "x");
+  a.AppendChild(x, "y");
+  NodeId rb = b.CreateRoot("r");
+  b.AppendChild(rb, "x");
+  b.AppendChild(rb, "y");
+  EXPECT_NE(a.CanonicalKey(), b.CanonicalKey());
+
+  DataTree c, d;
+  c.CreateRoot("ab", "c");
+  d.CreateRoot("a", "bc");
+  EXPECT_NE(c.CanonicalKey(), d.CanonicalKey());
+}
+
+TEST(DataTreeTest, TotalNodes) {
+  TreeCollection coll;
+  coll.push_back(SamplePaper());
+  coll.push_back(SamplePaper());
+  EXPECT_EQ(TotalNodes(coll), 8u);
+  EXPECT_EQ(TotalNodes({}), 0u);
+}
+
+}  // namespace
+}  // namespace toss::tax

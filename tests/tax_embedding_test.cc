@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "tax/condition_parser.h"
+#include "tax/embedding.h"
+#include "tax/tax_semantics.h"
+#include "xml/xml_parser.h"
+
+namespace toss::tax {
+namespace {
+
+DataTree Dblp() {
+  auto doc = xml::Parse(R"(
+    <dblp>
+      <inproceedings>
+        <author>Paolo Ciancarini</author>
+        <author>Robert Tolksdorf</author>
+        <title>Coordinating Multiagent Applications</title>
+        <year>1999</year>
+      </inproceedings>
+      <inproceedings>
+        <author>Ernesto Damiani</author>
+        <title>Securing XML Documents</title>
+        <year>2000</year>
+      </inproceedings>
+    </dblp>)");
+  EXPECT_TRUE(doc.ok());
+  return DataTree::FromXml(*doc, doc->root());
+}
+
+PatternTree MakePattern(const std::string& cond,
+                        std::vector<std::pair<int, EdgeKind>> children) {
+  PatternTree pt;
+  int root = pt.AddRoot();
+  for (auto [parent, kind] : children) {
+    pt.AddChild(parent == 0 ? root : parent, kind);
+  }
+  auto parsed = ParseCondition(cond);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  pt.SetCondition(std::move(parsed).value());
+  return pt;
+}
+
+TEST(PatternTreeTest, LabelsAssignedInOrder) {
+  PatternTree pt;
+  EXPECT_TRUE(pt.empty());
+  int r = pt.AddRoot();
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(pt.AddRoot(), 1);  // idempotent
+  int c1 = pt.AddChild(r, EdgeKind::kPc);
+  int c2 = pt.AddChild(r, EdgeKind::kAd);
+  int g = pt.AddChild(c1, EdgeKind::kPc);
+  EXPECT_EQ(c1, 2);
+  EXPECT_EQ(c2, 3);
+  EXPECT_EQ(g, 4);
+  EXPECT_EQ(pt.AddChild(99, EdgeKind::kPc), -1);
+  EXPECT_EQ(pt.node_count(), 4u);
+  std::vector<int> labels{1, 2, 3, 4};
+  EXPECT_EQ(pt.Labels(), labels);
+}
+
+TEST(PatternTreeTest, ValidateChecksConditionLabels) {
+  PatternTree pt;
+  pt.AddRoot();
+  pt.SetCondition(ParseCondition("$1.tag = \"x\"").value());
+  EXPECT_TRUE(pt.Validate().ok());
+  pt.SetCondition(ParseCondition("$7.tag = \"x\"").value());
+  EXPECT_TRUE(pt.Validate().IsInvalidArgument());
+  PatternTree empty;
+  EXPECT_TRUE(empty.Validate().IsInvalidArgument());
+}
+
+TEST(EmbeddingTest, ParentChildEdges) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  // $1 inproceedings with pc child $2 author.
+  PatternTree pt = MakePattern(
+      "$1.tag = \"inproceedings\" & $2.tag = \"author\"",
+      {{0, EdgeKind::kPc}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 3u);  // three author nodes overall
+}
+
+TEST(EmbeddingTest, AncestorDescendantEdges) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  // $1 dblp with ad descendant $2 author: pc would fail, ad succeeds.
+  PatternTree pc = MakePattern("$1.tag = \"dblp\" & $2.tag = \"author\"",
+                               {{0, EdgeKind::kPc}});
+  PatternTree ad = MakePattern("$1.tag = \"dblp\" & $2.tag = \"author\"",
+                               {{0, EdgeKind::kAd}});
+  auto rpc = FindEmbeddings(pc, tree, sem);
+  auto rad = FindEmbeddings(ad, tree, sem);
+  ASSERT_TRUE(rpc.ok());
+  ASSERT_TRUE(rad.ok());
+  EXPECT_TRUE(rpc->empty());
+  EXPECT_EQ(rad->size(), 3u);
+}
+
+TEST(EmbeddingTest, ConditionFiltersEmbeddings) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  PatternTree pt = MakePattern(
+      "$1.tag = \"inproceedings\" & $2.tag = \"year\" & "
+      "$2.content = \"1999\"",
+      {{0, EdgeKind::kPc}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+}
+
+TEST(EmbeddingTest, MultiNodePattern) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  // Both an author and a year under the same inproceedings.
+  PatternTree pt = MakePattern(
+      "$1.tag = \"inproceedings\" & $2.tag = \"author\" & "
+      "$3.tag = \"year\" & $3.content = \"1999\"",
+      {{0, EdgeKind::kPc}, {0, EdgeKind::kPc}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // two authors on the 1999 paper
+}
+
+TEST(EmbeddingTest, CrossNodeConditionEvaluatedAtEnd) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  // Two distinct author children with different contents.
+  PatternTree pt = MakePattern(
+      "$1.tag = \"inproceedings\" & $2.tag = \"author\" & "
+      "$3.tag = \"author\" & $2.content < $3.content",
+      {{0, EdgeKind::kPc}, {0, EdgeKind::kPc}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok());
+  // Only (Paolo, Robert) ordered pair qualifies.
+  ASSERT_EQ(r->size(), 1u);
+}
+
+TEST(EmbeddingTest, EmptyInputs) {
+  TaxSemantics sem;
+  PatternTree pt = MakePattern("true", {});
+  DataTree empty;
+  auto r = FindEmbeddings(pt, empty, sem);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(WitnessTreeTest, InducedStructureUsesClosestAncestors) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  // Map $1 -> dblp root (ad) $2 -> author: witness keeps dblp above author
+  // even though intermediate inproceedings is not matched.
+  PatternTree pt = MakePattern("$1.tag = \"dblp\" & $2.tag = \"author\"",
+                               {{0, EdgeKind::kAd}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->empty());
+  DataTree w = BuildWitnessTree(pt, tree, (*r)[0], {});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.node(w.root()).tag, "dblp");
+  EXPECT_EQ(w.node(1).tag, "author");
+  EXPECT_EQ(w.node(1).parent, w.root());  // closest matched ancestor
+}
+
+TEST(WitnessTreeTest, SlExpansionIncludesDescendants) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  PatternTree pt = MakePattern(
+      "$1.tag = \"inproceedings\" & $2.tag = \"year\" & "
+      "$2.content = \"2000\"",
+      {{0, EdgeKind::kPc}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  // Bare witness: just the two matched nodes.
+  DataTree bare = BuildWitnessTree(pt, tree, (*r)[0], {});
+  EXPECT_EQ(bare.size(), 2u);
+  // SL = {1}: the whole paper subtree comes along (author, title, year).
+  DataTree full = BuildWitnessTree(pt, tree, (*r)[0], {1});
+  EXPECT_EQ(full.size(), 4u);
+  EXPECT_EQ(full.node(full.root()).tag, "inproceedings");
+}
+
+TEST(WitnessTreeTest, PreservesDocumentOrder) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  PatternTree pt = MakePattern(
+      "$1.tag = \"inproceedings\" & $2.tag = \"author\" & "
+      "$3.tag = \"title\"",
+      {{0, EdgeKind::kPc}, {0, EdgeKind::kPc}});
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->empty());
+  DataTree w = BuildWitnessTree(pt, tree, (*r)[0], {});
+  // Children of the witness root appear in source order: author then
+  // title.
+  const auto& kids = w.node(w.root()).children;
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(w.node(kids[0]).tag, "author");
+  EXPECT_EQ(w.node(kids[1]).tag, "title");
+}
+
+TEST(EmbeddingTest, IllTypedConditionSurfacesError) {
+  DataTree tree = Dblp();
+  TaxSemantics sem;
+  // $9 unbound in a two-label atom that escapes prefiltering.
+  PatternTree pt;
+  pt.AddRoot();
+  pt.SetCondition(ParseCondition("$1.tag = $1.tag").value());
+  auto ok = FindEmbeddings(pt, tree, sem);
+  EXPECT_TRUE(ok.ok());
+  // Validate() rejects unbound labels before enumeration begins.
+  pt.SetCondition(ParseCondition("$1.tag = $9.tag").value());
+  auto r = FindEmbeddings(pt, tree, sem);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace toss::tax

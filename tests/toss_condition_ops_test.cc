@@ -1,0 +1,151 @@
+// End-to-end coverage of every Section 5.1.1 operator evaluated through
+// ParseCondition + EvalCondition under SeoSemantics, over a typed data
+// tree -- the TOSS satisfaction relation in one place.
+
+#include <gtest/gtest.h>
+
+#include "core/seo.h"
+#include "core/seo_semantics.h"
+#include "core/types.h"
+#include "lexicon/lexicon.h"
+#include "ontology/ontology_maker.h"
+#include "sim/measure_registry.h"
+#include "tax/condition_parser.h"
+#include "xml/xml_parser.h"
+
+namespace toss::core {
+namespace {
+
+class TossConditionOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Ontology covering authors, venues and the lexicon taxonomy.
+    auto doc = xml::Parse(
+        "<dblp><inproceedings>"
+        "<author>Jeffrey Ullman</author>"
+        "<author>Jeffrey D. Ullman</author>"
+        "<booktitle>SIGMOD Conference</booktitle>"
+        "<affiliation>US Census Bureau</affiliation>"
+        "</inproceedings></dblp>");
+    ASSERT_TRUE(doc.ok());
+    ontology::OntologyMakerOptions opts;
+    opts.content_tags = {"author", "booktitle", "affiliation"};
+    auto onto = ontology::MakeOntology(
+        *doc, lexicon::BuiltinBibliographicLexicon(), opts);
+    ASSERT_TRUE(onto.ok());
+    SeoBuilder b;
+    b.AddInstanceOntology(std::move(onto).value());
+    b.SetMeasure(*sim::MakeMeasure("guarded-levenshtein"));
+    b.SetEpsilon(3.0);
+    auto seo = b.Build();
+    ASSERT_TRUE(seo.ok()) << seo.status();
+    seo_ = std::move(seo).value();
+    types_ = MakeBibliographicTypeSystem();
+    sem_ = std::make_unique<SeoSemantics>(&seo_, &types_);
+
+    // The data tree under test, with typed contents.
+    auto root = tree_.CreateRoot("inproceedings");
+    author_ = tree_.AppendChild(root, "author", "Jeffrey D. Ullman");
+    tree_.node(author_).content_type = "person";
+    venue_ = tree_.AppendChild(root, "booktitle", "SIGMOD Conference");
+    year_ = tree_.AppendChild(root, "year", "1999");
+    tree_.node(year_).content_type = "year";
+    affil_ = tree_.AppendChild(root, "affiliation", "US Census Bureau");
+    mapping_ = {{1, root}, {2, author_}, {3, venue_}, {4, year_},
+                {5, affil_}};
+    view_ = {&tree_, &mapping_};
+  }
+
+  bool Eval(const std::string& text) {
+    auto cond = tax::ParseCondition(text);
+    EXPECT_TRUE(cond.ok()) << text << ": " << cond.status();
+    auto r = tax::EvalCondition(*cond, view_, *sem_);
+    EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+    return r.ok() && *r;
+  }
+
+  Seo seo_;
+  TypeSystem types_;
+  std::unique_ptr<SeoSemantics> sem_;
+  tax::DataTree tree_;
+  tax::NodeId author_ = 0, venue_ = 0, year_ = 0, affil_ = 0;
+  std::map<int, tax::NodeId> mapping_;
+  tax::EmbeddingView view_;
+};
+
+TEST_F(TossConditionOpsTest, EqualityOperators) {
+  EXPECT_TRUE(Eval("$1.tag = \"inproceedings\""));
+  EXPECT_TRUE(Eval("$2.content != \"Jeffrey Ullman\""));
+  EXPECT_TRUE(Eval("$3.content = \"SIGMOD*\""));  // wildcard
+}
+
+TEST_F(TossConditionOpsTest, OrderingWithTypedLiterals) {
+  EXPECT_TRUE(Eval("$4.content <= \"2000\":year"));
+  EXPECT_TRUE(Eval("$4.content > \"1995\":year"));
+  EXPECT_FALSE(Eval("$4.content < \"1999\":year"));
+  // Cross-type: year vs int converts through the lub.
+  EXPECT_TRUE(Eval("$4.content >= \"1000\":int"));
+}
+
+TEST_F(TossConditionOpsTest, SimilarTo) {
+  EXPECT_TRUE(Eval("$2.content ~ \"Jeffrey Ullman\""));       // d=3 variant
+  EXPECT_FALSE(Eval("$2.content ~ \"Serge Abiteboul\""));
+  EXPECT_TRUE(Eval("$2.content ~ $2.content"));               // reflexive
+}
+
+TEST_F(TossConditionOpsTest, IsaOverOntology) {
+  EXPECT_TRUE(Eval("$3.content isa \"database conference\""));
+  EXPECT_TRUE(Eval("$1.tag isa \"publication\""));  // via lexicon chain
+  EXPECT_FALSE(Eval("$3.content isa \"data mining conference\""));
+}
+
+TEST_F(TossConditionOpsTest, PartOfOverOntology) {
+  EXPECT_TRUE(Eval("$2.tag part_of \"inproceedings\""));  // structure
+  EXPECT_TRUE(Eval("$5.content part_of \"us government\""));  // lexicon
+  EXPECT_FALSE(Eval("$1.tag part_of \"author\""));
+}
+
+TEST_F(TossConditionOpsTest, InstanceOf) {
+  EXPECT_TRUE(Eval("$4.content instance_of year"));
+  EXPECT_TRUE(Eval("$4.content instance_of int"));
+  EXPECT_FALSE(Eval("$2.content instance_of year"));
+}
+
+TEST_F(TossConditionOpsTest, SubtypeOf) {
+  EXPECT_TRUE(Eval("year subtype_of int"));
+  EXPECT_TRUE(Eval("year subtype_of string"));
+  EXPECT_FALSE(Eval("int subtype_of year"));
+  // Ontology terms as types.
+  EXPECT_TRUE(Eval("inproceedings subtype_of paper"));
+}
+
+TEST_F(TossConditionOpsTest, BelowAndAbove) {
+  // below = instance_of OR subtype_of (paper 5.1.1).
+  EXPECT_TRUE(Eval("$4.content below year"));
+  EXPECT_TRUE(Eval("$4.content below int"));
+  EXPECT_TRUE(Eval("year below int"));
+  EXPECT_FALSE(Eval("int below year"));
+  // above = reverse.
+  EXPECT_TRUE(Eval("int above year"));
+  EXPECT_TRUE(Eval("year above $4.content"));
+  EXPECT_FALSE(Eval("year above int"));
+}
+
+TEST_F(TossConditionOpsTest, Connectives) {
+  EXPECT_TRUE(
+      Eval("$2.content ~ \"Jeffrey Ullman\" & $4.content below year"));
+  EXPECT_TRUE(Eval("$4.content < \"1990\":year | $1.tag isa \"paper\""));
+  EXPECT_TRUE(Eval("!($3.content isa \"data mining conference\")"));
+}
+
+TEST_F(TossConditionOpsTest, IllTypedAtomPropagatesTypeError) {
+  ASSERT_TRUE(types_.AddType("isolated").ok());
+  auto cond = tax::ParseCondition("$4.content < \"x\":isolated");
+  ASSERT_TRUE(cond.ok());
+  auto r = tax::EvalCondition(*cond, view_, *sem_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace toss::core

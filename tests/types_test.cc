@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace toss::core {
+namespace {
+
+TEST(TypeSystemTest, StringIsRootType) {
+  TypeSystem ts;
+  EXPECT_TRUE(ts.HasType("string"));
+  EXPECT_FALSE(ts.HasType("year"));
+}
+
+TEST(TypeSystemTest, AddTypeWithSupertype) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("int", "string").ok());
+  ASSERT_TRUE(ts.AddType("year", "int").ok());
+  EXPECT_TRUE(ts.IsSubtype("year", "int"));
+  EXPECT_TRUE(ts.IsSubtype("year", "string"));  // transitive
+  EXPECT_TRUE(ts.IsSubtype("year", "year"));    // reflexive
+  EXPECT_FALSE(ts.IsSubtype("string", "year"));
+  EXPECT_TRUE(ts.AddType("", "x").IsInvalidArgument());
+}
+
+TEST(TypeSystemTest, SubtypeCycleRejected) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("a").ok());
+  ASSERT_TRUE(ts.AddType("b", "a").ok());
+  EXPECT_TRUE(ts.AddType("a", "b").IsInvalidArgument());
+}
+
+TEST(TypeSystemTest, LeastCommonSupertype) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("int", "string").ok());
+  ASSERT_TRUE(ts.AddType("year", "int").ok());
+  ASSERT_TRUE(ts.AddType("month", "int").ok());
+  auto lub = ts.LeastCommonSupertype("year", "month");
+  ASSERT_TRUE(lub.ok());
+  EXPECT_EQ(*lub, "int");
+  auto same = ts.LeastCommonSupertype("year", "year");
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, "year");
+  auto with_super = ts.LeastCommonSupertype("year", "string");
+  ASSERT_TRUE(with_super.ok());
+  EXPECT_EQ(*with_super, "string");
+  EXPECT_TRUE(
+      ts.LeastCommonSupertype("year", "nosuch").status().IsTypeError());
+}
+
+TEST(TypeSystemTest, LubAmbiguityIsTypeError) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("p").ok());
+  ASSERT_TRUE(ts.AddType("q").ok());
+  ASSERT_TRUE(ts.AddType("a", "p").ok());
+  ASSERT_TRUE(ts.AddType("a", "q").ok());
+  ASSERT_TRUE(ts.AddType("b", "p").ok());
+  ASSERT_TRUE(ts.AddType("b", "q").ok());
+  // a and b have upper bounds {p, q}, both minimal: ambiguous.
+  EXPECT_TRUE(ts.LeastCommonSupertype("a", "b").status().IsTypeError());
+}
+
+TEST(TypeSystemTest, DisjointRootsHaveNoLub) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("x").ok());
+  ASSERT_TRUE(ts.AddType("y").ok());
+  EXPECT_TRUE(ts.LeastCommonSupertype("x", "y").status().IsTypeError());
+}
+
+TEST(TypeSystemTest, DomainsGateInstanceMembership) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("year", "string").ok());
+  // Without a predicate every value is in dom.
+  EXPECT_TRUE(ts.IsInstance("banana", "year"));
+  ASSERT_TRUE(ts.SetDomain("year",
+                           [](const std::string& v) {
+                             return v.size() == 4;
+                           })
+                  .ok());
+  EXPECT_TRUE(ts.IsInstance("1999", "year"));
+  EXPECT_FALSE(ts.IsInstance("99", "year"));
+  EXPECT_FALSE(ts.IsInstance("x", "nosuch"));
+  EXPECT_TRUE(ts.SetDomain("nosuch", nullptr).IsNotFound());
+}
+
+TEST(TypeSystemTest, IdentityConversionAlwaysExists) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("x").ok());
+  EXPECT_TRUE(ts.HasConversion("x", "x"));
+  auto r = ts.Convert("value", "x", "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "value");
+}
+
+TEST(TypeSystemTest, ConversionComposition) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("cm").ok());
+  ASSERT_TRUE(ts.AddType("mm").ok());
+  ASSERT_TRUE(ts.AddType("m").ok());
+  // Register cm->mm and mm->m only; cm->m must compose.
+  ASSERT_TRUE(ts.AddConversion("cm", "mm",
+                               [](const std::string& v) -> Result<std::string> {
+                                 return v + "0";
+                               })
+                  .ok());
+  ASSERT_TRUE(ts.AddConversion("mm", "m",
+                               [](const std::string& v) -> Result<std::string> {
+                                 return "0.00" + v;
+                               })
+                  .ok());
+  EXPECT_TRUE(ts.HasConversion("cm", "m"));
+  EXPECT_FALSE(ts.HasConversion("m", "cm"));
+  auto r = ts.Convert("5", "cm", "m");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "0.0050");
+  EXPECT_TRUE(ts.Convert("5", "m", "cm").status().IsTypeError());
+  EXPECT_TRUE(
+      ts.AddConversion("cm", "nosuch", nullptr).IsNotFound());
+}
+
+TEST(TypeSystemTest, ValidateClosureFindsMissingConversions) {
+  TypeSystem ts;
+  ASSERT_TRUE(ts.AddType("int", "string").ok());
+  // int <= string but no conversion registered.
+  EXPECT_TRUE(ts.ValidateClosure().IsTypeError());
+  ASSERT_TRUE(ts.AddConversion("int", "string",
+                               [](const std::string& v) -> Result<std::string> {
+                                 return v;
+                               })
+                  .ok());
+  EXPECT_TRUE(ts.ValidateClosure().ok());
+}
+
+TEST(BibliographicTypeSystemTest, ShipsValidClosure) {
+  TypeSystem ts = MakeBibliographicTypeSystem();
+  EXPECT_TRUE(ts.ValidateClosure().ok()) << ts.ValidateClosure();
+  EXPECT_TRUE(ts.IsSubtype("year", "string"));
+  EXPECT_TRUE(ts.IsInstance("1999", "year"));
+  EXPECT_FALSE(ts.IsInstance("later", "year"));
+  EXPECT_FALSE(ts.IsInstance("13", "month"));
+  auto lub = ts.LeastCommonSupertype("year", "month");
+  ASSERT_TRUE(lub.ok());
+  EXPECT_EQ(*lub, "int");
+  auto converted = ts.Convert("1999", "year", "string");
+  ASSERT_TRUE(converted.ok());
+  EXPECT_EQ(*converted, "1999");
+  // Conversion functions can reject out-of-domain values.
+  EXPECT_FALSE(ts.Convert("notayear", "year", "int").ok());
+}
+
+}  // namespace
+}  // namespace toss::core

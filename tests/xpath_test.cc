@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+#include "xml/xpath.h"
+
+namespace toss::xml {
+namespace {
+
+XmlDocument Doc() {
+  auto r = Parse(R"(
+    <dblp>
+      <inproceedings>
+        <author>Jeffrey Ullman</author>
+        <author>Jennifer Widom</author>
+        <title>Views</title>
+        <booktitle>SIGMOD Conference</booktitle>
+        <year>1999</year>
+      </inproceedings>
+      <inproceedings>
+        <author>Serge Abiteboul</author>
+        <title>Trees about Microsoft products</title>
+        <booktitle>VLDB</booktitle>
+        <year>2000</year>
+      </inproceedings>
+      <article>
+        <author>Jeffrey Ullman</author>
+        <journal>TODS</journal>
+      </article>
+    </dblp>)");
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+size_t Count(const XmlDocument& doc, const std::string& expr) {
+  auto r = EvaluateXPath(doc, expr);
+  EXPECT_TRUE(r.ok()) << expr << ": " << r.status();
+  return r.ok() ? r->size() : 0;
+}
+
+TEST(XPathTest, RootStep) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "/dblp"), 1u);
+  EXPECT_EQ(Count(doc, "/nothere"), 0u);
+}
+
+TEST(XPathTest, ChildAndDescendantAxes) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "/dblp/inproceedings"), 2u);
+  EXPECT_EQ(Count(doc, "//author"), 4u);
+  EXPECT_EQ(Count(doc, "/dblp/inproceedings/author"), 3u);
+  EXPECT_EQ(Count(doc, "//inproceedings//author"), 3u);
+}
+
+TEST(XPathTest, Wildcard) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "/dblp/*"), 3u);
+  EXPECT_EQ(Count(doc, "//inproceedings/*"), 9u);
+}
+
+TEST(XPathTest, EqualityPredicate) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "//inproceedings[booktitle='VLDB']"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[author='Jeffrey Ullman']"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[booktitle='ICDE']"), 0u);
+}
+
+TEST(XPathTest, SelfPredicate) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "//booktitle[. = 'VLDB']"), 1u);
+  EXPECT_EQ(Count(doc, "//year[.='1999']"), 1u);
+}
+
+TEST(XPathTest, ExistencePredicate) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "//inproceedings[booktitle]"), 2u);
+  EXPECT_EQ(Count(doc, "//*[journal]"), 1u);
+}
+
+TEST(XPathTest, ContainsPredicate) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "//title[contains(., 'Microsoft')]"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[contains(title, 'Microsoft')]"),
+            1u);
+}
+
+TEST(XPathTest, OrderingPredicates) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "//inproceedings[year >= '1999']"), 2u);
+  EXPECT_EQ(Count(doc, "//inproceedings[year > '1999']"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[year <= '1999']"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[year < '1999']"), 0u);
+  EXPECT_EQ(Count(doc, "//year[. >= '1999']"), 2u);
+  // Mixed representations are incomparable (false), not lexicographic.
+  EXPECT_EQ(Count(doc, "//inproceedings[author >= '1000']"), 0u);
+  // Two strings compare lexicographically.
+  EXPECT_EQ(Count(doc, "//author[. >= 'S']"), 1u);  // Serge
+}
+
+TEST(XPathTest, OrderingHintsProduceRanges) {
+  auto xp = XPath::Compile(
+      "//inproceedings[year >= '1998'][year <= '2000']");
+  ASSERT_TRUE(xp.ok());
+  auto hints = xp->Hints();
+  ASSERT_EQ(hints.ranges.size(), 2u);
+  EXPECT_EQ(hints.ranges[0].tag, "year");
+  ASSERT_TRUE(hints.ranges[0].lo.has_value());
+  EXPECT_EQ(*hints.ranges[0].lo, "1998");
+  EXPECT_FALSE(hints.ranges[0].hi.has_value());
+  ASSERT_TRUE(hints.ranges[1].hi.has_value());
+  EXPECT_EQ(*hints.ranges[1].hi, "2000");
+
+  // Self comparison on a named step yields the step tag.
+  auto self = XPath::Compile("//year[. > '1998']");
+  ASSERT_TRUE(self.ok());
+  auto self_hints = self->Hints();
+  ASSERT_EQ(self_hints.ranges.size(), 1u);
+  EXPECT_EQ(self_hints.ranges[0].tag, "year");
+  EXPECT_EQ(*self_hints.ranges[0].lo, "1998");  // strict relaxed
+
+  // Wildcard step: self comparison gives no range (no tag to anchor on).
+  auto wild = XPath::Compile("//*[. > '1998']");
+  ASSERT_TRUE(wild.ok());
+  EXPECT_TRUE(wild->Hints().ranges.empty());
+
+  // Disjunctive context: no range facts.
+  auto disj = XPath::Compile("//a[year > '1998' or year < '1990']");
+  ASSERT_TRUE(disj.ok());
+  EXPECT_TRUE(disj->Hints().ranges.empty());
+}
+
+TEST(XPathTest, StartsWithPredicate) {
+  auto doc = Doc();
+  EXPECT_EQ(Count(doc, "//title[starts-with(., 'Trees')]"), 1u);
+  EXPECT_EQ(Count(doc, "//title[starts-with(., 'rees')]"), 0u);
+  EXPECT_EQ(Count(doc, "//inproceedings[starts-with(author, 'Jeff')]"),
+            1u);
+  // Hint extraction drops the possibly-partial final token.
+  auto xp = XPath::Compile("//title[starts-with(., 'Trees about Mic')]");
+  ASSERT_TRUE(xp.ok());
+  auto hints = xp->Hints();
+  ASSERT_EQ(hints.required_terms.size(), 2u);
+  EXPECT_EQ(hints.required_terms[0], "trees");
+  EXPECT_EQ(hints.required_terms[1], "about");
+}
+
+TEST(XPathTest, BooleanConnectives) {
+  auto doc = Doc();
+  EXPECT_EQ(
+      Count(doc,
+            "//inproceedings[booktitle='VLDB' or booktitle='SIGMOD "
+            "Conference']"),
+      2u);
+  EXPECT_EQ(Count(doc,
+                  "//inproceedings[booktitle='VLDB' and year='2000']"),
+            1u);
+  EXPECT_EQ(Count(doc,
+                  "//inproceedings[booktitle='VLDB' and year='1999']"),
+            0u);
+  EXPECT_EQ(Count(doc, "//inproceedings[not(booktitle='VLDB')]"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[(booktitle='VLDB')]"), 1u);
+}
+
+TEST(XPathTest, NotEqualsUsesExistentialSemantics) {
+  auto doc = Doc();
+  // Both inproceedings have some author != 'Serge Abiteboul'?
+  // First: yes (two others). Second: its only author IS Serge -> false.
+  EXPECT_EQ(Count(doc, "//inproceedings[author!='Serge Abiteboul']"), 1u);
+}
+
+TEST(XPathTest, NestedRelativePath) {
+  auto r = Parse("<a><b><c>v</c></b><b><c>w</c></b></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Count(*r, "//a[b/c='v']"), 1u);
+  EXPECT_EQ(Count(*r, "//a[b/c='z']"), 0u);
+}
+
+TEST(XPathTest, AttributePredicate) {
+  auto r = Parse("<a><b k=\"1\"/><b/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Count(*r, "//b[@k]"), 1u);
+  EXPECT_EQ(Count(*r, "//b[@k='1']"), 1u);
+  EXPECT_EQ(Count(*r, "//b[@k='2']"), 0u);
+}
+
+TEST(XPathTest, ResultsInDocumentOrderNoDuplicates) {
+  auto doc = Doc();
+  auto r = EvaluateXPath(doc, "//author");
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->size(); ++i) {
+    EXPECT_LT((*r)[i - 1], (*r)[i]);
+  }
+}
+
+TEST(XPathTest, PositionalPredicates) {
+  auto doc = Doc();
+  // First / second inproceedings per dblp context.
+  auto first = EvaluateXPath(doc, "/dblp/inproceedings[1]");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->size(), 1u);
+  auto second = EvaluateXPath(doc, "/dblp/inproceedings[2]");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_NE((*first)[0], (*second)[0]);
+  EXPECT_LT((*first)[0], (*second)[0]);
+  // Out of range: empty.
+  EXPECT_EQ(Count(doc, "/dblp/inproceedings[9]"), 0u);
+  // Per-context positions: first author of EACH inproceedings -> 2 nodes.
+  EXPECT_EQ(Count(doc, "/dblp/inproceedings/author[1]"), 2u);
+  EXPECT_EQ(Count(doc, "/dblp/inproceedings/author[2]"), 1u);
+}
+
+TEST(XPathTest, PositionalAndBooleanPredicatesInterleave) {
+  auto r = Parse("<a><b k='1'>x</b><b>y</b><b k='1'>z</b></a>");
+  ASSERT_TRUE(r.ok());
+  // [@k][2]: second among k-attributed b's -> 'z'.
+  auto filtered_then_pos = EvaluateXPath(*r, "/a/b[@k][2]");
+  ASSERT_TRUE(filtered_then_pos.ok());
+  ASSERT_EQ(filtered_then_pos->size(), 1u);
+  EXPECT_EQ(r->TextContent((*filtered_then_pos)[0]), "z");
+  // [2][@k]: second b is 'y' which has no @k -> empty.
+  EXPECT_EQ(Count(*r, "/a/b[2][@k]"), 0u);
+}
+
+TEST(XPathTest, PositionZeroRejected) {
+  EXPECT_FALSE(XPath::Compile("//a[0]").ok());
+}
+
+TEST(XPathTest, CompileErrors) {
+  EXPECT_FALSE(XPath::Compile("author").ok());       // no leading slash
+  EXPECT_FALSE(XPath::Compile("//a[b='x'").ok());    // missing ']'
+  EXPECT_FALSE(XPath::Compile("//a[b=x]").ok());     // unquoted literal
+  EXPECT_FALSE(XPath::Compile("//a[contains(b)]").ok());
+  EXPECT_FALSE(XPath::Compile("//").ok());
+  EXPECT_FALSE(XPath::Compile("").ok());
+}
+
+TEST(XPathTest, KeywordPrefixedTagNames) {
+  // Tags beginning with operator keywords must not confuse the parser.
+  auto r = Parse("<a><order>x</order><notes>y</notes><andx>z</andx></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Count(*r, "//a[order='x' and notes='y']"), 1u);
+  EXPECT_EQ(Count(*r, "//a[andx='z']"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Planner hints
+// ---------------------------------------------------------------------------
+
+TEST(XPathHintsTest, CollectsTagsValuesAndTerms) {
+  auto xp = XPath::Compile(
+      "//inproceedings[booktitle='VLDB'][contains(title, 'Query Plans')]");
+  ASSERT_TRUE(xp.ok());
+  PlanHints h = xp->Hints();
+  ASSERT_EQ(h.required_tags.size(), 3u);  // inproceedings, booktitle, title
+  ASSERT_EQ(h.required_values.size(), 1u);
+  EXPECT_EQ(h.required_values[0].first, "booktitle");
+  EXPECT_EQ(h.required_values[0].second, "VLDB");
+  // "Query Plans" tokenizes into two required terms.
+  ASSERT_EQ(h.required_terms.size(), 2u);
+  EXPECT_EQ(h.required_terms[0], "query");
+}
+
+TEST(XPathHintsTest, DisjunctionProducesNoMustFacts) {
+  auto xp =
+      XPath::Compile("//a[b='x' or c='y']");
+  ASSERT_TRUE(xp.ok());
+  PlanHints h = xp->Hints();
+  EXPECT_EQ(h.required_tags.size(), 1u);  // only the step tag 'a'
+  EXPECT_TRUE(h.required_values.empty());
+}
+
+TEST(XPathHintsTest, NegationProducesNoMustFacts) {
+  auto xp = XPath::Compile("//a[not(b='x')]");
+  ASSERT_TRUE(xp.ok());
+  EXPECT_TRUE(xp->Hints().required_values.empty());
+}
+
+TEST(XPathHintsTest, WildcardStepContributesNoTag) {
+  auto xp = XPath::Compile("//*[b='x']");
+  ASSERT_TRUE(xp.ok());
+  PlanHints h = xp->Hints();
+  ASSERT_EQ(h.required_tags.size(), 1u);  // just 'b' from the predicate
+  EXPECT_EQ(h.required_tags[0], "b");
+}
+
+TEST(XPathHintsTest, SelfEqualityYieldsTerms) {
+  auto xp = XPath::Compile("//author[. = 'Jeffrey Ullman']");
+  ASSERT_TRUE(xp.ok());
+  PlanHints h = xp->Hints();
+  ASSERT_EQ(h.required_terms.size(), 2u);
+  EXPECT_EQ(h.required_terms[0], "jeffrey");
+  EXPECT_EQ(h.required_terms[1], "ullman");
+}
+
+}  // namespace
+}  // namespace toss::xml
