@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_epsilon_quality.dir/ablation_epsilon_quality.cc.o"
+  "CMakeFiles/ablation_epsilon_quality.dir/ablation_epsilon_quality.cc.o.d"
+  "ablation_epsilon_quality"
+  "ablation_epsilon_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epsilon_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_expansion.dir/ablation_expansion.cc.o"
+  "CMakeFiles/ablation_expansion.dir/ablation_expansion.cc.o.d"
+  "ablation_expansion"
+  "ablation_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fusion.dir/ablation_fusion.cc.o"
+  "CMakeFiles/ablation_fusion.dir/ablation_fusion.cc.o.d"
+  "ablation_fusion"
+  "ablation_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index.dir/ablation_index.cc.o"
+  "CMakeFiles/ablation_index.dir/ablation_index.cc.o.d"
+  "ablation_index"
+  "ablation_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

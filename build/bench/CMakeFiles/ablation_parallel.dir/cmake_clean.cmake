@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel.dir/ablation_parallel.cc.o"
+  "CMakeFiles/ablation_parallel.dir/ablation_parallel.cc.o.d"
+  "ablation_parallel"
+  "ablation_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

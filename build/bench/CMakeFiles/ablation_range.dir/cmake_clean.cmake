@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_range.dir/ablation_range.cc.o"
+  "CMakeFiles/ablation_range.dir/ablation_range.cc.o.d"
+  "ablation_range"
+  "ablation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

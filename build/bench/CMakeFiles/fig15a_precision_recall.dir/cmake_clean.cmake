@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_precision_recall.dir/fig15a_precision_recall.cc.o"
+  "CMakeFiles/fig15a_precision_recall.dir/fig15a_precision_recall.cc.o.d"
+  "fig15a_precision_recall"
+  "fig15a_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

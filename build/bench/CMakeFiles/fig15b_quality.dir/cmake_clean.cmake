@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_quality.dir/fig15b_quality.cc.o"
+  "CMakeFiles/fig15b_quality.dir/fig15b_quality.cc.o.d"
+  "fig15b_quality"
+  "fig15b_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

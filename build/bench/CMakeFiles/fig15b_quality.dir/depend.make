@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15b_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15c_recall_improvement.dir/fig15c_recall_improvement.cc.o"
+  "CMakeFiles/fig15c_recall_improvement.dir/fig15c_recall_improvement.cc.o.d"
+  "fig15c_recall_improvement"
+  "fig15c_recall_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15c_recall_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15c_recall_improvement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_selection_scalability.dir/fig16a_selection_scalability.cc.o"
+  "CMakeFiles/fig16a_selection_scalability.dir/fig16a_selection_scalability.cc.o.d"
+  "fig16a_selection_scalability"
+  "fig16a_selection_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_selection_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

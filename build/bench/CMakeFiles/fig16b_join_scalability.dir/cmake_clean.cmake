@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_join_scalability.dir/fig16b_join_scalability.cc.o"
+  "CMakeFiles/fig16b_join_scalability.dir/fig16b_join_scalability.cc.o.d"
+  "fig16b_join_scalability"
+  "fig16b_join_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_join_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16b_join_scalability.
+# This may be replaced when dependencies are built.

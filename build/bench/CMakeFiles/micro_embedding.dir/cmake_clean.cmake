@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_embedding.dir/micro_embedding.cc.o"
+  "CMakeFiles/micro_embedding.dir/micro_embedding.cc.o.d"
+  "micro_embedding"
+  "micro_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sea.dir/micro_sea.cc.o"
+  "CMakeFiles/micro_sea.dir/micro_sea.cc.o.d"
+  "micro_sea"
+  "micro_sea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

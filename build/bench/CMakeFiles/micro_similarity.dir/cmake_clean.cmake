@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_similarity.dir/micro_similarity.cc.o"
+  "CMakeFiles/micro_similarity.dir/micro_similarity.cc.o.d"
+  "micro_similarity"
+  "micro_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

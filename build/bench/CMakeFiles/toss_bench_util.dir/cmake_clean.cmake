@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/toss_bench_util.dir/bench_util.cc.o.d"
+  "libtoss_bench_util.a"
+  "libtoss_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

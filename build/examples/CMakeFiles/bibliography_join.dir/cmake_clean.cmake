@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_join.dir/bibliography_join.cpp.o"
+  "CMakeFiles/bibliography_join.dir/bibliography_join.cpp.o.d"
+  "bibliography_join"
+  "bibliography_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

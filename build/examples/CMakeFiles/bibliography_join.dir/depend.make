@@ -1,0 +1,2 @@
+# Empty dependencies file for bibliography_join.
+# This may be replaced when dependencies are built.

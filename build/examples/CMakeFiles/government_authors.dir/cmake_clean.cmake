@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/government_authors.dir/government_authors.cpp.o"
+  "CMakeFiles/government_authors.dir/government_authors.cpp.o.d"
+  "government_authors"
+  "government_authors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/government_authors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

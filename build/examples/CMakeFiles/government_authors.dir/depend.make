@@ -1,0 +1,2 @@
+# Empty dependencies file for government_authors.
+# This may be replaced when dependencies are built.

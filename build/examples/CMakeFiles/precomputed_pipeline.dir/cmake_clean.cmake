@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precomputed_pipeline.dir/precomputed_pipeline.cpp.o"
+  "CMakeFiles/precomputed_pipeline.dir/precomputed_pipeline.cpp.o.d"
+  "precomputed_pipeline"
+  "precomputed_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precomputed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tossql_shell.dir/tossql_shell.cpp.o"
+  "CMakeFiles/tossql_shell.dir/tossql_shell.cpp.o.d"
+  "tossql_shell"
+  "tossql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tossql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

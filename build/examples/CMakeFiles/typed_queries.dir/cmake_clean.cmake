@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_queries.dir/typed_queries.cpp.o"
+  "CMakeFiles/typed_queries.dir/typed_queries.cpp.o.d"
+  "typed_queries"
+  "typed_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

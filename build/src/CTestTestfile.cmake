@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("sim")
+subdirs("lexicon")
+subdirs("ontology")
+subdirs("store")
+subdirs("tax")
+subdirs("core")
+subdirs("data")
+subdirs("eval")

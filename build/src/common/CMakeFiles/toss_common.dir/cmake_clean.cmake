@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_common.dir/random.cc.o"
+  "CMakeFiles/toss_common.dir/random.cc.o.d"
+  "CMakeFiles/toss_common.dir/status.cc.o"
+  "CMakeFiles/toss_common.dir/status.cc.o.d"
+  "CMakeFiles/toss_common.dir/string_util.cc.o"
+  "CMakeFiles/toss_common.dir/string_util.cc.o.d"
+  "libtoss_common.a"
+  "libtoss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/query_executor.cc" "src/core/CMakeFiles/toss_core.dir/query_executor.cc.o" "gcc" "src/core/CMakeFiles/toss_core.dir/query_executor.cc.o.d"
+  "/root/repo/src/core/query_language.cc" "src/core/CMakeFiles/toss_core.dir/query_language.cc.o" "gcc" "src/core/CMakeFiles/toss_core.dir/query_language.cc.o.d"
+  "/root/repo/src/core/seo.cc" "src/core/CMakeFiles/toss_core.dir/seo.cc.o" "gcc" "src/core/CMakeFiles/toss_core.dir/seo.cc.o.d"
+  "/root/repo/src/core/seo_io.cc" "src/core/CMakeFiles/toss_core.dir/seo_io.cc.o" "gcc" "src/core/CMakeFiles/toss_core.dir/seo_io.cc.o.d"
+  "/root/repo/src/core/seo_semantics.cc" "src/core/CMakeFiles/toss_core.dir/seo_semantics.cc.o" "gcc" "src/core/CMakeFiles/toss_core.dir/seo_semantics.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/toss_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/toss_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/toss_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/toss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/toss_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/toss_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/toss_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/tax/CMakeFiles/toss_tax.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_core.dir/query_executor.cc.o"
+  "CMakeFiles/toss_core.dir/query_executor.cc.o.d"
+  "CMakeFiles/toss_core.dir/query_language.cc.o"
+  "CMakeFiles/toss_core.dir/query_language.cc.o.d"
+  "CMakeFiles/toss_core.dir/seo.cc.o"
+  "CMakeFiles/toss_core.dir/seo.cc.o.d"
+  "CMakeFiles/toss_core.dir/seo_io.cc.o"
+  "CMakeFiles/toss_core.dir/seo_io.cc.o.d"
+  "CMakeFiles/toss_core.dir/seo_semantics.cc.o"
+  "CMakeFiles/toss_core.dir/seo_semantics.cc.o.d"
+  "CMakeFiles/toss_core.dir/types.cc.o"
+  "CMakeFiles/toss_core.dir/types.cc.o.d"
+  "libtoss_core.a"
+  "libtoss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_data.dir/bib_generator.cc.o"
+  "CMakeFiles/toss_data.dir/bib_generator.cc.o.d"
+  "CMakeFiles/toss_data.dir/bulk_loader.cc.o"
+  "CMakeFiles/toss_data.dir/bulk_loader.cc.o.d"
+  "CMakeFiles/toss_data.dir/entities.cc.o"
+  "CMakeFiles/toss_data.dir/entities.cc.o.d"
+  "CMakeFiles/toss_data.dir/workload.cc.o"
+  "CMakeFiles/toss_data.dir/workload.cc.o.d"
+  "libtoss_data.a"
+  "libtoss_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

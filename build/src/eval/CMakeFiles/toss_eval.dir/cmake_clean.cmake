@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_eval.dir/metrics.cc.o"
+  "CMakeFiles/toss_eval.dir/metrics.cc.o.d"
+  "libtoss_eval.a"
+  "libtoss_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

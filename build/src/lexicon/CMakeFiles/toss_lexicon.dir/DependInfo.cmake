@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexicon/builtin_lexicon.cc" "src/lexicon/CMakeFiles/toss_lexicon.dir/builtin_lexicon.cc.o" "gcc" "src/lexicon/CMakeFiles/toss_lexicon.dir/builtin_lexicon.cc.o.d"
+  "/root/repo/src/lexicon/lexicon.cc" "src/lexicon/CMakeFiles/toss_lexicon.dir/lexicon.cc.o" "gcc" "src/lexicon/CMakeFiles/toss_lexicon.dir/lexicon.cc.o.d"
+  "/root/repo/src/lexicon/lexicon_io.cc" "src/lexicon/CMakeFiles/toss_lexicon.dir/lexicon_io.cc.o" "gcc" "src/lexicon/CMakeFiles/toss_lexicon.dir/lexicon_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

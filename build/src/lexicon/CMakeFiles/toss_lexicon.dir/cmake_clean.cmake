@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_lexicon.dir/builtin_lexicon.cc.o"
+  "CMakeFiles/toss_lexicon.dir/builtin_lexicon.cc.o.d"
+  "CMakeFiles/toss_lexicon.dir/lexicon.cc.o"
+  "CMakeFiles/toss_lexicon.dir/lexicon.cc.o.d"
+  "CMakeFiles/toss_lexicon.dir/lexicon_io.cc.o"
+  "CMakeFiles/toss_lexicon.dir/lexicon_io.cc.o.d"
+  "libtoss_lexicon.a"
+  "libtoss_lexicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_lexicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

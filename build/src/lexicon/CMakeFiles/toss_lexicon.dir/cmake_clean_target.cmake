@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtoss_lexicon.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for toss_lexicon.
+# This may be replaced when dependencies are built.

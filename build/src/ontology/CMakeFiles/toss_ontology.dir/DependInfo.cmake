@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/fusion.cc" "src/ontology/CMakeFiles/toss_ontology.dir/fusion.cc.o" "gcc" "src/ontology/CMakeFiles/toss_ontology.dir/fusion.cc.o.d"
+  "/root/repo/src/ontology/hierarchy.cc" "src/ontology/CMakeFiles/toss_ontology.dir/hierarchy.cc.o" "gcc" "src/ontology/CMakeFiles/toss_ontology.dir/hierarchy.cc.o.d"
+  "/root/repo/src/ontology/hierarchy_io.cc" "src/ontology/CMakeFiles/toss_ontology.dir/hierarchy_io.cc.o" "gcc" "src/ontology/CMakeFiles/toss_ontology.dir/hierarchy_io.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/ontology/CMakeFiles/toss_ontology.dir/ontology.cc.o" "gcc" "src/ontology/CMakeFiles/toss_ontology.dir/ontology.cc.o.d"
+  "/root/repo/src/ontology/ontology_maker.cc" "src/ontology/CMakeFiles/toss_ontology.dir/ontology_maker.cc.o" "gcc" "src/ontology/CMakeFiles/toss_ontology.dir/ontology_maker.cc.o.d"
+  "/root/repo/src/ontology/sea.cc" "src/ontology/CMakeFiles/toss_ontology.dir/sea.cc.o" "gcc" "src/ontology/CMakeFiles/toss_ontology.dir/sea.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/toss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/toss_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/toss_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

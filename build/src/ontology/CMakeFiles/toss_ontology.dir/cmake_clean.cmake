@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_ontology.dir/fusion.cc.o"
+  "CMakeFiles/toss_ontology.dir/fusion.cc.o.d"
+  "CMakeFiles/toss_ontology.dir/hierarchy.cc.o"
+  "CMakeFiles/toss_ontology.dir/hierarchy.cc.o.d"
+  "CMakeFiles/toss_ontology.dir/hierarchy_io.cc.o"
+  "CMakeFiles/toss_ontology.dir/hierarchy_io.cc.o.d"
+  "CMakeFiles/toss_ontology.dir/ontology.cc.o"
+  "CMakeFiles/toss_ontology.dir/ontology.cc.o.d"
+  "CMakeFiles/toss_ontology.dir/ontology_maker.cc.o"
+  "CMakeFiles/toss_ontology.dir/ontology_maker.cc.o.d"
+  "CMakeFiles/toss_ontology.dir/sea.cc.o"
+  "CMakeFiles/toss_ontology.dir/sea.cc.o.d"
+  "libtoss_ontology.a"
+  "libtoss_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/measure_registry.cc" "src/sim/CMakeFiles/toss_sim.dir/measure_registry.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/measure_registry.cc.o.d"
+  "/root/repo/src/sim/node_measure.cc" "src/sim/CMakeFiles/toss_sim.dir/node_measure.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/node_measure.cc.o.d"
+  "/root/repo/src/sim/soft_tfidf.cc" "src/sim/CMakeFiles/toss_sim.dir/soft_tfidf.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/soft_tfidf.cc.o.d"
+  "/root/repo/src/sim/string_measure.cc" "src/sim/CMakeFiles/toss_sim.dir/string_measure.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/string_measure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_sim.dir/measure_registry.cc.o"
+  "CMakeFiles/toss_sim.dir/measure_registry.cc.o.d"
+  "CMakeFiles/toss_sim.dir/node_measure.cc.o"
+  "CMakeFiles/toss_sim.dir/node_measure.cc.o.d"
+  "CMakeFiles/toss_sim.dir/soft_tfidf.cc.o"
+  "CMakeFiles/toss_sim.dir/soft_tfidf.cc.o.d"
+  "CMakeFiles/toss_sim.dir/string_measure.cc.o"
+  "CMakeFiles/toss_sim.dir/string_measure.cc.o.d"
+  "libtoss_sim.a"
+  "libtoss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/btree.cc" "src/store/CMakeFiles/toss_store.dir/btree.cc.o" "gcc" "src/store/CMakeFiles/toss_store.dir/btree.cc.o.d"
+  "/root/repo/src/store/collection.cc" "src/store/CMakeFiles/toss_store.dir/collection.cc.o" "gcc" "src/store/CMakeFiles/toss_store.dir/collection.cc.o.d"
+  "/root/repo/src/store/database.cc" "src/store/CMakeFiles/toss_store.dir/database.cc.o" "gcc" "src/store/CMakeFiles/toss_store.dir/database.cc.o.d"
+  "/root/repo/src/store/key_encoding.cc" "src/store/CMakeFiles/toss_store.dir/key_encoding.cc.o" "gcc" "src/store/CMakeFiles/toss_store.dir/key_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/toss_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_store.dir/btree.cc.o"
+  "CMakeFiles/toss_store.dir/btree.cc.o.d"
+  "CMakeFiles/toss_store.dir/collection.cc.o"
+  "CMakeFiles/toss_store.dir/collection.cc.o.d"
+  "CMakeFiles/toss_store.dir/database.cc.o"
+  "CMakeFiles/toss_store.dir/database.cc.o.d"
+  "CMakeFiles/toss_store.dir/key_encoding.cc.o"
+  "CMakeFiles/toss_store.dir/key_encoding.cc.o.d"
+  "libtoss_store.a"
+  "libtoss_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

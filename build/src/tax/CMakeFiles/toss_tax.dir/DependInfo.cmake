@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tax/condition.cc" "src/tax/CMakeFiles/toss_tax.dir/condition.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/condition.cc.o.d"
+  "/root/repo/src/tax/condition_parser.cc" "src/tax/CMakeFiles/toss_tax.dir/condition_parser.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/condition_parser.cc.o.d"
+  "/root/repo/src/tax/data_tree.cc" "src/tax/CMakeFiles/toss_tax.dir/data_tree.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/data_tree.cc.o.d"
+  "/root/repo/src/tax/embedding.cc" "src/tax/CMakeFiles/toss_tax.dir/embedding.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/embedding.cc.o.d"
+  "/root/repo/src/tax/operators.cc" "src/tax/CMakeFiles/toss_tax.dir/operators.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/operators.cc.o.d"
+  "/root/repo/src/tax/pattern_tree.cc" "src/tax/CMakeFiles/toss_tax.dir/pattern_tree.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/pattern_tree.cc.o.d"
+  "/root/repo/src/tax/tax_semantics.cc" "src/tax/CMakeFiles/toss_tax.dir/tax_semantics.cc.o" "gcc" "src/tax/CMakeFiles/toss_tax.dir/tax_semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/toss_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_tax.dir/condition.cc.o"
+  "CMakeFiles/toss_tax.dir/condition.cc.o.d"
+  "CMakeFiles/toss_tax.dir/condition_parser.cc.o"
+  "CMakeFiles/toss_tax.dir/condition_parser.cc.o.d"
+  "CMakeFiles/toss_tax.dir/data_tree.cc.o"
+  "CMakeFiles/toss_tax.dir/data_tree.cc.o.d"
+  "CMakeFiles/toss_tax.dir/embedding.cc.o"
+  "CMakeFiles/toss_tax.dir/embedding.cc.o.d"
+  "CMakeFiles/toss_tax.dir/operators.cc.o"
+  "CMakeFiles/toss_tax.dir/operators.cc.o.d"
+  "CMakeFiles/toss_tax.dir/pattern_tree.cc.o"
+  "CMakeFiles/toss_tax.dir/pattern_tree.cc.o.d"
+  "CMakeFiles/toss_tax.dir/tax_semantics.cc.o"
+  "CMakeFiles/toss_tax.dir/tax_semantics.cc.o.d"
+  "libtoss_tax.a"
+  "libtoss_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

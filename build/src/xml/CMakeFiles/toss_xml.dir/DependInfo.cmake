@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/xml_document.cc" "src/xml/CMakeFiles/toss_xml.dir/xml_document.cc.o" "gcc" "src/xml/CMakeFiles/toss_xml.dir/xml_document.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/xml/CMakeFiles/toss_xml.dir/xml_parser.cc.o" "gcc" "src/xml/CMakeFiles/toss_xml.dir/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/xml/CMakeFiles/toss_xml.dir/xml_writer.cc.o" "gcc" "src/xml/CMakeFiles/toss_xml.dir/xml_writer.cc.o.d"
+  "/root/repo/src/xml/xpath.cc" "src/xml/CMakeFiles/toss_xml.dir/xpath.cc.o" "gcc" "src/xml/CMakeFiles/toss_xml.dir/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

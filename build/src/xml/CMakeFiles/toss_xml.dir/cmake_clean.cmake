@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_xml.dir/xml_document.cc.o"
+  "CMakeFiles/toss_xml.dir/xml_document.cc.o.d"
+  "CMakeFiles/toss_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/toss_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/toss_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/toss_xml.dir/xml_writer.cc.o.d"
+  "CMakeFiles/toss_xml.dir/xpath.cc.o"
+  "CMakeFiles/toss_xml.dir/xpath.cc.o.d"
+  "libtoss_xml.a"
+  "libtoss_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_loader_test.dir/bulk_loader_test.cc.o"
+  "CMakeFiles/bulk_loader_test.dir/bulk_loader_test.cc.o.d"
+  "bulk_loader_test"
+  "bulk_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexicon_test.dir/lexicon_test.cc.o"
+  "CMakeFiles/lexicon_test.dir/lexicon_test.cc.o.d"
+  "lexicon_test"
+  "lexicon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

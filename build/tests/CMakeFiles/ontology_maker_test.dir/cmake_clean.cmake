@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_maker_test.dir/ontology_maker_test.cc.o"
+  "CMakeFiles/ontology_maker_test.dir/ontology_maker_test.cc.o.d"
+  "ontology_maker_test"
+  "ontology_maker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_maker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

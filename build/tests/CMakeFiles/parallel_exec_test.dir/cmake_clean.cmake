@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_exec_test.dir/parallel_exec_test.cc.o"
+  "CMakeFiles/parallel_exec_test.dir/parallel_exec_test.cc.o.d"
+  "parallel_exec_test"
+  "parallel_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

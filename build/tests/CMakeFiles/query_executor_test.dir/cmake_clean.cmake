@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_executor_test.dir/query_executor_test.cc.o"
+  "CMakeFiles/query_executor_test.dir/query_executor_test.cc.o.d"
+  "query_executor_test"
+  "query_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_test.dir/sea_test.cc.o"
+  "CMakeFiles/sea_test.dir/sea_test.cc.o.d"
+  "sea_test"
+  "sea_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for seo_semantics_test.
+# This may be replaced when dependencies are built.

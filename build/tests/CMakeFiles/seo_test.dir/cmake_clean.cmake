@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seo_test.dir/seo_test.cc.o"
+  "CMakeFiles/seo_test.dir/seo_test.cc.o.d"
+  "seo_test"
+  "seo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

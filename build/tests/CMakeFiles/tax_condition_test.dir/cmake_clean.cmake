@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tax_condition_test.dir/tax_condition_test.cc.o"
+  "CMakeFiles/tax_condition_test.dir/tax_condition_test.cc.o.d"
+  "tax_condition_test"
+  "tax_condition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tax_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

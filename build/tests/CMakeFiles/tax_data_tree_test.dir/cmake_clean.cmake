@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tax_data_tree_test.dir/tax_data_tree_test.cc.o"
+  "CMakeFiles/tax_data_tree_test.dir/tax_data_tree_test.cc.o.d"
+  "tax_data_tree_test"
+  "tax_data_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tax_data_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

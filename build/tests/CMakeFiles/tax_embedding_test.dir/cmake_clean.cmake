@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tax_embedding_test.dir/tax_embedding_test.cc.o"
+  "CMakeFiles/tax_embedding_test.dir/tax_embedding_test.cc.o.d"
+  "tax_embedding_test"
+  "tax_embedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tax_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

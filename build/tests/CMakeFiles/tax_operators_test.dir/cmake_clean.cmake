@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tax_operators_test.dir/tax_operators_test.cc.o"
+  "CMakeFiles/tax_operators_test.dir/tax_operators_test.cc.o.d"
+  "tax_operators_test"
+  "tax_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tax_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toss_condition_ops_test.dir/toss_condition_ops_test.cc.o"
+  "CMakeFiles/toss_condition_ops_test.dir/toss_condition_ops_test.cc.o.d"
+  "toss_condition_ops_test"
+  "toss_condition_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toss_condition_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
