@@ -17,7 +17,9 @@
 #include "bench/bench_util.h"
 
 int main() {
-  toss::bench::Fig15Fixture fixture(3, 100, 4, 2004);
+  const bool smoke = toss::bench::SmokeMode();
+  toss::bench::Fig15Fixture fixture(smoke ? 2 : 3, smoke ? 30 : 100,
+                                    smoke ? 2 : 4, 2004);
 
   struct Config {
     const char* measure;

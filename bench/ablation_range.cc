@@ -28,16 +28,18 @@ tax::PatternTree YearRangePattern(int lo, int hi) {
 }  // namespace
 
 int main() {
+  const bool smoke = bench::SmokeMode();
+  const size_t papers = smoke ? 400 : 8000;
   data::BibConfig cfg;
   cfg.seed = 23;
-  cfg.num_papers = 8000;
-  cfg.num_people = 250;
+  cfg.num_papers = papers;
+  cfg.num_people = smoke ? 50 : 250;
   cfg.year_min = 1980;
   cfg.year_max = 2003;
   data::BibWorld world = data::GenerateWorld(cfg);
   store::Database db;
   bench::CheckOk(data::LoadIntoCollection(
-                     &db, "dblp", data::EmitDblp(world, 0, 8000, cfg)),
+                     &db, "dblp", data::EmitDblp(world, 0, papers, cfg)),
                  "load");
   core::QueryExecutor exec(&db, nullptr, nullptr);  // TAX suffices here
 
@@ -47,8 +49,9 @@ int main() {
   const Sweep kSweeps[] = {
       {1999, 1999}, {1998, 2000}, {1990, 2000}, {1980, 2003},
   };
-  std::printf("Range-pushdown ablation (8000 papers; selection with a "
-              "year range; ms, best of 3)\n");
+  std::printf("Range-pushdown ablation (%zu papers; selection with a "
+              "year range; ms, best of 3)\n",
+              papers);
   std::printf("%14s %12s %12s %10s\n", "range", "pushdown", "no-index",
               "matches");
   for (const auto& sweep : kSweeps) {

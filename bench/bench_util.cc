@@ -1,7 +1,12 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
 
 namespace toss::bench {
 
@@ -11,6 +16,78 @@ void CheckOk(const Status& status, const char* what) {
                  status.ToString().c_str());
     std::exit(1);
   }
+}
+
+bool SmokeMode() {
+  const char* v = std::getenv("TOSS_BENCH_SMOKE");
+  return v != nullptr && std::string_view(v) != "0";
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  size_t mid = xs.size() / 2;
+  return xs.size() % 2 ? xs[mid] : (xs[mid - 1] + xs[mid]) / 2;
+}
+
+namespace {
+
+std::string BenchJsonPath() {
+  if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
+#ifdef TOSS_REPO_ROOT
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR1.json";
+#else
+  return "BENCH_PR1.json";
+#endif
+}
+
+// Reads back the flat {"name": ms} object this module writes. Tolerant of
+// whitespace; anything unparseable is dropped (the file is ours alone).
+std::map<std::string, double> LoadBenchJson(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    std::string key = text.substr(pos + 1, end - pos - 1);
+    size_t colon = text.find(':', end);
+    if (colon == std::string::npos) break;
+    char* parsed_end = nullptr;
+    double value = std::strtod(text.c_str() + colon + 1, &parsed_end);
+    if (parsed_end != text.c_str() + colon + 1) out[key] = value;
+    pos = colon + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void RecordBenchMs(const std::string& name, double median_ms) {
+  if (SmokeMode()) return;
+  const std::string path = BenchJsonPath();
+  auto entries = LoadBenchJson(path);
+  entries[name] = median_ms;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write bench report %s\n",
+                 path.c_str());
+    return;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : entries) {
+    if (!first) out << ",\n";
+    first = false;
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.3f", value);
+    out << "  \"" << key << "\": " << num;
+  }
+  out << "\n}\n";
 }
 
 ontology::Ontology CollectionOntology(const store::Database& db,

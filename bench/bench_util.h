@@ -19,6 +19,23 @@ namespace toss::bench {
 /// propagate to).
 void CheckOk(const Status& status, const char* what);
 
+/// True when the TOSS_BENCH_SMOKE environment variable is set and not "0":
+/// benches shrink to their smallest configuration so the `bench_smoke`
+/// ctest label exercises every harness end-to-end in seconds. Smoke runs
+/// gate correctness, not numbers, so JSON reporting is disabled.
+bool SmokeMode();
+
+/// Merges {`name`: `median_ms`} into the machine-readable bench report --
+/// a flat JSON object of bench name -> median wall milliseconds, written
+/// to BENCH_PR1.json at the repo root (override the path with the
+/// TOSS_BENCH_JSON environment variable). Re-recording a name overwrites
+/// its value; entries from other benches are preserved. No-op in smoke
+/// mode.
+void RecordBenchMs(const std::string& name, double median_ms);
+
+/// Median of a small sample (by copy; benches pass 3-5 runs).
+double Median(std::vector<double> xs);
+
 template <typename T>
 T CheckResult(Result<T> r, const char* what) {
   CheckOk(r.status(), what);

@@ -13,9 +13,10 @@
 
 int main() {
   using toss::bench::QueryOutcome;
+  const bool smoke = toss::bench::SmokeMode();
   auto outcomes = toss::bench::RunFig15Workload(
-      /*datasets=*/3, /*papers_per_dataset=*/100,
-      /*queries_per_dataset=*/4, /*seed=*/2004);
+      /*datasets=*/smoke ? 2 : 3, /*papers_per_dataset=*/smoke ? 30 : 100,
+      /*queries_per_dataset=*/smoke ? 2 : 4, /*seed=*/2004);
 
   std::printf("Fig 15(a): precision / recall per query\n");
   std::printf("%-44s %7s %7s | %7s %7s | %7s %7s\n", "query", "TAX.P",

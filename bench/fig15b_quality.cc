@@ -8,7 +8,9 @@
 #include "bench/bench_util.h"
 
 int main() {
-  auto outcomes = toss::bench::RunFig15Workload(3, 100, 4, 2004);
+  const bool smoke = toss::bench::SmokeMode();
+  auto outcomes = smoke ? toss::bench::RunFig15Workload(2, 30, 2, 2004)
+                        : toss::bench::RunFig15Workload(3, 100, 4, 2004);
 
   std::printf("Fig 15(b): quality = sqrt(P*R), by sqrt(TAX recall)\n");
   std::printf("%-44s %12s %9s %9s %9s\n", "query", "sqrt(TAX.R)", "Q.TAX",

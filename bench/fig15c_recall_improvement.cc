@@ -8,7 +8,9 @@
 #include "bench/bench_util.h"
 
 int main() {
-  auto outcomes = toss::bench::RunFig15Workload(3, 100, 4, 2004);
+  const bool smoke = toss::bench::SmokeMode();
+  auto outcomes = smoke ? toss::bench::RunFig15Workload(2, 30, 2, 2004)
+                        : toss::bench::RunFig15Workload(3, 100, 4, 2004);
 
   std::printf(
       "Fig 15(c): normalized recall improvement (P*R ratio vs TAX)\n");

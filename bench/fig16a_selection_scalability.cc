@@ -32,13 +32,17 @@ double RunQueries(core::QueryExecutor& exec, const std::string& coll,
 }  // namespace
 
 int main() {
-  const size_t kSizes[] = {1000, 2000, 4000, 8000, 16000};
-  const size_t kOntologyPadding[] = {0, 500, 1500};
+  const bool smoke = bench::SmokeMode();
+  const std::vector<size_t> kSizes =
+      smoke ? std::vector<size_t>{400}
+            : std::vector<size_t>{1000, 2000, 4000, 8000, 16000};
+  const std::vector<size_t> kOntologyPadding =
+      smoke ? std::vector<size_t>{0} : std::vector<size_t>{0, 500, 1500};
 
   data::BibConfig cfg;
   cfg.seed = 16;
-  cfg.num_people = 400;
-  cfg.num_papers = 16000;
+  cfg.num_people = smoke ? 60 : 400;
+  cfg.num_papers = kSizes.back();
   data::BibWorld world = data::GenerateWorld(cfg);
   core::TypeSystem types = core::MakeBibliographicTypeSystem();
 
@@ -62,6 +66,7 @@ int main() {
 
     core::QueryExecutor tax_exec(&db, nullptr, nullptr);
     double tax_ms = RunQueries(tax_exec, "dblp", world);
+    bench::RecordBenchMs("fig16a/tax_" + std::to_string(size), tax_ms);
 
     std::printf("%8zu %10zu %9.2f", size, bytes, tax_ms);
     ontology::Ontology base =
@@ -73,6 +78,9 @@ int main() {
                                       3.0);
       core::QueryExecutor toss_exec(&db, &seo, &types);
       double toss_ms = RunQueries(toss_exec, "dblp", world);
+      if (pad == 0) {
+        bench::RecordBenchMs("fig16a/toss_" + std::to_string(size), toss_ms);
+      }
       std::printf(" %11.2f", toss_ms);
     }
     std::printf("\n");

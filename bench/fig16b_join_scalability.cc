@@ -14,12 +14,15 @@
 using namespace toss;
 
 int main() {
-  const size_t kSizes[] = {100, 200, 400, 800};
+  const bool smoke = bench::SmokeMode();
+  const std::vector<size_t> kSizes =
+      smoke ? std::vector<size_t>{50}
+            : std::vector<size_t>{100, 200, 400, 800};
 
   data::BibConfig cfg;
   cfg.seed = 17;
-  cfg.num_people = 120;
-  cfg.num_papers = 800;
+  cfg.num_people = smoke ? 25 : 120;
+  cfg.num_papers = kSizes.back();
   data::BibWorld world = data::GenerateWorld(cfg);
   core::TypeSystem types = core::MakeBibliographicTypeSystem();
   tax::PatternTree pattern = data::MakeTitleJoinPattern();
@@ -70,6 +73,8 @@ int main() {
     bench::CheckOk(toss_r.status(), "toss join");
     double toss_ms = t2.ElapsedMillis();
 
+    bench::RecordBenchMs("fig16b/tax_" + std::to_string(size), tax_ms);
+    bench::RecordBenchMs("fig16b/toss_" + std::to_string(size), toss_ms);
     std::printf("%8zu %12zu %10.2f %10.2f %10zu\n", size, bytes, tax_ms,
                 toss_ms, toss_r->size());
   }

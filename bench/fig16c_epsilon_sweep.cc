@@ -16,12 +16,15 @@
 using namespace toss;
 
 int main() {
-  const double kEpsilons[] = {0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 5};
-  const size_t kPapers = 600;
+  const bool smoke = bench::SmokeMode();
+  const std::vector<double> kEpsilons =
+      smoke ? std::vector<double>{0, 2}
+            : std::vector<double>{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 5};
+  const size_t kPapers = smoke ? 80 : 600;
 
   data::BibConfig cfg;
   cfg.seed = 18;
-  cfg.num_people = 120;
+  cfg.num_people = smoke ? 25 : 120;
   cfg.num_papers = kPapers;
   data::BibWorld world = data::GenerateWorld(cfg);
   core::TypeSystem types = core::MakeBibliographicTypeSystem();

@@ -1,8 +1,13 @@
 // Micro-benchmark: pattern-tree embedding enumeration over data trees of
 // growing size, for pc-only, ad-heavy, and condition-filtered patterns.
+// Each pattern runs both through the tag index (the default production
+// path) and with the index disabled (the naive full-scan enumeration) to
+// quantify the pruning win. Medians land in the machine-readable bench
+// report (bench::RecordBenchMs).
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "tax/condition_parser.h"
 #include "tax/embedding.h"
@@ -30,6 +35,7 @@ DataTree MakeTree(size_t papers) {
     t.AppendChild(paper, "year",
                   std::to_string(1995 + rng.Uniform(9)));
   }
+  t.BuildTagIndex();
   return t;
 }
 
@@ -67,29 +73,77 @@ PatternTree FilteredPattern() {
   return pt;
 }
 
-void RunPattern(benchmark::State& state, const PatternTree& pattern) {
+void RunPattern(benchmark::State& state, const PatternTree& pattern,
+                bool use_tag_index) {
   DataTree tree = MakeTree(static_cast<size_t>(state.range(0)));
   toss::tax::TaxSemantics sem;
+  toss::tax::EmbeddingOptions options;
+  options.use_tag_index = use_tag_index;
   for (auto _ : state) {
-    auto r = toss::tax::FindEmbeddings(pattern, tree, sem);
+    auto r = toss::tax::FindEmbeddings(pattern, tree, sem, options);
     benchmark::DoNotOptimize(r.ok());
   }
 }
 
 void BM_EmbeddingPc(benchmark::State& state) {
-  RunPattern(state, PcPattern());
+  RunPattern(state, PcPattern(), true);
+}
+void BM_EmbeddingPcNaive(benchmark::State& state) {
+  RunPattern(state, PcPattern(), false);
 }
 void BM_EmbeddingAd(benchmark::State& state) {
-  RunPattern(state, AdPattern());
+  RunPattern(state, AdPattern(), true);
+}
+void BM_EmbeddingAdNaive(benchmark::State& state) {
+  RunPattern(state, AdPattern(), false);
 }
 void BM_EmbeddingFiltered(benchmark::State& state) {
-  RunPattern(state, FilteredPattern());
+  RunPattern(state, FilteredPattern(), true);
+}
+void BM_EmbeddingFilteredNaive(benchmark::State& state) {
+  RunPattern(state, FilteredPattern(), false);
 }
 
-BENCHMARK(BM_EmbeddingPc)->Arg(10)->Arg(100)->Arg(1000);
-BENCHMARK(BM_EmbeddingAd)->Arg(10)->Arg(100)->Arg(1000);
-BENCHMARK(BM_EmbeddingFiltered)->Arg(10)->Arg(100)->Arg(1000);
+#define EMBEDDING_BENCH(fn)                                  \
+  BENCHMARK(fn)->Arg(10)->Arg(100)->Arg(1000)                \
+      ->Unit(benchmark::kMillisecond)->Repetitions(3)        \
+      ->ReportAggregatesOnly(true)
+
+EMBEDDING_BENCH(BM_EmbeddingPc);
+EMBEDDING_BENCH(BM_EmbeddingPcNaive);
+EMBEDDING_BENCH(BM_EmbeddingAd);
+EMBEDDING_BENCH(BM_EmbeddingAdNaive);
+EMBEDDING_BENCH(BM_EmbeddingFiltered);
+EMBEDDING_BENCH(BM_EmbeddingFilteredNaive);
+
+#undef EMBEDDING_BENCH
+
+/// Console reporting plus RecordBenchMs on every *_median aggregate.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::string name = run.benchmark_name();
+      const std::string suffix = "_median";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+        toss::bench::RecordBenchMs(
+            "micro_embedding/" +
+                name.substr(0, name.size() - suffix.size()),
+            run.GetAdjustedRealTime());
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

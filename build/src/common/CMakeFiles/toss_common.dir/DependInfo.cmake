@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/toss_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/toss_common.dir/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/toss_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/toss_common.dir/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/toss_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/toss_common.dir/string_util.cc.o.d"
+  "/root/repo/src/common/worker_pool.cc" "src/common/CMakeFiles/toss_common.dir/worker_pool.cc.o" "gcc" "src/common/CMakeFiles/toss_common.dir/worker_pool.cc.o.d"
   )
 
 # Targets to which this target links.

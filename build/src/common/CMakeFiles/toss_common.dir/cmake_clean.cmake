@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/toss_common.dir/status.cc.o.d"
   "CMakeFiles/toss_common.dir/string_util.cc.o"
   "CMakeFiles/toss_common.dir/string_util.cc.o.d"
+  "CMakeFiles/toss_common.dir/worker_pool.cc.o"
+  "CMakeFiles/toss_common.dir/worker_pool.cc.o.d"
   "libtoss_common.a"
   "libtoss_common.pdb"
 )

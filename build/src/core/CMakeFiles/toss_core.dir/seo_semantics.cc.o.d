@@ -219,4 +219,5 @@ src/core/CMakeFiles/toss_core.dir/seo_semantics.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/tax/condition.h /root/repo/src/tax/data_tree.h \
- /root/repo/src/xml/xml_document.h /root/repo/src/tax/tax_semantics.h
+ /root/repo/src/xml/xml_document.h /root/repo/src/tax/label_map.h \
+ /usr/include/c++/12/cstddef /root/repo/src/tax/tax_semantics.h

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
   "/root/repo/build/src/xml/CMakeFiles/toss_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/tax/CMakeFiles/toss_tax.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -302,5 +302,8 @@ tests/CMakeFiles/bulk_loader_test.dir/bulk_loader_test.cc.o: \
  /root/repo/src/common/random.h /root/repo/src/data/entities.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/store/database.h \
- /root/repo/src/store/collection.h /root/repo/src/store/btree.h \
+ /root/repo/src/store/collection.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/store/btree.h /root/repo/src/tax/data_tree.h \
  /root/repo/src/xml/xml_document.h /root/repo/src/xml/xpath.h

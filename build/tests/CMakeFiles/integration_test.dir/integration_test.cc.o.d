@@ -301,14 +301,25 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/core/toss.h /root/repo/src/core/query_executor.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
- /root/repo/src/core/seo.h /root/repo/src/ontology/ontology.h \
- /root/repo/src/ontology/constraints.h \
+ /root/repo/src/common/worker_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/core/seo.h \
+ /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
  /root/repo/src/sim/string_measure.h /root/repo/src/core/seo_semantics.h \
  /root/repo/src/core/types.h /root/repo/src/tax/condition.h \
  /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/store/database.h /root/repo/src/store/collection.h \
+ /root/repo/src/tax/label_map.h /root/repo/src/store/database.h \
+ /root/repo/src/store/collection.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/store/btree.h /root/repo/src/xml/xpath.h \
  /root/repo/src/tax/operators.h /root/repo/src/tax/embedding.h \
  /root/repo/src/tax/pattern_tree.h /root/repo/src/tax/tax_semantics.h \

@@ -301,7 +301,7 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/sim/measure_registry.h \
  /root/repo/src/tax/condition_parser.h /root/repo/src/tax/condition.h \
  /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/tax/operators.h /root/repo/src/tax/embedding.h \
- /root/repo/src/tax/pattern_tree.h /root/repo/src/tax/tax_semantics.h \
- /root/repo/src/xml/xml_parser.h /root/repo/src/xml/xpath.h \
- /root/repo/src/xml/xml_writer.h
+ /root/repo/src/tax/label_map.h /root/repo/src/tax/embedding.h \
+ /root/repo/src/tax/pattern_tree.h /root/repo/src/tax/operators.h \
+ /root/repo/src/tax/tax_semantics.h /root/repo/src/xml/xml_parser.h \
+ /root/repo/src/xml/xpath.h /root/repo/src/xml/xml_writer.h

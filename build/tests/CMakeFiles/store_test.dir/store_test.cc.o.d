@@ -299,5 +299,9 @@ tests/CMakeFiles/store_test.dir/store_test.cc.o: \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/store/database.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/store/collection.h \
- /root/repo/src/store/btree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/xml/xpath.h /root/repo/src/xml/xml_parser.h
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/store/btree.h \
+ /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
+ /root/repo/src/xml/xpath.h /root/repo/src/xml/xml_parser.h \
+ /root/repo/src/xml/xml_writer.h

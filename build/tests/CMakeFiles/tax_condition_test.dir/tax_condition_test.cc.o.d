@@ -295,5 +295,5 @@ tests/CMakeFiles/tax_condition_test.dir/tax_condition_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/tax/condition.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/tax/data_tree.h \
- /root/repo/src/xml/xml_document.h /root/repo/src/tax/condition_parser.h \
- /root/repo/src/tax/tax_semantics.h
+ /root/repo/src/xml/xml_document.h /root/repo/src/tax/label_map.h \
+ /root/repo/src/tax/condition_parser.h /root/repo/src/tax/tax_semantics.h

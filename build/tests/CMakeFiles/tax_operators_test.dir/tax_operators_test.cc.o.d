@@ -296,6 +296,6 @@ tests/CMakeFiles/tax_operators_test.dir/tax_operators_test.cc.o: \
  /root/repo/src/tax/condition_parser.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/tax/condition.h \
  /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/tax/operators.h /root/repo/src/tax/embedding.h \
- /root/repo/src/tax/pattern_tree.h /root/repo/src/tax/tax_semantics.h \
- /root/repo/src/xml/xml_parser.h
+ /root/repo/src/tax/label_map.h /root/repo/src/tax/operators.h \
+ /root/repo/src/tax/embedding.h /root/repo/src/tax/pattern_tree.h \
+ /root/repo/src/tax/tax_semantics.h /root/repo/src/xml/xml_parser.h

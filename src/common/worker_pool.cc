@@ -1,0 +1,73 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+
+namespace toss {
+
+WorkerPool::WorkerPool(size_t threads) {
+  size_t count = std::max<size_t>(1, threads);
+  threads_.reserve(count);
+  for (size_t t = 0; t < count; ++t) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+Status WorkerPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  n_ = n;
+  cursor_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+  first_error_ = Status::OK();
+  workers_in_job_ = threads_.size();
+  ++job_seq_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return workers_in_job_ == 0; });
+  fn_ = nullptr;
+  return first_error_;
+}
+
+void WorkerPool::WorkerMain() {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || job_seq_ != seen_seq; });
+      if (shutdown_) return;
+      seen_seq = job_seq_;
+    }
+    // Drain the cursor until the range is exhausted or a task failed.
+    while (!abort_.load(std::memory_order_acquire)) {
+      size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_) break;
+      Status st = (*fn_)(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Keep the earliest observed error; later failures lose the race.
+        if (!abort_.exchange(true, std::memory_order_acq_rel)) {
+          first_error_ = std::move(st);
+        }
+      }
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = (--workers_in_job_ == 0);
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+}  // namespace toss

@@ -1,10 +1,9 @@
 #include "core/query_executor.h"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
 #include <set>
-#include <thread>
-#include <unordered_set>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -135,6 +134,32 @@ void SubtreeLabels(const PatternTree& p, int root, std::vector<int>* out) {
   for (int c : p.node(root).children) SubtreeLabels(p, c, out);
 }
 
+/// Distinct documents matched by one XPath, ascending. Query returns
+/// matches in (doc, document-order) order over an ascending candidate
+/// list, so deduplicating adjacent ids suffices.
+Result<std::vector<store::DocId>> MatchedDocs(const store::Collection& coll,
+                                              const std::string& xpath,
+                                              store::QueryStats* qstats) {
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::Match> matches,
+                        coll.QueryText(xpath, true, qstats));
+  std::vector<store::DocId> ids;
+  ids.reserve(matches.size());
+  for (const auto& m : matches) {
+    if (ids.empty() || ids.back() != m.doc) ids.push_back(m.doc);
+  }
+  return ids;
+}
+
+/// Intersection of two ascending id lists.
+std::vector<store::DocId> IntersectSorted(const std::vector<store::DocId>& a,
+                                          const std::vector<store::DocId>& b) {
+  std::vector<store::DocId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor(const store::Database* db, const Seo* seo,
@@ -142,7 +167,11 @@ QueryExecutor::QueryExecutor(const store::Database* db, const Seo* seo,
     : db_(db), seo_(seo), types_(types), seo_semantics_(seo, types) {}
 
 void QueryExecutor::SetParallelism(size_t threads) {
-  parallelism_ = std::max<size_t>(1, threads);
+  size_t next = std::max<size_t>(1, threads);
+  if (next == parallelism_) return;
+  parallelism_ = next;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.reset();  // rebuilt lazily at the new width
 }
 
 void QueryExecutor::WarmCaches() const {
@@ -150,55 +179,22 @@ void QueryExecutor::WarmCaches() const {
   if (types_ != nullptr) types_->WarmCaches();
 }
 
-Result<tax::TreeCollection> QueryExecutor::ParallelSelectEval(
-    const store::Collection& coll, const std::vector<store::DocId>& docs,
-    const PatternTree& pattern, const std::vector<int>& sl) const {
-  WarmCaches();
-  const tax::ConditionSemantics& sem = semantics();
-  const std::set<int> expand(sl.begin(), sl.end());
+WorkerPool& QueryExecutor::Pool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(parallelism_);
+  return *pool_;
+}
 
-  // Per-document output buckets keep the final order deterministic; the
-  // atomic cursor load-balances across workers.
-  std::vector<tax::TreeCollection> buckets(docs.size());
-  std::vector<Status> failures(parallelism_, Status::OK());
-  std::atomic<size_t> cursor{0};
-  auto worker = [&](size_t worker_id) {
-    for (;;) {
-      size_t i = cursor.fetch_add(1);
-      if (i >= docs.size()) return;
-      const xml::XmlDocument& doc = coll.document(docs[i]);
-      tax::DataTree tree = tax::DataTree::FromXml(doc, doc.root());
-      auto embeddings = tax::FindEmbeddings(pattern, tree, sem);
-      if (!embeddings.ok()) {
-        failures[worker_id] = embeddings.status();
-        return;
-      }
-      for (const auto& h : *embeddings) {
-        buckets[i].push_back(
-            tax::BuildWitnessTree(pattern, tree, h, expand));
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  size_t n_threads = std::min(parallelism_, docs.size());
-  threads.reserve(n_threads);
-  for (size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker, t);
-  for (auto& t : threads) t.join();
-  for (const auto& st : failures) {
-    TOSS_RETURN_NOT_OK(st);
+Status QueryExecutor::RunPerDoc(
+    size_t n, const std::function<Status(size_t)>& fn) const {
+  if (parallelism_ > 1 && n >= 2) {
+    WarmCaches();  // freeze shared SEO / type-system state before fan-out
+    return Pool().ParallelFor(n, fn);
   }
-  // Sequential merge with global dedup, in document order (matches the
-  // sequential tax::Select exactly).
-  tax::TreeCollection out;
-  std::unordered_set<std::string> seen;
-  for (auto& bucket : buckets) {
-    for (auto& tree : bucket) {
-      if (seen.insert(tree.CanonicalKey()).second) {
-        out.push_back(std::move(tree));
-      }
-    }
+  for (size_t i = 0; i < n; ++i) {
+    TOSS_RETURN_NOT_OK(fn(i));
   }
-  return out;
+  return Status::OK();
 }
 
 const tax::ConditionSemantics& QueryExecutor::semantics() const {
@@ -331,17 +327,15 @@ Result<std::string> QueryExecutor::Explain(
          std::to_string(coll->AllDocs().size()) + " documents)\n";
   out += "condition: " + pattern.condition().ToString() + "\n";
   out += "expanded terms: " + std::to_string(expanded) + "\n";
-  std::set<store::DocId> intersection;
+  std::vector<store::DocId> intersection;
   bool first = true;
   if (xpaths.empty()) {
     out += "no pushdown queries: full collection scan\n";
   }
   for (const auto& xp : xpaths) {
     store::QueryStats qstats;
-    TOSS_ASSIGN_OR_RETURN(std::vector<store::Match> matches,
-                          coll->QueryText(xp, true, &qstats));
-    std::set<store::DocId> ids;
-    for (const auto& m : matches) ids.insert(m.doc);
+    TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> ids,
+                          MatchedDocs(*coll, xp, &qstats));
     out += "xpath: " + xp + "\n";
     out += "  -> " + std::to_string(ids.size()) + " documents (index " +
            (qstats.used_indexes ? "pruned to " +
@@ -353,11 +347,7 @@ Result<std::string> QueryExecutor::Explain(
       intersection = std::move(ids);
       first = false;
     } else {
-      std::set<store::DocId> merged;
-      for (store::DocId d : intersection) {
-        if (ids.count(d)) merged.insert(d);
-      }
-      intersection = std::move(merged);
+      intersection = IntersectSorted(intersection, ids);
     }
   }
   if (!xpaths.empty()) {
@@ -387,19 +377,13 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
   } else {
     bool first = true;
     for (const auto& xp : xpaths) {
-      TOSS_ASSIGN_OR_RETURN(std::vector<store::Match> matches,
-                            coll.QueryText(xp));
-      std::set<store::DocId> ids;
-      for (const auto& m : matches) ids.insert(m.doc);
+      TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> ids,
+                            MatchedDocs(coll, xp, nullptr));
       if (first) {
-        docs.assign(ids.begin(), ids.end());
+        docs = std::move(ids);
         first = false;
       } else {
-        std::vector<store::DocId> next;
-        for (store::DocId d : docs) {
-          if (ids.count(d)) next.push_back(d);
-        }
-        docs = std::move(next);
+        docs = IntersectSorted(docs, ids);
       }
       if (docs.empty()) break;
     }
@@ -411,20 +395,6 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
   return docs;
 }
 
-Result<tax::TreeCollection> QueryExecutor::LoadCandidates(
-    const store::Collection& coll, const std::vector<store::DocId>& docs,
-    ExecStats* stats) const {
-  Timer timer;
-  tax::TreeCollection trees;
-  trees.reserve(docs.size());
-  for (store::DocId id : docs) {
-    trees.push_back(
-        tax::DataTree::FromXml(coll.document(id), coll.document(id).root()));
-  }
-  if (stats != nullptr) stats->eval_ms += timer.ElapsedMillis();
-  return trees;
-}
-
 Result<tax::TreeCollection> QueryExecutor::Select(
     const std::string& collection, const PatternTree& pattern,
     const std::vector<int>& sl, ExecStats* stats) const {
@@ -433,21 +403,19 @@ Result<tax::TreeCollection> QueryExecutor::Select(
   TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
                         CandidateDocs(*coll, pattern, {}, stats));
   TOSS_RETURN_NOT_OK(pattern.Validate());
-  if (parallelism_ > 1 && docs.size() >= 2 * parallelism_) {
-    Timer timer;
-    TOSS_ASSIGN_OR_RETURN(tax::TreeCollection result,
-                          ParallelSelectEval(*coll, docs, pattern, sl));
-    if (stats != nullptr) {
-      stats->eval_ms += timer.ElapsedMillis();
-      stats->result_trees += result.size();
-    }
-    return result;
-  }
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection trees,
-                        LoadCandidates(*coll, docs, stats));
   Timer timer;
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection result,
-                        tax::Select(trees, pattern, sl, semantics()));
+  const tax::ConditionSemantics& sem = semantics();
+  const std::set<int> expand(sl.begin(), sl.end());
+  // Per-document parts keep the merge order deterministic regardless of
+  // which worker finishes first.
+  std::vector<tax::TreeCollection> parts(docs.size());
+  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
+    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+    TOSS_ASSIGN_OR_RETURN(parts[i],
+                          tax::SelectTree(*tree, pattern, expand, sem));
+    return Status::OK();
+  }));
+  tax::TreeCollection result = tax::MergeDedup(std::move(parts));
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();
@@ -462,11 +430,17 @@ Result<tax::TreeCollection> QueryExecutor::Project(
                         db_->GetCollection(collection));
   TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
                         CandidateDocs(*coll, pattern, {}, stats));
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection trees,
-                        LoadCandidates(*coll, docs, stats));
+  TOSS_RETURN_NOT_OK(pattern.Validate());
   Timer timer;
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection result,
-                        tax::Project(trees, pattern, pl, semantics()));
+  const tax::ConditionSemantics& sem = semantics();
+  std::vector<tax::TreeCollection> parts(docs.size());
+  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
+    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+    TOSS_ASSIGN_OR_RETURN(parts[i],
+                          tax::ProjectTree(*tree, pattern, pl, sem));
+    return Status::OK();
+  }));
+  tax::TreeCollection result = tax::MergeDedup(std::move(parts));
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();
@@ -481,12 +455,24 @@ Result<tax::TreeCollection> QueryExecutor::GroupBy(
                         db_->GetCollection(collection));
   TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
                         CandidateDocs(*coll, pattern, {}, stats));
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection trees,
-                        LoadCandidates(*coll, docs, stats));
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  if (pattern.IndexOfLabel(group_label) < 0) {
+    return Status::InvalidArgument("GroupBy: label $" +
+                                   std::to_string(group_label) +
+                                   " is not a pattern node");
+  }
   Timer timer;
-  TOSS_ASSIGN_OR_RETURN(
-      tax::TreeCollection result,
-      tax::GroupBy(trees, pattern, group_label, sl, semantics()));
+  const tax::ConditionSemantics& sem = semantics();
+  const std::set<int> expand(sl.begin(), sl.end());
+  std::vector<std::vector<tax::GroupedWitness>> parts(docs.size());
+  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
+    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+    TOSS_ASSIGN_OR_RETURN(
+        parts[i],
+        tax::GroupByTree(*tree, pattern, group_label, expand, sem));
+    return Status::OK();
+  }));
+  tax::TreeCollection result = tax::AssembleGroups(std::move(parts));
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();
@@ -516,15 +502,31 @@ Result<tax::TreeCollection> QueryExecutor::Join(
                         CandidateDocs(*lcoll, pattern, left_labels, stats));
   TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> rdocs,
                         CandidateDocs(*rcoll, pattern, right_labels, stats));
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection ltrees,
-                        LoadCandidates(*lcoll, ldocs, stats));
-  TOSS_ASSIGN_OR_RETURN(tax::TreeCollection rtrees,
-                        LoadCandidates(*rcoll, rdocs, stats));
 
   Timer timer;
-  TOSS_ASSIGN_OR_RETURN(
-      tax::TreeCollection result,
-      tax::Join(ltrees, rtrees, pattern, sl, semantics()));
+  const tax::ConditionSemantics& sem = semantics();
+  const std::set<int> expand(sl.begin(), sl.end());
+  // Decode the right side once up front (fanned out across the pool); the
+  // shared_ptrs keep the trees alive even if the cache evicts them.
+  std::vector<std::shared_ptr<const tax::DataTree>> rtrees(rdocs.size());
+  TOSS_RETURN_NOT_OK(RunPerDoc(rdocs.size(), [&](size_t i) -> Status {
+    rtrees[i] = rcoll->DecodedTree(rdocs[i]);
+    return Status::OK();
+  }));
+  std::vector<const tax::DataTree*> right_ptrs;
+  right_ptrs.reserve(rtrees.size());
+  for (const auto& t : rtrees) right_ptrs.push_back(t.get());
+  // Fan out per left document; each worker streams the full right side, so
+  // pair order (left-major) matches the sequential join exactly.
+  std::vector<tax::TreeCollection> parts(ldocs.size());
+  TOSS_RETURN_NOT_OK(RunPerDoc(ldocs.size(), [&](size_t i) -> Status {
+    std::shared_ptr<const tax::DataTree> ltree = lcoll->DecodedTree(ldocs[i]);
+    TOSS_ASSIGN_OR_RETURN(
+        parts[i],
+        tax::JoinTreeWithRight(*ltree, right_ptrs, pattern, expand, sem));
+    return Status::OK();
+  }));
+  tax::TreeCollection result = tax::MergeDedup(std::move(parts));
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();

@@ -18,10 +18,14 @@
 #ifndef TOSS_CORE_QUERY_EXECUTOR_H_
 #define TOSS_CORE_QUERY_EXECUTOR_H_
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/worker_pool.h"
 #include "core/seo.h"
 #include "core/seo_semantics.h"
 #include "core/types.h"
@@ -51,11 +55,13 @@ class QueryExecutor {
   QueryExecutor(const store::Database* db, const Seo* seo,
                 const TypeSystem* types);
 
-  /// Evaluates Select's phase (iii) across `threads` worker threads
-  /// (1 = sequential, the default; Project and Join always run
-  /// sequentially). Answers are identical to the sequential path, in the
-  /// same order. The SEO / type-system reachability caches are frozen
-  /// before fan-out, so shared state is read-only.
+  /// Evaluates phase (iii) of every operator -- Select, Project, GroupBy
+  /// and both sides of Join -- across `threads` workers of a shared pool
+  /// (1 = sequential, the default). Answers are identical to the sequential
+  /// path, in the same order: work fans out per candidate document and
+  /// merges in document order. The SEO / type-system reachability caches
+  /// are frozen before fan-out, so shared state is read-only. Not
+  /// thread-safe against concurrent queries on the same executor.
   void SetParallelism(size_t threads);
   size_t parallelism() const { return parallelism_; }
 
@@ -113,15 +119,13 @@ class QueryExecutor {
       const store::Collection& coll, const tax::PatternTree& pattern,
       const std::vector<int>& labels, ExecStats* stats) const;
 
-  Result<tax::TreeCollection> LoadCandidates(
-      const store::Collection& coll, const std::vector<store::DocId>& docs,
-      ExecStats* stats) const;
+  /// Runs fn(0) .. fn(n-1), over the shared worker pool when parallelism
+  /// and `n` warrant it, inline otherwise. Returns the first error; the
+  /// pool aborts remaining work on failure.
+  Status RunPerDoc(size_t n, const std::function<Status(size_t)>& fn) const;
 
-  /// Parallel phase (iii) for Select: per-document witness computation
-  /// fanned out over parallelism_ threads, merged in document order.
-  Result<tax::TreeCollection> ParallelSelectEval(
-      const store::Collection& coll, const std::vector<store::DocId>& docs,
-      const tax::PatternTree& pattern, const std::vector<int>& sl) const;
+  /// The shared pool, created lazily at the current parallelism.
+  WorkerPool& Pool() const;
 
   void WarmCaches() const;
 
@@ -131,6 +135,8 @@ class QueryExecutor {
   size_t parallelism_ = 1;
   tax::TaxSemantics tax_semantics_;
   SeoSemantics seo_semantics_;
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<WorkerPool> pool_;  ///< guarded by pool_mu_
 };
 
 }  // namespace toss::core

@@ -9,6 +9,37 @@
 
 namespace toss::store {
 
+Collection::Collection(Collection&& other) noexcept
+    : name_(std::move(other.name_)),
+      docs_(std::move(other.docs_)),
+      by_key_(std::move(other.by_key_)),
+      tag_index_(std::move(other.tag_index_)),
+      term_index_(std::move(other.term_index_)),
+      value_index_(std::move(other.value_index_)),
+      numeric_index_(std::move(other.numeric_index_)),
+      tree_lru_(std::move(other.tree_lru_)),
+      tree_cache_(std::move(other.tree_cache_)),
+      tree_cache_hits_(other.tree_cache_hits_),
+      tree_cache_misses_(other.tree_cache_misses_),
+      tree_cache_capacity_(other.tree_cache_capacity_) {}
+
+Collection& Collection::operator=(Collection&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  docs_ = std::move(other.docs_);
+  by_key_ = std::move(other.by_key_);
+  tag_index_ = std::move(other.tag_index_);
+  term_index_ = std::move(other.term_index_);
+  value_index_ = std::move(other.value_index_);
+  numeric_index_ = std::move(other.numeric_index_);
+  tree_lru_ = std::move(other.tree_lru_);
+  tree_cache_ = std::move(other.tree_cache_);
+  tree_cache_hits_ = other.tree_cache_hits_;
+  tree_cache_misses_ = other.tree_cache_misses_;
+  tree_cache_capacity_ = other.tree_cache_capacity_;
+  return *this;
+}
+
 Result<DocId> Collection::Insert(std::string key, xml::XmlDocument doc) {
   if (doc.empty()) {
     return Status::InvalidArgument("Insert: empty document");
@@ -20,6 +51,7 @@ Result<DocId> Collection::Insert(std::string key, xml::XmlDocument doc) {
   }
   DocId id = static_cast<DocId>(docs_.size());
   docs_.push_back({key, std::move(doc), true});
+  docs_[id].serialized_bytes = xml::Write(docs_[id].doc).size();
   by_key_[std::move(key)] = id;
   IndexDocument(id);
   return id;
@@ -38,6 +70,7 @@ Status Collection::Remove(const std::string& key) {
   DocId id = it->second;
   UnindexDocument(id);
   docs_[id].live = false;
+  InvalidateCachedTree(id);
   by_key_.erase(it);
   return Status::OK();
 }
@@ -54,8 +87,10 @@ Result<DocId> Collection::Replace(const std::string& key,
   DocId old = it->second;
   UnindexDocument(old);
   docs_[old].live = false;
+  InvalidateCachedTree(old);
   DocId id = static_cast<DocId>(docs_.size());
   docs_.push_back({key, std::move(doc), true});
+  docs_[id].serialized_bytes = xml::Write(docs_[id].doc).size();
   it->second = id;
   IndexDocument(id);
   return id;
@@ -285,9 +320,67 @@ Collection::Stats Collection::GetStats() const {
 size_t Collection::ApproxByteSize() const {
   size_t total = 0;
   for (const auto& e : docs_) {
-    if (e.live) total += xml::Write(e.doc).size();
+    if (e.live) total += e.serialized_bytes;
   }
   return total;
+}
+
+std::shared_ptr<const tax::DataTree> Collection::DecodedTree(DocId id) const {
+  {
+    std::lock_guard<std::mutex> lock(tree_cache_mu_);
+    auto it = tree_cache_.find(id);
+    if (it != tree_cache_.end()) {
+      ++tree_cache_hits_;
+      tree_lru_.splice(tree_lru_.begin(), tree_lru_, it->second.lru_it);
+      return it->second.tree;
+    }
+    ++tree_cache_misses_;
+  }
+  // Decode outside the lock: FromXml dominates the cost, and documents are
+  // immutable per DocId, so racing decoders build identical trees and the
+  // first one into the map wins.
+  auto tree = std::make_shared<const tax::DataTree>(
+      tax::DataTree::FromXml(docs_[id].doc, docs_[id].doc.root()));
+  std::lock_guard<std::mutex> lock(tree_cache_mu_);
+  auto it = tree_cache_.find(id);
+  if (it != tree_cache_.end()) {
+    tree_lru_.splice(tree_lru_.begin(), tree_lru_, it->second.lru_it);
+    return it->second.tree;
+  }
+  tree_lru_.push_front(id);
+  tree_cache_.emplace(id, TreeCacheEntry{tree, tree_lru_.begin()});
+  while (tree_cache_.size() > tree_cache_capacity_) {
+    tree_cache_.erase(tree_lru_.back());
+    tree_lru_.pop_back();
+  }
+  return tree;
+}
+
+void Collection::SetTreeCacheCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(tree_cache_mu_);
+  tree_cache_capacity_ = std::max<size_t>(1, capacity);
+  while (tree_cache_.size() > tree_cache_capacity_) {
+    tree_cache_.erase(tree_lru_.back());
+    tree_lru_.pop_back();
+  }
+}
+
+Collection::TreeCacheStats Collection::GetTreeCacheStats() const {
+  std::lock_guard<std::mutex> lock(tree_cache_mu_);
+  TreeCacheStats stats;
+  stats.hits = tree_cache_hits_;
+  stats.misses = tree_cache_misses_;
+  stats.entries = tree_cache_.size();
+  stats.capacity = tree_cache_capacity_;
+  return stats;
+}
+
+void Collection::InvalidateCachedTree(DocId id) {
+  std::lock_guard<std::mutex> lock(tree_cache_mu_);
+  auto it = tree_cache_.find(id);
+  if (it == tree_cache_.end()) return;
+  tree_lru_.erase(it->second.lru_it);
+  tree_cache_.erase(it);
 }
 
 }  // namespace toss::store

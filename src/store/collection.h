@@ -12,14 +12,19 @@
 #define TOSS_STORE_COLLECTION_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "store/btree.h"
+#include "tax/data_tree.h"
 #include "xml/xml_document.h"
 #include "xml/xpath.h"
 
@@ -44,6 +49,11 @@ struct QueryStats {
 class Collection {
  public:
   explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  // Movable despite the cache mutex (the mutex itself is not moved; no
+  // concurrent access may be in flight during a move).
+  Collection(Collection&& other) noexcept;
+  Collection& operator=(Collection&& other) noexcept;
 
   const std::string& name() const { return name_; }
   size_t size() const { return docs_.size(); }
@@ -83,8 +93,34 @@ class Collection {
                                        QueryStats* stats = nullptr) const;
 
   /// Total serialized byte size of all live documents (the paper's
-  /// "data size" axis).
+  /// "data size" axis). Sizes are recorded once at Insert/Replace time, so
+  /// this is a cheap sum, not a re-serialization.
   size_t ApproxByteSize() const;
+
+  // --- Decoded-tree cache --------------------------------------------------
+  //
+  // Algebra evaluation works on tax::DataTree, not raw XML; decoding is the
+  // dominant per-document cost once candidates are pruned. Documents are
+  // immutable per DocId (Replace allocates a fresh id), so decoded trees
+  // are cached under the DocId in a thread-safe, capacity-bounded LRU and
+  // shared across queries and worker threads. Remove/Replace drop the dead
+  // id's entry eagerly.
+
+  /// The decoded (and tag-indexed) tree of document `id`, decoding and
+  /// caching it on first access. Safe to call concurrently.
+  std::shared_ptr<const tax::DataTree> DecodedTree(DocId id) const;
+
+  /// Caps the number of cached decoded trees (clamped to >= 1). Shrinking
+  /// evicts least-recently-used entries immediately.
+  void SetTreeCacheCapacity(size_t capacity);
+
+  struct TreeCacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  TreeCacheStats GetTreeCacheStats() const;
 
   /// Aggregate statistics (sizes of the catalog and each index).
   struct Stats {
@@ -113,6 +149,7 @@ class Collection {
     std::string key;
     xml::XmlDocument doc;
     bool live = true;
+    size_t serialized_bytes = 0;  ///< recorded at Insert/Replace
     // Ordered-index keys this document contributed (for unindexing).
     std::vector<std::string> value_keys;
     std::vector<std::string> numeric_keys;
@@ -120,6 +157,7 @@ class Collection {
 
   void IndexDocument(DocId id);
   void UnindexDocument(DocId id);
+  void InvalidateCachedTree(DocId id);
 
   /// Candidate docs per hints, or all live docs when hints give no leverage.
   std::vector<DocId> PlanCandidates(const xml::PlanHints& hints,
@@ -136,6 +174,22 @@ class Collection {
   std::map<std::string, std::set<DocId>> term_index_;
   BPlusTree value_index_;    // ValueKey(tag, content)
   BPlusTree numeric_index_;  // NumericKey(tag, content), integer contents
+
+  // Decoded-tree LRU (front of tree_lru_ = most recently used). All cache
+  // state is guarded by tree_cache_mu_; decoding itself runs outside the
+  // lock (racing decoders of one DocId produce identical trees; the first
+  // insert wins).
+  struct TreeCacheEntry {
+    std::shared_ptr<const tax::DataTree> tree;
+    std::list<DocId>::iterator lru_it;
+  };
+  static constexpr size_t kDefaultTreeCacheCapacity = 16384;
+  mutable std::mutex tree_cache_mu_;
+  mutable std::list<DocId> tree_lru_;
+  mutable std::unordered_map<DocId, TreeCacheEntry> tree_cache_;
+  mutable size_t tree_cache_hits_ = 0;
+  mutable size_t tree_cache_misses_ = 0;
+  size_t tree_cache_capacity_ = kDefaultTreeCacheCapacity;
 };
 
 }  // namespace toss::store

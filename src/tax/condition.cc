@@ -182,13 +182,13 @@ Result<TermValue> EvalTerm(const CondTerm& term, const EmbeddingView& h) {
   switch (term.kind) {
     case CondTerm::Kind::kNodeTag:
     case CondTerm::Kind::kNodeContent: {
-      auto it = h.mapping->find(term.node_label);
-      if (it == h.mapping->end()) {
+      NodeId mapped = h.mapping->Get(term.node_label);
+      if (mapped == kInvalidNode) {
         return Status::InvalidArgument(
             "condition references pattern node $" +
             std::to_string(term.node_label) + " absent from the embedding");
       }
-      const DataNode& n = h.tree->node(it->second);
+      const DataNode& n = h.tree->node(mapped);
       if (term.kind == CondTerm::Kind::kNodeTag) {
         v.text = n.tag;
         v.type = n.tag_type;

@@ -17,13 +17,13 @@
 #ifndef TOSS_TAX_CONDITION_H_
 #define TOSS_TAX_CONDITION_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "tax/data_tree.h"
+#include "tax/label_map.h"
 
 namespace toss::tax {
 
@@ -129,7 +129,7 @@ class ConditionSemantics {
 /// tree plus the label -> node mapping.
 struct EmbeddingView {
   const DataTree* tree = nullptr;
-  const std::map<int, NodeId>* mapping = nullptr;
+  const LabelMap* mapping = nullptr;
 };
 
 /// Extracts the TermValue of `term` under `h` (paper's X^h / type(X)^h).

@@ -1,5 +1,6 @@
 #include "tax/data_tree.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/string_util.h"
@@ -8,6 +9,7 @@ namespace toss::tax {
 
 NodeId DataTree::CreateRoot(std::string_view tag, std::string_view content) {
   assert(nodes_.empty() && "CreateRoot on non-empty tree");
+  tag_index_.reset();
   nodes_.emplace_back();
   nodes_[0].tag = tag;
   nodes_[0].content = content;
@@ -17,6 +19,7 @@ NodeId DataTree::CreateRoot(std::string_view tag, std::string_view content) {
 NodeId DataTree::AppendChild(NodeId parent, std::string_view tag,
                              std::string_view content) {
   assert(parent < nodes_.size());
+  tag_index_.reset();
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.emplace_back();
   nodes_[id].tag = tag;
@@ -131,7 +134,64 @@ void AppendCanonical(const DataTree& tree, NodeId id, std::string* out) {
 DataTree DataTree::FromXml(const xml::XmlDocument& doc, xml::NodeId root) {
   DataTree out;
   ConvertXml(doc, root, &out, kInvalidNode);
+  // Decoded trees head straight into query evaluation; index them here so
+  // every consumer (executor cache, operators) gets candidate pruning.
+  out.BuildTagIndex();
   return out;
+}
+
+void DataTree::BuildTagIndex() {
+  if (tag_index_.has_value()) return;
+  TagIndexData index;
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const DataNode& n = nodes_[v];
+    index.by_tag[n.tag].push_back(v);  // v ascending -> lists stay sorted
+    if (n.tag.find('*') != std::string::npos) {
+      index.wildcard_nodes.push_back(v);
+    }
+    if (n.tag_type != kStringType) index.filterable = false;
+  }
+  // Preorder check: walking children depth-first must visit ids 0,1,2,...
+  // (true for FromXml / CopySubtree construction). Then each subtree is the
+  // contiguous id range [v, v + size(v)).
+  if (!nodes_.empty()) {
+    bool preorder = true;
+    std::vector<NodeId> stack{0};
+    NodeId expect = 0;
+    while (!stack.empty() && preorder) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      if (cur != expect++) preorder = false;
+      const auto& kids = nodes_[cur].children;
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+    if (preorder) {
+      // AppendChild guarantees child ids exceed the parent's, so a reverse
+      // sweep sees every subtree size before its parent needs it.
+      index.subtree_end.assign(nodes_.size(), 0);
+      for (NodeId v = static_cast<NodeId>(nodes_.size()); v-- > 0;) {
+        NodeId end = v + 1;
+        for (NodeId c : nodes_[v].children) {
+          end = std::max(end, index.subtree_end[c]);
+        }
+        index.subtree_end[v] = end;
+      }
+    }
+  }
+  tag_index_ = std::move(index);
+}
+
+const std::vector<NodeId>* DataTree::NodesWithTag(std::string_view tag) const {
+  assert(tag_index_.has_value());
+  auto it = tag_index_->by_tag.find(tag);
+  return it == tag_index_->by_tag.end() ? nullptr : &it->second;
+}
+
+const std::vector<NodeId>& DataTree::WildcardTagNodes() const {
+  assert(tag_index_.has_value());
+  return tag_index_->wildcard_nodes;
 }
 
 xml::XmlDocument DataTree::ToXml() const {

@@ -16,6 +16,8 @@
 #define TOSS_TAX_DATA_TREE_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,7 +59,12 @@ class DataTree {
   NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
 
   const DataNode& node(NodeId id) const { return nodes_[id]; }
-  DataNode& node(NodeId id) { return nodes_[id]; }
+  /// Mutable access drops the tag index: the caller may rewrite tags, so
+  /// a previously built index can no longer be trusted.
+  DataNode& node(NodeId id) {
+    tag_index_.reset();
+    return nodes_[id];
+  }
 
   /// All descendants of `id` (excluding `id`) in document (pre)order.
   std::vector<NodeId> Descendants(NodeId id) const;
@@ -85,8 +92,58 @@ class DataTree {
   /// Set operations hash on this.
   std::string CanonicalKey() const;
 
+  // --- Tag index -----------------------------------------------------------
+  //
+  // A tag -> sorted-node-list index that lets the embedding enumerator seed
+  // candidates for tag-pinned pattern nodes without scanning the whole
+  // tree. Build it once after the tree is complete (FromXml does this
+  // automatically); any later mutation -- AppendChild, CopySubtree into
+  // this tree, or non-const node() access -- drops the index, and lookups
+  // fall back to full scans until it is rebuilt.
+
+  /// Builds (or rebuilds) the tag index. Idempotent and cheap when already
+  /// built. Also precomputes preorder subtree intervals when node ids are
+  /// in preorder (true for FromXml / CopySubtree-built trees).
+  void BuildTagIndex();
+
+  bool has_tag_index() const { return tag_index_.has_value(); }
+
+  /// True when the index exists and plain string comparison of tags is
+  /// faithful to condition semantics: every tag_type is "string". Trees
+  /// with exotic tag types route tag atoms through type conversions, which
+  /// string-match pruning must not preempt.
+  bool TagFilterable() const {
+    return tag_index_.has_value() && tag_index_->filterable;
+  }
+
+  /// Nodes carrying exactly `tag`, ascending NodeId; nullptr when the tag
+  /// is absent. Requires TagFilterable().
+  const std::vector<NodeId>* NodesWithTag(std::string_view tag) const;
+
+  /// Nodes whose tag contains '*'. Under glob-equality semantics a *data*
+  /// tag can act as the pattern side of `$n.tag = "lit"`, so these stay
+  /// candidates for every tag literal. Requires TagFilterable().
+  const std::vector<NodeId>& WildcardTagNodes() const;
+
+  /// True when node ids enumerate the tree in preorder and the index is
+  /// built; then the descendants of v are exactly ids in (v, SubtreeEnd(v)).
+  bool HasPreorderIds() const {
+    return tag_index_.has_value() && !tag_index_->subtree_end.empty();
+  }
+
+  /// One past the last id of v's subtree (valid iff HasPreorderIds()).
+  NodeId SubtreeEnd(NodeId v) const { return tag_index_->subtree_end[v]; }
+
  private:
+  struct TagIndexData {
+    std::map<std::string, std::vector<NodeId>, std::less<>> by_tag;
+    std::vector<NodeId> wildcard_nodes;
+    std::vector<NodeId> subtree_end;  ///< empty when ids are not preorder
+    bool filterable = true;           ///< all tag_types are "string"
+  };
+
   std::vector<DataNode> nodes_;
+  std::optional<TagIndexData> tag_index_;
 };
 
 /// A semistructured DB / intermediate result: an ordered list of trees.

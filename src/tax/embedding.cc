@@ -1,6 +1,7 @@
 #include "tax/embedding.h"
 
 #include <algorithm>
+#include <map>
 
 namespace toss::tax {
 
@@ -24,12 +25,44 @@ void CollectSingleLabelAtoms(
   }
 }
 
+/// True when `atom` is `$n.tag = "literal"` (either orientation) with a
+/// plain string literal whose exact-string evaluation cannot error and
+/// cannot involve glob matching on the literal side. Mirrors the executor's
+/// pushdown policy: atoms whose evaluation may raise (typed literals) or
+/// match non-textually ('*' literals) never participate in pruning.
+bool ExactTagLiteral(const Condition& atom, int* label, std::string* tag) {
+  if (atom.op != CondOp::kEq) return false;
+  const CondTerm *node = nullptr, *lit = nullptr;
+  if (atom.lhs.kind == CondTerm::Kind::kNodeTag &&
+      atom.rhs.kind == CondTerm::Kind::kTypedValue) {
+    node = &atom.lhs;
+    lit = &atom.rhs;
+  } else if (atom.rhs.kind == CondTerm::Kind::kNodeTag &&
+             atom.lhs.kind == CondTerm::Kind::kTypedValue) {
+    node = &atom.rhs;
+    lit = &atom.lhs;
+  } else {
+    return false;
+  }
+  if (!lit->value_type.empty() && lit->value_type != kStringType) {
+    return false;  // typed literal: comparison may convert or error
+  }
+  if (lit->text.find('*') != std::string::npos) return false;
+  *label = node->node_label;
+  *tag = lit->text;
+  return true;
+}
+
 class Enumerator {
  public:
   Enumerator(const PatternTree& pattern, const DataTree& tree,
-             const ConditionSemantics& semantics)
+             const ConditionSemantics& semantics,
+             const EmbeddingOptions& options)
       : pattern_(pattern), tree_(tree), semantics_(semantics) {
     CollectSingleLabelAtoms(pattern.condition(), &prefilters_);
+    if (options.use_tag_index && tree.TagFilterable()) {
+      CollectTagFilters(pattern.condition());
+    }
   }
 
   Result<std::vector<Embedding>> Run() {
@@ -39,6 +72,84 @@ class Enumerator {
   }
 
  private:
+  /// Conjunctive-context tag constraints: a bare tag-equality atom pins the
+  /// label to one tag; an Or whose children are all tag equalities on the
+  /// same label (the shape SEO expansion yields) pins it to a set. Multiple
+  /// constraints on one label intersect.
+  void CollectTagFilters(const Condition& c) {
+    if (c.kind == Condition::Kind::kAnd) {
+      for (const auto& child : c.children) CollectTagFilters(*child);
+      return;
+    }
+    int label = 0;
+    std::string tag;
+    if (c.kind == Condition::Kind::kAtom) {
+      if (ExactTagLiteral(c, &label, &tag)) {
+        Restrict(label, {std::move(tag)});
+      }
+      return;
+    }
+    if (c.kind != Condition::Kind::kOr || c.children.empty()) return;
+    std::set<std::string> tags;
+    int common_label = 0;
+    for (const auto& child : c.children) {
+      if (child->kind != Condition::Kind::kAtom ||
+          !ExactTagLiteral(*child, &label, &tag)) {
+        return;
+      }
+      if (tags.empty()) {
+        common_label = label;
+      } else if (label != common_label) {
+        return;
+      }
+      tags.insert(std::move(tag));
+    }
+    Restrict(common_label, std::move(tags));
+  }
+
+  void Restrict(int label, std::set<std::string> tags) {
+    auto [it, inserted] = tag_filters_.emplace(label, std::move(tags));
+    if (inserted) return;
+    std::set<std::string> merged;
+    std::set_intersection(it->second.begin(), it->second.end(), tags.begin(),
+                          tags.end(),
+                          std::inserter(merged, merged.begin()));
+    it->second = std::move(merged);
+  }
+
+  const std::set<std::string>* FilterFor(int label) const {
+    auto it = tag_filters_.find(label);
+    return it == tag_filters_.end() ? nullptr : &it->second;
+  }
+
+  /// A node stays a candidate when its tag is allowed, or contains '*'
+  /// (glob equality lets a data-side wildcard match any literal).
+  bool TagAllowed(NodeId v, const std::set<std::string>& allowed) const {
+    const std::string& t = tree_.node(v).tag;
+    return allowed.count(t) > 0 || t.find('*') != std::string::npos;
+  }
+
+  /// Index-seeded candidates with ids in [lo, hi), ascending. Per-tag lists
+  /// are disjoint ('*'-free literals never collide with wildcard tags), so
+  /// a concatenate-and-sort merge is exact.
+  std::vector<NodeId> SeedFromIndex(const std::set<std::string>& allowed,
+                                    NodeId lo, NodeId hi) const {
+    std::vector<NodeId> out;
+    auto take = [&](const std::vector<NodeId>& list) {
+      auto begin = std::lower_bound(list.begin(), list.end(), lo);
+      auto end = std::lower_bound(begin, list.end(), hi);
+      out.insert(out.end(), begin, end);
+    };
+    for (const std::string& tag : allowed) {
+      if (const std::vector<NodeId>* list = tree_.NodesWithTag(tag)) {
+        take(*list);
+      }
+    }
+    take(tree_.WildcardTagNodes());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   /// Checks the prefilter atoms of `label` against a partial mapping that
   /// already contains `label`.
   Result<bool> PassesPrefilters(int label) {
@@ -61,27 +172,51 @@ class Enumerator {
       return Status::OK();
     }
     const PatternNode& pnode = pattern_.node(index);
+    const std::set<std::string>* allowed = FilterFor(pnode.label);
+    // Candidate enumeration order always matches the naive scan (ascending
+    // ids at the root, child order on pc edges, preorder on ad edges), so
+    // pruning never reorders the resulting embeddings.
     std::vector<NodeId> candidates;
     if (pnode.parent < 0) {
-      // Root: any data node.
-      candidates.reserve(tree_.size());
-      for (NodeId v = 0; v < tree_.size(); ++v) candidates.push_back(v);
+      if (allowed != nullptr) {
+        candidates =
+            SeedFromIndex(*allowed, 0, static_cast<NodeId>(tree_.size()));
+      } else {
+        candidates.reserve(tree_.size());
+        for (NodeId v = 0; v < tree_.size(); ++v) candidates.push_back(v);
+      }
     } else {
       NodeId parent_image =
-          current_.mapping.at(pattern_.node(pnode.parent).label);
+          current_.mapping.Get(pattern_.node(pnode.parent).label);
       if (pnode.edge_from_parent == EdgeKind::kPc) {
-        candidates = tree_.node(parent_image).children;
+        const std::vector<NodeId>& kids = tree_.node(parent_image).children;
+        if (allowed != nullptr) {
+          for (NodeId c : kids) {
+            if (TagAllowed(c, *allowed)) candidates.push_back(c);
+          }
+        } else {
+          candidates = kids;
+        }
+      } else if (allowed != nullptr && tree_.HasPreorderIds()) {
+        // Preorder ids: the subtree is a contiguous range, and ascending id
+        // order within it *is* preorder, so the index prunes ad edges too.
+        candidates = SeedFromIndex(*allowed, parent_image + 1,
+                                   tree_.SubtreeEnd(parent_image));
+      } else if (allowed != nullptr) {
+        for (NodeId v : tree_.Descendants(parent_image)) {
+          if (TagAllowed(v, *allowed)) candidates.push_back(v);
+        }
       } else {
         candidates = tree_.Descendants(parent_image);
       }
     }
     for (NodeId cand : candidates) {
-      current_.mapping[pnode.label] = cand;
+      current_.mapping.Set(pnode.label, cand);
       TOSS_ASSIGN_OR_RETURN(bool pass, PassesPrefilters(pnode.label));
       if (pass) {
         TOSS_RETURN_NOT_OK(Assign(index + 1));
       }
-      current_.mapping.erase(pnode.label);
+      current_.mapping.Erase(pnode.label);
     }
     return Status::OK();
   }
@@ -90,6 +225,7 @@ class Enumerator {
   const DataTree& tree_;
   const ConditionSemantics& semantics_;
   std::map<int, std::vector<const Condition*>> prefilters_;
+  std::map<int, std::set<std::string>> tag_filters_;
   Embedding current_;
   std::vector<Embedding> results_;
 };
@@ -125,8 +261,14 @@ void BuildWitness(const DataTree& src, NodeId src_id,
 Result<std::vector<Embedding>> FindEmbeddings(
     const PatternTree& pattern, const DataTree& tree,
     const ConditionSemantics& semantics) {
+  return FindEmbeddings(pattern, tree, semantics, EmbeddingOptions{});
+}
+
+Result<std::vector<Embedding>> FindEmbeddings(
+    const PatternTree& pattern, const DataTree& tree,
+    const ConditionSemantics& semantics, const EmbeddingOptions& options) {
   TOSS_RETURN_NOT_OK(pattern.Validate());
-  return Enumerator(pattern, tree, semantics).Run();
+  return Enumerator(pattern, tree, semantics, options).Run();
 }
 
 DataTree BuildWitnessTree(const PatternTree& pattern, const DataTree& tree,
@@ -136,14 +278,13 @@ DataTree BuildWitnessTree(const PatternTree& pattern, const DataTree& tree,
   for (const auto& [label, node] : h.mapping) witness_nodes.insert(node);
   std::set<NodeId> expand_nodes;
   for (int label : expand_labels) {
-    auto it = h.mapping.find(label);
-    if (it != h.mapping.end()) expand_nodes.insert(it->second);
+    NodeId mapped = h.mapping.Get(label);
+    if (mapped != kInvalidNode) expand_nodes.insert(mapped);
   }
   DataTree out;
   // The pattern root's image is an ancestor-or-self of every image node, so
   // starting the walk there covers the whole witness set.
-  NodeId start = h.mapping.at(pattern.node(0).label);
-  (void)pattern;
+  NodeId start = h.mapping.Get(pattern.node(0).label);
   BuildWitness(tree, start, witness_nodes, expand_nodes, &out, kInvalidNode);
   return out;
 }

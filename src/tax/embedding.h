@@ -9,23 +9,38 @@
 // order, with single-node atoms from conjunctive context pushed down as
 // candidate filters (the classic selection-pushdown optimization; the full
 // condition is still checked on every complete mapping).
+//
+// When the data tree carries a tag index (DataTree::BuildTagIndex; built
+// automatically by FromXml) and a pattern node's conjunctive atoms pin its
+// tag to a literal -- or to a disjunction of literals, the shape SEO
+// expansion produces -- candidates are drawn from the index instead of
+// scanning the whole tree (root nodes) and edge candidates are filtered by
+// tag before any condition evaluation runs (pc/ad nodes). Candidate order
+// is preserved exactly, so results are byte-identical to the naive
+// enumeration, including the order of embeddings.
 
 #ifndef TOSS_TAX_EMBEDDING_H_
 #define TOSS_TAX_EMBEDDING_H_
 
-#include <map>
 #include <set>
 
 #include "common/result.h"
 #include "tax/condition.h"
 #include "tax/data_tree.h"
+#include "tax/label_map.h"
 #include "tax/pattern_tree.h"
 
 namespace toss::tax {
 
 /// A total mapping from pattern node labels to data nodes.
 struct Embedding {
-  std::map<int, NodeId> mapping;
+  LabelMap mapping;
+};
+
+struct EmbeddingOptions {
+  /// Seed / filter candidates through the tree's tag index when available.
+  /// Disabled only by tests that compare against the naive enumeration.
+  bool use_tag_index = true;
 };
 
 /// Enumerates all embeddings of `pattern` into `tree` whose witness
@@ -33,6 +48,10 @@ struct Embedding {
 Result<std::vector<Embedding>> FindEmbeddings(
     const PatternTree& pattern, const DataTree& tree,
     const ConditionSemantics& semantics);
+
+Result<std::vector<Embedding>> FindEmbeddings(
+    const PatternTree& pattern, const DataTree& tree,
+    const ConditionSemantics& semantics, const EmbeddingOptions& options);
 
 /// Builds the witness tree induced by `h`. Data subtrees of nodes
 /// h(l), l in `expand_labels`, are included wholesale (selection's SL

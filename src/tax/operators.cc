@@ -1,5 +1,6 @@
 #include "tax/operators.h"
 
+#include <map>
 #include <set>
 #include <unordered_set>
 
@@ -68,47 +69,154 @@ void BuildForest(const DataTree& src, NodeId src_id,
 
 }  // namespace
 
+Result<TreeCollection> SelectTree(const DataTree& tree,
+                                  const PatternTree& pattern,
+                                  const std::set<int>& expand,
+                                  const ConditionSemantics& semantics) {
+  TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                        FindEmbeddings(pattern, tree, semantics));
+  TreeCollection out;
+  Deduper dedup;
+  for (const Embedding& h : embeddings) {
+    dedup.Add(BuildWitnessTree(pattern, tree, h, expand), &out);
+  }
+  return out;
+}
+
+Result<TreeCollection> ProjectTree(const DataTree& tree,
+                                   const PatternTree& pattern,
+                                   const std::vector<ProjectItem>& pl,
+                                   const ConditionSemantics& semantics) {
+  TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                        FindEmbeddings(pattern, tree, semantics));
+  std::set<NodeId> kept;
+  std::set<NodeId> full;
+  for (const Embedding& h : embeddings) {
+    for (const ProjectItem& item : pl) {
+      NodeId mapped = h.mapping.Get(item.label);
+      if (mapped == kInvalidNode) continue;
+      kept.insert(mapped);
+      if (item.keep_subtree) full.insert(mapped);
+    }
+  }
+  TreeCollection out;
+  if (kept.empty()) return out;
+  Deduper dedup;
+  BuildForest(tree, tree.root(), kept, full, nullptr, kInvalidNode, &dedup,
+              &out);
+  return out;
+}
+
+Result<std::vector<GroupedWitness>> GroupByTree(
+    const DataTree& tree, const PatternTree& pattern, int group_label,
+    const std::set<int>& expand, const ConditionSemantics& semantics) {
+  if (pattern.IndexOfLabel(group_label) < 0) {
+    return Status::InvalidArgument("GroupBy: label $" +
+                                   std::to_string(group_label) +
+                                   " is not a pattern node");
+  }
+  TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                        FindEmbeddings(pattern, tree, semantics));
+  std::vector<GroupedWitness> out;
+  out.reserve(embeddings.size());
+  for (const Embedding& h : embeddings) {
+    GroupedWitness gw;
+    gw.value = tree.node(h.mapping.Get(group_label)).content;
+    gw.witness = BuildWitnessTree(pattern, tree, h, expand);
+    out.push_back(std::move(gw));
+  }
+  return out;
+}
+
+TreeCollection AssembleGroups(std::vector<std::vector<GroupedWitness>> parts) {
+  // Grouping value -> (first-occurrence order, deduped member trees).
+  std::vector<std::string> group_order;
+  std::map<std::string, TreeCollection> groups;
+  std::map<std::string, std::unordered_set<std::string>> seen;
+  for (std::vector<GroupedWitness>& part : parts) {
+    for (GroupedWitness& gw : part) {
+      if (groups.find(gw.value) == groups.end()) {
+        group_order.push_back(gw.value);
+      }
+      if (seen[gw.value].insert(gw.witness.CanonicalKey()).second) {
+        groups[gw.value].push_back(std::move(gw.witness));
+      }
+    }
+  }
+  TreeCollection out;
+  out.reserve(group_order.size());
+  for (const std::string& value : group_order) {
+    DataTree group;
+    NodeId root = group.CreateRoot(kGroupRootTag, value);
+    TreeCollection& members = groups[value];
+    group.node(root).provenance = members.size();  // count aggregate
+    for (const DataTree& member : members) {
+      group.CopySubtree(member, member.root(), root);
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+Result<TreeCollection> JoinTreeWithRight(
+    const DataTree& left_tree, const std::vector<const DataTree*>& right,
+    const PatternTree& pattern, const std::set<int>& expand,
+    const ConditionSemantics& semantics) {
+  TreeCollection out;
+  Deduper dedup;
+  for (const DataTree* b : right) {
+    DataTree pair;
+    NodeId root = pair.CreateRoot(kProductRootTag);
+    pair.CopySubtree(left_tree, left_tree.root(), root);
+    pair.CopySubtree(*b, b->root(), root);
+    pair.BuildTagIndex();
+    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                          FindEmbeddings(pattern, pair, semantics));
+    for (const Embedding& h : embeddings) {
+      dedup.Add(BuildWitnessTree(pattern, pair, h, expand), &out);
+    }
+  }
+  return out;
+}
+
+TreeCollection MergeDedup(std::vector<TreeCollection> parts) {
+  TreeCollection out;
+  Deduper dedup;
+  for (TreeCollection& part : parts) {
+    for (DataTree& tree : part) {
+      dedup.Add(std::move(tree), &out);
+    }
+  }
+  return out;
+}
+
 Result<TreeCollection> Select(const TreeCollection& input,
                               const PatternTree& pattern,
                               const std::vector<int>& sl,
                               const ConditionSemantics& semantics) {
-  TreeCollection out;
-  Deduper dedup;
   std::set<int> expand(sl.begin(), sl.end());
+  std::vector<TreeCollection> parts;
+  parts.reserve(input.size());
   for (const DataTree& tree : input) {
-    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
-                          FindEmbeddings(pattern, tree, semantics));
-    for (const Embedding& h : embeddings) {
-      dedup.Add(BuildWitnessTree(pattern, tree, h, expand), &out);
-    }
+    TOSS_ASSIGN_OR_RETURN(TreeCollection part,
+                          SelectTree(tree, pattern, expand, semantics));
+    parts.push_back(std::move(part));
   }
-  return out;
+  return MergeDedup(std::move(parts));
 }
 
 Result<TreeCollection> Project(const TreeCollection& input,
                                const PatternTree& pattern,
                                const std::vector<ProjectItem>& pl,
                                const ConditionSemantics& semantics) {
-  TreeCollection out;
-  Deduper dedup;
+  std::vector<TreeCollection> parts;
+  parts.reserve(input.size());
   for (const DataTree& tree : input) {
-    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
-                          FindEmbeddings(pattern, tree, semantics));
-    std::set<NodeId> kept;
-    std::set<NodeId> full;
-    for (const Embedding& h : embeddings) {
-      for (const ProjectItem& item : pl) {
-        auto it = h.mapping.find(item.label);
-        if (it == h.mapping.end()) continue;
-        kept.insert(it->second);
-        if (item.keep_subtree) full.insert(it->second);
-      }
-    }
-    if (kept.empty()) continue;
-    BuildForest(tree, tree.root(), kept, full, nullptr, kInvalidNode, &dedup,
-                &out);
+    TOSS_ASSIGN_OR_RETURN(TreeCollection part,
+                          ProjectTree(tree, pattern, pl, semantics));
+    parts.push_back(std::move(part));
   }
-  return out;
+  return MergeDedup(std::move(parts));
 }
 
 TreeCollection Product(const TreeCollection& left,
@@ -135,23 +243,19 @@ Result<TreeCollection> Join(const TreeCollection& left,
   // Semantically Select(Product(left, right), ...), but the product is
   // streamed one pair-tree at a time: materializing |L|*|R| trees up front
   // dominates memory at realistic sizes.
-  TreeCollection out;
-  Deduper dedup;
   std::set<int> expand(sl.begin(), sl.end());
+  std::vector<const DataTree*> right_ptrs;
+  right_ptrs.reserve(right.size());
+  for (const DataTree& b : right) right_ptrs.push_back(&b);
+  std::vector<TreeCollection> parts;
+  parts.reserve(left.size());
   for (const DataTree& a : left) {
-    for (const DataTree& b : right) {
-      DataTree pair;
-      NodeId root = pair.CreateRoot(kProductRootTag);
-      pair.CopySubtree(a, a.root(), root);
-      pair.CopySubtree(b, b.root(), root);
-      TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
-                            FindEmbeddings(pattern, pair, semantics));
-      for (const Embedding& h : embeddings) {
-        dedup.Add(BuildWitnessTree(pattern, pair, h, expand), &out);
-      }
-    }
+    TOSS_ASSIGN_OR_RETURN(
+        TreeCollection part,
+        JoinTreeWithRight(a, right_ptrs, pattern, expand, semantics));
+    parts.push_back(std::move(part));
   }
-  return out;
+  return MergeDedup(std::move(parts));
 }
 
 Result<TreeCollection> GroupBy(const TreeCollection& input,
@@ -164,38 +268,15 @@ Result<TreeCollection> GroupBy(const TreeCollection& input,
                                    " is not a pattern node");
   }
   std::set<int> expand(sl.begin(), sl.end());
-  // Grouping value -> (first-occurrence order, deduped member trees).
-  std::vector<std::string> group_order;
-  std::map<std::string, TreeCollection> groups;
-  std::map<std::string, std::unordered_set<std::string>> seen;
+  std::vector<std::vector<GroupedWitness>> parts;
+  parts.reserve(input.size());
   for (const DataTree& tree : input) {
-    TOSS_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
-                          FindEmbeddings(pattern, tree, semantics));
-    for (const Embedding& h : embeddings) {
-      const std::string& value =
-          tree.node(h.mapping.at(group_label)).content;
-      if (groups.find(value) == groups.end()) {
-        group_order.push_back(value);
-      }
-      DataTree witness = BuildWitnessTree(pattern, tree, h, expand);
-      if (seen[value].insert(witness.CanonicalKey()).second) {
-        groups[value].push_back(std::move(witness));
-      }
-    }
+    TOSS_ASSIGN_OR_RETURN(
+        std::vector<GroupedWitness> part,
+        GroupByTree(tree, pattern, group_label, expand, semantics));
+    parts.push_back(std::move(part));
   }
-  TreeCollection out;
-  out.reserve(group_order.size());
-  for (const std::string& value : group_order) {
-    DataTree group;
-    NodeId root = group.CreateRoot(kGroupRootTag, value);
-    TreeCollection& members = groups[value];
-    group.node(root).provenance = members.size();  // count aggregate
-    for (const DataTree& member : members) {
-      group.CopySubtree(member, member.root(), root);
-    }
-    out.push_back(std::move(group));
-  }
-  return out;
+  return AssembleGroups(std::move(parts));
 }
 
 TreeCollection Union(const TreeCollection& left,

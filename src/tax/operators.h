@@ -6,6 +6,8 @@
 #ifndef TOSS_TAX_OPERATORS_H_
 #define TOSS_TAX_OPERATORS_H_
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -80,6 +82,57 @@ TreeCollection Intersect(const TreeCollection& left,
                          const TreeCollection& right);
 TreeCollection Difference(const TreeCollection& left,
                           const TreeCollection& right);
+
+// --- Per-tree primitives ---------------------------------------------------
+//
+// Each collection operator above factors into an independent per-input-tree
+// step plus an order-preserving merge. The executor fans the per-tree steps
+// out across a worker pool and merges in input order, which reproduces the
+// sequential output byte-for-byte: duplicates are collapsed by canonical
+// key at merge time exactly as the sequential global dedup would.
+
+/// Witness trees of `pattern` in `tree`, in embedding order, duplicates
+/// within the tree collapsed.
+Result<TreeCollection> SelectTree(const DataTree& tree,
+                                  const PatternTree& pattern,
+                                  const std::set<int>& expand,
+                                  const ConditionSemantics& semantics);
+
+/// Projection of a single tree: the induced forest over PL-matched nodes,
+/// duplicates within the tree collapsed.
+Result<TreeCollection> ProjectTree(const DataTree& tree,
+                                   const PatternTree& pattern,
+                                   const std::vector<ProjectItem>& pl,
+                                   const ConditionSemantics& semantics);
+
+/// One grouped witness: the grouping value paired with the witness tree.
+struct GroupedWitness {
+  std::string value;
+  DataTree witness;
+};
+
+/// Grouping values and witnesses of a single tree, in embedding order, not
+/// deduplicated (group membership dedup spans trees; AssembleGroups does it).
+Result<std::vector<GroupedWitness>> GroupByTree(
+    const DataTree& tree, const PatternTree& pattern, int group_label,
+    const std::set<int>& expand, const ConditionSemantics& semantics);
+
+/// Builds the GroupBy output from per-tree grouped witnesses concatenated
+/// in input order: groups in first-occurrence order of their value, members
+/// deduplicated per group, count aggregate in the group root's provenance.
+TreeCollection AssembleGroups(std::vector<std::vector<GroupedWitness>> parts);
+
+/// Join witnesses of one left tree against the whole right collection
+/// (passed as pointers so callers can share cached decoded trees), in
+/// right-collection order, duplicates within the result collapsed.
+Result<TreeCollection> JoinTreeWithRight(
+    const DataTree& left_tree, const std::vector<const DataTree*>& right,
+    const PatternTree& pattern, const std::set<int>& expand,
+    const ConditionSemantics& semantics);
+
+/// Concatenates per-tree results in order, collapsing duplicates globally
+/// by canonical key (first occurrence wins).
+TreeCollection MergeDedup(std::vector<TreeCollection> parts);
 
 }  // namespace toss::tax
 

@@ -103,5 +103,133 @@ TEST_F(ParallelExecTest, ManyThreadsOnFewDocsFallsBack) {
   ASSERT_TRUE(r.ok());
 }
 
+void ExpectSameTrees(const tax::TreeCollection& a,
+                     const tax::TreeCollection& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].Equals(b[i])) << what << " tree " << i << " differs";
+  }
+}
+
+TEST_F(ParallelExecTest, ParallelProjectMatchesSequentialExactly) {
+  for (bool use_toss : {false, true}) {
+    QueryExecutor seq(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    QueryExecutor par(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    par.SetParallelism(4);
+    for (const auto& q : queries_) {
+      std::vector<tax::ProjectItem> pl;
+      for (int label : q.sl) pl.push_back({label, false});
+      if (pl.empty()) pl.push_back({1, true});
+      auto rs = seq.Project("dblp", q.pattern, pl, nullptr);
+      auto rp = par.Project("dblp", q.pattern, pl, nullptr);
+      ASSERT_TRUE(rs.ok()) << rs.status();
+      ASSERT_TRUE(rp.ok()) << rp.status();
+      ExpectSameTrees(*rs, *rp, q.name.c_str());
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, ParallelGroupByMatchesSequentialExactly) {
+  // Group papers by publication year; groups must come back in the same
+  // first-occurrence order with identical members.
+  tax::PatternTree pt;
+  int root = pt.AddRoot();
+  pt.AddChild(root, tax::EdgeKind::kPc);
+  pt.SetCondition(tax::ParseCondition(
+                      "$1.tag = \"inproceedings\" & $2.tag = \"year\"")
+                      .value());
+  for (bool use_toss : {false, true}) {
+    QueryExecutor seq(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    QueryExecutor par(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    par.SetParallelism(4);
+    auto rs = seq.GroupBy("dblp", pt, 2, {1}, nullptr);
+    auto rp = par.GroupBy("dblp", pt, 2, {1}, nullptr);
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    ASSERT_TRUE(rp.ok()) << rp.status();
+    EXPECT_GT(rs->size(), 1u) << "fixture should span several years";
+    ExpectSameTrees(*rs, *rp, "group-by-year");
+  }
+}
+
+TEST_F(ParallelExecTest, ParallelJoinMatchesSequentialExactly) {
+  // Self-join a small slice on equal publication year: enough pairs to
+  // exercise the pool on both sides without a quadratic blowup.
+  data::BibConfig cfg;
+  cfg.seed = 314;
+  cfg.num_papers = 120;
+  cfg.num_people = 30;
+  ASSERT_TRUE(data::LoadIntoCollection(&db_, "mini",
+                                       data::EmitDblp(world_, 0, 15, cfg))
+                  .ok());
+  tax::PatternTree pt;
+  int root = pt.AddRoot();
+  int left = pt.AddChild(root, tax::EdgeKind::kPc);
+  pt.AddChild(left, tax::EdgeKind::kPc);
+  int right_sub = pt.AddChild(root, tax::EdgeKind::kPc);
+  pt.AddChild(right_sub, tax::EdgeKind::kPc);
+  pt.SetCondition(
+      tax::ParseCondition("$1.tag = \"tax_prod_root\" & "
+                          "$2.tag = \"inproceedings\" & $3.tag = \"year\" & "
+                          "$4.tag = \"inproceedings\" & $5.tag = \"year\" & "
+                          "$3.content = $5.content")
+          .value());
+  for (bool use_toss : {false, true}) {
+    QueryExecutor seq(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    QueryExecutor par(&db_, use_toss ? &seo_ : nullptr,
+                      use_toss ? &types_ : nullptr);
+    par.SetParallelism(4);
+    auto rs = seq.Join("mini", "mini", pt, {2, 4}, nullptr);
+    auto rp = par.Join("mini", "mini", pt, {2, 4}, nullptr);
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    ASSERT_TRUE(rp.ok()) << rp.status();
+    EXPECT_GT(rs->size(), 0u) << "same-year pairs must exist";
+    ExpectSameTrees(*rs, *rp, "join-on-year");
+  }
+}
+
+TEST_F(ParallelExecTest, WorkerErrorAbortsPoolAndMatchesSequentialError) {
+  // An ill-typed ordering atom (unknown literal type) raises the same
+  // TypeError in every document; the pool must stop and surface it.
+  tax::PatternTree pt;
+  int root = pt.AddRoot();
+  pt.AddChild(root, tax::EdgeKind::kPc);
+  pt.SetCondition(tax::ParseCondition(
+                      "$1.tag = \"inproceedings\" & $2.tag = \"year\" & "
+                      "$2.content < \"2525\":bogus_type")
+                      .value());
+  QueryExecutor seq(&db_, &seo_, &types_);
+  QueryExecutor par(&db_, &seo_, &types_);
+  par.SetParallelism(4);
+  auto rs = seq.Select("dblp", pt, {1}, nullptr);
+  auto rp = par.Select("dblp", pt, {1}, nullptr);
+  ASSERT_FALSE(rs.ok());
+  ASSERT_FALSE(rp.ok());
+  EXPECT_EQ(rs.status().code(), rp.status().code());
+  EXPECT_EQ(rs.status().message(), rp.status().message());
+}
+
+TEST_F(ParallelExecTest, RepeatedQueriesHitTheDecodedTreeCache) {
+  auto coll = db_.GetCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  QueryExecutor par(&db_, &seo_, &types_);
+  par.SetParallelism(4);
+  ASSERT_TRUE(par.Select("dblp", queries_[0].pattern, queries_[0].sl,
+                         nullptr)
+                  .ok());
+  auto first = (*coll)->GetTreeCacheStats();
+  EXPECT_GT(first.misses, 0u);
+  ASSERT_TRUE(par.Select("dblp", queries_[0].pattern, queries_[0].sl,
+                         nullptr)
+                  .ok());
+  auto second = (*coll)->GetTreeCacheStats();
+  EXPECT_EQ(second.misses, first.misses) << "second run must decode nothing";
+  EXPECT_GT(second.hits, first.hits);
+}
+
 }  // namespace
 }  // namespace toss::core

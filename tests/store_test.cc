@@ -4,6 +4,7 @@
 
 #include "store/database.h"
 #include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
 
 namespace toss::store {
 namespace {
@@ -213,6 +214,85 @@ TEST(CollectionTest, ApproxByteSizePositive) {
   EXPECT_GT(full, 100u);
   ASSERT_TRUE(coll.Remove("p1").ok());
   EXPECT_LT(coll.ApproxByteSize(), full);
+}
+
+TEST(CollectionTest, ApproxByteSizeMatchesSerialization) {
+  // Sizes are recorded at Insert/Replace; the sum must equal what a full
+  // re-serialization would report.
+  Collection coll = MakeSmallCollection();
+  size_t expected = 0;
+  for (DocId id : coll.AllDocs()) {
+    expected += xml::Write(coll.document(id)).size();
+  }
+  EXPECT_EQ(coll.ApproxByteSize(), expected);
+  ASSERT_TRUE(
+      coll.Replace("p1", std::move(*xml::Parse("<a><b>tiny</b></a>"))).ok());
+  expected = 0;
+  for (DocId id : coll.AllDocs()) {
+    expected += xml::Write(coll.document(id)).size();
+  }
+  EXPECT_EQ(coll.ApproxByteSize(), expected);
+}
+
+TEST(CollectionTest, DecodedTreeCacheReturnsCorrectTrees) {
+  Collection coll = MakeSmallCollection();
+  auto id = coll.FindKey("p1");
+  ASSERT_TRUE(id.ok());
+  auto tree = coll.DecodedTree(*id);
+  ASSERT_NE(tree, nullptr);
+  tax::DataTree fresh =
+      tax::DataTree::FromXml(coll.document(*id), coll.document(*id).root());
+  EXPECT_TRUE(tree->Equals(fresh));
+  EXPECT_TRUE(tree->has_tag_index());
+  // Second access is a hit on the same instance.
+  auto again = coll.DecodedTree(*id);
+  EXPECT_EQ(tree.get(), again.get());
+  auto stats = coll.GetTreeCacheStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CollectionTest, DecodedTreeCacheInvalidatedOnReplaceAndRemove) {
+  Collection coll = MakeSmallCollection();
+  auto id = coll.FindKey("p2");
+  ASSERT_TRUE(id.ok());
+  auto before = coll.DecodedTree(*id);
+  EXPECT_EQ(coll.GetTreeCacheStats().entries, 1u);
+  auto new_id = coll.Replace(
+      "p2", std::move(*xml::Parse("<inproceedings><booktitle>ICDE"
+                                  "</booktitle></inproceedings>")));
+  ASSERT_TRUE(new_id.ok());
+  EXPECT_NE(*new_id, *id);
+  // The dead DocId's entry is gone; the new id decodes the new content.
+  EXPECT_EQ(coll.GetTreeCacheStats().entries, 0u);
+  auto after = coll.DecodedTree(*new_id);
+  ASSERT_EQ(after->size(), 2u);
+  EXPECT_EQ(after->node(1).content, "ICDE");
+  // The old shared_ptr stays valid for readers that grabbed it pre-replace.
+  EXPECT_EQ(before->node(0).tag, "inproceedings");
+  ASSERT_TRUE(coll.Remove("p2").ok());
+  EXPECT_EQ(coll.GetTreeCacheStats().entries, 0u);
+}
+
+TEST(CollectionTest, DecodedTreeCacheEvictsLeastRecentlyUsed) {
+  Collection coll = MakeSmallCollection();
+  coll.SetTreeCacheCapacity(2);
+  auto p1 = coll.FindKey("p1");
+  auto p2 = coll.FindKey("p2");
+  auto p3 = coll.FindKey("p3");
+  (void)coll.DecodedTree(*p1);
+  (void)coll.DecodedTree(*p2);
+  (void)coll.DecodedTree(*p1);  // p1 now most recent
+  (void)coll.DecodedTree(*p3);  // evicts p2
+  auto stats = coll.GetTreeCacheStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.misses, 3u);
+  (void)coll.DecodedTree(*p1);  // still cached
+  EXPECT_EQ(coll.GetTreeCacheStats().hits, 2u);
+  (void)coll.DecodedTree(*p2);  // was evicted: a fresh miss
+  EXPECT_EQ(coll.GetTreeCacheStats().misses, 4u);
 }
 
 TEST(CollectionTest, StatsTrackIndexes) {

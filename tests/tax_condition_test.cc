@@ -27,7 +27,7 @@ class ConditionEvalTest : public ::testing::Test {
 
   DataTree tree_;
   NodeId author_ = 0, year_ = 0;
-  std::map<int, NodeId> mapping_;
+  LabelMap mapping_;
   EmbeddingView view_;
   TaxSemantics semantics_;
 };

@@ -69,7 +69,7 @@ class TossConditionOpsTest : public ::testing::Test {
   std::unique_ptr<SeoSemantics> sem_;
   tax::DataTree tree_;
   tax::NodeId author_ = 0, venue_ = 0, year_ = 0, affil_ = 0;
-  std::map<int, tax::NodeId> mapping_;
+  tax::LabelMap mapping_;
   tax::EmbeddingView view_;
 };
 
