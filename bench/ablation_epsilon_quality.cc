@@ -1,6 +1,8 @@
 // Ablation: the precision/recall/quality tradeoff as a continuous function
 // of epsilon -- the fuller curve behind the paper's two operating points
-// (eps = 2 and eps = 3 in Fig. 15).
+// (eps = 2 and eps = 3 in Fig. 15). The whole curve shares one pairwise
+// distance scan per dataset (Fig15Fixture::EvaluateSweep / SeoSweeper)
+// instead of rebuilding the SEO from scratch at every threshold.
 
 #include <cstdio>
 
@@ -15,8 +17,12 @@ int main() {
               "(%zu queries, guarded Levenshtein)\n",
               fixture.query_count());
   std::printf("%8s %8s %8s %8s\n", "epsilon", "prec", "recall", "quality");
-  for (double eps : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0}) {
-    auto metrics = fixture.Evaluate("guarded-levenshtein", eps);
+  const std::vector<double> epsilons = {0.0, 0.5, 1.0, 1.5, 2.0,
+                                        2.5, 3.0, 3.5, 4.0, 5.0};
+  auto sweep = fixture.EvaluateSweep("guarded-levenshtein", epsilons);
+  for (size_t i = 0; i < epsilons.size(); ++i) {
+    double eps = epsilons[i];
+    const auto& metrics = sweep[i];
     if (!metrics.ok()) {
       std::printf("%8.1f -- %s\n", eps,
                   metrics.status().ToString().c_str());

@@ -35,9 +35,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR1.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR2.json";
 #else
-  return "BENCH_PR1.json";
+  return "BENCH_PR2.json";
 #endif
 }
 
@@ -201,6 +201,59 @@ Result<std::vector<eval::PrMetrics>> Fig15Fixture::Evaluate(
       out.push_back(
           eval::ComputePr(eval::ExtractRootProvenance(r), q.correct));
     }
+  }
+  return out;
+}
+
+std::vector<Result<std::vector<eval::PrMetrics>>> Fig15Fixture::EvaluateSweep(
+    const std::string& measure, const std::vector<double>& epsilons) const {
+  std::vector<Result<std::vector<eval::PrMetrics>>> out;
+  if (measure.empty()) {
+    // TAX baseline: no SEO to share, each epsilon is an independent run.
+    for (double e : epsilons) out.push_back(Evaluate(measure, e));
+    return out;
+  }
+  double max_eps = 0;
+  for (double e : epsilons) max_eps = std::max(max_eps, e);
+  // One sweeper per dataset: fusion + the pairwise distance scan happen
+  // here, once, at the sweep's max epsilon.
+  std::vector<core::SeoSweeper> sweepers;
+  for (const auto& ds : impl_->datasets) {
+    core::SeoBuilder builder;
+    builder.AddInstanceOntology(ds.onto);
+    auto m = sim::MakeMeasure(measure);
+    if (!m.ok()) {
+      out.assign(epsilons.size(),
+                 Result<std::vector<eval::PrMetrics>>(m.status()));
+      return out;
+    }
+    builder.SetMeasure(std::move(m).value());
+    auto sweeper = builder.BuildSweeper(max_eps);
+    if (!sweeper.ok()) {
+      out.assign(epsilons.size(),
+                 Result<std::vector<eval::PrMetrics>>(sweeper.status()));
+      return out;
+    }
+    sweepers.push_back(std::move(sweeper).value());
+  }
+  for (double eps : epsilons) {
+    auto run = [&]() -> Result<std::vector<eval::PrMetrics>> {
+      std::vector<eval::PrMetrics> res;
+      for (size_t d = 0; d < impl_->datasets.size(); ++d) {
+        const auto& ds = impl_->datasets[d];
+        TOSS_ASSIGN_OR_RETURN(core::Seo seo, sweepers[d].BuildAt(eps));
+        core::QueryExecutor exec(ds.db.get(), &seo, &impl_->types);
+        for (const auto& q : ds.queries) {
+          TOSS_ASSIGN_OR_RETURN(
+              tax::TreeCollection r,
+              exec.Select(ds.name, q.pattern, q.sl, nullptr));
+          res.push_back(
+              eval::ComputePr(eval::ExtractRootProvenance(r), q.correct));
+        }
+      }
+      return res;
+    };
+    out.push_back(run());
   }
   return out;
 }

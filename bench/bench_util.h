@@ -27,7 +27,7 @@ bool SmokeMode();
 
 /// Merges {`name`: `median_ms`} into the machine-readable bench report --
 /// a flat JSON object of bench name -> median wall milliseconds, written
-/// to BENCH_PR1.json at the repo root (override the path with the
+/// to BENCH_PR2.json at the repo root (override the path with the
 /// TOSS_BENCH_JSON environment variable). Re-recording a name overwrites
 /// its value; entries from other benches are preserved. No-op in smoke
 /// mode.
@@ -84,6 +84,14 @@ class Fig15Fixture {
   /// configurations return Status::Inconsistent.
   Result<std::vector<eval::PrMetrics>> Evaluate(const std::string& measure,
                                                 double epsilon) const;
+
+  /// Evaluate() across all of `epsilons` (result i matches epsilons[i]),
+  /// but with each dataset's SEO built through core::SeoSweeper: fusion and
+  /// the pairwise distance scan run once at max(epsilons) instead of once
+  /// per epsilon. Per-epsilon results are identical to Evaluate()'s,
+  /// including Inconsistent entries for rejected thresholds.
+  std::vector<Result<std::vector<eval::PrMetrics>>> EvaluateSweep(
+      const std::string& measure, const std::vector<double>& epsilons) const;
 
   size_t query_count() const;
 

@@ -2,9 +2,27 @@
 // a function of hierarchy size and epsilon. The paper gives the complexity
 // O(|S|*|S'|) + O(|S|*|S'|^2); the pairwise distance scan with the banded
 // Levenshtein dominates at realistic sizes.
+//
+// Variants:
+//   BM_Sea                 -- the production path: signature admission
+//                             filters + bitset clique/order pipeline.
+//   BM_SeaNaive            -- filters and parallel fan-out disabled; the
+//                             gap to BM_Sea is the filter win.
+//   BM_SeaSweepIndependent -- an epsilon sweep as independent
+//                             SimilarityEnhance calls (re-scanning pairs
+//                             per epsilon).
+//   BM_SeaSweep            -- the same sweep through SimilaritySweep
+//                             (pairwise matrix computed once, thresholded
+//                             per epsilon).
+// Results are written to the bench report via RecordBenchMs on the median
+// aggregate.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "ontology/sea.h"
 #include "sim/string_measure.h"
@@ -38,16 +56,56 @@ Hierarchy MakeHierarchy(size_t n, uint64_t seed) {
   return h;
 }
 
-void BM_Sea(benchmark::State& state) {
+const std::vector<double>& SweepEpsilons() {
+  static const std::vector<double> eps = {0.0, 1.0, 2.0, 3.0};
+  return eps;
+}
+
+void RunSea(benchmark::State& state, const toss::ontology::SeaOptions& opts) {
   size_t n = static_cast<size_t>(state.range(0));
   double eps = static_cast<double>(state.range(1));
   Hierarchy h = MakeHierarchy(n, 7);
   toss::sim::LevenshteinMeasure lev;
   for (auto _ : state) {
-    auto r = toss::ontology::SimilarityEnhance(h, lev, eps);
+    auto r = toss::ontology::SimilarityEnhance(h, lev, eps, opts);
     benchmark::DoNotOptimize(r.ok());
   }
   state.SetComplexityN(static_cast<int64_t>(n));
+}
+
+void BM_Sea(benchmark::State& state) { RunSea(state, {}); }
+
+void BM_SeaNaive(benchmark::State& state) {
+  toss::ontology::SeaOptions opts;
+  opts.use_filters = false;
+  opts.parallel = false;
+  RunSea(state, opts);
+}
+
+void BM_SeaSweepIndependent(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Hierarchy h = MakeHierarchy(n, 7);
+  toss::sim::LevenshteinMeasure lev;
+  for (auto _ : state) {
+    for (double eps : SweepEpsilons()) {
+      auto r = toss::ontology::SimilarityEnhance(h, lev, eps);
+      benchmark::DoNotOptimize(r.ok());
+    }
+  }
+}
+
+void BM_SeaSweep(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Hierarchy h = MakeHierarchy(n, 7);
+  toss::sim::LevenshteinMeasure lev;
+  const double max_eps = SweepEpsilons().back();
+  for (auto _ : state) {
+    auto sweep = toss::ontology::SimilaritySweep::Create(h, lev, max_eps);
+    for (double eps : SweepEpsilons()) {
+      auto r = sweep.value().Enhance(eps);
+      benchmark::DoNotOptimize(r.ok());
+    }
+  }
 }
 
 BENCHMARK(BM_Sea)
@@ -59,8 +117,56 @@ BENCHMARK(BM_Sea)
     ->Args({400, 2})
     ->Args({400, 3})
     ->Unit(benchmark::kMillisecond)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true)
     ->Complexity(benchmark::oNSquared);
+
+BENCHMARK(BM_SeaNaive)
+    ->Args({400, 1})
+    ->Args({800, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
+BENCHMARK(BM_SeaSweepIndependent)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
+BENCHMARK(BM_SeaSweep)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
+/// Console reporting plus RecordBenchMs on every *_median aggregate.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::string name = run.benchmark_name();
+      const std::string suffix = "_median";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+        toss::bench::RecordBenchMs(
+            "micro_sea/" + name.substr(0, name.size() - suffix.size()),
+            run.GetAdjustedRealTime());
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -234,16 +234,17 @@ bench/CMakeFiles/ablation_index.dir/ablation_index.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/core/seo.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
- /root/repo/src/sim/string_measure.h /root/repo/src/core/seo_semantics.h \
- /root/repo/src/core/types.h /root/repo/src/tax/condition.h \
- /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/tax/label_map.h /root/repo/src/store/database.h \
- /root/repo/src/store/collection.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/store/btree.h /root/repo/src/xml/xpath.h \
- /root/repo/src/tax/operators.h /root/repo/src/tax/embedding.h \
- /root/repo/src/tax/pattern_tree.h /root/repo/src/tax/tax_semantics.h \
- /root/repo/src/lexicon/lexicon.h /root/repo/src/ontology/fusion.h \
+ /root/repo/src/sim/pairwise.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/core/seo_semantics.h /root/repo/src/core/types.h \
+ /root/repo/src/tax/condition.h /root/repo/src/tax/data_tree.h \
+ /root/repo/src/xml/xml_document.h /root/repo/src/tax/label_map.h \
+ /root/repo/src/store/database.h /root/repo/src/store/collection.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/store/btree.h \
+ /root/repo/src/xml/xpath.h /root/repo/src/tax/operators.h \
+ /root/repo/src/tax/embedding.h /root/repo/src/tax/pattern_tree.h \
+ /root/repo/src/tax/tax_semantics.h /root/repo/src/lexicon/lexicon.h \
+ /root/repo/src/ontology/fusion.h \
  /root/repo/src/ontology/ontology_maker.h \
  /root/repo/src/sim/measure_registry.h \
  /root/repo/src/tax/condition_parser.h /root/repo/src/xml/xml_parser.h \

@@ -231,13 +231,14 @@ bench/CMakeFiles/fig15a_precision_recall.dir/fig15a_precision_recall.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
- /root/repo/src/sim/string_measure.h /root/repo/src/core/seo_semantics.h \
- /root/repo/src/core/types.h /root/repo/src/tax/condition.h \
- /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/tax/label_map.h /root/repo/src/store/database.h \
- /root/repo/src/store/collection.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/sim/pairwise.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/core/seo_semantics.h /root/repo/src/core/types.h \
+ /root/repo/src/tax/condition.h /root/repo/src/tax/data_tree.h \
+ /root/repo/src/xml/xml_document.h /root/repo/src/tax/label_map.h \
+ /root/repo/src/store/database.h /root/repo/src/store/collection.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/store/btree.h \
  /root/repo/src/xml/xpath.h /root/repo/src/tax/operators.h \
  /root/repo/src/tax/embedding.h /root/repo/src/tax/pattern_tree.h \

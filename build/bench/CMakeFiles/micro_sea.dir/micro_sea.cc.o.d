@@ -183,10 +183,17 @@ bench/CMakeFiles/micro_sea.dir/micro_sea.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/random.h /root/repo/src/ontology/sea.h \
- /root/repo/src/common/result.h /usr/include/c++/12/optional \
+ /root/repo/bench/bench_util.h /root/repo/src/core/toss.h \
+ /root/repo/src/core/query_executor.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/status.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -202,11 +209,7 @@ bench/CMakeFiles/micro_sea.dir/micro_sea.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/ontology/hierarchy.h \
- /root/repo/src/sim/string_measure.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -215,4 +218,36 @@ bench/CMakeFiles/micro_sea.dir/micro_sea.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/optional /root/repo/src/common/status.h \
+ /root/repo/src/common/worker_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/core/seo.h \
+ /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
+ /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
+ /root/repo/src/sim/pairwise.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/core/seo_semantics.h /root/repo/src/core/types.h \
+ /root/repo/src/tax/condition.h /root/repo/src/tax/data_tree.h \
+ /root/repo/src/xml/xml_document.h /root/repo/src/tax/label_map.h \
+ /root/repo/src/store/database.h /root/repo/src/store/collection.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/store/btree.h \
+ /root/repo/src/xml/xpath.h /root/repo/src/tax/operators.h \
+ /root/repo/src/tax/embedding.h /root/repo/src/tax/pattern_tree.h \
+ /root/repo/src/tax/tax_semantics.h /root/repo/src/lexicon/lexicon.h \
+ /root/repo/src/ontology/fusion.h \
+ /root/repo/src/ontology/ontology_maker.h \
+ /root/repo/src/sim/measure_registry.h \
+ /root/repo/src/tax/condition_parser.h /root/repo/src/xml/xml_parser.h \
+ /root/repo/src/xml/xml_writer.h /root/repo/src/data/bib_generator.h \
+ /root/repo/src/common/random.h /root/repo/src/data/entities.h \
+ /root/repo/src/data/workload.h /root/repo/src/eval/metrics.h

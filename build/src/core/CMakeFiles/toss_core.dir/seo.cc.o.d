@@ -208,6 +208,7 @@ src/core/CMakeFiles/toss_core.dir/seo.cc.o: /root/repo/src/core/seo.cc \
  /root/repo/src/common/status.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
+ /root/repo/src/sim/pairwise.h /usr/include/c++/12/limits \
  /root/repo/src/sim/string_measure.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \

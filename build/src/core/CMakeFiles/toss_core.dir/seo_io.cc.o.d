@@ -214,6 +214,7 @@ src/core/CMakeFiles/toss_core.dir/seo_io.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
+ /root/repo/src/sim/pairwise.h /usr/include/c++/12/limits \
  /root/repo/src/sim/string_measure.h \
  /root/repo/src/ontology/hierarchy_io.h \
  /root/repo/src/sim/measure_registry.h

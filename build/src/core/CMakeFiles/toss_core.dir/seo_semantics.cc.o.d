@@ -209,6 +209,7 @@ src/core/CMakeFiles/toss_core.dir/seo_semantics.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
+ /root/repo/src/sim/pairwise.h /usr/include/c++/12/limits \
  /root/repo/src/sim/string_measure.h /root/repo/src/core/types.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -168,7 +168,8 @@ src/ontology/CMakeFiles/toss_ontology.dir/sea.cc.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/string_measure.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/pairwise.h \
+ /usr/include/c++/12/limits /root/repo/src/sim/string_measure.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

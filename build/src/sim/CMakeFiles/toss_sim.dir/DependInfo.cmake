@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/measure_registry.cc" "src/sim/CMakeFiles/toss_sim.dir/measure_registry.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/measure_registry.cc.o.d"
   "/root/repo/src/sim/node_measure.cc" "src/sim/CMakeFiles/toss_sim.dir/node_measure.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/node_measure.cc.o.d"
+  "/root/repo/src/sim/pairwise.cc" "src/sim/CMakeFiles/toss_sim.dir/pairwise.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/pairwise.cc.o.d"
   "/root/repo/src/sim/soft_tfidf.cc" "src/sim/CMakeFiles/toss_sim.dir/soft_tfidf.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/soft_tfidf.cc.o.d"
   "/root/repo/src/sim/string_measure.cc" "src/sim/CMakeFiles/toss_sim.dir/string_measure.cc.o" "gcc" "src/sim/CMakeFiles/toss_sim.dir/string_measure.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/toss_sim.dir/measure_registry.cc.o.d"
   "CMakeFiles/toss_sim.dir/node_measure.cc.o"
   "CMakeFiles/toss_sim.dir/node_measure.cc.o.d"
+  "CMakeFiles/toss_sim.dir/pairwise.cc.o"
+  "CMakeFiles/toss_sim.dir/pairwise.cc.o.d"
   "CMakeFiles/toss_sim.dir/soft_tfidf.cc.o"
   "CMakeFiles/toss_sim.dir/soft_tfidf.cc.o.d"
   "CMakeFiles/toss_sim.dir/string_measure.cc.o"

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairwise_test.cc" "tests/CMakeFiles/pairwise_test.dir/pairwise_test.cc.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/toss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/toss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/toss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/toss_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/toss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/toss_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/toss_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/tax/CMakeFiles/toss_tax.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/toss_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/toss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_test.dir/pairwise_test.cc.o"
+  "CMakeFiles/pairwise_test.dir/pairwise_test.cc.o.d"
+  "pairwise_test"
+  "pairwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

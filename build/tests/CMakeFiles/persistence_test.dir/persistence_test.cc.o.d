@@ -301,8 +301,8 @@ tests/CMakeFiles/persistence_test.dir/persistence_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
- /root/repo/src/sim/string_measure.h /root/repo/src/lexicon/lexicon.h \
- /root/repo/src/ontology/hierarchy_io.h \
+ /root/repo/src/sim/pairwise.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/lexicon/lexicon.h /root/repo/src/ontology/hierarchy_io.h \
  /root/repo/src/ontology/ontology_maker.h \
  /root/repo/src/xml/xml_document.h /root/repo/src/sim/measure_registry.h \
  /root/repo/src/xml/xml_parser.h

@@ -297,7 +297,8 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/ontology/hierarchy_io.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/ontology/hierarchy.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
- /root/repo/src/ontology/sea.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/ontology/sea.h /root/repo/src/sim/pairwise.h \
+ /root/repo/src/sim/string_measure.h \
  /root/repo/src/sim/measure_registry.h \
  /root/repo/src/tax/condition_parser.h /root/repo/src/tax/condition.h \
  /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \

@@ -298,4 +298,5 @@ tests/CMakeFiles/sea_test.dir/sea_test.cc.o: /root/repo/tests/sea_test.cc \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/random.h /root/repo/src/ontology/sea.h \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
- /root/repo/src/ontology/hierarchy.h /root/repo/src/sim/string_measure.h
+ /root/repo/src/ontology/hierarchy.h /root/repo/src/sim/pairwise.h \
+ /root/repo/src/sim/string_measure.h

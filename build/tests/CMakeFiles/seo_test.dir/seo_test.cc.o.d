@@ -299,7 +299,8 @@ tests/CMakeFiles/seo_test.dir/seo_test.cc.o: /root/repo/tests/seo_test.cc \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
- /root/repo/src/sim/string_measure.h /root/repo/src/lexicon/lexicon.h \
+ /root/repo/src/sim/pairwise.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/lexicon/lexicon.h \
  /root/repo/src/ontology/ontology_maker.h \
  /root/repo/src/xml/xml_document.h /root/repo/src/sim/measure_registry.h \
  /root/repo/src/xml/xml_parser.h

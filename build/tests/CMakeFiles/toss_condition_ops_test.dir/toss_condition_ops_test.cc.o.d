@@ -297,10 +297,11 @@ tests/CMakeFiles/toss_condition_ops_test.dir/toss_condition_ops_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/ontology/constraints.h \
  /root/repo/src/ontology/hierarchy.h /root/repo/src/ontology/sea.h \
- /root/repo/src/sim/string_measure.h /root/repo/src/core/seo_semantics.h \
- /root/repo/src/core/types.h /root/repo/src/tax/condition.h \
- /root/repo/src/tax/data_tree.h /root/repo/src/xml/xml_document.h \
- /root/repo/src/tax/label_map.h /root/repo/src/lexicon/lexicon.h \
+ /root/repo/src/sim/pairwise.h /root/repo/src/sim/string_measure.h \
+ /root/repo/src/core/seo_semantics.h /root/repo/src/core/types.h \
+ /root/repo/src/tax/condition.h /root/repo/src/tax/data_tree.h \
+ /root/repo/src/xml/xml_document.h /root/repo/src/tax/label_map.h \
+ /root/repo/src/lexicon/lexicon.h \
  /root/repo/src/ontology/ontology_maker.h \
  /root/repo/src/sim/measure_registry.h \
  /root/repo/src/tax/condition_parser.h /root/repo/src/xml/xml_parser.h

@@ -70,4 +70,19 @@ void WorkerPool::WorkerMain() {
   }
 }
 
+WorkerPool& SharedWorkerPool() {
+  // Leaked deliberately: joining parked threads during static destruction
+  // is a shutdown-order hazard, and the OS reclaims them at exit anyway.
+  static WorkerPool* pool = new WorkerPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+Status SharedParallelFor(size_t n,
+                         const std::function<Status(size_t)>& fn) {
+  static std::mutex job_mu;  // ParallelFor runs one job at a time
+  std::lock_guard<std::mutex> lock(job_mu);
+  return SharedWorkerPool().ParallelFor(n, fn);
+}
+
 }  // namespace toss

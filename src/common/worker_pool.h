@@ -69,6 +69,19 @@ class WorkerPool {
   Status first_error_;
 };
 
+/// Process-wide pool for offline/build-path loops (SEA's pairwise distance
+/// scan, bulk loading), lazily created at hardware concurrency and never
+/// destroyed (its threads park between jobs). Query execution keeps its own
+/// pool (QueryExecutor::SetParallelism); this one is for everything that
+/// runs before queries do. Submit work through SharedParallelFor, which
+/// serializes concurrent callers -- ParallelFor itself is single-job.
+WorkerPool& SharedWorkerPool();
+
+/// ParallelFor on the shared pool, safe to call from multiple threads
+/// (jobs queue on an internal mutex). Must not be called from inside a
+/// task already running on the shared pool (it would deadlock).
+Status SharedParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
 }  // namespace toss
 
 #endif  // TOSS_COMMON_WORKER_POOL_H_

@@ -173,4 +173,46 @@ Result<Seo> SeoBuilder::Build() const {
   return seo;
 }
 
+Result<SeoSweeper> SeoBuilder::BuildSweeper(double max_epsilon) const {
+  if (ontologies_.empty()) {
+    return Status::InvalidArgument("SeoBuilder: no instance ontologies");
+  }
+  if (measure_ == nullptr) {
+    return Status::InvalidArgument("SeoBuilder: no similarity measure set");
+  }
+  if (max_epsilon < 0) {
+    return Status::InvalidArgument("SeoBuilder: max_epsilon must be >= 0");
+  }
+  std::vector<const ontology::Ontology*> ptrs;
+  ptrs.reserve(ontologies_.size());
+  for (const auto& o : ontologies_) ptrs.push_back(&o);
+
+  SeoSweeper sweeper;
+  TOSS_ASSIGN_OR_RETURN(sweeper.fused_,
+                        ontology::FuseOntologies(ptrs, constraints_));
+  sweeper.measure_ = measure_;
+  sweeper.max_epsilon_ = max_epsilon;
+  for (const auto& rel : sweeper.fused_.relations()) {
+    const Hierarchy* h = sweeper.fused_.Find(rel);
+    TOSS_ASSIGN_OR_RETURN(
+        ontology::SimilaritySweep sweep,
+        ontology::SimilaritySweep::Create(*h, *measure_, max_epsilon));
+    sweeper.sweeps_.emplace(rel, std::move(sweep));
+  }
+  return sweeper;
+}
+
+Result<Seo> SeoSweeper::BuildAt(double epsilon) const {
+  Seo seo;
+  seo.fused_ = fused_;
+  seo.measure_ = measure_;
+  seo.epsilon_ = epsilon;
+  for (const auto& [rel, sweep] : sweeps_) {
+    TOSS_ASSIGN_OR_RETURN(ontology::SimilarityEnhancement enh,
+                          sweep.Enhance(epsilon));
+    seo.enhancements_[rel] = std::move(enh);
+  }
+  return seo;
+}
+
 }  // namespace toss::core

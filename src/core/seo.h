@@ -75,6 +75,7 @@ class Seo {
 
  private:
   friend class SeoBuilder;
+  friend class SeoSweeper;
   friend std::string FormatSeo(const Seo& seo);
   friend Result<Seo> ParseSeoText(std::string_view text);
 
@@ -92,6 +93,33 @@ std::string FormatSeo(const Seo& seo);
 Result<Seo> ParseSeoText(std::string_view text);
 Status SaveSeo(const Seo& seo, const std::string& path);
 Result<Seo> LoadSeo(const std::string& path);
+
+/// Compute-once epsilon sweeps at the SEO level (built by
+/// SeoBuilder::BuildSweeper): fusion runs once and each relation's pairwise
+/// distance matrix is computed once at the sweep's max epsilon (via
+/// ontology::SimilaritySweep); BuildAt(epsilon) then derives the Seo for
+/// any epsilon <= max_epsilon by thresholding. The result is identical to
+/// SeoBuilder::SetEpsilon(epsilon).Build() on the same inputs, including
+/// the similarity-inconsistent rejections -- benchmarks sweeping Fig. 16c's
+/// epsilon axis pay for fusion and the O(|S|^2) scan once instead of once
+/// per epsilon.
+class SeoSweeper {
+ public:
+  /// Assembles the Seo at `epsilon` (<= max_epsilon). Fails with
+  /// Inconsistent exactly where an independent build would.
+  Result<Seo> BuildAt(double epsilon) const;
+
+  double max_epsilon() const { return max_epsilon_; }
+
+ private:
+  friend class SeoBuilder;
+  SeoSweeper() = default;
+
+  ontology::Ontology fused_;
+  std::map<std::string, ontology::SimilaritySweep> sweeps_;
+  sim::StringMeasurePtr measure_;
+  double max_epsilon_ = 0.0;
+};
 
 class SeoBuilder {
  public:
@@ -111,6 +139,11 @@ class SeoBuilder {
   /// Fuses and enhances. Fails with Inconsistent on unsatisfiable
   /// constraints or similarity inconsistency.
   Result<Seo> Build() const;
+
+  /// Fuses once and precomputes every relation's distance matrix at
+  /// `max_epsilon`, for repeated SeoSweeper::BuildAt calls. The builder's
+  /// own epsilon is ignored (BuildAt supplies it).
+  Result<SeoSweeper> BuildSweeper(double max_epsilon) const;
 
  private:
   std::vector<ontology::Ontology> ontologies_;

@@ -91,6 +91,21 @@ class Hierarchy {
   /// containing `b`.
   bool LeqTerms(const std::string& a, const std::string& b) const;
 
+  /// Words per packed closure row (builds the cache). SEA's order rebuild
+  /// works directly on these rows instead of per-pair Leq calls.
+  size_t ClosureWordCount() const {
+    EnsureClosure();
+    return closure_words_;
+  }
+
+  /// Packed downward-closure row of `id`: bit a is set iff a <= id
+  /// (including a == id). ClosureWordCount() words long; invalidated by
+  /// the next mutation. Builds the cache on first use.
+  const uint64_t* ClosureRow(HNodeId id) const {
+    EnsureClosure();
+    return closure_.data() + static_cast<size_t>(id) * closure_words_;
+  }
+
   /// Upward closure of `id` (everything >= id, including id).
   std::vector<HNodeId> Above(HNodeId id) const;
 

@@ -1,6 +1,7 @@
 #include "ontology/sea.h"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 #include "sim/node_measure.h"
@@ -9,119 +10,179 @@ namespace toss::ontology {
 
 namespace {
 
-// Bron-Kerbosch maximal clique enumeration with pivoting. Vertices are
-// hierarchy node ids; `adj` is a symmetric boolean matrix. Similarity graphs
-// over ontology terms are sparse, so this is fast in practice despite the
-// worst-case exponential bound.
+// ---------------------------------------------------------------------------
+// Packed-bitset helpers (rows of uint64_t words, same layout as
+// Hierarchy's closure cache).
+// ---------------------------------------------------------------------------
+
+inline void SetBit(uint64_t* row, size_t i) {
+  row[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+inline void ClearBit(uint64_t* row, size_t i) {
+  row[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+inline bool TestBit(const uint64_t* row, size_t i) {
+  return (row[i / 64] >> (i % 64)) & 1;
+}
+
+inline bool AnyAnd(const uint64_t* a, const uint64_t* b, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    if (a[w] & b[w]) return true;
+  }
+  return false;
+}
+
+inline size_t AndPopcount(const uint64_t* a, const uint64_t* b,
+                          size_t words) {
+  size_t c = 0;
+  for (size_t w = 0; w < words; ++w) c += std::popcount(a[w] & b[w]);
+  return c;
+}
+
+/// Calls fn(i) for every set bit of `row`, ascending.
+template <typename Fn>
+inline void ForEachBit(const uint64_t* row, size_t words, const Fn& fn) {
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = row[w];
+    while (bits) {
+      fn(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+}
+
+// Bron-Kerbosch maximal clique enumeration with pivoting, on packed bitset
+// rows: P and X are bitsets, pivoting and candidate filtering are
+// word-parallel AND + popcount. Vertices are hierarchy node ids; `adj` is a
+// symmetric bit matrix. Similarity graphs over ontology terms are sparse,
+// so this is fast in practice despite the worst-case exponential bound.
 class CliqueEnumerator {
  public:
-  CliqueEnumerator(size_t n, const std::vector<std::vector<bool>>& adj)
-      : n_(n), adj_(adj) {}
+  CliqueEnumerator(size_t n, const std::vector<uint64_t>& adj, size_t words)
+      : n_(n), words_(words), adj_(adj) {}
 
   std::vector<std::vector<HNodeId>> Run() {
-    std::vector<int> p(n_), x, r;
-    for (size_t v = 0; v < n_; ++v) p[v] = static_cast<int>(v);
-    Expand(&r, p, x);
+    std::vector<uint64_t> p(words_, 0), x(words_, 0);
+    for (size_t v = 0; v < n_; ++v) SetBit(p.data(), v);
+    std::vector<HNodeId> r;
+    Expand(&r, p.data(), x.data(), 0);
     return std::move(cliques_);
   }
 
  private:
-  void Expand(std::vector<int>* r, std::vector<int> p, std::vector<int> x) {
-    if (p.empty() && x.empty()) {
+  const uint64_t* AdjRow(size_t v) const { return adj_.data() + v * words_; }
+
+  /// Scratch row `which` (0..2) for recursion level `depth`, reused across
+  /// siblings so the recursion does not allocate per candidate. The
+  /// returned buffer survives deeper ArenaRow calls (growing `arena_`
+  /// moves the inner vectors, not their heap blocks).
+  uint64_t* ArenaRow(size_t depth, size_t which) {
+    const size_t idx = depth * 3 + which;
+    if (arena_.size() <= idx) arena_.resize(idx + 1);
+    if (arena_[idx].size() != words_) arena_[idx].assign(words_, 0);
+    return arena_[idx].data();
+  }
+
+  void Expand(std::vector<HNodeId>* r, uint64_t* p, uint64_t* x,
+              size_t depth) {
+    bool p_empty = true, x_empty = true;
+    for (size_t w = 0; w < words_; ++w) {
+      p_empty &= p[w] == 0;
+      x_empty &= x[w] == 0;
+    }
+    if (p_empty && x_empty) {
       std::vector<HNodeId> clique(r->begin(), r->end());
       std::sort(clique.begin(), clique.end());
       cliques_.push_back(std::move(clique));
       return;
     }
-    // Pivot: vertex of P ∪ X with the most neighbours in P.
-    int pivot = -1;
+    // Pivot: vertex of P then X with the most neighbours in P.
+    size_t pivot = 0;
     size_t best = 0;
-    auto count_neighbours = [&](int u) {
-      size_t c = 0;
-      for (int v : p) {
-        if (adj_[u][v]) ++c;
+    bool have_pivot = false;
+    auto consider = [&](size_t u) {
+      size_t c = AndPopcount(p, AdjRow(u), words_);
+      if (!have_pivot || c > best) {
+        pivot = u;
+        best = c;
+        have_pivot = true;
       }
-      return c;
     };
-    for (int u : p) {
-      size_t c = count_neighbours(u);
-      if (pivot == -1 || c > best) {
-        pivot = u;
-        best = c;
-      }
+    ForEachBit(p, words_, consider);
+    ForEachBit(x, words_, consider);
+    // Candidates: P minus the pivot's neighbourhood, snapshotted into this
+    // depth's scratch (P mutates as candidates are consumed; children use
+    // deeper scratch rows).
+    uint64_t* candidates = ArenaRow(depth, 0);
+    uint64_t* p2 = ArenaRow(depth, 1);
+    uint64_t* x2 = ArenaRow(depth, 2);
+    for (size_t w = 0; w < words_; ++w) {
+      candidates[w] = p[w] & ~AdjRow(pivot)[w];
     }
-    for (int u : x) {
-      size_t c = count_neighbours(u);
-      if (pivot == -1 || c > best) {
-        pivot = u;
-        best = c;
+    ForEachBit(candidates, words_, [&](size_t v) {
+      r->push_back(static_cast<HNodeId>(v));
+      for (size_t w = 0; w < words_; ++w) {
+        p2[w] = p[w] & AdjRow(v)[w];
+        x2[w] = x[w] & AdjRow(v)[w];
       }
-    }
-    std::vector<int> candidates;
-    for (int v : p) {
-      if (pivot == -1 || !adj_[pivot][v]) candidates.push_back(v);
-    }
-    for (int v : candidates) {
-      r->push_back(v);
-      std::vector<int> p2, x2;
-      for (int w : p) {
-        if (adj_[v][w]) p2.push_back(w);
-      }
-      for (int w : x) {
-        if (adj_[v][w]) x2.push_back(w);
-      }
-      Expand(r, std::move(p2), std::move(x2));
+      Expand(r, p2, x2, depth + 1);
       r->pop_back();
-      p.erase(std::find(p.begin(), p.end(), v));
-      x.push_back(v);
-    }
+      ClearBit(p, v);
+      SetBit(x, v);
+    });
   }
 
   size_t n_;
-  const std::vector<std::vector<bool>>& adj_;
+  size_t words_;
+  const std::vector<uint64_t>& adj_;
+  std::vector<std::vector<uint64_t>> arena_;
   std::vector<std::vector<HNodeId>> cliques_;
 };
 
-}  // namespace
-
-std::vector<HNodeId> SimilarityEnhancement::Preimage(HNodeId e) const {
-  std::vector<HNodeId> out;
-  for (HNodeId v = 0; v < mu.size(); ++v) {
-    if (std::find(mu[v].begin(), mu[v].end(), e) != mu[v].end()) {
-      out.push_back(v);
-    }
+/// The distance matrix for (h, d) bounded at `bound` (values above it are
+/// canonicalized -- see sim::PairwiseOptions).
+sim::DistanceMatrix ComputeDistances(const Hierarchy& h,
+                                     const sim::StringMeasure& d,
+                                     double bound,
+                                     const SeaOptions& options) {
+  const size_t n = h.node_count();
+  std::vector<const std::vector<std::string>*> nodes(n);
+  for (size_t v = 0; v < n; ++v) {
+    nodes[v] = &h.terms(static_cast<HNodeId>(v));
   }
-  return out;
+  sim::PairwiseOptions popt;
+  popt.bound = bound;
+  popt.use_filters = options.use_filters;
+  popt.parallel = options.parallel;
+  return sim::PairwiseNodeDistances(nodes, d, popt);
 }
 
-Result<SimilarityEnhancement> SimilarityEnhance(const Hierarchy& h,
-                                                const sim::StringMeasure& d,
-                                                double epsilon,
-                                                const SeaOptions& options) {
-  if (epsilon < 0) {
-    return Status::InvalidArgument("SEA: epsilon must be >= 0");
-  }
-  if (!h.IsAcyclic()) {
-    return Status::Inconsistent("SEA: input hierarchy is cyclic");
-  }
+/// SEA given a precomputed distance matrix (valid for any epsilon at or
+/// below the bound the matrix was computed at). Both SimilarityEnhance and
+/// SimilaritySweep::Enhance land here, so sweep output is byte-identical
+/// to independent runs by construction.
+Result<SimilarityEnhancement> EnhanceFromMatrix(
+    const Hierarchy& h, const sim::DistanceMatrix& dist, double epsilon,
+    const SeaOptions& options) {
   const size_t n = h.node_count();
+  const size_t words = (n + 63) / 64;
 
-  // epsilon-similarity graph over H's nodes (lines 5-7 of Fig. 12).
-  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
-  for (size_t a = 0; a < n; ++a) {
-    for (size_t b = a + 1; b < n; ++b) {
-      double dist = sim::BoundedNodeDistance(
-          h.terms(static_cast<HNodeId>(a)), h.terms(static_cast<HNodeId>(b)),
-          d, epsilon);
-      if (dist <= epsilon) adj[a][b] = adj[b][a] = true;
-    }
-  }
+  // epsilon-similarity graph over H's nodes (lines 5-7 of Fig. 12), as
+  // packed bitset rows.
+  std::vector<uint64_t> adj(n * words, 0);
+  dist.ForEachAtMost(epsilon, [&](size_t a, size_t b) {
+    SetBit(adj.data() + a * words, b);
+    SetBit(adj.data() + b * words, a);
+  });
 
   // Maximal cliques = the unique grouped node set (Def. 8 conds 2-4,
   // Thm. 1). Isolated vertices yield singleton cliques, covering line 3.
   // (On an empty hierarchy Bron-Kerbosch reports the empty clique; drop
   // it -- an enhancement of nothing has no nodes.)
-  std::vector<std::vector<HNodeId>> cliques = CliqueEnumerator(n, adj).Run();
+  std::vector<std::vector<HNodeId>> cliques =
+      CliqueEnumerator(n, adj, words).Run();
   std::erase_if(cliques,
                 [](const std::vector<HNodeId>& c) { return c.empty(); });
 
@@ -137,24 +198,52 @@ Result<SimilarityEnhancement> SimilarityEnhance(const Hierarchy& h,
   }
 
   // Order reconstruction (lines 11-13): condition (1) forces an enhanced
-  // path A0 ~> B0 whenever some preimage pair has a path in H, so add the
-  // edge for every strictly ordered preimage pair.
-  const HNodeId enhanced_count =
-      static_cast<HNodeId>(result.enhanced.node_count());
+  // path A0 ~> B0 whenever some preimage pair has a path in H. One closure
+  // pass precomputes, per enhanced node e, the clique's member bitset and
+  // the union of its members' strictly-below closure rows; "some preimage
+  // pair (a, b), a != b, a <= b" is then a word-parallel intersection test
+  // instead of a quadruple Leq loop.
+  const size_t m = cliques.size();
+  const size_t hwords = h.ClosureWordCount();
+  std::vector<uint64_t> member_bits(m * hwords, 0);
+  std::vector<uint64_t> strict_below(m * hwords, 0);
+  // Nonzero word ranges [lo, hi) of each row: cliques cover few words
+  // (members are clustered node ids), so intersecting ranges shrinks the
+  // m^2 pair tests from hwords to a word or two each.
+  std::vector<uint32_t> mem_lo(m, 0), mem_hi(m, 0);
+  std::vector<uint32_t> bel_lo(m, 0), bel_hi(m, 0);
+  for (size_t e = 0; e < m; ++e) {
+    uint64_t* members = member_bits.data() + e * hwords;
+    uint64_t* below = strict_below.data() + e * hwords;
+    for (HNodeId b : cliques[e]) {
+      SetBit(members, b);
+      const uint64_t* row = h.ClosureRow(b);  // bit a set iff a <= b
+      const size_t self_word = b / 64;
+      const uint64_t self_bit = uint64_t{1} << (b % 64);
+      for (size_t w = 0; w < hwords; ++w) {
+        uint64_t bits = row[w];
+        if (w == self_word) bits &= ~self_bit;  // a != b
+        below[w] |= bits;
+      }
+    }
+    mem_lo[e] = static_cast<uint32_t>(cliques[e].front() / 64);
+    mem_hi[e] = static_cast<uint32_t>(cliques[e].back() / 64 + 1);
+    uint32_t lo = 0, hi = static_cast<uint32_t>(hwords);
+    while (lo < hi && below[lo] == 0) ++lo;
+    while (hi > lo && below[hi - 1] == 0) --hi;
+    bel_lo[e] = lo;
+    bel_hi[e] = hi;
+  }
+  const HNodeId enhanced_count = static_cast<HNodeId>(m);
   for (HNodeId e1 = 0; e1 < enhanced_count; ++e1) {
+    const uint64_t* members = member_bits.data() + e1 * hwords;
     for (HNodeId e2 = 0; e2 < enhanced_count; ++e2) {
       if (e1 == e2) continue;
-      bool ordered = false;
-      for (HNodeId a : cliques[e1]) {
-        for (HNodeId b : cliques[e2]) {
-          if (a != b && h.Leq(a, b)) {
-            ordered = true;
-            break;
-          }
-        }
-        if (ordered) break;
-      }
-      if (ordered) {
+      const uint32_t lo = std::max(mem_lo[e1], bel_lo[e2]);
+      const uint32_t hi = std::min(mem_hi[e1], bel_hi[e2]);
+      if (lo >= hi) continue;
+      if (AnyAnd(members + lo, strict_below.data() + e2 * hwords + lo,
+                 hi - lo)) {
         TOSS_RETURN_NOT_OK(result.enhanced.AddEdge(e1, e2));
       }
     }
@@ -170,11 +259,28 @@ Result<SimilarityEnhancement> SimilarityEnhance(const Hierarchy& h,
   }
 
   if (options.strict) {
-    // Full Def. 8 condition (1) converse: every enhanced path must hold for
-    // all preimage pairs.
-    for (HNodeId e1 = 0; e1 < enhanced_count; ++e1) {
-      for (HNodeId e2 = 0; e2 < enhanced_count; ++e2) {
+    // Full Def. 8 condition (1) converse: every enhanced path must hold
+    // for all preimage pairs -- C1 must lie inside the *intersection* of
+    // C2's members' downward closures.
+    std::vector<uint64_t> meet(hwords);
+    for (HNodeId e2 = 0; e2 < enhanced_count; ++e2) {
+      std::fill(meet.begin(), meet.end(), ~uint64_t{0});
+      for (HNodeId b : cliques[e2]) {
+        const uint64_t* row = h.ClosureRow(b);
+        for (size_t w = 0; w < hwords; ++w) meet[w] &= row[w];
+      }
+      for (HNodeId e1 = 0; e1 < enhanced_count; ++e1) {
         if (e1 == e2 || !result.enhanced.Leq(e1, e2)) continue;
+        const uint64_t* members = member_bits.data() + e1 * hwords;
+        bool ok = true;
+        for (size_t w = 0; w < hwords; ++w) {
+          if (members[w] & ~meet[w]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) continue;
+        // Recover a witness pair for the error message.
         for (HNodeId a : cliques[e1]) {
           for (HNodeId b : cliques[e2]) {
             if (!h.Leq(a, b)) {
@@ -192,7 +298,70 @@ Result<SimilarityEnhancement> SimilarityEnhance(const Hierarchy& h,
   }
 
   TOSS_RETURN_NOT_OK(result.enhanced.TransitiveReduction());
+  result.BuildPreimageIndex();
   return result;
+}
+
+Status CheckSeaInput(const Hierarchy& h, double epsilon) {
+  if (epsilon < 0) {
+    return Status::InvalidArgument("SEA: epsilon must be >= 0");
+  }
+  if (!h.IsAcyclic()) {
+    return Status::Inconsistent("SEA: input hierarchy is cyclic");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SimilarityEnhancement::BuildPreimageIndex() const {
+  if (preimage_valid_ && preimage_.size() == enhanced.node_count()) return;
+  preimage_.assign(enhanced.node_count(), {});
+  for (HNodeId v = 0; v < mu.size(); ++v) {
+    for (HNodeId e : mu[v]) preimage_[e].push_back(v);
+  }
+  preimage_valid_ = true;
+}
+
+const std::vector<HNodeId>& SimilarityEnhancement::Preimage(HNodeId e) const {
+  BuildPreimageIndex();
+  return preimage_[e];
+}
+
+Result<SimilarityEnhancement> SimilarityEnhance(const Hierarchy& h,
+                                                const sim::StringMeasure& d,
+                                                double epsilon,
+                                                const SeaOptions& options) {
+  TOSS_RETURN_NOT_OK(CheckSeaInput(h, epsilon));
+  sim::DistanceMatrix dist = ComputeDistances(h, d, epsilon, options);
+  return EnhanceFromMatrix(h, dist, epsilon, options);
+}
+
+Result<SimilaritySweep> SimilaritySweep::Create(const Hierarchy& h,
+                                                const sim::StringMeasure& d,
+                                                double max_epsilon,
+                                                const SeaOptions& options) {
+  TOSS_RETURN_NOT_OK(CheckSeaInput(h, max_epsilon));
+  SimilaritySweep sweep;
+  sweep.hierarchy_ = h;
+  sweep.max_epsilon_ = max_epsilon;
+  sweep.options_ = options;
+  sweep.distances_ = ComputeDistances(sweep.hierarchy_, d, max_epsilon,
+                                      options);
+  return sweep;
+}
+
+Result<SimilarityEnhancement> SimilaritySweep::Enhance(
+    double epsilon) const {
+  if (epsilon < 0) {
+    return Status::InvalidArgument("SEA: epsilon must be >= 0");
+  }
+  if (epsilon > max_epsilon_) {
+    return Status::InvalidArgument(
+        "SimilaritySweep: epsilon " + std::to_string(epsilon) +
+        " exceeds the sweep bound " + std::to_string(max_epsilon_));
+  }
+  return EnhanceFromMatrix(hierarchy_, distances_, epsilon, options_);
 }
 
 bool IsSimilarityConsistent(const Hierarchy& h, const sim::StringMeasure& d,
@@ -201,7 +370,8 @@ bool IsSimilarityConsistent(const Hierarchy& h, const sim::StringMeasure& d,
 }
 
 Status VerifyEnhancement(const Hierarchy& h, const sim::StringMeasure& d,
-                         double epsilon, const SimilarityEnhancement& e) {
+                         double epsilon, const SimilarityEnhancement& e,
+                         const sim::DistanceMatrix* distances) {
   const size_t n = h.node_count();
   if (e.mu.size() != n) {
     return Status::InvalidArgument("mu size does not match hierarchy");
@@ -211,24 +381,39 @@ Status VerifyEnhancement(const Hierarchy& h, const sim::StringMeasure& d,
       return Status::Inconsistent("mu(" + h.NodeLabel(v) + ") is empty");
     }
   }
+  if (distances != nullptr && distances->size() != n) {
+    return Status::InvalidArgument(
+        "distance matrix size does not match hierarchy");
+  }
 
   // Condition (2): nodes sharing an enhanced node are within epsilon.
   // Condition (3): nodes within epsilon share an enhanced node.
+  // Only the <= epsilon predicate is needed, so the bounded measure form
+  // (or the sweep's shared matrix) suffices -- mu lists are ascending, so
+  // "share" is a sorted-intersection probe.
   for (HNodeId a = 0; a < n; ++a) {
     for (HNodeId b = a + 1; b < n; ++b) {
-      double dist = sim::NodeDistance(h.terms(a), h.terms(b), d);
+      double dist = distances != nullptr
+                        ? distances->at(a, b)
+                        : sim::BoundedNodeDistance(h.terms(a), h.terms(b),
+                                                   d, epsilon);
+      bool within = dist <= epsilon;
       bool share = false;
-      for (HNodeId ea : e.mu[a]) {
-        for (HNodeId eb : e.mu[b]) {
-          if (ea == eb) share = true;
+      const auto& ma = e.mu[a];
+      const auto& mb = e.mu[b];
+      for (size_t ia = 0, ib = 0; ia < ma.size() && ib < mb.size();) {
+        if (ma[ia] == mb[ib]) {
+          share = true;
+          break;
         }
+        ma[ia] < mb[ib] ? ++ia : ++ib;
       }
-      if (share && dist > epsilon) {
+      if (share && !within) {
         return Status::Inconsistent("condition 2 violated: " +
                                     h.NodeLabel(a) + " and " +
                                     h.NodeLabel(b) + " share a node");
       }
-      if (!share && dist <= epsilon) {
+      if (!share && within) {
         return Status::Inconsistent("condition 3 violated: " +
                                     h.NodeLabel(a) + " and " +
                                     h.NodeLabel(b) + " share no node");
@@ -237,16 +422,15 @@ Status VerifyEnhancement(const Hierarchy& h, const sim::StringMeasure& d,
   }
 
   // Condition (4): no enhanced node's preimage is a subset of another's.
+  // Preimage lists are ascending, so std::includes applies directly.
   const HNodeId m = static_cast<HNodeId>(e.enhanced.node_count());
-  std::vector<std::set<HNodeId>> pre(m);
-  for (HNodeId v = 0; v < n; ++v) {
-    for (HNodeId ev : e.mu[v]) pre[ev].insert(v);
-  }
+  e.BuildPreimageIndex();
   for (HNodeId x = 0; x < m; ++x) {
     for (HNodeId y = 0; y < m; ++y) {
       if (x == y) continue;
-      if (std::includes(pre[y].begin(), pre[y].end(), pre[x].begin(),
-                        pre[x].end())) {
+      const auto& px = e.Preimage(x);
+      const auto& py = e.Preimage(y);
+      if (std::includes(py.begin(), py.end(), px.begin(), px.end())) {
         return Status::Inconsistent("condition 4 violated: preimage of " +
                                     e.enhanced.NodeLabel(x) +
                                     " is contained in that of " +
@@ -273,8 +457,8 @@ Status VerifyEnhancement(const Hierarchy& h, const sim::StringMeasure& d,
   for (HNodeId x = 0; x < m; ++x) {
     for (HNodeId y = 0; y < m; ++y) {
       if (x == y || !e.enhanced.Leq(x, y)) continue;
-      for (HNodeId a : pre[x]) {
-        for (HNodeId b : pre[y]) {
+      for (HNodeId a : e.Preimage(x)) {
+        for (HNodeId b : e.Preimage(y)) {
           if (a != b && !h.Leq(a, b)) {
             return Status::Inconsistent(
                 "condition 1 (converse) violated between " +

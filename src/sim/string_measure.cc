@@ -1,6 +1,8 @@
 #include "sim/string_measure.h"
 
 #include <algorithm>
+#include <bit>
+#include <cctype>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -13,10 +15,18 @@ namespace toss::sim {
 
 namespace {
 
-// Two-row Levenshtein DP. O(|a| * |b|) time, O(min) space.
+// Two-row Levenshtein DP. O(|a| * |b|) time, O(min) space. The row buffers
+// are thread-local scratch: the pairwise drivers call this millions of
+// times and a heap allocation per call would dominate the DP itself.
 int LevenshteinRaw(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
-  std::vector<int> prev(a.size() + 1), cur(a.size() + 1);
+  thread_local std::vector<int> prev_s, cur_s;
+  if (prev_s.size() < a.size() + 1) {
+    prev_s.resize(a.size() + 1);
+    cur_s.resize(a.size() + 1);
+  }
+  int* prev = prev_s.data();
+  int* cur = cur_s.data();
   for (size_t i = 0; i <= a.size(); ++i) prev[i] = static_cast<int>(i);
   for (size_t j = 1; j <= b.size(); ++j) {
     cur[0] = static_cast<int>(j);
@@ -30,8 +40,11 @@ int LevenshteinRaw(std::string_view a, std::string_view b) {
 }
 
 // Banded Levenshtein: returns the exact distance when it is <= limit,
-// otherwise any value > limit. Only cells within `limit` of the diagonal can
-// contribute, so the scan is O(limit * max(|a|,|b|)).
+// otherwise any value > limit. Only cells within `limit` of the diagonal
+// can contribute, so the scan is O(limit * max(|a|,|b|)). Each row only
+// touches its band plus one guard cell on either side (cells outside a
+// row's band stay at whatever garbage the scratch holds -- they are never
+// read, because row j+1's band extends at most one cell past row j's).
 int LevenshteinBounded(std::string_view a, std::string_view b, int limit) {
   if (limit < 0) return 1;  // any positive value exceeds a negative limit
   int size_diff = static_cast<int>(
@@ -41,14 +54,21 @@ int LevenshteinBounded(std::string_view a, std::string_view b, int limit) {
   const int n = static_cast<int>(a.size());
   const int m = static_cast<int>(b.size());
   const int kInf = limit + 1;
-  std::vector<int> prev(n + 1, kInf), cur(n + 1, kInf);
-  for (int i = 0; i <= std::min(n, limit); ++i) prev[i] = i;
+  thread_local std::vector<int> prev_s, cur_s;
+  if (prev_s.size() < static_cast<size_t>(n) + 2) {
+    prev_s.resize(n + 2);
+    cur_s.resize(n + 2);
+  }
+  int* prev = prev_s.data();
+  int* cur = cur_s.data();
+  const int first_hi = std::min(n, limit);
+  for (int i = 0; i <= first_hi; ++i) prev[i] = i;
+  prev[first_hi + 1] = kInf;  // guard: row 1's band reaches one past
   for (int j = 1; j <= m; ++j) {
     int lo = std::max(1, j - limit);
     int hi = std::min(n, j + limit);
-    cur.assign(n + 1, kInf);
-    if (j <= limit) cur[0] = j;
-    int row_min = cur[0];
+    cur[lo - 1] = (lo == 1 && j <= limit) ? j : kInf;
+    int row_min = cur[lo - 1];
     for (int i = lo; i <= hi; ++i) {
       int sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
       int del = prev[i] + 1;
@@ -56,10 +76,76 @@ int LevenshteinBounded(std::string_view a, std::string_view b, int limit) {
       cur[i] = std::min({sub, del, ins, kInf});
       row_min = std::min(row_min, cur[i]);
     }
+    cur[hi + 1] = kInf;  // guard for the next row's widened band
     if (row_min > limit) return kInf;
     std::swap(prev, cur);
   }
   return std::min(prev[n], kInf);
+}
+
+// Lower bound for unit-cost edit families: every edit operation changes
+// the length by at most 1 and the L1 distance between character-frequency
+// vectors by at most 2 (substitution: -1 one count, +1 another; insert /
+// delete: 1; transposition: 0). Hence d >= max(len-diff, ceil(freq_l1/2)).
+int EditFamilyLowerBound(std::string_view a, std::string_view b) {
+  int len_diff = static_cast<int>(
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  // The L1 sum is maintained incrementally (|v+1|-|v| is +1 iff v >= 0;
+  // |v-1|-|v| is +1 iff v <= 0) and the zero-initialized table is
+  // thread_local with touched entries reset by re-scanning the inputs, so
+  // a call costs O(|a|+|b|) -- cheap enough to admit every candidate pair
+  // of short strings through this filter.
+  thread_local int counts[256] = {0};
+  int l1 = 0;
+  for (unsigned char c : a) l1 += counts[c]++ >= 0 ? 1 : -1;
+  for (unsigned char c : b) l1 += counts[c]-- <= 0 ? 1 : -1;
+  for (unsigned char c : a) counts[c] = 0;
+  for (unsigned char c : b) counts[c] = 0;
+  return std::max(len_diff, (l1 + 1) / 2);
+}
+
+// Signature support for the edit family: charmask records character
+// presence hashed into 64 buckets. A unit edit changes the
+// character-presence set's symmetric difference by at most 2
+// (substitution: one char may vanish, one may appear; insert/delete: at
+// most 1; transposition: 0), and bucketing can only shrink the symmetric
+// difference, so d >= ceil(popcount(mask_a ^ mask_b) / 2). Combined with
+// the length-difference bound.
+StringSignature EditFamilySignature(std::string_view s) {
+  StringSignature sig;
+  sig.length = static_cast<uint32_t>(s.size());
+  for (unsigned char c : s) sig.charmask |= uint64_t{1} << (c & 63);
+  return sig;
+}
+
+StringSignature EditFamilySignatureCi(std::string_view s) {
+  StringSignature sig;
+  sig.length = static_cast<uint32_t>(s.size());
+  for (unsigned char c : s) {
+    sig.charmask |= uint64_t{1} << (std::tolower(c) & 63);
+  }
+  return sig;
+}
+
+double EditFamilySignatureLowerBound(const StringSignature& a,
+                                     const StringSignature& b) {
+  int len_diff = static_cast<int>(a.length > b.length ? a.length - b.length
+                                                      : b.length - a.length);
+  int sym = std::popcount(a.charmask ^ b.charmask);
+  return static_cast<double>(std::max(len_diff, (sym + 1) / 2));
+}
+
+// Same bound over lowercased strings (for the case-insensitive measure).
+int EditFamilyLowerBoundCi(std::string_view a, std::string_view b) {
+  int len_diff = static_cast<int>(
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  thread_local int counts[256] = {0};
+  int l1 = 0;
+  for (unsigned char c : a) l1 += counts[std::tolower(c)]++ >= 0 ? 1 : -1;
+  for (unsigned char c : b) l1 += counts[std::tolower(c)]-- <= 0 ? 1 : -1;
+  for (unsigned char c : a) counts[std::tolower(c)] = 0;
+  for (unsigned char c : b) counts[std::tolower(c)] = 0;
+  return std::max(len_diff, (l1 + 1) / 2);
 }
 
 std::vector<std::string> NameTokens(std::string_view s) {
@@ -99,6 +185,22 @@ double LevenshteinMeasure::BoundedDistance(std::string_view a,
   return static_cast<double>(LevenshteinBounded(a, b, limit));
 }
 
+double LevenshteinMeasure::DistanceLowerBound(std::string_view a,
+                                              std::string_view b) const {
+  return static_cast<double>(EditFamilyLowerBound(a, b));
+}
+
+bool LevenshteinMeasure::ComputeSignature(std::string_view s,
+                                          StringSignature* sig) const {
+  *sig = EditFamilySignature(s);
+  return true;
+}
+
+double LevenshteinMeasure::SignatureLowerBound(
+    const StringSignature& a, const StringSignature& b) const {
+  return EditFamilySignatureLowerBound(a, b);
+}
+
 double DamerauLevenshteinMeasure::Distance(std::string_view a,
                                            std::string_view b) const {
   const int n = static_cast<int>(a.size());
@@ -119,9 +221,43 @@ double DamerauLevenshteinMeasure::Distance(std::string_view a,
   return static_cast<double>(d[n][m]);
 }
 
+double DamerauLevenshteinMeasure::DistanceLowerBound(
+    std::string_view a, std::string_view b) const {
+  // Transpositions change neither length nor character counts, so the
+  // unit-cost edit bound stays valid.
+  return static_cast<double>(EditFamilyLowerBound(a, b));
+}
+
+bool DamerauLevenshteinMeasure::ComputeSignature(std::string_view s,
+                                                 StringSignature* sig) const {
+  *sig = EditFamilySignature(s);
+  return true;
+}
+
+double DamerauLevenshteinMeasure::SignatureLowerBound(
+    const StringSignature& a, const StringSignature& b) const {
+  return EditFamilySignatureLowerBound(a, b);
+}
+
 double CaseInsensitiveLevenshteinMeasure::Distance(std::string_view a,
                                                    std::string_view b) const {
   return static_cast<double>(LevenshteinRaw(ToLower(a), ToLower(b)));
+}
+
+double CaseInsensitiveLevenshteinMeasure::DistanceLowerBound(
+    std::string_view a, std::string_view b) const {
+  return static_cast<double>(EditFamilyLowerBoundCi(a, b));
+}
+
+bool CaseInsensitiveLevenshteinMeasure::ComputeSignature(
+    std::string_view s, StringSignature* sig) const {
+  *sig = EditFamilySignatureCi(s);
+  return true;
+}
+
+double CaseInsensitiveLevenshteinMeasure::SignatureLowerBound(
+    const StringSignature& a, const StringSignature& b) const {
+  return EditFamilySignatureLowerBound(a, b);
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +489,33 @@ double MinLengthGuardMeasure::BoundedDistance(std::string_view a,
     d = std::max(d, floor_);
   }
   return d;
+}
+
+double MinLengthGuardMeasure::DistanceLowerBound(std::string_view a,
+                                                 std::string_view b) const {
+  if (a == b) return 0.0;
+  double lb = inner_->DistanceLowerBound(a, b);
+  if (a.size() < min_length_ || b.size() < min_length_) {
+    lb = std::max(lb, floor_);
+  }
+  return lb;
+}
+
+bool MinLengthGuardMeasure::ComputeSignature(std::string_view s,
+                                             StringSignature* sig) const {
+  return inner_->ComputeSignature(s, sig);
+}
+
+double MinLengthGuardMeasure::SignatureLowerBound(
+    const StringSignature& a, const StringSignature& b) const {
+  double lb = inner_->SignatureLowerBound(a, b);
+  // The floor only applies to *unequal* strings; equal strings have equal
+  // signatures, so it may only be raised once the inner bound proves the
+  // strings differ.
+  if (lb > 0.0 && (a.length < min_length_ || b.length < min_length_)) {
+    lb = std::max(lb, floor_);
+  }
+  return lb;
 }
 
 }  // namespace toss::sim

@@ -15,11 +15,22 @@
 #ifndef TOSS_SIM_STRING_MEASURE_H_
 #define TOSS_SIM_STRING_MEASURE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 
 namespace toss::sim {
+
+/// O(1)-comparable summary of a string used for admission filtering in the
+/// pairwise drivers: its length plus a 64-bucket character-presence bitmap.
+/// Computed once per string (O(|s|)), compared in a handful of instructions
+/// per pair -- unlike DistanceLowerBound, whose per-pair O(|a|+|b|) cost
+/// rivals the banded DP it would be guarding on short strings.
+struct StringSignature {
+  uint32_t length = 0;
+  uint64_t charmask = 0;
+};
 
 /// Abstract string similarity measure.
 class StringMeasure {
@@ -36,6 +47,40 @@ class StringMeasure {
                                  double bound) const {
     (void)bound;
     return Distance(a, b);
+  }
+
+  /// Cheap admission filter: a lower bound on Distance(a, b) computable in
+  /// O(|a| + |b|) without running the full measure. The pairwise drivers
+  /// skip the exact computation for pairs whose lower bound already
+  /// exceeds the threshold. Must never exceed the true distance; the
+  /// default (0, no information) makes filtering a no-op.
+  virtual double DistanceLowerBound(std::string_view a,
+                                    std::string_view b) const {
+    (void)a;
+    (void)b;
+    return 0.0;
+  }
+
+  /// Fills `sig` with this measure's signature of `s` and returns true when
+  /// the measure supports signature-based filtering (SignatureLowerBound).
+  /// Default: unsupported.
+  virtual bool ComputeSignature(std::string_view s,
+                                StringSignature* sig) const {
+    (void)s;
+    (void)sig;
+    return false;
+  }
+
+  /// Lower bound on Distance(a, b) from the strings' signatures alone, in
+  /// O(1). Only meaningful when ComputeSignature returns true; must never
+  /// exceed the true distance, and must be 0 for equal strings (equal
+  /// strings have equal signatures, but not conversely -- implementations
+  /// may not assume signature equality implies string equality).
+  virtual double SignatureLowerBound(const StringSignature& a,
+                                     const StringSignature& b) const {
+    (void)a;
+    (void)b;
+    return 0.0;
   }
 
   /// True when the measure satisfies the triangle inequality.
@@ -57,6 +102,12 @@ class LevenshteinMeasure : public StringMeasure {
   double Distance(std::string_view a, std::string_view b) const override;
   double BoundedDistance(std::string_view a, std::string_view b,
                          double bound) const override;
+  double DistanceLowerBound(std::string_view a,
+                            std::string_view b) const override;
+  bool ComputeSignature(std::string_view s,
+                        StringSignature* sig) const override;
+  double SignatureLowerBound(const StringSignature& a,
+                             const StringSignature& b) const override;
   bool is_strong() const override { return true; }
   std::string name() const override { return "levenshtein"; }
 };
@@ -65,6 +116,12 @@ class LevenshteinMeasure : public StringMeasure {
 class DamerauLevenshteinMeasure : public StringMeasure {
  public:
   double Distance(std::string_view a, std::string_view b) const override;
+  double DistanceLowerBound(std::string_view a,
+                            std::string_view b) const override;
+  bool ComputeSignature(std::string_view s,
+                        StringSignature* sig) const override;
+  double SignatureLowerBound(const StringSignature& a,
+                             const StringSignature& b) const override;
   bool is_strong() const override { return true; }
   std::string name() const override { return "damerau"; }
 };
@@ -74,6 +131,12 @@ class DamerauLevenshteinMeasure : public StringMeasure {
 class CaseInsensitiveLevenshteinMeasure : public StringMeasure {
  public:
   double Distance(std::string_view a, std::string_view b) const override;
+  double DistanceLowerBound(std::string_view a,
+                            std::string_view b) const override;
+  bool ComputeSignature(std::string_view s,
+                        StringSignature* sig) const override;
+  double SignatureLowerBound(const StringSignature& a,
+                             const StringSignature& b) const override;
   bool is_strong() const override { return true; }
   std::string name() const override { return "ci-levenshtein"; }
 };
@@ -200,6 +263,12 @@ class MinLengthGuardMeasure : public StringMeasure {
   double Distance(std::string_view a, std::string_view b) const override;
   double BoundedDistance(std::string_view a, std::string_view b,
                          double bound) const override;
+  double DistanceLowerBound(std::string_view a,
+                            std::string_view b) const override;
+  bool ComputeSignature(std::string_view s,
+                        StringSignature* sig) const override;
+  double SignatureLowerBound(const StringSignature& a,
+                             const StringSignature& b) const override;
   bool is_strong() const override { return false; }
   std::string name() const override {
     return "guarded-" + inner_->name();

@@ -1,0 +1,283 @@
+// Tests for the pairwise-distance driver (sim/pairwise.h): the
+// DistanceMatrix layout, the signature / lower-bound admission filters, and
+// the property that filtered + parallel scans are bit-identical to the
+// naive double loop.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/measure_registry.h"
+#include "sim/node_measure.h"
+#include "sim/pairwise.h"
+#include "sim/soft_tfidf.h"
+#include "sim/string_measure.h"
+
+namespace toss::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DistanceMatrix
+// ---------------------------------------------------------------------------
+
+TEST(DistanceMatrixTest, IndexingRoundTrips) {
+  const size_t n = 7;
+  DistanceMatrix dm(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      dm.set(i, j, static_cast<double>(100 * i + j));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(dm.at(i, i), 0.0);
+    for (size_t j = i + 1; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(dm.at(i, j), static_cast<double>(100 * i + j));
+      EXPECT_DOUBLE_EQ(dm.at(j, i), dm.at(i, j)) << "symmetric access";
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, TinySizes) {
+  DistanceMatrix d0(0);
+  EXPECT_EQ(d0.size(), 0u);
+  DistanceMatrix d1(1);
+  EXPECT_DOUBLE_EQ(d1.at(0, 0), 0.0);
+}
+
+TEST(DistanceMatrixTest, ForEachAtMostVisitsExactlyThresholdedPairs) {
+  const size_t n = 6;
+  DistanceMatrix dm(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      dm.set(i, j, static_cast<double>(i + j));
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> seen;
+  dm.ForEachAtMost(4.0, [&](size_t i, size_t j) { seen.push_back({i, j}); });
+  for (const auto& [i, j] : seen) {
+    EXPECT_LE(dm.at(i, j), 4.0);
+  }
+  size_t expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dm.at(i, j) <= 4.0) ++expected;
+    }
+  }
+  EXPECT_EQ(seen.size(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Lower bounds and signatures never exceed the true distance
+// ---------------------------------------------------------------------------
+
+std::vector<StringMeasurePtr> FilterableMeasures() {
+  std::vector<StringMeasurePtr> ms;
+  for (const char* name :
+       {"levenshtein", "damerau", "ci-levenshtein", "guarded-levenshtein"}) {
+    ms.push_back(*MakeMeasure(name));
+  }
+  return ms;
+}
+
+TEST(LowerBoundTest, NeverExceedsTrueDistance) {
+  Random rng(99);
+  for (const auto& m : FilterableMeasures()) {
+    for (int i = 0; i < 400; ++i) {
+      std::string a = rng.AlphaString(rng.Uniform(16));
+      std::string b =
+          rng.Bernoulli(0.2) ? a : rng.AlphaString(rng.Uniform(16));
+      if (rng.Bernoulli(0.3) && !a.empty()) {
+        b = a;
+        b[rng.Uniform(b.size())] = 'z';  // near-duplicate
+      }
+      double exact = m->Distance(a, b);
+      EXPECT_LE(m->DistanceLowerBound(a, b), exact)
+          << m->name() << "(" << a << ", " << b << ")";
+      StringSignature sa, sb;
+      ASSERT_TRUE(m->ComputeSignature(a, &sa)) << m->name();
+      ASSERT_TRUE(m->ComputeSignature(b, &sb)) << m->name();
+      EXPECT_LE(m->SignatureLowerBound(sa, sb), exact)
+          << m->name() << "(" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST(LowerBoundTest, ZeroForEqualStrings) {
+  for (const auto& m : FilterableMeasures()) {
+    for (const char* s : {"", "a", "query", "similarity"}) {
+      EXPECT_DOUBLE_EQ(m->DistanceLowerBound(s, s), 0.0) << m->name();
+      StringSignature sig;
+      ASSERT_TRUE(m->ComputeSignature(s, &sig));
+      EXPECT_DOUBLE_EQ(m->SignatureLowerBound(sig, sig), 0.0) << m->name();
+    }
+  }
+}
+
+TEST(LowerBoundTest, UnsupportedMeasuresDeclineSignatures) {
+  for (const char* name : {"jaro", "jaro-winkler", "monge-elkan"}) {
+    auto m = *MakeMeasure(name);
+    StringSignature sig;
+    EXPECT_FALSE(m->ComputeSignature("abc", &sig)) << name;
+    EXPECT_DOUBLE_EQ(m->DistanceLowerBound("abc", "xyz"), 0.0) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Filtered + parallel drivers are bit-identical to the naive double loop
+// ---------------------------------------------------------------------------
+
+/// Random node set: mixes singleton nodes, multi-term nodes, clusters of
+/// near-duplicates, and (with all_identical) degenerate same-term sets.
+std::vector<std::vector<std::string>> RandomNodes(Random& rng, size_t n,
+                                                  bool all_identical) {
+  std::vector<std::vector<std::string>> nodes(n);
+  std::string prev = "seed";
+  for (size_t i = 0; i < n; ++i) {
+    size_t terms = 1 + rng.Uniform(3);
+    for (size_t t = 0; t < terms; ++t) {
+      if (all_identical) {
+        nodes[i].push_back("constant");
+      } else if (rng.Bernoulli(0.3)) {
+        std::string s = prev;
+        if (!s.empty()) s[rng.Uniform(s.size())] = 'q';
+        nodes[i].push_back(s);
+      } else {
+        nodes[i].push_back(rng.AlphaString(4 + rng.Uniform(10)));
+      }
+      prev = nodes[i].back();
+    }
+  }
+  return nodes;
+}
+
+/// The reference scan: an unfiltered sequential double loop with the same
+/// over-bound canonicalization the driver promises.
+DistanceMatrix NaiveNodeScan(const std::vector<std::vector<std::string>>& nodes,
+                             const StringMeasure& m, double bound) {
+  DistanceMatrix dm(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      double d = BoundedNodeDistance(nodes[i], nodes[j], m, bound);
+      if (!(d <= bound)) d = DistanceMatrix::kOverBound;
+      dm.set(i, j, d);
+    }
+  }
+  return dm;
+}
+
+TEST(PairwiseDriverTest, FilteredAndParallelMatchNaiveBitForBit) {
+  Random rng(2024);
+  std::vector<StringMeasurePtr> measures;
+  measures.push_back(*MakeMeasure("levenshtein"));
+  measures.push_back(*MakeMeasure("jaro-winkler"));
+  measures.push_back(*MakeMeasure("guarded-levenshtein"));
+  {
+    auto soft = std::make_shared<SoftTfIdfMeasure>();
+    soft->Train({"information retrieval", "data integration",
+                 "query processing", "relational model"});
+    measures.push_back(soft);
+  }
+
+  for (const auto& m : measures) {
+    for (bool all_identical : {false, true}) {
+      auto node_values = RandomNodes(rng, 24, all_identical);
+      std::vector<const std::vector<std::string>*> nodes;
+      for (const auto& nv : node_values) nodes.push_back(&nv);
+
+      for (double bound : {0.0, 0.5, 1.0, 2.0, 4.0,
+                           std::numeric_limits<double>::infinity()}) {
+        DistanceMatrix naive = NaiveNodeScan(node_values, *m, bound);
+
+        PairwiseOptions filtered;
+        filtered.bound = bound;
+        filtered.parallel = false;
+        EXPECT_TRUE(naive == PairwiseNodeDistances(nodes, *m, filtered))
+            << m->name() << " filtered, bound=" << bound
+            << " all_identical=" << all_identical;
+
+        PairwiseOptions parallel;
+        parallel.bound = bound;
+        parallel.min_parallel_items = 0;  // force the pool path
+        EXPECT_TRUE(naive == PairwiseNodeDistances(nodes, *m, parallel))
+            << m->name() << " parallel, bound=" << bound
+            << " all_identical=" << all_identical;
+
+        PairwiseOptions unfiltered;
+        unfiltered.bound = bound;
+        unfiltered.use_filters = false;
+        unfiltered.parallel = false;
+        EXPECT_TRUE(naive == PairwiseNodeDistances(nodes, *m, unfiltered))
+            << m->name() << " unfiltered, bound=" << bound
+            << " all_identical=" << all_identical;
+      }
+    }
+  }
+}
+
+TEST(PairwiseDriverTest, StringDriverMatchesDirectBoundedCalls) {
+  Random rng(7);
+  LevenshteinMeasure lev;
+  std::vector<std::string> terms;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 3 == 2 && !terms.empty()) {
+      std::string s = terms.back();
+      s[rng.Uniform(s.size())] = 'x';
+      terms.push_back(s);
+    } else {
+      terms.push_back(rng.AlphaString(5 + rng.Uniform(8)));
+    }
+  }
+  for (double bound : {0.0, 1.0, 3.0}) {
+    DistanceMatrix expected(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      for (size_t j = i + 1; j < terms.size(); ++j) {
+        double d = lev.BoundedDistance(terms[i], terms[j], bound);
+        if (!(d <= bound)) d = DistanceMatrix::kOverBound;
+        expected.set(i, j, d);
+      }
+    }
+    PairwiseOptions opts;
+    opts.bound = bound;
+    opts.min_parallel_items = 0;
+    EXPECT_TRUE(expected == PairwiseStringDistances(terms, lev, opts))
+        << "bound=" << bound;
+    opts.use_filters = false;
+    EXPECT_TRUE(expected == PairwiseStringDistances(terms, lev, opts))
+        << "unfiltered bound=" << bound;
+  }
+}
+
+TEST(PairwiseDriverTest, OverBoundEntriesAreCanonical) {
+  LevenshteinMeasure lev;
+  std::vector<std::string> a = {"alpha"};
+  std::vector<std::string> b = {"omega12345"};
+  std::vector<const std::vector<std::string>*> nodes = {&a, &b};
+  PairwiseOptions opts;
+  opts.bound = 1.0;
+  opts.parallel = false;
+  DistanceMatrix dm = PairwiseNodeDistances(nodes, lev, opts);
+  EXPECT_TRUE(std::isinf(dm.at(0, 1)));
+  EXPECT_EQ(dm.at(0, 1), DistanceMatrix::kOverBound);
+}
+
+TEST(PairwiseDriverTest, EmptyNodeTermsAreOverBound) {
+  LevenshteinMeasure lev;
+  std::vector<std::string> a = {"alpha"};
+  std::vector<std::string> none;
+  std::vector<const std::vector<std::string>*> nodes = {&a, &none};
+  PairwiseOptions opts;
+  opts.bound = 100.0;
+  opts.parallel = false;
+  DistanceMatrix dm = PairwiseNodeDistances(nodes, lev, opts);
+  EXPECT_EQ(dm.at(0, 1), DistanceMatrix::kOverBound);
+  opts.use_filters = false;
+  DistanceMatrix dm2 = PairwiseNodeDistances(nodes, lev, opts);
+  EXPECT_TRUE(dm == dm2);
+}
+
+}  // namespace
+}  // namespace toss::sim

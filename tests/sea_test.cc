@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "ontology/sea.h"
@@ -221,6 +223,151 @@ TEST(SeaTest, LargerEpsilonNeverIncreasesNodeCountOnFlatHierarchy) {
           << term << " lost at eps=" << eps;
     }
   }
+}
+
+/// Random hierarchy with near-duplicate clusters and an acyclic order
+/// (edges only point from later nodes to earlier ones).
+Hierarchy RandomHierarchy(Random& rng, size_t n) {
+  Hierarchy h;
+  std::string prev = "seedling";
+  for (size_t i = 0; i < n; ++i) {
+    std::string term;
+    if (i % 3 == 2) {
+      term = prev;
+      term[rng.Uniform(term.size())] = 'z';
+    } else {
+      term = rng.AlphaString(5 + rng.Uniform(6));
+    }
+    h.AddNode({term});
+    prev = term;
+    if (i > 0 && rng.Bernoulli(0.4)) {
+      (void)h.AddEdge(static_cast<HNodeId>(i),
+                      static_cast<HNodeId>(rng.Uniform(i)));
+    }
+  }
+  return h;
+}
+
+/// Asserts that two SEA outcomes (possibly failures) are identical:
+/// same status, and on success the same (H', mu) pair.
+void ExpectSameOutcome(const Result<SimilarityEnhancement>& a,
+                       const Result<SimilarityEnhancement>& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.ok(), b.ok()) << context << ": " << a.status() << " vs "
+                            << b.status();
+  if (!a.ok()) {
+    EXPECT_EQ(a.status().code(), b.status().code()) << context;
+    return;
+  }
+  EXPECT_EQ(a->mu, b->mu) << context;
+  EXPECT_EQ(a->enhanced.node_count(), b->enhanced.node_count()) << context;
+  EXPECT_EQ(a->enhanced.edge_count(), b->enhanced.edge_count()) << context;
+  EXPECT_TRUE(a->enhanced.EquivalentTo(b->enhanced)) << context;
+}
+
+TEST(SimilaritySweepTest, MatchesIndependentEnhanceAcrossEpsilons) {
+  const double kMax = 4.0;
+  const std::vector<double> epsilons = {0.0, 0.5, 1.0, 1.5, 2.0,
+                                        2.5, 3.0, 3.5, 4.0};
+  LevenshteinMeasure lev;
+  Random rng(511);
+  std::vector<Hierarchy> hierarchies;
+  hierarchies.push_back(Example11Hierarchy());
+  for (int trial = 0; trial < 4; ++trial) {
+    hierarchies.push_back(RandomHierarchy(rng, 20 + trial * 7));
+  }
+  for (size_t hi = 0; hi < hierarchies.size(); ++hi) {
+    const Hierarchy& h = hierarchies[hi];
+    auto sweep = SimilaritySweep::Create(h, lev, kMax);
+    ASSERT_TRUE(sweep.ok()) << sweep.status();
+    for (double eps : epsilons) {
+      ExpectSameOutcome(sweep->Enhance(eps), SimilarityEnhance(h, lev, eps),
+                        "hierarchy " + std::to_string(hi) + " eps=" +
+                            std::to_string(eps));
+    }
+  }
+}
+
+TEST(SimilaritySweepTest, RejectsExactlyWhereIndependentEnhanceDoes) {
+  // The SimilarityInconsistencyDetected chain: eps=1 collapses the strict
+  // order into a cycle, eps=0 does not. The sweep must reproduce both.
+  Hierarchy h;
+  HNodeId a = h.AddNode({"term1"});
+  HNodeId b = h.AddNode({"term2"});
+  ASSERT_TRUE(h.AddEdge(a, b).ok());
+  HNodeId c = h.AddNode({"unrelated"});
+  ASSERT_TRUE(h.AddEdge(b, c).ok());
+  HNodeId d = h.AddNode({"unrelatex"});
+  ASSERT_TRUE(h.AddEdge(d, a).ok());
+  LevenshteinMeasure lev;
+  auto sweep = SimilaritySweep::Create(h, lev, 2.0);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  for (double eps : {0.0, 0.5, 1.0, 2.0}) {
+    ExpectSameOutcome(sweep->Enhance(eps), SimilarityEnhance(h, lev, eps),
+                      "eps=" + std::to_string(eps));
+  }
+  EXPECT_TRUE(sweep->Enhance(1.0).status().IsInconsistent());
+  EXPECT_TRUE(sweep->Enhance(0.0).ok());
+}
+
+TEST(SimilaritySweepTest, EpsilonOutsideSweepBoundRejected) {
+  Hierarchy h = Example11Hierarchy();
+  LevenshteinMeasure lev;
+  auto sweep = SimilaritySweep::Create(h, lev, 2.0);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_TRUE(sweep->Enhance(2.5).status().IsInvalidArgument());
+  EXPECT_TRUE(sweep->Enhance(-0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(SimilaritySweep::Create(h, lev, -1.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SeaTest, FilterAndParallelOptionsDoNotChangeResults) {
+  LevenshteinMeasure lev;
+  Random rng(613);
+  for (int trial = 0; trial < 4; ++trial) {
+    Hierarchy h = RandomHierarchy(rng, 25);
+    for (double eps : {0.0, 1.0, 2.0}) {
+      auto reference = SimilarityEnhance(h, lev, eps);
+      for (bool filters : {false, true}) {
+        for (bool parallel : {false, true}) {
+          SeaOptions opts;
+          opts.use_filters = filters;
+          opts.parallel = parallel;
+          ExpectSameOutcome(SimilarityEnhance(h, lev, eps, opts), reference,
+                            "filters=" + std::to_string(filters) +
+                                " parallel=" + std::to_string(parallel) +
+                                " eps=" + std::to_string(eps));
+        }
+      }
+    }
+  }
+}
+
+TEST(SeaTest, VerifyEnhancementWithSharedMatrixMatchesDirect) {
+  Hierarchy h = Example11Hierarchy();
+  LevenshteinMeasure lev;
+  auto sweep = SimilaritySweep::Create(h, lev, 3.0);
+  ASSERT_TRUE(sweep.ok());
+  for (double eps : {0.0, 1.0, 2.0, 3.0}) {
+    auto r = sweep->Enhance(eps);
+    ASSERT_TRUE(r.ok()) << r.status();
+    Status direct = VerifyEnhancement(h, lev, eps, *r);
+    Status shared = VerifyEnhancement(h, lev, eps, *r, &sweep->distances());
+    EXPECT_TRUE(direct.ok()) << direct;
+    EXPECT_TRUE(shared.ok()) << shared;
+  }
+  // A corrupted enhancement must fail identically through both paths.
+  auto r = sweep->Enhance(2.0);
+  ASSERT_TRUE(r.ok());
+  SimilarityEnhancement broken = *r;
+  ASSERT_FALSE(broken.mu.empty());
+  broken.mu[0].clear();
+  Status direct = VerifyEnhancement(h, lev, 2.0, broken);
+  Status shared = VerifyEnhancement(h, lev, 2.0, broken, &sweep->distances());
+  EXPECT_FALSE(direct.ok());
+  EXPECT_FALSE(shared.ok());
+  EXPECT_EQ(direct.code(), shared.code());
 }
 
 }  // namespace
