@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

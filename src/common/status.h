@@ -25,6 +25,7 @@ enum class StatusCode {
   kIOError,           ///< filesystem-level failure
   kInternal,          ///< invariant violation inside the library
   kUnsupported,       ///< valid request the implementation does not handle
+  kUnavailable,       ///< transient failure; retrying may succeed
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -70,6 +71,9 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +90,7 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,6 +1,8 @@
 #include "common/worker_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 
 namespace toss {
 
@@ -52,7 +54,17 @@ void WorkerPool::WorkerMain() {
     while (!abort_.load(std::memory_order_acquire)) {
       size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n_) break;
-      Status st = (*fn_)(i);
+      // A task that throws must not escape WorkerMain (std::terminate) or
+      // leave the job counter unbalanced (deadlocked ParallelFor): convert
+      // the exception into the batch's first error and keep the worker.
+      Status st;
+      try {
+        st = (*fn_)(i);
+      } catch (const std::exception& e) {
+        st = Status::Internal(std::string("task threw: ") + e.what());
+      } catch (...) {
+        st = Status::Internal("task threw a non-std::exception");
+      }
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         // Keep the earliest observed error; later failures lose the race.

@@ -45,8 +45,10 @@ class WorkerPool {
   /// Runs fn(0) .. fn(n-1) across the pool and blocks until every claimed
   /// task finished. On the first non-OK return the remaining unclaimed
   /// indexes are abandoned and that first error is returned; with several
-  /// concurrent failures the earliest *observed* one wins. Not re-entrant:
-  /// one job at a time per pool (callers serialize).
+  /// concurrent failures the earliest *observed* one wins. A task that
+  /// throws is treated as returning Internal -- the exception never
+  /// escapes a worker thread and the pool stays usable for later batches.
+  /// Not re-entrant: one job at a time per pool (callers serialize).
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
 
  private:

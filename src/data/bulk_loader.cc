@@ -1,8 +1,5 @@
 #include "data/bulk_loader.h"
 
-#include <fstream>
-#include <sstream>
-
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
 
@@ -54,12 +51,11 @@ Result<BulkLoadStats> BulkLoadXml(store::Database* db,
 Result<BulkLoadStats> BulkLoadFile(store::Database* db,
                                    const std::string& collection,
                                    const std::string& path,
-                                   const std::string& key_prefix) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return BulkLoadXml(db, collection, ss.str(), key_prefix);
+                                   const std::string& key_prefix,
+                                   store::Env* env) {
+  if (env == nullptr) env = store::Env::Default();
+  TOSS_ASSIGN_OR_RETURN(std::string text, env->ReadFile(path));
+  return BulkLoadXml(db, collection, text, key_prefix);
 }
 
 std::string FormatAsDump(const std::vector<NamedDoc>& docs,
@@ -74,13 +70,11 @@ std::string FormatAsDump(const std::vector<NamedDoc>& docs,
 }
 
 Status WriteDumpFile(const std::vector<NamedDoc>& docs,
-                     const std::string& path, const std::string& root_tag) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write " + path);
-  out << FormatAsDump(docs, root_tag);
-  out.close();
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+                     const std::string& path, const std::string& root_tag,
+                     store::Env* env) {
+  if (env == nullptr) env = store::Env::Default();
+  TOSS_RETURN_NOT_OK(env->WriteFile(path, FormatAsDump(docs, root_tag)));
+  return env->SyncFile(path);
 }
 
 }  // namespace toss::data

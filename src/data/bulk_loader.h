@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "data/bib_generator.h"
 #include "store/database.h"
+#include "store/env.h"
 
 namespace toss::data {
 
@@ -33,20 +34,25 @@ Result<BulkLoadStats> BulkLoadXml(store::Database* db,
                                   std::string_view text,
                                   const std::string& key_prefix = "rec");
 
-/// File variant of BulkLoadXml.
+/// File variant of BulkLoadXml. I/O goes through `env` (nullptr selects
+/// store::Env::Default()), so ingestion is fault-injectable like the rest
+/// of the persistence layer.
 Result<BulkLoadStats> BulkLoadFile(store::Database* db,
                                    const std::string& collection,
                                    const std::string& path,
-                                   const std::string& key_prefix = "rec");
+                                   const std::string& key_prefix = "rec",
+                                   store::Env* env = nullptr);
 
 /// Serializes `docs` as one DBLP-style dump wrapped in `<root_tag>`.
 std::string FormatAsDump(const std::vector<NamedDoc>& docs,
                          const std::string& root_tag = "dblp");
 
-/// Writes FormatAsDump output to `path`.
+/// Writes FormatAsDump output to `path` through `env` (nullptr selects
+/// store::Env::Default()); the bytes are synced before returning.
 Status WriteDumpFile(const std::vector<NamedDoc>& docs,
                      const std::string& path,
-                     const std::string& root_tag = "dblp");
+                     const std::string& root_tag = "dblp",
+                     store::Env* env = nullptr);
 
 }  // namespace toss::data
 

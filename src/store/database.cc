@@ -1,10 +1,14 @@
 #include "store/database.h"
 
-#include <cctype>
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
+#include "common/string_util.h"
+#include "store/snapshot.h"
 #include "xml/xml_writer.h"
 
 namespace toss::store {
@@ -13,35 +17,87 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Keys may contain characters unusable in filenames; documents are stored
-/// as 000000.xml, 000001.xml, ... with the real keys in _keys.txt.
+/// Document payloads are stored as 000000.xml, 000001.xml, ... with the
+/// real keys escaped into the MANIFEST; keys never touch the filesystem.
 std::string DocFileName(size_t ordinal) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%06zu.xml", ordinal);
   return buf;
 }
 
-Result<std::string> ReadFile(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IOError("cannot open " + path.string());
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+/// Collection subdirectories are likewise ordinals (c000000, ...), so
+/// collection names containing path separators cannot escape the snapshot.
+std::string CollectionDirName(size_t ordinal) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%06zu", ordinal);
+  return buf;
 }
 
-Status WriteFile(const fs::path& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot write " + path.string());
+std::string PathJoin(const std::string& a, const std::string& b) {
+  return (fs::path(a) / b).string();
+}
+
+/// Loads one sealed generation, verifying byte counts and checksums.
+Result<Database> LoadGeneration(const std::string& dir,
+                                const std::string& gen, Env* env) {
+  std::string gdir = PathJoin(dir, gen);
+  TOSS_ASSIGN_OR_RETURN(std::string manifest_text,
+                        env->ReadFile(PathJoin(gdir, kManifestFileName)));
+  TOSS_ASSIGN_OR_RETURN(SnapshotManifest manifest,
+                        ParseManifest(manifest_text));
+  Database db;
+  for (const ManifestCollection& mc : manifest.collections) {
+    TOSS_ASSIGN_OR_RETURN(Collection * coll, db.CreateCollection(mc.name));
+    std::string cdir = PathJoin(gdir, mc.subdir);
+    for (const ManifestDoc& md : mc.docs) {
+      std::string path = PathJoin(cdir, md.file);
+      TOSS_ASSIGN_OR_RETURN(std::string payload, env->ReadFile(path));
+      if (payload.size() != md.bytes) {
+        return Status::IOError(
+            "truncated payload " + path + ": manifest records " +
+            std::to_string(md.bytes) + " bytes, found " +
+            std::to_string(payload.size()));
+      }
+      if (Crc32(payload) != md.crc32) {
+        return Status::IOError("checksum mismatch for " + path);
+      }
+      TOSS_ASSIGN_OR_RETURN(DocId id, coll->InsertXml(md.key, payload));
+      (void)id;
+    }
   }
-  out << content;
-  out.close();
-  if (!out) {
-    return Status::IOError("write failed for " + path.string());
+  return db;
+}
+
+/// Reads a directory written by the pre-generational format:
+///   <dir>/manifest.txt, <dir>/<collection>/{_keys.txt,000000.xml,...}
+/// No checksums existed in that format, so corruption surfaces as read or
+/// parse errors. A one-time Save migrates the data forward.
+Result<Database> LoadLegacy(const std::string& dir, Env* env) {
+  TOSS_ASSIGN_OR_RETURN(
+      std::string manifest,
+      env->ReadFile(PathJoin(dir, kLegacyManifestFileName)));
+  Database db;
+  std::istringstream names(manifest);
+  std::string name;
+  while (std::getline(names, name)) {
+    if (name.empty()) continue;
+    TOSS_ASSIGN_OR_RETURN(Collection * coll, db.CreateCollection(name));
+    std::string cdir = PathJoin(dir, name);
+    TOSS_ASSIGN_OR_RETURN(std::string keys,
+                          env->ReadFile(PathJoin(cdir, "_keys.txt")));
+    std::istringstream key_stream(keys);
+    std::string key;
+    size_t ordinal = 0;
+    while (std::getline(key_stream, key)) {
+      if (key.empty()) continue;
+      TOSS_ASSIGN_OR_RETURN(std::string text,
+                            env->ReadFile(PathJoin(cdir, DocFileName(ordinal))));
+      TOSS_ASSIGN_OR_RETURN(DocId id, coll->InsertXml(key, text));
+      (void)id;
+      ++ordinal;
+    }
   }
-  return Status::OK();
+  return db;
 }
 
 }  // namespace
@@ -89,60 +145,188 @@ std::vector<std::string> Database::CollectionNames() const {
 }
 
 Status Database::Save(const std::string& dir) const {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create directory " + dir + ": " +
-                           ec.message());
+  return Save(dir, Env::Default());
+}
+
+Status Database::Save(const std::string& dir, Env* env,
+                      const RetryPolicy& retry) const {
+  auto Run = [&](const std::function<Status()>& op) {
+    return RetryTransient(env, retry, op);
+  };
+
+  TOSS_RETURN_NOT_OK(Run([&] { return env->CreateDirs(dir); }));
+
+  // Pick the next generation number past everything on disk -- committed
+  // generations AND stale gen-*.tmp builds left by crashed saves. The
+  // stale entries are ignored as data but remembered for post-commit
+  // cleanup; nothing may be deleted before the new generation commits.
+  uint64_t next_gen = 1;
+  std::vector<std::string> cleanup_after_commit;
+  {
+    auto listing = env->ListDir(dir);
+    if (listing.ok()) {
+      for (const std::string& entry : *listing) {
+        std::optional<uint64_t> n = ParseGenerationDirName(entry);
+        if (!n) n = ParseTempGenerationDirName(entry);
+        if (n) {
+          next_gen = std::max(next_gen, *n + 1);
+          cleanup_after_commit.push_back(entry);
+        }
+      }
+    }
   }
-  std::string manifest;
+
+  const std::string gen_name = GenerationDirName(next_gen);
+  const std::string tmp_dir = PathJoin(dir, TempGenerationDirName(next_gen));
+  TOSS_RETURN_NOT_OK(Run([&] { return env->RemoveAll(tmp_dir); }));
+  TOSS_RETURN_NOT_OK(Run([&] { return env->CreateDirs(tmp_dir); }));
+
+  SnapshotManifest manifest;
+  size_t coll_ordinal = 0;
   for (const auto& [name, coll] : collections_) {
-    manifest += name;
-    manifest += '\n';
-    fs::path cdir = fs::path(dir) / name;
-    fs::remove_all(cdir, ec);  // replace any previous snapshot
-    fs::create_directories(cdir, ec);
-    if (ec) {
-      return Status::IOError("cannot create directory " + cdir.string());
-    }
-    std::string keys;
-    size_t ordinal = 0;
+    ManifestCollection mc;
+    mc.name = name;
+    mc.subdir = CollectionDirName(coll_ordinal++);
+    std::string cdir = PathJoin(tmp_dir, mc.subdir);
+    TOSS_RETURN_NOT_OK(Run([&] { return env->CreateDirs(cdir); }));
+    size_t doc_ordinal = 0;
     for (DocId id : coll->AllDocs()) {
-      keys += coll->key(id);
-      keys += '\n';
-      TOSS_RETURN_NOT_OK(WriteFile(cdir / DocFileName(ordinal),
-                                   xml::Write(coll->document(id))));
-      ++ordinal;
+      ManifestDoc md;
+      md.file = DocFileName(doc_ordinal++);
+      md.key = coll->key(id);
+      std::string payload = xml::Write(coll->document(id));
+      md.bytes = payload.size();
+      md.crc32 = Crc32(payload);
+      std::string path = PathJoin(cdir, md.file);
+      TOSS_RETURN_NOT_OK(Run([&] { return env->WriteFile(path, payload); }));
+      TOSS_RETURN_NOT_OK(Run([&] { return env->SyncFile(path); }));
+      mc.docs.push_back(std::move(md));
     }
-    TOSS_RETURN_NOT_OK(WriteFile(cdir / "_keys.txt", keys));
+    manifest.collections.push_back(std::move(mc));
   }
-  return WriteFile(fs::path(dir) / "manifest.txt", manifest);
+  const std::string manifest_path = PathJoin(tmp_dir, kManifestFileName);
+  TOSS_RETURN_NOT_OK(
+      Run([&] { return env->WriteFile(manifest_path, manifest.Format()); }));
+  TOSS_RETURN_NOT_OK(Run([&] { return env->SyncFile(manifest_path); }));
+
+  // Seal the generation, then commit it by swinging CURRENT. Both renames
+  // are atomic; the directory fsyncs make them durable in order.
+  TOSS_RETURN_NOT_OK(
+      Run([&] { return env->RenameFile(tmp_dir, PathJoin(dir, gen_name)); }));
+  TOSS_RETURN_NOT_OK(Run([&] { return env->SyncDir(dir); }));
+  const std::string current_tmp = PathJoin(dir, "CURRENT.tmp");
+  TOSS_RETURN_NOT_OK(
+      Run([&] { return env->WriteFile(current_tmp, gen_name + "\n"); }));
+  TOSS_RETURN_NOT_OK(Run([&] { return env->SyncFile(current_tmp); }));
+  TOSS_RETURN_NOT_OK(Run([&] {
+    return env->RenameFile(current_tmp, PathJoin(dir, kCurrentFileName));
+  }));
+  TOSS_RETURN_NOT_OK(Run([&] { return env->SyncDir(dir); }));
+
+  // Post-commit cleanup is best-effort: the new generation is already
+  // durable, so a failure (or crash) here merely leaves extra files for
+  // the next Save to collect. Transient errors still get the retry/backoff
+  // treatment; hard errors are swallowed. The legacy manifest.txt is removed
+  // so Open can never fall back to a stale pre-generational snapshot.
+  for (const std::string& entry : cleanup_after_commit) {
+    (void)Run([&] { return env->RemoveAll(PathJoin(dir, entry)); });
+  }
+  (void)Run([&] { return env->RemoveFile(PathJoin(dir, kLegacyManifestFileName)); });
+  return Status::OK();
 }
 
 Result<Database> Database::Open(const std::string& dir) {
-  TOSS_ASSIGN_OR_RETURN(std::string manifest,
-                        ReadFile(fs::path(dir) / "manifest.txt"));
-  Database db;
-  std::istringstream names(manifest);
-  std::string name;
-  while (std::getline(names, name)) {
-    if (name.empty()) continue;
-    TOSS_ASSIGN_OR_RETURN(Collection * coll, db.CreateCollection(name));
-    fs::path cdir = fs::path(dir) / name;
-    TOSS_ASSIGN_OR_RETURN(std::string keys, ReadFile(cdir / "_keys.txt"));
-    std::istringstream key_stream(keys);
-    std::string key;
-    size_t ordinal = 0;
-    while (std::getline(key_stream, key)) {
-      if (key.empty()) continue;
-      TOSS_ASSIGN_OR_RETURN(std::string text,
-                            ReadFile(cdir / DocFileName(ordinal)));
-      TOSS_ASSIGN_OR_RETURN(DocId id, coll->InsertXml(key, text));
-      (void)id;
-      ++ordinal;
+  return Open(dir, Env::Default(), nullptr);
+}
+
+Result<Database> Database::Open(const std::string& dir, Env* env,
+                                RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& rep = report ? *report : local;
+  rep = RecoveryReport{};
+
+  // Enumerate committed generations, newest first. gen-*.tmp builds were
+  // never committed and are never read.
+  std::vector<std::pair<uint64_t, std::string>> generations;
+  bool dir_listed = false;
+  {
+    auto listing = env->ListDir(dir);
+    if (listing.ok()) {
+      dir_listed = true;
+      for (const std::string& entry : *listing) {
+        if (std::optional<uint64_t> n = ParseGenerationDirName(entry)) {
+          generations.emplace_back(*n, entry);
+        }
+      }
+      std::sort(generations.begin(), generations.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
     }
   }
-  return db;
+
+  // The generation CURRENT commits to is authoritative; try it first.
+  std::string current;
+  const std::string current_path = PathJoin(dir, kCurrentFileName);
+  if (env->FileExists(current_path)) {
+    auto pointer = env->ReadFile(current_path);
+    if (pointer.ok()) {
+      std::string_view trimmed = Trim(*pointer);
+      if (ParseGenerationDirName(trimmed)) {
+        current = std::string(trimmed);
+      } else {
+        rep.discarded.push_back(
+            {"CURRENT", "garbage CURRENT pointer: '" +
+                            std::string(trimmed.substr(0, 64)) + "'"});
+      }
+    } else {
+      rep.discarded.push_back({"CURRENT", pointer.status().ToString()});
+    }
+  }
+
+  if (!current.empty()) {
+    auto db = LoadGeneration(dir, current, env);
+    if (db.ok()) {
+      rep.loaded_generation = current;
+      return db;
+    }
+    rep.discarded.push_back({current, db.status().ToString()});
+  }
+
+  // Degrade to the newest other intact generation.
+  for (const auto& [n, gen] : generations) {
+    if (gen == current) continue;
+    auto db = LoadGeneration(dir, gen, env);
+    if (db.ok()) {
+      rep.loaded_generation = gen;
+      return db;
+    }
+    rep.discarded.push_back({gen, db.status().ToString()});
+  }
+
+  // No generations at all: this may be a pre-generational directory.
+  if (generations.empty() && current.empty() &&
+      env->FileExists(PathJoin(dir, kLegacyManifestFileName))) {
+    auto db = LoadLegacy(dir, env);
+    if (db.ok()) {
+      rep.loaded_generation = "legacy";
+      rep.used_legacy_format = true;
+    }
+    return db;
+  }
+
+  std::string detail;
+  for (const auto& d : rep.discarded) {
+    detail += "; " + d.generation + ": " + d.reason;
+  }
+  if (!dir_listed) detail += "; directory unreadable";
+  return Status::IOError("no intact snapshot in " + dir + detail);
+}
+
+Status Database::Reload(const std::string& dir, Env* env,
+                        RecoveryReport* report) {
+  TOSS_ASSIGN_OR_RETURN(Database fresh,
+                        Open(dir, env ? env : Env::Default(), report));
+  collections_ = std::move(fresh.collections_);
+  return Status::OK();
 }
 
 }  // namespace toss::store

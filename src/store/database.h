@@ -1,10 +1,20 @@
-// Database: a named set of collections with directory-based persistence.
+// Database: a named set of collections with crash-safe, generational
+// directory persistence.
 //
-// On-disk layout (Save/Open):
-//   <dir>/manifest.txt          -- one collection name per line
-//   <dir>/<collection>/<key>.xml
-//   <dir>/<collection>/_keys.txt -- insertion-ordered keys (filenames are
-//                                   sanitized, so the real keys live here)
+// On-disk layout (see snapshot.h and DESIGN.md "Durability & recovery"):
+//   <dir>/CURRENT            -- commit pointer, "gen-<N>\n"
+//   <dir>/gen-<N>/MANIFEST   -- versioned manifest with per-file CRC32s
+//   <dir>/gen-<N>/c<ordinal>/<ordinal>.xml
+//
+// Save builds the next generation in gen-<N>.tmp, fsyncs every file,
+// seals it with an atomic rename, and only then swings CURRENT (also via
+// atomic rename); the previous generation is deleted strictly after the
+// commit, so a crash or injected I/O failure at ANY point leaves either
+// the old or the new state recoverable -- never a torn hybrid. Open
+// verifies every checksum and degrades to the newest intact generation,
+// reporting what it discarded through RecoveryReport. Directories written
+// by the pre-generational format (manifest.txt + <collection>/_keys.txt)
+// remain readable through a legacy fallback path.
 
 #ifndef TOSS_STORE_DATABASE_H_
 #define TOSS_STORE_DATABASE_H_
@@ -16,8 +26,29 @@
 
 #include "common/result.h"
 #include "store/collection.h"
+#include "store/env.h"
 
 namespace toss::store {
+
+/// What Open had to discard or work around to produce a database. Empty
+/// (no discards, no legacy) after a clean load of a committed generation.
+struct RecoveryReport {
+  /// Generation that was loaded ("gen-<N>", or "legacy").
+  std::string loaded_generation;
+  /// True when the pre-generational manifest.txt format was read.
+  bool used_legacy_format = false;
+
+  struct Discarded {
+    std::string generation;  ///< "gen-<N>", or "CURRENT" for a bad pointer
+    std::string reason;      ///< the Status that disqualified it
+  };
+  /// Corrupt/unreadable generations skipped, newest first.
+  std::vector<Discarded> discarded;
+
+  /// True when recovery fell back past the committed generation or read
+  /// the legacy format.
+  bool degraded() const { return !discarded.empty() || used_legacy_format; }
+};
 
 class Database {
  public:
@@ -36,12 +67,31 @@ class Database {
   std::vector<std::string> CollectionNames() const;
   size_t collection_count() const { return collections_.size(); }
 
-  /// Writes every collection under `dir` (created if needed; existing
-  /// collection subdirectories are replaced).
+  /// Writes a new committed generation under `dir` (created if needed).
+  /// Transient (Unavailable) I/O errors are retried per `retry`; any other
+  /// failure aborts the save with the previous generation still committed
+  /// and intact. Older generations and stale gen-*.tmp build directories
+  /// are removed only after the new generation is committed.
   Status Save(const std::string& dir) const;
+  Status Save(const std::string& dir, Env* env,
+              const RetryPolicy& retry = RetryPolicy{}) const;
 
-  /// Loads a database previously written by Save.
+  /// Loads the newest intact generation under `dir` (preferring the one
+  /// CURRENT commits to), verifying every file's byte count and CRC32.
+  /// Corrupt generations are skipped and recorded in `report`; IOError
+  /// when nothing intact remains.
   static Result<Database> Open(const std::string& dir);
+  static Result<Database> Open(const std::string& dir, Env* env,
+                               RecoveryReport* report = nullptr);
+
+  /// Re-opens `dir` in place: on success this database's contents are
+  /// replaced by the on-disk state and every collection's decoded-tree
+  /// cache starts cold (the old collections -- and their caches -- are
+  /// destroyed). On failure the in-memory state is left untouched.
+  /// Query executors hold the Database pointer, so they observe the new
+  /// state on their next query without rebinding.
+  Status Reload(const std::string& dir, Env* env = nullptr,
+                RecoveryReport* report = nullptr);
 
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;

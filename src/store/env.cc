@@ -1,0 +1,314 @@
+#include "store/env.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace toss::store {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// ProductionEnv
+// ---------------------------------------------------------------------------
+
+Status ProductionEnv::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ProductionEnv::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed for " + path);
+  }
+  return ss.str();
+}
+
+Status ProductionEnv::WriteFile(const std::string& path,
+                                std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status ProductionEnv::SyncFile(const std::string& path) {
+#ifndef _WIN32
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for sync: " + path);
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for " + path);
+  }
+#endif
+  return Status::OK();
+}
+
+Status ProductionEnv::SyncDir(const std::string& dir) {
+#ifndef _WIN32
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for sync: " + dir);
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for directory " + dir);
+  }
+#endif
+  return Status::OK();
+}
+
+Status ProductionEnv::RenameFile(const std::string& from,
+                                 const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("cannot rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status ProductionEnv::RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // returns false when absent, which is fine
+  if (ec) {
+    return Status::IOError("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status ProductionEnv::RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove tree " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ProductionEnv::ListDir(
+    const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list " + dir + ": " + ec.message());
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+bool ProductionEnv::FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void ProductionEnv::SleepForMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Env* Env::Default() {
+  // Leaked deliberately (same rationale as SharedWorkerPool): destruction
+  // order at exit is a hazard and the object is stateless anyway.
+  static ProductionEnv* env = new ProductionEnv();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------------
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, Options options)
+    : base_(base), options_(options) {}
+
+Status FaultInjectionEnv::Admit(const std::string& path,
+                                std::string_view content, bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IOError("injected fault: process crashed (op after #" +
+                           std::to_string(options_.fail_at_op) + ")");
+  }
+  size_t op = ops_++;
+  if (no_space_) {
+    // The disk is full, not dead: writes keep failing, everything else works.
+    if (!is_write) return Status::OK();
+    ++faults_;
+    return Status::IOError("injected fault: no space left on device");
+  }
+  if (op < options_.fail_at_op) return Status::OK();
+
+  switch (options_.kind) {
+    case FaultKind::kHardError:
+      ++faults_;
+      crashed_ = true;
+      return Status::IOError("injected fault: I/O error at op #" +
+                             std::to_string(op) + " (" + path + ")");
+    case FaultKind::kTornWrite:
+      ++faults_;
+      crashed_ = true;
+      if (is_write && !content.empty()) {
+        // Half the payload lands before the crash; ignore secondary errors,
+        // the caller only ever sees the injected one.
+        (void)base_->WriteFile(path, content.substr(0, content.size() / 2));
+      }
+      return Status::IOError("injected fault: torn write at op #" +
+                             std::to_string(op) + " (" + path + ")");
+    case FaultKind::kNoSpace:
+      ++faults_;
+      no_space_ = true;
+      if (is_write && !content.empty()) {
+        (void)base_->WriteFile(path, content.substr(0, content.size() / 2));
+      }
+      return Status::IOError("injected fault: no space left on device (op #" +
+                             std::to_string(op) + ", " + path + ")");
+    case FaultKind::kTransient:
+      if (faults_ < options_.transient_failures) {
+        ++faults_;
+        return Status::Unavailable("injected fault: transient I/O error at op #" +
+                                   std::to_string(op) + " (" + path + ")");
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
+  TOSS_RETURN_NOT_OK(Admit(dir, {}, /*is_write=*/false));
+  return base_->CreateDirs(dir);
+}
+
+Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::IOError("injected fault: process crashed");
+    }
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    std::string_view content) {
+  TOSS_RETURN_NOT_OK(Admit(path, content, /*is_write=*/true));
+  return base_->WriteFile(path, content);
+}
+
+Status FaultInjectionEnv::SyncFile(const std::string& path) {
+  TOSS_RETURN_NOT_OK(Admit(path, {}, /*is_write=*/false));
+  return base_->SyncFile(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  TOSS_RETURN_NOT_OK(Admit(dir, {}, /*is_write=*/false));
+  return base_->SyncDir(dir);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  TOSS_RETURN_NOT_OK(Admit(from, {}, /*is_write=*/false));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  TOSS_RETURN_NOT_OK(Admit(path, {}, /*is_write=*/false));
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::RemoveAll(const std::string& path) {
+  TOSS_RETURN_NOT_OK(Admit(path, {}, /*is_write=*/false));
+  return base_->RemoveAll(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::IOError("injected fault: process crashed");
+    }
+  }
+  return base_->ListDir(dir);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+void FaultInjectionEnv::SleepForMicros(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sleeps_;
+  slept_micros_ += micros;  // recorded, never actually slept: tests stay fast
+}
+
+size_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+size_t FaultInjectionEnv::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+size_t FaultInjectionEnv::sleep_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sleeps_;
+}
+
+uint64_t FaultInjectionEnv::total_sleep_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slept_micros_;
+}
+
+// ---------------------------------------------------------------------------
+// RetryTransient
+// ---------------------------------------------------------------------------
+
+Status RetryTransient(Env* env, const RetryPolicy& policy,
+                      const std::function<Status()>& op) {
+  size_t attempts = std::max<size_t>(1, policy.max_attempts);
+  uint64_t backoff = policy.initial_backoff_micros;
+  Status st;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    st = op();
+    if (!st.IsUnavailable()) return st;
+    if (attempt + 1 < attempts) {
+      env->SleepForMicros(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff_micros);
+    }
+  }
+  return st;
+}
+
+}  // namespace toss::store

@@ -1,0 +1,181 @@
+// Env: the store's pluggable I/O substrate, in the style of LevelDB's
+// leveldb::Env.
+//
+// Every byte the persistence layer moves to or from disk goes through an
+// Env, so durability-sensitive code paths (snapshot writing, recovery,
+// bulk loading) can be exercised under injected faults without touching a
+// real filesystem's failure modes. Two implementations ship:
+//
+//   * ProductionEnv -- real filesystem operations. WriteFile truncates and
+//     writes; SyncFile/SyncDir issue fsync so a committed snapshot survives
+//     power loss, not just process death.
+//   * FaultInjectionEnv -- wraps a base Env and fails the Nth mutating
+//     operation in one of several ways: a hard I/O error, a torn write
+//     (a prefix of the bytes lands, then the "process" dies), simulated
+//     ENOSPC (this and every later write fail), or a bounded run of
+//     transient errors (to exercise retry/backoff). After a crash-style
+//     fault every subsequent operation fails, modelling a dead process;
+//     recovery is then tested by reopening with a fresh Env.
+//
+// The free function RetryTransient implements the bounded retry/backoff
+// loop used by the snapshot writer: Unavailable errors are retried with
+// exponential backoff (sleeping through the Env so tests count the sleeps
+// instead of waiting), every other status is returned immediately.
+
+#ifndef TOSS_STORE_ENV_H_
+#define TOSS_STORE_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace toss::store {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates `dir` and any missing parents. OK when it already exists.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// Reads the whole file into a string.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Replaces `path`'s contents with `content` (created if missing). Does
+  /// NOT sync; call SyncFile before relying on the bytes being durable.
+  virtual Status WriteFile(const std::string& path,
+                           std::string_view content) = 0;
+
+  /// Flushes `path`'s contents to stable storage (fsync).
+  virtual Status SyncFile(const std::string& path) = 0;
+
+  /// Flushes `dir`'s entries (creations, renames) to stable storage.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Atomically renames a file or directory over `to`.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Removes one file. OK when the file does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Recursively removes a file or directory tree. OK when absent.
+  virtual Status RemoveAll(const std::string& path) = 0;
+
+  /// Names (not paths) of `dir`'s entries, unsorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Backoff sleep. Fault-injection overrides this to record rather than
+  /// actually sleep, keeping retry tests instant.
+  virtual void SleepForMicros(uint64_t micros) = 0;
+
+  /// Process-wide ProductionEnv singleton (never destroyed).
+  static Env* Default();
+};
+
+/// Real-filesystem Env. Stateless; safe to share across threads.
+class ProductionEnv : public Env {
+ public:
+  Status CreateDirs(const std::string& dir) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view content) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  void SleepForMicros(uint64_t micros) override;
+};
+
+/// Env decorator that injects faults at a chosen mutating operation.
+///
+/// Mutating operations (CreateDirs, WriteFile, SyncFile, SyncDir,
+/// RenameFile, RemoveFile, RemoveAll) are numbered 0, 1, 2, ... in call
+/// order; read-only operations are passed through uncounted, since a crash
+/// during a read is indistinguishable from one just before the next write.
+/// A dry run with `fail_at_op` left at kNever yields op_count(), the total
+/// a crash matrix then sweeps.
+class FaultInjectionEnv : public Env {
+ public:
+  static constexpr size_t kNever = static_cast<size_t>(-1);
+
+  enum class FaultKind {
+    kHardError,  ///< op does nothing, returns IOError; then crashed
+    kTornWrite,  ///< WriteFile persists a prefix, then crashed
+    kNoSpace,    ///< this and all later writes fail with injected ENOSPC
+    kTransient,  ///< next `transient_failures` ops fail Unavailable, then heal
+  };
+
+  struct Options {
+    size_t fail_at_op = kNever;  ///< index of the first faulted mutating op
+    FaultKind kind = FaultKind::kHardError;
+    /// kTransient only: how many consecutive mutating ops fail before the
+    /// fault heals and operations succeed again.
+    size_t transient_failures = 1;
+  };
+
+  explicit FaultInjectionEnv(Env* base) : FaultInjectionEnv(base, Options{}) {}
+  FaultInjectionEnv(Env* base, Options options);
+
+  Status CreateDirs(const std::string& dir) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view content) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  void SleepForMicros(uint64_t micros) override;
+
+  /// Mutating operations observed so far (including faulted ones).
+  size_t op_count() const;
+  /// Faults delivered so far (>= 1 once fail_at_op was reached).
+  size_t faults_fired() const;
+  /// Backoff sleeps requested via SleepForMicros.
+  size_t sleep_count() const;
+  uint64_t total_sleep_micros() const;
+
+ private:
+  /// Pre-flight for one mutating op. OK = execute it; otherwise the typed
+  /// injected error. `content` is consumed by kTornWrite.
+  Status Admit(const std::string& path, std::string_view content,
+               bool is_write);
+
+  Env* base_;
+  Options options_;
+  mutable std::mutex mu_;
+  size_t ops_ = 0;
+  size_t faults_ = 0;
+  size_t sleeps_ = 0;
+  uint64_t slept_micros_ = 0;
+  bool crashed_ = false;   ///< hard/torn fault delivered; everything fails
+  bool no_space_ = false;  ///< ENOSPC delivered; writes keep failing
+};
+
+/// Bounded retry/backoff for transient (Unavailable) failures.
+struct RetryPolicy {
+  size_t max_attempts = 4;              ///< total tries, including the first
+  uint64_t initial_backoff_micros = 100;
+  uint64_t max_backoff_micros = 10'000;
+};
+
+/// Runs `op`, retrying Unavailable results up to policy.max_attempts with
+/// exponential backoff slept through `env`. Non-transient errors and OK are
+/// returned immediately; a still-failing op returns its last Unavailable.
+Status RetryTransient(Env* env, const RetryPolicy& policy,
+                      const std::function<Status()>& op);
+
+}  // namespace toss::store
+
+#endif  // TOSS_STORE_ENV_H_

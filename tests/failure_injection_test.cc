@@ -10,12 +10,16 @@
 
 #include "core/toss.h"
 #include "data/bulk_loader.h"
+#include "store/env.h"
+#include "store/snapshot.h"
 
 namespace toss {
 namespace {
 
 namespace fs = std::filesystem;
 
+// Corruption tests against the generational snapshot format:
+//   <dir>/CURRENT, <dir>/gen-1/MANIFEST, <dir>/gen-1/c000000/00000N.xml
 class CorruptStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -27,55 +31,220 @@ class CorruptStoreTest : public ::testing::Test {
     ASSERT_TRUE((*coll)->InsertXml("k1", "<a><b>x</b></a>").ok());
     ASSERT_TRUE((*coll)->InsertXml("k2", "<c/>").ok());
     ASSERT_TRUE(db.Save(dir_.string()).ok());
+    doc0_ = fs::path("gen-1") / "c000000" / "000000.xml";
   }
 
   void TearDown() override { fs::remove_all(dir_); }
 
   void Overwrite(const fs::path& relative, const std::string& content) {
-    std::ofstream out(dir_ / relative, std::ios::trunc);
+    std::ofstream out(dir_ / relative,
+                      std::ios::trunc | std::ios::binary);
     out << content;
   }
 
+  std::string ReadBack(const fs::path& relative) {
+    auto r = store::Env::Default()->ReadFile((dir_ / relative).string());
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? *r : std::string();
+  }
+
   fs::path dir_;
+  fs::path doc0_;
 };
 
-TEST_F(CorruptStoreTest, IntactStoreOpens) {
-  auto db = store::Database::Open(dir_.string());
+TEST_F(CorruptStoreTest, IntactStoreOpensWithCleanReport) {
+  store::RecoveryReport report;
+  auto db = store::Database::Open(dir_.string(), store::Env::Default(),
+                                  &report);
   ASSERT_TRUE(db.ok()) << db.status();
   auto coll = db->GetCollection("dblp");
   ASSERT_TRUE(coll.ok());
   EXPECT_EQ((*coll)->size(), 2u);
+  EXPECT_EQ(report.loaded_generation, "gen-1");
+  EXPECT_FALSE(report.degraded());
 }
 
 TEST_F(CorruptStoreTest, MissingManifestIsIOError) {
-  fs::remove(dir_ / "manifest.txt");
+  fs::remove(dir_ / "gen-1" / store::kManifestFileName);
   EXPECT_TRUE(store::Database::Open(dir_.string()).status().IsIOError());
 }
 
-TEST_F(CorruptStoreTest, ManifestPointingToMissingCollection) {
-  Overwrite("manifest.txt", "dblp\nghost\n");
-  auto db = store::Database::Open(dir_.string());
-  ASSERT_FALSE(db.ok());
-  EXPECT_TRUE(db.status().IsIOError());
+TEST_F(CorruptStoreTest, TruncatedManifestIsRejected) {
+  std::string manifest = ReadBack(fs::path("gen-1") /
+                                  store::kManifestFileName);
+  Overwrite(fs::path("gen-1") / store::kManifestFileName,
+            manifest.substr(0, manifest.size() / 2));
+  EXPECT_TRUE(store::Database::Open(dir_.string()).status().IsIOError());
 }
 
-TEST_F(CorruptStoreTest, CorruptDocumentXml) {
-  Overwrite(fs::path("dblp") / "000000.xml", "<a><unclosed>");
-  auto db = store::Database::Open(dir_.string());
-  ASSERT_FALSE(db.ok());
-  EXPECT_TRUE(db.status().IsParseError()) << db.status();
+TEST_F(CorruptStoreTest, TruncatedPayloadDetectedByByteCount) {
+  std::string payload = ReadBack(doc0_);
+  Overwrite(doc0_, payload.substr(0, payload.size() / 2));
+  auto st = store::Database::Open(dir_.string()).status();
+  ASSERT_TRUE(st.IsIOError()) << st;
+  EXPECT_NE(st.message().find("truncated payload"), std::string::npos) << st;
+}
+
+TEST_F(CorruptStoreTest, ChecksumMismatchDetectedBySameLengthDamage) {
+  // Same byte count, flipped content: only the CRC can catch this.
+  std::string payload = ReadBack(doc0_);
+  payload[payload.size() / 2] ^= 0x40;
+  Overwrite(doc0_, payload);
+  auto st = store::Database::Open(dir_.string()).status();
+  ASSERT_TRUE(st.IsIOError()) << st;
+  EXPECT_NE(st.message().find("checksum mismatch"), std::string::npos) << st;
 }
 
 TEST_F(CorruptStoreTest, MissingDocumentFile) {
-  fs::remove(dir_ / "dblp" / "000001.xml");
+  fs::remove(dir_ / "gen-1" / "c000000" / "000001.xml");
   auto db = store::Database::Open(dir_.string());
   ASSERT_FALSE(db.ok());
   EXPECT_TRUE(db.status().IsIOError());
 }
 
-TEST_F(CorruptStoreTest, MissingKeysFile) {
-  fs::remove(dir_ / "dblp" / "_keys.txt");
-  EXPECT_TRUE(store::Database::Open(dir_.string()).status().IsIOError());
+TEST_F(CorruptStoreTest, GarbageCurrentPointerFallsBackToNewestIntactGen) {
+  Overwrite(store::kCurrentFileName, "!!not a generation!!\n");
+  store::RecoveryReport report;
+  auto db = store::Database::Open(dir_.string(), store::Env::Default(),
+                                  &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto coll = db->GetCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->size(), 2u);
+  EXPECT_EQ(report.loaded_generation, "gen-1");
+  ASSERT_TRUE(report.degraded());
+  EXPECT_EQ(report.discarded[0].generation, "CURRENT");
+}
+
+TEST_F(CorruptStoreTest, CurrentPointingToMissingGenerationFallsBack) {
+  Overwrite(store::kCurrentFileName, "gen-99\n");
+  store::RecoveryReport report;
+  auto db = store::Database::Open(dir_.string(), store::Env::Default(),
+                                  &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(report.loaded_generation, "gen-1");
+  ASSERT_EQ(report.discarded.size(), 1u);
+  EXPECT_EQ(report.discarded[0].generation, "gen-99");
+}
+
+TEST_F(CorruptStoreTest, MissingCurrentStillFindsCommittedGeneration) {
+  fs::remove(dir_ / store::kCurrentFileName);
+  store::RecoveryReport report;
+  auto db = store::Database::Open(dir_.string(), store::Env::Default(),
+                                  &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(report.loaded_generation, "gen-1");
+}
+
+TEST_F(CorruptStoreTest, CorruptCurrentGenDegradesToOlderIntactGeneration) {
+  // Fabricate a newer committed generation, then corrupt it: Open must
+  // report the discard and serve the older intact one.
+  fs::copy(dir_ / "gen-1", dir_ / "gen-2", fs::copy_options::recursive);
+  Overwrite(store::kCurrentFileName, "gen-2\n");
+  std::string payload = ReadBack(fs::path("gen-2") / "c000000" /
+                                 "000000.xml");
+  payload[0] ^= 0x01;
+  Overwrite(fs::path("gen-2") / "c000000" / "000000.xml", payload);
+
+  store::RecoveryReport report;
+  auto db = store::Database::Open(dir_.string(), store::Env::Default(),
+                                  &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto coll = db->GetCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->size(), 2u);
+  EXPECT_EQ(report.loaded_generation, "gen-1");
+  ASSERT_EQ(report.discarded.size(), 1u);
+  EXPECT_EQ(report.discarded[0].generation, "gen-2");
+  EXPECT_NE(report.discarded[0].reason.find("checksum"), std::string::npos);
+}
+
+TEST_F(CorruptStoreTest, StaleTmpGenerationIgnoredAndCleanedByNextSave) {
+  // A gen-*.tmp left by a crashed save is never read by Open ...
+  fs::create_directories(dir_ / "gen-7.tmp");
+  Overwrite(fs::path("gen-7.tmp") / store::kManifestFileName,
+            "partial garbage");
+  store::RecoveryReport report;
+  auto db = store::Database::Open(dir_.string(), store::Env::Default(),
+                                  &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(report.loaded_generation, "gen-1");
+  EXPECT_FALSE(report.degraded());
+
+  // ... numbers past it, and is removed by the next Save's cleanup.
+  ASSERT_TRUE(db->Save(dir_.string()).ok());
+  EXPECT_FALSE(fs::exists(dir_ / "gen-7.tmp"));
+  EXPECT_TRUE(fs::exists(dir_ / "gen-8"));
+  EXPECT_FALSE(fs::exists(dir_ / "gen-1"));
+  store::RecoveryReport after;
+  auto db2 = store::Database::Open(dir_.string(), store::Env::Default(),
+                                   &after);
+  ASSERT_TRUE(db2.ok()) << db2.status();
+  EXPECT_EQ(after.loaded_generation, "gen-8");
+}
+
+TEST_F(CorruptStoreTest, AllGenerationsCorruptIsIOErrorListingReasons) {
+  std::string payload = ReadBack(doc0_);
+  payload[0] ^= 0x01;
+  Overwrite(doc0_, payload);
+  auto st = store::Database::Open(dir_.string()).status();
+  ASSERT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("no intact snapshot"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("gen-1"), std::string::npos) << st;
+}
+
+TEST_F(CorruptStoreTest, LegacyFormatReadableAndMigratedBySave) {
+  // Hand-write a pre-generational directory (manifest.txt + _keys.txt).
+  fs::path legacy = fs::temp_directory_path() / "toss_failure_legacy";
+  fs::remove_all(legacy);
+  fs::create_directories(legacy / "dblp");
+  {
+    std::ofstream(legacy / "manifest.txt") << "dblp\n";
+    std::ofstream(legacy / "dblp" / "_keys.txt") << "k1\nk2\n";
+    std::ofstream(legacy / "dblp" / "000000.xml") << "<a><b>x</b></a>";
+    std::ofstream(legacy / "dblp" / "000001.xml") << "<c/>";
+  }
+  store::RecoveryReport report;
+  auto db = store::Database::Open(legacy.string(), store::Env::Default(),
+                                  &report);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE(report.used_legacy_format);
+  EXPECT_EQ(report.loaded_generation, "legacy");
+  auto coll = db->GetCollection("dblp");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->size(), 2u);
+  EXPECT_TRUE((*coll)->FindKey("k1").ok());
+
+  // One re-save migrates forward: checksummed generation, legacy pointer
+  // gone, and the reopened store no longer reports legacy.
+  ASSERT_TRUE(db->Save(legacy.string()).ok());
+  EXPECT_FALSE(fs::exists(legacy / "manifest.txt"));
+  store::RecoveryReport migrated;
+  auto db2 = store::Database::Open(legacy.string(), store::Env::Default(),
+                                   &migrated);
+  ASSERT_TRUE(db2.ok()) << db2.status();
+  EXPECT_FALSE(migrated.used_legacy_format);
+  EXPECT_EQ(migrated.loaded_generation, "gen-1");
+  auto coll2 = db2->GetCollection("dblp");
+  ASSERT_TRUE(coll2.ok());
+  EXPECT_EQ((*coll2)->size(), 2u);
+  fs::remove_all(legacy);
+}
+
+TEST_F(CorruptStoreTest, BulkLoadThroughFaultyEnvFailsCleanly) {
+  store::FaultInjectionEnv::Options opts;
+  opts.fail_at_op = 0;
+  store::FaultInjectionEnv fenv(store::Env::Default(), opts);
+  store::Database db;
+  // WriteDumpFile's write is op 0 and faults; the error is surfaced.
+  EXPECT_TRUE(data::WriteDumpFile({}, (dir_ / "dump.xml").string(), "dblp",
+                                  &fenv)
+                  .IsIOError());
+  // Crashed env: reads fail too, and BulkLoadFile propagates them.
+  EXPECT_TRUE(data::BulkLoadFile(&db, "c", (dir_ / "dump.xml").string(),
+                                 "rec", &fenv)
+                  .status()
+                  .IsIOError());
 }
 
 TEST(CorruptSeoTest, TruncatedDocumentsRejected) {

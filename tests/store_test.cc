@@ -364,6 +364,47 @@ TEST(DatabaseTest, SaveOpenRoundTrip) {
   fs::remove_all(dir);
 }
 
+TEST(DatabaseTest, SaveOpenRoundTripHostileKeys) {
+  // Regression for the pre-generational _keys.txt format, which stored
+  // keys one-per-line unescaped: a key containing a newline silently split
+  // into two, and path separators had to be special-cased. The manifest
+  // escapes keys, so arbitrary bytes round-trip.
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "toss_store_hostile_keys";
+  fs::remove_all(dir);
+
+  Database db;
+  auto coll = db.CreateCollection("k");
+  ASSERT_TRUE(coll.ok());
+  const std::string keys[] = {
+      "two\nlines",
+      "../escape/../../attempt",
+      "C:\\windows\\style",
+      "percent%00%0Atricks",
+      "trailing space ",
+  };
+  for (const std::string& key : keys) {
+    ASSERT_TRUE((*coll)->InsertXml(key, "<doc/>").ok()) << key;
+  }
+  ASSERT_TRUE(db.Save(dir.string()).ok());
+
+  auto reopened = Database::Open(dir.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto rc = reopened->GetCollection("k");
+  ASSERT_TRUE(rc.ok());
+  ASSERT_EQ((*rc)->size(), 5u);
+  for (const std::string& key : keys) {
+    EXPECT_TRUE((*rc)->FindKey(key).ok()) << key;
+  }
+  // Insertion order survived, so DocIds line up too.
+  size_t i = 0;
+  for (DocId id : (*rc)->AllDocs()) {
+    EXPECT_EQ((*rc)->key(id), keys[i++]);
+  }
+
+  fs::remove_all(dir);
+}
+
 TEST(DatabaseTest, OpenMissingDirectoryFails) {
   auto r = Database::Open("/nonexistent/toss/db/dir");
   ASSERT_FALSE(r.ok());
