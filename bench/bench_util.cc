@@ -8,6 +8,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace toss::bench {
 
 void CheckOk(const Status& status, const char* what) {
@@ -35,9 +37,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR2.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR4.json";
 #else
-  return "BENCH_PR2.json";
+  return "BENCH_PR4.json";
 #endif
 }
 
@@ -65,13 +67,11 @@ std::map<std::string, double> LoadBenchJson(const std::string& path) {
   return out;
 }
 
-}  // namespace
-
-void RecordBenchMs(const std::string& name, double median_ms) {
-  if (SmokeMode()) return;
+/// Read-merge-write of the flat bench report.
+void MergeIntoBenchJson(const std::map<std::string, double>& updates) {
   const std::string path = BenchJsonPath();
   auto entries = LoadBenchJson(path);
-  entries[name] = median_ms;
+  for (const auto& [key, value] : updates) entries[key] = value;
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write bench report %s\n",
@@ -88,6 +88,40 @@ void RecordBenchMs(const std::string& name, double median_ms) {
     out << "  \"" << key << "\": " << num;
   }
   out << "\n}\n";
+}
+
+/// atexit hook: embeds the process's final metrics snapshot in the bench
+/// report as flat "metrics/<name>" keys (the report is a flat name->number
+/// object, so histograms flatten to count/mean_ms/p99_ms sub-keys). Running
+/// a bench therefore always leaves the instrument values it exercised next
+/// to the timings they explain.
+void FlushMetricsSnapshot() {
+  obs::MetricsRegistry::Snapshot snap = obs::Metrics().GetSnapshot();
+  std::map<std::string, double> flat;
+  for (const auto& [name, v] : snap.counters) {
+    flat["metrics/" + name] = static_cast<double>(v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    flat["metrics/" + name] = static_cast<double>(v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    flat["metrics/" + name + "/count"] = static_cast<double>(h.count);
+    flat["metrics/" + name + "/mean_ms"] = h.MeanMillis();
+    flat["metrics/" + name + "/p99_ms"] = h.QuantileUpperBoundMillis(0.99);
+  }
+  if (!flat.empty()) MergeIntoBenchJson(flat);
+}
+
+}  // namespace
+
+void RecordBenchMs(const std::string& name, double median_ms) {
+  if (SmokeMode()) return;
+  static const bool flush_registered = [] {
+    std::atexit(FlushMetricsSnapshot);
+    return true;
+  }();
+  (void)flush_registered;
+  MergeIntoBenchJson({{name, median_ms}});
 }
 
 ontology::Ontology CollectionOntology(const store::Database& db,

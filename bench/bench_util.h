@@ -27,10 +27,12 @@ bool SmokeMode();
 
 /// Merges {`name`: `median_ms`} into the machine-readable bench report --
 /// a flat JSON object of bench name -> median wall milliseconds, written
-/// to BENCH_PR2.json at the repo root (override the path with the
+/// to BENCH_PR4.json at the repo root (override the path with the
 /// TOSS_BENCH_JSON environment variable). Re-recording a name overwrites
-/// its value; entries from other benches are preserved. No-op in smoke
-/// mode.
+/// its value; entries from other benches are preserved. At process exit
+/// the final obs::Metrics() snapshot is merged in too, as flat
+/// "metrics/<name>" keys (histograms flatten to count/mean_ms/p99_ms).
+/// No-op in smoke mode.
 void RecordBenchMs(const std::string& name, double median_ms);
 
 /// Median of a small sample (by copy; benches pass 3-5 runs).

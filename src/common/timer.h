@@ -17,16 +17,20 @@ class Timer {
   /// Restarts the stopwatch.
   void Reset() { start_ = Clock::now(); }
 
-  /// Elapsed time in microseconds since construction or last Reset().
-  int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(
-               Clock::now() - start_)
+  /// Elapsed time in nanoseconds since construction or last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
         .count();
   }
 
-  /// Elapsed time in milliseconds.
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+
+  /// Elapsed time in milliseconds, at full clock resolution (sub-microsecond
+  /// spans do not quantize to 0).
   double ElapsedMillis() const {
-    return static_cast<double>(ElapsedMicros()) / 1000.0;
+    return static_cast<double>(ElapsedNanos()) / 1e6;
   }
 
  private:

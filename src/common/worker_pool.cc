@@ -4,7 +4,35 @@
 #include <exception>
 #include <string>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace toss {
+
+namespace {
+
+// Pool-wide instruments, shared by every WorkerPool instance. Per-instance
+// registration would leak one metric name per short-lived test pool; the
+// interesting consumers (executor, SEA) all go through long-lived pools.
+struct PoolMetrics {
+  obs::Counter& jobs = obs::Metrics().GetCounter("common.worker_pool.jobs");
+  obs::Counter& tasks = obs::Metrics().GetCounter("common.worker_pool.tasks");
+  obs::Counter& busy_ns =
+      obs::Metrics().GetCounter("common.worker_pool.busy_ns");
+  obs::Gauge& queue_depth =
+      obs::Metrics().GetGauge("common.worker_pool.queue_depth");
+  obs::Histogram& task_ns =
+      obs::Metrics().GetHistogram("common.worker_pool.task_latency_ns");
+  obs::Histogram& job_ns =
+      obs::Metrics().GetHistogram("common.worker_pool.job_latency_ns");
+};
+
+PoolMetrics& Instruments() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(size_t threads) {
   size_t count = std::max<size_t>(1, threads);
@@ -26,6 +54,10 @@ WorkerPool::~WorkerPool() {
 Status WorkerPool::ParallelFor(size_t n,
                                const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();
+  PoolMetrics& m = Instruments();
+  m.jobs.Increment();
+  m.queue_depth.Set(static_cast<int64_t>(n));
+  Timer job_timer;
   std::unique_lock<std::mutex> lock(mu_);
   fn_ = &fn;
   n_ = n;
@@ -37,6 +69,8 @@ Status WorkerPool::ParallelFor(size_t n,
   work_cv_.notify_all();
   done_cv_.wait(lock, [this] { return workers_in_job_ == 0; });
   fn_ = nullptr;
+  m.queue_depth.Set(0);
+  m.job_ns.Record(static_cast<uint64_t>(job_timer.ElapsedNanos()));
   return first_error_;
 }
 
@@ -51,12 +85,18 @@ void WorkerPool::WorkerMain() {
       seen_seq = job_seq_;
     }
     // Drain the cursor until the range is exhausted or a task failed.
+    // Counter deltas are tallied locally and flushed once per job so the
+    // claim loop stays one fetch_add + one histogram record per task.
+    PoolMetrics& m = Instruments();
+    uint64_t local_tasks = 0;
+    uint64_t local_busy_ns = 0;
     while (!abort_.load(std::memory_order_acquire)) {
       size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n_) break;
       // A task that throws must not escape WorkerMain (std::terminate) or
       // leave the job counter unbalanced (deadlocked ParallelFor): convert
       // the exception into the batch's first error and keep the worker.
+      Timer task_timer;
       Status st;
       try {
         st = (*fn_)(i);
@@ -65,6 +105,10 @@ void WorkerPool::WorkerMain() {
       } catch (...) {
         st = Status::Internal("task threw a non-std::exception");
       }
+      const uint64_t task_ns = static_cast<uint64_t>(task_timer.ElapsedNanos());
+      m.task_ns.Record(task_ns);
+      local_busy_ns += task_ns;
+      ++local_tasks;
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         // Keep the earliest observed error; later failures lose the race.
@@ -72,6 +116,10 @@ void WorkerPool::WorkerMain() {
           first_error_ = std::move(st);
         }
       }
+    }
+    if (local_tasks > 0) {
+      m.tasks.Add(local_tasks);
+      m.busy_ns.Add(local_busy_ns);
     }
     bool last = false;
     {
@@ -85,8 +133,13 @@ void WorkerPool::WorkerMain() {
 WorkerPool& SharedWorkerPool() {
   // Leaked deliberately: joining parked threads during static destruction
   // is a shutdown-order hazard, and the OS reclaims them at exit anyway.
-  static WorkerPool* pool = new WorkerPool(
-      std::max(1u, std::thread::hardware_concurrency()));
+  static WorkerPool* pool = [] {
+    auto* p = new WorkerPool(std::max(1u, std::thread::hardware_concurrency()));
+    obs::Metrics()
+        .GetGauge("common.worker_pool.threads")
+        .Set(static_cast<int64_t>(p->thread_count()));
+    return p;
+  }();
   return *pool;
 }
 

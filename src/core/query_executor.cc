@@ -1,12 +1,14 @@
 #include "core/query_executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace toss::core {
 
@@ -16,6 +18,48 @@ using tax::CondTerm;
 using tax::PatternTree;
 
 namespace {
+
+/// Always-on executor metrics (per-phase latency, candidate/pruning/result
+/// counters). One registration, cached for the life of the process.
+struct QueryMetrics {
+  obs::Counter& selects = obs::Metrics().GetCounter("core.query.select.count");
+  obs::Counter& projects =
+      obs::Metrics().GetCounter("core.query.project.count");
+  obs::Counter& groupbys =
+      obs::Metrics().GetCounter("core.query.groupby.count");
+  obs::Counter& joins = obs::Metrics().GetCounter("core.query.join.count");
+  obs::Counter& xpath_queries =
+      obs::Metrics().GetCounter("core.query.xpath_queries");
+  obs::Counter& expanded_terms =
+      obs::Metrics().GetCounter("core.query.expanded_terms");
+  obs::Counter& candidate_docs =
+      obs::Metrics().GetCounter("core.query.candidate_docs");
+  obs::Counter& result_trees =
+      obs::Metrics().GetCounter("core.query.result_trees");
+  obs::Histogram& rewrite_ns =
+      obs::Metrics().GetHistogram("core.query.rewrite_latency_ns");
+  obs::Histogram& store_ns =
+      obs::Metrics().GetHistogram("core.query.store_latency_ns");
+  obs::Histogram& eval_ns =
+      obs::Metrics().GetHistogram("core.query.eval_latency_ns");
+};
+
+QueryMetrics& Instruments() {
+  static QueryMetrics* m = new QueryMetrics();
+  return *m;
+}
+
+/// Annotates `span` with the decoded-tree cache activity between the two
+/// stat snapshots. No-op for disabled spans.
+void AnnotateCacheDelta(obs::Span* span,
+                        const store::Collection::TreeCacheStats& before,
+                        const store::Collection::TreeCacheStats& after) {
+  if (span == nullptr || !span->enabled()) return;
+  span->Annotate("tree_cache_hits",
+                 static_cast<uint64_t>(after.hits - before.hits));
+  span->Annotate("tree_cache_misses",
+                 static_cast<uint64_t>(after.misses - before.misses));
+}
 
 /// Single-label atoms in conjunctive context, grouped by label (the only
 /// conditions that can be pushed down into XPath).
@@ -359,11 +403,20 @@ Result<std::string> QueryExecutor::Explain(
 
 Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
     const store::Collection& coll, const PatternTree& pattern,
-    const std::vector<int>& labels, ExecStats* stats) const {
+    const std::vector<int>& labels, ExecStats* stats,
+    obs::Span* parent) const {
+  QueryMetrics& m = Instruments();
   Timer timer;
+  obs::Span rewrite_span(parent, "rewrite");
   size_t expanded = 0;
   TOSS_ASSIGN_OR_RETURN(std::vector<std::string> xpaths,
                         RewriteToXPaths(pattern, labels, &expanded));
+  rewrite_span.Annotate("xpath_queries", static_cast<uint64_t>(xpaths.size()));
+  rewrite_span.Annotate("expanded_terms", static_cast<uint64_t>(expanded));
+  rewrite_span.End();
+  m.rewrite_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  m.xpath_queries.Add(xpaths.size());
+  m.expanded_terms.Add(expanded);
   if (stats != nullptr) {
     stats->rewrite_ms += timer.ElapsedMillis();
     stats->xpath_queries += xpaths.size();
@@ -371,14 +424,24 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
   }
 
   timer.Reset();
+  obs::Span store_span(parent, "store_scan");
   std::vector<store::DocId> docs;
+  size_t scanned_docs = 0;
+  size_t total_docs = 0;
+  bool used_indexes = false;
   if (xpaths.empty()) {
     docs = coll.AllDocs();
+    scanned_docs = docs.size();  // full collection scan, nothing pruned
+    total_docs = docs.size();
   } else {
     bool first = true;
     for (const auto& xp : xpaths) {
+      store::QueryStats qstats;
       TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> ids,
-                            MatchedDocs(coll, xp, nullptr));
+                            MatchedDocs(coll, xp, &qstats));
+      scanned_docs += qstats.scanned_docs;
+      total_docs = std::max(total_docs, qstats.total_docs);
+      used_indexes = used_indexes || qstats.used_indexes;
       if (first) {
         docs = std::move(ids);
         first = false;
@@ -388,6 +451,23 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
       if (docs.empty()) break;
     }
   }
+  if (store_span.enabled()) {
+    store_span.Annotate("candidate_docs", static_cast<uint64_t>(docs.size()));
+    store_span.Annotate("docs_scanned", static_cast<uint64_t>(scanned_docs));
+    store_span.Annotate("docs_total", static_cast<uint64_t>(total_docs));
+    store_span.Annotate("index_used", used_indexes ? "true" : "false");
+    const size_t scan_budget = total_docs * std::max<size_t>(xpaths.size(), 1);
+    if (scan_budget > 0) {
+      // Fraction of the naive per-query scan work the indexes eliminated.
+      store_span.Annotate(
+          "index_pruning_ratio",
+          1.0 - static_cast<double>(scanned_docs) /
+                    static_cast<double>(scan_budget));
+    }
+  }
+  store_span.End();
+  m.store_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  m.candidate_docs.Add(docs.size());
   if (stats != nullptr) {
     stats->store_ms += timer.ElapsedMillis();
     stats->candidate_docs += docs.size();
@@ -395,15 +475,21 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
   return docs;
 }
 
-Result<tax::TreeCollection> QueryExecutor::Select(
+Result<tax::TreeCollection> QueryExecutor::SelectImpl(
     const std::string& collection, const PatternTree& pattern,
-    const std::vector<int>& sl, ExecStats* stats) const {
+    const std::vector<int>& sl, ExecStats* stats, obs::Span* parent) const {
+  QueryMetrics& m = Instruments();
+  m.selects.Increment();
   TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
                         db_->GetCollection(collection));
   TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
-                        CandidateDocs(*coll, pattern, {}, stats));
+                        CandidateDocs(*coll, pattern, {}, stats, parent));
   TOSS_RETURN_NOT_OK(pattern.Validate());
   Timer timer;
+  obs::Span eval_span(parent, "eval");
+  const store::Collection::TreeCacheStats cache_before =
+      eval_span.enabled() ? coll->GetTreeCacheStats()
+                          : store::Collection::TreeCacheStats{};
   const tax::ConditionSemantics& sem = semantics();
   const std::set<int> expand(sl.begin(), sl.end());
   // Per-document parts keep the merge order deterministic regardless of
@@ -416,6 +502,60 @@ Result<tax::TreeCollection> QueryExecutor::Select(
     return Status::OK();
   }));
   tax::TreeCollection result = tax::MergeDedup(std::move(parts));
+  if (eval_span.enabled()) {
+    eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(docs.size()));
+    eval_span.Annotate("result_trees", static_cast<uint64_t>(result.size()));
+    AnnotateCacheDelta(&eval_span, cache_before, coll->GetTreeCacheStats());
+  }
+  eval_span.End();
+  m.eval_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  m.result_trees.Add(result.size());
+  if (stats != nullptr) {
+    stats->eval_ms += timer.ElapsedMillis();
+    stats->result_trees += result.size();
+  }
+  return result;
+}
+
+Result<tax::TreeCollection> QueryExecutor::Select(
+    const std::string& collection, const PatternTree& pattern,
+    const std::vector<int>& sl, ExecStats* stats) const {
+  return SelectImpl(collection, pattern, sl, stats, nullptr);
+}
+
+Result<tax::TreeCollection> QueryExecutor::ProjectImpl(
+    const std::string& collection, const PatternTree& pattern,
+    const std::vector<tax::ProjectItem>& pl, ExecStats* stats,
+    obs::Span* parent) const {
+  QueryMetrics& m = Instruments();
+  m.projects.Increment();
+  TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
+                        db_->GetCollection(collection));
+  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
+                        CandidateDocs(*coll, pattern, {}, stats, parent));
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  Timer timer;
+  obs::Span eval_span(parent, "eval");
+  const store::Collection::TreeCacheStats cache_before =
+      eval_span.enabled() ? coll->GetTreeCacheStats()
+                          : store::Collection::TreeCacheStats{};
+  const tax::ConditionSemantics& sem = semantics();
+  std::vector<tax::TreeCollection> parts(docs.size());
+  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
+    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+    TOSS_ASSIGN_OR_RETURN(parts[i],
+                          tax::ProjectTree(*tree, pattern, pl, sem));
+    return Status::OK();
+  }));
+  tax::TreeCollection result = tax::MergeDedup(std::move(parts));
+  if (eval_span.enabled()) {
+    eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(docs.size()));
+    eval_span.Annotate("result_trees", static_cast<uint64_t>(result.size()));
+    AnnotateCacheDelta(&eval_span, cache_before, coll->GetTreeCacheStats());
+  }
+  eval_span.End();
+  m.eval_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  m.result_trees.Add(result.size());
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();
@@ -426,35 +566,19 @@ Result<tax::TreeCollection> QueryExecutor::Select(
 Result<tax::TreeCollection> QueryExecutor::Project(
     const std::string& collection, const PatternTree& pattern,
     const std::vector<tax::ProjectItem>& pl, ExecStats* stats) const {
-  TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
-                        db_->GetCollection(collection));
-  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
-                        CandidateDocs(*coll, pattern, {}, stats));
-  TOSS_RETURN_NOT_OK(pattern.Validate());
-  Timer timer;
-  const tax::ConditionSemantics& sem = semantics();
-  std::vector<tax::TreeCollection> parts(docs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
-    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
-    TOSS_ASSIGN_OR_RETURN(parts[i],
-                          tax::ProjectTree(*tree, pattern, pl, sem));
-    return Status::OK();
-  }));
-  tax::TreeCollection result = tax::MergeDedup(std::move(parts));
-  if (stats != nullptr) {
-    stats->eval_ms += timer.ElapsedMillis();
-    stats->result_trees += result.size();
-  }
-  return result;
+  return ProjectImpl(collection, pattern, pl, stats, nullptr);
 }
 
-Result<tax::TreeCollection> QueryExecutor::GroupBy(
+Result<tax::TreeCollection> QueryExecutor::GroupByImpl(
     const std::string& collection, const PatternTree& pattern,
-    int group_label, const std::vector<int>& sl, ExecStats* stats) const {
+    int group_label, const std::vector<int>& sl, ExecStats* stats,
+    obs::Span* parent) const {
+  QueryMetrics& m = Instruments();
+  m.groupbys.Increment();
   TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
                         db_->GetCollection(collection));
   TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
-                        CandidateDocs(*coll, pattern, {}, stats));
+                        CandidateDocs(*coll, pattern, {}, stats, parent));
   TOSS_RETURN_NOT_OK(pattern.Validate());
   if (pattern.IndexOfLabel(group_label) < 0) {
     return Status::InvalidArgument("GroupBy: label $" +
@@ -462,6 +586,10 @@ Result<tax::TreeCollection> QueryExecutor::GroupBy(
                                    " is not a pattern node");
   }
   Timer timer;
+  obs::Span eval_span(parent, "eval");
+  const store::Collection::TreeCacheStats cache_before =
+      eval_span.enabled() ? coll->GetTreeCacheStats()
+                          : store::Collection::TreeCacheStats{};
   const tax::ConditionSemantics& sem = semantics();
   const std::set<int> expand(sl.begin(), sl.end());
   std::vector<std::vector<tax::GroupedWitness>> parts(docs.size());
@@ -473,6 +601,14 @@ Result<tax::TreeCollection> QueryExecutor::GroupBy(
     return Status::OK();
   }));
   tax::TreeCollection result = tax::AssembleGroups(std::move(parts));
+  if (eval_span.enabled()) {
+    eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(docs.size()));
+    eval_span.Annotate("result_trees", static_cast<uint64_t>(result.size()));
+    AnnotateCacheDelta(&eval_span, cache_before, coll->GetTreeCacheStats());
+  }
+  eval_span.End();
+  m.eval_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  m.result_trees.Add(result.size());
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();
@@ -480,10 +616,18 @@ Result<tax::TreeCollection> QueryExecutor::GroupBy(
   return result;
 }
 
-Result<tax::TreeCollection> QueryExecutor::Join(
+Result<tax::TreeCollection> QueryExecutor::GroupBy(
+    const std::string& collection, const PatternTree& pattern,
+    int group_label, const std::vector<int>& sl, ExecStats* stats) const {
+  return GroupByImpl(collection, pattern, group_label, sl, stats, nullptr);
+}
+
+Result<tax::TreeCollection> QueryExecutor::JoinImpl(
     const std::string& left, const std::string& right,
-    const PatternTree& pattern, const std::vector<int>& sl,
-    ExecStats* stats) const {
+    const PatternTree& pattern, const std::vector<int>& sl, ExecStats* stats,
+    obs::Span* parent) const {
+  QueryMetrics& m = Instruments();
+  m.joins.Increment();
   TOSS_RETURN_NOT_OK(pattern.Validate());
   if (pattern.node(0).children.size() < 2) {
     return Status::InvalidArgument(
@@ -498,26 +642,47 @@ Result<tax::TreeCollection> QueryExecutor::Join(
   SubtreeLabels(pattern, pattern.node(0).children[0], &left_labels);
   SubtreeLabels(pattern, pattern.node(0).children[1], &right_labels);
 
-  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> ldocs,
-                        CandidateDocs(*lcoll, pattern, left_labels, stats));
-  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> rdocs,
-                        CandidateDocs(*rcoll, pattern, right_labels, stats));
+  std::vector<store::DocId> ldocs, rdocs;
+  {
+    obs::Span lspan(parent, "candidates_left");
+    TOSS_ASSIGN_OR_RETURN(
+        ldocs, CandidateDocs(*lcoll, pattern, left_labels, stats, &lspan));
+  }
+  {
+    obs::Span rspan(parent, "candidates_right");
+    TOSS_ASSIGN_OR_RETURN(
+        rdocs, CandidateDocs(*rcoll, pattern, right_labels, stats, &rspan));
+  }
 
   Timer timer;
   const tax::ConditionSemantics& sem = semantics();
   const std::set<int> expand(sl.begin(), sl.end());
   // Decode the right side once up front (fanned out across the pool); the
   // shared_ptrs keep the trees alive even if the cache evicts them.
+  obs::Span decode_span(parent, "decode_right");
+  const store::Collection::TreeCacheStats rcache_before =
+      decode_span.enabled() ? rcoll->GetTreeCacheStats()
+                            : store::Collection::TreeCacheStats{};
   std::vector<std::shared_ptr<const tax::DataTree>> rtrees(rdocs.size());
   TOSS_RETURN_NOT_OK(RunPerDoc(rdocs.size(), [&](size_t i) -> Status {
     rtrees[i] = rcoll->DecodedTree(rdocs[i]);
     return Status::OK();
   }));
+  if (decode_span.enabled()) {
+    decode_span.Annotate("right_docs", static_cast<uint64_t>(rdocs.size()));
+    AnnotateCacheDelta(&decode_span, rcache_before,
+                       rcoll->GetTreeCacheStats());
+  }
+  decode_span.End();
   std::vector<const tax::DataTree*> right_ptrs;
   right_ptrs.reserve(rtrees.size());
   for (const auto& t : rtrees) right_ptrs.push_back(t.get());
   // Fan out per left document; each worker streams the full right side, so
   // pair order (left-major) matches the sequential join exactly.
+  obs::Span eval_span(parent, "eval");
+  const store::Collection::TreeCacheStats lcache_before =
+      eval_span.enabled() ? lcoll->GetTreeCacheStats()
+                          : store::Collection::TreeCacheStats{};
   std::vector<tax::TreeCollection> parts(ldocs.size());
   TOSS_RETURN_NOT_OK(RunPerDoc(ldocs.size(), [&](size_t i) -> Status {
     std::shared_ptr<const tax::DataTree> ltree = lcoll->DecodedTree(ldocs[i]);
@@ -527,11 +692,100 @@ Result<tax::TreeCollection> QueryExecutor::Join(
     return Status::OK();
   }));
   tax::TreeCollection result = tax::MergeDedup(std::move(parts));
+  if (eval_span.enabled()) {
+    eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(ldocs.size()));
+    eval_span.Annotate("result_trees", static_cast<uint64_t>(result.size()));
+    AnnotateCacheDelta(&eval_span, lcache_before, lcoll->GetTreeCacheStats());
+  }
+  eval_span.End();
+  m.eval_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  m.result_trees.Add(result.size());
   if (stats != nullptr) {
     stats->eval_ms += timer.ElapsedMillis();
     stats->result_trees += result.size();
   }
   return result;
+}
+
+Result<tax::TreeCollection> QueryExecutor::Join(
+    const std::string& left, const std::string& right,
+    const PatternTree& pattern, const std::vector<int>& sl,
+    ExecStats* stats) const {
+  return JoinImpl(left, right, pattern, sl, stats, nullptr);
+}
+
+Result<ExplainResult> QueryExecutor::ExplainAnalyzeSelect(
+    const std::string& collection, const PatternTree& pattern,
+    const std::vector<int>& sl) const {
+  ExplainResult out;
+  out.trace = std::make_unique<obs::Trace>("select(" + collection + ")");
+  {
+    obs::Span root = out.trace->RootSpan();
+    TOSS_ASSIGN_OR_RETURN(
+        out.trees, SelectImpl(collection, pattern, sl, &out.stats, &root));
+  }
+  return out;
+}
+
+Result<ExplainResult> QueryExecutor::ExplainAnalyzeProject(
+    const std::string& collection, const PatternTree& pattern,
+    const std::vector<tax::ProjectItem>& pl) const {
+  ExplainResult out;
+  out.trace = std::make_unique<obs::Trace>("project(" + collection + ")");
+  {
+    obs::Span root = out.trace->RootSpan();
+    TOSS_ASSIGN_OR_RETURN(
+        out.trees, ProjectImpl(collection, pattern, pl, &out.stats, &root));
+  }
+  return out;
+}
+
+Result<ExplainResult> QueryExecutor::ExplainAnalyzeGroupBy(
+    const std::string& collection, const PatternTree& pattern, int group_label,
+    const std::vector<int>& sl) const {
+  ExplainResult out;
+  out.trace = std::make_unique<obs::Trace>("groupby(" + collection + ")");
+  {
+    obs::Span root = out.trace->RootSpan();
+    TOSS_ASSIGN_OR_RETURN(
+        out.trees,
+        GroupByImpl(collection, pattern, group_label, sl, &out.stats, &root));
+  }
+  return out;
+}
+
+Result<ExplainResult> QueryExecutor::ExplainAnalyzeJoin(
+    const std::string& left, const std::string& right,
+    const PatternTree& pattern, const std::vector<int>& sl) const {
+  ExplainResult out;
+  out.trace = std::make_unique<obs::Trace>("join(" + left + "," + right + ")");
+  {
+    obs::Span root = out.trace->RootSpan();
+    TOSS_ASSIGN_OR_RETURN(
+        out.trees, JoinImpl(left, right, pattern, sl, &out.stats, &root));
+  }
+  return out;
+}
+
+std::string ExplainResult::Pretty() const {
+  std::string out = trace != nullptr ? trace->Pretty() : std::string();
+  char footer[256];
+  std::snprintf(footer, sizeof(footer),
+                "phases: rewrite %.3f ms, store %.3f ms, eval %.3f ms "
+                "(total %.3f ms)\n"
+                "xpath queries %zu, expanded terms %zu, candidate docs %zu, "
+                "result trees %zu\n",
+                stats.rewrite_ms, stats.store_ms, stats.eval_ms,
+                stats.TotalMs(), stats.xpath_queries, stats.expanded_terms,
+                stats.candidate_docs, stats.result_trees);
+  out += footer;
+  if (trace != nullptr) {
+    char cov[64];
+    std::snprintf(cov, sizeof(cov), "trace coverage: %.1f%%\n",
+                  trace->CoverageFraction() * 100.0);
+    out += cov;
+  }
+  return out;
 }
 
 }  // namespace toss::core

@@ -27,6 +27,7 @@
 #include "common/result.h"
 #include "common/worker_pool.h"
 #include "core/seo.h"
+#include "obs/trace.h"
 #include "core/seo_semantics.h"
 #include "core/types.h"
 #include "store/database.h"
@@ -46,6 +47,21 @@ struct ExecStats {
   size_t result_trees = 0;
 
   double TotalMs() const { return rewrite_ms + store_ms + eval_ms; }
+};
+
+/// What an ExplainAnalyze* call returns: the operator's answer (identical
+/// trees, in the identical order, to the plain entry point -- both run the
+/// same code path), the phase stats, and the per-query trace tree with
+/// per-phase wall time, candidate/pruning counts, and decoded-tree cache
+/// hit/miss annotations.
+struct ExplainResult {
+  tax::TreeCollection trees;
+  ExecStats stats;
+  std::unique_ptr<obs::Trace> trace;
+
+  /// The trace tree rendered for humans, with a stats footer (EXPLAIN
+  /// ANALYZE output).
+  std::string Pretty() const;
 };
 
 class QueryExecutor {
@@ -94,6 +110,26 @@ class QueryExecutor {
                                    const std::vector<int>& sl,
                                    ExecStats* stats = nullptr) const;
 
+  /// EXPLAIN ANALYZE: runs the operator (same code path, same answer as the
+  /// plain entry point) while recording a trace tree -- per-phase spans
+  /// (rewrite, store_scan, eval) with wall time and annotations for
+  /// expansion fan-out, candidate counts, index-pruning ratios, and
+  /// decoded-tree cache hits/misses.
+  Result<ExplainResult> ExplainAnalyzeSelect(const std::string& collection,
+                                             const tax::PatternTree& pattern,
+                                             const std::vector<int>& sl) const;
+  Result<ExplainResult> ExplainAnalyzeProject(
+      const std::string& collection, const tax::PatternTree& pattern,
+      const std::vector<tax::ProjectItem>& pl) const;
+  Result<ExplainResult> ExplainAnalyzeGroupBy(const std::string& collection,
+                                              const tax::PatternTree& pattern,
+                                              int group_label,
+                                              const std::vector<int>& sl) const;
+  Result<ExplainResult> ExplainAnalyzeJoin(const std::string& left,
+                                           const std::string& right,
+                                           const tax::PatternTree& pattern,
+                                           const std::vector<int>& sl) const;
+
   /// The semantics in effect (TaxSemantics or SeoSemantics).
   const tax::ConditionSemantics& semantics() const;
 
@@ -115,9 +151,36 @@ class QueryExecutor {
                               const tax::PatternTree& pattern) const;
 
  private:
+  // The *Impl functions are the single code path behind both the plain and
+  // the ExplainAnalyze entry points: plain calls pass `parent == nullptr`,
+  // which disables every span for the cost of one branch (obs::Span's
+  // null-parent convention).
+  Result<tax::TreeCollection> SelectImpl(const std::string& collection,
+                                         const tax::PatternTree& pattern,
+                                         const std::vector<int>& sl,
+                                         ExecStats* stats,
+                                         obs::Span* parent) const;
+  Result<tax::TreeCollection> ProjectImpl(
+      const std::string& collection, const tax::PatternTree& pattern,
+      const std::vector<tax::ProjectItem>& pl, ExecStats* stats,
+      obs::Span* parent) const;
+  Result<tax::TreeCollection> GroupByImpl(const std::string& collection,
+                                          const tax::PatternTree& pattern,
+                                          int group_label,
+                                          const std::vector<int>& sl,
+                                          ExecStats* stats,
+                                          obs::Span* parent) const;
+  Result<tax::TreeCollection> JoinImpl(const std::string& left,
+                                       const std::string& right,
+                                       const tax::PatternTree& pattern,
+                                       const std::vector<int>& sl,
+                                       ExecStats* stats,
+                                       obs::Span* parent) const;
+
   Result<std::vector<store::DocId>> CandidateDocs(
       const store::Collection& coll, const tax::PatternTree& pattern,
-      const std::vector<int>& labels, ExecStats* stats) const;
+      const std::vector<int>& labels, ExecStats* stats,
+      obs::Span* parent) const;
 
   /// Runs fn(0) .. fn(n-1), over the shared worker pool when parallelism
   /// and `n` warrant it, inline otherwise. Returns the first error; the

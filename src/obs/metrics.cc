@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace toss::obs {
+
+namespace internal {
+
+size_t ShardIndex(size_t shard_count) {
+  // One hash per thread, computed once: thread ids are opaque, so mix the
+  // address of a thread-local byte instead (distinct per running thread).
+  static thread_local const size_t hash = [] {
+    static thread_local char anchor;
+    auto bits = reinterpret_cast<uintptr_t>(&anchor);
+    bits ^= bits >> 17;
+    bits *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing
+    return static_cast<size_t>(bits >> 32);
+  }();
+  return hash % shard_count;
+}
+
+}  // namespace internal
+
+uint64_t Histogram::UpperBound(size_t b) {
+  if (b + 1 >= kBuckets) return UINT64_MAX;
+  return uint64_t{256} << b;  // 256ns, 512ns, ... ~17s
+}
+
+void Histogram::Record(uint64_t nanos) {
+  size_t bucket;
+  if (nanos <= 256) {
+    bucket = 0;
+  } else {
+    // Index of the first power-of-two bound >= nanos.
+    bucket = static_cast<size_t>(std::bit_width(nanos - 1)) - 8;
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  Shard& s = shards_[internal::ShardIndex(kShards)];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(nanos, std::memory_order_relaxed);
+  s.n.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.n.load(std::memory_order_relaxed);
+    out.sum_nanos += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::Snapshot::QuantileUpperBoundMillis(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen > rank || (seen == count && counts[b] > 0)) {
+      uint64_t bound = UpperBound(b);
+      if (bound == UINT64_MAX) bound = UpperBound(kBuckets - 2) * 2;
+      return static_cast<double>(bound) / 1e6;
+    }
+  }
+  return 0.0;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.sum.store(0, std::memory_order_relaxed);
+    s.n.store(0, std::memory_order_relaxed);
+    for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: instruments are referenced from function-local statics all over
+  // the codebase; destruction order at exit is not worth reasoning about.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->GetSnapshot();
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const Snapshot snap = GetSnapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum_ns\":" + std::to_string(h.sum_nanos) +
+           ",\"mean_ms\":" + FormatDouble(h.MeanMillis()) +
+           ",\"p50_ms\":" + FormatDouble(h.QuantileUpperBoundMillis(0.5)) +
+           ",\"p99_ms\":" + FormatDouble(h.QuantileUpperBoundMillis(0.99)) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Dump(std::FILE* out) const {
+  const Snapshot snap = GetSnapshot();
+  for (const auto& [name, v] : snap.counters) {
+    std::fprintf(out, "counter   %-44s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::fprintf(out, "gauge     %-44s %lld\n", name.c_str(),
+                 static_cast<long long>(v));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::fprintf(out,
+                 "histogram %-44s count=%llu mean=%.3fms p50<=%.3fms "
+                 "p99<=%.3fms\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.MeanMillis(), h.QuantileUpperBoundMillis(0.5),
+                 h.QuantileUpperBoundMillis(0.99));
+  }
+}
+
+}  // namespace toss::obs

@@ -4,11 +4,30 @@
 #include <bit>
 #include <set>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/node_measure.h"
 
 namespace toss::ontology {
 
 namespace {
+
+struct SeaMetrics {
+  obs::Counter& runs = obs::Metrics().GetCounter("ontology.sea.runs");
+  obs::Counter& cliques = obs::Metrics().GetCounter("ontology.sea.cliques");
+  obs::Counter& inconsistent =
+      obs::Metrics().GetCounter("ontology.sea.inconsistent");
+  obs::Histogram& pairwise_ns =
+      obs::Metrics().GetHistogram("ontology.sea.pairwise_latency_ns");
+  obs::Histogram& enhance_ns =
+      obs::Metrics().GetHistogram("ontology.sea.enhance_latency_ns");
+};
+
+SeaMetrics& Instruments() {
+  static SeaMetrics* m = new SeaMetrics();
+  return *m;
+}
 
 // ---------------------------------------------------------------------------
 // Packed-bitset helpers (rows of uint64_t words, same layout as
@@ -147,6 +166,8 @@ sim::DistanceMatrix ComputeDistances(const Hierarchy& h,
                                      const sim::StringMeasure& d,
                                      double bound,
                                      const SeaOptions& options) {
+  Timer timer;
+  obs::Span span(options.trace, "pairwise_matrix");
   const size_t n = h.node_count();
   std::vector<const std::vector<std::string>*> nodes(n);
   for (size_t v = 0; v < n; ++v) {
@@ -156,7 +177,10 @@ sim::DistanceMatrix ComputeDistances(const Hierarchy& h,
   popt.bound = bound;
   popt.use_filters = options.use_filters;
   popt.parallel = options.parallel;
-  return sim::PairwiseNodeDistances(nodes, d, popt);
+  sim::DistanceMatrix dist = sim::PairwiseNodeDistances(nodes, d, popt);
+  span.Annotate("nodes", static_cast<uint64_t>(n));
+  Instruments().pairwise_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  return dist;
 }
 
 /// SEA given a precomputed distance matrix (valid for any epsilon at or
@@ -166,26 +190,39 @@ sim::DistanceMatrix ComputeDistances(const Hierarchy& h,
 Result<SimilarityEnhancement> EnhanceFromMatrix(
     const Hierarchy& h, const sim::DistanceMatrix& dist, double epsilon,
     const SeaOptions& options) {
+  SeaMetrics& m_metrics = Instruments();
+  m_metrics.runs.Increment();
+  Timer enhance_timer;
   const size_t n = h.node_count();
   const size_t words = (n + 63) / 64;
 
   // epsilon-similarity graph over H's nodes (lines 5-7 of Fig. 12), as
   // packed bitset rows.
+  obs::Span graph_span(options.trace, "epsilon_graph");
   std::vector<uint64_t> adj(n * words, 0);
+  size_t edges = 0;
   dist.ForEachAtMost(epsilon, [&](size_t a, size_t b) {
     SetBit(adj.data() + a * words, b);
     SetBit(adj.data() + b * words, a);
+    ++edges;
   });
+  graph_span.Annotate("edges", static_cast<uint64_t>(edges));
+  graph_span.End();
 
   // Maximal cliques = the unique grouped node set (Def. 8 conds 2-4,
   // Thm. 1). Isolated vertices yield singleton cliques, covering line 3.
   // (On an empty hierarchy Bron-Kerbosch reports the empty clique; drop
   // it -- an enhancement of nothing has no nodes.)
+  obs::Span clique_span(options.trace, "clique_enumeration");
   std::vector<std::vector<HNodeId>> cliques =
       CliqueEnumerator(n, adj, words).Run();
   std::erase_if(cliques,
                 [](const std::vector<HNodeId>& c) { return c.empty(); });
+  clique_span.Annotate("cliques", static_cast<uint64_t>(cliques.size()));
+  clique_span.End();
+  m_metrics.cliques.Add(cliques.size());
 
+  obs::Span order_span(options.trace, "order_rebuild");
   SimilarityEnhancement result;
   result.mu.assign(n, {});
   for (const auto& clique : cliques) {
@@ -252,6 +289,7 @@ Result<SimilarityEnhancement> EnhanceFromMatrix(
   // Line 14: check-acyclic. A cycle means the grouping collapsed an order
   // the hierarchy needs, i.e. (H, d, epsilon) is similarity inconsistent.
   if (!result.enhanced.IsAcyclic()) {
+    m_metrics.inconsistent.Increment();
     return Status::Inconsistent(
         "SEA: similarity inconsistent (enhanced hierarchy is cyclic) at "
         "epsilon=" +
@@ -284,6 +322,7 @@ Result<SimilarityEnhancement> EnhanceFromMatrix(
         for (HNodeId a : cliques[e1]) {
           for (HNodeId b : cliques[e2]) {
             if (!h.Leq(a, b)) {
+              m_metrics.inconsistent.Increment();
               return Status::Inconsistent(
                   "SEA(strict): enhanced order " +
                   result.enhanced.NodeLabel(e1) + " <= " +
@@ -299,6 +338,11 @@ Result<SimilarityEnhancement> EnhanceFromMatrix(
 
   TOSS_RETURN_NOT_OK(result.enhanced.TransitiveReduction());
   result.BuildPreimageIndex();
+  order_span.Annotate("enhanced_nodes",
+                      static_cast<uint64_t>(result.enhanced.node_count()));
+  order_span.End();
+  m_metrics.enhance_ns.Record(
+      static_cast<uint64_t>(enhance_timer.ElapsedNanos()));
   return result;
 }
 

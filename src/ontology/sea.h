@@ -34,6 +34,10 @@
 #include "sim/pairwise.h"
 #include "sim/string_measure.h"
 
+namespace toss::obs {
+class Span;
+}  // namespace toss::obs
+
 namespace toss::ontology {
 
 /// The pair (H', mu) of Def. 8.
@@ -69,6 +73,13 @@ struct SeaOptions {
   /// Fan the pairwise scan out over toss::SharedWorkerPool(). The result
   /// is bit-identical to the sequential scan either way.
   bool parallel = true;
+
+  /// Optional parent trace span: when set (and enabled), SEA records
+  /// per-phase child spans -- pairwise_matrix, epsilon_graph,
+  /// clique_enumeration, order_rebuild -- under it. The `ontology.sea.*`
+  /// registry metrics are recorded regardless. Not owned; must outlive the
+  /// call.
+  obs::Span* trace = nullptr;
 };
 
 /// Runs SEA. Returns Status::Inconsistent when (H, d, epsilon) is similarity

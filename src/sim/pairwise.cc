@@ -1,11 +1,28 @@
 #include "sim/pairwise.h"
 
 #include "common/worker_pool.h"
+#include "obs/metrics.h"
 #include "sim/node_measure.h"
 
 namespace toss::sim {
 
 namespace {
+
+/// Admission-filter effectiveness counters. `pairs_filtered` pairs were
+/// rejected by a signature lower bound alone; `pairs_computed` needed the
+/// exact bounded distance. Tallied per row and flushed once per row so the
+/// per-pair cost stays a local integer increment.
+struct PairwiseMetrics {
+  obs::Counter& pairs_filtered =
+      obs::Metrics().GetCounter("sim.pairwise.pairs_filtered");
+  obs::Counter& pairs_computed =
+      obs::Metrics().GetCounter("sim.pairwise.pairs_computed");
+};
+
+PairwiseMetrics& Instruments() {
+  static PairwiseMetrics* m = new PairwiseMetrics();
+  return *m;
+}
 
 /// Precomputed per-term signatures for a set of nodes, flattened. When the
 /// measure does not support signatures, `enabled` is false and filtering
@@ -89,19 +106,25 @@ DistanceMatrix PairwiseNodeDistances(
       },
       options.use_filters);
   Drive(n, options, [&](size_t i) {
+    uint64_t filtered_row = 0, computed_row = 0;
     for (size_t j = i + 1; j < n; ++j) {
       double d;
       if (index.enabled &&
           index.NodeLowerBound(i, j, measure, options.assume_zero_within) >
               options.bound) {
         d = DistanceMatrix::kOverBound;
+        ++filtered_row;
       } else {
         d = BoundedNodeDistance(*nodes[i], *nodes[j], measure, options.bound,
                                 options.assume_zero_within);
         if (!(d <= options.bound)) d = DistanceMatrix::kOverBound;
+        ++computed_row;
       }
       dm.set(i, j, d);
     }
+    PairwiseMetrics& m = Instruments();
+    if (filtered_row > 0) m.pairs_filtered.Add(filtered_row);
+    if (computed_row > 0) m.pairs_computed.Add(computed_row);
   });
   return dm;
 }
@@ -120,17 +143,23 @@ DistanceMatrix PairwiseStringDistances(const std::vector<std::string>& terms,
     }
   }
   Drive(n, options, [&](size_t i) {
+    uint64_t filtered_row = 0, computed_row = 0;
     for (size_t j = i + 1; j < n; ++j) {
       double d;
       if (filtered &&
           measure.SignatureLowerBound(sigs[i], sigs[j]) > options.bound) {
         d = DistanceMatrix::kOverBound;
+        ++filtered_row;
       } else {
         d = measure.BoundedDistance(terms[i], terms[j], options.bound);
         if (!(d <= options.bound)) d = DistanceMatrix::kOverBound;
+        ++computed_row;
       }
       dm.set(i, j, d);
     }
+    PairwiseMetrics& m = Instruments();
+    if (filtered_row > 0) m.pairs_filtered.Add(filtered_row);
+    if (computed_row > 0) m.pairs_computed.Add(computed_row);
   });
   return dm;
 }

@@ -3,12 +3,41 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "store/key_encoding.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
 
 namespace toss::store {
 
+namespace {
+
+/// Process-wide mirrors of the per-collection cache/query counters. Unlike
+/// the per-Collection stats, these are cumulative across Database::Reload
+/// (which rebuilds the collections, and with them the local counters).
+struct StoreMetrics {
+  obs::Counter& cache_hits =
+      obs::Metrics().GetCounter("store.tree_cache.hits");
+  obs::Counter& cache_misses =
+      obs::Metrics().GetCounter("store.tree_cache.misses");
+  obs::Counter& queries = obs::Metrics().GetCounter("store.query.count");
+  obs::Counter& docs_scanned =
+      obs::Metrics().GetCounter("store.query.docs_scanned");
+  obs::Counter& index_pruned =
+      obs::Metrics().GetCounter("store.query.index_pruned");
+};
+
+StoreMetrics& Instruments() {
+  static StoreMetrics* m = new StoreMetrics();
+  return *m;
+}
+
+}  // namespace
+
+// Moves transfer the counters and zero the source: a moved-from collection
+// no longer backs the cache whose activity they measured, so letting it keep
+// reporting the old numbers is the stale-stats gap the registry mirror
+// closes for good.
 Collection::Collection(Collection&& other) noexcept
     : name_(std::move(other.name_)),
       docs_(std::move(other.docs_)),
@@ -21,7 +50,10 @@ Collection::Collection(Collection&& other) noexcept
       tree_cache_(std::move(other.tree_cache_)),
       tree_cache_hits_(other.tree_cache_hits_),
       tree_cache_misses_(other.tree_cache_misses_),
-      tree_cache_capacity_(other.tree_cache_capacity_) {}
+      tree_cache_capacity_(other.tree_cache_capacity_) {
+  other.tree_cache_hits_ = 0;
+  other.tree_cache_misses_ = 0;
+}
 
 Collection& Collection::operator=(Collection&& other) noexcept {
   if (this == &other) return *this;
@@ -37,6 +69,8 @@ Collection& Collection::operator=(Collection&& other) noexcept {
   tree_cache_hits_ = other.tree_cache_hits_;
   tree_cache_misses_ = other.tree_cache_misses_;
   tree_cache_capacity_ = other.tree_cache_capacity_;
+  other.tree_cache_hits_ = 0;
+  other.tree_cache_misses_ = 0;
   return *this;
 }
 
@@ -290,6 +324,10 @@ std::vector<Match> Collection::Query(const xml::XPath& xpath,
       out.push_back({id, nid});
     }
   }
+  StoreMetrics& m = Instruments();
+  m.queries.Increment();
+  m.docs_scanned.Add(scanned);
+  if (use_indexes && pruned) m.index_pruned.Increment();
   if (stats != nullptr) {
     stats->candidate_docs = candidates.size();
     stats->scanned_docs = scanned;
@@ -326,15 +364,18 @@ size_t Collection::ApproxByteSize() const {
 }
 
 std::shared_ptr<const tax::DataTree> Collection::DecodedTree(DocId id) const {
+  StoreMetrics& m = Instruments();
   {
     std::lock_guard<std::mutex> lock(tree_cache_mu_);
     auto it = tree_cache_.find(id);
     if (it != tree_cache_.end()) {
       ++tree_cache_hits_;
+      m.cache_hits.Increment();
       tree_lru_.splice(tree_lru_.begin(), tree_lru_, it->second.lru_it);
       return it->second.tree;
     }
     ++tree_cache_misses_;
+    m.cache_misses.Increment();
   }
   // Decode outside the lock: FromXml dominates the cost, and documents are
   // immutable per DocId, so racing decoders build identical trees and the
@@ -373,6 +414,12 @@ Collection::TreeCacheStats Collection::GetTreeCacheStats() const {
   stats.entries = tree_cache_.size();
   stats.capacity = tree_cache_capacity_;
   return stats;
+}
+
+void Collection::ResetTreeCacheStats() {
+  std::lock_guard<std::mutex> lock(tree_cache_mu_);
+  tree_cache_hits_ = 0;
+  tree_cache_misses_ = 0;
 }
 
 void Collection::InvalidateCachedTree(DocId id) {

@@ -122,6 +122,11 @@ class Collection {
   };
   TreeCacheStats GetTreeCacheStats() const;
 
+  /// Zeroes the cache's hit/miss counters (cached entries stay). The
+  /// process-wide `store.tree_cache.*` registry counters are unaffected --
+  /// they stay cumulative across resets and Database::Reload.
+  void ResetTreeCacheStats();
+
   /// Aggregate statistics (sizes of the catalog and each index).
   struct Stats {
     size_t live_docs = 0;

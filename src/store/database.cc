@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "store/snapshot.h"
 #include "xml/xml_writer.h"
 
@@ -16,6 +18,24 @@ namespace toss::store {
 namespace fs = std::filesystem;
 
 namespace {
+
+struct DbMetrics {
+  obs::Counter& saves = obs::Metrics().GetCounter("store.db.saves");
+  obs::Counter& opens = obs::Metrics().GetCounter("store.db.opens");
+  obs::Counter& degraded_opens =
+      obs::Metrics().GetCounter("store.db.degraded_opens");
+  obs::Counter& discarded_generations =
+      obs::Metrics().GetCounter("store.db.discarded_generations");
+  obs::Histogram& save_ns =
+      obs::Metrics().GetHistogram("store.db.save_latency_ns");
+  obs::Histogram& open_ns =
+      obs::Metrics().GetHistogram("store.db.open_latency_ns");
+};
+
+DbMetrics& Instruments() {
+  static DbMetrics* m = new DbMetrics();
+  return *m;
+}
 
 /// Document payloads are stored as 000000.xml, 000001.xml, ... with the
 /// real keys escaped into the MANIFEST; keys never touch the filesystem.
@@ -149,11 +169,15 @@ Status Database::Save(const std::string& dir) const {
 }
 
 Status Database::Save(const std::string& dir, Env* env,
-                      const RetryPolicy& retry) const {
+                      const RetryPolicy& retry, obs::Span* span) const {
+  DbMetrics& m = Instruments();
+  m.saves.Increment();
+  Timer save_timer;
   auto Run = [&](const std::function<Status()>& op) {
     return RetryTransient(env, retry, op);
   };
 
+  obs::Span prepare_span(span, "prepare");
   TOSS_RETURN_NOT_OK(Run([&] { return env->CreateDirs(dir); }));
 
   // Pick the next generation number past everything on disk -- committed
@@ -180,7 +204,11 @@ Status Database::Save(const std::string& dir, Env* env,
   const std::string tmp_dir = PathJoin(dir, TempGenerationDirName(next_gen));
   TOSS_RETURN_NOT_OK(Run([&] { return env->RemoveAll(tmp_dir); }));
   TOSS_RETURN_NOT_OK(Run([&] { return env->CreateDirs(tmp_dir); }));
+  prepare_span.Annotate("generation", gen_name);
+  prepare_span.End();
 
+  obs::Span write_span(span, "write_docs");
+  size_t docs_written = 0;
   SnapshotManifest manifest;
   size_t coll_ordinal = 0;
   for (const auto& [name, coll] : collections_) {
@@ -201,9 +229,14 @@ Status Database::Save(const std::string& dir, Env* env,
       TOSS_RETURN_NOT_OK(Run([&] { return env->WriteFile(path, payload); }));
       TOSS_RETURN_NOT_OK(Run([&] { return env->SyncFile(path); }));
       mc.docs.push_back(std::move(md));
+      ++docs_written;
     }
     manifest.collections.push_back(std::move(mc));
   }
+  write_span.Annotate("docs_written", static_cast<uint64_t>(docs_written));
+  write_span.End();
+
+  obs::Span commit_span(span, "commit");
   const std::string manifest_path = PathJoin(tmp_dir, kManifestFileName);
   TOSS_RETURN_NOT_OK(
       Run([&] { return env->WriteFile(manifest_path, manifest.Format()); }));
@@ -222,7 +255,9 @@ Status Database::Save(const std::string& dir, Env* env,
     return env->RenameFile(current_tmp, PathJoin(dir, kCurrentFileName));
   }));
   TOSS_RETURN_NOT_OK(Run([&] { return env->SyncDir(dir); }));
+  commit_span.End();
 
+  obs::Span cleanup_span(span, "cleanup");
   // Post-commit cleanup is best-effort: the new generation is already
   // durable, so a failure (or crash) here merely leaves extra files for
   // the next Save to collect. Transient errors still get the retry/backoff
@@ -232,6 +267,8 @@ Status Database::Save(const std::string& dir, Env* env,
     (void)Run([&] { return env->RemoveAll(PathJoin(dir, entry)); });
   }
   (void)Run([&] { return env->RemoveFile(PathJoin(dir, kLegacyManifestFileName)); });
+  cleanup_span.End();
+  m.save_ns.Record(static_cast<uint64_t>(save_timer.ElapsedNanos()));
   return Status::OK();
 }
 
@@ -240,13 +277,31 @@ Result<Database> Database::Open(const std::string& dir) {
 }
 
 Result<Database> Database::Open(const std::string& dir, Env* env,
-                                RecoveryReport* report) {
+                                RecoveryReport* report, obs::Span* span) {
+  DbMetrics& m = Instruments();
+  m.opens.Increment();
+  Timer open_timer;
   RecoveryReport local;
   RecoveryReport& rep = report ? *report : local;
   rep = RecoveryReport{};
 
+  // One finalizer for every return path: record the latency histogram and,
+  // when the load had to discard anything, the recovery counters.
+  auto Finish = [&](Result<Database> db) -> Result<Database> {
+    m.open_ns.Record(static_cast<uint64_t>(open_timer.ElapsedNanos()));
+    m.discarded_generations.Add(rep.discarded.size());
+    if (rep.degraded()) m.degraded_opens.Increment();
+    if (span != nullptr && span->enabled()) {
+      span->Annotate("loaded_generation", rep.loaded_generation);
+      span->Annotate("discarded", static_cast<uint64_t>(rep.discarded.size()));
+      span->Annotate("degraded", rep.degraded() ? "true" : "false");
+    }
+    return db;
+  };
+
   // Enumerate committed generations, newest first. gen-*.tmp builds were
   // never committed and are never read.
+  obs::Span scan_span(span, "scan");
   std::vector<std::pair<uint64_t, std::string>> generations;
   bool dir_listed = false;
   {
@@ -281,12 +336,14 @@ Result<Database> Database::Open(const std::string& dir, Env* env,
       rep.discarded.push_back({"CURRENT", pointer.status().ToString()});
     }
   }
+  scan_span.End();
 
+  obs::Span load_span(span, "load");
   if (!current.empty()) {
     auto db = LoadGeneration(dir, current, env);
     if (db.ok()) {
       rep.loaded_generation = current;
-      return db;
+      return Finish(std::move(db));
     }
     rep.discarded.push_back({current, db.status().ToString()});
   }
@@ -297,7 +354,7 @@ Result<Database> Database::Open(const std::string& dir, Env* env,
     auto db = LoadGeneration(dir, gen, env);
     if (db.ok()) {
       rep.loaded_generation = gen;
-      return db;
+      return Finish(std::move(db));
     }
     rep.discarded.push_back({gen, db.status().ToString()});
   }
@@ -310,7 +367,7 @@ Result<Database> Database::Open(const std::string& dir, Env* env,
       rep.loaded_generation = "legacy";
       rep.used_legacy_format = true;
     }
-    return db;
+    return Finish(std::move(db));
   }
 
   std::string detail;
@@ -318,7 +375,7 @@ Result<Database> Database::Open(const std::string& dir, Env* env,
     detail += "; " + d.generation + ": " + d.reason;
   }
   if (!dir_listed) detail += "; directory unreadable";
-  return Status::IOError("no intact snapshot in " + dir + detail);
+  return Finish(Status::IOError("no intact snapshot in " + dir + detail));
 }
 
 Status Database::Reload(const std::string& dir, Env* env,

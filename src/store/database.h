@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "store/collection.h"
 #include "store/env.h"
 
@@ -72,9 +73,14 @@ class Database {
   /// failure aborts the save with the previous generation still committed
   /// and intact. Older generations and stale gen-*.tmp build directories
   /// are removed only after the new generation is committed.
+  /// When `span` is a live trace span, per-phase child spans (prepare,
+  /// write_docs, commit, cleanup) are recorded under it; pass nullptr (the
+  /// default) to skip tracing. `store.db.*` registry metrics are recorded
+  /// either way.
   Status Save(const std::string& dir) const;
   Status Save(const std::string& dir, Env* env,
-              const RetryPolicy& retry = RetryPolicy{}) const;
+              const RetryPolicy& retry = RetryPolicy{},
+              obs::Span* span = nullptr) const;
 
   /// Loads the newest intact generation under `dir` (preferring the one
   /// CURRENT commits to), verifying every file's byte count and CRC32.
@@ -82,7 +88,8 @@ class Database {
   /// when nothing intact remains.
   static Result<Database> Open(const std::string& dir);
   static Result<Database> Open(const std::string& dir, Env* env,
-                               RecoveryReport* report = nullptr);
+                               RecoveryReport* report = nullptr,
+                               obs::Span* span = nullptr);
 
   /// Re-opens `dir` in place: on success this database's contents are
   /// replaced by the on-disk state and every collection's decoded-tree

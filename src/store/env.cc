@@ -11,9 +11,35 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
+
 namespace toss::store {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// I/O substrate counters. Incremented in ProductionEnv (the layer where
+/// the bytes actually move) so FaultInjectionEnv wrappers are counted once,
+/// and in the fault/retry paths that never reach the base Env.
+struct EnvMetrics {
+  obs::Counter& reads = obs::Metrics().GetCounter("store.env.reads");
+  obs::Counter& writes = obs::Metrics().GetCounter("store.env.writes");
+  obs::Counter& bytes_written =
+      obs::Metrics().GetCounter("store.env.bytes_written");
+  obs::Counter& fsyncs = obs::Metrics().GetCounter("store.env.fsyncs");
+  obs::Counter& renames = obs::Metrics().GetCounter("store.env.renames");
+  obs::Counter& removes = obs::Metrics().GetCounter("store.env.removes");
+  obs::Counter& faults = obs::Metrics().GetCounter("store.env.faults_injected");
+  obs::Counter& retries = obs::Metrics().GetCounter("store.env.retries");
+};
+
+EnvMetrics& Instruments() {
+  static EnvMetrics* m = new EnvMetrics();
+  return *m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ProductionEnv
@@ -30,6 +56,7 @@ Status ProductionEnv::CreateDirs(const std::string& dir) {
 }
 
 Result<std::string> ProductionEnv::ReadFile(const std::string& path) {
+  Instruments().reads.Increment();
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open " + path);
@@ -44,6 +71,9 @@ Result<std::string> ProductionEnv::ReadFile(const std::string& path) {
 
 Status ProductionEnv::WriteFile(const std::string& path,
                                 std::string_view content) {
+  EnvMetrics& m = Instruments();
+  m.writes.Increment();
+  m.bytes_written.Add(content.size());
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::IOError("cannot write " + path);
@@ -57,6 +87,7 @@ Status ProductionEnv::WriteFile(const std::string& path,
 }
 
 Status ProductionEnv::SyncFile(const std::string& path) {
+  Instruments().fsyncs.Increment();
 #ifndef _WIN32
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -72,6 +103,7 @@ Status ProductionEnv::SyncFile(const std::string& path) {
 }
 
 Status ProductionEnv::SyncDir(const std::string& dir) {
+  Instruments().fsyncs.Increment();
 #ifndef _WIN32
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
@@ -88,6 +120,7 @@ Status ProductionEnv::SyncDir(const std::string& dir) {
 
 Status ProductionEnv::RenameFile(const std::string& from,
                                  const std::string& to) {
+  Instruments().renames.Increment();
   std::error_code ec;
   fs::rename(from, to, ec);
   if (ec) {
@@ -98,6 +131,7 @@ Status ProductionEnv::RenameFile(const std::string& from,
 }
 
 Status ProductionEnv::RemoveFile(const std::string& path) {
+  Instruments().removes.Increment();
   std::error_code ec;
   fs::remove(path, ec);  // returns false when absent, which is fine
   if (ec) {
@@ -107,6 +141,7 @@ Status ProductionEnv::RemoveFile(const std::string& path) {
 }
 
 Status ProductionEnv::RemoveAll(const std::string& path) {
+  Instruments().removes.Increment();
   std::error_code ec;
   fs::remove_all(path, ec);
   if (ec) {
@@ -164,6 +199,7 @@ Status FaultInjectionEnv::Admit(const std::string& path,
     // The disk is full, not dead: writes keep failing, everything else works.
     if (!is_write) return Status::OK();
     ++faults_;
+    Instruments().faults.Increment();
     return Status::IOError("injected fault: no space left on device");
   }
   if (op < options_.fail_at_op) return Status::OK();
@@ -171,11 +207,13 @@ Status FaultInjectionEnv::Admit(const std::string& path,
   switch (options_.kind) {
     case FaultKind::kHardError:
       ++faults_;
+      Instruments().faults.Increment();
       crashed_ = true;
       return Status::IOError("injected fault: I/O error at op #" +
                              std::to_string(op) + " (" + path + ")");
     case FaultKind::kTornWrite:
       ++faults_;
+      Instruments().faults.Increment();
       crashed_ = true;
       if (is_write && !content.empty()) {
         // Half the payload lands before the crash; ignore secondary errors,
@@ -186,6 +224,7 @@ Status FaultInjectionEnv::Admit(const std::string& path,
                              std::to_string(op) + " (" + path + ")");
     case FaultKind::kNoSpace:
       ++faults_;
+      Instruments().faults.Increment();
       no_space_ = true;
       if (is_write && !content.empty()) {
         (void)base_->WriteFile(path, content.substr(0, content.size() / 2));
@@ -195,6 +234,7 @@ Status FaultInjectionEnv::Admit(const std::string& path,
     case FaultKind::kTransient:
       if (faults_ < options_.transient_failures) {
         ++faults_;
+        Instruments().faults.Increment();
         return Status::Unavailable("injected fault: transient I/O error at op #" +
                                    std::to_string(op) + " (" + path + ")");
       }
@@ -304,6 +344,7 @@ Status RetryTransient(Env* env, const RetryPolicy& policy,
     st = op();
     if (!st.IsUnavailable()) return st;
     if (attempt + 1 < attempts) {
+      Instruments().retries.Increment();
       env->SleepForMicros(backoff);
       backoff = std::min(backoff * 2, policy.max_backoff_micros);
     }

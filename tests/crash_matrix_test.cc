@@ -275,5 +275,35 @@ TEST_F(CrashMatrixTest, HostileKeysSurviveTheFullMatrixProtocol) {
   EXPECT_EQ(Fingerprint(*back), Fingerprint(db));
 }
 
+TEST_F(CrashMatrixTest, SaveAndOpenRecordTraceSpans) {
+  fs::remove_all(dir_);
+  obs::Trace save_trace("save");
+  {
+    obs::Span root = save_trace.RootSpan();
+    ASSERT_TRUE(a_.Save(dir_, Env::Default(), RetryPolicy{}, &root).ok());
+  }
+  std::vector<std::string> phases;
+  for (const auto& c : save_trace.root().children) phases.push_back(c->name);
+  EXPECT_EQ(phases, (std::vector<std::string>{"prepare", "write_docs",
+                                              "commit", "cleanup"}));
+
+  obs::Trace open_trace("open");
+  {
+    obs::Span root = open_trace.RootSpan();
+    RecoveryReport report;
+    auto db = Database::Open(dir_, Env::Default(), &report, &root);
+    ASSERT_TRUE(db.ok()) << db.status();
+    EXPECT_FALSE(report.degraded());
+  }
+  phases.clear();
+  bool saw_generation = false;
+  for (const auto& c : open_trace.root().children) phases.push_back(c->name);
+  EXPECT_EQ(phases, (std::vector<std::string>{"scan", "load"}));
+  for (const auto& [k, v] : open_trace.root().annotations) {
+    if (k == "loaded_generation" && !v.empty()) saw_generation = true;
+  }
+  EXPECT_TRUE(saw_generation);
+}
+
 }  // namespace
 }  // namespace toss::store

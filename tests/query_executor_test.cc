@@ -5,6 +5,7 @@
 #include "core/toss.h"
 
 #include "eval/metrics.h"
+#include "xml/xml_writer.h"
 
 namespace toss::core {
 namespace {
@@ -274,6 +275,137 @@ TEST_F(QueryExecutorTest, UnknownCollectionIsNotFound) {
   auto r = toss_exec.Select("nope", UllmanAtSigmod(), {1}, nullptr);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+/// Each tree rendered to canonical XML: the byte-identical comparison
+/// between Execute and ExplainAnalyze results (same trees, same order).
+std::vector<std::string> Serialize(const tax::TreeCollection& trees) {
+  std::vector<std::string> out;
+  out.reserve(trees.size());
+  for (const auto& t : trees) out.push_back(xml::Write(t.ToXml()));
+  return out;
+}
+
+/// The root's direct child names, in creation order.
+std::vector<std::string> ChildNames(const obs::TraceNode& root) {
+  std::vector<std::string> out;
+  for (const auto& c : root.children) out.push_back(c->name);
+  return out;
+}
+
+TEST_F(QueryExecutorTest, ExplainAnalyzeSelectMatchesExecute) {
+  for (bool toss : {false, true}) {
+    QueryExecutor exec(&db_, toss ? &seo_ : nullptr,
+                       toss ? &types_ : nullptr);
+    ExecStats stats;
+    auto plain = exec.Select("dblp", UllmanAtSigmod(), {1}, &stats);
+    ASSERT_TRUE(plain.ok()) << plain.status();
+    auto explained = exec.ExplainAnalyzeSelect("dblp", UllmanAtSigmod(), {1});
+    ASSERT_TRUE(explained.ok()) << explained.status();
+
+    // Golden: byte-identical answers in identical order.
+    EXPECT_EQ(Serialize(*plain), Serialize(explained->trees));
+    EXPECT_EQ(explained->stats.xpath_queries, stats.xpath_queries);
+    EXPECT_EQ(explained->stats.candidate_docs, stats.candidate_docs);
+    EXPECT_EQ(explained->stats.result_trees, stats.result_trees);
+
+    // Trace structure: the three instrumented phases, all closed.
+    ASSERT_NE(explained->trace, nullptr);
+    const obs::TraceNode& root = explained->trace->root();
+    EXPECT_GT(root.duration_nanos, 0u);
+    EXPECT_EQ(ChildNames(root),
+              (std::vector<std::string>{"rewrite", "store_scan", "eval"}));
+    for (const auto& c : root.children) EXPECT_GT(c->duration_nanos, 0u);
+    double cov = explained->trace->CoverageFraction();
+    EXPECT_GT(cov, 0.0);
+    EXPECT_LE(cov, 1.0);
+
+    // Pretty output carries the tree and the stats footer.
+    std::string pretty = explained->Pretty();
+    EXPECT_NE(pretty.find("store_scan"), std::string::npos) << pretty;
+    EXPECT_NE(pretty.find("trace coverage"), std::string::npos) << pretty;
+  }
+}
+
+TEST_F(QueryExecutorTest, ExplainAnalyzeSelectAnnotatesThePhases) {
+  QueryExecutor toss_exec(&db_, &seo_, &types_);
+  auto r = toss_exec.ExplainAnalyzeSelect("dblp", UllmanAtSigmod(), {1});
+  ASSERT_TRUE(r.ok()) << r.status();
+  const obs::TraceNode& root = r->trace->root();
+  auto annotation = [](const obs::TraceNode& n, const std::string& key) {
+    for (const auto& [k, v] : n.annotations) {
+      if (k == key) return v;
+    }
+    return std::string();
+  };
+  EXPECT_EQ(annotation(*root.children[0], "xpath_queries"),
+            std::to_string(r->stats.xpath_queries));
+  EXPECT_EQ(annotation(*root.children[0], "expanded_terms"),
+            std::to_string(r->stats.expanded_terms));
+  EXPECT_EQ(annotation(*root.children[1], "candidate_docs"),
+            std::to_string(r->stats.candidate_docs));
+  EXPECT_FALSE(annotation(*root.children[1], "index_pruning_ratio").empty());
+  EXPECT_EQ(annotation(*root.children[2], "result_trees"),
+            std::to_string(r->stats.result_trees));
+  // Decoded-tree cache deltas are recorded on the eval phase.
+  EXPECT_FALSE(annotation(*root.children[2], "tree_cache_misses").empty());
+}
+
+TEST_F(QueryExecutorTest, ExplainAnalyzeProjectAndGroupByMatchExecute) {
+  QueryExecutor toss_exec(&db_, &seo_, &types_);
+  auto plain_p =
+      toss_exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, nullptr);
+  auto explained_p =
+      toss_exec.ExplainAnalyzeProject("dblp", UllmanAtSigmod(), {{2, false}});
+  ASSERT_TRUE(plain_p.ok()) << plain_p.status();
+  ASSERT_TRUE(explained_p.ok()) << explained_p.status();
+  EXPECT_EQ(Serialize(*plain_p), Serialize(explained_p->trees));
+  EXPECT_EQ(ChildNames(explained_p->trace->root()),
+            (std::vector<std::string>{"rewrite", "store_scan", "eval"}));
+
+  auto plain_g = toss_exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, nullptr);
+  auto explained_g =
+      toss_exec.ExplainAnalyzeGroupBy("dblp", UllmanAtSigmod(), 3, {1});
+  ASSERT_TRUE(plain_g.ok()) << plain_g.status();
+  ASSERT_TRUE(explained_g.ok()) << explained_g.status();
+  EXPECT_EQ(Serialize(*plain_g), Serialize(explained_g->trees));
+}
+
+TEST_F(QueryExecutorTest, ExplainAnalyzeJoinMatchesExecute) {
+  auto sigmod = db_.CreateCollection("sigmod");
+  ASSERT_TRUE(sigmod.ok());
+  ASSERT_TRUE((*sigmod)
+                  ->InsertXml("page0",
+                              "<proceedingsPage><articles>"
+                              "<article gtid=\"10001\">"
+                              "<title>Views.</title></article>"
+                              "</articles></proceedingsPage>")
+                  .ok());
+  QueryExecutor toss_exec(&db_, &seo_, &types_);
+  tax::PatternTree pt;
+  int root = pt.AddRoot();
+  int left = pt.AddChild(root, tax::EdgeKind::kPc);
+  pt.AddChild(left, tax::EdgeKind::kPc);
+  int article = pt.AddChild(root, tax::EdgeKind::kAd);
+  pt.AddChild(article, tax::EdgeKind::kPc);
+  pt.SetCondition(
+      tax::ParseCondition("$1.tag = \"tax_prod_root\" & "
+                          "$2.tag = \"inproceedings\" & $3.tag = \"title\" & "
+                          "$4.tag = \"article\" & $5.tag = \"title\" & "
+                          "$3.content ~ $5.content")
+          .value());
+  auto plain = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, nullptr);
+  auto explained = toss_exec.ExplainAnalyzeJoin("dblp", "sigmod", pt, {2, 4});
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  EXPECT_EQ(Serialize(*plain), Serialize(explained->trees));
+  EXPECT_EQ(ChildNames(explained->trace->root()),
+            (std::vector<std::string>{"candidates_left", "candidates_right",
+                                      "decode_right", "eval"}));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "store/database.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
@@ -293,6 +294,41 @@ TEST(CollectionTest, DecodedTreeCacheEvictsLeastRecentlyUsed) {
   EXPECT_EQ(coll.GetTreeCacheStats().hits, 2u);
   (void)coll.DecodedTree(*p2);  // was evicted: a fresh miss
   EXPECT_EQ(coll.GetTreeCacheStats().misses, 4u);
+}
+
+TEST(CollectionTest, TreeCacheStatsResetMoveAndRegistryMirror) {
+  obs::Counter& reg_hits = obs::Metrics().GetCounter("store.tree_cache.hits");
+  obs::Counter& reg_misses =
+      obs::Metrics().GetCounter("store.tree_cache.misses");
+  const uint64_t hits_before = reg_hits.Value();
+  const uint64_t misses_before = reg_misses.Value();
+
+  Collection coll = MakeSmallCollection();
+  auto id = coll.FindKey("p1");
+  ASSERT_TRUE(id.ok());
+  (void)coll.DecodedTree(*id);  // miss
+  (void)coll.DecodedTree(*id);  // hit
+  EXPECT_EQ(coll.GetTreeCacheStats().hits, 1u);
+  EXPECT_EQ(coll.GetTreeCacheStats().misses, 1u);
+  // The registry mirrors every hit/miss, cumulatively.
+  EXPECT_EQ(reg_hits.Value(), hits_before + 1);
+  EXPECT_EQ(reg_misses.Value(), misses_before + 1);
+
+  // Explicit reset zeroes the per-collection view but keeps the cached
+  // entries; the registry counters stay cumulative.
+  coll.ResetTreeCacheStats();
+  auto stats = coll.GetTreeCacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(reg_hits.Value(), hits_before + 1);
+
+  // Moves transfer the counters and zero the source -- the stale-stats gap
+  // around Database::Reload, where new collections replace old ones.
+  (void)coll.DecodedTree(*id);  // hit on the surviving entry
+  Collection moved = std::move(coll);
+  EXPECT_EQ(moved.GetTreeCacheStats().hits, 1u);
+  EXPECT_EQ(coll.GetTreeCacheStats().hits, 0u);  // NOLINT: moved-from probe
 }
 
 TEST(CollectionTest, StatsTrackIndexes) {
