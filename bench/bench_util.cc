@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "obs/metrics.h"
+#include "service/toss_service.h"
 
 namespace toss::bench {
 
@@ -37,9 +38,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR4.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR5.json";
 #else
-  return "BENCH_PR4.json";
+  return "BENCH_PR5.json";
 #endif
 }
 
@@ -215,9 +216,9 @@ Result<std::vector<eval::PrMetrics>> Fig15Fixture::Evaluate(
   std::vector<eval::PrMetrics> out;
   for (const auto& ds : impl_->datasets) {
     core::Seo seo;
-    std::unique_ptr<core::QueryExecutor> exec;
+    std::unique_ptr<service::TossService> svc;
     if (measure.empty()) {
-      exec = std::make_unique<core::QueryExecutor>(ds.db.get(), nullptr,
+      svc = std::make_unique<service::TossService>(ds.db.get(), nullptr,
                                                    nullptr);
     } else {
       core::SeoBuilder builder;
@@ -226,14 +227,15 @@ Result<std::vector<eval::PrMetrics>> Fig15Fixture::Evaluate(
       builder.SetMeasure(std::move(m));
       builder.SetEpsilon(epsilon);
       TOSS_ASSIGN_OR_RETURN(seo, builder.Build());
-      exec = std::make_unique<core::QueryExecutor>(ds.db.get(), &seo,
+      svc = std::make_unique<service::TossService>(ds.db.get(), &seo,
                                                    &impl_->types);
     }
     for (const auto& q : ds.queries) {
-      TOSS_ASSIGN_OR_RETURN(tax::TreeCollection r,
-                            exec->Select(ds.name, q.pattern, q.sl, nullptr));
+      service::QueryResponse r =
+          svc->Run(service::QueryRequest::Select(ds.name, q.pattern, q.sl));
+      TOSS_RETURN_NOT_OK(r.status);
       out.push_back(
-          eval::ComputePr(eval::ExtractRootProvenance(r), q.correct));
+          eval::ComputePr(eval::ExtractRootProvenance(r.trees), q.correct));
     }
   }
   return out;
@@ -276,13 +278,13 @@ std::vector<Result<std::vector<eval::PrMetrics>>> Fig15Fixture::EvaluateSweep(
       for (size_t d = 0; d < impl_->datasets.size(); ++d) {
         const auto& ds = impl_->datasets[d];
         TOSS_ASSIGN_OR_RETURN(core::Seo seo, sweepers[d].BuildAt(eps));
-        core::QueryExecutor exec(ds.db.get(), &seo, &impl_->types);
+        service::TossService svc(ds.db.get(), &seo, &impl_->types);
         for (const auto& q : ds.queries) {
-          TOSS_ASSIGN_OR_RETURN(
-              tax::TreeCollection r,
-              exec.Select(ds.name, q.pattern, q.sl, nullptr));
-          res.push_back(
-              eval::ComputePr(eval::ExtractRootProvenance(r), q.correct));
+          service::QueryResponse r = svc.Run(
+              service::QueryRequest::Select(ds.name, q.pattern, q.sl));
+          TOSS_RETURN_NOT_OK(r.status);
+          res.push_back(eval::ComputePr(eval::ExtractRootProvenance(r.trees),
+                                        q.correct));
         }
       }
       return res;

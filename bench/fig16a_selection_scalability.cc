@@ -12,36 +12,43 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "service/toss_service.h"
 
 using namespace toss;
 
 namespace {
 
 /// One timed run: all six venue-scalability queries, total milliseconds.
-double RunQueries(core::QueryExecutor& exec, const std::string& coll,
+double RunQueries(service::TossService& svc, const std::string& coll,
                   const data::BibWorld& world) {
   Timer timer;
   for (const auto& venue : world.venues) {
     tax::PatternTree pattern = data::MakeScalabilitySelectionPattern(
         venue.short_name, venue.category);
-    auto r = exec.Select(coll, pattern, {1}, nullptr);
-    bench::CheckOk(r.status(), "Select");
+    service::QueryResponse r =
+        svc.Run(service::QueryRequest::Select(coll, pattern, {1}));
+    bench::CheckOk(r.status, "Select");
   }
   return timer.ElapsedMillis();
 }
 
-/// EXPLAIN ANALYZE over the same six queries: the minimum fraction of each
-/// query's wall time accounted for by the trace tree's phase spans. The
-/// observability acceptance bar is >= 0.95 across the Fig. 16(a) queries.
-double MinTraceCoverage(core::QueryExecutor& exec, const std::string& coll,
+/// EXPLAIN ANALYZE (collect_trace) over the same six queries: the minimum
+/// fraction of each query's wall time accounted for by the trace tree's
+/// phase spans. The observability acceptance bar is >= 0.95 across the
+/// Fig. 16(a) queries.
+double MinTraceCoverage(service::TossService& svc, const std::string& coll,
                         const data::BibWorld& world) {
   double min_cov = 1.0;
   for (const auto& venue : world.venues) {
-    tax::PatternTree pattern = data::MakeScalabilitySelectionPattern(
-        venue.short_name, venue.category);
-    auto r = exec.ExplainAnalyzeSelect(coll, pattern, {1});
-    bench::CheckOk(r.status(), "ExplainAnalyzeSelect");
-    min_cov = std::min(min_cov, r->trace->CoverageFraction());
+    service::QueryRequest req = service::QueryRequest::Select(
+        coll,
+        data::MakeScalabilitySelectionPattern(venue.short_name,
+                                              venue.category),
+        {1});
+    req.collect_trace = true;
+    service::QueryResponse r = svc.Run(req);
+    bench::CheckOk(r.status, "traced Select");
+    min_cov = std::min(min_cov, r.trace->CoverageFraction());
   }
   return min_cov;
 }
@@ -82,11 +89,11 @@ int main() {
     bench::CheckOk(coll.status(), "GetCollection");
     size_t bytes = (*coll)->ApproxByteSize();
 
-    core::QueryExecutor tax_exec(&db, nullptr, nullptr);
-    double tax_ms = RunQueries(tax_exec, "dblp", world);
+    service::TossService tax_svc(&db, nullptr, nullptr);
+    double tax_ms = RunQueries(tax_svc, "dblp", world);
     bench::RecordBenchMs("fig16a/tax_" + std::to_string(size), tax_ms);
     min_coverage =
-        std::min(min_coverage, MinTraceCoverage(tax_exec, "dblp", world));
+        std::min(min_coverage, MinTraceCoverage(tax_svc, "dblp", world));
 
     std::printf("%8zu %10zu %9.2f", size, bytes, tax_ms);
     ontology::Ontology base =
@@ -96,12 +103,12 @@ int main() {
       data::InflateOntology(&inflated, pad, 99);
       core::Seo seo = bench::BuildSeo({std::move(inflated)}, "levenshtein",
                                       3.0);
-      core::QueryExecutor toss_exec(&db, &seo, &types);
-      double toss_ms = RunQueries(toss_exec, "dblp", world);
+      service::TossService toss_svc(&db, &seo, &types);
+      double toss_ms = RunQueries(toss_svc, "dblp", world);
       if (pad == 0) {
         bench::RecordBenchMs("fig16a/toss_" + std::to_string(size), toss_ms);
         min_coverage = std::min(min_coverage,
-                                MinTraceCoverage(toss_exec, "dblp", world));
+                                MinTraceCoverage(toss_svc, "dblp", world));
       }
       std::printf(" %11.2f", toss_ms);
     }

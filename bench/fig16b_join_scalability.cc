@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "service/toss_service.h"
 
 using namespace toss;
 
@@ -47,10 +48,11 @@ int main() {
     bench::CheckOk(sigmod.status(), "sigmod");
     size_t bytes = (*dblp)->ApproxByteSize() + (*sigmod)->ApproxByteSize();
 
-    core::QueryExecutor tax_exec(&db, nullptr, nullptr);
+    service::TossService tax_svc(&db, nullptr, nullptr);
     Timer t1;
-    auto tax_r = tax_exec.Join("dblp", "sigmod", pattern, {2, 4}, nullptr);
-    bench::CheckOk(tax_r.status(), "tax join");
+    service::QueryResponse tax_r = tax_svc.Run(
+        service::QueryRequest::Join("dblp", "sigmod", pattern, {2, 4}));
+    bench::CheckOk(tax_r.status, "tax join");
     double tax_ms = t1.ElapsedMillis();
 
     ontology::Ontology donto =
@@ -66,17 +68,17 @@ int main() {
     builder.SetEpsilon(2.0);
     auto seo = builder.Build();
     bench::CheckOk(seo.status(), "seo");
-    core::QueryExecutor toss_exec(&db, &*seo, &types);
+    service::TossService toss_svc(&db, &*seo, &types);
     Timer t2;
-    auto toss_r =
-        toss_exec.Join("dblp", "sigmod", pattern, {2, 4}, nullptr);
-    bench::CheckOk(toss_r.status(), "toss join");
+    service::QueryResponse toss_r = toss_svc.Run(
+        service::QueryRequest::Join("dblp", "sigmod", pattern, {2, 4}));
+    bench::CheckOk(toss_r.status, "toss join");
     double toss_ms = t2.ElapsedMillis();
 
     bench::RecordBenchMs("fig16b/tax_" + std::to_string(size), tax_ms);
     bench::RecordBenchMs("fig16b/toss_" + std::to_string(size), toss_ms);
     std::printf("%8zu %12zu %10.2f %10.2f %10zu\n", size, bytes, tax_ms,
-                toss_ms, toss_r->size());
+                toss_ms, toss_r.trees.size());
   }
   std::printf(
       "\nExpected shape: ~linear then super-linear at the largest point\n"

@@ -1,8 +1,8 @@
-// EXPLAIN ANALYZE: run a Fig. 15-style selection query and print where its
-// time went -- the per-phase trace tree (rewrite / store_scan / eval) with
-// expansion fan-out, candidate counts, index-pruning ratio, and
-// decoded-tree cache annotations -- followed by the process-wide metrics
-// registry dump.
+// EXPLAIN ANALYZE: run a Fig. 15-style selection query through the query
+// service and print where its time went -- the per-phase trace tree
+// (rewrite / store_scan / eval) with expansion fan-out, candidate counts,
+// index-pruning ratio, and decoded-tree cache annotations -- followed by
+// the process-wide metrics registry dump.
 //
 // Build & run:  ./build/examples/explain_analyze
 //
@@ -16,6 +16,7 @@
 #include "data/bib_generator.h"
 #include "data/workload.h"
 #include "obs/metrics.h"
+#include "service/toss_service.h"
 
 using namespace toss;
 
@@ -69,13 +70,16 @@ int main(int argc, char** argv) {
       venue.short_name, venue.category);
 
   core::TypeSystem types = core::MakeBibliographicTypeSystem();
-  core::QueryExecutor exec(&db, &*seo, &types);
+  service::TossService svc(&db, &*seo, &types);
 
-  auto r = exec.ExplainAnalyzeSelect("dblp", pattern, {1});
-  if (!r.ok()) return Fail(r.status());
+  service::QueryRequest req = service::QueryRequest::Select("dblp", pattern,
+                                                            {1});
+  req.collect_trace = true;
+  service::QueryResponse resp = svc.Run(req);
+  if (!resp.ok()) return Fail(resp.status);
 
   if (json) {
-    std::printf("%s\n", r->trace->Json().c_str());
+    std::printf("%s\n", resp.trace->Json().c_str());
     std::printf("%s\n", obs::Metrics().SnapshotJson().c_str());
     return 0;
   }
@@ -84,8 +88,20 @@ int main(int argc, char** argv) {
               "category isa \"%s\"):\n\n",
               static_cast<size_t>(400), venue.short_name.c_str(),
               venue.category.c_str());
-  std::printf("%s", r->Pretty().c_str());
-  std::printf("\nanswers: %zu trees\n", r->trees.size());
+  std::printf("%s", resp.trace->Pretty().c_str());
+  std::printf("phases: rewrite %.3f ms, store %.3f ms, eval %.3f ms "
+              "(total %.3f ms)\n"
+              "xpath queries %zu, expanded terms %zu, candidate docs %zu, "
+              "result trees %zu\n"
+              "trace coverage: %.1f%%\n",
+              resp.stats.rewrite_ms, resp.stats.store_ms, resp.stats.eval_ms,
+              resp.stats.TotalMs(), resp.stats.xpath_queries,
+              resp.stats.expanded_terms, resp.stats.candidate_docs,
+              resp.stats.result_trees,
+              resp.trace->CoverageFraction() * 100.0);
+  std::printf("\nanswers: %zu trees (queue wait %.3f ms, prepared-cache %s)\n",
+              resp.trees.size(), resp.queue_wait_ms,
+              resp.prepared_cache_hit ? "hit" : "miss");
 
   std::printf("\n--- metrics registry ---\n");
   obs::Metrics().Dump(stdout);

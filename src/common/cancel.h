@@ -1,0 +1,93 @@
+// CancelToken: cooperative cancellation and deadlines for long-running
+// queries (DESIGN.md §11 "Service layer").
+//
+// A token is owned by whoever can abort the work (typically
+// service::TossService, which stacks one per request) and is observed --
+// through a `const CancelToken*` -- by the code doing the work: the query
+// executor checks it between phases and once per document inside the eval
+// fan-out loops. Checking is cheap (one relaxed atomic load, plus one
+// steady_clock read when a deadline is set), so per-document granularity
+// costs nothing measurable next to tree evaluation.
+//
+// Tokens chain: a token constructed with a parent reports the parent's
+// cancellation too, so a service-made deadline token can wrap a
+// caller-provided cancellation token without mutating it.
+
+#ifndef TOSS_COMMON_CANCEL_H_
+#define TOSS_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace toss {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never fires on its own (cancel with Cancel()).
+  CancelToken() = default;
+
+  /// A token that fires once `deadline` passes. `parent` (optional) is
+  /// checked first and must outlive this token.
+  explicit CancelToken(Clock::time_point deadline,
+                       const CancelToken* parent = nullptr)
+      : parent_(parent), deadline_(deadline), has_deadline_(true) {}
+
+  /// A token expiring `ms` milliseconds from now.
+  static CancelToken AfterMillis(uint64_t ms,
+                                 const CancelToken* parent = nullptr) {
+    return CancelToken(Clock::now() + std::chrono::milliseconds(ms), parent);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+  CancelToken(CancelToken&& other) noexcept
+      : parent_(other.parent_),
+        deadline_(other.deadline_),
+        has_deadline_(other.has_deadline_) {
+    cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+  /// Flags the token; every subsequent Check() returns Cancelled. Safe to
+  /// call from any thread, any number of times.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// OK while the work may continue; Cancelled / DeadlineExceeded once it
+  /// must stop. The deadline outranks a racing Cancel() only in the sense
+  /// that whichever is observed first wins -- both mean "stop now".
+  Status Check() const {
+    if (parent_ != nullptr) {
+      Status s = parent_->Check();
+      if (!s.ok()) return s;
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("request deadline passed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const CancelToken* parent_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Check() for optional tokens: null means "never cancelled".
+inline Status CheckCancel(const CancelToken* token) {
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+}  // namespace toss
+
+#endif  // TOSS_COMMON_CANCEL_H_

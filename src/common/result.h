@@ -49,9 +49,14 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  /// Returns the value or `fallback` when errored.
-  T value_or(T fallback) const {
+  /// Returns the value or `fallback` when errored. The rvalue overload
+  /// moves the value out, so `ComputeThing().value_or(default)` never
+  /// copies; the lvalue overload leaves the Result intact.
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

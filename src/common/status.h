@@ -26,6 +26,9 @@ enum class StatusCode {
   kInternal,          ///< invariant violation inside the library
   kUnsupported,       ///< valid request the implementation does not handle
   kUnavailable,       ///< transient failure; retrying may succeed
+  kResourceExhausted, ///< admission control shed the request (queue full)
+  kDeadlineExceeded,  ///< the request's deadline passed before completion
+  kCancelled,         ///< the caller cancelled the request
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -74,6 +77,15 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +103,13 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

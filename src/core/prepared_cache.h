@@ -1,0 +1,81 @@
+// Prepared-query cache: memoizes phase (i) of query execution -- the
+// pattern-tree -> XPath rewrite, whose cost is dominated by SEO term
+// expansion -- keyed by a canonical serialization of the pattern tree plus
+// the label restriction (DESIGN.md §11 "Service layer").
+//
+// The rewrite of a pattern depends only on (pattern, label filter, SEO), so
+// entries stay valid until the SEO changes; service::TossService calls
+// Clear() when it swaps SEOs. The cache is a bounded, thread-safe LRU:
+// repeated queries -- the common shape of production traffic -- skip SEO
+// expansion entirely and go straight to the store scan.
+
+#ifndef TOSS_CORE_PREPARED_CACHE_H_
+#define TOSS_CORE_PREPARED_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tax/pattern_tree.h"
+
+namespace toss::core {
+
+/// A memoized phase (i) result: the pushdown XPath queries and the SEO
+/// expansion fan-out that produced them.
+struct PreparedRewrite {
+  std::vector<std::string> xpaths;
+  size_t expanded_terms = 0;
+};
+
+/// Canonical cache key for (pattern, label restriction): node structure
+/// (label/parent/edge in creation order), the condition's serialization,
+/// and the sorted label filter. Two patterns with equal keys rewrite
+/// identically under any fixed SEO.
+std::string CanonicalPatternKey(const tax::PatternTree& pattern,
+                                const std::vector<int>& labels);
+
+class PreparedQueryCache {
+ public:
+  explicit PreparedQueryCache(size_t capacity = 512);
+
+  PreparedQueryCache(const PreparedQueryCache&) = delete;
+  PreparedQueryCache& operator=(const PreparedQueryCache&) = delete;
+
+  /// Copies the entry for `key` into `*out` and returns true on a hit
+  /// (refreshing the entry's LRU position).
+  bool Lookup(const std::string& key, PreparedRewrite* out);
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// beyond capacity.
+  void Insert(const std::string& key, PreparedRewrite entry);
+
+  /// Drops every entry (SEO swap invalidation). Hit/miss counters persist.
+  void Clear();
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Node {
+    PreparedRewrite rewrite;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Node> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace toss::core
+
+#endif  // TOSS_CORE_PREPARED_CACHE_H_

@@ -207,36 +207,44 @@ std::vector<store::DocId> IntersectSorted(const std::vector<store::DocId>& a,
 }  // namespace
 
 QueryExecutor::QueryExecutor(const store::Database* db, const Seo* seo,
-                             const TypeSystem* types)
-    : db_(db), seo_(seo), types_(types), seo_semantics_(seo, types) {}
-
-void QueryExecutor::SetParallelism(size_t threads) {
-  size_t next = std::max<size_t>(1, threads);
-  if (next == parallelism_) return;
-  parallelism_ = next;
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  pool_.reset();  // rebuilt lazily at the new width
-}
-
-void QueryExecutor::WarmCaches() const {
+                             const TypeSystem* types,
+                             size_t default_parallelism)
+    : db_(db), seo_(seo), types_(types), seo_semantics_(seo, types) {
+  parallelism_.store(std::max<size_t>(1, default_parallelism),
+                     std::memory_order_relaxed);
+  // Freeze the shared read-only state up front: reachability closures are
+  // built lazily on first use, so warming here means concurrent queries
+  // only ever read them.
   if (seo_ != nullptr) seo_->WarmCaches();
   if (types_ != nullptr) types_->WarmCaches();
 }
 
-WorkerPool& QueryExecutor::Pool() const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(parallelism_);
-  return *pool_;
+void QueryExecutor::SetParallelism(size_t threads) {
+  parallelism_.store(std::max<size_t>(1, threads),
+                     std::memory_order_relaxed);
 }
 
-Status QueryExecutor::RunPerDoc(
-    size_t n, const std::function<Status(size_t)>& fn) const {
-  if (parallelism_ > 1 && n >= 2) {
-    WarmCaches();  // freeze shared SEO / type-system state before fan-out
-    return Pool().ParallelFor(n, fn);
+Status QueryExecutor::RunPerDoc(size_t n,
+                                const std::function<Status(size_t)>& fn,
+                                const QueryOptions& options) const {
+  const CancelToken* cancel = options.cancel;
+  auto task = [&fn, cancel](size_t i) -> Status {
+    TOSS_RETURN_NOT_OK(CheckCancel(cancel));
+    return fn(i);
+  };
+  if (options.parallelism > 1 && n >= 2) {
+    // One fan-out at a time: the query that claims the pool parallelizes,
+    // concurrent ones run inline rather than queueing behind it.
+    std::unique_lock<std::mutex> claim(pool_mu_, std::try_to_lock);
+    if (claim.owns_lock()) {
+      if (pool_ == nullptr || pool_->thread_count() != options.parallelism) {
+        pool_ = std::make_unique<WorkerPool>(options.parallelism);
+      }
+      return pool_->ParallelFor(n, task);
+    }
   }
   for (size_t i = 0; i < n; ++i) {
-    TOSS_RETURN_NOT_OK(fn(i));
+    TOSS_RETURN_NOT_OK(task(i));
   }
   return Status::OK();
 }
@@ -403,16 +411,40 @@ Result<std::string> QueryExecutor::Explain(
 
 Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
     const store::Collection& coll, const PatternTree& pattern,
-    const std::vector<int>& labels, ExecStats* stats,
-    obs::Span* parent) const {
+    const std::vector<int>& labels, const QueryOptions& options,
+    ExecStats* stats, obs::Span* parent) const {
   QueryMetrics& m = Instruments();
+  TOSS_RETURN_NOT_OK(CheckCancel(options.cancel));
   Timer timer;
   obs::Span rewrite_span(parent, "rewrite");
-  size_t expanded = 0;
-  TOSS_ASSIGN_OR_RETURN(std::vector<std::string> xpaths,
-                        RewriteToXPaths(pattern, labels, &expanded));
+  // Phase (i), served from the prepared-query cache when the caller
+  // provided one. A hit reports the memoized expansion fan-out, so stats
+  // are identical whether the rewrite ran or was recalled.
+  PreparedRewrite rewrite;
+  bool cache_hit = false;
+  std::string cache_key;
+  if (options.prepared != nullptr) {
+    cache_key = CanonicalPatternKey(pattern, labels);
+    cache_hit = options.prepared->Lookup(cache_key, &rewrite);
+    if (cache_hit) {
+      TOSS_RETURN_NOT_OK(pattern.Validate());
+    }
+  }
+  if (!cache_hit) {
+    TOSS_ASSIGN_OR_RETURN(
+        rewrite.xpaths,
+        RewriteToXPaths(pattern, labels, &rewrite.expanded_terms));
+    if (options.prepared != nullptr) {
+      options.prepared->Insert(cache_key, rewrite);
+    }
+  }
+  const std::vector<std::string>& xpaths = rewrite.xpaths;
+  const size_t expanded = rewrite.expanded_terms;
   rewrite_span.Annotate("xpath_queries", static_cast<uint64_t>(xpaths.size()));
   rewrite_span.Annotate("expanded_terms", static_cast<uint64_t>(expanded));
+  if (options.prepared != nullptr && rewrite_span.enabled()) {
+    rewrite_span.Annotate("prepared_cache", cache_hit ? "hit" : "miss");
+  }
   rewrite_span.End();
   m.rewrite_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
   m.xpath_queries.Add(xpaths.size());
@@ -421,6 +453,7 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
     stats->rewrite_ms += timer.ElapsedMillis();
     stats->xpath_queries += xpaths.size();
     stats->expanded_terms += expanded;
+    stats->prepared_cache_hits += cache_hit ? 1 : 0;
   }
 
   timer.Reset();
@@ -436,6 +469,7 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
   } else {
     bool first = true;
     for (const auto& xp : xpaths) {
+      TOSS_RETURN_NOT_OK(CheckCancel(options.cancel));
       store::QueryStats qstats;
       TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> ids,
                             MatchedDocs(coll, xp, &qstats));
@@ -477,13 +511,15 @@ Result<std::vector<store::DocId>> QueryExecutor::CandidateDocs(
 
 Result<tax::TreeCollection> QueryExecutor::SelectImpl(
     const std::string& collection, const PatternTree& pattern,
-    const std::vector<int>& sl, ExecStats* stats, obs::Span* parent) const {
+    const std::vector<int>& sl, const QueryOptions& options, ExecStats* stats,
+    obs::Span* parent) const {
   QueryMetrics& m = Instruments();
   m.selects.Increment();
   TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
                         db_->GetCollection(collection));
-  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
-                        CandidateDocs(*coll, pattern, {}, stats, parent));
+  TOSS_ASSIGN_OR_RETURN(
+      std::vector<store::DocId> docs,
+      CandidateDocs(*coll, pattern, {}, options, stats, parent));
   TOSS_RETURN_NOT_OK(pattern.Validate());
   Timer timer;
   obs::Span eval_span(parent, "eval");
@@ -495,12 +531,15 @@ Result<tax::TreeCollection> QueryExecutor::SelectImpl(
   // Per-document parts keep the merge order deterministic regardless of
   // which worker finishes first.
   std::vector<tax::TreeCollection> parts(docs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
-    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
-    TOSS_ASSIGN_OR_RETURN(parts[i],
-                          tax::SelectTree(*tree, pattern, expand, sem));
-    return Status::OK();
-  }));
+  TOSS_RETURN_NOT_OK(RunPerDoc(
+      docs.size(),
+      [&](size_t i) -> Status {
+        std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+        TOSS_ASSIGN_OR_RETURN(parts[i],
+                              tax::SelectTree(*tree, pattern, expand, sem));
+        return Status::OK();
+      },
+      options));
   tax::TreeCollection result = tax::MergeDedup(std::move(parts));
   if (eval_span.enabled()) {
     eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(docs.size()));
@@ -519,20 +558,29 @@ Result<tax::TreeCollection> QueryExecutor::SelectImpl(
 
 Result<tax::TreeCollection> QueryExecutor::Select(
     const std::string& collection, const PatternTree& pattern,
+    const std::vector<int>& sl, const QueryOptions& options, ExecStats* stats,
+    obs::Span* parent) const {
+  return SelectImpl(collection, pattern, sl, options, stats, parent);
+}
+
+Result<tax::TreeCollection> QueryExecutor::Select(
+    const std::string& collection, const PatternTree& pattern,
     const std::vector<int>& sl, ExecStats* stats) const {
-  return SelectImpl(collection, pattern, sl, stats, nullptr);
+  return SelectImpl(collection, pattern, sl, DefaultOptions(), stats,
+                    nullptr);
 }
 
 Result<tax::TreeCollection> QueryExecutor::ProjectImpl(
     const std::string& collection, const PatternTree& pattern,
-    const std::vector<tax::ProjectItem>& pl, ExecStats* stats,
-    obs::Span* parent) const {
+    const std::vector<tax::ProjectItem>& pl, const QueryOptions& options,
+    ExecStats* stats, obs::Span* parent) const {
   QueryMetrics& m = Instruments();
   m.projects.Increment();
   TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
                         db_->GetCollection(collection));
-  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
-                        CandidateDocs(*coll, pattern, {}, stats, parent));
+  TOSS_ASSIGN_OR_RETURN(
+      std::vector<store::DocId> docs,
+      CandidateDocs(*coll, pattern, {}, options, stats, parent));
   TOSS_RETURN_NOT_OK(pattern.Validate());
   Timer timer;
   obs::Span eval_span(parent, "eval");
@@ -541,12 +589,15 @@ Result<tax::TreeCollection> QueryExecutor::ProjectImpl(
                           : store::Collection::TreeCacheStats{};
   const tax::ConditionSemantics& sem = semantics();
   std::vector<tax::TreeCollection> parts(docs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
-    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
-    TOSS_ASSIGN_OR_RETURN(parts[i],
-                          tax::ProjectTree(*tree, pattern, pl, sem));
-    return Status::OK();
-  }));
+  TOSS_RETURN_NOT_OK(RunPerDoc(
+      docs.size(),
+      [&](size_t i) -> Status {
+        std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+        TOSS_ASSIGN_OR_RETURN(parts[i],
+                              tax::ProjectTree(*tree, pattern, pl, sem));
+        return Status::OK();
+      },
+      options));
   tax::TreeCollection result = tax::MergeDedup(std::move(parts));
   if (eval_span.enabled()) {
     eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(docs.size()));
@@ -565,20 +616,29 @@ Result<tax::TreeCollection> QueryExecutor::ProjectImpl(
 
 Result<tax::TreeCollection> QueryExecutor::Project(
     const std::string& collection, const PatternTree& pattern,
+    const std::vector<tax::ProjectItem>& pl, const QueryOptions& options,
+    ExecStats* stats, obs::Span* parent) const {
+  return ProjectImpl(collection, pattern, pl, options, stats, parent);
+}
+
+Result<tax::TreeCollection> QueryExecutor::Project(
+    const std::string& collection, const PatternTree& pattern,
     const std::vector<tax::ProjectItem>& pl, ExecStats* stats) const {
-  return ProjectImpl(collection, pattern, pl, stats, nullptr);
+  return ProjectImpl(collection, pattern, pl, DefaultOptions(), stats,
+                     nullptr);
 }
 
 Result<tax::TreeCollection> QueryExecutor::GroupByImpl(
     const std::string& collection, const PatternTree& pattern,
-    int group_label, const std::vector<int>& sl, ExecStats* stats,
-    obs::Span* parent) const {
+    int group_label, const std::vector<int>& sl, const QueryOptions& options,
+    ExecStats* stats, obs::Span* parent) const {
   QueryMetrics& m = Instruments();
   m.groupbys.Increment();
   TOSS_ASSIGN_OR_RETURN(const store::Collection* coll,
                         db_->GetCollection(collection));
-  TOSS_ASSIGN_OR_RETURN(std::vector<store::DocId> docs,
-                        CandidateDocs(*coll, pattern, {}, stats, parent));
+  TOSS_ASSIGN_OR_RETURN(
+      std::vector<store::DocId> docs,
+      CandidateDocs(*coll, pattern, {}, options, stats, parent));
   TOSS_RETURN_NOT_OK(pattern.Validate());
   if (pattern.IndexOfLabel(group_label) < 0) {
     return Status::InvalidArgument("GroupBy: label $" +
@@ -593,13 +653,16 @@ Result<tax::TreeCollection> QueryExecutor::GroupByImpl(
   const tax::ConditionSemantics& sem = semantics();
   const std::set<int> expand(sl.begin(), sl.end());
   std::vector<std::vector<tax::GroupedWitness>> parts(docs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(docs.size(), [&](size_t i) -> Status {
-    std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
-    TOSS_ASSIGN_OR_RETURN(
-        parts[i],
-        tax::GroupByTree(*tree, pattern, group_label, expand, sem));
-    return Status::OK();
-  }));
+  TOSS_RETURN_NOT_OK(RunPerDoc(
+      docs.size(),
+      [&](size_t i) -> Status {
+        std::shared_ptr<const tax::DataTree> tree = coll->DecodedTree(docs[i]);
+        TOSS_ASSIGN_OR_RETURN(
+            parts[i],
+            tax::GroupByTree(*tree, pattern, group_label, expand, sem));
+        return Status::OK();
+      },
+      options));
   tax::TreeCollection result = tax::AssembleGroups(std::move(parts));
   if (eval_span.enabled()) {
     eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(docs.size()));
@@ -618,14 +681,23 @@ Result<tax::TreeCollection> QueryExecutor::GroupByImpl(
 
 Result<tax::TreeCollection> QueryExecutor::GroupBy(
     const std::string& collection, const PatternTree& pattern,
+    int group_label, const std::vector<int>& sl, const QueryOptions& options,
+    ExecStats* stats, obs::Span* parent) const {
+  return GroupByImpl(collection, pattern, group_label, sl, options, stats,
+                     parent);
+}
+
+Result<tax::TreeCollection> QueryExecutor::GroupBy(
+    const std::string& collection, const PatternTree& pattern,
     int group_label, const std::vector<int>& sl, ExecStats* stats) const {
-  return GroupByImpl(collection, pattern, group_label, sl, stats, nullptr);
+  return GroupByImpl(collection, pattern, group_label, sl, DefaultOptions(),
+                     stats, nullptr);
 }
 
 Result<tax::TreeCollection> QueryExecutor::JoinImpl(
     const std::string& left, const std::string& right,
-    const PatternTree& pattern, const std::vector<int>& sl, ExecStats* stats,
-    obs::Span* parent) const {
+    const PatternTree& pattern, const std::vector<int>& sl,
+    const QueryOptions& options, ExecStats* stats, obs::Span* parent) const {
   QueryMetrics& m = Instruments();
   m.joins.Increment();
   TOSS_RETURN_NOT_OK(pattern.Validate());
@@ -646,12 +718,14 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
   {
     obs::Span lspan(parent, "candidates_left");
     TOSS_ASSIGN_OR_RETURN(
-        ldocs, CandidateDocs(*lcoll, pattern, left_labels, stats, &lspan));
+        ldocs,
+        CandidateDocs(*lcoll, pattern, left_labels, options, stats, &lspan));
   }
   {
     obs::Span rspan(parent, "candidates_right");
     TOSS_ASSIGN_OR_RETURN(
-        rdocs, CandidateDocs(*rcoll, pattern, right_labels, stats, &rspan));
+        rdocs,
+        CandidateDocs(*rcoll, pattern, right_labels, options, stats, &rspan));
   }
 
   Timer timer;
@@ -664,10 +738,13 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
       decode_span.enabled() ? rcoll->GetTreeCacheStats()
                             : store::Collection::TreeCacheStats{};
   std::vector<std::shared_ptr<const tax::DataTree>> rtrees(rdocs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(rdocs.size(), [&](size_t i) -> Status {
-    rtrees[i] = rcoll->DecodedTree(rdocs[i]);
-    return Status::OK();
-  }));
+  TOSS_RETURN_NOT_OK(RunPerDoc(
+      rdocs.size(),
+      [&](size_t i) -> Status {
+        rtrees[i] = rcoll->DecodedTree(rdocs[i]);
+        return Status::OK();
+      },
+      options));
   if (decode_span.enabled()) {
     decode_span.Annotate("right_docs", static_cast<uint64_t>(rdocs.size()));
     AnnotateCacheDelta(&decode_span, rcache_before,
@@ -684,13 +761,17 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
       eval_span.enabled() ? lcoll->GetTreeCacheStats()
                           : store::Collection::TreeCacheStats{};
   std::vector<tax::TreeCollection> parts(ldocs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(ldocs.size(), [&](size_t i) -> Status {
-    std::shared_ptr<const tax::DataTree> ltree = lcoll->DecodedTree(ldocs[i]);
-    TOSS_ASSIGN_OR_RETURN(
-        parts[i],
-        tax::JoinTreeWithRight(*ltree, right_ptrs, pattern, expand, sem));
-    return Status::OK();
-  }));
+  TOSS_RETURN_NOT_OK(RunPerDoc(
+      ldocs.size(),
+      [&](size_t i) -> Status {
+        std::shared_ptr<const tax::DataTree> ltree =
+            lcoll->DecodedTree(ldocs[i]);
+        TOSS_ASSIGN_OR_RETURN(
+            parts[i],
+            tax::JoinTreeWithRight(*ltree, right_ptrs, pattern, expand, sem));
+        return Status::OK();
+      },
+      options));
   tax::TreeCollection result = tax::MergeDedup(std::move(parts));
   if (eval_span.enabled()) {
     eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(ldocs.size()));
@@ -710,8 +791,15 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
 Result<tax::TreeCollection> QueryExecutor::Join(
     const std::string& left, const std::string& right,
     const PatternTree& pattern, const std::vector<int>& sl,
+    const QueryOptions& options, ExecStats* stats, obs::Span* parent) const {
+  return JoinImpl(left, right, pattern, sl, options, stats, parent);
+}
+
+Result<tax::TreeCollection> QueryExecutor::Join(
+    const std::string& left, const std::string& right,
+    const PatternTree& pattern, const std::vector<int>& sl,
     ExecStats* stats) const {
-  return JoinImpl(left, right, pattern, sl, stats, nullptr);
+  return JoinImpl(left, right, pattern, sl, DefaultOptions(), stats, nullptr);
 }
 
 Result<ExplainResult> QueryExecutor::ExplainAnalyzeSelect(
@@ -722,7 +810,8 @@ Result<ExplainResult> QueryExecutor::ExplainAnalyzeSelect(
   {
     obs::Span root = out.trace->RootSpan();
     TOSS_ASSIGN_OR_RETURN(
-        out.trees, SelectImpl(collection, pattern, sl, &out.stats, &root));
+        out.trees, SelectImpl(collection, pattern, sl, DefaultOptions(),
+                              &out.stats, &root));
   }
   return out;
 }
@@ -735,7 +824,8 @@ Result<ExplainResult> QueryExecutor::ExplainAnalyzeProject(
   {
     obs::Span root = out.trace->RootSpan();
     TOSS_ASSIGN_OR_RETURN(
-        out.trees, ProjectImpl(collection, pattern, pl, &out.stats, &root));
+        out.trees, ProjectImpl(collection, pattern, pl, DefaultOptions(),
+                               &out.stats, &root));
   }
   return out;
 }
@@ -748,8 +838,8 @@ Result<ExplainResult> QueryExecutor::ExplainAnalyzeGroupBy(
   {
     obs::Span root = out.trace->RootSpan();
     TOSS_ASSIGN_OR_RETURN(
-        out.trees,
-        GroupByImpl(collection, pattern, group_label, sl, &out.stats, &root));
+        out.trees, GroupByImpl(collection, pattern, group_label, sl,
+                               DefaultOptions(), &out.stats, &root));
   }
   return out;
 }
@@ -762,7 +852,8 @@ Result<ExplainResult> QueryExecutor::ExplainAnalyzeJoin(
   {
     obs::Span root = out.trace->RootSpan();
     TOSS_ASSIGN_OR_RETURN(
-        out.trees, JoinImpl(left, right, pattern, sl, &out.stats, &root));
+        out.trees, JoinImpl(left, right, pattern, sl, DefaultOptions(),
+                            &out.stats, &root));
   }
   return out;
 }

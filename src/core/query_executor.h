@@ -14,18 +14,37 @@
 // The same executor runs the TAX baseline: construct it without an SEO and
 // conditions degrade to exact / "contains" matching (TaxSemantics), with no
 // term expansion in phase (i).
+//
+// Thread safety: one executor serves concurrent queries. The SEO and
+// type-system reachability caches are frozen at construction, per-query
+// state (stats, spans, candidate lists, result parts) lives on the calling
+// thread's stack, and the store's decoded-tree cache is internally locked.
+// The per-request knobs -- parallelism, cancellation/deadline token,
+// prepared-rewrite cache -- travel in QueryOptions, not in executor state.
+// The one shared mutable resource, the worker pool, is claimed per query
+// with a try-lock: the query that gets it fans out, concurrent ones run
+// their loops inline (identical answers either way).
+//
+// service::TossService is the intended front door for multi-client use; it
+// adds admission control, deadlines, and the prepared-query cache around
+// this class. The 8 per-operator entry points below (Select/Project/
+// GroupBy/Join x plain/ExplainAnalyze) are retained as thin wrappers over
+// the QueryOptions path and are deprecated for new callers.
 
 #ifndef TOSS_CORE_QUERY_EXECUTOR_H_
 #define TOSS_CORE_QUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/worker_pool.h"
+#include "core/prepared_cache.h"
 #include "core/seo.h"
 #include "obs/trace.h"
 #include "core/seo_semantics.h"
@@ -45,8 +64,28 @@ struct ExecStats {
   size_t expanded_terms = 0;   ///< total SEO expansion fan-out
   size_t candidate_docs = 0;   ///< documents surviving phase (ii)
   size_t result_trees = 0;
+  size_t prepared_cache_hits = 0;  ///< phase (i) rewrites served from cache
 
   double TotalMs() const { return rewrite_ms + store_ms + eval_ms; }
+};
+
+/// Per-request execution knobs. Everything here is scoped to one query
+/// call, so concurrent queries on one executor never observe each other's
+/// settings.
+struct QueryOptions {
+  /// Phase (iii) fan-out width (1 = inline). The pool is shared: when
+  /// another query holds it, this query's loops run inline instead --
+  /// answers are identical either way.
+  size_t parallelism = 1;
+
+  /// Checked between phases and once per document inside the eval loops;
+  /// a fired token aborts with Cancelled / DeadlineExceeded and whatever
+  /// stats accumulated so far. Null = never cancelled. Caller-owned.
+  const CancelToken* cancel = nullptr;
+
+  /// Phase (i) memo (see PreparedQueryCache). Null = rewrite every time.
+  /// Caller-owned; the owner must Clear() it when the SEO changes.
+  PreparedQueryCache* prepared = nullptr;
 };
 
 /// What an ExplainAnalyze* call returns: the operator's answer (identical
@@ -68,30 +107,47 @@ class QueryExecutor {
  public:
   /// `seo == nullptr` selects the TAX baseline. `types` may be null only
   /// when `seo` is null. All pointers must outlive the executor.
+  ///
+  /// Construction freezes the shared read-only state: the SEO and
+  /// type-system reachability caches are warmed here, so queries -- from
+  /// any number of threads -- only ever read them.
+  ///
+  /// `default_parallelism` seeds the parallelism used by the legacy
+  /// (options-free) entry points; QueryOptions::parallelism overrides it
+  /// per request.
   QueryExecutor(const store::Database* db, const Seo* seo,
-                const TypeSystem* types);
+                const TypeSystem* types, size_t default_parallelism = 1);
 
-  /// Evaluates phase (iii) of every operator -- Select, Project, GroupBy
-  /// and both sides of Join -- across `threads` workers of a shared pool
-  /// (1 = sequential, the default). Answers are identical to the sequential
-  /// path, in the same order: work fans out per candidate document and
-  /// merges in document order. The SEO / type-system reachability caches
-  /// are frozen before fan-out, so shared state is read-only. Not
-  /// thread-safe against concurrent queries on the same executor.
+  /// Sets the default parallelism used by the legacy entry points.
+  /// DEPRECATED: prefer QueryOptions::parallelism (per request) or the
+  /// constructor argument. The setter itself is atomic and safe to call
+  /// concurrently; queries already in flight keep the width they started
+  /// with.
   void SetParallelism(size_t threads);
-  size_t parallelism() const { return parallelism_; }
+  size_t parallelism() const {
+    return parallelism_.load(std::memory_order_relaxed);
+  }
+
+  // --- Unified per-request path (the new API) ------------------------------
+  //
+  // service::TossService routes every QueryRequest through these. `parent`
+  // (optional) attaches the per-phase trace spans to a caller-owned trace.
 
   /// sigma_{P,SL} over one collection.
   Result<tax::TreeCollection> Select(const std::string& collection,
                                      const tax::PatternTree& pattern,
                                      const std::vector<int>& sl,
-                                     ExecStats* stats = nullptr) const;
+                                     const QueryOptions& options,
+                                     ExecStats* stats = nullptr,
+                                     obs::Span* parent = nullptr) const;
 
   /// pi_{P,PL} over one collection.
   Result<tax::TreeCollection> Project(const std::string& collection,
                                       const tax::PatternTree& pattern,
                                       const std::vector<tax::ProjectItem>& pl,
-                                      ExecStats* stats = nullptr) const;
+                                      const QueryOptions& options,
+                                      ExecStats* stats = nullptr,
+                                      obs::Span* parent = nullptr) const;
 
   /// Grouping over one collection: witness trees of `pattern` partitioned
   /// by the content of the `group_label` node (tax::GroupBy).
@@ -99,11 +155,40 @@ class QueryExecutor {
                                       const tax::PatternTree& pattern,
                                       int group_label,
                                       const std::vector<int>& sl,
-                                      ExecStats* stats = nullptr) const;
+                                      const QueryOptions& options,
+                                      ExecStats* stats = nullptr,
+                                      obs::Span* parent = nullptr) const;
 
   /// Join of two collections: `pattern`'s root must be the product root
   /// (tag tax_prod_root); its first child subtree constrains `left`, its
   /// second constrains `right` (paper Example 13).
+  Result<tax::TreeCollection> Join(const std::string& left,
+                                   const std::string& right,
+                                   const tax::PatternTree& pattern,
+                                   const std::vector<int>& sl,
+                                   const QueryOptions& options,
+                                   ExecStats* stats = nullptr,
+                                   obs::Span* parent = nullptr) const;
+
+  // --- Legacy per-operator entry points ------------------------------------
+  //
+  // DEPRECATED: thin wrappers over the QueryOptions path, kept for
+  // existing callers; results are identical (golden-tested). New code
+  // should go through service::TossService or pass QueryOptions.
+
+  Result<tax::TreeCollection> Select(const std::string& collection,
+                                     const tax::PatternTree& pattern,
+                                     const std::vector<int>& sl,
+                                     ExecStats* stats = nullptr) const;
+  Result<tax::TreeCollection> Project(const std::string& collection,
+                                      const tax::PatternTree& pattern,
+                                      const std::vector<tax::ProjectItem>& pl,
+                                      ExecStats* stats = nullptr) const;
+  Result<tax::TreeCollection> GroupBy(const std::string& collection,
+                                      const tax::PatternTree& pattern,
+                                      int group_label,
+                                      const std::vector<int>& sl,
+                                      ExecStats* stats = nullptr) const;
   Result<tax::TreeCollection> Join(const std::string& left,
                                    const std::string& right,
                                    const tax::PatternTree& pattern,
@@ -114,7 +199,8 @@ class QueryExecutor {
   /// plain entry point) while recording a trace tree -- per-phase spans
   /// (rewrite, store_scan, eval) with wall time and annotations for
   /// expansion fan-out, candidate counts, index-pruning ratios, and
-  /// decoded-tree cache hits/misses.
+  /// decoded-tree cache hits/misses. DEPRECATED like the plain wrappers:
+  /// QueryRequest::collect_trace is the service-path equivalent.
   Result<ExplainResult> ExplainAnalyzeSelect(const std::string& collection,
                                              const tax::PatternTree& pattern,
                                              const std::vector<int>& sl) const;
@@ -151,53 +237,68 @@ class QueryExecutor {
                               const tax::PatternTree& pattern) const;
 
  private:
-  // The *Impl functions are the single code path behind both the plain and
-  // the ExplainAnalyze entry points: plain calls pass `parent == nullptr`,
-  // which disables every span for the cost of one branch (obs::Span's
+  // The *Impl functions are the single code path behind every entry point:
+  // options-free wrappers pass default QueryOptions at the executor's
+  // default parallelism, plain calls pass `parent == nullptr`, which
+  // disables every span for the cost of one branch (obs::Span's
   // null-parent convention).
   Result<tax::TreeCollection> SelectImpl(const std::string& collection,
                                          const tax::PatternTree& pattern,
                                          const std::vector<int>& sl,
+                                         const QueryOptions& options,
                                          ExecStats* stats,
                                          obs::Span* parent) const;
   Result<tax::TreeCollection> ProjectImpl(
       const std::string& collection, const tax::PatternTree& pattern,
-      const std::vector<tax::ProjectItem>& pl, ExecStats* stats,
-      obs::Span* parent) const;
+      const std::vector<tax::ProjectItem>& pl, const QueryOptions& options,
+      ExecStats* stats, obs::Span* parent) const;
   Result<tax::TreeCollection> GroupByImpl(const std::string& collection,
                                           const tax::PatternTree& pattern,
                                           int group_label,
                                           const std::vector<int>& sl,
+                                          const QueryOptions& options,
                                           ExecStats* stats,
                                           obs::Span* parent) const;
   Result<tax::TreeCollection> JoinImpl(const std::string& left,
                                        const std::string& right,
                                        const tax::PatternTree& pattern,
                                        const std::vector<int>& sl,
+                                       const QueryOptions& options,
                                        ExecStats* stats,
                                        obs::Span* parent) const;
 
+  /// Phases (i) + (ii), with the phase (i) rewrite served from
+  /// `options.prepared` when possible and the cancel token checked between
+  /// store queries.
   Result<std::vector<store::DocId>> CandidateDocs(
       const store::Collection& coll, const tax::PatternTree& pattern,
-      const std::vector<int>& labels, ExecStats* stats,
-      obs::Span* parent) const;
+      const std::vector<int>& labels, const QueryOptions& options,
+      ExecStats* stats, obs::Span* parent) const;
 
-  /// Runs fn(0) .. fn(n-1), over the shared worker pool when parallelism
-  /// and `n` warrant it, inline otherwise. Returns the first error; the
-  /// pool aborts remaining work on failure.
-  Status RunPerDoc(size_t n, const std::function<Status(size_t)>& fn) const;
+  /// Runs fn(0) .. fn(n-1) with a per-index cancellation check -- over the
+  /// shared worker pool when `options.parallelism` and `n` warrant it AND
+  /// the pool is free (one fan-out at a time; concurrent queries fall back
+  /// to the inline loop). Returns the first error; the pool aborts
+  /// remaining work on failure.
+  Status RunPerDoc(size_t n, const std::function<Status(size_t)>& fn,
+                   const QueryOptions& options) const;
 
-  /// The shared pool, created lazily at the current parallelism.
-  WorkerPool& Pool() const;
-
-  void WarmCaches() const;
+  /// The legacy wrappers' options: default parallelism, no token, no cache.
+  QueryOptions DefaultOptions() const {
+    QueryOptions o;
+    o.parallelism = parallelism();
+    return o;
+  }
 
   const store::Database* db_;
   const Seo* seo_;
   const TypeSystem* types_;
-  size_t parallelism_ = 1;
+  std::atomic<size_t> parallelism_{1};
   tax::TaxSemantics tax_semantics_;
   SeoSemantics seo_semantics_;
+  // The shared pool. pool_mu_ doubles as the fan-out claim: RunPerDoc
+  // try-locks it, and only the holder touches pool_ (rebuilt when the
+  // requested width changes).
   mutable std::mutex pool_mu_;
   mutable std::unique_ptr<WorkerPool> pool_;  ///< guarded by pool_mu_
 };

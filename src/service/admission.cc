@@ -1,0 +1,99 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace toss::service {
+
+namespace {
+
+struct AdmissionMetrics {
+  obs::Gauge& inflight = obs::Metrics().GetGauge("service.inflight");
+  obs::Gauge& queue_depth = obs::Metrics().GetGauge("service.queue_depth");
+  obs::Counter& admitted = obs::Metrics().GetCounter("service.admitted");
+  obs::Counter& shed = obs::Metrics().GetCounter("service.shed");
+  obs::Histogram& queue_wait_ns =
+      obs::Metrics().GetHistogram("service.queue_wait_ns");
+};
+
+AdmissionMetrics& Instruments() {
+  static AdmissionMetrics* m = new AdmissionMetrics();
+  return *m;
+}
+
+/// Slice length for queue waits: tokens without deadlines can only fire
+/// via Cancel(), which no condition variable observes, so queued waiters
+/// re-check the token at this cadence.
+constexpr std::chrono::milliseconds kWaitSlice(20);
+
+}  // namespace
+
+AdmissionController::AdmissionController(size_t max_inflight,
+                                         size_t max_queue)
+    : max_inflight_(std::max<size_t>(1, max_inflight)),
+      max_queue_(max_queue) {}
+
+Status AdmissionController::Acquire(const CancelToken* cancel) {
+  AdmissionMetrics& m = Instruments();
+  Timer wait_timer;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ >= max_inflight_) {
+    if (queued_ >= max_queue_) {
+      m.shed.Increment();
+      return Status::ResourceExhausted(
+          "query service saturated: " + std::to_string(inflight_) +
+          " inflight, " + std::to_string(queued_) + " queued");
+    }
+    ++queued_;
+    m.queue_depth.Set(static_cast<int64_t>(queued_));
+    while (inflight_ >= max_inflight_) {
+      Status s = CheckCancel(cancel);
+      if (!s.ok()) {
+        --queued_;
+        m.queue_depth.Set(static_cast<int64_t>(queued_));
+        return s;
+      }
+      if (cancel != nullptr && cancel->has_deadline()) {
+        slot_free_.wait_until(
+            lock, std::min(cancel->deadline(),
+                           CancelToken::Clock::now() + kWaitSlice));
+      } else if (cancel != nullptr) {
+        slot_free_.wait_for(lock, kWaitSlice);
+      } else {
+        slot_free_.wait(lock);
+      }
+    }
+    --queued_;
+    m.queue_depth.Set(static_cast<int64_t>(queued_));
+  }
+  ++inflight_;
+  m.inflight.Set(static_cast<int64_t>(inflight_));
+  m.admitted.Increment();
+  m.queue_wait_ns.Record(static_cast<uint64_t>(wait_timer.ElapsedNanos()));
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  AdmissionMetrics& m = Instruments();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    m.inflight.Set(static_cast<int64_t>(inflight_));
+  }
+  slot_free_.notify_one();
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace toss::service

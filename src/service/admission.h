@@ -1,0 +1,62 @@
+// Admission control for the query service: a max-inflight semaphore with a
+// bounded wait queue (DESIGN.md §11 "Service layer").
+//
+// A request is either admitted immediately (an inflight slot is free),
+// queued (bounded; FIFO by condition-variable wakeup), or shed with
+// ResourceExhausted when the queue is full -- overload turns into fast,
+// explicit rejections instead of unbounded latency. Queued requests give up
+// with DeadlineExceeded / Cancelled when their token fires before a slot
+// frees up, so a stuck queue cannot strand callers past their deadlines.
+//
+// Observability: `service.inflight` / `service.queue_depth` gauges,
+// `service.shed` / `service.deadline_exceeded` counters, and the
+// `service.queue_wait_ns` histogram (recorded for every admitted request,
+// including un-queued ones -- their wait is ~0, keeping the histogram's
+// population meaningful as a per-request distribution).
+
+#ifndef TOSS_SERVICE_ADMISSION_H_
+#define TOSS_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/cancel.h"
+#include "common/status.h"
+
+namespace toss::service {
+
+class AdmissionController {
+ public:
+  /// `max_inflight` concurrent requests (clamped >= 1); up to `max_queue`
+  /// more may wait (0 = shed immediately when saturated).
+  AdmissionController(size_t max_inflight, size_t max_queue);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until an inflight slot is acquired. Returns OK (slot held --
+  /// pair with Release()), ResourceExhausted (queue full, request shed),
+  /// or the token's error when `cancel` fires while queued. Null `cancel`
+  /// waits indefinitely.
+  Status Acquire(const CancelToken* cancel);
+
+  /// Returns a slot acquired by Acquire.
+  void Release();
+
+  size_t inflight() const;
+  size_t queued() const;
+
+ private:
+  const size_t max_inflight_;
+  const size_t max_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  size_t inflight_ = 0;
+  size_t queued_ = 0;
+};
+
+}  // namespace toss::service
+
+#endif  // TOSS_SERVICE_ADMISSION_H_

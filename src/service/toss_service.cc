@@ -1,0 +1,200 @@
+#include "service/toss_service.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace toss::service {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter& requests = obs::Metrics().GetCounter("service.requests");
+  obs::Counter& ok = obs::Metrics().GetCounter("service.ok");
+  obs::Counter& errors = obs::Metrics().GetCounter("service.errors");
+  obs::Counter& deadline_exceeded =
+      obs::Metrics().GetCounter("service.deadline_exceeded");
+  obs::Counter& cancelled = obs::Metrics().GetCounter("service.cancelled");
+  obs::Counter& seo_swaps = obs::Metrics().GetCounter("service.seo_swaps");
+  obs::Histogram& run_ns =
+      obs::Metrics().GetHistogram("service.run_latency_ns");
+};
+
+ServiceMetrics& Instruments() {
+  static ServiceMetrics* m = new ServiceMetrics();
+  return *m;
+}
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+QueryRequest QueryRequest::Select(std::string collection,
+                                  tax::PatternTree pattern,
+                                  std::vector<int> sl) {
+  QueryRequest r;
+  r.op = SelectSpec{std::move(collection), std::move(pattern), std::move(sl)};
+  return r;
+}
+
+QueryRequest QueryRequest::Project(std::string collection,
+                                   tax::PatternTree pattern,
+                                   std::vector<tax::ProjectItem> pl) {
+  QueryRequest r;
+  r.op = ProjectSpec{std::move(collection), std::move(pattern), std::move(pl)};
+  return r;
+}
+
+QueryRequest QueryRequest::GroupBy(std::string collection,
+                                   tax::PatternTree pattern, int group_label,
+                                   std::vector<int> sl) {
+  QueryRequest r;
+  r.op = GroupBySpec{std::move(collection), std::move(pattern), group_label,
+                     std::move(sl)};
+  return r;
+}
+
+QueryRequest QueryRequest::Join(std::string left, std::string right,
+                                tax::PatternTree pattern,
+                                std::vector<int> sl) {
+  QueryRequest r;
+  r.op = JoinSpec{std::move(left), std::move(right), std::move(pattern),
+                  std::move(sl)};
+  return r;
+}
+
+std::string QueryRequest::OpName() const {
+  return std::visit(
+      Overloaded{
+          [](const SelectSpec& s) { return "select(" + s.collection + ")"; },
+          [](const ProjectSpec& s) { return "project(" + s.collection + ")"; },
+          [](const GroupBySpec& s) { return "groupby(" + s.collection + ")"; },
+          [](const JoinSpec& s) {
+            return "join(" + s.left + "," + s.right + ")";
+          },
+      },
+      op);
+}
+
+TossService::TossService(const store::Database* db, const core::Seo* seo,
+                         const core::TypeSystem* types,
+                         ServiceOptions options)
+    : db_(db),
+      types_(types),
+      options_(options),
+      admission_(options.max_inflight, options.max_queue),
+      prepared_(options.prepared_cache_capacity),
+      executor_(std::make_unique<core::QueryExecutor>(
+          db, seo, types, options.default_parallelism)) {}
+
+Status TossService::Dispatch(const QueryRequest& request,
+                             const core::QueryOptions& qopts,
+                             QueryResponse* resp, obs::Span* parent) {
+  const core::QueryExecutor& exec = *executor_;
+  Result<tax::TreeCollection> r = std::visit(
+      Overloaded{
+          [&](const SelectSpec& s) {
+            return exec.Select(s.collection, s.pattern, s.sl, qopts,
+                               &resp->stats, parent);
+          },
+          [&](const ProjectSpec& s) {
+            return exec.Project(s.collection, s.pattern, s.pl, qopts,
+                                &resp->stats, parent);
+          },
+          [&](const GroupBySpec& s) {
+            return exec.GroupBy(s.collection, s.pattern, s.group_label, s.sl,
+                                qopts, &resp->stats, parent);
+          },
+          [&](const JoinSpec& s) {
+            return exec.Join(s.left, s.right, s.pattern, s.sl, qopts,
+                             &resp->stats, parent);
+          },
+      },
+      request.op);
+  if (!r.ok()) return r.status();
+  resp->trees = std::move(r).value();
+  return Status::OK();
+}
+
+QueryResponse TossService::Run(const QueryRequest& request) {
+  ServiceMetrics& m = Instruments();
+  m.requests.Increment();
+  QueryResponse resp;
+
+  // The effective token: the caller's (optional), wrapped with the
+  // request's deadline when one is set.
+  const CancelToken* effective = request.cancel;
+  std::optional<CancelToken> deadline_token;
+  if (request.deadline_ms > 0) {
+    deadline_token.emplace(
+        CancelToken::Clock::now() +
+            std::chrono::milliseconds(request.deadline_ms),
+        request.cancel);
+    effective = &*deadline_token;
+  }
+
+  Timer wait_timer;
+  Status admitted = admission_.Acquire(effective);
+  resp.queue_wait_ms = wait_timer.ElapsedMillis();
+  if (!admitted.ok()) {
+    resp.status = std::move(admitted);
+    m.errors.Increment();
+    if (resp.status.IsDeadlineExceeded()) m.deadline_exceeded.Increment();
+    if (resp.status.IsCancelled()) m.cancelled.Increment();
+    return resp;
+  }
+
+  Timer run_timer;
+  {
+    // Shared-lock the executor so SwapSeo cannot replace it mid-query.
+    std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
+    core::QueryOptions qopts;
+    qopts.parallelism = request.parallelism > 0
+                            ? request.parallelism
+                            : options_.default_parallelism;
+    qopts.cancel = effective;
+    qopts.prepared = &prepared_;
+    if (request.collect_trace) {
+      resp.trace = std::make_unique<obs::Trace>(request.OpName());
+      obs::Span root = resp.trace->RootSpan();
+      resp.status = Dispatch(request, qopts, &resp, &root);
+    } else {
+      resp.status = Dispatch(request, qopts, &resp, nullptr);
+    }
+  }
+  admission_.Release();
+
+  m.run_ns.Record(static_cast<uint64_t>(run_timer.ElapsedNanos()));
+  resp.prepared_cache_hit = resp.stats.prepared_cache_hits > 0;
+  if (resp.status.ok()) {
+    m.ok.Increment();
+  } else {
+    m.errors.Increment();
+    if (resp.status.IsDeadlineExceeded()) m.deadline_exceeded.Increment();
+    if (resp.status.IsCancelled()) m.cancelled.Increment();
+  }
+  return resp;
+}
+
+Status TossService::SwapSeo(const core::Seo* seo) {
+  if (seo != nullptr && types_ == nullptr) {
+    return Status::InvalidArgument(
+        "SwapSeo: a type system is required to serve TOSS queries");
+  }
+  std::unique_lock<std::shared_mutex> exec_lock(exec_mu_);
+  executor_ = std::make_unique<core::QueryExecutor>(
+      db_, seo, types_, options_.default_parallelism);
+  prepared_.Clear();
+  Instruments().seo_swaps.Increment();
+  return Status::OK();
+}
+
+}  // namespace toss::service

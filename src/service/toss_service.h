@@ -1,0 +1,190 @@
+// TossService: the concurrent front door of the query engine (DESIGN.md
+// §11 "Service layer & unified query API").
+//
+// The paper's Query Executor (Section 3, component 3) is the component a
+// TOSS deployment puts behind a server; this class is that server-side
+// surface. It owns the executor over a Database + SEO + TypeSystem and
+// serves any number of client threads through ONE entry point:
+//
+//   service::TossService svc(&db, &seo, &types);
+//   service::QueryResponse resp =
+//       svc.Run(service::QueryRequest::Select("dblp", pattern, {1}));
+//   if (resp.ok()) use(resp.trees);
+//
+// A QueryRequest names the algebra operator (a variant over Select /
+// Project / GroupBy / Join specs) plus per-request options -- deadline_ms,
+// collect_trace, parallelism, an optional external CancelToken. The
+// response carries the answer trees, the per-phase ExecStats, the trace
+// tree when requested, and a Status that makes overload and lateness
+// explicit: ResourceExhausted when admission control shed the request,
+// DeadlineExceeded / Cancelled when its token fired mid-query (stats hold
+// whatever phases completed).
+//
+// Around the single request path sit the production pieces:
+//   * admission control  -- max-inflight semaphore + bounded wait queue
+//     (AdmissionController; `service.*` metrics);
+//   * cooperative deadlines -- a per-request CancelToken threaded through
+//     the executor's phases and per-document loops;
+//   * a prepared-query cache -- phase (i) rewrites memoized by canonical
+//     pattern hash, invalidated by SwapSeo.
+//
+// The 8 per-operator QueryExecutor entry points remain as deprecated thin
+// wrappers for embedded callers; everything multi-client should come
+// through here.
+
+#ifndef TOSS_SERVICE_TOSS_SERVICE_H_
+#define TOSS_SERVICE_TOSS_SERVICE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/cancel.h"
+#include "core/prepared_cache.h"
+#include "core/query_executor.h"
+#include "service/admission.h"
+
+namespace toss::service {
+
+// --- Request ---------------------------------------------------------------
+
+struct SelectSpec {
+  std::string collection;
+  tax::PatternTree pattern;
+  std::vector<int> sl;
+};
+
+struct ProjectSpec {
+  std::string collection;
+  tax::PatternTree pattern;
+  std::vector<tax::ProjectItem> pl;
+};
+
+struct GroupBySpec {
+  std::string collection;
+  tax::PatternTree pattern;
+  int group_label = 0;
+  std::vector<int> sl;
+};
+
+struct JoinSpec {
+  std::string left;
+  std::string right;
+  tax::PatternTree pattern;
+  std::vector<int> sl;
+};
+
+/// One query: which operator to run, and how to run it.
+struct QueryRequest {
+  std::variant<SelectSpec, ProjectSpec, GroupBySpec, JoinSpec> op;
+
+  /// Wall-clock budget from admission to answer; 0 = none. Expired
+  /// requests fail with DeadlineExceeded, in the queue or mid-phase.
+  uint64_t deadline_ms = 0;
+
+  /// Record a per-phase trace tree into QueryResponse::trace (the EXPLAIN
+  /// ANALYZE path; same answers, same code path).
+  bool collect_trace = false;
+
+  /// Phase (iii) fan-out width; 0 = the service's default_parallelism.
+  size_t parallelism = 0;
+
+  /// Optional caller-owned cancellation, observed alongside the deadline.
+  /// Must outlive the Run call.
+  const CancelToken* cancel = nullptr;
+
+  static QueryRequest Select(std::string collection,
+                             tax::PatternTree pattern, std::vector<int> sl);
+  static QueryRequest Project(std::string collection, tax::PatternTree pattern,
+                              std::vector<tax::ProjectItem> pl);
+  static QueryRequest GroupBy(std::string collection, tax::PatternTree pattern,
+                              int group_label, std::vector<int> sl);
+  static QueryRequest Join(std::string left, std::string right,
+                           tax::PatternTree pattern, std::vector<int> sl);
+
+  /// "select(dblp)", "join(dblp,sigmod)", ... (trace root / log label).
+  std::string OpName() const;
+};
+
+// --- Response --------------------------------------------------------------
+
+struct QueryResponse {
+  /// OK, or why there is no (complete) answer: ResourceExhausted (shed at
+  /// admission), DeadlineExceeded / Cancelled (token fired while queued or
+  /// mid-phase; `stats` holds the completed phases), or any error the
+  /// operator itself produced (NotFound, TypeError, ...).
+  Status status;
+
+  tax::TreeCollection trees;
+  core::ExecStats stats;
+
+  /// The trace tree when the request set collect_trace and was admitted.
+  std::unique_ptr<obs::Trace> trace;
+
+  /// True when phase (i) was served from the prepared-query cache.
+  bool prepared_cache_hit = false;
+
+  /// Time spent waiting for an inflight slot (0 when admitted directly).
+  double queue_wait_ms = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+// --- Service ---------------------------------------------------------------
+
+struct ServiceOptions {
+  size_t max_inflight = 4;   ///< concurrent queries (clamped >= 1)
+  size_t max_queue = 16;     ///< waiters beyond that before shedding
+  size_t default_parallelism = 1;  ///< per-query fan-out when unset
+  size_t prepared_cache_capacity = 512;
+};
+
+class TossService {
+ public:
+  /// `seo == nullptr` serves the TAX baseline (then `types` may be null
+  /// too). All pointers must outlive the service.
+  TossService(const store::Database* db, const core::Seo* seo,
+              const core::TypeSystem* types, ServiceOptions options = {});
+
+  TossService(const TossService&) = delete;
+  TossService& operator=(const TossService&) = delete;
+
+  /// Serves one request. Safe to call from any number of threads; answers
+  /// are identical to running the operator sequentially on a private
+  /// executor (stress-tested in tests/service_test.cc).
+  QueryResponse Run(const QueryRequest& request);
+
+  /// Replaces the SEO the service queries through (e.g. after an offline
+  /// rebuild at a new epsilon) and invalidates the prepared-query cache.
+  /// Blocks until inflight queries drain; queries admitted afterwards see
+  /// the new SEO. `seo != nullptr` requires a type system.
+  Status SwapSeo(const core::Seo* seo);
+
+  core::PreparedQueryCache::Stats PreparedCacheStats() const {
+    return prepared_.GetStats();
+  }
+  size_t inflight() const { return admission_.inflight(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Status Dispatch(const QueryRequest& request,
+                  const core::QueryOptions& qopts, QueryResponse* resp,
+                  obs::Span* parent);
+
+  const store::Database* db_;
+  const core::TypeSystem* types_;
+  ServiceOptions options_;
+  AdmissionController admission_;
+  core::PreparedQueryCache prepared_;
+
+  /// Guards executor_ swaps: Run holds it shared for the query's duration,
+  /// SwapSeo exclusively.
+  mutable std::shared_mutex exec_mu_;
+  std::unique_ptr<core::QueryExecutor> executor_;
+};
+
+}  // namespace toss::service
+
+#endif  // TOSS_SERVICE_TOSS_SERVICE_H_

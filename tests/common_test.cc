@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -38,10 +41,26 @@ TEST(StatusTest, EveryCodeHasDistinctName) {
         StatusCode::kAlreadyExists, StatusCode::kParseError,
         StatusCode::kTypeError, StatusCode::kInconsistent,
         StatusCode::kIOError, StatusCode::kInternal,
-        StatusCode::kUnsupported}) {
+        StatusCode::kUnsupported, StatusCode::kUnavailable,
+        StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled}) {
     names.insert(StatusCodeName(c));
   }
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 14u);
+}
+
+TEST(StatusTest, ServiceCodes) {
+  Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_EQ(shed.ToString(), "ResourceExhausted: queue full");
+
+  Status late = Status::DeadlineExceeded("too slow");
+  EXPECT_TRUE(late.IsDeadlineExceeded());
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+
+  Status gone = Status::Cancelled("caller hung up");
+  EXPECT_TRUE(gone.IsCancelled());
+  EXPECT_FALSE(gone.IsDeadlineExceeded());
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
@@ -78,6 +97,46 @@ TEST(ResultTest, AssignOrReturnUnwraps) {
   };
   EXPECT_EQ(*use(false), 1);
   EXPECT_TRUE(use(true).status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrMovesFromRvalueResult) {
+  auto make = [](bool ok) -> Result<std::vector<int>> {
+    if (ok) return std::vector<int>{1, 2, 3};
+    return Status::NotFound("nope");
+  };
+  EXPECT_EQ(make(true).value_or({}).size(), 3u);
+  EXPECT_EQ(make(false).value_or({9}).size(), 1u);
+
+  // The lvalue overload leaves the Result usable.
+  Result<std::string> r = std::string("keep");
+  EXPECT_EQ(r.value_or("fallback"), "keep");
+  EXPECT_EQ(*r, "keep");
+}
+
+TEST(CancelTokenTest, PlainTokenNeverFiresUntilCancelled) {
+  CancelToken t;
+  EXPECT_TRUE(t.Check().ok());
+  EXPECT_TRUE(CheckCancel(&t).ok());
+  EXPECT_TRUE(CheckCancel(nullptr).ok());
+  t.Cancel();
+  EXPECT_TRUE(t.Check().IsCancelled());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineIsDeadlineExceeded) {
+  CancelToken t(CancelToken::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(t.Check().IsDeadlineExceeded());
+
+  CancelToken future = CancelToken::AfterMillis(60'000);
+  EXPECT_TRUE(future.Check().ok());
+  EXPECT_TRUE(future.has_deadline());
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagates) {
+  CancelToken parent;
+  CancelToken child = CancelToken::AfterMillis(60'000, &parent);
+  EXPECT_TRUE(child.Check().ok());
+  parent.Cancel();
+  EXPECT_TRUE(child.Check().IsCancelled());
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/toss.h"
 #include "data/bib_generator.h"
 #include "data/workload.h"
@@ -211,6 +215,39 @@ TEST_F(ParallelExecTest, WorkerErrorAbortsPoolAndMatchesSequentialError) {
   ASSERT_FALSE(rp.ok());
   EXPECT_EQ(rs.status().code(), rp.status().code());
   EXPECT_EQ(rs.status().message(), rp.status().message());
+}
+
+TEST_F(ParallelExecTest, ConcurrentQueriesOnOneExecutorMatchSequential) {
+  // One executor, many client threads: construction froze the shared
+  // read-only state, so concurrent Select calls must return exactly the
+  // sequential answers (the service layer's core guarantee).
+  QueryExecutor exec(&db_, &seo_, &types_);
+  std::vector<tax::TreeCollection> want;
+  for (const auto& q : queries_) {
+    auto r = exec.Select("dblp", q.pattern, q.sl, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status();
+    want.push_back(std::move(r).value());
+  }
+  constexpr size_t kThreads = 4;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (size_t qi = 0; qi < queries_.size(); ++qi) {
+        auto r = exec.Select("dblp", queries_[qi].pattern, queries_[qi].sl,
+                             nullptr);
+        if (!r.ok() || r->size() != want[qi].size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < want[qi].size(); ++i) {
+          if (!(*r)[i].Equals(want[qi][i])) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(failures.load(), 0u);
 }
 
 TEST_F(ParallelExecTest, RepeatedQueriesHitTheDecodedTreeCache) {
