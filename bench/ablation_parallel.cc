@@ -10,14 +10,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "common/timer.h"
 
 using namespace toss;
 
 int main() {
   const bool smoke = bench::SmokeMode();
   const size_t papers = smoke ? 300 : 6000;
-  const int runs = smoke ? 1 : 5;
 
   data::BibConfig cfg;
   cfg.seed = 21;
@@ -52,21 +50,17 @@ int main() {
   for (size_t threads : thread_counts) {
     core::QueryExecutor exec(&db, &seo, &types);
     exec.SetParallelism(threads);
-    // Warm once (fills the decoded-tree cache), then take the median.
+    // Warm once (fills the decoded-tree cache), then let the adaptive
+    // driver pick the repetition count for a stable median.
     bench::CheckOk(exec.Select("dblp", pattern, {1}, nullptr).status(),
                    "warmup");
-    std::vector<double> times;
-    for (int run = 0; run < runs; ++run) {
-      Timer timer;
-      auto r = exec.Select("dblp", pattern, {1}, nullptr);
-      bench::CheckOk(r.status(), "select");
-      times.push_back(timer.ElapsedMillis());
-    }
-    double median = bench::Median(times);
+    double median = bench::MeasureAdaptiveMs(
+        "ablation_parallel/select_" + std::to_string(threads) + "t", [&] {
+          bench::CheckOk(exec.Select("dblp", pattern, {1}, nullptr).status(),
+                         "select");
+        });
     if (threads == 1) base_ms = median;
     std::printf("%8zu %10.2f %8.2fx\n", threads, median, base_ms / median);
-    bench::RecordBenchMs(
-        "ablation_parallel/select_" + std::to_string(threads) + "t", median);
     if (threads == 4) {
       bench::RecordBenchMs("ablation_parallel/speedup_4t",
                            base_ms / median);

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/timer.h"
 #include "obs/metrics.h"
 #include "service/toss_service.h"
 
@@ -38,9 +39,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR5.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR6.json";
 #else
-  return "BENCH_PR5.json";
+  return "BENCH_PR6.json";
 #endif
 }
 
@@ -123,6 +124,29 @@ void RecordBenchMs(const std::string& name, double median_ms) {
   }();
   (void)flush_registered;
   MergeIntoBenchJson({{name, median_ms}});
+}
+
+double MeasureAdaptiveMs(const std::string& name,
+                         const std::function<void()>& body) {
+  constexpr double kNoisyThresholdMs = 50.0;
+  constexpr double kTargetTotalMs = 1000.0;
+  constexpr size_t kMaxReps = 31;
+  std::vector<double> samples;
+  double total_ms = 0;
+  while (true) {
+    Timer timer;
+    body();
+    const double ms = timer.ElapsedMillis();
+    samples.push_back(ms);
+    total_ms += ms;
+    if (SmokeMode()) break;
+    if (samples.size() == 1 && ms >= kNoisyThresholdMs) break;
+    if (total_ms >= kTargetTotalMs || samples.size() >= kMaxReps) break;
+  }
+  const double median = Median(samples);
+  RecordBenchMs(name, median);
+  RecordBenchMs("meta/reps/" + name, static_cast<double>(samples.size()));
+  return median;
 }
 
 ontology::Ontology CollectionOntology(const store::Database& db,

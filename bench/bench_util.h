@@ -5,6 +5,7 @@
 #ifndef TOSS_BENCH_BENCH_UTIL_H_
 #define TOSS_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,13 +28,25 @@ bool SmokeMode();
 
 /// Merges {`name`: `median_ms`} into the machine-readable bench report --
 /// a flat JSON object of bench name -> median wall milliseconds, written
-/// to BENCH_PR5.json at the repo root (override the path with the
+/// to BENCH_PR6.json at the repo root (override the path with the
 /// TOSS_BENCH_JSON environment variable). Re-recording a name overwrites
 /// its value; entries from other benches are preserved. At process exit
 /// the final obs::Metrics() snapshot is merged in too, as flat
 /// "metrics/<name>" keys (histograms flatten to count/mean_ms/p99_ms).
 /// No-op in smoke mode.
 void RecordBenchMs(const std::string& name, double median_ms);
+
+/// Times `body` with adaptive repetitions: one run if it takes >= 50 ms
+/// (single-shot medians of long runs are stable enough), otherwise `body`
+/// repeats until ~1 s of measured time has accumulated or 31 samples,
+/// whichever comes first, and the median of all samples is reported. This
+/// keeps sub-50 ms points (which a faster engine makes the common case)
+/// from being dominated by scheduler noise. Records the median under
+/// `name` via RecordBenchMs plus the sample count as "meta/reps/<name>",
+/// and returns the median. Smoke mode runs `body` exactly once and
+/// records nothing.
+double MeasureAdaptiveMs(const std::string& name,
+                         const std::function<void()>& body);
 
 /// Median of a small sample (by copy; benches pass 3-5 runs).
 double Median(std::vector<double> xs);

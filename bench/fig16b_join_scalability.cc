@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "common/timer.h"
 #include "service/toss_service.h"
 
 using namespace toss;
@@ -18,7 +17,7 @@ int main() {
   const bool smoke = bench::SmokeMode();
   const std::vector<size_t> kSizes =
       smoke ? std::vector<size_t>{50}
-            : std::vector<size_t>{100, 200, 400, 800};
+            : std::vector<size_t>{100, 200, 400, 800, 1600};
 
   data::BibConfig cfg;
   cfg.seed = 17;
@@ -49,11 +48,12 @@ int main() {
     size_t bytes = (*dblp)->ApproxByteSize() + (*sigmod)->ApproxByteSize();
 
     service::TossService tax_svc(&db, nullptr, nullptr);
-    Timer t1;
-    service::QueryResponse tax_r = tax_svc.Run(
-        service::QueryRequest::Join("dblp", "sigmod", pattern, {2, 4}));
-    bench::CheckOk(tax_r.status, "tax join");
-    double tax_ms = t1.ElapsedMillis();
+    double tax_ms = bench::MeasureAdaptiveMs(
+        "fig16b/tax_" + std::to_string(size), [&] {
+          service::QueryResponse r = tax_svc.Run(
+              service::QueryRequest::Join("dblp", "sigmod", pattern, {2, 4}));
+          bench::CheckOk(r.status, "tax join");
+        });
 
     ontology::Ontology donto =
         bench::CollectionOntology(db, "dblp", data::DblpContentTags());
@@ -69,16 +69,17 @@ int main() {
     auto seo = builder.Build();
     bench::CheckOk(seo.status(), "seo");
     service::TossService toss_svc(&db, &*seo, &types);
-    Timer t2;
-    service::QueryResponse toss_r = toss_svc.Run(
-        service::QueryRequest::Join("dblp", "sigmod", pattern, {2, 4}));
-    bench::CheckOk(toss_r.status, "toss join");
-    double toss_ms = t2.ElapsedMillis();
+    size_t toss_trees = 0;
+    double toss_ms = bench::MeasureAdaptiveMs(
+        "fig16b/toss_" + std::to_string(size), [&] {
+          service::QueryResponse r = toss_svc.Run(
+              service::QueryRequest::Join("dblp", "sigmod", pattern, {2, 4}));
+          bench::CheckOk(r.status, "toss join");
+          toss_trees = r.trees.size();
+        });
 
-    bench::RecordBenchMs("fig16b/tax_" + std::to_string(size), tax_ms);
-    bench::RecordBenchMs("fig16b/toss_" + std::to_string(size), toss_ms);
     std::printf("%8zu %12zu %10.2f %10.2f %10zu\n", size, bytes, tax_ms,
-                toss_ms, toss_r.trees.size());
+                toss_ms, toss_trees);
   }
   std::printf(
       "\nExpected shape: ~linear then super-linear at the largest point\n"

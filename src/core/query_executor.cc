@@ -1,14 +1,19 @@
 #include "core/query_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <set>
+#include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "tax/twig_join.h"
 
 namespace toss::core {
 
@@ -42,6 +47,23 @@ struct QueryMetrics {
       obs::Metrics().GetHistogram("core.query.store_latency_ns");
   obs::Histogram& eval_ns =
       obs::Metrics().GetHistogram("core.query.eval_latency_ns");
+  // Structural-join engine counters (see tax::TwigJoinStats).
+  obs::Counter& twig_joins =
+      obs::Metrics().GetCounter("core.query.join.twig.count");
+  obs::Counter& twig_fallbacks =
+      obs::Metrics().GetCounter("core.query.join.twig.fallbacks");
+  obs::Counter& twig_postings =
+      obs::Metrics().GetCounter("core.query.join.twig.postings_built");
+  obs::Counter& twig_advances =
+      obs::Metrics().GetCounter("core.query.join.twig.stream_advances");
+  obs::Counter& twig_pushes =
+      obs::Metrics().GetCounter("core.query.join.twig.stack_pushes");
+  obs::Counter& twig_pruned =
+      obs::Metrics().GetCounter("core.query.join.twig.pruned_subtrees");
+  obs::Counter& twig_pairs =
+      obs::Metrics().GetCounter("core.query.join.twig.pairs_scanned");
+  obs::Counter& twig_combos =
+      obs::Metrics().GetCounter("core.query.join.twig.combos_emitted");
 };
 
 QueryMetrics& Instruments() {
@@ -60,6 +82,95 @@ void AnnotateCacheDelta(obs::Span* span,
   span->Annotate("tree_cache_misses",
                  static_cast<uint64_t>(after.misses - before.misses));
 }
+
+/// Memoizing tax::SimilarOracle over Seo::Similar. Per distinct term, the
+/// ontology lookup, lowercase form, and similarity signature are computed
+/// once and shared across every pair comparison (and worker thread) of one
+/// join -- the structural merge compares the same handful of terms
+/// quadratically often. The verdict reproduces Seo::Similar exactly:
+///   raw equality -> enhanced-isa co-membership when BOTH terms are in the
+///   ontology (no fallthrough) -> measure fallback
+///   d(lower(x), lower(y)) <= epsilon.
+/// The signature prefilter only skips BoundedDistance calls whose result
+/// provably exceeds epsilon (SignatureLowerBound never exceeds the true
+/// distance, and BoundedDistance is contractually > bound there), so it
+/// cannot change the verdict.
+class SeoSimilarOracle final : public tax::SimilarOracle {
+ public:
+  explicit SeoSimilarOracle(const Seo* seo)
+      : seo_(seo), epsilon_(seo->epsilon()), has_measure_(seo->has_measure()) {
+    if (has_measure_) {
+      sim::StringSignature probe;
+      signatures_ = seo_->measure().ComputeSignature("", &probe);
+    }
+  }
+
+  bool Similar(const std::string& x, const std::string& y) const override {
+    if (x == y) return true;
+    const Prepared& px = Prep(x);
+    const Prepared& py = Prep(y);
+    if (!px.nodes.empty() && !py.nodes.empty()) {
+      // Both terms are in the ontology: similar iff some enhanced-isa node
+      // contains both (sorted-vector intersection).
+      auto a = px.nodes.begin();
+      auto b = py.nodes.begin();
+      while (a != px.nodes.end() && b != py.nodes.end()) {
+        if (*a == *b) return true;
+        if (*a < *b) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+      return false;
+    }
+    if (!has_measure_) return false;
+    if (px.has_sig && py.has_sig &&
+        seo_->measure().SignatureLowerBound(px.sig, py.sig) > epsilon_) {
+      return false;
+    }
+    return seo_->measure().BoundedDistance(px.lowered, py.lowered, epsilon_) <=
+           epsilon_;
+  }
+
+ private:
+  struct Prepared {
+    std::vector<ontology::HNodeId> nodes;  // sorted ascending
+    std::string lowered;
+    sim::StringSignature sig;
+    bool has_sig = false;
+  };
+
+  const Prepared& Prep(const std::string& term) const {
+    {
+      std::shared_lock<std::shared_mutex> read(mu_);
+      auto it = cache_.find(term);
+      if (it != cache_.end()) return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> write(mu_);
+    Prepared*& slot = cache_[term];
+    if (slot == nullptr) {
+      store_.push_back(std::make_unique<Prepared>());
+      Prepared* p = store_.back().get();
+      p->nodes = seo_->SimilarityNodes(term);
+      std::sort(p->nodes.begin(), p->nodes.end());
+      p->lowered = ToLower(term);
+      if (signatures_) {
+        p->has_sig = seo_->measure().ComputeSignature(p->lowered, &p->sig);
+      }
+      slot = p;
+    }
+    return *slot;
+  }
+
+  const Seo* seo_;
+  const double epsilon_;
+  const bool has_measure_;
+  bool signatures_ = false;
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<std::string, Prepared*> cache_;
+  mutable std::deque<std::unique_ptr<Prepared>> store_;  // pointer stability
+};
 
 /// Single-label atoms in conjunctive context, grouped by label (the only
 /// conditions that can be pushed down into XPath).
@@ -731,48 +842,220 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
   Timer timer;
   const tax::ConditionSemantics& sem = semantics();
   const std::set<int> expand(sl.begin(), sl.end());
+
+  // Plan the structural (twig) join. A null plan, or any document outside
+  // the engine's envelope (posting-list blowup), downgrades to the classic
+  // pairwise product path below; answers are byte-identical either way.
+  std::unique_ptr<tax::SimilarOracle> oracle;
+  std::unique_ptr<tax::TwigJoiner> joiner;
+  if (options.use_twig_join) {
+    if (seo_ != nullptr) {
+      oracle = std::make_unique<SeoSimilarOracle>(seo_);
+    } else {
+      oracle = std::make_unique<tax::ExactSimilarOracle>();
+    }
+    joiner = tax::TwigJoiner::Plan(pattern, expand, sem, oracle.get());
+  }
+  bool use_twig = joiner != nullptr;
+  tax::TwigJoinStats tstats;
+  std::vector<tax::TwigDoc> rtwig, ltwig;
+  std::vector<char> lskip(ldocs.size(), 0), rskip(rdocs.size(), 0);
+  uint64_t docs_pruned = 0;
+  if (use_twig) {
+    // Document-level pruning: when every pattern subtree is tag-pinned, a
+    // doc carrying none of those tags (and no wildcard tag) can contribute
+    // neither postings nor in-side embeddings -- skip decoding it entirely.
+    const auto prune_filters = joiner->PruneFilters();
+    if (!prune_filters.empty()) {
+      auto mark = [&](const store::Collection& coll,
+                      const std::vector<store::DocId>& docs,
+                      std::vector<char>* skip) {
+        std::set<store::DocId> keep;
+        for (const std::set<std::string>* tags : prune_filters) {
+          for (store::DocId d : coll.DocsWithAnyTag(*tags)) keep.insert(d);
+        }
+        for (store::DocId d : coll.DocsWithWildcardTag()) keep.insert(d);
+        for (size_t i = 0; i < docs.size(); ++i) {
+          if (keep.count(docs[i]) == 0) {
+            (*skip)[i] = 1;
+            ++docs_pruned;
+          }
+        }
+      };
+      mark(*lcoll, ldocs, &lskip);
+      mark(*rcoll, rdocs, &rskip);
+    }
+  }
+
   // Decode the right side once up front (fanned out across the pool); the
-  // shared_ptrs keep the trees alive even if the cache evicts them.
+  // shared_ptrs keep the trees alive even if the cache evicts them. On the
+  // twig path the per-doc posting lists are built in the same pass.
   obs::Span decode_span(parent, "decode_right");
   const store::Collection::TreeCacheStats rcache_before =
       decode_span.enabled() ? rcoll->GetTreeCacheStats()
                             : store::Collection::TreeCacheStats{};
   std::vector<std::shared_ptr<const tax::DataTree>> rtrees(rdocs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(
-      rdocs.size(),
-      [&](size_t i) -> Status {
-        rtrees[i] = rcoll->DecodedTree(rdocs[i]);
-        return Status::OK();
-      },
-      options));
+  if (use_twig) {
+    rtwig.resize(rdocs.size());
+    TOSS_RETURN_NOT_OK(RunPerDoc(
+        rdocs.size(),
+        [&](size_t i) -> Status {
+          if (rskip[i]) {
+            rtwig[i] = joiner->PrunedDoc();
+            return Status::OK();
+          }
+          rtrees[i] = rcoll->DecodedTree(rdocs[i]);
+          TOSS_ASSIGN_OR_RETURN(rtwig[i],
+                                joiner->Prepare(rtrees[i], &tstats));
+          return Status::OK();
+        },
+        options));
+    for (const auto& d : rtwig) {
+      if (!d.supported) {
+        use_twig = false;
+        break;
+      }
+    }
+  }
+  if (!use_twig) {
+    TOSS_RETURN_NOT_OK(RunPerDoc(
+        rdocs.size(),
+        [&](size_t i) -> Status {
+          if (rtrees[i] == nullptr) rtrees[i] = rcoll->DecodedTree(rdocs[i]);
+          return Status::OK();
+        },
+        options));
+  }
   if (decode_span.enabled()) {
     decode_span.Annotate("right_docs", static_cast<uint64_t>(rdocs.size()));
     AnnotateCacheDelta(&decode_span, rcache_before,
                        rcoll->GetTreeCacheStats());
   }
   decode_span.End();
-  std::vector<const tax::DataTree*> right_ptrs;
-  right_ptrs.reserve(rtrees.size());
-  for (const auto& t : rtrees) right_ptrs.push_back(t.get());
-  // Fan out per left document; each worker streams the full right side, so
-  // pair order (left-major) matches the sequential join exactly.
+
   obs::Span eval_span(parent, "eval");
   const store::Collection::TreeCacheStats lcache_before =
       eval_span.enabled() ? lcoll->GetTreeCacheStats()
                           : store::Collection::TreeCacheStats{};
-  std::vector<tax::TreeCollection> parts(ldocs.size());
-  TOSS_RETURN_NOT_OK(RunPerDoc(
-      ldocs.size(),
-      [&](size_t i) -> Status {
-        std::shared_ptr<const tax::DataTree> ltree =
-            lcoll->DecodedTree(ldocs[i]);
-        TOSS_ASSIGN_OR_RETURN(
-            parts[i],
-            tax::JoinTreeWithRight(*ltree, right_ptrs, pattern, expand, sem));
-        return Status::OK();
-      },
-      options));
-  tax::TreeCollection result = tax::MergeDedup(std::move(parts));
+  tax::TreeCollection result;
+  if (use_twig) {
+    // Left side: decode + postings (mirrors the pairwise path, which also
+    // decodes left trees inside the eval phase).
+    obs::Span postings_span(&eval_span, "twig_postings");
+    ltwig.resize(ldocs.size());
+    TOSS_RETURN_NOT_OK(RunPerDoc(
+        ldocs.size(),
+        [&](size_t i) -> Status {
+          if (lskip[i]) {
+            ltwig[i] = joiner->PrunedDoc();
+            return Status::OK();
+          }
+          TOSS_ASSIGN_OR_RETURN(
+              ltwig[i],
+              joiner->Prepare(lcoll->DecodedTree(ldocs[i]), &tstats));
+          return Status::OK();
+        },
+        options));
+    if (postings_span.enabled()) {
+      postings_span.Annotate(
+          "postings_built",
+          tstats.postings_built.load(std::memory_order_relaxed));
+      postings_span.Annotate("docs_pruned", docs_pruned);
+    }
+    postings_span.End();
+    for (const auto& d : ltwig) {
+      if (!d.supported) {
+        use_twig = false;
+        break;
+      }
+    }
+  }
+  if (use_twig) {
+    // Cross-tree match groups exist only when the product root itself can
+    // be a root image: its tag admitted by the root's tag filter and its
+    // prefilters true. Both are pair-independent, so they are evaluated
+    // once here instead of once per pair (same verdict, same errors -- the
+    // pairwise path evaluates them on the first candidate of every pair).
+    bool combos =
+        !ldocs.empty() && !rdocs.empty() && joiner->root_tag_allowed();
+    if (combos) {
+      TOSS_ASSIGN_OR_RETURN(combos, joiner->EvalRootPrefilters());
+    }
+    obs::Span merge_span(&eval_span, "twig_merge");
+    std::vector<const tax::TwigDoc*> rptrs;
+    rptrs.reserve(rtwig.size());
+    for (const auto& d : rtwig) rptrs.push_back(&d);
+    std::vector<tax::TreeCollection> parts(ldocs.size());
+    std::atomic<uint64_t> parts_skipped{0};
+    TOSS_RETURN_NOT_OK(RunPerDoc(
+        ldocs.size(),
+        [&](size_t i) -> Status {
+          if (i > 0 && joiner->CanSkipPart(ltwig[i])) {
+            // Everything this part could emit was already emitted while
+            // streaming the right side under ldocs[0] (dedup absorbs it).
+            parts_skipped.fetch_add(1, std::memory_order_relaxed);
+            return Status::OK();
+          }
+          TOSS_ASSIGN_OR_RETURN(
+              parts[i], joiner->JoinLeft(ltwig[i], rptrs, combos,
+                                         options.cancel, &tstats));
+          return Status::OK();
+        },
+        options));
+    result = tax::MergeDedup(std::move(parts));
+    const uint64_t pruned_subtrees =
+        docs_pruned + tstats.pairs_pruned.load(std::memory_order_relaxed) +
+        parts_skipped.load(std::memory_order_relaxed);
+    if (merge_span.enabled()) {
+      merge_span.Annotate(
+          "stream_advances",
+          tstats.stream_advances.load(std::memory_order_relaxed));
+      merge_span.Annotate(
+          "stack_pushes", tstats.stack_pushes.load(std::memory_order_relaxed));
+      merge_span.Annotate(
+          "pairs_scanned", tstats.pairs_scanned.load(std::memory_order_relaxed));
+      merge_span.Annotate("pruned_subtrees", pruned_subtrees);
+      merge_span.Annotate(
+          "combos_emitted",
+          tstats.combos_emitted.load(std::memory_order_relaxed));
+    }
+    merge_span.End();
+    if (eval_span.enabled()) eval_span.Annotate("join_engine", "twig");
+    m.twig_joins.Increment();
+    m.twig_postings.Add(tstats.postings_built.load(std::memory_order_relaxed));
+    m.twig_advances.Add(
+        tstats.stream_advances.load(std::memory_order_relaxed));
+    m.twig_pushes.Add(tstats.stack_pushes.load(std::memory_order_relaxed));
+    m.twig_pairs.Add(tstats.pairs_scanned.load(std::memory_order_relaxed));
+    m.twig_combos.Add(tstats.combos_emitted.load(std::memory_order_relaxed));
+    m.twig_pruned.Add(pruned_subtrees);
+  } else {
+    if (options.use_twig_join) m.twig_fallbacks.Increment();
+    if (eval_span.enabled()) eval_span.Annotate("join_engine", "pairwise");
+    // Backfill any right trees the twig attempt skipped before bailing.
+    for (size_t i = 0; i < rtrees.size(); ++i) {
+      if (rtrees[i] == nullptr) rtrees[i] = rcoll->DecodedTree(rdocs[i]);
+    }
+    std::vector<const tax::DataTree*> right_ptrs;
+    right_ptrs.reserve(rtrees.size());
+    for (const auto& t : rtrees) right_ptrs.push_back(t.get());
+    // Fan out per left document; each worker streams the full right side,
+    // so pair order (left-major) matches the sequential join exactly.
+    std::vector<tax::TreeCollection> parts(ldocs.size());
+    TOSS_RETURN_NOT_OK(RunPerDoc(
+        ldocs.size(),
+        [&](size_t i) -> Status {
+          std::shared_ptr<const tax::DataTree> ltree =
+              lcoll->DecodedTree(ldocs[i]);
+          TOSS_ASSIGN_OR_RETURN(
+              parts[i],
+              tax::JoinTreeWithRight(*ltree, right_ptrs, pattern, expand,
+                                     sem));
+          return Status::OK();
+        },
+        options));
+    result = tax::MergeDedup(std::move(parts));
+  }
   if (eval_span.enabled()) {
     eval_span.Annotate("docs_evaluated", static_cast<uint64_t>(ldocs.size()));
     eval_span.Annotate("result_trees", static_cast<uint64_t>(result.size()));

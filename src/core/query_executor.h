@@ -86,6 +86,14 @@ struct QueryOptions {
   /// Phase (i) memo (see PreparedQueryCache). Null = rewrite every time.
   /// Caller-owned; the owner must Clear() it when the SEO changes.
   PreparedQueryCache* prepared = nullptr;
+
+  /// Join strategy: the holistic structural join (tax::TwigJoiner) builds
+  /// per-document posting lists once and merges them per pair, instead of
+  /// materializing a product tree per document pair. Answers are
+  /// byte-identical either way (golden-tested); this switch exists for A/B
+  /// comparison and as an escape hatch. Joins outside the engine's envelope
+  /// fall back to the pairwise path automatically.
+  bool use_twig_join = true;
 };
 
 /// What an ExplainAnalyze* call returns: the operator's answer (identical

@@ -54,6 +54,12 @@ bool Seo::Similar(const std::string& x, const std::string& y) const {
          epsilon_;
 }
 
+std::vector<HNodeId> Seo::SimilarityNodes(const std::string& term) const {
+  const Hierarchy* h = EnhancedHierarchy(ontology::kIsa);
+  if (h == nullptr) return {};
+  return LookupTerm(*h, term);
+}
+
 bool Seo::Leq(const std::string& relation, const std::string& x,
               const std::string& y) const {
   const Hierarchy* h = EnhancedHierarchy(relation);

@@ -44,7 +44,16 @@ class Seo {
       const std::string& relation) const;
 
   const sim::StringMeasure& measure() const { return *measure_; }
+  bool has_measure() const { return measure_ != nullptr; }
   double epsilon() const { return epsilon_; }
+
+  /// The enhanced-isa nodes containing `term` (with the same lowercase
+  /// fallback lookup Similar uses); empty when the term is outside the
+  /// ontology or no enhanced isa hierarchy exists. Exposing the per-term
+  /// half of Similar lets the join engine memoize it across the quadratic
+  /// pair merge (see tax::SimilarOracle).
+  std::vector<ontology::HNodeId> SimilarityNodes(
+      const std::string& term) const;
 
   /// X ~ Y (paper Section 5.1.1): true iff some enhanced-isa node contains
   /// both terms. Terms absent from the ontology fall back to a direct

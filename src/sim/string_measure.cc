@@ -13,12 +13,12 @@
 
 namespace toss::sim {
 
-namespace {
+namespace internal {
 
 // Two-row Levenshtein DP. O(|a| * |b|) time, O(min) space. The row buffers
 // are thread-local scratch: the pairwise drivers call this millions of
 // times and a heap allocation per call would dominate the DP itself.
-int LevenshteinRaw(std::string_view a, std::string_view b) {
+int LevenshteinDp(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
   thread_local std::vector<int> prev_s, cur_s;
   if (prev_s.size() < a.size() + 1) {
@@ -37,6 +37,58 @@ int LevenshteinRaw(std::string_view a, std::string_view b) {
     std::swap(prev, cur);
   }
   return prev[a.size()];
+}
+
+// Myers' bit-parallel edit distance. The shorter string's DP column lives
+// in two delta bitvectors (pv: cell - cell_above == +1, mv: == -1); each
+// character of the longer string updates both vectors and the bottom-cell
+// score in a dozen word ops. The match table holds one 64-bit mask per
+// byte value; it is thread_local and reset by re-clearing only the entries
+// this call set, so the table cost is O(|shorter|), not 256 writes.
+int LevenshteinMyers64(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int m = static_cast<int>(a.size());
+  if (m == 0) return static_cast<int>(b.size());
+  thread_local uint64_t peq[256];  // all-zero between calls
+  for (int i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= uint64_t{1} << i;
+  }
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  int score = m;
+  const uint64_t last = uint64_t{1} << (m - 1);
+  for (const char bc : b) {
+    const uint64_t eq = peq[static_cast<unsigned char>(bc)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) {
+      ++score;
+    } else if (mh & last) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  for (const char ac : a) peq[static_cast<unsigned char>(ac)] = 0;
+  return score;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Full-distance entry point: bit-parallel when the shorter string fits one
+// machine word (the overwhelmingly common case for ontology terms), DP
+// otherwise.
+int LevenshteinRaw(std::string_view a, std::string_view b) {
+  if (std::min(a.size(), b.size()) <= 64) {
+    return internal::LevenshteinMyers64(a, b);
+  }
+  return internal::LevenshteinDp(a, b);
 }
 
 // Banded Levenshtein: returns the exact distance when it is <= limit,

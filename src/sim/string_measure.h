@@ -280,6 +280,22 @@ class MinLengthGuardMeasure : public StringMeasure {
   double floor_;
 };
 
+namespace internal {
+
+/// Two-row dynamic-programming Levenshtein -- the reference implementation.
+/// O(|a| * |b|) time. Exposed for property tests against the bit-parallel
+/// path.
+int LevenshteinDp(std::string_view a, std::string_view b);
+
+/// Myers' bit-parallel Levenshtein (Hyyrö's formulation): the DP column is
+/// packed into two 64-bit delta bitvectors, so one iteration per character
+/// of the longer string replaces an inner loop over the shorter one --
+/// O(|longer|) word operations total. Requires min(|a|, |b|) <= 64; equal
+/// to LevenshteinDp on that domain (property-tested).
+int LevenshteinMyers64(std::string_view a, std::string_view b);
+
+}  // namespace internal
+
 }  // namespace toss::sim
 
 #endif  // TOSS_SIM_STRING_MEASURE_H_

@@ -235,6 +235,30 @@ Result<std::vector<DocId>> Collection::DocsWithValueInRange(
   return out;
 }
 
+std::vector<DocId> Collection::DocsWithAnyTag(
+    const std::set<std::string>& tags) const {
+  // Tag postings hold live docs only (UnindexDocument sweeps them), so the
+  // union needs no liveness re-check.
+  std::set<DocId> docs;
+  for (const std::string& tag : tags) {
+    auto it = tag_index_.find(tag);
+    if (it != tag_index_.end()) {
+      docs.insert(it->second.begin(), it->second.end());
+    }
+  }
+  return {docs.begin(), docs.end()};
+}
+
+std::vector<DocId> Collection::DocsWithWildcardTag() const {
+  std::set<DocId> docs;
+  for (const auto& [tag, postings] : tag_index_) {
+    if (tag.find('*') != std::string::npos) {
+      docs.insert(postings.begin(), postings.end());
+    }
+  }
+  return {docs.begin(), docs.end()};
+}
+
 std::vector<DocId> Collection::PlanCandidates(const xml::PlanHints& hints,
                                               bool* pruned) const {
   *pruned = false;

@@ -149,6 +149,15 @@ class Collection {
       std::string_view tag, const std::optional<std::string>& lo,
       const std::optional<std::string>& hi) const;
 
+  /// Live documents containing at least one element tagged with any member
+  /// of `tags`, ascending. Serves the join engine's document-level pruning
+  /// (tax::TwigJoiner::PruneFilters).
+  std::vector<DocId> DocsWithAnyTag(const std::set<std::string>& tags) const;
+
+  /// Live documents containing at least one element whose tag contains '*'
+  /// (such tags match any tag literal under glob equality), ascending.
+  std::vector<DocId> DocsWithWildcardTag() const;
+
  private:
   struct Entry {
     std::string key;

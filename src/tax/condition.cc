@@ -177,24 +177,45 @@ std::string Condition::ToString() const {
   return "?";
 }
 
+namespace {
+
+/// Adapts the classic (tree, LabelMap) view to the NodeSource interface so
+/// both entry points share one evaluation path.
+class ViewSource final : public NodeSource {
+ public:
+  explicit ViewSource(const EmbeddingView& h) : h_(h) {}
+  const DataNode* Resolve(int label) const override {
+    NodeId mapped = h_.mapping->Get(label);
+    return mapped == kInvalidNode ? nullptr : &h_.tree->node(mapped);
+  }
+
+ private:
+  const EmbeddingView& h_;
+};
+
+}  // namespace
+
 Result<TermValue> EvalTerm(const CondTerm& term, const EmbeddingView& h) {
+  return EvalTerm(term, ViewSource(h));
+}
+
+Result<TermValue> EvalTerm(const CondTerm& term, const NodeSource& source) {
   TermValue v;
   switch (term.kind) {
     case CondTerm::Kind::kNodeTag:
     case CondTerm::Kind::kNodeContent: {
-      NodeId mapped = h.mapping->Get(term.node_label);
-      if (mapped == kInvalidNode) {
+      const DataNode* n = source.Resolve(term.node_label);
+      if (n == nullptr) {
         return Status::InvalidArgument(
             "condition references pattern node $" +
             std::to_string(term.node_label) + " absent from the embedding");
       }
-      const DataNode& n = h.tree->node(mapped);
       if (term.kind == CondTerm::Kind::kNodeTag) {
-        v.text = n.tag;
-        v.type = n.tag_type;
+        v.text = n->tag;
+        v.type = n->tag_type;
       } else {
-        v.text = n.content;
-        v.type = n.content_type;
+        v.text = n->content;
+        v.type = n->content_type;
       }
       return v;
     }
@@ -212,31 +233,38 @@ Result<TermValue> EvalTerm(const CondTerm& term, const EmbeddingView& h) {
 
 Result<bool> EvalCondition(const Condition& c, const EmbeddingView& h,
                            const ConditionSemantics& semantics) {
+  return EvalCondition(c, ViewSource(h), semantics);
+}
+
+Result<bool> EvalCondition(const Condition& c, const NodeSource& source,
+                           const ConditionSemantics& semantics) {
   switch (c.kind) {
     case Condition::Kind::kTrue:
       return true;
     case Condition::Kind::kNot: {
       TOSS_ASSIGN_OR_RETURN(bool inner,
-                            EvalCondition(*c.children[0], h, semantics));
+                            EvalCondition(*c.children[0], source, semantics));
       return !inner;
     }
     case Condition::Kind::kAnd: {
       for (const auto& child : c.children) {
-        TOSS_ASSIGN_OR_RETURN(bool v, EvalCondition(*child, h, semantics));
+        TOSS_ASSIGN_OR_RETURN(bool v,
+                              EvalCondition(*child, source, semantics));
         if (!v) return false;
       }
       return true;
     }
     case Condition::Kind::kOr: {
       for (const auto& child : c.children) {
-        TOSS_ASSIGN_OR_RETURN(bool v, EvalCondition(*child, h, semantics));
+        TOSS_ASSIGN_OR_RETURN(bool v,
+                              EvalCondition(*child, source, semantics));
         if (v) return true;
       }
       return false;
     }
     case Condition::Kind::kAtom: {
-      TOSS_ASSIGN_OR_RETURN(TermValue x, EvalTerm(c.lhs, h));
-      TOSS_ASSIGN_OR_RETURN(TermValue y, EvalTerm(c.rhs, h));
+      TOSS_ASSIGN_OR_RETURN(TermValue x, EvalTerm(c.lhs, source));
+      TOSS_ASSIGN_OR_RETURN(TermValue y, EvalTerm(c.rhs, source));
       switch (c.op) {
         case CondOp::kEq:
         case CondOp::kNeq:

@@ -132,11 +132,25 @@ struct EmbeddingView {
   const LabelMap* mapping = nullptr;
 };
 
+/// Label resolution decoupled from a single DataTree: the structural join
+/// engine evaluates conditions over mappings that span two source trees
+/// (plus a synthetic product root), so the node behind a label cannot be
+/// expressed as one (tree, LabelMap) pair.
+class NodeSource {
+ public:
+  virtual ~NodeSource() = default;
+  /// The image node of `label`, or nullptr when the label is unmapped.
+  virtual const DataNode* Resolve(int label) const = 0;
+};
+
 /// Extracts the TermValue of `term` under `h` (paper's X^h / type(X)^h).
 Result<TermValue> EvalTerm(const CondTerm& term, const EmbeddingView& h);
+Result<TermValue> EvalTerm(const CondTerm& term, const NodeSource& source);
 
 /// Recursive satisfaction (paper's EI, WT |= c).
 Result<bool> EvalCondition(const Condition& c, const EmbeddingView& h,
+                           const ConditionSemantics& semantics);
+Result<bool> EvalCondition(const Condition& c, const NodeSource& source,
                            const ConditionSemantics& semantics);
 
 }  // namespace toss::tax

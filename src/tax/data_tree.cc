@@ -49,6 +49,11 @@ std::vector<NodeId> DataTree::Descendants(NodeId id) const {
 }
 
 bool DataTree::IsAncestor(NodeId ancestor, NodeId node) const {
+  // With preorder ids the question is an interval containment test on the
+  // positional labels -- O(1) instead of a parent walk.
+  if (HasPreorderIds()) {
+    return ancestor < node && node < SubtreeEnd(ancestor);
+  }
   NodeId cur = nodes_[node].parent;
   while (cur != kInvalidNode) {
     if (cur == ancestor) return true;
@@ -143,6 +148,7 @@ DataTree DataTree::FromXml(const xml::XmlDocument& doc, xml::NodeId root) {
 void DataTree::BuildTagIndex() {
   if (tag_index_.has_value()) return;
   TagIndexData index;
+  index.depth.resize(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     const DataNode& n = nodes_[v];
     index.by_tag[n.tag].push_back(v);  // v ascending -> lists stay sorted
@@ -150,6 +156,9 @@ void DataTree::BuildTagIndex() {
       index.wildcard_nodes.push_back(v);
     }
     if (n.tag_type != kStringType) index.filterable = false;
+    // Parents precede children (AppendChild invariant), so depths fill in
+    // one pass regardless of id ordering.
+    index.depth[v] = (n.parent == kInvalidNode) ? 0 : index.depth[n.parent] + 1;
   }
   // Preorder check: walking children depth-first must visit ids 0,1,2,...
   // (true for FromXml / CopySubtree construction). Then each subtree is the

@@ -134,11 +134,20 @@ class DataTree {
   /// One past the last id of v's subtree (valid iff HasPreorderIds()).
   NodeId SubtreeEnd(NodeId v) const { return tag_index_->subtree_end[v]; }
 
+  /// True when per-node depths were computed (whenever the index is built).
+  bool HasDepths() const {
+    return tag_index_.has_value() && !tag_index_->depth.empty();
+  }
+
+  /// Root distance of v (root = 0). Valid iff HasDepths().
+  uint32_t Depth(NodeId v) const { return tag_index_->depth[v]; }
+
  private:
   struct TagIndexData {
     std::map<std::string, std::vector<NodeId>, std::less<>> by_tag;
     std::vector<NodeId> wildcard_nodes;
     std::vector<NodeId> subtree_end;  ///< empty when ids are not preorder
+    std::vector<uint32_t> depth;      ///< positional label: root distance
     bool filterable = true;           ///< all tag_types are "string"
   };
 

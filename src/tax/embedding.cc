@@ -59,9 +59,27 @@ class Enumerator {
              const ConditionSemantics& semantics,
              const EmbeddingOptions& options)
       : pattern_(pattern), tree_(tree), semantics_(semantics) {
-    CollectSingleLabelAtoms(pattern.condition(), &prefilters_);
+    prefilters_ = CollectConjunctivePrefilters(pattern.condition());
     if (options.use_tag_index && tree.TagFilterable()) {
-      CollectTagFilters(pattern.condition());
+      tag_filters_ = CollectConjunctiveTagFilters(pattern.condition());
+    }
+  }
+
+  /// Partial-match mode: assigns only `subset` (ascending pattern indexes
+  /// forming the subtree of subset[0]) and collects image tuples instead of
+  /// running the final condition check. Tag filtering is always on -- the
+  /// join engine only targets filterable trees.
+  Enumerator(const PatternTree& pattern, const std::vector<size_t>& subset,
+             bool head_must_be_root, const DataTree& tree,
+             const ConditionSemantics& semantics)
+      : pattern_(pattern),
+        tree_(tree),
+        semantics_(semantics),
+        subset_(&subset),
+        head_must_be_root_(head_must_be_root) {
+    prefilters_ = CollectConjunctivePrefilters(pattern.condition());
+    if (tree.TagFilterable()) {
+      tag_filters_ = CollectConjunctiveTagFilters(pattern.condition());
     }
   }
 
@@ -71,52 +89,15 @@ class Enumerator {
     return std::move(results_);
   }
 
+  Result<std::vector<std::vector<NodeId>>> RunPartial() {
+    if (pattern_.empty() || tree_.empty()) {
+      return std::vector<std::vector<NodeId>>{};
+    }
+    TOSS_RETURN_NOT_OK(Assign(0));
+    return std::move(tuples_);
+  }
+
  private:
-  /// Conjunctive-context tag constraints: a bare tag-equality atom pins the
-  /// label to one tag; an Or whose children are all tag equalities on the
-  /// same label (the shape SEO expansion yields) pins it to a set. Multiple
-  /// constraints on one label intersect.
-  void CollectTagFilters(const Condition& c) {
-    if (c.kind == Condition::Kind::kAnd) {
-      for (const auto& child : c.children) CollectTagFilters(*child);
-      return;
-    }
-    int label = 0;
-    std::string tag;
-    if (c.kind == Condition::Kind::kAtom) {
-      if (ExactTagLiteral(c, &label, &tag)) {
-        Restrict(label, {std::move(tag)});
-      }
-      return;
-    }
-    if (c.kind != Condition::Kind::kOr || c.children.empty()) return;
-    std::set<std::string> tags;
-    int common_label = 0;
-    for (const auto& child : c.children) {
-      if (child->kind != Condition::Kind::kAtom ||
-          !ExactTagLiteral(*child, &label, &tag)) {
-        return;
-      }
-      if (tags.empty()) {
-        common_label = label;
-      } else if (label != common_label) {
-        return;
-      }
-      tags.insert(std::move(tag));
-    }
-    Restrict(common_label, std::move(tags));
-  }
-
-  void Restrict(int label, std::set<std::string> tags) {
-    auto [it, inserted] = tag_filters_.emplace(label, std::move(tags));
-    if (inserted) return;
-    std::set<std::string> merged;
-    std::set_intersection(it->second.begin(), it->second.end(), tags.begin(),
-                          tags.end(),
-                          std::inserter(merged, merged.begin()));
-    it->second = std::move(merged);
-  }
-
   const std::set<std::string>* FilterFor(int label) const {
     auto it = tag_filters_.find(label);
     return it == tag_filters_.end() ? nullptr : &it->second;
@@ -163,21 +144,42 @@ class Enumerator {
     return true;
   }
 
-  Status Assign(size_t index) {
-    if (index == pattern_.node_count()) {
+  size_t SlotCount() const {
+    return subset_ != nullptr ? subset_->size() : pattern_.node_count();
+  }
+
+  Status Assign(size_t slot) {
+    if (slot == SlotCount()) {
+      if (subset_ != nullptr) {
+        std::vector<NodeId> tuple(subset_->size());
+        for (size_t j = 0; j < subset_->size(); ++j) {
+          tuple[j] = current_.mapping.Get(pattern_.node((*subset_)[j]).label);
+        }
+        tuples_.push_back(std::move(tuple));
+        return Status::OK();
+      }
       EmbeddingView view{&tree_, &current_.mapping};
       TOSS_ASSIGN_OR_RETURN(
           bool ok, EvalCondition(pattern_.condition(), view, semantics_));
       if (ok) results_.push_back(current_);
       return Status::OK();
     }
+    const size_t index = subset_ != nullptr ? (*subset_)[slot] : slot;
     const PatternNode& pnode = pattern_.node(index);
     const std::set<std::string>* allowed = FilterFor(pnode.label);
+    const bool is_head = subset_ != nullptr ? slot == 0 : pnode.parent < 0;
     // Candidate enumeration order always matches the naive scan (ascending
     // ids at the root, child order on pc edges, preorder on ad edges), so
     // pruning never reorders the resulting embeddings.
     std::vector<NodeId> candidates;
-    if (pnode.parent < 0) {
+    if (is_head && subset_ != nullptr && head_must_be_root_) {
+      // The head hangs off the elided product root by a pc edge, so within
+      // this operand tree its image can only be the root -- subject to the
+      // same tag filter any pc candidate faces.
+      if (allowed == nullptr || TagAllowed(0, *allowed)) {
+        candidates.push_back(0);
+      }
+    } else if (is_head) {
       if (allowed != nullptr) {
         candidates =
             SeedFromIndex(*allowed, 0, static_cast<NodeId>(tree_.size()));
@@ -214,7 +216,7 @@ class Enumerator {
       current_.mapping.Set(pnode.label, cand);
       TOSS_ASSIGN_OR_RETURN(bool pass, PassesPrefilters(pnode.label));
       if (pass) {
-        TOSS_RETURN_NOT_OK(Assign(index + 1));
+        TOSS_RETURN_NOT_OK(Assign(slot + 1));
       }
       current_.mapping.Erase(pnode.label);
     }
@@ -224,16 +226,21 @@ class Enumerator {
   const PatternTree& pattern_;
   const DataTree& tree_;
   const ConditionSemantics& semantics_;
+  const std::vector<size_t>* subset_ = nullptr;  ///< partial-match mode
+  bool head_must_be_root_ = false;
   std::map<int, std::vector<const Condition*>> prefilters_;
   std::map<int, std::set<std::string>> tag_filters_;
   Embedding current_;
   std::vector<Embedding> results_;
+  std::vector<std::vector<NodeId>> tuples_;
 };
 
-void BuildWitness(const DataTree& src, NodeId src_id,
-                  const std::set<NodeId>& witness_nodes,
-                  const std::set<NodeId>& expand_nodes, DataTree* out,
-                  NodeId out_parent) {
+}  // namespace
+
+void AppendWitness(const DataTree& src, NodeId src_id,
+                   const std::set<NodeId>& witness_nodes,
+                   const std::set<NodeId>& expand_nodes, DataTree* out,
+                   NodeId out_parent) {
   bool is_witness = witness_nodes.count(src_id) > 0;
   NodeId next_parent = out_parent;
   if (is_witness) {
@@ -252,11 +259,92 @@ void BuildWitness(const DataTree& src, NodeId src_id,
     next_parent = id;
   }
   for (NodeId c : src.node(src_id).children) {
-    BuildWitness(src, c, witness_nodes, expand_nodes, out, next_parent);
+    AppendWitness(src, c, witness_nodes, expand_nodes, out, next_parent);
   }
 }
 
+std::map<int, std::vector<const Condition*>> CollectConjunctivePrefilters(
+    const Condition& condition) {
+  std::map<int, std::vector<const Condition*>> out;
+  CollectSingleLabelAtoms(condition, &out);
+  return out;
+}
+
+namespace {
+
+void RestrictFilter(std::map<int, std::set<std::string>>* filters, int label,
+                    std::set<std::string> tags) {
+  auto [it, inserted] = filters->emplace(label, std::move(tags));
+  if (inserted) return;
+  std::set<std::string> merged;
+  std::set_intersection(it->second.begin(), it->second.end(), tags.begin(),
+                        tags.end(), std::inserter(merged, merged.begin()));
+  it->second = std::move(merged);
+}
+
+void CollectTagFiltersRec(const Condition& c,
+                          std::map<int, std::set<std::string>>* filters) {
+  if (c.kind == Condition::Kind::kAnd) {
+    for (const auto& child : c.children) CollectTagFiltersRec(*child, filters);
+    return;
+  }
+  int label = 0;
+  std::string tag;
+  if (c.kind == Condition::Kind::kAtom) {
+    if (ExactTagLiteral(c, &label, &tag)) {
+      RestrictFilter(filters, label, {std::move(tag)});
+    }
+    return;
+  }
+  if (c.kind != Condition::Kind::kOr || c.children.empty()) return;
+  std::set<std::string> tags;
+  int common_label = 0;
+  for (const auto& child : c.children) {
+    if (child->kind != Condition::Kind::kAtom ||
+        !ExactTagLiteral(*child, &label, &tag)) {
+      return;
+    }
+    if (tags.empty()) {
+      common_label = label;
+    } else if (label != common_label) {
+      return;
+    }
+    tags.insert(std::move(tag));
+  }
+  RestrictFilter(filters, common_label, std::move(tags));
+}
+
 }  // namespace
+
+std::map<int, std::set<std::string>> CollectConjunctiveTagFilters(
+    const Condition& condition) {
+  std::map<int, std::set<std::string>> out;
+  CollectTagFiltersRec(condition, &out);
+  return out;
+}
+
+Result<std::vector<std::vector<NodeId>>> FindPartialMatches(
+    const PatternTree& pattern, size_t head, const DataTree& tree,
+    const ConditionSemantics& semantics, const PartialMatchOptions& options) {
+  TOSS_RETURN_NOT_OK(pattern.Validate());
+  // Subtree indexes, ascending: parents precede children in pattern-index
+  // order, so ascending order is exactly the relative order the full
+  // enumeration assigns these nodes in.
+  std::vector<size_t> subset;
+  std::vector<size_t> stack{head};
+  while (!stack.empty()) {
+    size_t cur = stack.back();
+    stack.pop_back();
+    subset.push_back(cur);
+    for (int c : pattern.node(cur).children) {
+      stack.push_back(static_cast<size_t>(c));
+    }
+  }
+  std::sort(subset.begin(), subset.end());
+  return Enumerator(pattern, subset, options.head_must_be_root, tree,
+                    semantics)
+      .RunPartial();
+}
 
 Result<std::vector<Embedding>> FindEmbeddings(
     const PatternTree& pattern, const DataTree& tree,
@@ -285,7 +373,7 @@ DataTree BuildWitnessTree(const PatternTree& pattern, const DataTree& tree,
   // The pattern root's image is an ancestor-or-self of every image node, so
   // starting the walk there covers the whole witness set.
   NodeId start = h.mapping.Get(pattern.node(0).label);
-  BuildWitness(tree, start, witness_nodes, expand_nodes, &out, kInvalidNode);
+  AppendWitness(tree, start, witness_nodes, expand_nodes, &out, kInvalidNode);
   return out;
 }
 
