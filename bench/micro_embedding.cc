@@ -2,10 +2,13 @@
 // growing size, for pc-only, ad-heavy, and condition-filtered patterns.
 // Each pattern runs both through the tag index (the default production
 // path) and with the index disabled (the naive full-scan enumeration) to
-// quantify the pruning win. Medians land in the machine-readable bench
-// report (bench::RecordBenchMs).
+// quantify the pruning win. Timing goes through bench::MeasureAdaptiveMs,
+// so sub-50ms points repeat until their median stabilises; medians land in
+// the machine-readable bench report.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -73,77 +76,50 @@ PatternTree FilteredPattern() {
   return pt;
 }
 
-void RunPattern(benchmark::State& state, const PatternTree& pattern,
-                bool use_tag_index) {
-  DataTree tree = MakeTree(static_cast<size_t>(state.range(0)));
-  toss::tax::TaxSemantics sem;
-  toss::tax::EmbeddingOptions options;
-  options.use_tag_index = use_tag_index;
-  for (auto _ : state) {
-    auto r = toss::tax::FindEmbeddings(pattern, tree, sem, options);
-    benchmark::DoNotOptimize(r.ok());
-  }
-}
-
-void BM_EmbeddingPc(benchmark::State& state) {
-  RunPattern(state, PcPattern(), true);
-}
-void BM_EmbeddingPcNaive(benchmark::State& state) {
-  RunPattern(state, PcPattern(), false);
-}
-void BM_EmbeddingAd(benchmark::State& state) {
-  RunPattern(state, AdPattern(), true);
-}
-void BM_EmbeddingAdNaive(benchmark::State& state) {
-  RunPattern(state, AdPattern(), false);
-}
-void BM_EmbeddingFiltered(benchmark::State& state) {
-  RunPattern(state, FilteredPattern(), true);
-}
-void BM_EmbeddingFilteredNaive(benchmark::State& state) {
-  RunPattern(state, FilteredPattern(), false);
-}
-
-#define EMBEDDING_BENCH(fn)                                  \
-  BENCHMARK(fn)->Arg(10)->Arg(100)->Arg(1000)                \
-      ->Unit(benchmark::kMillisecond)->Repetitions(3)        \
-      ->ReportAggregatesOnly(true)
-
-EMBEDDING_BENCH(BM_EmbeddingPc);
-EMBEDDING_BENCH(BM_EmbeddingPcNaive);
-EMBEDDING_BENCH(BM_EmbeddingAd);
-EMBEDDING_BENCH(BM_EmbeddingAdNaive);
-EMBEDDING_BENCH(BM_EmbeddingFiltered);
-EMBEDDING_BENCH(BM_EmbeddingFilteredNaive);
-
-#undef EMBEDDING_BENCH
-
-/// Console reporting plus RecordBenchMs on every *_median aggregate.
-class RecordingReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      std::string name = run.benchmark_name();
-      const std::string suffix = "_median";
-      if (name.size() > suffix.size() &&
-          name.compare(name.size() - suffix.size(), suffix.size(),
-                       suffix) == 0) {
-        toss::bench::RecordBenchMs(
-            "micro_embedding/" +
-                name.substr(0, name.size() - suffix.size()),
-            run.GetAdjustedRealTime());
-      }
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
+struct Variant {
+  const char* name;  ///< bench key component, kept from the old GB names
+  PatternTree (*make)();
+  bool use_tag_index;
 };
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  RecordingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+int main() {
+  const bool smoke = toss::bench::SmokeMode();
+  const std::vector<size_t> kSizes =
+      smoke ? std::vector<size_t>{10} : std::vector<size_t>{10, 100, 1000};
+  const Variant kVariants[] = {
+      {"BM_EmbeddingPc", PcPattern, true},
+      {"BM_EmbeddingPcNaive", PcPattern, false},
+      {"BM_EmbeddingAd", AdPattern, true},
+      {"BM_EmbeddingAdNaive", AdPattern, false},
+      {"BM_EmbeddingFiltered", FilteredPattern, true},
+      {"BM_EmbeddingFilteredNaive", FilteredPattern, false},
+  };
+
+  std::printf("Embedding enumeration micro-bench (median ms)\n");
+  std::printf("%-28s", "variant");
+  for (size_t size : kSizes) std::printf(" %10zu", size);
+  std::printf("\n");
+
+  toss::tax::TaxSemantics sem;
+  for (const Variant& v : kVariants) {
+    PatternTree pattern = v.make();
+    toss::tax::EmbeddingOptions options;
+    options.use_tag_index = v.use_tag_index;
+    std::printf("%-28s", v.name);
+    for (size_t size : kSizes) {
+      DataTree tree = MakeTree(size);
+      double ms = toss::bench::MeasureAdaptiveMs(
+          std::string("micro_embedding/") + v.name + "/" +
+              std::to_string(size),
+          [&] {
+            auto r = toss::tax::FindEmbeddings(pattern, tree, sem, options);
+            toss::bench::CheckOk(r.status(), "FindEmbeddings");
+          });
+      std::printf(" %10.3f", ms);
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -14,11 +14,11 @@
 //   BM_SeaSweep            -- the same sweep through SimilaritySweep
 //                             (pairwise matrix computed once, thresholded
 //                             per epsilon).
-// Results are written to the bench report via RecordBenchMs on the median
-// aggregate.
+// Timing goes through bench::MeasureAdaptiveMs (sub-50ms points repeat
+// until their median stabilises); medians land in the bench report under
+// the same keys the old google-benchmark harness recorded.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -61,112 +61,90 @@ const std::vector<double>& SweepEpsilons() {
   return eps;
 }
 
-void RunSea(benchmark::State& state, const toss::ontology::SeaOptions& opts) {
-  size_t n = static_cast<size_t>(state.range(0));
-  double eps = static_cast<double>(state.range(1));
+/// Key format matches the old google-benchmark aggregate names:
+/// "micro_sea/BM_Sea/<n>/<eps>".
+std::string Key(const char* variant, size_t n, int eps) {
+  return std::string("micro_sea/") + variant + "/" + std::to_string(n) +
+         "/" + std::to_string(eps);
+}
+
+double RunSea(const char* variant, size_t n, int eps,
+              const toss::ontology::SeaOptions& opts) {
   Hierarchy h = MakeHierarchy(n, 7);
   toss::sim::LevenshteinMeasure lev;
-  for (auto _ : state) {
-    auto r = toss::ontology::SimilarityEnhance(h, lev, eps, opts);
-    benchmark::DoNotOptimize(r.ok());
-  }
-  state.SetComplexityN(static_cast<int64_t>(n));
+  return toss::bench::MeasureAdaptiveMs(Key(variant, n, eps), [&] {
+    auto r = toss::ontology::SimilarityEnhance(h, lev,
+                                               static_cast<double>(eps),
+                                               opts);
+    toss::bench::CheckOk(r.status(), "SimilarityEnhance");
+  });
 }
 
-void BM_Sea(benchmark::State& state) { RunSea(state, {}); }
-
-void BM_SeaNaive(benchmark::State& state) {
-  toss::ontology::SeaOptions opts;
-  opts.use_filters = false;
-  opts.parallel = false;
-  RunSea(state, opts);
-}
-
-void BM_SeaSweepIndependent(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
+double RunSweepIndependent(size_t n) {
   Hierarchy h = MakeHierarchy(n, 7);
   toss::sim::LevenshteinMeasure lev;
-  for (auto _ : state) {
-    for (double eps : SweepEpsilons()) {
-      auto r = toss::ontology::SimilarityEnhance(h, lev, eps);
-      benchmark::DoNotOptimize(r.ok());
-    }
-  }
+  return toss::bench::MeasureAdaptiveMs(
+      std::string("micro_sea/BM_SeaSweepIndependent/") + std::to_string(n),
+      [&] {
+        for (double eps : SweepEpsilons()) {
+          auto r = toss::ontology::SimilarityEnhance(h, lev, eps);
+          toss::bench::CheckOk(r.status(), "SimilarityEnhance");
+        }
+      });
 }
 
-void BM_SeaSweep(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
+double RunSweep(size_t n) {
   Hierarchy h = MakeHierarchy(n, 7);
   toss::sim::LevenshteinMeasure lev;
   const double max_eps = SweepEpsilons().back();
-  for (auto _ : state) {
-    auto sweep = toss::ontology::SimilaritySweep::Create(h, lev, max_eps);
-    for (double eps : SweepEpsilons()) {
-      auto r = sweep.value().Enhance(eps);
-      benchmark::DoNotOptimize(r.ok());
-    }
-  }
+  return toss::bench::MeasureAdaptiveMs(
+      std::string("micro_sea/BM_SeaSweep/") + std::to_string(n), [&] {
+        auto sweep = toss::ontology::SimilaritySweep::Create(h, lev, max_eps);
+        toss::bench::CheckOk(sweep.status(), "SimilaritySweep::Create");
+        for (double eps : SweepEpsilons()) {
+          auto r = sweep.value().Enhance(eps);
+          toss::bench::CheckOk(r.status(), "Enhance");
+        }
+      });
 }
-
-BENCHMARK(BM_Sea)
-    ->Args({100, 1})
-    ->Args({200, 1})
-    ->Args({400, 1})
-    ->Args({800, 1})
-    ->Args({400, 0})
-    ->Args({400, 2})
-    ->Args({400, 3})
-    ->Unit(benchmark::kMillisecond)
-    ->Repetitions(3)
-    ->ReportAggregatesOnly(true)
-    ->Complexity(benchmark::oNSquared);
-
-BENCHMARK(BM_SeaNaive)
-    ->Args({400, 1})
-    ->Args({800, 1})
-    ->Unit(benchmark::kMillisecond)
-    ->Repetitions(3)
-    ->ReportAggregatesOnly(true);
-
-BENCHMARK(BM_SeaSweepIndependent)
-    ->Arg(400)
-    ->Arg(800)
-    ->Unit(benchmark::kMillisecond)
-    ->Repetitions(3)
-    ->ReportAggregatesOnly(true);
-
-BENCHMARK(BM_SeaSweep)
-    ->Arg(400)
-    ->Arg(800)
-    ->Unit(benchmark::kMillisecond)
-    ->Repetitions(3)
-    ->ReportAggregatesOnly(true);
-
-/// Console reporting plus RecordBenchMs on every *_median aggregate.
-class RecordingReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      std::string name = run.benchmark_name();
-      const std::string suffix = "_median";
-      if (name.size() > suffix.size() &&
-          name.compare(name.size() - suffix.size(), suffix.size(),
-                       suffix) == 0) {
-        toss::bench::RecordBenchMs(
-            "micro_sea/" + name.substr(0, name.size() - suffix.size()),
-            run.GetAdjustedRealTime());
-      }
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-};
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  RecordingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+int main() {
+  const bool smoke = toss::bench::SmokeMode();
+
+  struct Config { size_t n; int eps; };
+  const std::vector<Config> kSeaConfigs =
+      smoke ? std::vector<Config>{{100, 1}}
+            : std::vector<Config>{{100, 1}, {200, 1}, {400, 1}, {800, 1},
+                                  {400, 0}, {400, 2}, {400, 3}};
+  const std::vector<Config> kNaiveConfigs =
+      smoke ? std::vector<Config>{{100, 1}}
+            : std::vector<Config>{{400, 1}, {800, 1}};
+  const std::vector<size_t> kSweepSizes =
+      smoke ? std::vector<size_t>{100} : std::vector<size_t>{400, 800};
+
+  std::printf("SEA micro-bench (median ms)\n%-24s %6s %4s %10s\n",
+              "variant", "n", "eps", "ms");
+  for (const Config& c : kSeaConfigs) {
+    double ms = RunSea("BM_Sea", c.n, c.eps, {});
+    std::printf("%-24s %6zu %4d %10.3f\n", "BM_Sea", c.n, c.eps, ms);
+  }
+  for (const Config& c : kNaiveConfigs) {
+    toss::ontology::SeaOptions opts;
+    opts.use_filters = false;
+    opts.parallel = false;
+    double ms = RunSea("BM_SeaNaive", c.n, c.eps, opts);
+    std::printf("%-24s %6zu %4d %10.3f\n", "BM_SeaNaive", c.n, c.eps, ms);
+  }
+  for (size_t n : kSweepSizes) {
+    double ms = RunSweepIndependent(n);
+    std::printf("%-24s %6zu %4s %10.3f\n", "BM_SeaSweepIndependent", n, "-",
+                ms);
+  }
+  for (size_t n : kSweepSizes) {
+    double ms = RunSweep(n);
+    std::printf("%-24s %6zu %4s %10.3f\n", "BM_SeaSweep", n, "-", ms);
+  }
   return 0;
 }

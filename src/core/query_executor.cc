@@ -64,6 +64,8 @@ struct QueryMetrics {
       obs::Metrics().GetCounter("core.query.join.twig.pairs_scanned");
   obs::Counter& twig_combos =
       obs::Metrics().GetCounter("core.query.join.twig.combos_emitted");
+  obs::Counter& twig_value_skips =
+      obs::Metrics().GetCounter("core.query.join.twig.pairs_value_skipped");
 };
 
 QueryMetrics& Instruments() {
@@ -107,8 +109,42 @@ class SeoSimilarOracle final : public tax::SimilarOracle {
 
   bool Similar(const std::string& x, const std::string& y) const override {
     if (x == y) return true;
-    const Prepared& px = Prep(x);
-    const Prepared& py = Prep(y);
+    return SimilarPrepared(Prep(x), Prep(y));
+  }
+
+  /// Id-keyed variant: equal valid ids short-circuit, and the per-term
+  /// memo is probed by SymbolId (u32 hash) instead of hashing the text.
+  /// Terms without a known id are interned on first sight, so later pairs
+  /// of the same join hit the id-keyed memo too.
+  bool SimilarSym(SymbolId sx, const std::string& x, SymbolId sy,
+                  const std::string& y) const override {
+    if (!SymbolFastPathsEnabled()) return Similar(x, y);
+    if (sx != kInvalidSymbol && sx == sy) return true;
+    if (x == y) return true;
+    return SimilarPrepared(PrepSym(sx, x), PrepSym(sy, y));
+  }
+
+  /// Bucket contract for tax::TwigValueFilter: a term's buckets are its
+  /// enhanced-isa node ids. Two in-ontology terms are Similar iff they
+  /// share a node (Seo::Similar's definition, no fallthrough); a term
+  /// outside the ontology has no buckets and is "free" -- the filter then
+  /// routes its pairs through SimilarSym, which applies the measure
+  /// fallback exactly as Similar would.
+  std::vector<uint64_t> CompatBuckets(
+      const std::string& term) const override {
+    const Prepared& p = Prep(term);
+    std::vector<uint64_t> out;
+    out.reserve(p.nodes.size());
+    for (ontology::HNodeId id : p.nodes) {
+      out.push_back(static_cast<uint64_t>(id));
+    }
+    return out;
+  }
+
+ private:
+  struct Prepared;
+
+  bool SimilarPrepared(const Prepared& px, const Prepared& py) const {
     if (!px.nodes.empty() && !py.nodes.empty()) {
       // Both terms are in the ontology: similar iff some enhanced-isa node
       // contains both (sorted-vector intersection).
@@ -133,13 +169,24 @@ class SeoSimilarOracle final : public tax::SimilarOracle {
            epsilon_;
   }
 
- private:
   struct Prepared {
     std::vector<ontology::HNodeId> nodes;  // sorted ascending
     std::string lowered;
     sim::StringSignature sig;
     bool has_sig = false;
   };
+
+  Prepared* Materialize(const std::string& term) const {
+    store_.push_back(std::make_unique<Prepared>());
+    Prepared* p = store_.back().get();
+    p->nodes = seo_->SimilarityNodes(term);
+    std::sort(p->nodes.begin(), p->nodes.end());
+    p->lowered = ToLower(term);
+    if (signatures_) {
+      p->has_sig = seo_->measure().ComputeSignature(p->lowered, &p->sig);
+    }
+    return p;
+  }
 
   const Prepared& Prep(const std::string& term) const {
     {
@@ -149,17 +196,26 @@ class SeoSimilarOracle final : public tax::SimilarOracle {
     }
     std::unique_lock<std::shared_mutex> write(mu_);
     Prepared*& slot = cache_[term];
-    if (slot == nullptr) {
-      store_.push_back(std::make_unique<Prepared>());
-      Prepared* p = store_.back().get();
-      p->nodes = seo_->SimilarityNodes(term);
-      std::sort(p->nodes.begin(), p->nodes.end());
-      p->lowered = ToLower(term);
-      if (signatures_) {
-        p->has_sig = seo_->measure().ComputeSignature(p->lowered, &p->sig);
-      }
-      slot = p;
+    if (slot == nullptr) slot = Materialize(term);
+    return *slot;
+  }
+
+  /// Prep keyed by interned id. An unknown id is resolved by interning the
+  /// term (its id is then stable for the rest of the process); dictionary
+  /// overflow degrades to the string-keyed memo.
+  const Prepared& PrepSym(SymbolId sym, const std::string& term) const {
+    if (sym == kInvalidSymbol) {
+      sym = Interner::Global().Intern(term);
+      if (sym == kInvalidSymbol) return Prep(term);
     }
+    {
+      std::shared_lock<std::shared_mutex> read(mu_);
+      auto it = sym_cache_.find(sym);
+      if (it != sym_cache_.end()) return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> write(mu_);
+    Prepared*& slot = sym_cache_[sym];
+    if (slot == nullptr) slot = Materialize(term);
     return *slot;
   }
 
@@ -169,6 +225,7 @@ class SeoSimilarOracle final : public tax::SimilarOracle {
   bool signatures_ = false;
   mutable std::shared_mutex mu_;
   mutable std::unordered_map<std::string, Prepared*> cache_;
+  mutable std::unordered_map<SymbolId, Prepared*> sym_cache_;
   mutable std::deque<std::unique_ptr<Prepared>> store_;  // pointer stability
 };
 
@@ -865,14 +922,14 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
     // Document-level pruning: when every pattern subtree is tag-pinned, a
     // doc carrying none of those tags (and no wildcard tag) can contribute
     // neither postings nor in-side embeddings -- skip decoding it entirely.
-    const auto prune_filters = joiner->PruneFilters();
+    const auto prune_filters = joiner->PruneFilterIds();
     if (!prune_filters.empty()) {
       auto mark = [&](const store::Collection& coll,
                       const std::vector<store::DocId>& docs,
                       std::vector<char>* skip) {
         std::set<store::DocId> keep;
-        for (const std::set<std::string>* tags : prune_filters) {
-          for (store::DocId d : coll.DocsWithAnyTag(*tags)) keep.insert(d);
+        for (const std::vector<SymbolId>& tags : prune_filters) {
+          for (store::DocId d : coll.DocsWithAnyTagIds(tags)) keep.insert(d);
         }
         for (store::DocId d : coll.DocsWithWildcardTag()) keep.insert(d);
         for (size_t i = 0; i < docs.size(); ++i) {
@@ -982,6 +1039,17 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
       TOSS_ASSIGN_OR_RETURN(combos, joiner->EvalRootPrefilters());
     }
     obs::Span merge_span(&eval_span, "twig_merge");
+    // Cross-document value filter: skip pair merges that provably share no
+    // similarity-compatible join-key values (nullptr when the join shape
+    // is outside the filter's envelope; see TwigJoiner::BuildValueFilter).
+    std::unique_ptr<tax::TwigValueFilter> value_filter;
+    if (combos && options.use_join_value_index) {
+      std::vector<tax::TwigDoc*> all_docs;
+      all_docs.reserve(ltwig.size() + rtwig.size());
+      for (auto& d : ltwig) all_docs.push_back(&d);
+      for (auto& d : rtwig) all_docs.push_back(&d);
+      value_filter = joiner->BuildValueFilter(all_docs);
+    }
     std::vector<const tax::TwigDoc*> rptrs;
     rptrs.reserve(rtwig.size());
     for (const auto& d : rtwig) rptrs.push_back(&d);
@@ -997,8 +1065,9 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
             return Status::OK();
           }
           TOSS_ASSIGN_OR_RETURN(
-              parts[i], joiner->JoinLeft(ltwig[i], rptrs, combos,
-                                         options.cancel, &tstats));
+              parts[i],
+              joiner->JoinLeft(ltwig[i], rptrs, combos, /*first_part=*/i == 0,
+                               value_filter.get(), options.cancel, &tstats));
           return Status::OK();
         },
         options));
@@ -1014,6 +1083,9 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
           "stack_pushes", tstats.stack_pushes.load(std::memory_order_relaxed));
       merge_span.Annotate(
           "pairs_scanned", tstats.pairs_scanned.load(std::memory_order_relaxed));
+      merge_span.Annotate(
+          "pairs_value_skipped",
+          tstats.pairs_value_skipped.load(std::memory_order_relaxed));
       merge_span.Annotate("pruned_subtrees", pruned_subtrees);
       merge_span.Annotate(
           "combos_emitted",
@@ -1027,6 +1099,8 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
         tstats.stream_advances.load(std::memory_order_relaxed));
     m.twig_pushes.Add(tstats.stack_pushes.load(std::memory_order_relaxed));
     m.twig_pairs.Add(tstats.pairs_scanned.load(std::memory_order_relaxed));
+    m.twig_value_skips.Add(
+        tstats.pairs_value_skipped.load(std::memory_order_relaxed));
     m.twig_combos.Add(tstats.combos_emitted.load(std::memory_order_relaxed));
     m.twig_pruned.Add(pruned_subtrees);
   } else {

@@ -94,6 +94,14 @@ struct QueryOptions {
   /// comparison and as an escape hatch. Joins outside the engine's envelope
   /// fall back to the pairwise path automatically.
   bool use_twig_join = true;
+
+  /// Cross-document posting-key value index (tax::TwigValueFilter): for
+  /// twig joins whose residue is a single cross-tree ~ atom, precompute
+  /// per-document join-key value sets and skip document pairs that share
+  /// no similarity-compatible values. Answers are byte-identical with the
+  /// filter on or off (it only skips provably-redundant pair merges);
+  /// the switch exists for A/B comparison.
+  bool use_join_value_index = true;
 };
 
 /// What an ExplainAnalyze* call returns: the operator's answer (identical

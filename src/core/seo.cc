@@ -20,6 +20,13 @@ std::vector<HNodeId> LookupTerm(const Hierarchy& h, const std::string& term) {
   return h.NodesContaining(ToLower(term));
 }
 
+bool HasUpperAscii(std::string_view s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const Hierarchy* Seo::EnhancedHierarchy(const std::string& relation) const {
@@ -52,6 +59,75 @@ bool Seo::Similar(const std::string& x, const std::string& y) const {
   if (measure_ == nullptr) return false;
   return measure_->BoundedDistance(ToLower(x), ToLower(y), epsilon_) <=
          epsilon_;
+}
+
+const std::vector<HNodeId>* Seo::LookupSym(
+    const std::unordered_map<SymbolId, std::vector<HNodeId>>& relation_index,
+    SymbolId sym, std::string_view term) const {
+  // Exact lookup. The index interned every hierarchy term, so a term the
+  // dictionary has never seen is provably not in the hierarchy.
+  Interner& interner = Interner::Global();
+  if (sym == kInvalidSymbol) {
+    if (auto found = interner.Find(term)) sym = *found;
+  }
+  if (sym != kInvalidSymbol) {
+    auto it = relation_index.find(sym);
+    if (it != relation_index.end()) return &it->second;
+  }
+  // Lowercase fallback (see LookupTerm): only worth a Find when lowering
+  // can change the term at all.
+  if (!HasUpperAscii(term)) return nullptr;
+  auto lowered = interner.Find(ToLower(std::string(term)));
+  if (!lowered.has_value()) return nullptr;
+  auto it = relation_index.find(*lowered);
+  return it == relation_index.end() ? nullptr : &it->second;
+}
+
+bool Seo::SimilarSym(SymbolId sx, const std::string& x, SymbolId sy,
+                     const std::string& y) const {
+  auto index = term_index_;
+  if (index == nullptr || !SymbolFastPathsEnabled()) return Similar(x, y);
+  if (sx != kInvalidSymbol && sx == sy) return true;  // equal text
+  if (x == y) return true;  // ids may be missing on either side
+  auto rel = index->by_relation.find(ontology::kIsa);
+  if (rel != index->by_relation.end()) {
+    const auto* xs = LookupSym(rel->second, sx, x);
+    const auto* ys = LookupSym(rel->second, sy, y);
+    if (xs != nullptr && ys != nullptr) {
+      // Def. of ~: some enhanced node contains both. Both lists ascend.
+      auto ix = xs->begin();
+      auto iy = ys->begin();
+      while (ix != xs->end() && iy != ys->end()) {
+        if (*ix == *iy) return true;
+        (*ix < *iy) ? ++ix : ++iy;
+      }
+      return false;
+    }
+  }
+  if (measure_ == nullptr) return false;
+  return measure_->BoundedDistance(ToLower(x), ToLower(y), epsilon_) <=
+         epsilon_;
+}
+
+bool Seo::LeqSym(const std::string& relation, SymbolId sx,
+                 const std::string& x, SymbolId sy,
+                 const std::string& y) const {
+  auto index = term_index_;
+  if (index == nullptr || !SymbolFastPathsEnabled()) {
+    return Leq(relation, x, y);
+  }
+  auto rel = index->by_relation.find(relation);
+  if (rel == index->by_relation.end()) return false;  // no such hierarchy
+  const Hierarchy* h = EnhancedHierarchy(relation);
+  const auto* xs = LookupSym(rel->second, sx, x);
+  const auto* ys = LookupSym(rel->second, sy, y);
+  if (xs == nullptr || ys == nullptr) return false;
+  for (HNodeId nx : *xs) {
+    for (HNodeId ny : *ys) {
+      if (h->Leq(nx, ny)) return true;
+    }
+  }
+  return false;
 }
 
 std::vector<HNodeId> Seo::SimilarityNodes(const std::string& term) const {
@@ -121,7 +197,25 @@ void Seo::WarmCaches() const {
   }
   for (const auto& [rel, enh] : enhancements_) {
     enh.enhanced.EnsureReachabilityCache();
+    enh.BuildPreimageIndex();
   }
+  // Intern every enhanced-hierarchy term into the id-keyed index behind
+  // SimilarSym/LeqSym. Node ids ascend in the outer loop and terms are
+  // deduplicated per node, so each vector is born sorted and unique.
+  auto index = std::make_shared<TermIndex>();
+  Interner& interner = Interner::Global();
+  for (const auto& [rel, enh] : enhancements_) {
+    auto& relation_index = index->by_relation[rel];
+    const Hierarchy& h = enh.enhanced;
+    for (HNodeId id = 0; id < h.node_count(); ++id) {
+      for (const auto& term : h.terms(id)) {
+        SymbolId sym = interner.Intern(term);
+        if (sym == kInvalidSymbol) return;  // dictionary full: no index
+        relation_index[sym].push_back(id);
+      }
+    }
+  }
+  term_index_ = std::move(index);
 }
 
 SeoBuilder::SeoBuilder() = default;

@@ -18,8 +18,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "ontology/ontology.h"
 #include "ontology/sea.h"
@@ -65,6 +68,19 @@ class Seo {
   bool Leq(const std::string& relation, const std::string& x,
            const std::string& y) const;
 
+  // --- Interned-id variants -------------------------------------------------
+  //
+  // Same verdicts as Similar()/Leq() (property-tested equivalent), but
+  // after WarmCaches() has built the symbol-keyed term index, the per-term
+  // hierarchy lookup is one hash probe on a u32 instead of string-keyed
+  // map walks. Pass kInvalidSymbol when a term's id is unknown; the text
+  // is always required (measure fallback, lazy id resolution).
+
+  bool SimilarSym(SymbolId sx, const std::string& x, SymbolId sy,
+                  const std::string& y) const;
+  bool LeqSym(const std::string& relation, SymbolId sx, const std::string& x,
+              SymbolId sy, const std::string& y) const;
+
   /// All terms similar to `term` (sharing an enhanced-isa node), including
   /// `term` itself. Query rewriting expands search terms through this.
   std::vector<std::string> SimilarTerms(const std::string& term) const;
@@ -79,7 +95,10 @@ class Seo {
   size_t TotalNodeCount() const;
 
   /// Prebuilds every hierarchy's reachability cache so a frozen Seo can be
-  /// shared across query threads (see Hierarchy::EnsureReachabilityCache).
+  /// shared across query threads (see Hierarchy::EnsureReachabilityCache),
+  /// and interns every enhanced-hierarchy term into the symbol-keyed term
+  /// index behind SimilarSym/LeqSym. Like the reachability caches, this
+  /// must run before the Seo is shared across threads.
   void WarmCaches() const;
 
  private:
@@ -88,10 +107,24 @@ class Seo {
   friend std::string FormatSeo(const Seo& seo);
   friend Result<Seo> ParseSeoText(std::string_view text);
 
+  /// relation -> (interned exact term -> ascending enhanced-node ids);
+  /// immutable once published, shared by copies of this Seo.
+  struct TermIndex {
+    std::map<std::string,
+             std::unordered_map<SymbolId, std::vector<ontology::HNodeId>>>
+        by_relation;
+  };
+
+  const std::vector<ontology::HNodeId>* LookupSym(
+      const std::unordered_map<SymbolId, std::vector<ontology::HNodeId>>&
+          relation_index,
+      SymbolId sym, std::string_view term) const;
+
   ontology::Ontology fused_;
   std::map<std::string, ontology::SimilarityEnhancement> enhancements_;
   sim::StringMeasurePtr measure_;
   double epsilon_ = 0.0;
+  mutable std::shared_ptr<const TermIndex> term_index_;  ///< see WarmCaches
 };
 
 /// SEO persistence: the fused ontology, every enhancement (H', mu), the

@@ -15,6 +15,14 @@ Result<bool> SeoSemantics::Compare(const TermValue& x, CondOp op,
     if (op == CondOp::kNeq) return x.text != y.text;
     return Status::TypeError("ordering comparison on a type name");
   }
+  // Two valid ids imply both operands are string-typed (TermValue
+  // invariant), so the lub machinery below is moot and glob-aware equality
+  // is decidable from the ids alone.
+  if (op == CondOp::kEq || op == CondOp::kNeq) {
+    if (auto eq = tax::SymbolGlobEquality(x, y)) {
+      return op == CondOp::kEq ? *eq : !*eq;
+    }
+  }
   std::string tx = x.type.empty() ? "string" : x.type;
   std::string ty = y.type.empty() ? "string" : y.type;
   if (tx == ty) {
@@ -35,13 +43,13 @@ Result<bool> SeoSemantics::Compare(const TermValue& x, CondOp op,
 
 Result<bool> SeoSemantics::Similar(const TermValue& x,
                                    const TermValue& y) const {
-  return seo_->Similar(x.text, y.text);
+  return seo_->SimilarSym(x.symbol, x.text, y.symbol, y.text);
 }
 
 Result<bool> SeoSemantics::Related(const std::string& relation,
                                    const TermValue& x,
                                    const TermValue& y) const {
-  if (seo_->Leq(relation, x.text, y.text)) return true;
+  if (seo_->LeqSym(relation, x.symbol, x.text, y.symbol, y.text)) return true;
   // isa additionally covers the subtype order over *declared* types
   // ("1999":year isa "5":int). Untyped string values must not trigger
   // this -- string <= string would make every isa atom true.

@@ -77,18 +77,98 @@ int LevenshteinMyers64(std::string_view a, std::string_view b) {
   return score;
 }
 
+// Blocked Myers: the shorter string's column spans `words` 64-bit blocks.
+// Per character of the longer string the blocks run low to high with three
+// values chained across the boundary: the carry of the xh addition, and the
+// bits shifted out of ph / mh (block 0's shift-in is the +1 horizontal
+// delta of the top boundary row, exactly the `| 1` of the one-word
+// version). Score tracks the bottom cell, bit (m-1) of the top block. The
+// match table is again thread_local with only the touched words re-zeroed,
+// so a call costs O(words * (|longer| + 256-free)) with no per-call
+// allocation once the scratch has grown.
+int LevenshteinMyersBlocked(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size();
+  if (m == 0) return static_cast<int>(b.size());
+  const size_t words = (m + 63) / 64;
+  thread_local std::vector<uint64_t> peq_s;  // all-zero between calls
+  thread_local std::vector<uint64_t> pv_s, mv_s;
+  if (peq_s.size() < words * 256) peq_s.assign(words * 256, 0);
+  if (pv_s.size() < words) {
+    pv_s.resize(words);
+    mv_s.resize(words);
+  }
+  uint64_t* peq = peq_s.data();
+  uint64_t* pv = pv_s.data();
+  uint64_t* mv = mv_s.data();
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i]) * words + i / 64] |=
+        uint64_t{1} << (i % 64);
+  }
+  for (size_t w = 0; w < words; ++w) {
+    pv[w] = ~uint64_t{0};
+    mv[w] = 0;
+  }
+  int score = static_cast<int>(m);
+  const size_t last_w = words - 1;
+  const uint64_t last = uint64_t{1} << ((m - 1) % 64);
+  for (const char bc : b) {
+    const uint64_t* eq_row =
+        peq + static_cast<size_t>(static_cast<unsigned char>(bc)) * words;
+    uint64_t ph_in = 1;
+    uint64_t mh_in = 0;
+    uint64_t add_carry = 0;
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t eq = eq_row[w];
+      const uint64_t pb = pv[w];
+      const uint64_t xv = eq | mv[w];
+      // (eq & pb) + pb, carry chained from the previous block.
+      const uint64_t t = eq & pb;
+      const uint64_t s1 = t + add_carry;
+      const uint64_t sum = s1 + pb;
+      add_carry = static_cast<uint64_t>(s1 < t) |
+                  static_cast<uint64_t>(sum < s1);
+      const uint64_t xh = (sum ^ pb) | eq;
+      uint64_t ph = mv[w] | ~(xh | pb);
+      uint64_t mh = pb & xh;
+      if (w == last_w) {
+        if (ph & last) {
+          ++score;
+        } else if (mh & last) {
+          --score;
+        }
+      }
+      const uint64_t ph_out = ph >> 63;
+      const uint64_t mh_out = mh >> 63;
+      ph = (ph << 1) | ph_in;
+      mh = (mh << 1) | mh_in;
+      ph_in = ph_out;
+      mh_in = mh_out;
+      pv[w] = mh | ~(xv | ph);
+      mv[w] = ph & xv;
+    }
+  }
+  // Each set bit of the match table was set by some position i; zeroing the
+  // word that holds bit i for every i clears the table in O(m).
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i]) * words + i / 64] = 0;
+  }
+  return score;
+}
+
 }  // namespace internal
 
 namespace {
 
-// Full-distance entry point: bit-parallel when the shorter string fits one
-// machine word (the overwhelmingly common case for ontology terms), DP
-// otherwise.
+// Full-distance entry point: bit-parallel throughout -- one machine word
+// when the shorter string fits (the overwhelmingly common case for
+// ontology terms), the blocked variant past that. The scalar DP remains
+// only as the property-test reference.
 int LevenshteinRaw(std::string_view a, std::string_view b) {
   if (std::min(a.size(), b.size()) <= 64) {
     return internal::LevenshteinMyers64(a, b);
   }
-  return internal::LevenshteinDp(a, b);
+  return internal::LevenshteinMyersBlocked(a, b);
 }
 
 // Banded Levenshtein: returns the exact distance when it is <= limit,

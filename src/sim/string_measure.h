@@ -294,6 +294,14 @@ int LevenshteinDp(std::string_view a, std::string_view b);
 /// to LevenshteinDp on that domain (property-tested).
 int LevenshteinMyers64(std::string_view a, std::string_view b);
 
+/// Blocked (multi-word) Myers: the DP column spans ceil(|shorter| / 64)
+/// word blocks with the horizontal deltas and the add carry chained
+/// across block boundaries, so strings past the single-word fast path
+/// still run at O(|longer| * |shorter| / 64) word operations instead of
+/// falling back to the scalar DP. Any lengths; equal to LevenshteinDp
+/// (property-tested).
+int LevenshteinMyersBlocked(std::string_view a, std::string_view b);
+
 }  // namespace internal
 
 }  // namespace toss::sim

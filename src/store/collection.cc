@@ -43,6 +43,7 @@ Collection::Collection(Collection&& other) noexcept
       docs_(std::move(other.docs_)),
       by_key_(std::move(other.by_key_)),
       tag_index_(std::move(other.tag_index_)),
+      unindexed_tag_docs_(std::move(other.unindexed_tag_docs_)),
       term_index_(std::move(other.term_index_)),
       value_index_(std::move(other.value_index_)),
       numeric_index_(std::move(other.numeric_index_)),
@@ -61,6 +62,7 @@ Collection& Collection::operator=(Collection&& other) noexcept {
   docs_ = std::move(other.docs_);
   by_key_ = std::move(other.by_key_);
   tag_index_ = std::move(other.tag_index_);
+  unindexed_tag_docs_ = std::move(other.unindexed_tag_docs_);
   term_index_ = std::move(other.term_index_);
   value_index_ = std::move(other.value_index_);
   numeric_index_ = std::move(other.numeric_index_);
@@ -154,7 +156,15 @@ void Collection::IndexDocument(DocId id) {
   elements.insert(elements.end(), descendants.begin(), descendants.end());
   for (xml::NodeId nid : elements) {
     const auto& n = doc.node(nid);
-    tag_index_[n.tag].insert(id);
+    // Tags join the process dictionary here; the tag index is id-keyed.
+    // Dictionary overflow (2^26 terms) degrades to the conservative
+    // unindexed set instead of corrupting a shared kInvalidSymbol bucket.
+    SymbolId tag_sym = Interner::Global().Intern(n.tag);
+    if (tag_sym != kInvalidSymbol) {
+      tag_index_[tag_sym].insert(id);
+    } else {
+      unindexed_tag_docs_.insert(id);
+    }
     // Value indexes: the element's text content (leaf-style values).
     std::string content = doc.TextContent(nid);
     if (!content.empty() && content.size() <= 256) {
@@ -176,6 +186,7 @@ void Collection::UnindexDocument(DocId id) {
   // Tag/term postings are erased by sweep (removal is rare); the ordered
   // indexes use the per-document key log recorded at index time.
   for (auto& [tag, postings] : tag_index_) postings.erase(id);
+  unindexed_tag_docs_.erase(id);
   for (auto& [term, postings] : term_index_) postings.erase(id);
   Entry& entry = docs_[id];
   for (const auto& key : entry.value_keys) {
@@ -238,9 +249,27 @@ Result<std::vector<DocId>> Collection::DocsWithValueInRange(
 std::vector<DocId> Collection::DocsWithAnyTag(
     const std::set<std::string>& tags) const {
   // Tag postings hold live docs only (UnindexDocument sweeps them), so the
-  // union needs no liveness re-check.
-  std::set<DocId> docs;
+  // union needs no liveness re-check. A tag absent from the dictionary is
+  // in no indexed document.
+  std::set<DocId> docs(unindexed_tag_docs_.begin(),
+                       unindexed_tag_docs_.end());
+  Interner& interner = Interner::Global();
   for (const std::string& tag : tags) {
+    auto sym = interner.Find(tag);
+    if (!sym.has_value()) continue;
+    auto it = tag_index_.find(*sym);
+    if (it != tag_index_.end()) {
+      docs.insert(it->second.begin(), it->second.end());
+    }
+  }
+  return {docs.begin(), docs.end()};
+}
+
+std::vector<DocId> Collection::DocsWithAnyTagIds(
+    const std::vector<SymbolId>& tags) const {
+  std::set<DocId> docs(unindexed_tag_docs_.begin(),
+                       unindexed_tag_docs_.end());
+  for (SymbolId tag : tags) {
     auto it = tag_index_.find(tag);
     if (it != tag_index_.end()) {
       docs.insert(it->second.begin(), it->second.end());
@@ -250,9 +279,11 @@ std::vector<DocId> Collection::DocsWithAnyTag(
 }
 
 std::vector<DocId> Collection::DocsWithWildcardTag() const {
-  std::set<DocId> docs;
+  std::set<DocId> docs(unindexed_tag_docs_.begin(),
+                       unindexed_tag_docs_.end());
+  Interner& interner = Interner::Global();
   for (const auto& [tag, postings] : tag_index_) {
-    if (tag.find('*') != std::string::npos) {
+    if (interner.HasStar(tag)) {
       docs.insert(postings.begin(), postings.end());
     }
   }
@@ -266,11 +297,19 @@ std::vector<DocId> Collection::PlanCandidates(const xml::PlanHints& hints,
   // possible match. Intersection starts from the smallest list.
   std::vector<std::vector<DocId>> postings;
   for (const auto& tag : hints.required_tags) {
-    auto it = tag_index_.find(tag);
-    postings.emplace_back(it == tag_index_.end()
-                              ? std::vector<DocId>{}
-                              : std::vector<DocId>(it->second.begin(),
-                                                   it->second.end()));
+    // Id-keyed index: unknown tag = empty posting. Docs whose tags could
+    // not be interned are unclassifiable and must stay candidates.
+    std::vector<DocId> p(unindexed_tag_docs_.begin(),
+                         unindexed_tag_docs_.end());
+    if (auto sym = Interner::Global().Find(tag)) {
+      auto it = tag_index_.find(*sym);
+      if (it != tag_index_.end()) {
+        p.insert(p.end(), it->second.begin(), it->second.end());
+        std::sort(p.begin(), p.end());
+        p.erase(std::unique(p.begin(), p.end()), p.end());
+      }
+    }
+    postings.emplace_back(std::move(p));
   }
   for (const auto& [tag, value] : hints.required_values) {
     // Value index only covers short leaf values; skip long ones (the tag

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "store/btree.h"
 #include "tax/data_tree.h"
@@ -154,6 +155,10 @@ class Collection {
   /// (tax::TwigJoiner::PruneFilters).
   std::vector<DocId> DocsWithAnyTag(const std::set<std::string>& tags) const;
 
+  /// Id-space DocsWithAnyTag: `tags` are interned SymbolIds (the tag index
+  /// is keyed by them), e.g. from tax::TwigJoiner::PruneFilterIds.
+  std::vector<DocId> DocsWithAnyTagIds(const std::vector<SymbolId>& tags) const;
+
   /// Live documents containing at least one element whose tag contains '*'
   /// (such tags match any tag literal under glob equality), ascending.
   std::vector<DocId> DocsWithWildcardTag() const;
@@ -184,7 +189,14 @@ class Collection {
   // Secondary indexes. Tag and term postings are doc-id sets; exact values
   // live in two B+-trees -- lexicographic raw keys plus an order-preserving
   // numeric encoding -- so equality lookups and range scans share storage.
-  std::map<std::string, std::set<DocId>> tag_index_;
+  // The tag index is keyed by interned SymbolId (every indexed tag joins
+  // the process dictionary at IndexDocument); string lookups go through
+  // Interner::Find -- a tag the dictionary has never seen is in no live
+  // document. Documents carrying a tag the dictionary could not intern
+  // (overflow) land in unindexed_tag_docs_ and are conservatively kept by
+  // every tag-based pruning path.
+  std::unordered_map<SymbolId, std::set<DocId>> tag_index_;
+  std::set<DocId> unindexed_tag_docs_;
   std::map<std::string, std::set<DocId>> term_index_;
   BPlusTree value_index_;    // ValueKey(tag, content)
   BPlusTree numeric_index_;  // NumericKey(tag, content), integer contents

@@ -15,10 +15,20 @@
 // newlines, '%', and control bytes round-trip):
 //
 //   toss-snapshot 1
+//   symbols <file> <count> <bytes> <crc32-hex>   (optional, at most one)
 //   collection <subdir> <ndocs> <escaped-name>
 //   doc <file> <bytes> <crc32-hex> <escaped-key>
 //   ...                                     (exactly <ndocs> doc lines)
 //   end-snapshot
+//
+// The symbols line names a sidecar term-dictionary file (<count> %-escaped
+// terms, one per line) holding every tag/content term of the snapshot's
+// documents; Open pre-interns them so id-based evaluation starts warm (see
+// DESIGN.md "Term dictionary & id-based evaluation"). The section is
+// optional: manifests written before it existed load fine and intern
+// lazily as documents decode. When present it is verified like a document
+// payload -- byte count and CRC32 -- and a corrupt table rejects the whole
+// generation (Open degrades to the next intact one).
 //
 // Collection subdirectories and document filenames are ordinals, never
 // derived from user-provided names/keys, so hostile keys cannot escape the
@@ -41,6 +51,7 @@ namespace toss::store {
 
 inline constexpr char kCurrentFileName[] = "CURRENT";
 inline constexpr char kManifestFileName[] = "MANIFEST";
+inline constexpr char kSymbolsFileName[] = "SYMBOLS";
 inline constexpr char kLegacyManifestFileName[] = "manifest.txt";
 inline constexpr int kSnapshotFormatVersion = 1;
 
@@ -74,11 +85,31 @@ struct ManifestCollection {
   std::vector<ManifestDoc> docs;
 };
 
+/// Descriptor of the generation's term-dictionary sidecar file.
+struct ManifestSymbols {
+  std::string file;    ///< filename inside the generation dir
+  uint64_t count = 0;  ///< number of term lines in the file
+  uint64_t bytes = 0;
+  uint32_t crc32 = 0;
+};
+
 struct SnapshotManifest {
+  std::optional<ManifestSymbols> symbols;
   std::vector<ManifestCollection> collections;
 
   std::string Format() const;
 };
+
+/// Serializes a term dictionary: one %-escaped term per line, terms in the
+/// given order (Save passes them sorted). Lossless for arbitrary bytes,
+/// including empty terms (an empty line) and terms with newlines.
+std::string FormatSymbolsFile(const std::vector<std::string>& terms);
+
+/// Inverse of FormatSymbolsFile. Verifies the line count against
+/// `expected_count` (from the manifest) and rejects malformed escapes or a
+/// truncated final line.
+Result<std::vector<std::string>> ParseSymbolsFile(std::string_view text,
+                                                  uint64_t expected_count);
 
 /// Parses and validates a MANIFEST. Truncated documents, unknown versions,
 /// bad counts, and malformed escapes all yield typed errors (ParseError /

@@ -1,9 +1,33 @@
 #include "tax/condition.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 namespace toss::tax {
+
+std::optional<bool> SymbolTextEquality(const TermValue& x,
+                                       const TermValue& y) {
+  if (x.symbol == kInvalidSymbol || y.symbol == kInvalidSymbol ||
+      !SymbolFastPathsEnabled()) {
+    return std::nullopt;
+  }
+  return x.symbol == y.symbol;
+}
+
+std::optional<bool> SymbolGlobEquality(const TermValue& x,
+                                       const TermValue& y) {
+  if (x.symbol == kInvalidSymbol || y.symbol == kInvalidSymbol ||
+      !SymbolFastPathsEnabled()) {
+    return std::nullopt;
+  }
+  if (x.symbol == y.symbol) return true;
+  Interner& interner = Interner::Global();
+  if (interner.HasStar(x.symbol) || interner.HasStar(y.symbol)) {
+    return std::nullopt;  // distinct texts, but globbing may still match
+  }
+  return false;
+}
 
 const char* CondOpName(CondOp op) {
   switch (op) {
@@ -63,6 +87,12 @@ CondTerm Value(std::string text, std::string type) {
   t.kind = CondTerm::Kind::kTypedValue;
   t.text = std::move(text);
   t.value_type = std::move(type);
+  // String literals join the process dictionary once, at construction, so
+  // every later evaluation compares ids. Typed literals keep their text:
+  // they flow through type conversion, not string equality.
+  if (t.value_type.empty() || t.value_type == kStringType) {
+    t.symbol = Interner::Global().Intern(t.text);
+  }
   return t;
 }
 
@@ -188,6 +218,17 @@ class ViewSource final : public NodeSource {
     NodeId mapped = h_.mapping->Get(label);
     return mapped == kInvalidNode ? nullptr : &h_.tree->node(mapped);
   }
+  ResolvedNode ResolveIds(int label) const override {
+    NodeId mapped = h_.mapping->Get(label);
+    if (mapped == kInvalidNode) return ResolvedNode{};
+    ResolvedNode r;
+    r.node = &h_.tree->node(mapped);
+    if (h_.tree->HasSymbolIds()) {
+      r.tag_symbol = h_.tree->TagId(mapped);
+      r.content_symbol = h_.tree->ContentId(mapped);
+    }
+    return r;
+  }
 
  private:
   const EmbeddingView& h_;
@@ -204,7 +245,8 @@ Result<TermValue> EvalTerm(const CondTerm& term, const NodeSource& source) {
   switch (term.kind) {
     case CondTerm::Kind::kNodeTag:
     case CondTerm::Kind::kNodeContent: {
-      const DataNode* n = source.Resolve(term.node_label);
+      ResolvedNode r = source.ResolveIds(term.node_label);
+      const DataNode* n = r.node;
       if (n == nullptr) {
         return Status::InvalidArgument(
             "condition references pattern node $" +
@@ -213,9 +255,11 @@ Result<TermValue> EvalTerm(const CondTerm& term, const NodeSource& source) {
       if (term.kind == CondTerm::Kind::kNodeTag) {
         v.text = n->tag;
         v.type = n->tag_type;
+        if (n->tag_type == kStringType) v.symbol = r.tag_symbol;
       } else {
         v.text = n->content;
         v.type = n->content_type;
+        if (n->content_type == kStringType) v.symbol = r.content_symbol;
       }
       return v;
     }
@@ -226,6 +270,7 @@ Result<TermValue> EvalTerm(const CondTerm& term, const NodeSource& source) {
     case CondTerm::Kind::kTypedValue:
       v.text = term.text;
       v.type = term.value_type.empty() ? kStringType : term.value_type;
+      v.symbol = term.symbol;
       return v;
   }
   return Status::Internal("unreachable term kind");

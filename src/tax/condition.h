@@ -18,9 +18,11 @@
 #define TOSS_TAX_CONDITION_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "tax/data_tree.h"
 #include "tax/label_map.h"
@@ -58,6 +60,11 @@ struct CondTerm {
   int node_label = 0;      ///< for kNodeTag / kNodeContent
   std::string text;        ///< type name or literal value
   std::string value_type;  ///< declared type of a literal ("" = string)
+
+  /// Interned id of a *string-typed* literal, computed once at term
+  /// construction (Value() / the condition parser). kInvalidSymbol for
+  /// node terms, type names, and non-string literals.
+  SymbolId symbol = kInvalidSymbol;
 };
 
 /// Helpers for building terms programmatically.
@@ -98,7 +105,36 @@ struct TermValue {
   std::string text;
   std::string type;          ///< type of the value ("" when X is a type name)
   bool is_type_name = false;
+
+  /// Interned id of `text` when it is a string-typed value whose id is
+  /// known (node attribute of an indexed tree, or interned literal);
+  /// kInvalidSymbol otherwise. Invariant: symbol != kInvalidSymbol implies
+  /// !is_type_name and type == "string", and Interner::Global().Text(symbol)
+  /// == text.
+  SymbolId symbol = kInvalidSymbol;
 };
+
+// --- Symbol fast paths -------------------------------------------------------
+//
+// Equality in TAX/TOSS is string equality plus '*' globbing -- never numeric
+// coercion (tax_semantics.cc CompareValues) -- so interned ids decide most
+// equality atoms without touching the texts. The global switch exists for
+// A/B testing: property tests run every operator with the fast paths off and
+// assert byte-identical answers.
+
+/// Exact text equality decided from ids alone: true/false when both ids are
+/// valid (ids are canonical: equal id <=> equal text), nullopt when either
+/// id is missing or the fast paths are disabled. Sound for ~ under
+/// TaxSemantics and for pre-glob screening -- NOT for glob-aware equality
+/// (use SymbolGlobEquality).
+std::optional<bool> SymbolTextEquality(const TermValue& x, const TermValue& y);
+
+/// Glob-aware equality decided from ids: like SymbolTextEquality but also
+/// nullopt when either term contains '*' and the ids differ (distinct texts
+/// may still glob-match). Matches CompareValues kEq semantics exactly:
+/// equal ids => equal texts => equal (a pattern always glob-matches
+/// itself); unequal star-free ids => unequal.
+std::optional<bool> SymbolGlobEquality(const TermValue& x, const TermValue& y);
 
 /// Pluggable meaning of operators. Implementations must be pure
 /// (side-effect free); Compare-family calls may return TypeError for
@@ -132,6 +168,14 @@ struct EmbeddingView {
   const LabelMap* mapping = nullptr;
 };
 
+/// A resolved label image plus the interned ids of its tag/content when the
+/// backing tree carries them (DataTree::HasSymbolIds).
+struct ResolvedNode {
+  const DataNode* node = nullptr;
+  SymbolId tag_symbol = kInvalidSymbol;
+  SymbolId content_symbol = kInvalidSymbol;
+};
+
 /// Label resolution decoupled from a single DataTree: the structural join
 /// engine evaluates conditions over mappings that span two source trees
 /// (plus a synthetic product root), so the node behind a label cannot be
@@ -141,6 +185,11 @@ class NodeSource {
   virtual ~NodeSource() = default;
   /// The image node of `label`, or nullptr when the label is unmapped.
   virtual const DataNode* Resolve(int label) const = 0;
+  /// Resolve plus interned ids; sources backed by indexed trees override
+  /// this to surface the ids. Default: node only.
+  virtual ResolvedNode ResolveIds(int label) const {
+    return ResolvedNode{Resolve(label), kInvalidSymbol, kInvalidSymbol};
+  }
 };
 
 /// Extracts the TermValue of `term` under `h` (paper's X^h / type(X)^h).

@@ -149,9 +149,21 @@ void DataTree::BuildTagIndex() {
   if (tag_index_.has_value()) return;
   TagIndexData index;
   index.depth.resize(nodes_.size());
+  index.tag_ids.resize(nodes_.size(), kInvalidSymbol);
+  index.content_ids.resize(nodes_.size(), kInvalidSymbol);
+  Interner& interner = Interner::Global();
+  bool symbols_ok = true;
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     const DataNode& n = nodes_[v];
-    index.by_tag[n.tag].push_back(v);  // v ascending -> lists stay sorted
+    const SymbolId tag_id = interner.Intern(n.tag);
+    index.tag_ids[v] = tag_id;
+    index.content_ids[v] = interner.Intern(n.content);
+    if (tag_id == kInvalidSymbol ||
+        index.content_ids[v] == kInvalidSymbol) {
+      symbols_ok = false;  // process dictionary full (2^26 terms)
+    } else {
+      index.by_tag[tag_id].push_back(v);  // v ascending -> lists stay sorted
+    }
     if (n.tag.find('*') != std::string::npos) {
       index.wildcard_nodes.push_back(v);
     }
@@ -159,6 +171,14 @@ void DataTree::BuildTagIndex() {
     // Parents precede children (AppendChild invariant), so depths fill in
     // one pass regardless of id ordering.
     index.depth[v] = (n.parent == kInvalidNode) ? 0 : index.depth[n.parent] + 1;
+  }
+  if (!symbols_ok) {
+    // Without complete ids the id-keyed tag map is partial; disable both
+    // the ids and index-based tag pruning rather than prune wrongly.
+    index.tag_ids.clear();
+    index.content_ids.clear();
+    index.by_tag.clear();
+    index.filterable = false;
   }
   // Preorder check: walking children depth-first must visit ids 0,1,2,...
   // (true for FromXml / CopySubtree construction). Then each subtree is the
@@ -193,6 +213,14 @@ void DataTree::BuildTagIndex() {
 }
 
 const std::vector<NodeId>* DataTree::NodesWithTag(std::string_view tag) const {
+  assert(tag_index_.has_value());
+  // Non-inserting dictionary probe: a tag the process has never interned
+  // cannot occur in this (indexed, hence interned) tree.
+  auto id = Interner::Global().Find(tag);
+  return id.has_value() ? NodesWithTagId(*id) : nullptr;
+}
+
+const std::vector<NodeId>* DataTree::NodesWithTagId(SymbolId tag) const {
   assert(tag_index_.has_value());
   auto it = tag_index_->by_tag.find(tag);
   return it == tag_index_->by_tag.end() ? nullptr : &it->second;

@@ -16,12 +16,13 @@
 #define TOSS_TAX_DATA_TREE_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "xml/xml_document.h"
 
 namespace toss::tax {
@@ -120,6 +121,9 @@ class DataTree {
   /// is absent. Requires TagFilterable().
   const std::vector<NodeId>* NodesWithTag(std::string_view tag) const;
 
+  /// Id-keyed variant of NodesWithTag. Requires TagFilterable().
+  const std::vector<NodeId>* NodesWithTagId(SymbolId tag) const;
+
   /// Nodes whose tag contains '*'. Under glob-equality semantics a *data*
   /// tag can act as the pattern side of `$n.tag = "lit"`, so these stay
   /// candidates for every tag literal. Requires TagFilterable().
@@ -142,12 +146,34 @@ class DataTree {
   /// Root distance of v (root = 0). Valid iff HasDepths().
   uint32_t Depth(NodeId v) const { return tag_index_->depth[v]; }
 
+  // --- Interned symbol ids -------------------------------------------------
+  //
+  // BuildTagIndex also interns every node's tag and content through the
+  // process-wide Interner, so downstream comparisons (conditions, twig
+  // merge values, SEO probes) work on u32 ids. The ids share the index's
+  // lifecycle: any mutation drops them together with the tag index, which
+  // is exactly the staleness rule they need.
+
+  /// True when per-node tag/content SymbolIds were computed (whenever the
+  /// index is built, unless the process dictionary overflowed).
+  bool HasSymbolIds() const {
+    return tag_index_.has_value() && !tag_index_->tag_ids.empty();
+  }
+
+  /// Interned id of v's tag. Valid iff HasSymbolIds().
+  SymbolId TagId(NodeId v) const { return tag_index_->tag_ids[v]; }
+
+  /// Interned id of v's content. Valid iff HasSymbolIds().
+  SymbolId ContentId(NodeId v) const { return tag_index_->content_ids[v]; }
+
  private:
   struct TagIndexData {
-    std::map<std::string, std::vector<NodeId>, std::less<>> by_tag;
+    std::unordered_map<SymbolId, std::vector<NodeId>> by_tag;
     std::vector<NodeId> wildcard_nodes;
     std::vector<NodeId> subtree_end;  ///< empty when ids are not preorder
     std::vector<uint32_t> depth;      ///< positional label: root distance
+    std::vector<SymbolId> tag_ids;      ///< per-node interned tag
+    std::vector<SymbolId> content_ids;  ///< per-node interned content
     bool filterable = true;           ///< all tag_types are "string"
   };
 

@@ -62,6 +62,7 @@ class Enumerator {
     prefilters_ = CollectConjunctivePrefilters(pattern.condition());
     if (options.use_tag_index && tree.TagFilterable()) {
       tag_filters_ = CollectConjunctiveTagFilters(pattern.condition());
+      BuildIdFilters();
     }
   }
 
@@ -80,6 +81,7 @@ class Enumerator {
     prefilters_ = CollectConjunctivePrefilters(pattern.condition());
     if (tree.TagFilterable()) {
       tag_filters_ = CollectConjunctiveTagFilters(pattern.condition());
+      BuildIdFilters();
     }
   }
 
@@ -101,6 +103,56 @@ class Enumerator {
   const std::set<std::string>* FilterFor(int label) const {
     auto it = tag_filters_.find(label);
     return it == tag_filters_.end() ? nullptr : &it->second;
+  }
+
+  /// Lowers each string filter to a sorted SymbolId list when the tree
+  /// carries per-node ids. BuildTagIndex interned every data tag, so a
+  /// literal the dictionary has never seen matches no node and is dropped;
+  /// an entry can therefore legitimately be empty (only '*' tags remain
+  /// candidates).
+  void BuildIdFilters() {
+    if (!tree_.HasSymbolIds() || !SymbolFastPathsEnabled()) return;
+    Interner& interner = Interner::Global();
+    for (const auto& [label, tags] : tag_filters_) {
+      std::vector<SymbolId> ids;
+      ids.reserve(tags.size());
+      for (const std::string& tag : tags) {
+        if (auto sym = interner.Find(tag)) ids.push_back(*sym);
+      }
+      std::sort(ids.begin(), ids.end());
+      tag_filter_ids_.emplace(label, std::move(ids));
+    }
+  }
+
+  const std::vector<SymbolId>* IdFilterFor(int label) const {
+    auto it = tag_filter_ids_.find(label);
+    return it == tag_filter_ids_.end() ? nullptr : &it->second;
+  }
+
+  /// Id-space TagAllowed: one array load + binary search over u32s.
+  bool TagAllowedId(NodeId v, const std::vector<SymbolId>& allowed) const {
+    SymbolId t = tree_.TagId(v);
+    return std::binary_search(allowed.begin(), allowed.end(), t) ||
+           Interner::Global().HasStar(t);
+  }
+
+  /// Id-space SeedFromIndex (same ordering contract).
+  std::vector<NodeId> SeedFromIndexIds(const std::vector<SymbolId>& allowed,
+                                       NodeId lo, NodeId hi) const {
+    std::vector<NodeId> out;
+    auto take = [&](const std::vector<NodeId>& list) {
+      auto begin = std::lower_bound(list.begin(), list.end(), lo);
+      auto end = std::lower_bound(begin, list.end(), hi);
+      out.insert(out.end(), begin, end);
+    };
+    for (SymbolId tag : allowed) {
+      if (const std::vector<NodeId>* list = tree_.NodesWithTagId(tag)) {
+        take(*list);
+      }
+    }
+    take(tree_.WildcardTagNodes());
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
   /// A node stays a candidate when its tag is allowed, or contains '*'
@@ -167,6 +219,17 @@ class Enumerator {
     const size_t index = subset_ != nullptr ? (*subset_)[slot] : slot;
     const PatternNode& pnode = pattern_.node(index);
     const std::set<std::string>* allowed = FilterFor(pnode.label);
+    // Non-null only when `allowed` is non-null and the tree carries ids;
+    // the id path computes the same candidate sets as the string path.
+    const std::vector<SymbolId>* allowed_ids = IdFilterFor(pnode.label);
+    auto node_allowed = [&](NodeId v) {
+      return allowed_ids != nullptr ? TagAllowedId(v, *allowed_ids)
+                                    : TagAllowed(v, *allowed);
+    };
+    auto seed = [&](NodeId lo, NodeId hi) {
+      return allowed_ids != nullptr ? SeedFromIndexIds(*allowed_ids, lo, hi)
+                                    : SeedFromIndex(*allowed, lo, hi);
+    };
     const bool is_head = subset_ != nullptr ? slot == 0 : pnode.parent < 0;
     // Candidate enumeration order always matches the naive scan (ascending
     // ids at the root, child order on pc edges, preorder on ad edges), so
@@ -176,13 +239,12 @@ class Enumerator {
       // The head hangs off the elided product root by a pc edge, so within
       // this operand tree its image can only be the root -- subject to the
       // same tag filter any pc candidate faces.
-      if (allowed == nullptr || TagAllowed(0, *allowed)) {
+      if (allowed == nullptr || node_allowed(0)) {
         candidates.push_back(0);
       }
     } else if (is_head) {
       if (allowed != nullptr) {
-        candidates =
-            SeedFromIndex(*allowed, 0, static_cast<NodeId>(tree_.size()));
+        candidates = seed(0, static_cast<NodeId>(tree_.size()));
       } else {
         candidates.reserve(tree_.size());
         for (NodeId v = 0; v < tree_.size(); ++v) candidates.push_back(v);
@@ -194,7 +256,7 @@ class Enumerator {
         const std::vector<NodeId>& kids = tree_.node(parent_image).children;
         if (allowed != nullptr) {
           for (NodeId c : kids) {
-            if (TagAllowed(c, *allowed)) candidates.push_back(c);
+            if (node_allowed(c)) candidates.push_back(c);
           }
         } else {
           candidates = kids;
@@ -202,11 +264,10 @@ class Enumerator {
       } else if (allowed != nullptr && tree_.HasPreorderIds()) {
         // Preorder ids: the subtree is a contiguous range, and ascending id
         // order within it *is* preorder, so the index prunes ad edges too.
-        candidates = SeedFromIndex(*allowed, parent_image + 1,
-                                   tree_.SubtreeEnd(parent_image));
+        candidates = seed(parent_image + 1, tree_.SubtreeEnd(parent_image));
       } else if (allowed != nullptr) {
         for (NodeId v : tree_.Descendants(parent_image)) {
-          if (TagAllowed(v, *allowed)) candidates.push_back(v);
+          if (node_allowed(v)) candidates.push_back(v);
         }
       } else {
         candidates = tree_.Descendants(parent_image);
@@ -230,6 +291,7 @@ class Enumerator {
   bool head_must_be_root_ = false;
   std::map<int, std::vector<const Condition*>> prefilters_;
   std::map<int, std::set<std::string>> tag_filters_;
+  std::map<int, std::vector<SymbolId>> tag_filter_ids_;  ///< see BuildIdFilters
   Embedding current_;
   std::vector<Embedding> results_;
   std::vector<std::vector<NodeId>> tuples_;

@@ -39,12 +39,21 @@ Result<bool> CompareValues(const std::string& x, CondOp op,
 
 Result<bool> TaxSemantics::Compare(const TermValue& x, CondOp op,
                                    const TermValue& y) const {
+  if (op == CondOp::kEq || op == CondOp::kNeq) {
+    // Interned ids decide glob-aware equality without touching the texts
+    // (nullopt when either id is missing or '*' demands a real GlobMatch).
+    if (auto eq = SymbolGlobEquality(x, y)) {
+      return op == CondOp::kEq ? *eq : !*eq;
+    }
+  }
   return CompareValues(x.text, op, y.text);
 }
 
 Result<bool> TaxSemantics::Similar(const TermValue& x,
                                    const TermValue& y) const {
-  // Baseline: similarity degrades to exact match.
+  // Baseline: similarity degrades to exact match (no globbing), which two
+  // valid ids decide outright.
+  if (auto eq = SymbolTextEquality(x, y)) return *eq;
   return x.text == y.text;
 }
 

@@ -1,6 +1,8 @@
 #include "tax/twig_join.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -15,6 +17,32 @@ namespace {
 /// Posting lists beyond this size cost more to materialize and merge than
 /// the pairwise scan they replace; the executor falls back for the join.
 constexpr size_t kMaxPostingsPerSubtree = 100000;
+
+/// TwigValueFilter caps. The value universe bounds every bitset (and the
+/// compat closure is universe^2 bits at worst); free-pair checks invoke the
+/// oracle's measure fallback, the one per-pair cost that is not a cheap
+/// intersection. Beyond either cap the filter build bails and the join
+/// runs unfiltered.
+constexpr size_t kMaxFilterValues = 4096;
+constexpr uint64_t kMaxFreePairChecks = uint64_t{1} << 20;
+constexpr uint64_t kMaxBucketPairWork = uint64_t{1} << 24;
+
+inline void SetBit(std::vector<uint64_t>& bits, uint32_t i) {
+  bits[i >> 6] |= uint64_t{1} << (i & 63u);
+}
+
+inline void OrInto(std::vector<uint64_t>& dst,
+                   const std::vector<uint64_t>& src) {
+  for (size_t w = 0; w < dst.size(); ++w) dst[w] |= src[w];
+}
+
+inline bool Intersects(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b) {
+  for (size_t w = 0; w < a.size(); ++w) {
+    if ((a[w] & b[w]) != 0) return true;
+  }
+  return false;
+}
 
 /// Mirrors the per-part dedup of JoinTreeWithRight: empty trees dropped,
 /// first occurrence of a canonical key wins.
@@ -96,20 +124,31 @@ class TwigMerger {
    public:
     explicit ComboSource(const TwigMerger& m) : m_(m) {}
     const DataNode* Resolve(int label) const override {
+      return ResolveIds(label).node;
+    }
+    ResolvedNode ResolveIds(int label) const override {
+      ResolvedNode r;
       if (label == m_.plan_.root_label_) {
-        return &m_.plan_.product_root_.node(0);
+        r.node = &m_.plan_.product_root_.node(0);
+        return r;
       }
       const std::vector<int>& map = m_.plan_.label_to_index_;
       const int idx =
           (label >= 0 && label < static_cast<int>(map.size())) ? map[label]
                                                                : -1;
-      if (idx <= 0) return nullptr;
+      if (idx <= 0) return r;
       const TwigJoiner::Slot& slot = m_.plan_.slots_[idx];
       const size_t i = m_.runs_[slot.subtree].lo;
       const DataTree& tree = m_.OnLeft(slot.subtree, i)
                                  ? *m_.left_.tree
                                  : *m_.right_->tree;
-      return &tree.node(m_.Tuple(slot.subtree, i)[slot.depth]);
+      const NodeId v = m_.Tuple(slot.subtree, i)[slot.depth];
+      r.node = &tree.node(v);
+      if (tree.HasSymbolIds()) {
+        r.tag_symbol = tree.TagId(v);
+        r.content_symbol = tree.ContentId(v);
+      }
+      return r;
     }
 
    private:
@@ -220,7 +259,10 @@ class TwigMerger {
         case TwigJoiner::EntryKind::kCachedSimilar: {
           TOSS_ASSIGN_OR_RETURN(TermValue x, EvalTerm(e.cond->lhs, src));
           TOSS_ASSIGN_OR_RETURN(TermValue y, EvalTerm(e.cond->rhs, src));
-          if (!plan_.oracle_->Similar(x.text, y.text)) return false;
+          if (!plan_.oracle_->SimilarSym(x.symbol, x.text, y.symbol,
+                                         y.text)) {
+            return false;
+          }
           break;
         }
         case TwigJoiner::EntryKind::kGeneric: {
@@ -411,6 +453,201 @@ std::vector<const std::set<std::string>*> TwigJoiner::PruneFilters() const {
   return out;
 }
 
+std::vector<std::vector<SymbolId>> TwigJoiner::PruneFilterIds() const {
+  std::vector<std::vector<SymbolId>> out;
+  Interner& interner = Interner::Global();
+  for (const std::set<std::string>* tags : PruneFilters()) {
+    std::vector<SymbolId> ids;
+    ids.reserve(tags->size());
+    for (const std::string& tag : *tags) {
+      if (auto sym = interner.Find(tag)) ids.push_back(*sym);
+    }
+    std::sort(ids.begin(), ids.end());
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+bool TwigValueFilter::CanSkipPair(const TwigDoc& left,
+                                  const TwigDoc& right) const {
+  if (left.value_slot == TwigDoc::kNoValueSlot ||
+      right.value_slot == TwigDoc::kNoValueSlot) {
+    return false;
+  }
+  const DocBits& l = docs_[left.value_slot];
+  const DocBits& r = docs_[right.value_slot];
+  // A mixed mapping places the anchor's lhs slot in one document and its
+  // rhs slot in the other; both orientations must be value-incompatible.
+  return !Intersects(l.compat_lhs, r.rhs) && !Intersects(r.compat_lhs, l.rhs);
+}
+
+std::unique_ptr<TwigValueFilter> TwigJoiner::BuildValueFilter(
+    const std::vector<TwigDoc*>& docs) const {
+  // Shape gates (soundness; see header). Exactly two subtrees guarantee
+  // that every mixed mapping places the anchor's two slots in opposite
+  // documents -- with more subtrees a cross-document mapping could still
+  // evaluate the anchor within one side.
+  if (root_in_expand_ || subtrees_.size() != 2 || oracle_ == nullptr) {
+    return nullptr;
+  }
+  auto index_of = [&](int label) -> int {
+    return (label >= 0 && label < static_cast<int>(label_to_index_.size()))
+               ? label_to_index_[label]
+               : -1;
+  };
+  auto slot_of = [&](const CondTerm& t, Slot* slot, bool* content) -> bool {
+    if (t.kind != CondTerm::Kind::kNodeTag &&
+        t.kind != CondTerm::Kind::kNodeContent) {
+      return false;
+    }
+    if (t.node_label == root_label_) return false;
+    const int idx = index_of(t.node_label);
+    if (idx <= 0) return false;
+    *slot = slots_[idx];
+    *content = t.kind == CondTerm::Kind::kNodeContent;
+    return true;
+  };
+  // Residue gate: every entry must be provably error-free under a complete
+  // mapping (no kGeneric entries; every node term of a ~ atom resolves to
+  // a pattern slot or the product root), so a skipped merge cannot
+  // suppress an error. Among the ~ atoms, find an anchor joining the two
+  // subtrees.
+  const Condition* anchor = nullptr;
+  Slot lhs_slot{}, rhs_slot{};
+  bool lhs_content = false, rhs_content = false;
+  for (const PlanEntry& e : entries_) {
+    if (e.kind == EntryKind::kKnownTrue) continue;
+    if (e.kind == EntryKind::kGeneric) return nullptr;
+    for (const CondTerm* t : {&e.cond->lhs, &e.cond->rhs}) {
+      if ((t->kind == CondTerm::Kind::kNodeTag ||
+           t->kind == CondTerm::Kind::kNodeContent) &&
+          t->node_label != root_label_ && index_of(t->node_label) <= 0) {
+        return nullptr;  // unresolvable label: evaluation would error
+      }
+    }
+    if (anchor != nullptr) continue;
+    Slot sa, sb;
+    bool ca, cb;
+    if (slot_of(e.cond->lhs, &sa, &ca) && slot_of(e.cond->rhs, &sb, &cb) &&
+        sa.subtree != sb.subtree) {
+      anchor = e.cond;
+      lhs_slot = sa;
+      rhs_slot = sb;
+      lhs_content = ca;
+      rhs_content = cb;
+    }
+  }
+  if (anchor == nullptr) return nullptr;
+
+  // Collect each eligible document's distinct values under the two anchor
+  // slots, into one dense value universe. Value identity is text identity
+  // (the interned id): ~ verdicts depend only on the texts, so typed
+  // contents need no special-casing. Store-pruned documents have empty
+  // posting lists and empty sets; documents without symbol ids stay
+  // outside the filter (their pairs are never skipped).
+  std::vector<SymbolId> values;
+  std::unordered_map<SymbolId, uint32_t> dense;
+  struct DocSets {
+    bool eligible = false;
+    std::vector<uint32_t> lhs, rhs;
+  };
+  std::vector<DocSets> sets(docs.size());
+  auto collect = [&](const TwigDoc& d, const Slot& slot, bool content,
+                     std::vector<uint32_t>* out) -> bool {
+    for (const auto& tuple : d.tuples[slot.subtree]) {
+      const NodeId v = tuple[slot.depth];
+      const SymbolId sym =
+          content ? d.tree->ContentId(v) : d.tree->TagId(v);
+      auto [it, inserted] =
+          dense.emplace(sym, static_cast<uint32_t>(values.size()));
+      if (inserted) {
+        if (values.size() >= kMaxFilterValues) return false;
+        values.push_back(sym);
+      }
+      out->push_back(it->second);
+    }
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+    return true;
+  };
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const TwigDoc& d = *docs[i];
+    if (d.prepared && (d.tree == nullptr || !d.tree->HasSymbolIds())) {
+      continue;
+    }
+    if (d.prepared) {
+      if (!collect(d, lhs_slot, lhs_content, &sets[i].lhs) ||
+          !collect(d, rhs_slot, rhs_content, &sets[i].rhs)) {
+        return nullptr;  // universe cap exceeded
+      }
+    }
+    sets[i].eligible = true;
+  }
+
+  // Compatibility closure over the universe: bucketed pairs via the
+  // oracle's bucket contract, pairs involving a free value via pairwise
+  // SimilarSym. compat[i] bit j <=> Similar(value i, value j); the
+  // relation is symmetric, and every value is compatible with itself
+  // (equal text).
+  const size_t value_count = values.size();
+  const size_t words = (value_count + 63) / 64;
+  Interner& interner = Interner::Global();
+  std::vector<std::string> texts(value_count);
+  for (size_t i = 0; i < value_count; ++i) {
+    texts[i] = std::string(interner.Text(values[i]));
+  }
+  std::unordered_map<uint64_t, std::vector<uint32_t>> members;
+  std::vector<uint32_t> free_values;
+  for (uint32_t i = 0; i < value_count; ++i) {
+    std::vector<uint64_t> buckets = oracle_->CompatBuckets(texts[i]);
+    if (buckets.empty()) {
+      free_values.push_back(i);
+    } else {
+      for (uint64_t b : buckets) members[b].push_back(i);
+    }
+  }
+  uint64_t bucket_work = 0;
+  for (const auto& [b, ms] : members) {
+    bucket_work += static_cast<uint64_t>(ms.size()) * ms.size();
+  }
+  if (bucket_work > kMaxBucketPairWork ||
+      static_cast<uint64_t>(free_values.size()) * value_count >
+          kMaxFreePairChecks) {
+    return nullptr;
+  }
+  std::vector<TwigValueFilter::Bits> compat(
+      value_count, TwigValueFilter::Bits(words, 0));
+  for (uint32_t i = 0; i < value_count; ++i) SetBit(compat[i], i);
+  for (const auto& [b, ms] : members) {
+    for (uint32_t i : ms) {
+      for (uint32_t j : ms) SetBit(compat[i], j);
+    }
+  }
+  for (uint32_t i : free_values) {
+    for (uint32_t j = 0; j < value_count; ++j) {
+      if (j == i) continue;
+      if (oracle_->SimilarSym(values[i], texts[i], values[j], texts[j])) {
+        SetBit(compat[i], j);
+        SetBit(compat[j], i);
+      }
+    }
+  }
+
+  std::unique_ptr<TwigValueFilter> f(new TwigValueFilter());
+  f->value_count_ = value_count;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (!sets[i].eligible) continue;
+    TwigValueFilter::DocBits db;
+    db.rhs.assign(words, 0);
+    db.compat_lhs.assign(words, 0);
+    for (uint32_t v : sets[i].rhs) SetBit(db.rhs, v);
+    for (uint32_t v : sets[i].lhs) OrInto(db.compat_lhs, compat[v]);
+    docs[i]->value_slot = static_cast<uint32_t>(f->docs_.size());
+    f->docs_.push_back(std::move(db));
+  }
+  return f;
+}
+
 Result<bool> TwigJoiner::EvalRootPrefilters() const {
   auto it = prefilters_.find(root_label_);
   if (it == prefilters_.end()) return true;
@@ -426,7 +663,8 @@ Result<bool> TwigJoiner::EvalRootPrefilters() const {
 
 Result<TreeCollection> TwigJoiner::JoinLeft(
     const TwigDoc& left, const std::vector<const TwigDoc*>& rights,
-    bool combos_enabled, const CancelToken* cancel,
+    bool combos_enabled, bool first_part,
+    const TwigValueFilter* value_filter, const CancelToken* cancel,
     TwigJoinStats* stats) const {
   TreeCollection out;
   PartDedup dedup;
@@ -440,9 +678,23 @@ Result<TreeCollection> TwigJoiner::JoinLeft(
       // byte-identical witness -- skipping the walk drops only duplicates.
       // (With an SL-expanded root the witness embeds the right document, so
       // every pair must be walked.)
-      if (r == 0 || right.HasPostings() || root_in_expand_) {
+      bool merge = r == 0 || right.HasPostings() || root_in_expand_;
+      bool value_skip = false;
+      if (merge && value_filter != nullptr && !first_part && r > 0 &&
+          value_filter->CanSkipPair(left, right)) {
+        // No mixed mapping can satisfy the anchor ~ atom for this pair,
+        // and the pure-side mappings are duplicates: all-left was emitted
+        // by this part's r == 0 pair, all-right by the first part (which
+        // never value-skips). Nothing this merge could emit survives
+        // dedup, and the residue is error-free by construction.
+        merge = false;
+        value_skip = true;
+      }
+      if (merge) {
         stats->pairs_scanned.fetch_add(1, std::memory_order_relaxed);
         TOSS_RETURN_NOT_OK(merger.MergePair(right));
+      } else if (value_skip) {
+        stats->pairs_value_skipped.fetch_add(1, std::memory_order_relaxed);
       } else {
         stats->pairs_pruned.fetch_add(1, std::memory_order_relaxed);
       }

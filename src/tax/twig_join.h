@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/interner.h"
 #include "common/result.h"
 #include "tax/condition.h"
 #include "tax/data_tree.h"
@@ -52,6 +53,28 @@ class SimilarOracle {
  public:
   virtual ~SimilarOracle() = default;
   virtual bool Similar(const std::string& x, const std::string& y) const = 0;
+
+  /// Id-aware variant with the identical verdict. Equal valid ids are equal
+  /// texts (ids are canonical), so they short-circuit; implementations may
+  /// additionally key their memos on the ids. Pass kInvalidSymbol for a
+  /// term whose id is unknown.
+  virtual bool SimilarSym(SymbolId sx, const std::string& x, SymbolId sy,
+                          const std::string& y) const {
+    if (SymbolFastPathsEnabled() && sx != kInvalidSymbol && sx == sy) {
+      return true;
+    }
+    return Similar(x, y);
+  }
+
+  /// Compatibility buckets for the twig value filter (TwigValueFilter):
+  /// two terms with non-empty bucket lists are Similar iff their lists
+  /// intersect; a term with an empty list is "free" and every pair
+  /// involving it must be decided by SimilarSym directly. The default
+  /// (everything free) is always correct, merely unprunable in bulk.
+  virtual std::vector<uint64_t> CompatBuckets(
+      const std::string& /*term*/) const {
+    return {};
+  }
 };
 
 /// Plain TAX: ~ degrades to exact string equality (TaxSemantics::Similar).
@@ -59,6 +82,24 @@ class ExactSimilarOracle final : public SimilarOracle {
  public:
   bool Similar(const std::string& x, const std::string& y) const override {
     return x == y;
+  }
+
+  bool SimilarSym(SymbolId sx, const std::string& x, SymbolId sy,
+                  const std::string& y) const override {
+    if (SymbolFastPathsEnabled() && sx != kInvalidSymbol &&
+        sy != kInvalidSymbol) {
+      return sx == sy;
+    }
+    return x == y;
+  }
+
+  /// Exact equality: each term is its own bucket, keyed by its interned id
+  /// (distinct texts never intersect). Unknown terms stay free -- the
+  /// pairwise fallback preserves the verdict.
+  std::vector<uint64_t> CompatBuckets(const std::string& term) const override {
+    auto sym = Interner::Global().Find(term);
+    if (!sym.has_value()) return {};
+    return {*sym};
   }
 };
 
@@ -70,6 +111,7 @@ struct TwigJoinStats {
   std::atomic<uint64_t> stack_pushes{0};     ///< run frames pushed
   std::atomic<uint64_t> pairs_scanned{0};    ///< (left, right) pairs merged
   std::atomic<uint64_t> pairs_pruned{0};     ///< pairs skipped, no new postings
+  std::atomic<uint64_t> pairs_value_skipped{0};  ///< TwigValueFilter skips
   std::atomic<uint64_t> combos_checked{0};   ///< complete mappings checked
   std::atomic<uint64_t> combos_emitted{0};   ///< mappings passing the residue
 };
@@ -99,12 +141,62 @@ struct TwigDoc {
   /// inside embeddings, `tree` unset (never decoded).
   bool prepared = false;
 
+  /// This document's slot in the join's TwigValueFilter, assigned by
+  /// TwigJoiner::BuildValueFilter; kNoValueSlot when the document is
+  /// outside the filter (pairs involving it are never skipped).
+  static constexpr uint32_t kNoValueSlot = 0xFFFFFFFFu;
+  uint32_t value_slot = kNoValueSlot;
+
   bool HasPostings() const {
     for (const auto& t : tuples) {
       if (!t.empty()) return true;
     }
     return false;
   }
+};
+
+/// Cross-document posting-key value index. For joins whose residue (the
+/// per-mapping condition left after pushdown) is exactly a conjunction of
+/// oracle-served ~ atoms, with one "anchor" atom joining node terms that
+/// live in the two different pattern subtrees, the filter precomputes per
+/// document the distinct values its postings expose under the anchor's two
+/// slots, and the similarity-compatibility closure over that value
+/// universe. A (left, right) pair whose value sets admit no compatible
+/// mixed combination can skip the merge walk outright: no cross-document
+/// mapping can pass the anchor, and the pure-side mappings the walk would
+/// emit are byte-identical duplicates of pairs that are never skipped.
+/// Built per join by TwigJoiner::BuildValueFilter; read-only afterwards
+/// (safe to share across merge threads).
+class TwigValueFilter {
+ public:
+  /// True when the (left, right) pair provably emits nothing that survives
+  /// dedup. Caller contract (soundness): only consult for non-first parts
+  /// (`left` is not the join's first left document) and non-first pairs
+  /// (`right` is not the first right document).
+  bool CanSkipPair(const TwigDoc& left, const TwigDoc& right) const;
+
+  /// Distinct anchor values indexed across all documents.
+  size_t value_count() const { return value_count_; }
+
+ private:
+  friend class TwigJoiner;
+  using Bits = std::vector<uint64_t>;
+
+  /// Per-document state. A mixed mapping places the anchor's lhs slot in
+  /// one document and its rhs slot in the other, so the pair test only
+  /// needs each side's rhs-value set and the compat closure of its
+  /// lhs-value set:
+  ///   skippable(L, R) <=> compat_lhs(L) ∩ rhs(R) = ∅
+  ///                    and compat_lhs(R) ∩ rhs(L) = ∅.
+  struct DocBits {
+    Bits rhs;         ///< values under the anchor's rhs slot
+    Bits compat_lhs;  ///< union of compat rows over the lhs slot's values
+  };
+
+  TwigValueFilter() = default;
+
+  size_t value_count_ = 0;
+  std::vector<DocBits> docs_;  ///< indexed by TwigDoc::value_slot
 };
 
 /// The planned decomposition of one join pattern. Plan once per join; the
@@ -142,6 +234,24 @@ class TwigJoiner {
   /// SL-expanded root whose witnesses embed whole documents).
   std::vector<const std::set<std::string>*> PruneFilters() const;
 
+  /// Id-space PruneFilters: the same keep-sets lowered to sorted SymbolId
+  /// lists for Collection::DocsWithAnyTagIds. Literals the dictionary has
+  /// never seen are dropped -- the store interns every indexed tag, so an
+  /// unknown literal matches no document. Empty when pruning is unsound
+  /// (same rule as PruneFilters).
+  std::vector<std::vector<SymbolId>> PruneFilterIds() const;
+
+  /// Builds the cross-document value filter over the join's prepared
+  /// documents, assigning each eligible document's `value_slot`. Returns
+  /// nullptr when the join is outside the filter's soundness envelope --
+  /// the residue must consist solely of known-true entries and
+  /// oracle-served ~ atoms none of which can error (so a skipped merge
+  /// cannot suppress a verdict or an error), with an anchor ~ atom joining
+  /// two non-root node terms in the two different subtrees of a
+  /// two-subtree pattern -- or when the value universe exceeds fixed caps.
+  std::unique_ptr<TwigValueFilter> BuildValueFilter(
+      const std::vector<TwigDoc*>& docs) const;
+
   /// Whether the synthetic product root passes the root label's tag filter
   /// (always true without one). False disables the cross-tree groups
   /// entirely, exactly as the pairwise enumeration would never map the
@@ -170,9 +280,13 @@ class TwigJoiner {
   /// right-collection order, duplicates collapsed -- the twig equivalent of
   /// JoinTreeWithRight, byte-identical output. `combos_enabled` gates the
   /// cross-tree groups (root tag disallowed or root prefilters false).
+  /// `value_filter` (optional) skips provably-redundant pair merges; it is
+  /// only consulted when `first_part` is false and the pair is not the
+  /// part's first (the soundness contract of TwigValueFilter).
   Result<TreeCollection> JoinLeft(const TwigDoc& left,
                                   const std::vector<const TwigDoc*>& rights,
-                                  bool combos_enabled,
+                                  bool combos_enabled, bool first_part,
+                                  const TwigValueFilter* value_filter,
                                   const CancelToken* cancel,
                                   TwigJoinStats* stats) const;
 

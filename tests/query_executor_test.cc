@@ -408,5 +408,43 @@ TEST_F(QueryExecutorTest, ExplainAnalyzeJoinMatchesExecute) {
                                       "decode_right", "eval"}));
 }
 
+TEST_F(QueryExecutorTest, OperatorsInvariantUnderSymbolFastPaths) {
+  // Select / Project / GroupBy answers must be byte-identical with the
+  // interner's id comparison fast paths disabled: ids accelerate term
+  // equality and ~, they never change it. Covers TAX (exact ~) and TOSS
+  // (ontology + measure ~) semantics.
+  QueryExecutor tax_exec(&db_, nullptr, nullptr);
+  QueryExecutor toss_exec(&db_, &seo_, &types_);
+  struct Run {
+    std::vector<std::string> select, project, group;
+  };
+  auto run_all = [&](const QueryExecutor& exec) {
+    Run out;
+    auto s = exec.Select("dblp", UllmanAtSigmod(), {1}, nullptr);
+    EXPECT_TRUE(s.ok()) << s.status();
+    if (s.ok()) out.select = Serialize(*s);
+    auto p = exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, nullptr);
+    EXPECT_TRUE(p.ok()) << p.status();
+    if (p.ok()) out.project = Serialize(*p);
+    auto g = exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, nullptr);
+    EXPECT_TRUE(g.ok()) << g.status();
+    if (g.ok()) out.group = Serialize(*g);
+    return out;
+  };
+  for (QueryExecutor* exec : {&tax_exec, &toss_exec}) {
+    SetSymbolFastPaths(true);
+    Run fast = run_all(*exec);
+    SetSymbolFastPaths(false);
+    Run slow = run_all(*exec);
+    SetSymbolFastPaths(true);
+    EXPECT_EQ(fast.select, slow.select);
+    EXPECT_EQ(fast.project, slow.project);
+    EXPECT_EQ(fast.group, slow.group);
+    EXPECT_FALSE(fast.select.empty());
+    EXPECT_FALSE(fast.project.empty());
+    EXPECT_FALSE(fast.group.empty());
+  }
+}
+
 }  // namespace
 }  // namespace toss::core

@@ -11,6 +11,7 @@
 
 #include <iterator>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -88,8 +89,8 @@ TEST_F(TwigJoinerTest, EmptyPostingsShortCircuitTheMerge) {
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_FALSE(l->HasPostings());
   const tax::TwigDoc* rp = &*r;
-  auto out = joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, nullptr,
-                              &stats);
+  auto out = joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, /*first_part=*/true,
+                       /*value_filter=*/nullptr, nullptr, &stats);
   ASSERT_TRUE(out.ok()) << out.status();
   EXPECT_TRUE(out->empty());
   EXPECT_EQ(stats.stack_pushes.load(), 0u);
@@ -110,7 +111,8 @@ TEST_F(TwigJoinerTest, SingleDocPairProducesTheProduct) {
   EXPECT_TRUE(l->HasPostings());
   const tax::TwigDoc* rp = &*r;
   auto out =
-      joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, nullptr, &stats);
+      joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, /*first_part=*/true,
+                       /*value_filter=*/nullptr, nullptr, &stats);
   ASSERT_TRUE(out.ok()) << out.status();
   ASSERT_EQ(out->size(), 1u);
   const std::string xml = xml::Write((*out)[0].ToXml());
@@ -142,7 +144,8 @@ TEST_F(TwigJoinerTest, DuplicateTermsGroupInOneRun) {
   ASSERT_TRUE(r.ok()) << r.status();
   const tax::TwigDoc* rp = &*r;
   auto out =
-      joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, nullptr, &stats);
+      joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, /*first_part=*/true,
+                       /*value_filter=*/nullptr, nullptr, &stats);
   ASSERT_TRUE(out.ok()) << out.status();
   // All 2x2 combinations are checked and pass, but their witness trees are
   // byte-identical, so dedup collapses them to one answer -- exactly what
@@ -166,7 +169,8 @@ TEST_F(TwigJoinerTest, CancellationMidMergeAborts) {
   cancel.Cancel();
   const tax::TwigDoc* rp = &*r;
   auto out =
-      joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, &cancel, &stats);
+      joiner->JoinLeft(*l, {rp}, /*combos_enabled=*/true, /*first_part=*/true,
+                       /*value_filter=*/nullptr, &cancel, &stats);
   ASSERT_FALSE(out.ok());
   EXPECT_TRUE(out.status().IsCancelled()) << out.status();
 }
@@ -326,6 +330,74 @@ TEST_F(TwigGoldenTest, RootInSelectionListCopiesWholePairs) {
       "$3.content = $5.content");
   core::QueryExecutor toss_exec(&db_, &seo_, &types_);
   EXPECT_GT(ExpectEngineEquivalence(toss_exec, pt, {1}), 0u);
+}
+
+/// Restores the symbol fast-path switch on scope exit.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool enabled) : prev_(SymbolFastPathsEnabled()) {
+    SetSymbolFastPaths(enabled);
+  }
+  ~FastPathGuard() { SetSymbolFastPaths(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST_F(TwigGoldenTest, AnswersInvariantAcrossFastPathsAndValueIndex) {
+  // The full A/B matrix on the similarity-heavy pattern: {twig, pairwise}
+  // x {symbol fast paths on, off} x {value index on, off} must be
+  // byte-identical -- ids and the cross-document value filter are pure
+  // accelerations.
+  tax::PatternTree pt = JoinPattern(
+      "$1.tag = \"tax_prod_root\" & "
+      "$2.tag = \"inproceedings\" & $3.tag = \"title\" & "
+      "$4.tag = \"article\" & $5.tag = \"title\" & "
+      "$3.content ~ $5.content");
+  core::QueryExecutor toss_exec(&db_, &seo_, &types_);
+  std::vector<std::string> baseline;
+  bool have_baseline = false;
+  for (bool twig : {true, false}) {
+    for (bool fast : {true, false}) {
+      for (bool vindex : {true, false}) {
+        FastPathGuard guard(fast);
+        core::QueryOptions options;
+        options.use_twig_join = twig;
+        options.use_join_value_index = vindex;
+        auto r = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, options);
+        ASSERT_TRUE(r.ok()) << r.status();
+        if (!have_baseline) {
+          baseline = Serialize(*r);
+          have_baseline = true;
+          EXPECT_GT(baseline.size(), 0u);
+        } else {
+          EXPECT_EQ(Serialize(*r), baseline)
+              << "twig=" << twig << " fast=" << fast << " vindex=" << vindex;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TwigGoldenTest, ValueFilterSkipsPairsWithoutChangingAnswers) {
+  // On the similarity-join shape the filter is in-envelope: stats must show
+  // value skips once enough incompatible documents exist, and the answer
+  // must match the unfiltered run exactly.
+  tax::PatternTree pt = JoinPattern(
+      "$1.tag = \"tax_prod_root\" & "
+      "$2.tag = \"inproceedings\" & $3.tag = \"title\" & "
+      "$4.tag = \"article\" & $5.tag = \"title\" & "
+      "$3.content ~ $5.content");
+  core::QueryExecutor toss_exec(&db_, &seo_, &types_);
+  core::QueryOptions with;
+  with.use_join_value_index = true;
+  core::QueryOptions without;
+  without.use_join_value_index = false;
+  auto a = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, with);
+  auto b = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, without);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(Serialize(*a), Serialize(*b));
 }
 
 TEST_F(TwigGoldenTest, NoMatchesStaysEmptyUnderBothEngines) {
@@ -499,6 +571,46 @@ TEST_F(TwigPropertyTest, RandomPatternsAgreeAcrossEnginesUnderTax) {
   }
 }
 
+TEST_F(TwigPropertyTest, RandomPatternsAgreeAcrossFastPathsAndValueIndex) {
+  // Property form of the A/B matrix: random patterns, random docs; the
+  // pairwise engine with symbol fast paths off is the reference, every
+  // {engine, fast paths, value index} combination must match it.
+  core::QueryExecutor exec(&db_, nullptr, nullptr);
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto [pt, sl] = RandomPattern(&rng);
+    std::optional<std::vector<std::string>> baseline;
+    std::optional<Status> baseline_error;
+    for (bool twig : {false, true}) {
+      for (bool fast : {false, true}) {
+        for (bool vindex : {false, true}) {
+          FastPathGuard guard(fast);
+          core::QueryOptions options;
+          options.use_twig_join = twig;
+          options.use_join_value_index = vindex;
+          auto r = exec.Join("lhs", "rhs", pt, sl, options);
+          if (!baseline.has_value() && !baseline_error.has_value()) {
+            if (r.ok()) {
+              baseline = Serialize(*r);
+            } else {
+              baseline_error = r.status();
+            }
+            continue;
+          }
+          ASSERT_EQ(r.ok(), baseline.has_value())
+              << "trial " << trial << " twig=" << twig << " fast=" << fast
+              << " vindex=" << vindex << ": " << r.status();
+          if (r.ok()) {
+            EXPECT_EQ(Serialize(*r), *baseline)
+                << "trial " << trial << " twig=" << twig << " fast=" << fast
+                << " vindex=" << vindex;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST_F(TwigPropertyTest, RandomPatternsAgreeAcrossParallelism) {
   // The twig merge fans out per left doc; answers must not depend on the
   // worker count.
@@ -562,11 +674,57 @@ TEST(MyersLevenshteinTest, MeasureUsesTheFastPathTransparently) {
   auto measure = sim::MakeMeasure("levenshtein");
   ASSERT_TRUE(measure.ok());
   EXPECT_EQ((*measure)->Distance("kitten", "sitting"), 3.0);
-  // 65+ chars falls back to the DP; same answer.
+  // 65+ chars takes the blocked bit-parallel path; same answer.
   const std::string long_a(100, 'a');
   std::string long_b = long_a;
   long_b[50] = 'b';
   EXPECT_EQ((*measure)->Distance(long_a, long_b), 1.0);
+}
+
+TEST(MyersLevenshteinTest, BlockedMatchesTheReferenceDpOnFixedCases) {
+  using sim::internal::LevenshteinDp;
+  using sim::internal::LevenshteinMyersBlocked;
+  const std::string a64(64, 'x');
+  const std::string a65(65, 'x');
+  const std::string a128(128, 'x');
+  const std::string a129(129, 'x');
+  const std::pair<std::string, std::string> kCases[] = {
+      {"", ""},
+      {"", a129},
+      {a65, ""},
+      {a65, a65},
+      {a64, a65},                       // word-boundary straddle
+      {a128, a129},                     // two-word boundary straddle
+      {a65 + "abc", a65 + "acb"},
+      {a128 + "kitten", a128 + "sitting"},
+      {"kitten", "sitting"},            // also valid below the block limit
+  };
+  for (const auto& [a, b] : kCases) {
+    EXPECT_EQ(LevenshteinMyersBlocked(a, b), LevenshteinDp(a, b))
+        << a.size() << " vs " << b.size();
+  }
+}
+
+TEST(MyersLevenshteinTest, PropertyBlockedEqualToDpOnRandomStrings) {
+  std::mt19937 rng(4321);
+  // Lengths hug the 64/128/192 block boundaries where the carry and
+  // shift-chaining bugs live, on a tiny alphabet to force dense matches.
+  std::uniform_int_distribution<int> block(0, 2);
+  std::uniform_int_distribution<int> jitter(-3, 3);
+  std::uniform_int_distribution<int> chr(0, 5);
+  auto make = [&] {
+    int n = std::max(0, 64 * (block(rng) + 1) + jitter(rng));
+    std::string s;
+    for (int i = 0; i < n; ++i) s += static_cast<char>('a' + chr(rng));
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = make();
+    const std::string b = make();
+    EXPECT_EQ(sim::internal::LevenshteinMyersBlocked(a, b),
+              sim::internal::LevenshteinDp(a, b))
+        << "trial " << trial << ": " << a.size() << " vs " << b.size();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench-regression smoke check.
+
+Compares the current bench report (BENCH_PR7.json) against the committed
+previous-PR baseline (BENCH_PR6.json) and fails when any shared timing key
+regresses by more than the threshold factor (default 2x).
+
+Only keys present in BOTH files are compared -- new figures have no
+baseline and renamed/retired figures have no current value, and neither
+should fail the build. Bookkeeping keys ("meta/...") and raw counter
+snapshots ("metrics/...") are not medians and are skipped. Baselines below
+the --min-ms floor are skipped too: a 0.3 ms figure doubling is scheduler
+noise, not a regression.
+
+Usage: check_bench_regression.py [current.json] [baseline.json]
+Exits 0 when no compared key regresses, 1 otherwise, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict):
+        print(f"error: {path}: expected a flat JSON object", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def comparable(key, value):
+    # meta/metrics keys are bookkeeping, not medians; qps keys are
+    # throughput (higher is better), so a ratio check reads backwards.
+    return (
+        isinstance(value, (int, float))
+        and not key.startswith("meta/")
+        and not key.startswith("metrics/")
+        and "qps" not in key
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="?", default="BENCH_PR7.json")
+    ap.add_argument("baseline", nargs="?", default="BENCH_PR6.json")
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline exceeds this (default 2.0)",
+    )
+    ap.add_argument(
+        "--min-ms",
+        type=float,
+        default=5.0,
+        help="skip keys whose baseline is below this floor (default 5.0)",
+    )
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    shared = sorted(
+        k
+        for k in current
+        if k in baseline
+        and comparable(k, current[k])
+        and comparable(k, baseline[k])
+    )
+    if not shared:
+        print(
+            f"error: no shared timing keys between {args.current} and "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    regressions = []
+    compared = 0
+    for key in shared:
+        base = float(baseline[key])
+        cur = float(current[key])
+        if base < args.min_ms:
+            continue
+        compared += 1
+        ratio = cur / base
+        marker = ""
+        if ratio > args.max_ratio:
+            marker = "  << REGRESSION"
+            regressions.append(key)
+        print(f"{key:48s} {base:10.3f} -> {cur:10.3f}  ({ratio:5.2f}x){marker}")
+
+    print(
+        f"\n{compared} keys compared (floor {args.min_ms} ms), "
+        f"{len(regressions)} above {args.max_ratio}x"
+    )
+    if regressions:
+        print("regressed keys: " + ", ".join(regressions), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
