@@ -39,9 +39,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR7.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR8.json";
 #else
-  return "BENCH_PR7.json";
+  return "BENCH_PR8.json";
 #endif
 }
 

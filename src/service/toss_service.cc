@@ -19,8 +19,13 @@ struct ServiceMetrics {
       obs::Metrics().GetCounter("service.deadline_exceeded");
   obs::Counter& cancelled = obs::Metrics().GetCounter("service.cancelled");
   obs::Counter& seo_swaps = obs::Metrics().GetCounter("service.seo_swaps");
+  obs::Counter& mutations = obs::Metrics().GetCounter("service.mutations");
+  obs::Counter& mutation_errors =
+      obs::Metrics().GetCounter("service.mutation_errors");
   obs::Histogram& run_ns =
       obs::Metrics().GetHistogram("service.run_latency_ns");
+  obs::Histogram& mutation_ns =
+      obs::Metrics().GetHistogram("service.mutation_latency_ns");
 };
 
 ServiceMetrics& Instruments() {
@@ -71,6 +76,32 @@ QueryRequest QueryRequest::Join(std::string left, std::string right,
   return r;
 }
 
+QueryRequest QueryRequest::Insert(std::string collection, std::string key,
+                                  std::string xml) {
+  QueryRequest r;
+  r.op = InsertSpec{std::move(collection), std::move(key), std::move(xml)};
+  return r;
+}
+
+QueryRequest QueryRequest::Replace(std::string collection, std::string key,
+                                   std::string xml) {
+  QueryRequest r;
+  r.op = ReplaceSpec{std::move(collection), std::move(key), std::move(xml)};
+  return r;
+}
+
+QueryRequest QueryRequest::Remove(std::string collection, std::string key) {
+  QueryRequest r;
+  r.op = RemoveSpec{std::move(collection), std::move(key)};
+  return r;
+}
+
+bool QueryRequest::IsMutation() const {
+  return std::holds_alternative<InsertSpec>(op) ||
+         std::holds_alternative<ReplaceSpec>(op) ||
+         std::holds_alternative<RemoveSpec>(op);
+}
+
 std::string QueryRequest::OpName() const {
   return std::visit(
       Overloaded{
@@ -80,6 +111,9 @@ std::string QueryRequest::OpName() const {
           [](const JoinSpec& s) {
             return "join(" + s.left + "," + s.right + ")";
           },
+          [](const InsertSpec& s) { return "insert(" + s.collection + ")"; },
+          [](const ReplaceSpec& s) { return "replace(" + s.collection + ")"; },
+          [](const RemoveSpec& s) { return "remove(" + s.collection + ")"; },
       },
       op);
 }
@@ -94,6 +128,13 @@ TossService::TossService(const store::Database* db, const core::Seo* seo,
       prepared_(options.prepared_cache_capacity),
       executor_(std::make_unique<core::QueryExecutor>(
           db, seo, types, options.default_parallelism)) {}
+
+TossService::TossService(store::Database* db, const core::Seo* seo,
+                         const core::TypeSystem* types, ServiceOptions options)
+    : TossService(static_cast<const store::Database*>(db), seo, types,
+                  options) {
+  mutable_db_ = db;
+}
 
 Status TossService::Dispatch(const QueryRequest& request,
                              const core::QueryOptions& qopts,
@@ -117,11 +158,57 @@ Status TossService::Dispatch(const QueryRequest& request,
             return exec.Join(s.left, s.right, s.pattern, s.sl, qopts,
                              &resp->stats, parent);
           },
+          // Mutations never reach Dispatch -- Run routes them to
+          // ApplyMutation before taking the shared executor lock.
+          [&](const InsertSpec&) -> Result<tax::TreeCollection> {
+            return Status::Internal("mutation dispatched as query");
+          },
+          [&](const ReplaceSpec&) -> Result<tax::TreeCollection> {
+            return Status::Internal("mutation dispatched as query");
+          },
+          [&](const RemoveSpec&) -> Result<tax::TreeCollection> {
+            return Status::Internal("mutation dispatched as query");
+          },
       },
       request.op);
   if (!r.ok()) return r.status();
   resp->trees = std::move(r).value();
   return Status::OK();
+}
+
+Status TossService::ApplyMutation(const QueryRequest& request) {
+  if (mutable_db_ == nullptr) {
+    return Status::InvalidArgument(
+        "read-only service: construct TossService with a mutable Database "
+        "to accept mutations");
+  }
+  // Exclusive where queries hold shared: the in-memory apply (and the
+  // prepared-cache invalidation) happens with no query in flight, exactly
+  // like SwapSeo. The WAL fsync happens inside DurableMutate BEFORE the
+  // apply, so OK here means durable. The turnstile (held only while
+  // WAITING for the exclusive lock) keeps a steady query stream from
+  // starving the mutation.
+  std::unique_lock<std::mutex> gate(write_gate_);
+  std::unique_lock<std::shared_mutex> exec_lock(exec_mu_);
+  gate.unlock();
+  Status st = std::visit(
+      Overloaded{
+          [&](const InsertSpec& s) {
+            return mutable_db_->DurableInsert(s.collection, s.key, s.xml);
+          },
+          [&](const ReplaceSpec& s) {
+            return mutable_db_->DurableReplace(s.collection, s.key, s.xml);
+          },
+          [&](const RemoveSpec& s) {
+            return mutable_db_->DurableRemove(s.collection, s.key);
+          },
+          [&](const auto&) {
+            return Status::Internal("query dispatched as mutation");
+          },
+      },
+      request.op);
+  if (st.ok()) prepared_.Clear();
+  return st;
 }
 
 QueryResponse TossService::Run(const QueryRequest& request) {
@@ -153,8 +240,19 @@ QueryResponse TossService::Run(const QueryRequest& request) {
   }
 
   Timer run_timer;
-  {
-    // Shared-lock the executor so SwapSeo cannot replace it mid-query.
+  if (request.IsMutation()) {
+    // The deadline/cancel token is honored up to the WAL append; once the
+    // record is queued for group commit the mutation runs to completion
+    // (aborting after fsync would desynchronize log and memory).
+    resp.status = CheckCancel(effective);
+    if (resp.status.ok()) resp.status = ApplyMutation(request);
+    m.mutations.Increment();
+    if (!resp.status.ok()) m.mutation_errors.Increment();
+    m.mutation_ns.Record(static_cast<uint64_t>(run_timer.ElapsedNanos()));
+  } else {
+    // Shared-lock the executor so SwapSeo cannot replace it mid-query,
+    // passing the turnstile first so a waiting mutation is never starved.
+    { std::lock_guard<std::mutex> gate(write_gate_); }
     std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
     core::QueryOptions qopts;
     qopts.parallelism = request.parallelism > 0
@@ -189,7 +287,9 @@ Status TossService::SwapSeo(const core::Seo* seo) {
     return Status::InvalidArgument(
         "SwapSeo: a type system is required to serve TOSS queries");
   }
+  std::unique_lock<std::mutex> gate(write_gate_);
   std::unique_lock<std::shared_mutex> exec_lock(exec_mu_);
+  gate.unlock();
   executor_ = std::make_unique<core::QueryExecutor>(
       db_, seo, types_, options_.default_parallelism);
   prepared_.Clear();

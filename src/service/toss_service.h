@@ -76,9 +76,36 @@ struct JoinSpec {
   std::vector<int> sl;
 };
 
-/// One query: which operator to run, and how to run it.
+// Durable mutations (DESIGN.md "Write path & WAL"): served through the
+// same Run front door -- admission control, deadlines, metrics -- but
+// routed to Database::DurableInsert/Replace/Remove under the exclusive
+// executor lock, so queries never observe a half-applied document. A
+// mutation whose response is OK was fsynced into the write-ahead log
+// before it became visible.
+
+struct InsertSpec {
+  std::string collection;  ///< created on first insert
+  std::string key;
+  std::string xml;
+};
+
+struct ReplaceSpec {
+  std::string collection;
+  std::string key;
+  std::string xml;
+};
+
+struct RemoveSpec {
+  std::string collection;
+  std::string key;
+};
+
+/// One request: which operator (query or durable mutation) to run, and
+/// how to run it.
 struct QueryRequest {
-  std::variant<SelectSpec, ProjectSpec, GroupBySpec, JoinSpec> op;
+  std::variant<SelectSpec, ProjectSpec, GroupBySpec, JoinSpec, InsertSpec,
+               ReplaceSpec, RemoveSpec>
+      op;
 
   /// Wall-clock budget from admission to answer; 0 = none. Expired
   /// requests fail with DeadlineExceeded, in the queue or mid-phase.
@@ -103,8 +130,17 @@ struct QueryRequest {
                               int group_label, std::vector<int> sl);
   static QueryRequest Join(std::string left, std::string right,
                            tax::PatternTree pattern, std::vector<int> sl);
+  static QueryRequest Insert(std::string collection, std::string key,
+                             std::string xml);
+  static QueryRequest Replace(std::string collection, std::string key,
+                              std::string xml);
+  static QueryRequest Remove(std::string collection, std::string key);
 
-  /// "select(dblp)", "join(dblp,sigmod)", ... (trace root / log label).
+  /// True for Insert/Replace/Remove requests (the durable write path).
+  bool IsMutation() const;
+
+  /// "select(dblp)", "join(dblp,sigmod)", "insert(dblp)", ... (trace
+  /// root / log label).
   std::string OpName() const;
 };
 
@@ -144,8 +180,15 @@ struct ServiceOptions {
 class TossService {
  public:
   /// `seo == nullptr` serves the TAX baseline (then `types` may be null
-  /// too). All pointers must outlive the service.
+  /// too). All pointers must outlive the service. A service over a const
+  /// Database is read-only: mutation requests fail with InvalidArgument.
   TossService(const store::Database* db, const core::Seo* seo,
+              const core::TypeSystem* types, ServiceOptions options = {});
+
+  /// Read-write service: mutation requests route to `db`'s durable write
+  /// path (`db` should come from Database::OpenDurable; otherwise they
+  /// fail with InvalidArgument at dispatch).
+  TossService(store::Database* db, const core::Seo* seo,
               const core::TypeSystem* types, ServiceOptions options = {});
 
   TossService(const TossService&) = delete;
@@ -173,7 +216,13 @@ class TossService {
                   const core::QueryOptions& qopts, QueryResponse* resp,
                   obs::Span* parent);
 
+  /// Serves one mutation request under the exclusive executor lock (no
+  /// query runs while the in-memory state changes) and invalidates the
+  /// prepared-query cache on success, SwapSeo-style.
+  Status ApplyMutation(const QueryRequest& request);
+
   const store::Database* db_;
+  store::Database* mutable_db_ = nullptr;  ///< null: read-only service
   const core::TypeSystem* types_;
   ServiceOptions options_;
   AdmissionController admission_;
@@ -182,6 +231,15 @@ class TossService {
   /// Guards executor_ swaps: Run holds it shared for the query's duration,
   /// SwapSeo exclusively.
   mutable std::shared_mutex exec_mu_;
+
+  /// Writer-priority turnstile in front of exec_mu_. A steady query stream
+  /// re-acquires the shared lock back-to-back, which can starve exclusive
+  /// waiters (mutations, SwapSeo) indefinitely on reader-preferring rwlock
+  /// implementations. Exclusive acquirers hold this mutex WHILE waiting
+  /// for exec_mu_; queries lock/unlock it (uncontended: two atomic ops)
+  /// before taking the shared lock, so new queries queue behind a waiting
+  /// writer instead of perpetually renewing the read-side.
+  std::mutex write_gate_;
   std::unique_ptr<core::QueryExecutor> executor_;
 };
 

@@ -1,6 +1,7 @@
 #include "store/env.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -82,6 +83,23 @@ Status ProductionEnv::WriteFile(const std::string& path,
   out.close();
   if (!out) {
     return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status ProductionEnv::AppendFile(const std::string& path,
+                                 std::string_view content) {
+  EnvMetrics& m = Instruments();
+  m.writes.Increment();
+  m.bytes_written.Add(content.size());
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::IOError("cannot append to " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) {
+    return Status::IOError("append failed for " + path);
   }
   return Status::OK();
 }
@@ -188,7 +206,20 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base, Options options)
     : base_(base), options_(options) {}
 
 Status FaultInjectionEnv::Admit(const std::string& path,
-                                std::string_view content, bool is_write) {
+                                std::string_view content, WriteKind kind) {
+  const bool is_write = kind != WriteKind::kNone;
+  // Torn faults persist a prefix through the matching base operation, so a
+  // torn append damages only the log tail, never the preceding records.
+  auto TearWrite = [&] {
+    if (!is_write || content.empty()) return;
+    std::string_view prefix = content.substr(0, content.size() / 2);
+    // Ignore secondary errors; the caller only ever sees the injected one.
+    if (kind == WriteKind::kAppend) {
+      (void)base_->AppendFile(path, prefix);
+    } else {
+      (void)base_->WriteFile(path, prefix);
+    }
+  };
   std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     return Status::IOError("injected fault: process crashed (op after #" +
@@ -215,20 +246,14 @@ Status FaultInjectionEnv::Admit(const std::string& path,
       ++faults_;
       Instruments().faults.Increment();
       crashed_ = true;
-      if (is_write && !content.empty()) {
-        // Half the payload lands before the crash; ignore secondary errors,
-        // the caller only ever sees the injected one.
-        (void)base_->WriteFile(path, content.substr(0, content.size() / 2));
-      }
+      TearWrite();
       return Status::IOError("injected fault: torn write at op #" +
                              std::to_string(op) + " (" + path + ")");
     case FaultKind::kNoSpace:
       ++faults_;
       Instruments().faults.Increment();
       no_space_ = true;
-      if (is_write && !content.empty()) {
-        (void)base_->WriteFile(path, content.substr(0, content.size() / 2));
-      }
+      TearWrite();
       return Status::IOError("injected fault: no space left on device (op #" +
                              std::to_string(op) + ", " + path + ")");
     case FaultKind::kTransient:
@@ -244,7 +269,7 @@ Status FaultInjectionEnv::Admit(const std::string& path,
 }
 
 Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
-  TOSS_RETURN_NOT_OK(Admit(dir, {}, /*is_write=*/false));
+  TOSS_RETURN_NOT_OK(Admit(dir, {}, WriteKind::kNone));
   return base_->CreateDirs(dir);
 }
 
@@ -260,33 +285,39 @@ Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
 
 Status FaultInjectionEnv::WriteFile(const std::string& path,
                                     std::string_view content) {
-  TOSS_RETURN_NOT_OK(Admit(path, content, /*is_write=*/true));
+  TOSS_RETURN_NOT_OK(Admit(path, content, WriteKind::kTruncate));
   return base_->WriteFile(path, content);
 }
 
+Status FaultInjectionEnv::AppendFile(const std::string& path,
+                                     std::string_view content) {
+  TOSS_RETURN_NOT_OK(Admit(path, content, WriteKind::kAppend));
+  return base_->AppendFile(path, content);
+}
+
 Status FaultInjectionEnv::SyncFile(const std::string& path) {
-  TOSS_RETURN_NOT_OK(Admit(path, {}, /*is_write=*/false));
+  TOSS_RETURN_NOT_OK(Admit(path, {}, WriteKind::kNone));
   return base_->SyncFile(path);
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& dir) {
-  TOSS_RETURN_NOT_OK(Admit(dir, {}, /*is_write=*/false));
+  TOSS_RETURN_NOT_OK(Admit(dir, {}, WriteKind::kNone));
   return base_->SyncDir(dir);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  TOSS_RETURN_NOT_OK(Admit(from, {}, /*is_write=*/false));
+  TOSS_RETURN_NOT_OK(Admit(from, {}, WriteKind::kNone));
   return base_->RenameFile(from, to);
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  TOSS_RETURN_NOT_OK(Admit(path, {}, /*is_write=*/false));
+  TOSS_RETURN_NOT_OK(Admit(path, {}, WriteKind::kNone));
   return base_->RemoveFile(path);
 }
 
 Status FaultInjectionEnv::RemoveAll(const std::string& path) {
-  TOSS_RETURN_NOT_OK(Admit(path, {}, /*is_write=*/false));
+  TOSS_RETURN_NOT_OK(Admit(path, {}, WriteKind::kNone));
   return base_->RemoveAll(path);
 }
 
@@ -309,6 +340,7 @@ void FaultInjectionEnv::SleepForMicros(uint64_t micros) {
   std::lock_guard<std::mutex> lock(mu_);
   ++sleeps_;
   slept_micros_ += micros;  // recorded, never actually slept: tests stay fast
+  sleep_history_.push_back(micros);
 }
 
 size_t FaultInjectionEnv::op_count() const {
@@ -331,22 +363,62 @@ uint64_t FaultInjectionEnv::total_sleep_micros() const {
   return slept_micros_;
 }
 
+std::vector<uint64_t> FaultInjectionEnv::sleep_history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sleep_history_;
+}
+
 // ---------------------------------------------------------------------------
 // RetryTransient
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for the jitter stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Per-call jitter seed: a process-wide counter, so two retry loops hit by
+/// the same shared fault draw different (but still deterministic and
+/// reproducible within one process) backoff sequences.
+uint64_t NextJitterSeed() {
+  static std::atomic<uint64_t> counter{0};
+  return Mix64(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
 Status RetryTransient(Env* env, const RetryPolicy& policy,
                       const std::function<Status()>& op) {
   size_t attempts = std::max<size_t>(1, policy.max_attempts);
-  uint64_t backoff = policy.initial_backoff_micros;
+  const uint64_t floor_us = policy.initial_backoff_micros;
+  const uint64_t cap_us =
+      std::max(policy.max_backoff_micros, floor_us);
+  uint64_t backoff = floor_us;
+  uint64_t jitter_state = NextJitterSeed();
   Status st;
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
     st = op();
     if (!st.IsUnavailable()) return st;
     if (attempt + 1 < attempts) {
       Instruments().retries.Increment();
+      if (policy.decorrelated_jitter) {
+        // Decorrelated jitter (the "sleep = rand(base, prev * 3)" scheme):
+        // grows roughly exponentially in expectation but desynchronizes
+        // concurrent retriers; always within [floor, cap].
+        uint64_t hi = std::min(cap_us, std::max(floor_us, backoff) * 3);
+        jitter_state = Mix64(jitter_state);
+        backoff = floor_us + (hi > floor_us ? jitter_state % (hi - floor_us + 1)
+                                            : 0);
+      }
       env->SleepForMicros(backoff);
-      backoff = std::min(backoff * 2, policy.max_backoff_micros);
+      if (!policy.decorrelated_jitter) {
+        backoff = std::min(backoff * 2, cap_us);
+      }
     }
   }
   return st;

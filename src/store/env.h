@@ -51,6 +51,14 @@ class Env {
   virtual Status WriteFile(const std::string& path,
                            std::string_view content) = 0;
 
+  /// Appends `content` to `path` (created if missing). Does NOT sync. An
+  /// Unavailable result means NO bytes landed (the transient-failure
+  /// contract retry loops depend on); other errors may leave a prefix of
+  /// `content` appended, which the write-ahead log's length-prefixed
+  /// records make detectable on replay.
+  virtual Status AppendFile(const std::string& path,
+                            std::string_view content) = 0;
+
   /// Flushes `path`'s contents to stable storage (fsync).
   virtual Status SyncFile(const std::string& path) = 0;
 
@@ -86,6 +94,7 @@ class ProductionEnv : public Env {
   Status CreateDirs(const std::string& dir) override;
   Result<std::string> ReadFile(const std::string& path) override;
   Status WriteFile(const std::string& path, std::string_view content) override;
+  Status AppendFile(const std::string& path, std::string_view content) override;
   Status SyncFile(const std::string& path) override;
   Status SyncDir(const std::string& dir) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
@@ -98,8 +107,8 @@ class ProductionEnv : public Env {
 
 /// Env decorator that injects faults at a chosen mutating operation.
 ///
-/// Mutating operations (CreateDirs, WriteFile, SyncFile, SyncDir,
-/// RenameFile, RemoveFile, RemoveAll) are numbered 0, 1, 2, ... in call
+/// Mutating operations (CreateDirs, WriteFile, AppendFile, SyncFile,
+/// SyncDir, RenameFile, RemoveFile, RemoveAll) are numbered 0, 1, 2, ... in call
 /// order; read-only operations are passed through uncounted, since a crash
 /// during a read is indistinguishable from one just before the next write.
 /// A dry run with `fail_at_op` left at kNever yields op_count(), the total
@@ -129,6 +138,7 @@ class FaultInjectionEnv : public Env {
   Status CreateDirs(const std::string& dir) override;
   Result<std::string> ReadFile(const std::string& path) override;
   Status WriteFile(const std::string& path, std::string_view content) override;
+  Status AppendFile(const std::string& path, std::string_view content) override;
   Status SyncFile(const std::string& path) override;
   Status SyncDir(const std::string& dir) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
@@ -145,12 +155,18 @@ class FaultInjectionEnv : public Env {
   /// Backoff sleeps requested via SleepForMicros.
   size_t sleep_count() const;
   uint64_t total_sleep_micros() const;
+  /// Every requested backoff duration, in request order (jitter tests).
+  std::vector<uint64_t> sleep_history() const;
 
  private:
+  /// How a faulted operation moves bytes (torn writes persist a prefix
+  /// through the matching base operation).
+  enum class WriteKind { kNone, kTruncate, kAppend };
+
   /// Pre-flight for one mutating op. OK = execute it; otherwise the typed
   /// injected error. `content` is consumed by kTornWrite.
   Status Admit(const std::string& path, std::string_view content,
-               bool is_write);
+               WriteKind kind);
 
   Env* base_;
   Options options_;
@@ -159,6 +175,7 @@ class FaultInjectionEnv : public Env {
   size_t faults_ = 0;
   size_t sleeps_ = 0;
   uint64_t slept_micros_ = 0;
+  std::vector<uint64_t> sleep_history_;
   bool crashed_ = false;   ///< hard/torn fault delivered; everything fails
   bool no_space_ = false;  ///< ENOSPC delivered; writes keep failing
 };
@@ -168,11 +185,18 @@ struct RetryPolicy {
   size_t max_attempts = 4;              ///< total tries, including the first
   uint64_t initial_backoff_micros = 100;
   uint64_t max_backoff_micros = 10'000;
+  /// Decorrelate backoff across concurrent retry loops: each sleep is drawn
+  /// uniformly from [initial, min(max, 3 * previous)] instead of the
+  /// deterministic doubling, so a shared fault (one disk stalling every
+  /// writer) does not turn into synchronized retry bursts. Every sleep
+  /// stays within [initial_backoff_micros, max_backoff_micros].
+  bool decorrelated_jitter = true;
 };
 
 /// Runs `op`, retrying Unavailable results up to policy.max_attempts with
-/// exponential backoff slept through `env`. Non-transient errors and OK are
-/// returned immediately; a still-failing op returns its last Unavailable.
+/// exponential backoff slept through `env` (decorrelated-jittered by
+/// default, see RetryPolicy). Non-transient errors and OK are returned
+/// immediately; a still-failing op returns its last Unavailable.
 Status RetryTransient(Env* env, const RetryPolicy& policy,
                       const std::function<Status()>& op);
 

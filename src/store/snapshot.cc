@@ -112,6 +112,24 @@ std::optional<uint64_t> ParseTempGenerationDirName(std::string_view name) {
   return ParseGenerationDirName(name.substr(0, name.size() - 4));
 }
 
+std::string WalFileName(uint64_t n) {
+  return "wal-" + std::to_string(n) + ".log";
+}
+
+std::optional<uint64_t> ParseWalFileName(std::string_view name) {
+  if (!StartsWith(name, "wal-") || !EndsWith(name, ".log")) {
+    return std::nullopt;
+  }
+  std::string_view digits = name.substr(4, name.size() - 8);
+  if (digits.empty() || digits.size() > 19) return std::nullopt;
+  uint64_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return n;
+}
+
 std::string FormatSymbolsFile(const std::vector<std::string>& terms) {
   std::string out;
   for (const std::string& term : terms) {
@@ -152,6 +170,9 @@ std::string SnapshotManifest::Format() const {
     std::snprintf(crc, sizeof(crc), "%08x", symbols->crc32);
     out += "symbols " + symbols->file + " " + std::to_string(symbols->count) +
            " " + std::to_string(symbols->bytes) + " " + crc + "\n";
+  }
+  if (wal.has_value()) {
+    out += "wal " + wal->file + " " + std::to_string(wal->start_seq) + "\n";
   }
   for (const ManifestCollection& coll : collections) {
     out += "collection " + coll.subdir + " " +
@@ -271,6 +292,34 @@ Result<SnapshotManifest> ParseManifest(std::string_view text) {
       }
       sym.crc32 = crc_value;
       manifest.symbols = std::move(sym);
+      continue;
+    }
+    if (StartsWith(line, "wal ")) {
+      // wal <file> <start-seq>; generation-wide like symbols, so it
+      // precedes every collection.
+      if (manifest.wal.has_value()) {
+        return Status::ParseError("manifest has duplicate wal line");
+      }
+      if (!manifest.collections.empty()) {
+        return Status::ParseError("manifest wal line must precede collections");
+      }
+      std::string_view rest = line.substr(4);
+      size_t sp1 = rest.find(' ');
+      if (sp1 == std::string_view::npos ||
+          rest.find(' ', sp1 + 1) != std::string_view::npos) {
+        return Status::ParseError("malformed wal line: '" + std::string(line) +
+                                  "'");
+      }
+      ManifestWal wal;
+      wal.file = std::string(rest.substr(0, sp1));
+      long long seq = 0;
+      if (wal.file.empty() || !ParseWalFileName(wal.file) ||
+          !ParseInt(rest.substr(sp1 + 1), &seq) || seq < 0) {
+        return Status::ParseError("malformed wal line: '" + std::string(line) +
+                                  "'");
+      }
+      wal.start_seq = static_cast<uint64_t>(seq);
+      manifest.wal = std::move(wal);
       continue;
     }
     if (StartsWith(line, "collection ")) {

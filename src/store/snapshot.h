@@ -16,10 +16,19 @@
 //
 //   toss-snapshot 1
 //   symbols <file> <count> <bytes> <crc32-hex>   (optional, at most one)
+//   wal <file> <start-seq>                       (optional, at most one)
 //   collection <subdir> <ndocs> <escaped-name>
 //   doc <file> <bytes> <crc32-hex> <escaped-key>
 //   ...                                     (exactly <ndocs> doc lines)
 //   end-snapshot
+//
+// The wal line names this generation's tail log (DESIGN.md "Write path &
+// WAL"): durable mutations made after the checkpoint append to <file> (a
+// sibling of the generation directories), and Open replays it over the
+// loaded generation. <start-seq> is the sequence number the log's first
+// record must carry; an absent file is an empty log. Generations written
+// by a plain Save (or the legacy format) have no wal line and replay
+// nothing.
 //
 // The symbols line names a sidecar term-dictionary file (<count> %-escaped
 // terms, one per line) holding every tag/content term of the snapshot's
@@ -72,6 +81,10 @@ std::string TempGenerationDirName(uint64_t n);
 std::optional<uint64_t> ParseGenerationDirName(std::string_view name);
 std::optional<uint64_t> ParseTempGenerationDirName(std::string_view name);
 
+/// "wal-<n>.log" tail-log naming (n = the generation the log applies to).
+std::string WalFileName(uint64_t n);
+std::optional<uint64_t> ParseWalFileName(std::string_view name);
+
 struct ManifestDoc {
   std::string file;   ///< filename inside the collection subdir
   uint64_t bytes = 0;
@@ -93,8 +106,15 @@ struct ManifestSymbols {
   uint32_t crc32 = 0;
 };
 
+/// Descriptor of the generation's tail write-ahead log.
+struct ManifestWal {
+  std::string file;        ///< log filename, a sibling of the gen dirs
+  uint64_t start_seq = 0;  ///< sequence number of the log's first record
+};
+
 struct SnapshotManifest {
   std::optional<ManifestSymbols> symbols;
+  std::optional<ManifestWal> wal;
   std::vector<ManifestCollection> collections;
 
   std::string Format() const;

@@ -1,0 +1,359 @@
+#include "store/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "store/snapshot.h"
+
+namespace toss::store {
+
+namespace {
+
+struct WalMetrics {
+  obs::Counter& appends = obs::Metrics().GetCounter("store.wal.appends");
+  obs::Counter& records = obs::Metrics().GetCounter("store.wal.records");
+  obs::Counter& batches = obs::Metrics().GetCounter("store.wal.batches");
+  obs::Counter& fsyncs = obs::Metrics().GetCounter("store.wal.fsyncs");
+  obs::Counter& bytes_appended =
+      obs::Metrics().GetCounter("store.wal.bytes_appended");
+  obs::Counter& append_errors =
+      obs::Metrics().GetCounter("store.wal.append_errors");
+  obs::Counter& rotations = obs::Metrics().GetCounter("store.wal.rotations");
+  obs::Histogram& commit_ns =
+      obs::Metrics().GetHistogram("store.wal.commit_latency_ns");
+  obs::Histogram& batch_records =
+      obs::Metrics().GetHistogram("store.wal.batch_records");
+};
+
+WalMetrics& Instruments() {
+  static WalMetrics* m = new WalMetrics();
+  return *m;
+}
+
+const char* OpToken(WalOp op) {
+  switch (op) {
+    case WalOp::kInsert:
+      return "insert";
+    case WalOp::kReplace:
+      return "replace";
+    case WalOp::kRemove:
+      return "remove";
+  }
+  return "insert";
+}
+
+std::optional<WalOp> ParseOpToken(std::string_view token) {
+  if (token == "insert") return WalOp::kInsert;
+  if (token == "replace") return WalOp::kReplace;
+  if (token == "remove") return WalOp::kRemove;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string FormatWalPayload(const WalRecord& record) {
+  std::string out = OpToken(record.op);
+  out += ' ';
+  out += EscapeKey(record.collection);
+  out += '\n';
+  out += EscapeKey(record.key);
+  out += '\n';
+  out += record.xml;
+  return out;
+}
+
+Result<WalRecord> ParseWalPayload(std::string_view payload) {
+  size_t eol1 = payload.find('\n');
+  if (eol1 == std::string_view::npos) {
+    return Status::ParseError("wal payload missing op line");
+  }
+  size_t eol2 = payload.find('\n', eol1 + 1);
+  if (eol2 == std::string_view::npos) {
+    return Status::ParseError("wal payload missing key line");
+  }
+  std::string_view op_line = payload.substr(0, eol1);
+  size_t sp = op_line.find(' ');
+  if (sp == std::string_view::npos) {
+    return Status::ParseError("malformed wal op line: '" +
+                              std::string(op_line) + "'");
+  }
+  std::optional<WalOp> op = ParseOpToken(op_line.substr(0, sp));
+  if (!op) {
+    return Status::ParseError("unknown wal op: '" +
+                              std::string(op_line.substr(0, sp)) + "'");
+  }
+  WalRecord rec;
+  rec.op = *op;
+  TOSS_ASSIGN_OR_RETURN(rec.collection, UnescapeKey(op_line.substr(sp + 1)));
+  TOSS_ASSIGN_OR_RETURN(rec.key,
+                        UnescapeKey(payload.substr(eol1 + 1, eol2 - eol1 - 1)));
+  rec.xml = std::string(payload.substr(eol2 + 1));
+  if (rec.op == WalOp::kRemove && !rec.xml.empty()) {
+    return Status::ParseError("wal remove record carries a payload");
+  }
+  return rec;
+}
+
+std::string FormatWalRecord(uint64_t seq, std::string_view payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(payload));
+  std::string out = "rec " + std::to_string(seq) + " " +
+                    std::to_string(payload.size()) + " " + crc + "\n";
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+Result<ParsedWal> ParseWalLog(std::string_view text, uint64_t start_seq) {
+  ParsedWal out;
+  out.next_seq = start_seq;
+  size_t pos = 0;
+  auto Torn = [&](const std::string& reason) {
+    out.torn_tail = true;
+    out.torn_reason = reason + " at byte " + std::to_string(pos) +
+                      " (dropping " + std::to_string(text.size() - pos) +
+                      " trailing bytes)";
+    return out;
+  };
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      // The header line itself never landed completely: a torn final
+      // append. (A bit flip could fake this too; like every log format
+      // with per-record checksums, tail damage is indistinguishable from
+      // a tear and resolves in favor of truncation.)
+      return Torn("wal header cut short");
+    }
+    std::string_view header = text.substr(pos, eol - pos);
+    // rec <seq> <payload-bytes> <crc32-hex> -- complete (newline present)
+    // but malformed headers are corruption, not tearing: prefix-tears
+    // cannot garble bytes they did not write.
+    if (!StartsWith(header, "rec ")) {
+      return Status::IOError("wal corruption: unrecognized record header '" +
+                             std::string(header.substr(0, 64)) + "'");
+    }
+    std::string_view rest = header.substr(4);
+    size_t sp1 = rest.find(' ');
+    size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                               : rest.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        rest.find(' ', sp2 + 1) != std::string_view::npos) {
+      return Status::IOError("wal corruption: malformed record header '" +
+                             std::string(header) + "'");
+    }
+    long long seq_ll = 0;
+    long long len_ll = 0;
+    if (!ParseInt(rest.substr(0, sp1), &seq_ll) || seq_ll < 0 ||
+        !ParseInt(rest.substr(sp1 + 1, sp2 - sp1 - 1), &len_ll) || len_ll < 0) {
+      return Status::IOError("wal corruption: malformed record header '" +
+                             std::string(header) + "'");
+    }
+    std::string_view crc_text = rest.substr(sp2 + 1);
+    if (crc_text.empty() || crc_text.size() > 8) {
+      return Status::IOError("wal corruption: malformed crc32 in '" +
+                             std::string(header) + "'");
+    }
+    uint32_t crc = 0;
+    for (char c : crc_text) {
+      int digit = -1;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      if (digit < 0) {
+        return Status::IOError("wal corruption: malformed crc32 in '" +
+                               std::string(header) + "'");
+      }
+      crc = crc * 16 + static_cast<uint32_t>(digit);
+    }
+    const uint64_t seq = static_cast<uint64_t>(seq_ll);
+    const uint64_t len = static_cast<uint64_t>(len_ll);
+    const size_t payload_start = eol + 1;
+    if (len > text.size() - payload_start ||
+        payload_start + len + 1 > text.size()) {
+      // Fewer payload bytes (or no terminator) than the header declares:
+      // the append tore mid-record.
+      return Torn("wal payload cut short");
+    }
+    std::string_view payload = text.substr(payload_start, len);
+    if (text[payload_start + len] != '\n') {
+      return Status::IOError(
+          "wal corruption: record at byte " + std::to_string(pos) +
+          " is missing its terminator");
+    }
+    if (Crc32(payload) != crc) {
+      return Status::IOError("wal corruption: checksum mismatch for record " +
+                             std::to_string(seq) + " at byte " +
+                             std::to_string(pos));
+    }
+    if (seq != out.next_seq) {
+      return Status::IOError(
+          "wal corruption: record sequence " + std::to_string(seq) +
+          " at byte " + std::to_string(pos) + ", expected " +
+          std::to_string(out.next_seq) +
+          " (duplicated or reordered log tail)");
+    }
+    auto rec = ParseWalPayload(payload);
+    if (!rec.ok()) {
+      return Status::IOError("wal corruption: " + rec.status().ToString());
+    }
+    out.records.push_back(std::move(rec).value());
+    ++out.next_seq;
+    pos = payload_start + len + 1;
+    out.intact_bytes = pos;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+WalWriter::WalWriter(Env* env, std::string path, uint64_t next_seq,
+                     WalWriterOptions options)
+    : env_(env),
+      path_(std::move(path)),
+      options_(options),
+      next_seq_(next_seq) {
+  options_.max_batch_records = std::max<size_t>(1, options_.max_batch_records);
+}
+
+std::shared_ptr<WalWriter::Pending> WalWriter::Enqueue(std::string payload,
+                                                       ApplyFn apply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return nullptr;
+  auto p = std::make_shared<Pending>();
+  p->apply = std::move(apply);
+  p->bytes = FormatWalRecord(next_seq_++, payload);
+  queue_.push_back(p);
+  Instruments().appends.Increment();
+  ++stats_.appends;
+  return p;
+}
+
+Status WalWriter::Wait(const std::shared_ptr<Pending>& p) {
+  WalMetrics& m = Instruments();
+  Timer commit_timer;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!p->done) {
+    if (!leader_active_ && !queue_.empty()) {
+      // Become the batch leader: optionally linger for followers, then
+      // drain the queue (bounded), write + fsync once, apply in order.
+      leader_active_ = true;
+      if (options_.group_wait_micros > 0 &&
+          queue_.size() < options_.max_batch_records) {
+        lock.unlock();
+        env_->SleepForMicros(options_.group_wait_micros);
+        lock.lock();
+      }
+      std::vector<std::shared_ptr<Pending>> batch;
+      std::string blob;
+      while (!queue_.empty() && batch.size() < options_.max_batch_records) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+        blob += batch.back()->bytes;
+      }
+      lock.unlock();
+
+      Status st = RetryTransient(env_, options_.retry, [&] {
+        return env_->AppendFile(path_, blob);
+      });
+      if (st.ok()) {
+        st = RetryTransient(env_, options_.retry,
+                            [&] { return env_->SyncFile(path_); });
+        m.fsyncs.Increment();
+      }
+      if (st.ok()) {
+        m.batches.Increment();
+        m.records.Add(batch.size());
+        m.bytes_appended.Add(blob.size());
+        m.batch_records.Record(batch.size());
+        // The batch is durable: run the in-memory effects in sequence
+        // order before anyone observes their Append as committed.
+        for (auto& q : batch) {
+          q->result = q->apply ? q->apply() : Status::OK();
+          q->applied = true;
+        }
+      } else {
+        m.append_errors.Increment();
+      }
+
+      lock.lock();
+      if (st.ok()) {
+        ++stats_.batches;
+        stats_.records += batch.size();
+        stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+        for (auto& q : batch) q->done = true;
+      } else {
+        // The tail of the log is now unknown; nothing else may append to
+        // it. Fail the batch with the I/O error and every still-queued
+        // record behind it.
+        poisoned_ = true;
+        for (auto& q : batch) {
+          q->result = st;
+          q->done = true;
+        }
+        for (auto& q : queue_) {
+          q->result = Status::IOError(
+              "wal append aborted: writer poisoned by a concurrent append "
+              "failure (" + st.ToString() + ")");
+          q->done = true;
+        }
+        queue_.clear();
+      }
+      leader_active_ = false;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  m.commit_ns.Record(static_cast<uint64_t>(commit_timer.ElapsedNanos()));
+  return p->result;
+}
+
+Status WalWriter::Append(std::string payload, ApplyFn apply) {
+  auto ticket = Enqueue(std::move(payload), std::move(apply));
+  if (ticket == nullptr) {
+    return Status::IOError(
+        "wal writer poisoned by an earlier append failure; checkpoint to "
+        "rotate the log");
+  }
+  return Wait(ticket);
+}
+
+bool WalWriter::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !leader_active_ && queue_.empty();
+}
+
+Status WalWriter::Rotate(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (leader_active_ || !queue_.empty()) {
+    return Status::Unavailable("wal rotation with appends in flight");
+  }
+  path_ = std::move(path);
+  poisoned_ = false;
+  Instruments().rotations.Increment();
+  return Status::OK();
+}
+
+uint64_t WalWriter::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+bool WalWriter::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+WalWriter::Stats WalWriter::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace toss::store

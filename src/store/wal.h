@@ -1,0 +1,203 @@
+// Write-ahead log: the store's durable mutation path (DESIGN.md "Write
+// path & WAL").
+//
+// A log file is a sequence of length-prefixed, CRC-checked records, each
+// one Insert/Replace/Remove mutation:
+//
+//   rec <seq> <payload-bytes> <crc32-hex>\n
+//   <payload>\n
+//
+// where <payload> is
+//
+//   <op> <escaped-collection>\n
+//   <escaped-key>\n
+//   <xml-bytes>                      (empty for remove)
+//
+// <op> is insert | replace | remove; collection names and keys reuse the
+// snapshot format's %-escaping so newlines and control bytes round-trip,
+// and the XML payload is raw bytes (the length prefix, not line structure,
+// delimits it). <seq> numbers records contiguously from the MANIFEST's
+// wal start-seq; the CRC covers the payload.
+//
+// Replay rules (ParseWalLog):
+//   * A record with a complete header, a complete payload, its trailing
+//     newline, a matching CRC, and the expected sequence number is applied.
+//   * A final record cut short -- header without newline, payload shorter
+//     than declared, or missing terminator -- is a TORN TAIL: the write
+//     that produced it never had its fsync acknowledged, so the record is
+//     discarded (truncate-and-warn) and everything before it is kept.
+//   * Anything else -- CRC mismatch over a complete payload, a malformed
+//     or out-of-sequence header mid-log, duplicated records -- is
+//     CORRUPTION: acknowledged writes can no longer be trusted, so the
+//     whole log is rejected (and Database::Open fails loudly rather than
+//     silently dropping durable data).
+//
+// WalWriter is the group-commit appender: any number of threads call
+// Append; the first to arrive becomes the batch leader, drains the queue
+// (bounded by max_batch_records, optionally lingering group_wait_micros
+// for followers), writes every queued record in ONE AppendFile, makes them
+// durable with ONE fsync, then applies the batch's in-memory effects in
+// sequence order before waking the followers -- so a committed mutation is
+// both durable and visible when Append returns, and N concurrent writers
+// cost one fsync, not N. A failed append or fsync poisons the writer
+// (the log tail is unknown); Database::Checkpoint rotates to a fresh
+// segment and clears the poison.
+
+#ifndef TOSS_STORE_WAL_H_
+#define TOSS_STORE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "store/env.h"
+
+namespace toss::store {
+
+enum class WalOp { kInsert, kReplace, kRemove };
+
+/// One logged mutation. `xml` is empty for kRemove.
+struct WalRecord {
+  WalOp op = WalOp::kInsert;
+  std::string collection;
+  std::string key;
+  std::string xml;
+};
+
+/// Serializes one mutation payload (the bytes the CRC covers; no header).
+std::string FormatWalPayload(const WalRecord& record);
+
+/// Inverse of FormatWalPayload. ParseError on malformed escapes/ops.
+Result<WalRecord> ParseWalPayload(std::string_view payload);
+
+/// Frames `payload` as a full log record: header line + payload + '\n'.
+std::string FormatWalRecord(uint64_t seq, std::string_view payload);
+
+/// Outcome of scanning a log image.
+struct ParsedWal {
+  std::vector<WalRecord> records;  ///< every intact record, in log order
+  uint64_t next_seq = 0;           ///< start_seq + records.size()
+  uint64_t intact_bytes = 0;       ///< length of the valid prefix
+  bool torn_tail = false;          ///< trailing partial record discarded
+  std::string torn_reason;         ///< what the tail looked like (warn text)
+};
+
+/// Scans a whole log image per the replay rules above. `start_seq` is the
+/// expected sequence of the first record (from the MANIFEST wal line).
+/// A torn tail is tolerated (torn_tail/torn_reason report it); mid-log
+/// corruption returns IOError/ParseError and must reject the log.
+Result<ParsedWal> ParseWalLog(std::string_view text, uint64_t start_seq);
+
+// --- Group-commit writer ---------------------------------------------------
+
+struct WalWriterOptions {
+  /// Most records one AppendFile+fsync pair may cover.
+  size_t max_batch_records = 128;
+  /// How long a leader lingers for followers to join its batch before
+  /// writing (bounded wait; 0 = write immediately with whatever queued
+  /// while the previous batch was being synced).
+  uint64_t group_wait_micros = 0;
+  /// Retry/backoff for transient (Unavailable) append/fsync failures.
+  RetryPolicy retry;
+};
+
+class WalWriter {
+ public:
+  /// In-memory effect of one record, run by the batch leader strictly in
+  /// sequence order, only after the fsync covering the record returned.
+  using ApplyFn = std::function<Status()>;
+
+  /// `next_seq` is the sequence the next appended record will carry (log
+  /// end at attach time). `path` must already hold only intact records.
+  WalWriter(Env* env, std::string path, uint64_t next_seq,
+            WalWriterOptions options = {});
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// A queued record awaiting group commit (returned by Enqueue).
+  struct Pending {
+    std::string bytes;  ///< framed record (header + payload + '\n')
+    ApplyFn apply;
+    Status result;
+    bool done = false;
+    /// True iff the record reached durability and its apply ran. False
+    /// with done: the batch failed before fsync (callers roll back any
+    /// bookkeeping they staged at Enqueue time). Reading it after Wait
+    /// returns is race-free (synchronized by Wait's final lock).
+    bool applied = false;
+  };
+
+  /// Assigns the next sequence number and queues the record WITHOUT
+  /// waiting -- callers validate-and-enqueue atomically under their own
+  /// lock, then drop it and Wait, so validation order matches log order
+  /// while fsyncs still batch. Returns nullptr when the writer is
+  /// poisoned. Every ticket must be passed to Wait exactly once.
+  std::shared_ptr<Pending> Enqueue(std::string payload, ApplyFn apply);
+
+  /// Drives/awaits group commit for a ticket from Enqueue: the first
+  /// waiter in becomes the batch leader (one AppendFile + one fsync for
+  /// the whole queue), the rest block until their record is durable and
+  /// its `apply` ran.
+  Status Wait(const std::shared_ptr<Pending>& ticket);
+
+  /// Enqueue + Wait: appends one record and blocks until it is durable
+  /// (group-committed) and its `apply` ran. Returns apply's status on
+  /// success; IOError / Unavailable when the log write failed (the record
+  /// is then NOT durable and `apply` did not run; the writer is poisoned
+  /// until Rotate).
+  Status Append(std::string payload, ApplyFn apply);
+
+  /// True when no records are queued and no batch is being written. Under
+  /// an external lock that blocks new Enqueues (Database::Checkpoint),
+  /// idleness is stable and rotation cannot race an in-flight batch.
+  bool Idle() const;
+
+  /// Switches to a fresh (empty or absent) segment at `path`, keeping the
+  /// sequence counter, and clears any poison -- the checkpoint that calls
+  /// this has already made every applied mutation durable in a snapshot.
+  /// Fails with Unavailable when appends are in flight.
+  Status Rotate(std::string path);
+
+  /// Sequence number the next Append will write.
+  uint64_t next_seq() const;
+
+  /// True after a failed append/fsync: the on-disk tail is unknown, so
+  /// further appends are refused until Rotate.
+  bool poisoned() const;
+
+  const std::string& path() const { return path_; }
+
+  struct Stats {
+    uint64_t appends = 0;   ///< records requested
+    uint64_t records = 0;   ///< records durably written
+    uint64_t batches = 0;   ///< AppendFile+fsync rounds
+    uint64_t max_batch = 0; ///< largest batch, in records
+  };
+  Stats GetStats() const;
+
+ private:
+  Env* env_;
+  std::string path_;
+  WalWriterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool leader_active_ = false;
+  bool poisoned_ = false;
+  uint64_t next_seq_;
+  Stats stats_;
+};
+
+}  // namespace toss::store
+
+#endif  // TOSS_STORE_WAL_H_

@@ -172,6 +172,77 @@ TEST_F(EnvTest, RetryTransientIsBounded) {
   EXPECT_EQ(fenv.sleep_count(), 3u);
 }
 
+TEST_F(EnvTest, DecorrelatedJitterSleepsStayWithinTheConfiguredBounds) {
+  // Many long outages, each a fresh retry loop: every single backoff the
+  // jittered policy requests lies in [initial, max], whatever the jitter
+  // stream drew.
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 2'000;
+  ASSERT_TRUE(policy.decorrelated_jitter);
+  for (int run = 0; run < 50; ++run) {
+    FaultInjectionEnv::Options opts;
+    opts.fail_at_op = 0;
+    opts.kind = FaultInjectionEnv::FaultKind::kTransient;
+    opts.transient_failures = 1'000;
+    FaultInjectionEnv fenv(env_, opts);
+    Status st = RetryTransient(&fenv, policy, [&] {
+      return fenv.WriteFile(Path("j"), "payload");
+    });
+    EXPECT_TRUE(st.IsUnavailable());
+    const std::vector<uint64_t> sleeps = fenv.sleep_history();
+    ASSERT_EQ(sleeps.size(), policy.max_attempts - 1);
+    for (uint64_t s : sleeps) {
+      EXPECT_GE(s, policy.initial_backoff_micros);
+      EXPECT_LE(s, policy.max_backoff_micros);
+    }
+  }
+}
+
+TEST_F(EnvTest, DecorrelatedJitterDesynchronizesRetryLoops) {
+  // The point of the jitter: two retry loops hit by the same fault must
+  // not sleep in lockstep. With 7 draws from a wide range, identical
+  // histories across two loops would be astronomically unlikely.
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 1'000'000;
+  auto run_loop = [&] {
+    FaultInjectionEnv::Options opts;
+    opts.fail_at_op = 0;
+    opts.kind = FaultInjectionEnv::FaultKind::kTransient;
+    opts.transient_failures = 1'000;
+    FaultInjectionEnv fenv(env_, opts);
+    (void)RetryTransient(&fenv, policy, [&] {
+      return fenv.WriteFile(Path("j2"), "payload");
+    });
+    return fenv.sleep_history();
+  };
+  EXPECT_NE(run_loop(), run_loop());
+}
+
+TEST_F(EnvTest, LegacyDoublingBackoffIsExactWhenJitterIsOff) {
+  // decorrelated_jitter = false restores the deterministic schedule:
+  // initial, 2x, 4x, ... capped at max -- byte-for-byte predictable.
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 1'000;
+  policy.decorrelated_jitter = false;
+  FaultInjectionEnv::Options opts;
+  opts.fail_at_op = 0;
+  opts.kind = FaultInjectionEnv::FaultKind::kTransient;
+  opts.transient_failures = 1'000;
+  FaultInjectionEnv fenv(env_, opts);
+  Status st = RetryTransient(&fenv, policy, [&] {
+    return fenv.WriteFile(Path("d"), "payload");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(fenv.sleep_history(),
+            (std::vector<uint64_t>{100, 200, 400, 800, 1'000}));
+}
+
 TEST_F(EnvTest, RetryTransientDoesNotRetryHardErrors) {
   FaultInjectionEnv::Options opts;
   opts.fail_at_op = 0;  // hard error

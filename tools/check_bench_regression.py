@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Bench-regression smoke check.
 
-Compares the current bench report (BENCH_PR7.json) against the committed
-previous-PR baseline (BENCH_PR6.json) and fails when any shared timing key
+Compares the current bench report (BENCH_PR8.json) against the committed
+previous-PR baseline (BENCH_PR7.json) and fails when any shared timing key
 regresses by more than the threshold factor (default 2x).
 
 Only keys present in BOTH files are compared -- new figures have no
@@ -47,8 +47,8 @@ def comparable(key, value):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", nargs="?", default="BENCH_PR7.json")
-    ap.add_argument("baseline", nargs="?", default="BENCH_PR6.json")
+    ap.add_argument("current", nargs="?", default="BENCH_PR8.json")
+    ap.add_argument("baseline", nargs="?", default="BENCH_PR7.json")
     ap.add_argument(
         "--max-ratio",
         type=float,
