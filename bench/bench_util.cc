@@ -10,6 +10,7 @@
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "service/toss_service.h"
 
 namespace toss::bench {
@@ -27,6 +28,33 @@ bool SmokeMode() {
   return v != nullptr && std::string_view(v) != "0";
 }
 
+namespace {
+
+/// Every bench links this TU, so this static turns the production telemetry
+/// on for every bench run: the background time-series ticker, and -- when
+/// TOSS_TELEMETRY_DUMP names a file -- a full TelemetryDump written at exit.
+/// The dump honors smoke mode (CI runs smoke benches and uploads the dump
+/// as a build artifact).
+struct BenchTelemetry {
+  BenchTelemetry() {
+    obs::Telemetry::Global().StartTicker();
+    if (std::getenv("TOSS_TELEMETRY_DUMP") != nullptr) {
+      std::atexit([] {
+        obs::Telemetry& t = obs::Telemetry::Global();
+        t.StopTicker();
+        const char* path = std::getenv("TOSS_TELEMETRY_DUMP");
+        if (path != nullptr && !t.WriteDump(path)) {
+          std::fprintf(stderr, "warning: cannot write telemetry dump %s\n",
+                       path);
+        }
+      });
+    }
+  }
+};
+const BenchTelemetry g_bench_telemetry;
+
+}  // namespace
+
 double Median(std::vector<double> xs) {
   if (xs.empty()) return 0;
   std::sort(xs.begin(), xs.end());
@@ -39,9 +67,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR8.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR9.json";
 #else
-  return "BENCH_PR8.json";
+  return "BENCH_PR9.json";
 #endif
 }
 

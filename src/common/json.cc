@@ -1,0 +1,276 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace toss::common {
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::String(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::At(size_t index) const {
+  if (kind_ != Kind::kArray || index >= array_.size()) return nullptr;
+  return &array_[index];
+}
+
+size_t JsonValue::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+/// One-pass recursive-descent parser over the input view. Depth-bounded so
+/// hostile nesting cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue root;
+    TOSS_RETURN_NOT_OK(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing garbage after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      }
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = JsonValue();
+          return Status::OK();
+        }
+        return Fail("bad keyword");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      *out = JsonValue::Bool(true);
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      *out = JsonValue::Bool(false);
+      return Status::OK();
+    }
+    return Fail("bad keyword");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    *out = JsonValue::Number(v);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    TOSS_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs unsupported; the
+          // emitters in this repo only escape control bytes < 0x20).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    TOSS_RETURN_NOT_OK(Expect('['));
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue element;
+      TOSS_RETURN_NOT_OK(ParseValue(&element, depth + 1));
+      out->array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      TOSS_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    TOSS_RETURN_NOT_OK(Expect('{'));
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      TOSS_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      TOSS_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      TOSS_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object_[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      TOSS_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Run();
+}
+
+}  // namespace toss::common

@@ -1,0 +1,79 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The observability layer emits JSON (metrics snapshots, telemetry dumps,
+// slow-query-log lines) that tests and tools must read back; this is the
+// in-repo reader for those documents. It parses the full JSON grammar
+// (objects, arrays, strings with \uXXXX escapes, numbers, booleans, null)
+// into a tree of JsonValue nodes. It is a diagnostic-path parser: clarity
+// over speed, typed ParseError over leniency, no streaming.
+
+#ifndef TOSS_COMMON_JSON_H_
+#define TOSS_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace toss::common {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). ParseError on malformed input.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;  ///< null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; the wrong kind returns the fallback.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  const JsonValue* Get(const std::string& key) const;
+  /// Array element, or nullptr when out of range / not an array.
+  const JsonValue* At(size_t index) const;
+  /// Object/array member count; 0 for scalars.
+  size_t size() const;
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  // Mutable builders (tests construct expected shapes).
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace toss::common
+
+#endif  // TOSS_COMMON_JSON_H_

@@ -1135,6 +1135,7 @@ Result<tax::TreeCollection> QueryExecutor::JoinImpl(
     eval_span.Annotate("result_trees", static_cast<uint64_t>(result.size()));
     AnnotateCacheDelta(&eval_span, lcache_before, lcoll->GetTreeCacheStats());
   }
+  if (stats != nullptr) stats->join_engine = use_twig ? 2 : 1;
   eval_span.End();
   m.eval_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
   m.result_trees.Add(result.size());

@@ -65,6 +65,10 @@ struct ExecStats {
   size_t candidate_docs = 0;   ///< documents surviving phase (ii)
   size_t result_trees = 0;
   size_t prepared_cache_hits = 0;  ///< phase (i) rewrites served from cache
+  /// Which join engine evaluated phase (iii): 0 = not a join, 1 = pairwise
+  /// product, 2 = structural twig join. Surfaced in the request flight
+  /// recorder so fallbacks are visible per request, not just as a counter.
+  int join_engine = 0;
 
   double TotalMs() const { return rewrite_ms + store_ms + eval_ms; }
 };

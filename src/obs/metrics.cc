@@ -71,6 +71,48 @@ double Histogram::Snapshot::QuantileUpperBoundMillis(double q) const {
   return 0.0;
 }
 
+double Histogram::Snapshot::PercentileMillis(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted sample in [0, count-1] (nearest-rank, then
+  // interpolated within the winning bucket).
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += counts[b];
+    if (rank < static_cast<double>(seen)) {
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(UpperBound(b - 1));
+      double upper = static_cast<double>(UpperBound(b));
+      if (UpperBound(b) == UINT64_MAX) {
+        upper = 2.0 * static_cast<double>(UpperBound(kBuckets - 2));
+      }
+      // Position of the wanted rank inside this bucket's run of samples,
+      // in (0, 1]: rank lo_rank sits just above the bucket's lower bound,
+      // rank seen-1 at its upper bound.
+      const double in_bucket =
+          (rank - lo_rank + 1.0) / static_cast<double>(counts[b]);
+      return (lower + in_bucket * (upper - lower)) / 1e6;
+    }
+  }
+  return 0.0;
+}
+
+Histogram::Snapshot Histogram::Snapshot::DeltaSince(
+    const Snapshot& earlier) const {
+  Snapshot out;
+  out.count = count > earlier.count ? count - earlier.count : 0;
+  out.sum_nanos =
+      sum_nanos > earlier.sum_nanos ? sum_nanos - earlier.sum_nanos : 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    out.counts[b] =
+        counts[b] > earlier.counts[b] ? counts[b] - earlier.counts[b] : 0;
+  }
+  return out;
+}
+
 void Histogram::Reset() {
   for (Shard& s : shards_) {
     s.sum.store(0, std::memory_order_relaxed);
@@ -189,7 +231,12 @@ std::string MetricsRegistry::SnapshotJson() const {
            ",\"mean_ms\":" + FormatDouble(h.MeanMillis()) +
            ",\"p50_ms\":" + FormatDouble(h.QuantileUpperBoundMillis(0.5)) +
            ",\"p99_ms\":" + FormatDouble(h.QuantileUpperBoundMillis(0.99)) +
-           "}";
+           ",\"buckets\":[";
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (b != 0) out += ",";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "]}";
   }
   out += "}}";
   return out;

@@ -104,6 +104,21 @@ class Histogram {
     /// Upper bound (ms) of the bucket containing quantile q in [0, 1] -- a
     /// conservative estimate, exact enough for dashboards and tests.
     double QuantileUpperBoundMillis(double q) const;
+
+    /// Interpolated quantile in milliseconds: the sample at rank q*count is
+    /// located in its bucket and the value is linearly interpolated between
+    /// the bucket's bounds by rank position. With power-of-two bucket
+    /// bounds the result is within one bucket width of the true sample
+    /// quantile, monotone in q, and never above QuantileUpperBoundMillis.
+    /// The overflow bucket interpolates toward 2x the last finite bound.
+    /// Returns 0 for an empty snapshot.
+    double PercentileMillis(double q) const;
+
+    /// This snapshot minus `earlier` (per bucket, count, and sum), clamped
+    /// at zero so a registry Reset between the two snapshots degrades to an
+    /// empty delta instead of wrapping. The windowed time-series rollups
+    /// are built from these interval deltas.
+    Snapshot DeltaSince(const Snapshot& earlier) const;
   };
   Snapshot GetSnapshot() const;
 
@@ -148,7 +163,10 @@ class MetricsRegistry {
   /// The snapshot as one JSON object:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{"name":{"count":..,"sum_ns":..,"mean_ms":..,
-  ///                          "p50_ms":..,"p99_ms":..}}}
+  ///                          "p50_ms":..,"p99_ms":..,
+  ///                          "buckets":[c0,...,c27]}}}
+  /// The raw bucket counts let external tools (tools/tosstop.py) subtract
+  /// two successive dumps and interpolate interval percentiles.
   std::string SnapshotJson() const;
 
   /// Escape hatch for tests/benches/debugging: human-readable dump, one

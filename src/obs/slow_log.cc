@@ -1,0 +1,66 @@
+#include "obs/slow_log.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace toss::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(LineSink sink, Options options)
+    : sink_(std::move(sink)), options_(options) {}
+
+bool SlowQueryLog::ShouldLog(const RequestRecord& record) const {
+  if (options_.log_errors && record.status != 0) return true;
+  return static_cast<double>(record.exec_ms) >= options_.slow_threshold_ms;
+}
+
+void SlowQueryLog::Log(const RequestRecord& record,
+                       const std::string& status_text,
+                       const std::string& trace_json) {
+  static Counter& written = Metrics().GetCounter("obs.slow_log.written");
+  static Counter& dropped = Metrics().GetCounter("obs.slow_log.dropped");
+
+  std::string line = "{\"record\":" + record.Json() + ",\"status\":\"";
+  AppendEscaped(&line, status_text);
+  line += "\",\"trace\":";
+  line += trace_json.empty() ? "null" : trace_json;
+  line += "}";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ && sink_(line)) {
+    ++stats_.written;
+    written.Increment();
+  } else {
+    ++stats_.dropped;
+    dropped.Increment();
+  }
+}
+
+SlowQueryLog::Stats SlowQueryLog::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace toss::obs

@@ -1,0 +1,210 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace toss::obs {
+
+namespace {
+
+uint64_t NowUnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  *out += "\":";
+}
+
+}  // namespace
+
+double TimeSeries::Window::RatePerSecond(const std::string& counter) const {
+  auto it = counter_deltas.find(counter);
+  if (it == counter_deltas.end() || duration_ms == 0) return 0.0;
+  return static_cast<double>(it->second) * 1000.0 /
+         static_cast<double>(duration_ms);
+}
+
+std::string TimeSeries::Window::Json() const {
+  std::string out = "{\"seq\":" + std::to_string(seq) +
+                    ",\"start_unix_ms\":" + std::to_string(start_unix_ms) +
+                    ",\"duration_ms\":" + std::to_string(duration_ms) +
+                    ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : counter_deltas) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"delta\":" + std::to_string(delta) +
+           ",\"rate_per_s\":" + FormatDouble(RatePerSecond(name)) + "}";
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histogram_deltas) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\":" + std::to_string(h.count) +
+           ",\"mean_ms\":" + FormatDouble(h.MeanMillis()) +
+           ",\"p50_ms\":" + FormatDouble(h.PercentileMillis(0.5)) +
+           ",\"p99_ms\":" + FormatDouble(h.PercentileMillis(0.99)) +
+           ",\"buckets\":[";
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (b != 0) out += ",";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+TimeSeries::TimeSeries(MetricsRegistry* registry, size_t capacity)
+    : registry_(registry), capacity_(std::max<size_t>(capacity, 1)) {}
+
+TimeSeries::~TimeSeries() { Stop(); }
+
+void TimeSeries::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendWindow(NowUnixMillis());
+}
+
+void TimeSeries::AppendWindow(uint64_t now_unix_ms) {
+  MetricsRegistry::Snapshot snap = registry_->GetSnapshot();
+  if (has_baseline_) {
+    Window w;
+    w.seq = next_seq_++;
+    w.start_unix_ms = baseline_unix_ms_;
+    w.duration_ms = now_unix_ms > baseline_unix_ms_
+                        ? now_unix_ms - baseline_unix_ms_
+                        : 1;
+    for (const auto& [name, v] : snap.counters) {
+      auto it = baseline_.counters.find(name);
+      const uint64_t prev = it == baseline_.counters.end() ? 0 : it->second;
+      if (v > prev) w.counter_deltas[name] = v - prev;
+    }
+    w.gauges = snap.gauges;
+    for (const auto& [name, h] : snap.histograms) {
+      auto it = baseline_.histograms.find(name);
+      const Histogram::Snapshot delta =
+          it == baseline_.histograms.end() ? h : h.DeltaSince(it->second);
+      if (delta.count > 0) w.histogram_deltas[name] = delta;
+    }
+    windows_.push_back(std::move(w));
+    while (windows_.size() > capacity_) windows_.pop_front();
+  }
+  baseline_ = std::move(snap);
+  baseline_unix_ms_ = now_unix_ms;
+  has_baseline_ = true;
+}
+
+void TimeSeries::Start(std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  if (ticker_running_) return;
+  interval_ = interval;
+  stop_requested_ = false;
+  ticker_running_ = true;
+  Tick();  // establish the baseline before the first interval elapses
+  ticker_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    while (!stop_requested_) {
+      ticker_cv_.wait_for(lock, interval_, [this] { return stop_requested_; });
+      if (stop_requested_) break;
+      lock.unlock();
+      Tick();
+      lock.lock();
+    }
+  });
+}
+
+void TimeSeries::Stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    if (!ticker_running_) return;
+    stop_requested_ = true;
+    ticker_running_ = false;
+    joinable = std::move(ticker_);
+  }
+  ticker_cv_.notify_all();
+  if (joinable.joinable()) joinable.join();
+}
+
+bool TimeSeries::running() const {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  return ticker_running_;
+}
+
+std::vector<TimeSeries::Window> TimeSeries::GetWindows(
+    size_t max_windows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(max_windows, windows_.size());
+  return std::vector<Window>(windows_.end() - static_cast<ptrdiff_t>(n),
+                             windows_.end());
+}
+
+double TimeSeries::WindowedPercentileMillis(const std::string& histogram,
+                                            double q,
+                                            size_t last_n_windows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram::Snapshot merged;
+  const size_t n = std::min(last_n_windows, windows_.size());
+  for (size_t i = windows_.size() - n; i < windows_.size(); ++i) {
+    auto it = windows_[i].histogram_deltas.find(histogram);
+    if (it == windows_[i].histogram_deltas.end()) continue;
+    merged.count += it->second.count;
+    merged.sum_nanos += it->second.sum_nanos;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      merged.counts[b] += it->second.counts[b];
+    }
+  }
+  return merged.PercentileMillis(q);
+}
+
+std::string TimeSeries::Json(size_t max_windows) const {
+  const std::vector<Window> windows = GetWindows(max_windows);
+  std::chrono::milliseconds interval;
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    interval = interval_;
+  }
+  std::string out =
+      "{\"interval_ms\":" + std::to_string(interval.count()) +
+      ",\"windows\":[";
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (i != 0) out += ",";
+    out += windows[i].Json();
+  }
+  out += "]}";
+  return out;
+}
+
+void TimeSeries::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+  has_baseline_ = false;
+  next_seq_ = 1;
+}
+
+}  // namespace toss::obs

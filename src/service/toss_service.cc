@@ -176,7 +176,14 @@ Status TossService::Dispatch(const QueryRequest& request,
   return Status::OK();
 }
 
-Status TossService::ApplyMutation(const QueryRequest& request) {
+obs::LineSink EnvAppendLineSink(store::Env* env, std::string path) {
+  return [env, path = std::move(path)](const std::string& line) {
+    return env->AppendFile(path, line + "\n").ok();
+  };
+}
+
+Status TossService::ApplyMutation(const QueryRequest& request,
+                                  obs::Span* parent) {
   if (mutable_db_ == nullptr) {
     return Status::InvalidArgument(
         "read-only service: construct TossService with a mutable Database "
@@ -194,13 +201,15 @@ Status TossService::ApplyMutation(const QueryRequest& request) {
   Status st = std::visit(
       Overloaded{
           [&](const InsertSpec& s) {
-            return mutable_db_->DurableInsert(s.collection, s.key, s.xml);
+            return mutable_db_->DurableInsert(s.collection, s.key, s.xml,
+                                              parent);
           },
           [&](const ReplaceSpec& s) {
-            return mutable_db_->DurableReplace(s.collection, s.key, s.xml);
+            return mutable_db_->DurableReplace(s.collection, s.key, s.xml,
+                                               parent);
           },
           [&](const RemoveSpec& s) {
-            return mutable_db_->DurableRemove(s.collection, s.key);
+            return mutable_db_->DurableRemove(s.collection, s.key, parent);
           },
           [&](const auto&) {
             return Status::Internal("query dispatched as mutation");
@@ -215,6 +224,57 @@ QueryResponse TossService::Run(const QueryRequest& request) {
   ServiceMetrics& m = Instruments();
   m.requests.Increment();
   QueryResponse resp;
+
+  // Flight-recorder skeleton: id, wall clock, and op kind now; outcome
+  // fields are filled by Finish on every return path (shed included).
+  obs::FlightRecorder* recorder = options_.flight_recorder;
+  obs::RequestRecord rec;
+  if (recorder != nullptr) {
+    rec.id = recorder->MintId();
+    rec.start_unix_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  rec.op = static_cast<uint8_t>(request.op.index());
+  const bool sample_trace = recorder != nullptr &&
+                            options_.trace_sample_every > 0 &&
+                            rec.id % options_.trace_sample_every == 0;
+  // The slow log needs a trace for every request it might end up logging,
+  // which is knowable only after the fact -- so its presence turns trace
+  // collection on unconditionally.
+  const bool want_trace =
+      request.collect_trace || sample_trace || options_.slow_log != nullptr;
+
+  auto Finish = [&] {
+    if (recorder == nullptr && options_.slow_log == nullptr) return;
+    rec.queue_wait_ms = static_cast<float>(resp.queue_wait_ms);
+    rec.status = static_cast<uint32_t>(resp.status.code());
+    rec.candidate_docs = static_cast<uint32_t>(resp.stats.candidate_docs);
+    rec.result_trees = static_cast<uint32_t>(resp.stats.result_trees);
+    rec.expanded_terms = static_cast<uint32_t>(resp.stats.expanded_terms);
+    rec.engine = static_cast<uint8_t>(resp.stats.join_engine);
+    if (resp.prepared_cache_hit) {
+      rec.flags |= obs::RequestRecord::kPreparedCacheHit;
+    }
+    if (request.IsMutation()) rec.flags |= obs::RequestRecord::kMutation;
+    std::string trace_json;
+    if (resp.trace != nullptr) trace_json = resp.trace->Json();
+    if (sample_trace && !trace_json.empty()) {
+      rec.flags |= obs::RequestRecord::kTraceSampled;
+    }
+    if (recorder != nullptr) {
+      recorder->Record(rec);
+      if (rec.HasFlag(obs::RequestRecord::kTraceSampled)) {
+        recorder->RetainTrace(rec.id, trace_json);
+      }
+    }
+    if (options_.slow_log != nullptr && options_.slow_log->ShouldLog(rec)) {
+      options_.slow_log->Log(rec, resp.status.ToString(), trace_json);
+    }
+    // Traces collected only for telemetry stay out of the response.
+    if (!request.collect_trace) resp.trace.reset();
+  };
 
   // The effective token: the caller's (optional), wrapped with the
   // request's deadline when one is set.
@@ -236,6 +296,10 @@ QueryResponse TossService::Run(const QueryRequest& request) {
     m.errors.Increment();
     if (resp.status.IsDeadlineExceeded()) m.deadline_exceeded.Increment();
     if (resp.status.IsCancelled()) m.cancelled.Increment();
+    if (resp.status.code() == StatusCode::kResourceExhausted) {
+      rec.flags |= obs::RequestRecord::kShed;
+    }
+    Finish();
     return resp;
   }
 
@@ -245,7 +309,15 @@ QueryResponse TossService::Run(const QueryRequest& request) {
     // record is queued for group commit the mutation runs to completion
     // (aborting after fsync would desynchronize log and memory).
     resp.status = CheckCancel(effective);
-    if (resp.status.ok()) resp.status = ApplyMutation(request);
+    if (resp.status.ok()) {
+      if (want_trace) {
+        resp.trace = std::make_unique<obs::Trace>(request.OpName());
+        obs::Span root = resp.trace->RootSpan();
+        resp.status = ApplyMutation(request, &root);
+      } else {
+        resp.status = ApplyMutation(request, nullptr);
+      }
+    }
     m.mutations.Increment();
     if (!resp.status.ok()) m.mutation_errors.Increment();
     m.mutation_ns.Record(static_cast<uint64_t>(run_timer.ElapsedNanos()));
@@ -260,7 +332,7 @@ QueryResponse TossService::Run(const QueryRequest& request) {
                             : options_.default_parallelism;
     qopts.cancel = effective;
     qopts.prepared = &prepared_;
-    if (request.collect_trace) {
+    if (want_trace) {
       resp.trace = std::make_unique<obs::Trace>(request.OpName());
       obs::Span root = resp.trace->RootSpan();
       resp.status = Dispatch(request, qopts, &resp, &root);
@@ -270,6 +342,7 @@ QueryResponse TossService::Run(const QueryRequest& request) {
   }
   admission_.Release();
 
+  rec.exec_ms = static_cast<float>(run_timer.ElapsedMillis());
   m.run_ns.Record(static_cast<uint64_t>(run_timer.ElapsedNanos()));
   resp.prepared_cache_hit = resp.stats.prepared_cache_hits > 0;
   if (resp.status.ok()) {
@@ -279,6 +352,7 @@ QueryResponse TossService::Run(const QueryRequest& request) {
     if (resp.status.IsDeadlineExceeded()) m.deadline_exceeded.Increment();
     if (resp.status.IsCancelled()) m.cancelled.Increment();
   }
+  Finish();
   return resp;
 }
 

@@ -44,6 +44,8 @@
 #include "common/cancel.h"
 #include "core/prepared_cache.h"
 #include "core/query_executor.h"
+#include "obs/flight_recorder.h"
+#include "obs/slow_log.h"
 #include "service/admission.h"
 
 namespace toss::service {
@@ -175,7 +177,30 @@ struct ServiceOptions {
   size_t max_queue = 16;     ///< waiters beyond that before shedding
   size_t default_parallelism = 1;  ///< per-query fan-out when unset
   size_t prepared_cache_capacity = 512;
+
+  // --- Telemetry (DESIGN.md §15) ------------------------------------------
+
+  /// Every Run -- including shed and deadline-expired requests -- appends
+  /// one RequestRecord here. Null disables recording (benchmark ablations
+  /// only; the recorder is cheap enough to stay on in production).
+  obs::FlightRecorder* flight_recorder = &obs::FlightRecorder::Global();
+
+  /// Retain the full trace of 1 in this many requests in the recorder's
+  /// sampled-trace ring, even when the caller did not set collect_trace.
+  /// 0 disables sampling.
+  uint64_t trace_sample_every = 16;
+
+  /// Slow-query log; null disables. When set, every admitted request
+  /// collects a trace (so slow/failed entries always carry one) and
+  /// requests matching the log's policy -- over its latency threshold or
+  /// ending in an error -- are written as JSONL through its sink.
+  obs::SlowQueryLog* slow_log = nullptr;
 };
+
+/// A SlowQueryLog sink appending "<line>\n" to `path` through `env` (the
+/// pluggable, fault-injectable filesystem). `env` must outlive the sink.
+/// No fsync per line: slow-log durability is best-effort by design.
+obs::LineSink EnvAppendLineSink(store::Env* env, std::string path);
 
 class TossService {
  public:
@@ -218,8 +243,9 @@ class TossService {
 
   /// Serves one mutation request under the exclusive executor lock (no
   /// query runs while the in-memory state changes) and invalidates the
-  /// prepared-query cache on success, SwapSeo-style.
-  Status ApplyMutation(const QueryRequest& request);
+  /// prepared-query cache on success, SwapSeo-style. `parent` (nullable)
+  /// receives the durable write path's wal_validate / wal_commit spans.
+  Status ApplyMutation(const QueryRequest& request, obs::Span* parent);
 
   const store::Database* db_;
   store::Database* mutable_db_ = nullptr;  ///< null: read-only service

@@ -34,9 +34,9 @@ struct DbMetrics {
   obs::Histogram& open_ns =
       obs::Metrics().GetHistogram("store.db.open_latency_ns");
   obs::Counter& wal_replay_records =
-      obs::Metrics().GetCounter("store.wal.replay_records");
+      obs::Metrics().GetCounter("store.wal.replay.records");
   obs::Counter& wal_torn_tails =
-      obs::Metrics().GetCounter("store.wal.torn_tails");
+      obs::Metrics().GetCounter("store.wal.replay.torn_tail_truncations");
   obs::Counter& wal_checkpoints =
       obs::Metrics().GetCounter("store.wal.checkpoints");
   obs::Counter& wal_mutations =
@@ -186,8 +186,10 @@ Result<Database> LoadLegacy(const std::string& dir, Env* env) {
 /// -- poisons the WHOLE open, because an acknowledged mutation can no
 /// longer be trusted and degrading would silently drop durable data.
 Status ReplayWal(Database* db, const std::string& dir, const ManifestWal& wal,
-                 Env* env, RecoveryReport* rep) {
+                 Env* env, RecoveryReport* rep, obs::Span* parent) {
   DbMetrics& m = Instruments();
+  obs::Span replay_span(parent, "wal_replay");
+  replay_span.Annotate("file", wal.file);
   RecoveryReport::WalReplay replay;
   replay.file = wal.file;
   replay.next_seq = wal.start_seq;
@@ -215,6 +217,8 @@ Status ReplayWal(Database* db, const std::string& dir, const ManifestWal& wal,
     m.wal_replay_records.Add(replay.records_replayed);
     if (replay.torn_tail) m.wal_torn_tails.Increment();
   }
+  replay_span.Annotate("records_replayed", replay.records_replayed);
+  replay_span.Annotate("torn_tail", replay.torn_tail ? uint64_t{1} : 0);
   rep->wal = std::move(replay);
   return Status::OK();
 }
@@ -501,7 +505,7 @@ Result<Database> Database::Open(const std::string& dir, Env* env,
         // Tail-log replay. A corrupt log fails the WHOLE open -- degrading
         // to an older generation would silently drop acknowledged
         // mutations (a torn final record is tolerated inside ReplayWal).
-        Status replayed = ReplayWal(&*db, dir, *wal, env, &rep);
+        Status replayed = ReplayWal(&*db, dir, *wal, env, &rep, &load_span);
         if (!replayed.ok()) return Finish(replayed);
       }
       return Finish(std::move(db));
@@ -517,7 +521,7 @@ Result<Database> Database::Open(const std::string& dir, Env* env,
     if (db.ok()) {
       rep.loaded_generation = gen;
       if (wal.has_value()) {
-        Status replayed = ReplayWal(&*db, dir, *wal, env, &rep);
+        Status replayed = ReplayWal(&*db, dir, *wal, env, &rep, &load_span);
         if (!replayed.ok()) return Finish(replayed);
       }
       return Finish(std::move(db));
@@ -641,6 +645,9 @@ Status Database::Checkpoint(obs::Span* span) {
     return Status::Unavailable("checkpoint with durable appends in flight");
   }
   const uint64_t start_seq = d.writer != nullptr ? d.writer->next_seq() : 1;
+  if (span != nullptr) {
+    span->Annotate("wal_start_seq", start_seq);
+  }
   ManifestWal wal;
   TOSS_RETURN_NOT_OK(
       SaveImpl(d.dir, d.env, d.options.retry, span, start_seq, &wal));
@@ -648,37 +655,40 @@ Status Database::Checkpoint(obs::Span* span) {
   // the fresh (empty) segment the new MANIFEST references. This clears
   // any poison from an earlier append failure.
   const std::string wal_path = PathJoin(d.dir, wal.file);
+  obs::Span rotate_span(span, "wal_rotate");
+  rotate_span.Annotate("segment", wal.file);
   if (d.writer != nullptr) {
     TOSS_RETURN_NOT_OK(d.writer->Rotate(wal_path));
   } else {
     d.writer = std::make_unique<WalWriter>(d.env, wal_path, start_seq,
                                            d.options.wal);
   }
+  rotate_span.End();
   d.pending.clear();
   Instruments().wal_checkpoints.Increment();
   return Status::OK();
 }
 
 Status Database::DurableInsert(const std::string& collection,
-                               const std::string& key,
-                               const std::string& xml) {
-  return DurableMutate(WalOp::kInsert, collection, key, xml);
+                               const std::string& key, const std::string& xml,
+                               obs::Span* span) {
+  return DurableMutate(WalOp::kInsert, collection, key, xml, span);
 }
 
 Status Database::DurableReplace(const std::string& collection,
-                                const std::string& key,
-                                const std::string& xml) {
-  return DurableMutate(WalOp::kReplace, collection, key, xml);
+                                const std::string& key, const std::string& xml,
+                                obs::Span* span) {
+  return DurableMutate(WalOp::kReplace, collection, key, xml, span);
 }
 
 Status Database::DurableRemove(const std::string& collection,
-                               const std::string& key) {
-  return DurableMutate(WalOp::kRemove, collection, key, std::string());
+                               const std::string& key, obs::Span* span) {
+  return DurableMutate(WalOp::kRemove, collection, key, std::string(), span);
 }
 
 Status Database::DurableMutate(WalOp op, const std::string& collection,
-                               const std::string& key,
-                               const std::string& xml) {
+                               const std::string& key, const std::string& xml,
+                               obs::Span* span) {
   if (durable_ == nullptr) {
     return Status::InvalidArgument(
         "durable mutations require OpenDurable");
@@ -696,6 +706,11 @@ Status Database::DurableMutate(WalOp op, const std::string& collection,
   rec.xml = xml;
 
   std::shared_ptr<WalWriter::Pending> ticket;
+  obs::Span validate_span(span, "wal_validate");
+  validate_span.Annotate("collection", collection);
+  validate_span.Annotate("op", op == WalOp::kInsert    ? "insert"
+                               : op == WalOp::kReplace ? "replace"
+                                                       : "remove");
   {
     // Validate against the EFFECTIVE state -- in-memory contents plus the
     // overlay of queued-but-unapplied mutations -- and enqueue atomically,
@@ -762,9 +777,17 @@ Status Database::DurableMutate(WalOp op, const std::string& collection,
     PendingKey& entry = d.pending[collection][key];
     entry.present = op != WalOp::kRemove;
     entry.ops++;
+    // Exact under d.mu: every Enqueue happens inside this lock.
+    validate_span.Annotate("seq", d.writer->next_seq() - 1);
   }
+  validate_span.End();
 
+  // The group-commit wait covers the leader's append + fsync (possibly
+  // batched with other mutations) and the in-order apply.
+  obs::Span commit_span(span, "wal_commit");
   Status st = d.writer->Wait(ticket);
+  commit_span.Annotate("ok", st.ok() ? uint64_t{1} : 0);
+  commit_span.End();
   if (!ticket->applied) {
     // The batch failed before fsync: the apply never ran, so its overlay
     // claim must be withdrawn here or the key stays phantom-present.

@@ -153,15 +153,19 @@ class Database {
   /// ParseError surface before anything is logged; IOError when the log
   /// write failed (mutation NOT applied; the writer is poisoned until the
   /// next Checkpoint).
+  /// All three accept an optional trace span; when given, the append ->
+  /// fsync -> apply pipeline is recorded as wal_validate / wal_commit
+  /// children with the logged sequence number annotated.
   Status DurableInsert(const std::string& collection, const std::string& key,
-                       const std::string& xml);
+                       const std::string& xml, obs::Span* span = nullptr);
 
   /// Durably replaces the document under `key`. NotFound when absent.
   Status DurableReplace(const std::string& collection, const std::string& key,
-                        const std::string& xml);
+                        const std::string& xml, obs::Span* span = nullptr);
 
   /// Durably removes the document under `key`. NotFound when absent.
-  Status DurableRemove(const std::string& collection, const std::string& key);
+  Status DurableRemove(const std::string& collection, const std::string& key,
+                       obs::Span* span = nullptr);
 
   /// Writes a fresh snapshot generation whose MANIFEST points at a new,
   /// empty log segment, rotates the writer onto it (clearing any poison),
@@ -215,7 +219,8 @@ class Database {
 
   /// Validate + enqueue + wait for one durable mutation.
   Status DurableMutate(WalOp op, const std::string& collection,
-                       const std::string& key, const std::string& xml);
+                       const std::string& key, const std::string& xml,
+                       obs::Span* span);
 
   std::map<std::string, std::unique_ptr<Collection>> collections_;
   std::unique_ptr<DurableState> durable_;

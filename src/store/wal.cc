@@ -25,6 +25,8 @@ struct WalMetrics {
   obs::Counter& rotations = obs::Metrics().GetCounter("store.wal.rotations");
   obs::Histogram& commit_ns =
       obs::Metrics().GetHistogram("store.wal.commit_latency_ns");
+  obs::Histogram& fsync_ns =
+      obs::Metrics().GetHistogram("store.wal.fsync_latency_ns");
   obs::Histogram& batch_records =
       obs::Metrics().GetHistogram("store.wal.batch_records");
 };
@@ -263,9 +265,11 @@ Status WalWriter::Wait(const std::shared_ptr<Pending>& p) {
         return env_->AppendFile(path_, blob);
       });
       if (st.ok()) {
+        Timer fsync_timer;
         st = RetryTransient(env_, options_.retry,
                             [&] { return env_->SyncFile(path_); });
         m.fsyncs.Increment();
+        m.fsync_ns.Record(static_cast<uint64_t>(fsync_timer.ElapsedNanos()));
       }
       if (st.ok()) {
         m.batches.Increment();

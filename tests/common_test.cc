@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/json.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/worker_pool.h"
+#include "obs/metrics.h"
 
 namespace toss {
 namespace {
@@ -380,6 +382,77 @@ TEST(RandomTest, AlphaStringShapeAndDeterminism) {
     EXPECT_LE(c, 'z');
   }
   EXPECT_EQ(sa, b.AlphaString(24));
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue (the telemetry read-back parser)
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  using common::JsonValue;
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.5e2")->AsDouble(), -350.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  using common::JsonValue;
+  auto doc = JsonValue::Parse(
+      R"({"a":{"b":[1,2,{"c":"deep"}]},"empty":{},"list":[]})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* b = doc->Get("a")->Get("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->size(), 3u);
+  EXPECT_DOUBLE_EQ(b->At(0)->AsDouble(), 1.0);
+  EXPECT_EQ(b->At(2)->Get("c")->AsString(), "deep");
+  EXPECT_EQ(doc->Get("empty")->size(), 0u);
+  EXPECT_TRUE(doc->Get("list")->is_array());
+  EXPECT_EQ(doc->Get("missing"), nullptr);
+  EXPECT_EQ(b->At(99), nullptr);
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  using common::JsonValue;
+  auto doc = JsonValue::Parse(R"("q\"b\\s\/n\nt\tu\u0041")");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->AsString(), "q\"b\\s/n\nt\tuA");
+  // Multi-byte \u escapes UTF-8 encode.
+  EXPECT_EQ(JsonValue::Parse(R"("\u00e9")")->AsString(), "\xC3\xA9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  using common::JsonValue;
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "nul", "\"\\u12g4\"", "{\"a\" 1}"}) {
+    auto r = JsonValue::Parse(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+    if (!r.ok()) EXPECT_TRUE(r.status().IsParseError()) << bad;
+  }
+}
+
+TEST(JsonTest, DepthBounded) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  auto r = common::JsonValue::Parse(deep);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(JsonTest, RoundTripsMetricsSnapshotJson) {
+  // The parser must read what the registry writes -- the contract the
+  // telemetry tests rely on.
+  obs::MetricsRegistry reg;
+  reg.GetCounter("a.count").Add(3);
+  reg.GetHistogram("a.lat_ns").Record(1'000'000);
+  auto doc = common::JsonValue::Parse(reg.SnapshotJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_DOUBLE_EQ(doc->Get("counters")->Get("a.count")->AsDouble(), 3.0);
+  const common::JsonValue* h = doc->Get("histograms")->Get("a.lat_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->Get("count")->AsDouble(), 1.0);
+  EXPECT_EQ(h->Get("buckets")->size(), obs::Histogram::kBuckets);
 }
 
 }  // namespace

@@ -96,6 +96,83 @@ TEST(HistogramTest, SnapshotStatsAndReset) {
   EXPECT_DOUBLE_EQ(h.GetSnapshot().MeanMillis(), 0.0);
 }
 
+TEST(HistogramTest, PercentileMillisInterpolatesWithinBuckets) {
+  Histogram h;
+  // 100 samples spread evenly through bucket 12 ((512us, 1.049ms]).
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(524'288 + static_cast<uint64_t>(i) * 5'000);
+  }
+  Histogram::Snapshot s = h.GetSnapshot();
+  const double p50 = s.PercentileMillis(0.5);
+  const double p99 = s.PercentileMillis(0.99);
+  // Interpolated values stay inside the bucket and are ordered.
+  EXPECT_GT(p50, 0.524288);
+  EXPECT_LE(p50, 1.048576);
+  EXPECT_GT(p99, p50);
+  EXPECT_LE(p99, 1.048576);
+  // Never above the conservative bucket-upper-bound estimate.
+  EXPECT_LE(p50, s.QuantileUpperBoundMillis(0.5));
+  EXPECT_LE(p99, s.QuantileUpperBoundMillis(0.99));
+}
+
+TEST(HistogramTest, PercentileMillisKnownDistribution) {
+  Histogram h;
+  // 95 fast samples (~1us -> bucket 2) and 5 slow (~10ms -> bucket 16):
+  // p50 must report a fast value, p99 a slow one.
+  for (int i = 0; i < 95; ++i) h.Record(1'000);
+  for (int i = 0; i < 5; ++i) h.Record(10'000'000);
+  Histogram::Snapshot s = h.GetSnapshot();
+  EXPECT_LT(s.PercentileMillis(0.5), 0.002);
+  EXPECT_GT(s.PercentileMillis(0.99), 8.0);
+  EXPECT_LT(s.PercentileMillis(0.99), 17.0);
+  // Monotone in q across the gap.
+  double prev = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = s.PercentileMillis(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileMillisEdgeCases) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.GetSnapshot().PercentileMillis(0.99), 0.0);  // empty
+  h.Record(1'000);
+  Histogram::Snapshot one = h.GetSnapshot();
+  // A single sample: every quantile reports the same bucket value.
+  EXPECT_DOUBLE_EQ(one.PercentileMillis(0.0), one.PercentileMillis(1.0));
+  // Overflow bucket interpolates toward 2x the last finite bound.
+  Histogram over;
+  over.Record(UINT64_MAX);
+  const double top = over.GetSnapshot().PercentileMillis(1.0);
+  EXPECT_GT(top, static_cast<double>(Histogram::UpperBound(
+                     Histogram::kBuckets - 2)) /
+                     1e6);
+  EXPECT_LE(top, 2.0 * static_cast<double>(Histogram::UpperBound(
+                           Histogram::kBuckets - 2)) /
+                     1e6);
+}
+
+TEST(HistogramTest, DeltaSinceSubtractsAndClampsAtZero) {
+  Histogram h;
+  h.Record(1'000);
+  Histogram::Snapshot before = h.GetSnapshot();
+  h.Record(1'000);
+  h.Record(4'000'000);
+  Histogram::Snapshot after = h.GetSnapshot();
+  Histogram::Snapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum_nanos, 4'001'000u);
+  // A Reset between snapshots degrades to an empty delta, never wraps.
+  h.Reset();
+  Histogram::Snapshot wrapped = h.GetSnapshot().DeltaSince(after);
+  EXPECT_EQ(wrapped.count, 0u);
+  EXPECT_EQ(wrapped.sum_nanos, 0u);
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(wrapped.counts[b], 0u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
@@ -144,6 +221,8 @@ TEST(MetricsRegistryTest, SnapshotJsonShape) {
   EXPECT_NE(json.find("\"sum_ns\":500"), std::string::npos) << json;
   EXPECT_NE(json.find("\"mean_ms\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99_ms\""), std::string::npos) << json;
+  // Raw bucket counts ride along so external tools can diff dumps.
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos) << json;
 }
 
 TEST(MetricsRegistryTest, GlobalIsProcessWideAndPrepopulated) {

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Bench-regression smoke check.
 
-Compares the current bench report (BENCH_PR8.json) against the committed
-previous-PR baseline (BENCH_PR7.json) and fails when any shared timing key
-regresses by more than the threshold factor (default 2x).
+Compares the current bench report against the committed previous-PR
+baseline and fails when any shared timing key regresses by more than the
+threshold factor (default 2x). When the report paths are not given, the
+two newest BENCH_PR<N>.json files in the repository root (by PR number)
+are used -- newest as current, second-newest as baseline -- so CI does not
+need re-editing every PR.
 
 Only keys present in BOTH files are compared -- new figures have no
 baseline and renamed/retired figures have no current value, and neither
@@ -18,7 +21,24 @@ Exits 0 when no compared key regresses, 1 otherwise, 2 on bad input.
 
 import argparse
 import json
+import re
 import sys
+from pathlib import Path
+
+
+def newest_reports():
+    """The two newest BENCH_PR<N>.json files in the repo root, or None."""
+    root = Path(__file__).resolve().parent.parent
+    reports = []
+    for p in root.glob("BENCH_PR*.json"):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", p.name)
+        if m:
+            reports.append((int(m.group(1)), p))
+    if len(reports) < 2:
+        return None
+    reports.sort()
+    (_, baseline), (_, current) = reports[-2:]
+    return str(current), str(baseline)
 
 
 def load(path):
@@ -47,8 +67,8 @@ def comparable(key, value):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", nargs="?", default="BENCH_PR8.json")
-    ap.add_argument("baseline", nargs="?", default="BENCH_PR7.json")
+    ap.add_argument("current", nargs="?", default=None)
+    ap.add_argument("baseline", nargs="?", default=None)
     ap.add_argument(
         "--max-ratio",
         type=float,
@@ -62,6 +82,21 @@ def main():
         help="skip keys whose baseline is below this floor (default 5.0)",
     )
     args = ap.parse_args()
+
+    if args.current is None or args.baseline is None:
+        detected = newest_reports()
+        if detected is None:
+            print(
+                "error: fewer than two BENCH_PR<N>.json reports in the repo "
+                "root and no explicit paths given",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        if args.current is None:
+            args.current = detected[0]
+        if args.baseline is None:
+            args.baseline = detected[1]
+        print(f"auto-detected: current={args.current} baseline={args.baseline}")
 
     current = load(args.current)
     baseline = load(args.baseline)

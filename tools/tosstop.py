@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""tosstop: render service health from successive telemetry dumps.
+
+A TelemetryDump() JSON document (written by benches via TOSS_TELEMETRY_DUMP,
+by the crash handler, or on demand) carries cumulative metrics. Given two or
+more dumps of the same process, this tool diffs consecutive pairs and prints
+one table row per interval: request rate, interval p50/p99 of the service
+run latency, shed and error rates, and WAL fsync rate + p99 -- the
+at-a-glance "is it healthy" view.
+
+Interval percentiles are interpolated from the 28 power-of-two histogram
+buckets embedded in each dump (the same estimator as
+Histogram::Snapshot::PercentileMillis in src/obs/metrics.h).
+
+Usage:
+  tosstop.py dump1.json dump2.json [dump3.json ...]
+  tosstop.py --self-test        # exercises the pipeline on synthetic dumps
+
+Exits 0 on success, 2 on unreadable/malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+NUM_BUCKETS = 28
+
+
+def bucket_upper_ns(b):
+    """Inclusive upper bound of bucket b in ns (mirrors Histogram::UpperBound)."""
+    if b + 1 >= NUM_BUCKETS:
+        return None  # overflow bucket
+    return 256 << b
+
+
+def percentile_ms(buckets, q):
+    """Interpolated quantile in ms over one interval's bucket deltas."""
+    count = sum(buckets)
+    if count == 0:
+        return 0.0
+    rank = q * (count - 1)
+    seen = 0
+    last_finite = bucket_upper_ns(NUM_BUCKETS - 2)
+    for b, c in enumerate(buckets):
+        if c == 0:
+            continue
+        lo_rank = seen
+        seen += c
+        if rank < seen:
+            lower = 0.0 if b == 0 else float(bucket_upper_ns(b - 1))
+            upper = bucket_upper_ns(b)
+            upper = 2.0 * last_finite if upper is None else float(upper)
+            in_bucket = (rank - lo_rank + 1.0) / c
+            return (lower + in_bucket * (upper - lower)) / 1e6
+    return 0.0
+
+
+def load_dump(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        print(f"error: {path}: not a telemetry dump", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def counter(doc, name):
+    return doc["metrics"].get("counters", {}).get(name, 0)
+
+
+def hist_buckets(doc, name):
+    h = doc["metrics"].get("histograms", {}).get(name)
+    if h is None:
+        return [0] * NUM_BUCKETS
+    return h.get("buckets", [0] * NUM_BUCKETS)
+
+
+def interval_row(prev, cur):
+    dt_ms = cur.get("ts_unix_ms", 0) - prev.get("ts_unix_ms", 0)
+    dt_s = max(dt_ms / 1000.0, 1e-9)
+
+    def rate(name):
+        return max(counter(cur, name) - counter(prev, name), 0) / dt_s
+
+    def delta_buckets(name):
+        pb, cb = hist_buckets(prev, name), hist_buckets(cur, name)
+        return [max(c - p, 0) for p, c in zip(pb, cb)]
+
+    run = delta_buckets("service.run_latency_ns")
+    fsync = delta_buckets("store.wal.fsync_latency_ns")
+    return {
+        "dt_s": dt_s,
+        "qps": rate("service.requests"),
+        "p50_ms": percentile_ms(run, 0.5),
+        "p99_ms": percentile_ms(run, 0.99),
+        "shed_s": rate("service.shed"),
+        "err_s": rate("service.errors"),
+        "fsync_s": rate("store.wal.fsyncs"),
+        "fsync_p99_ms": percentile_ms(fsync, 0.99),
+    }
+
+
+HEADER = (
+    f"{'interval':>9} {'qps':>9} {'p50_ms':>8} {'p99_ms':>8} "
+    f"{'shed/s':>8} {'err/s':>8} {'fsync/s':>8} {'fsyncp99':>9}"
+)
+
+
+def format_row(row):
+    return (
+        f"{row['dt_s']:>8.1f}s {row['qps']:>9.1f} {row['p50_ms']:>8.3f} "
+        f"{row['p99_ms']:>8.3f} {row['shed_s']:>8.1f} {row['err_s']:>8.1f} "
+        f"{row['fsync_s']:>8.1f} {row['fsync_p99_ms']:>9.3f}"
+    )
+
+
+def render(dumps):
+    print(HEADER)
+    for prev, cur in zip(dumps, dumps[1:]):
+        print(format_row(interval_row(prev, cur)))
+
+
+def synthetic_dump(ts_ms, requests, shed, errors, fsyncs, run_buckets,
+                   fsync_buckets):
+    return {
+        "ts_unix_ms": ts_ms,
+        "build": {"project": "toss"},
+        "metrics": {
+            "counters": {
+                "service.requests": requests,
+                "service.shed": shed,
+                "service.errors": errors,
+                "store.wal.fsyncs": fsyncs,
+            },
+            "gauges": {},
+            "histograms": {
+                "service.run_latency_ns": {
+                    "count": sum(run_buckets),
+                    "buckets": run_buckets,
+                },
+                "store.wal.fsync_latency_ns": {
+                    "count": sum(fsync_buckets),
+                    "buckets": fsync_buckets,
+                },
+            },
+        },
+        "timeseries": {"interval_ms": 500, "windows": []},
+        "flight_recorder": {"records": [], "sampled_traces": []},
+    }
+
+
+def self_test():
+    """Two synthetic dumps one second apart; checks the computed rates."""
+    zeros = [0] * NUM_BUCKETS
+    run1 = list(zeros)
+    # 95 samples in bucket 12 ((512us, 1.05ms]) and 5 in bucket 16
+    # ((8.4ms, 16.8ms]): interval p50 lands in bucket 12, p99 (rank 98.01)
+    # in bucket 16.
+    run2 = list(zeros)
+    run2[12] = 95
+    run2[16] = 5
+    fsync2 = list(zeros)
+    fsync2[14] = 10
+    d1 = synthetic_dump(1000, 0, 0, 0, 0, run1, zeros)
+    d2 = synthetic_dump(2000, 100, 5, 7, 10, run2, fsync2)
+
+    row = interval_row(d1, d2)
+    assert abs(row["qps"] - 100.0) < 1e-6, row
+    assert abs(row["shed_s"] - 5.0) < 1e-6, row
+    assert abs(row["err_s"] - 7.0) < 1e-6, row
+    assert abs(row["fsync_s"] - 10.0) < 1e-6, row
+    assert 0.512 < row["p50_ms"] <= 1.049, row
+    assert 8.388 < row["p99_ms"] <= 16.778, row
+    assert 2.097 < row["fsync_p99_ms"] <= 4.195, row
+    render([d1, d2])
+    print("self-test ok")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("dumps", nargs="*", help="two or more telemetry dumps")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run on synthetic dumps and verify the math")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if len(args.dumps) < 2:
+        ap.error("need at least two dump files (or --self-test)")
+    render([load_dump(p) for p in args.dumps])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
