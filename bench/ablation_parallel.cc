@@ -49,14 +49,15 @@ int main() {
       smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
   for (size_t threads : thread_counts) {
     core::QueryExecutor exec(&db, &seo, &types);
-    exec.SetParallelism(threads);
+    core::QueryOptions opts;
+    opts.parallelism = threads;
     // Warm once (fills the decoded-tree cache), then let the adaptive
     // driver pick the repetition count for a stable median.
-    bench::CheckOk(exec.Select("dblp", pattern, {1}, nullptr).status(),
+    bench::CheckOk(exec.Select("dblp", pattern, {1}, opts).status(),
                    "warmup");
     double median = bench::MeasureAdaptiveMs(
         "ablation_parallel/select_" + std::to_string(threads) + "t", [&] {
-          bench::CheckOk(exec.Select("dblp", pattern, {1}, nullptr).status(),
+          bench::CheckOk(exec.Select("dblp", pattern, {1}, opts).status(),
                          "select");
         });
     if (threads == 1) base_ms = median;

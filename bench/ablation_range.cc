@@ -57,12 +57,13 @@ int main() {
   for (const auto& sweep : kSweeps) {
     tax::PatternTree pattern = YearRangePattern(sweep.lo, sweep.hi);
     core::ExecStats stats;
-    auto warm = exec.Select("dblp", pattern, {1}, &stats);
+    auto warm =
+        exec.Select("dblp", pattern, {1}, core::QueryOptions{}, &stats);
     bench::CheckOk(warm.status(), "select");
     double with_index = 1e18;
     for (int i = 0; i < 3; ++i) {
       Timer t;
-      bench::CheckOk(exec.Select("dblp", pattern, {1}, nullptr).status(),
+      bench::CheckOk(exec.Select("dblp", pattern, {1}, core::QueryOptions{}).status(),
                      "select");
       with_index = std::min(with_index, t.ElapsedMillis());
     }

@@ -67,9 +67,9 @@ namespace {
 std::string BenchJsonPath() {
   if (const char* p = std::getenv("TOSS_BENCH_JSON")) return p;
 #ifdef TOSS_REPO_ROOT
-  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR9.json";
+  return std::string(TOSS_REPO_ROOT) + "/BENCH_PR10.json";
 #else
-  return "BENCH_PR9.json";
+  return "BENCH_PR10.json";
 #endif
 }
 

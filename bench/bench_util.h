@@ -28,7 +28,7 @@ bool SmokeMode();
 
 /// Merges {`name`: `median_ms`} into the machine-readable bench report --
 /// a flat JSON object of bench name -> median wall milliseconds, written
-/// to BENCH_PR7.json at the repo root (override the path with the
+/// to BENCH_PR10.json at the repo root (override the path with the
 /// TOSS_BENCH_JSON environment variable). Re-recording a name overwrites
 /// its value; entries from other benches are preserved. At process exit
 /// the final obs::Metrics() snapshot is merged in too, as flat

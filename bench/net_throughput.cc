@@ -1,0 +1,315 @@
+// Closed-loop HTTP load against the network edge (DESIGN.md §16): an
+// in-process HttpServer + TossService serving the /v1 wire protocol, driven
+// by hundreds of concurrent keep-alive connections from a multi-threaded
+// client. This measures the whole production path -- socket, parser,
+// worker handoff, wire decode, service admission, query, wire encode --
+// not just TossService::Run.
+//
+// Recorded into the bench report:
+//   net_throughput/p50_ms       per-request latency median, steady load
+//   net_throughput/p99_ms       per-request latency p99, steady load
+//   net_throughput/qps          completed requests/s, steady load
+//   net_throughput/shed_rate    fraction of 429s under deliberate overload
+// plus meta/net_throughput/conns (how many keep-alive connections the
+// steady phase held open) and, via the atexit metrics merge, the net.* and
+// service.* instruments themselves.
+//
+// Two phases, two server configurations:
+//   * steady: worker pool == service max_inflight, so every admitted
+//     request runs without shedding; 128 connections (16 in smoke),
+//     batch-pipelined by 8 client threads.
+//   * overload: a wide worker pool against max_queue=0 admission, so
+//     concurrent requests beyond max_inflight shed with 429 -- proving
+//     overload degrades into fast explicit rejections end to end.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "net/http_server.h"
+#include "net/toss_handler.h"
+#include "service/toss_service.h"
+#include "service/wire.h"
+
+using namespace toss;
+
+namespace {
+
+/// Blocking keep-alive client connection speaking just enough HTTP/1.1 to
+/// drive the server: send POST, read Content-Length-framed response.
+class ClientConn {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+
+  ~ClientConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ClientConn() = default;
+  ClientConn(ClientConn&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  ClientConn& operator=(ClientConn&&) = delete;
+
+  bool Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one response; returns its HTTP status, or -1 on stream error.
+  int ReadResponse() {
+    // Head.
+    while (true) {
+      const size_t head_end = buf_.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const size_t clen_pos = buf_.find("Content-Length: ");
+        if (clen_pos == std::string::npos || clen_pos > head_end) return -1;
+        const size_t body_len = static_cast<size_t>(
+            std::atol(buf_.c_str() + clen_pos + strlen("Content-Length: ")));
+        const size_t total = head_end + 4 + body_len;
+        while (buf_.size() < total) {
+          if (!Fill()) return -1;
+        }
+        const int status = std::atoi(buf_.c_str() + strlen("HTTP/1.1 "));
+        buf_.erase(0, total);
+        return status;
+      }
+      if (!Fill()) return -1;
+    }
+  }
+
+ private:
+  bool Fill() {
+    char chunk[8192];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string QueryBody(const data::BibWorld& world, size_t i) {
+  const auto& venue = world.venues[i % world.venues.size()];
+  service::QueryRequest req = service::QueryRequest::Select(
+      "dblp",
+      data::MakeScalabilitySelectionPattern(venue.short_name, venue.category),
+      {1});
+  return service::wire::RequestJson(req);
+}
+
+std::string PostRequest(const std::string& body) {
+  return "POST /v1/query HTTP/1.1\r\nHost: bench\r\nContent-Type: "
+         "application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = std::min(
+      xs.size() - 1, static_cast<size_t>(p * static_cast<double>(xs.size())));
+  return xs[idx];
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeMode();
+  const size_t kConns = smoke ? 16 : 128;
+  const size_t kThreads = 8;
+  const size_t kRounds = smoke ? 3 : 25;
+  const size_t kPapers = smoke ? 100 : 400;
+
+  data::BibConfig cfg;
+  cfg.seed = 19;
+  cfg.num_people = smoke ? 30 : 100;
+  cfg.num_papers = kPapers;
+  data::BibWorld world = data::GenerateWorld(cfg);
+
+  store::Database db;
+  bench::CheckOk(
+      data::LoadIntoCollection(&db, "dblp",
+                               data::EmitDblp(world, 0, kPapers, cfg)),
+      "load dblp");
+  core::TypeSystem types = core::MakeBibliographicTypeSystem();
+  core::Seo seo = bench::BuildSeo(
+      {bench::CollectionOntology(db, "dblp", data::DblpContentTags())},
+      "levenshtein", 3.0);
+
+  // Pre-rendered request bytes, one flavor per venue.
+  std::vector<std::string> requests;
+  for (size_t i = 0; i < world.venues.size(); ++i) {
+    requests.push_back(PostRequest(QueryBody(world, i)));
+  }
+
+  // --- Steady phase: no shedding, measure latency and throughput. --------
+  service::ServiceOptions svc_opts;
+  svc_opts.max_inflight = 4;
+  svc_opts.max_queue = 1024;  // queue, don't shed: this phase measures speed
+  service::TossService svc(&db, &seo, &types, svc_opts);
+
+  net::ServerOptions srv_opts;
+  srv_opts.max_connections = kConns + 16;
+  srv_opts.worker_threads = 8;
+  net::HttpServer server(net::MakeTossHandler(&svc), srv_opts);
+  bench::CheckOk(server.Start(), "server start");
+
+  const size_t per_thread = kConns / kThreads;
+  std::vector<std::vector<double>> lat_ms(kThreads);
+  std::atomic<size_t> errors{0};
+  std::atomic<size_t> completed{0};
+
+  Timer wall;
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<ClientConn> conns(per_thread);
+      for (auto& c : conns) {
+        if (!c.Connect(server.port())) {
+          errors.fetch_add(1);
+          return;
+        }
+      }
+      for (size_t r = 0; r < kRounds; ++r) {
+        // Batch: one request in flight on every connection at once, so the
+        // server holds kConns busy keep-alive sockets.
+        Timer batch;
+        for (size_t c = 0; c < conns.size(); ++c) {
+          const auto& bytes =
+              requests[(t * per_thread + c + r) % requests.size()];
+          if (!conns[c].Send(bytes)) errors.fetch_add(1);
+        }
+        for (size_t c = 0; c < conns.size(); ++c) {
+          const int status = conns[c].ReadResponse();
+          if (status != 200) {
+            errors.fetch_add(1);
+          } else {
+            completed.fetch_add(1);
+          }
+        }
+        // Batch wall time amortized per request: with every socket busy
+        // the per-request latency IS the batch drain rate.
+        lat_ms[t].push_back(batch.ElapsedMillis() /
+                            static_cast<double>(conns.size()));
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  const double wall_ms = wall.ElapsedMillis();
+  server.Stop();
+
+  std::vector<double> all_lat;
+  for (auto& v : lat_ms) all_lat.insert(all_lat.end(), v.begin(), v.end());
+  const double p50 = Percentile(all_lat, 0.50);
+  const double p99 = Percentile(all_lat, 0.99);
+  const double qps =
+      1000.0 * static_cast<double>(completed.load()) / wall_ms;
+
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "net_throughput: %zu request errors\n",
+                 errors.load());
+    return 1;
+  }
+
+  // --- Overload phase: zero queue, wide worker pool -> explicit 429s. ----
+  service::ServiceOptions tiny_opts;
+  tiny_opts.max_inflight = 1;
+  tiny_opts.max_queue = 0;
+  service::TossService tiny(&db, &seo, &types, tiny_opts);
+  net::ServerOptions wide_opts;
+  wide_opts.max_connections = 64;
+  wide_opts.worker_threads = 16;
+  net::HttpServer overload(net::MakeTossHandler(&tiny), wide_opts);
+  bench::CheckOk(overload.Start(), "overload server start");
+
+  const size_t kOverloadConns = smoke ? 8 : 32;
+  const size_t kOverloadRounds = smoke ? 2 : 8;
+  std::atomic<size_t> ok_count{0}, shed_count{0}, other{0};
+  {
+    std::vector<std::thread> storm;
+    for (size_t t = 0; t < 4; ++t) {
+      storm.emplace_back([&, t] {
+        std::vector<ClientConn> conns(kOverloadConns / 4);
+        for (auto& c : conns) {
+          if (!c.Connect(overload.port())) {
+            other.fetch_add(1);
+            return;
+          }
+        }
+        for (size_t r = 0; r < kOverloadRounds; ++r) {
+          for (size_t c = 0; c < conns.size(); ++c) {
+            conns[c].Send(requests[(t + c + r) % requests.size()]);
+          }
+          for (auto& conn : conns) {
+            switch (conn.ReadResponse()) {
+              case 200: ok_count.fetch_add(1); break;
+              case 429: shed_count.fetch_add(1); break;
+              default: other.fetch_add(1); break;
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : storm) th.join();
+  }
+  overload.Stop();
+
+  const double total_overload =
+      static_cast<double>(ok_count.load() + shed_count.load());
+  const double shed_rate =
+      total_overload > 0
+          ? static_cast<double>(shed_count.load()) / total_overload
+          : 0.0;
+
+  std::printf(
+      "net_throughput: %zu conns x %zu rounds  p50 %.3f ms  p99 %.3f ms  "
+      "%.0f qps\n",
+      kConns, kRounds, p50, p99, qps);
+  std::printf(
+      "overload: %zu ok, %zu shed (429), %zu other -> shed rate %.2f\n",
+      ok_count.load(), shed_count.load(), other.load(), shed_rate);
+  if (other.load() != 0) {
+    std::fprintf(stderr, "net_throughput: unexpected overload responses\n");
+    return 1;
+  }
+  if (shed_count.load() == 0 && !smoke) {
+    std::fprintf(stderr, "net_throughput: overload phase never shed\n");
+    return 1;
+  }
+
+  bench::RecordBenchMs("net_throughput/p50_ms", p50);
+  bench::RecordBenchMs("net_throughput/p99_ms", p99);
+  bench::RecordBenchMs("net_throughput/qps", qps);
+  bench::RecordBenchMs("net_throughput/shed_rate", shed_rate);
+  bench::RecordBenchMs("meta/net_throughput/conns",
+                       static_cast<double>(kConns));
+  return 0;
+}

@@ -83,7 +83,9 @@ int main() {
 
   for (auto* exec : {&tax_exec, &toss_exec}) {
     core::ExecStats stats;
-    auto joined = exec->Join("dblp", "sigmod", pattern, {2, 4}, &stats);
+    auto joined =
+        exec->Join("dblp", "sigmod", pattern, {2, 4}, core::QueryOptions{},
+                   &stats);
     if (!joined.ok()) return Fail(joined.status());
     std::printf("%s join: %zu matched pair(s) in %.2f ms "
                 "(rewrite %.2f + store %.2f + eval %.2f)\n",

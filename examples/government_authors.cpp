@@ -93,7 +93,7 @@ int main() {
 
   for (auto* exec : {&tax_exec, &toss_exec}) {
     auto answers =
-        exec->Project("papers", pattern, {{3, false}}, nullptr);
+        exec->Project("papers", pattern, {{3, false}}, core::QueryOptions{});
     if (!answers.ok()) return Fail(answers.status());
     std::printf("%s found %zu paper(s):\n",
                 exec->is_toss() ? "TOSS" : "TAX ", answers->size());

@@ -116,8 +116,9 @@ int main() {
   core::QueryExecutor tax_exec(&db, nullptr, nullptr);
   core::QueryExecutor toss_exec(&db, &*seo, &types);
 
-  auto tax_answers = tax_exec.Select("dblp", pattern, {1}, nullptr);
-  auto toss_answers = toss_exec.Select("dblp", pattern, {1}, nullptr);
+  core::QueryOptions query_opts;
+  auto tax_answers = tax_exec.Select("dblp", pattern, {1}, query_opts);
+  auto toss_answers = toss_exec.Select("dblp", pattern, {1}, query_opts);
   if (!tax_answers.ok() || !toss_answers.ok()) {
     std::fprintf(stderr, "query failed\n");
     return 1;

@@ -1,6 +1,8 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace toss::common {
@@ -23,6 +25,148 @@ JsonValue JsonValue::String(std::string v) {
   JsonValue out;
   out.kind_ = Kind::kString;
   out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  return out;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  return out;
+}
+
+void JsonValue::Append(JsonValue element) {
+  if (kind_ != Kind::kArray) *this = Array();
+  array_.push_back(std::move(element));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (kind_ != Kind::kObject) *this = Object();
+  object_[key] = std::move(value);
+}
+
+namespace {
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double v, std::string* out) {
+  // NaN / infinity have no JSON spelling; null is the standard stand-in.
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  // Exact integers inside the double-safe range print without a decimal
+  // point, so counters and ids stay readable and byte-stable.
+  constexpr double kSafe = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && v > -kSafe && v < kSafe) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    *out += buf;
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  for (int prec = 15; prec <= 16; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == parsed) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      DumpNumber(number_, out);
+      return;
+    case Kind::kString:
+      DumpString(string_, out);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpString(key, out);
+        out->push_back(':');
+        value.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
   return out;
 }
 

@@ -1,11 +1,15 @@
-// Minimal JSON document model + recursive-descent parser.
+// Minimal JSON document model: recursive-descent parser + writer.
 //
 // The observability layer emits JSON (metrics snapshots, telemetry dumps,
-// slow-query-log lines) that tests and tools must read back; this is the
-// in-repo reader for those documents. It parses the full JSON grammar
-// (objects, arrays, strings with \uXXXX escapes, numbers, booleans, null)
-// into a tree of JsonValue nodes. It is a diagnostic-path parser: clarity
-// over speed, typed ParseError over leniency, no streaming.
+// slow-query-log lines) that tests and tools must read back, and the
+// network edge speaks a JSON wire protocol (service/wire.h); this is the
+// in-repo reader AND writer for those documents. Parse() handles the full
+// JSON grammar (objects, arrays, strings with \uXXXX escapes, numbers,
+// booleans, null) into a tree of JsonValue nodes; Dump() renders a tree
+// back to one compact document with correct string escaping, so everything
+// emitted through JsonValue round-trips through the in-repo parser by
+// construction. It is a diagnostic/edge-path codec: clarity over speed,
+// typed ParseError over leniency, no streaming.
 
 #ifndef TOSS_COMMON_JSON_H_
 #define TOSS_COMMON_JSON_H_
@@ -57,13 +61,32 @@ class JsonValue {
   const std::vector<JsonValue>& array() const { return array_; }
   const std::map<std::string, JsonValue>& object() const { return object_; }
 
-  // Mutable builders (tests construct expected shapes).
+  // Builders (emitters and tests construct documents with these).
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool v);
   static JsonValue Number(double v);
   static JsonValue String(std::string v);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Appends an element (the value becomes an array first if it was null).
+  void Append(JsonValue element);
+  /// Sets an object member (the value becomes an object first if it was
+  /// null), replacing any existing member with that key.
+  void Set(const std::string& key, JsonValue value);
+
+  /// Renders this value as one compact JSON document. Strings escape `"`,
+  /// `\`, and all control bytes (< 0x20, as \uXXXX); everything else is
+  /// emitted verbatim, so valid UTF-8 passes through untouched. Numbers
+  /// that hold an exact integer within the double-safe range print without
+  /// a decimal point; object members print in key order (std::map), which
+  /// makes the rendering canonical: equal trees dump to equal bytes.
+  /// Guaranteed to re-Parse to an equal tree.
+  std::string Dump() const;
 
  private:
+  void DumpTo(std::string* out) const;
+
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
   double number_ = 0.0;

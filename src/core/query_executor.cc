@@ -731,13 +731,6 @@ Result<tax::TreeCollection> QueryExecutor::Select(
   return SelectImpl(collection, pattern, sl, options, stats, parent);
 }
 
-Result<tax::TreeCollection> QueryExecutor::Select(
-    const std::string& collection, const PatternTree& pattern,
-    const std::vector<int>& sl, ExecStats* stats) const {
-  return SelectImpl(collection, pattern, sl, DefaultOptions(), stats,
-                    nullptr);
-}
-
 Result<tax::TreeCollection> QueryExecutor::ProjectImpl(
     const std::string& collection, const PatternTree& pattern,
     const std::vector<tax::ProjectItem>& pl, const QueryOptions& options,
@@ -787,13 +780,6 @@ Result<tax::TreeCollection> QueryExecutor::Project(
     const std::vector<tax::ProjectItem>& pl, const QueryOptions& options,
     ExecStats* stats, obs::Span* parent) const {
   return ProjectImpl(collection, pattern, pl, options, stats, parent);
-}
-
-Result<tax::TreeCollection> QueryExecutor::Project(
-    const std::string& collection, const PatternTree& pattern,
-    const std::vector<tax::ProjectItem>& pl, ExecStats* stats) const {
-  return ProjectImpl(collection, pattern, pl, DefaultOptions(), stats,
-                     nullptr);
 }
 
 Result<tax::TreeCollection> QueryExecutor::GroupByImpl(
@@ -853,13 +839,6 @@ Result<tax::TreeCollection> QueryExecutor::GroupBy(
     ExecStats* stats, obs::Span* parent) const {
   return GroupByImpl(collection, pattern, group_label, sl, options, stats,
                      parent);
-}
-
-Result<tax::TreeCollection> QueryExecutor::GroupBy(
-    const std::string& collection, const PatternTree& pattern,
-    int group_label, const std::vector<int>& sl, ExecStats* stats) const {
-  return GroupByImpl(collection, pattern, group_label, sl, DefaultOptions(),
-                     stats, nullptr);
 }
 
 Result<tax::TreeCollection> QueryExecutor::JoinImpl(
@@ -1151,90 +1130,6 @@ Result<tax::TreeCollection> QueryExecutor::Join(
     const PatternTree& pattern, const std::vector<int>& sl,
     const QueryOptions& options, ExecStats* stats, obs::Span* parent) const {
   return JoinImpl(left, right, pattern, sl, options, stats, parent);
-}
-
-Result<tax::TreeCollection> QueryExecutor::Join(
-    const std::string& left, const std::string& right,
-    const PatternTree& pattern, const std::vector<int>& sl,
-    ExecStats* stats) const {
-  return JoinImpl(left, right, pattern, sl, DefaultOptions(), stats, nullptr);
-}
-
-Result<ExplainResult> QueryExecutor::ExplainAnalyzeSelect(
-    const std::string& collection, const PatternTree& pattern,
-    const std::vector<int>& sl) const {
-  ExplainResult out;
-  out.trace = std::make_unique<obs::Trace>("select(" + collection + ")");
-  {
-    obs::Span root = out.trace->RootSpan();
-    TOSS_ASSIGN_OR_RETURN(
-        out.trees, SelectImpl(collection, pattern, sl, DefaultOptions(),
-                              &out.stats, &root));
-  }
-  return out;
-}
-
-Result<ExplainResult> QueryExecutor::ExplainAnalyzeProject(
-    const std::string& collection, const PatternTree& pattern,
-    const std::vector<tax::ProjectItem>& pl) const {
-  ExplainResult out;
-  out.trace = std::make_unique<obs::Trace>("project(" + collection + ")");
-  {
-    obs::Span root = out.trace->RootSpan();
-    TOSS_ASSIGN_OR_RETURN(
-        out.trees, ProjectImpl(collection, pattern, pl, DefaultOptions(),
-                               &out.stats, &root));
-  }
-  return out;
-}
-
-Result<ExplainResult> QueryExecutor::ExplainAnalyzeGroupBy(
-    const std::string& collection, const PatternTree& pattern, int group_label,
-    const std::vector<int>& sl) const {
-  ExplainResult out;
-  out.trace = std::make_unique<obs::Trace>("groupby(" + collection + ")");
-  {
-    obs::Span root = out.trace->RootSpan();
-    TOSS_ASSIGN_OR_RETURN(
-        out.trees, GroupByImpl(collection, pattern, group_label, sl,
-                               DefaultOptions(), &out.stats, &root));
-  }
-  return out;
-}
-
-Result<ExplainResult> QueryExecutor::ExplainAnalyzeJoin(
-    const std::string& left, const std::string& right,
-    const PatternTree& pattern, const std::vector<int>& sl) const {
-  ExplainResult out;
-  out.trace = std::make_unique<obs::Trace>("join(" + left + "," + right + ")");
-  {
-    obs::Span root = out.trace->RootSpan();
-    TOSS_ASSIGN_OR_RETURN(
-        out.trees, JoinImpl(left, right, pattern, sl, DefaultOptions(),
-                            &out.stats, &root));
-  }
-  return out;
-}
-
-std::string ExplainResult::Pretty() const {
-  std::string out = trace != nullptr ? trace->Pretty() : std::string();
-  char footer[256];
-  std::snprintf(footer, sizeof(footer),
-                "phases: rewrite %.3f ms, store %.3f ms, eval %.3f ms "
-                "(total %.3f ms)\n"
-                "xpath queries %zu, expanded terms %zu, candidate docs %zu, "
-                "result trees %zu\n",
-                stats.rewrite_ms, stats.store_ms, stats.eval_ms,
-                stats.TotalMs(), stats.xpath_queries, stats.expanded_terms,
-                stats.candidate_docs, stats.result_trees);
-  out += footer;
-  if (trace != nullptr) {
-    char cov[64];
-    std::snprintf(cov, sizeof(cov), "trace coverage: %.1f%%\n",
-                  trace->CoverageFraction() * 100.0);
-    out += cov;
-  }
-  return out;
 }
 
 }  // namespace toss::core

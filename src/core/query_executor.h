@@ -25,11 +25,13 @@
 // with a try-lock: the query that gets it fans out, concurrent ones run
 // their loops inline (identical answers either way).
 //
-// service::TossService is the intended front door for multi-client use; it
-// adds admission control, deadlines, and the prepared-query cache around
-// this class. The 8 per-operator entry points below (Select/Project/
-// GroupBy/Join x plain/ExplainAnalyze) are retained as thin wrappers over
-// the QueryOptions path and are deprecated for new callers.
+// service::TossService is the front door for multi-client use; it adds
+// admission control, deadlines, and the prepared-query cache around this
+// class, and service/wire.h defines the JSON forms the network edge speaks.
+// In-process callers use the four QueryOptions entry points below directly;
+// the old options-free per-operator wrappers and ExplainAnalyze* variants
+// were retired (pass QueryOptions, or set QueryRequest::collect_trace on
+// the service path, for the same behavior).
 
 #ifndef TOSS_CORE_QUERY_EXECUTOR_H_
 #define TOSS_CORE_QUERY_EXECUTOR_H_
@@ -108,21 +110,6 @@ struct QueryOptions {
   bool use_join_value_index = true;
 };
 
-/// What an ExplainAnalyze* call returns: the operator's answer (identical
-/// trees, in the identical order, to the plain entry point -- both run the
-/// same code path), the phase stats, and the per-query trace tree with
-/// per-phase wall time, candidate/pruning counts, and decoded-tree cache
-/// hit/miss annotations.
-struct ExplainResult {
-  tax::TreeCollection trees;
-  ExecStats stats;
-  std::unique_ptr<obs::Trace> trace;
-
-  /// The trace tree rendered for humans, with a stats footer (EXPLAIN
-  /// ANALYZE output).
-  std::string Pretty() const;
-};
-
 class QueryExecutor {
  public:
   /// `seo == nullptr` selects the TAX baseline. `types` may be null only
@@ -132,26 +119,25 @@ class QueryExecutor {
   /// type-system reachability caches are warmed here, so queries -- from
   /// any number of threads -- only ever read them.
   ///
-  /// `default_parallelism` seeds the parallelism used by the legacy
-  /// (options-free) entry points; QueryOptions::parallelism overrides it
-  /// per request.
+  /// `default_parallelism` seeds `parallelism()`, the width callers that
+  /// have no per-request setting (e.g. the text query language) put into
+  /// their QueryOptions; QueryOptions::parallelism is always what executes.
   QueryExecutor(const store::Database* db, const Seo* seo,
                 const TypeSystem* types, size_t default_parallelism = 1);
 
-  /// Sets the default parallelism used by the legacy entry points.
-  /// DEPRECATED: prefer QueryOptions::parallelism (per request) or the
-  /// constructor argument. The setter itself is atomic and safe to call
-  /// concurrently; queries already in flight keep the width they started
-  /// with.
+  /// Updates the default width reported by parallelism(). The setter is
+  /// atomic and safe to call concurrently; queries already in flight keep
+  /// the width they started with.
   void SetParallelism(size_t threads);
   size_t parallelism() const {
     return parallelism_.load(std::memory_order_relaxed);
   }
 
-  // --- Unified per-request path (the new API) ------------------------------
+  // --- The per-request entry points ----------------------------------------
   //
   // service::TossService routes every QueryRequest through these. `parent`
-  // (optional) attaches the per-phase trace spans to a caller-owned trace.
+  // (optional) attaches the per-phase trace spans to a caller-owned trace
+  // (EXPLAIN ANALYZE is: pass a root span, render trace->Pretty()).
 
   /// sigma_{P,SL} over one collection.
   Result<tax::TreeCollection> Select(const std::string& collection,
@@ -190,52 +176,6 @@ class QueryExecutor {
                                    ExecStats* stats = nullptr,
                                    obs::Span* parent = nullptr) const;
 
-  // --- Legacy per-operator entry points ------------------------------------
-  //
-  // DEPRECATED: thin wrappers over the QueryOptions path, kept for
-  // existing callers; results are identical (golden-tested). New code
-  // should go through service::TossService or pass QueryOptions.
-
-  Result<tax::TreeCollection> Select(const std::string& collection,
-                                     const tax::PatternTree& pattern,
-                                     const std::vector<int>& sl,
-                                     ExecStats* stats = nullptr) const;
-  Result<tax::TreeCollection> Project(const std::string& collection,
-                                      const tax::PatternTree& pattern,
-                                      const std::vector<tax::ProjectItem>& pl,
-                                      ExecStats* stats = nullptr) const;
-  Result<tax::TreeCollection> GroupBy(const std::string& collection,
-                                      const tax::PatternTree& pattern,
-                                      int group_label,
-                                      const std::vector<int>& sl,
-                                      ExecStats* stats = nullptr) const;
-  Result<tax::TreeCollection> Join(const std::string& left,
-                                   const std::string& right,
-                                   const tax::PatternTree& pattern,
-                                   const std::vector<int>& sl,
-                                   ExecStats* stats = nullptr) const;
-
-  /// EXPLAIN ANALYZE: runs the operator (same code path, same answer as the
-  /// plain entry point) while recording a trace tree -- per-phase spans
-  /// (rewrite, store_scan, eval) with wall time and annotations for
-  /// expansion fan-out, candidate counts, index-pruning ratios, and
-  /// decoded-tree cache hits/misses. DEPRECATED like the plain wrappers:
-  /// QueryRequest::collect_trace is the service-path equivalent.
-  Result<ExplainResult> ExplainAnalyzeSelect(const std::string& collection,
-                                             const tax::PatternTree& pattern,
-                                             const std::vector<int>& sl) const;
-  Result<ExplainResult> ExplainAnalyzeProject(
-      const std::string& collection, const tax::PatternTree& pattern,
-      const std::vector<tax::ProjectItem>& pl) const;
-  Result<ExplainResult> ExplainAnalyzeGroupBy(const std::string& collection,
-                                              const tax::PatternTree& pattern,
-                                              int group_label,
-                                              const std::vector<int>& sl) const;
-  Result<ExplainResult> ExplainAnalyzeJoin(const std::string& left,
-                                           const std::string& right,
-                                           const tax::PatternTree& pattern,
-                                           const std::vector<int>& sl) const;
-
   /// The semantics in effect (TaxSemantics or SeoSemantics).
   const tax::ConditionSemantics& semantics() const;
 
@@ -257,11 +197,9 @@ class QueryExecutor {
                               const tax::PatternTree& pattern) const;
 
  private:
-  // The *Impl functions are the single code path behind every entry point:
-  // options-free wrappers pass default QueryOptions at the executor's
-  // default parallelism, plain calls pass `parent == nullptr`, which
-  // disables every span for the cost of one branch (obs::Span's
-  // null-parent convention).
+  // The *Impl functions are the single code path behind every entry point;
+  // `parent == nullptr` disables every span for the cost of one branch
+  // (obs::Span's null-parent convention).
   Result<tax::TreeCollection> SelectImpl(const std::string& collection,
                                          const tax::PatternTree& pattern,
                                          const std::vector<int>& sl,
@@ -302,13 +240,6 @@ class QueryExecutor {
   /// remaining work on failure.
   Status RunPerDoc(size_t n, const std::function<Status(size_t)>& fn,
                    const QueryOptions& options) const;
-
-  /// The legacy wrappers' options: default parallelism, no token, no cache.
-  QueryOptions DefaultOptions() const {
-    QueryOptions o;
-    o.parallelism = parallelism();
-    return o;
-  }
 
   const store::Database* db_;
   const Seo* seo_;

@@ -264,19 +264,23 @@ Result<ParsedQuery> ParseQuery(std::string_view text) {
 Result<tax::TreeCollection> ExecuteQuery(const QueryExecutor& executor,
                                          const ParsedQuery& query,
                                          ExecStats* stats) {
+  // The text language carries no per-request knobs, so the executor's
+  // default parallelism is the one setting that applies.
+  QueryOptions options;
+  options.parallelism = executor.parallelism();
   switch (query.kind) {
     case ParsedQuery::Kind::kSelect:
       return executor.Select(query.collection, query.pattern, query.sl,
-                             stats);
+                             options, stats);
     case ParsedQuery::Kind::kProject:
       return executor.Project(query.collection, query.pattern, query.pl,
-                              stats);
+                              options, stats);
     case ParsedQuery::Kind::kJoin:
       return executor.Join(query.collection, query.right_collection,
-                           query.pattern, query.sl, stats);
+                           query.pattern, query.sl, options, stats);
     case ParsedQuery::Kind::kGroupBy:
       return executor.GroupBy(query.collection, query.pattern,
-                              query.group_label, query.sl, stats);
+                              query.group_label, query.sl, options, stats);
   }
   return Status::Internal("unreachable query kind");
 }

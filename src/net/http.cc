@@ -1,0 +1,264 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace toss::net {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// RFC 9110 token characters -- what methods and header names are made of.
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+/// Field values may hold any visible byte plus SP/HTAB; raw control bytes
+/// (header smuggling material) are rejected.
+bool IsFieldValue(std::string_view s) {
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 && c != '\t') return false;
+    if (u == 0x7f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  const bool alive = keep_alive && !response.close;
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusText(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void RequestParser::Feed(std::string_view bytes) {
+  if (failed()) return;  // connection is dead; don't hoard more
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+RequestParser::Result RequestParser::Fail(int status, std::string message) {
+  error_status_ = status;
+  error_message_ = std::move(message);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return Result::kError;
+}
+
+RequestParser::Result RequestParser::ParseHead(std::string_view head,
+                                               HttpRequest* out) {
+  HttpRequest req;
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const size_t line_end = head.find("\r\n");
+  std::string_view line = head.substr(0, line_end);
+  if (line.find('\n') != std::string_view::npos) {
+    return Fail(400, "bare LF in request line");
+  }
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Fail(400, "malformed request line");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) return Fail(400, "malformed method");
+  if (target.empty() || target.find(' ') != std::string_view::npos) {
+    return Fail(400, "malformed request target");
+  }
+  if (version == "HTTP/1.1") {
+    req.minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    req.minor_version = 0;
+  } else if (version.substr(0, 5) == "HTTP/") {
+    return Fail(505, "unsupported HTTP version");
+  } else {
+    return Fail(400, "malformed HTTP version");
+  }
+  req.method = std::string(method);
+  req.target = std::string(target);
+
+  // Header fields.
+  size_t pos = line_end + 2;
+  bool have_content_length = false;
+  size_t content_length = 0;
+  while (pos < head.size()) {
+    const size_t eol = head.find("\r\n", pos);
+    std::string_view field = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (field.find('\n') != std::string_view::npos) {
+      return Fail(400, "bare LF in header field");
+    }
+    if (field.front() == ' ' || field.front() == '\t') {
+      return Fail(400, "obsolete header line folding");
+    }
+    const size_t colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(400, "header field without colon");
+    }
+    std::string_view name = field.substr(0, colon);
+    std::string_view value = Trim(field.substr(colon + 1));
+    if (!IsToken(name)) return Fail(400, "malformed header name");
+    if (!IsFieldValue(value)) return Fail(400, "control byte in header value");
+    if (req.headers.size() >= limits_.max_headers) {
+      return Fail(431, "too many header fields");
+    }
+    std::string lower(name);
+    for (char& c : lower) c = std::tolower(static_cast<unsigned char>(c));
+
+    if (lower == "transfer-encoding") {
+      return Fail(501, "Transfer-Encoding is not supported");
+    }
+    if (lower == "content-length") {
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(),
+                       [](char c) { return c >= '0' && c <= '9'; })) {
+        return Fail(400, "malformed Content-Length");
+      }
+      size_t parsed = 0;
+      for (char c : value) {
+        parsed = parsed * 10 + static_cast<size_t>(c - '0');
+        if (parsed > limits_.max_body_bytes) {
+          return Fail(413, "declared body exceeds limit");
+        }
+      }
+      if (have_content_length && parsed != content_length) {
+        return Fail(400, "conflicting Content-Length fields");
+      }
+      have_content_length = true;
+      content_length = parsed;
+    }
+    req.headers.emplace_back(std::move(lower), std::string(value));
+  }
+
+  // Connection semantics: 1.1 defaults to keep-alive, 1.0 to close.
+  req.keep_alive = req.minor_version >= 1;
+  if (const std::string* conn = req.FindHeader("connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) req.keep_alive = false;
+    if (EqualsIgnoreCase(*conn, "keep-alive")) req.keep_alive = true;
+  }
+
+  if (content_length == 0) {
+    *out = std::move(req);
+    return Result::kReady;
+  }
+  pending_ = std::move(req);
+  pending_.body.reserve(content_length);
+  in_body_ = true;
+  body_remaining_ = content_length;
+  return Result::kNeedMore;  // caller re-enters Next() for the body
+}
+
+RequestParser::Result RequestParser::Next(HttpRequest* out) {
+  if (failed()) return Result::kError;
+
+  if (!in_body_) {
+    // Hunt for the end of head. "\r\n\r\n" terminates; an initial "\r\n"
+    // (idle keep-alive client sent a stray CRLF) is tolerated and skipped.
+    while (buffer_.size() >= 2 && buffer_[0] == '\r' && buffer_[1] == '\n') {
+      buffer_.erase(0, 2);
+    }
+    const size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(431, "request head exceeds limit");
+      }
+      return Result::kNeedMore;
+    }
+    if (head_end + 4 > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds limit");
+    }
+    // Head spans [0, head_end + 2): request line + fields, each CRLF
+    // terminated; the final blank line is consumed here.
+    const Result r =
+        ParseHead(std::string_view(buffer_).substr(0, head_end + 2), out);
+    buffer_.erase(0, head_end + 4);
+    if (r != Result::kNeedMore) return r;  // ready (no body) or error
+  }
+
+  // Body accumulation for pending_.
+  const size_t take = std::min(body_remaining_, buffer_.size());
+  pending_.body.append(buffer_, 0, take);
+  buffer_.erase(0, take);
+  body_remaining_ -= take;
+  if (body_remaining_ > 0) return Result::kNeedMore;
+  in_body_ = false;
+  *out = std::move(pending_);
+  pending_ = HttpRequest{};
+  return Result::kReady;
+}
+
+}  // namespace toss::net

@@ -1,0 +1,130 @@
+// Minimal HTTP/1.1 message layer for the network edge (DESIGN.md §16):
+// request/response structs, an incremental request parser, and response
+// serialization. No sockets here -- the parser consumes whatever byte
+// slices the event loop hands it, which is what makes it property-testable
+// (tests/http_parser_test.cc replays torn reads and pipelined bursts).
+//
+// Scope is deliberately the subset a JSON query API needs:
+//   * HTTP/1.0 and HTTP/1.1 request lines; anything else is 505;
+//   * strict CRLF line endings (a bare LF is a 400, not a tolerance);
+//   * Content-Length framed bodies only -- Transfer-Encoding (chunked or
+//     otherwise) is answered with 501;
+//   * keep-alive and pipelining: Next() yields buffered requests one at a
+//     time, leaving unread bytes in place for the next call;
+//   * bounded buffers: the head (request line + headers) and body are
+//     capped by ParserLimits, failing with 431 / 413 before the peer can
+//     make the process hoard memory.
+//
+// Errors are sticky: after the first malformed byte the parser stays in
+// the error state (suggesting an HTTP status to answer with), because a
+// connection that has lost framing cannot be resynchronized safely.
+
+#ifndef TOSS_NET_HTTP_H_
+#define TOSS_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace toss::net {
+
+struct HttpRequest {
+  std::string method;  ///< verbatim token ("GET", "POST", ...)
+  std::string target;  ///< origin-form request target ("/v1/query")
+  int minor_version = 1;
+
+  /// Parsed headers in arrival order; names are lowercased, values have
+  /// surrounding whitespace trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  std::string body;
+
+  /// Whether the connection may serve another request afterwards, per the
+  /// version default (1.1 yes, 1.0 no) and any Connection header.
+  bool keep_alive = true;
+
+  /// Case-insensitive lookup; null when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  /// Force `Connection: close` even on a keep-alive connection (used for
+  /// parse errors and admission rejections, where the server is about to
+  /// hang up).
+  bool close = false;
+};
+
+/// Reason phrase for the handful of codes this server emits ("OK",
+/// "Bad Request", ...); "Unknown" otherwise.
+const char* StatusText(int status);
+
+/// Renders status line + headers + body. `keep_alive` is what the server
+/// decided for this connection; the emitted Connection header reflects
+/// `keep_alive && !response.close`.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Caps on what a single connection may buffer. Defaults are sized for the
+/// wire protocol: heads are small, bodies are one JSON query document.
+struct ParserLimits {
+  size_t max_head_bytes = 16 * 1024;       ///< request line + headers -> 431
+  size_t max_body_bytes = 1024 * 1024;     ///< declared body length -> 413
+  size_t max_headers = 64;                 ///< header count -> 431
+};
+
+/// Incremental parser for a stream of pipelined requests on one connection.
+///
+///   parser.Feed(bytes_from_socket);
+///   HttpRequest req;
+///   while (parser.Next(&req) == RequestParser::Result::kReady) serve(req);
+///   if (parser.failed()) answer_with(parser.error_status()) and close;
+class RequestParser {
+ public:
+  enum class Result {
+    kReady,     ///< *out holds the next complete request
+    kNeedMore,  ///< no complete request buffered; Feed more bytes
+    kError,     ///< stream is malformed; see error_status()/error_message()
+  };
+
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Appends raw socket bytes to the connection buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete request, if one is fully buffered.
+  Result Next(HttpRequest* out);
+
+  bool failed() const { return error_status_ != 0; }
+
+  /// Suggested HTTP answer once failed(): 400 (malformed), 413 (body too
+  /// large), 431 (head too large), 501 (Transfer-Encoding), 505 (version).
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes currently buffered but not yet returned as a request.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Result Fail(int status, std::string message);
+  Result ParseHead(std::string_view head, HttpRequest* out);
+
+  ParserLimits limits_;
+  std::string buffer_;
+
+  // Body framing for the request whose head already parsed.
+  bool in_body_ = false;
+  size_t body_remaining_ = 0;
+  HttpRequest pending_;
+
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace toss::net
+
+#endif  // TOSS_NET_HTTP_H_

@@ -1,0 +1,38 @@
+// The route table: maps the HTTP surface onto TossService + the wire
+// protocol (DESIGN.md §16). This is the only place HTTP verbs/paths and
+// StatusCode→HTTP-status policy live; the server below it moves bytes, the
+// service above it runs queries.
+//
+//   POST /v1/query      wire QueryRequest (or {"text": "<TOSS-QL>"}) -> wire
+//                       QueryResponse. Mutations are rejected with 400 --
+//                       the read path never writes.
+//   POST /v1/mutate     wire insert/replace/remove -> wire QueryResponse.
+//   GET  /v1/telemetry  obs::TelemetryDump() (what tools/tosstop.py polls).
+//   GET  /healthz       {"status":"ok"} -- liveness, no service work.
+//
+// Service status maps onto transport status so generic HTTP clients see
+// overload and lateness without parsing the body: ResourceExhausted (shed)
+// is 429, DeadlineExceeded is 504, Cancelled is 499; the bad-request family
+// (InvalidArgument / ParseError / TypeError) is 400. Every /v1 response
+// body, success or failure, is a wire QueryResponse document.
+
+#ifndef TOSS_NET_TOSS_HANDLER_H_
+#define TOSS_NET_TOSS_HANDLER_H_
+
+#include "net/http.h"
+#include "net/http_server.h"
+#include "service/toss_service.h"
+
+namespace toss::net {
+
+/// HTTP status for a service-level status (the table above).
+int HttpStatusFor(StatusCode code);
+
+/// Builds the handler serving `service`. The service must outlive the
+/// returned handler; the handler is thread-safe because TossService::Run
+/// is.
+Handler MakeTossHandler(service::TossService* service);
+
+}  // namespace toss::net
+
+#endif  // TOSS_NET_TOSS_HANDLER_H_

@@ -1,8 +1,9 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <cmath>
 
+#include "common/json.h"
 #include "obs/metrics.h"
 
 namespace toss::obs {
@@ -42,24 +43,31 @@ const char* JoinEngineName(JoinEngine e) {
 }
 
 std::string RequestRecord::Json() const {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"id\":%llu,\"start_unix_micros\":%llu,\"op\":\"%s\","
-      "\"status_code\":%u,\"queue_wait_ms\":%.3f,\"exec_ms\":%.3f,"
-      "\"candidate_docs\":%u,\"result_trees\":%u,\"expanded_terms\":%u,"
-      "\"engine\":\"%s\",\"prepared_cache_hit\":%s,\"shed\":%s,"
-      "\"mutation\":%s,\"trace_sampled\":%s}",
-      static_cast<unsigned long long>(id),
-      static_cast<unsigned long long>(start_unix_micros),
-      RequestOpName(static_cast<RequestOp>(op)), status,
-      static_cast<double>(queue_wait_ms), static_cast<double>(exec_ms),
-      candidate_docs, result_trees, expanded_terms,
-      JoinEngineName(static_cast<JoinEngine>(engine)),
-      HasFlag(kPreparedCacheHit) ? "true" : "false",
-      HasFlag(kShed) ? "true" : "false", HasFlag(kMutation) ? "true" : "false",
-      HasFlag(kTraceSampled) ? "true" : "false");
-  return buf;
+  using common::JsonValue;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("id", JsonValue::Number(static_cast<double>(id)));
+  doc.Set("start_unix_micros",
+          JsonValue::Number(static_cast<double>(start_unix_micros)));
+  doc.Set("op", JsonValue::String(RequestOpName(static_cast<RequestOp>(op))));
+  doc.Set("status_code", JsonValue::Number(status));
+  // Millisecond floats are stored as float32; round to 1us so the dump does
+  // not spell out the float->double conversion noise.
+  const auto ms = [](float v) {
+    return JsonValue::Number(std::round(static_cast<double>(v) * 1000.0) /
+                             1000.0);
+  };
+  doc.Set("queue_wait_ms", ms(queue_wait_ms));
+  doc.Set("exec_ms", ms(exec_ms));
+  doc.Set("candidate_docs", JsonValue::Number(candidate_docs));
+  doc.Set("result_trees", JsonValue::Number(result_trees));
+  doc.Set("expanded_terms", JsonValue::Number(expanded_terms));
+  doc.Set("engine",
+          JsonValue::String(JoinEngineName(static_cast<JoinEngine>(engine))));
+  doc.Set("prepared_cache_hit", JsonValue::Bool(HasFlag(kPreparedCacheHit)));
+  doc.Set("shed", JsonValue::Bool(HasFlag(kShed)));
+  doc.Set("mutation", JsonValue::Bool(HasFlag(kMutation)));
+  doc.Set("trace_sampled", JsonValue::Bool(HasFlag(kTraceSampled)));
+  return doc.Dump();
 }
 
 FlightRecorder& FlightRecorder::Global() {
@@ -170,24 +178,35 @@ void FlightRecorder::Reset() {
 }
 
 std::string FlightRecorder::Json(size_t max_records) const {
+  using common::JsonValue;
   const std::vector<RequestRecord> records = SnapshotRecords(max_records);
   const std::vector<SampledTrace> traces = SnapshotTraces();
-  std::string out = "{\"total_recorded\":" + std::to_string(TotalRecorded()) +
-                    ",\"records\":[";
-  for (size_t i = 0; i < records.size(); ++i) {
-    if (i != 0) out += ",";
-    out += records[i].Json();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("total_recorded",
+          JsonValue::Number(static_cast<double>(TotalRecorded())));
+  JsonValue record_array = JsonValue::Array();
+  for (const RequestRecord& rec : records) {
+    auto parsed = JsonValue::Parse(rec.Json());
+    record_array.Append(parsed.ok() ? std::move(parsed).value()
+                                    : JsonValue::Null());
   }
-  out += "],\"sampled_traces\":[";
-  for (size_t i = 0; i < traces.size(); ++i) {
-    if (i != 0) out += ",";
-    out += "{\"id\":" + std::to_string(traces[i].id) + ",\"trace\":";
-    // trace_json is already a rendered JSON object.
-    out += traces[i].trace_json.empty() ? "null" : traces[i].trace_json;
-    out += "}";
+  doc.Set("records", std::move(record_array));
+  JsonValue trace_array = JsonValue::Array();
+  for (const SampledTrace& t : traces) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("id", JsonValue::Number(static_cast<double>(t.id)));
+    // trace_json is an already-rendered JSON object; a malformed or empty
+    // one degrades to null rather than corrupting the dump.
+    JsonValue trace = JsonValue::Null();
+    if (!t.trace_json.empty()) {
+      auto parsed = JsonValue::Parse(t.trace_json);
+      if (parsed.ok()) trace = std::move(parsed).value();
+    }
+    entry.Set("trace", std::move(trace));
+    trace_array.Append(std::move(entry));
   }
-  out += "]}";
-  return out;
+  doc.Set("sampled_traces", std::move(trace_array));
+  return doc.Dump();
 }
 
 }  // namespace toss::obs

@@ -2,31 +2,10 @@
 
 #include <utility>
 
+#include "common/json.h"
 #include "obs/metrics.h"
 
 namespace toss::obs {
-
-namespace {
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) >= 0x20) out->push_back(c);
-    }
-  }
-}
-
-}  // namespace
 
 SlowQueryLog::SlowQueryLog(LineSink sink, Options options)
     : sink_(std::move(sink)), options_(options) {}
@@ -42,11 +21,21 @@ void SlowQueryLog::Log(const RequestRecord& record,
   static Counter& written = Metrics().GetCounter("obs.slow_log.written");
   static Counter& dropped = Metrics().GetCounter("obs.slow_log.dropped");
 
-  std::string line = "{\"record\":" + record.Json() + ",\"status\":\"";
-  AppendEscaped(&line, status_text);
-  line += "\",\"trace\":";
-  line += trace_json.empty() ? "null" : trace_json;
-  line += "}";
+  // Sub-documents (record, trace) are already rendered JSON; parse them back
+  // into the tree so the whole line is emitted through one writer and
+  // round-trips by construction. A malformed trace degrades to null.
+  common::JsonValue doc = common::JsonValue::Object();
+  auto record_json = common::JsonValue::Parse(record.Json());
+  doc.Set("record", record_json.ok() ? std::move(record_json).value()
+                                     : common::JsonValue::Null());
+  doc.Set("status", common::JsonValue::String(status_text));
+  common::JsonValue trace = common::JsonValue::Null();
+  if (!trace_json.empty()) {
+    auto parsed = common::JsonValue::Parse(trace_json);
+    if (parsed.ok()) trace = std::move(parsed).value();
+  }
+  doc.Set("trace", std::move(trace));
+  const std::string line = doc.Dump();
 
   std::lock_guard<std::mutex> lock(mu_);
   if (sink_ && sink_(line)) {

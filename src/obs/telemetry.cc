@@ -7,35 +7,32 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/json.h"
 #include "obs/metrics.h"
 
 namespace toss::obs {
 
 namespace {
 
-std::string BuildInfoJson() {
-  std::string out = "{\"project\":\"toss\",\"cxx_standard\":" +
-                    std::to_string(__cplusplus / 100 % 100);
+common::JsonValue BuildInfoJson() {
+  using common::JsonValue;
+  JsonValue out = JsonValue::Object();
+  out.Set("project", JsonValue::String("toss"));
+  out.Set("cxx_standard", JsonValue::Number(__cplusplus / 100 % 100));
 #if defined(__VERSION__)
-  out += ",\"compiler\":\"";
-  for (const char* p = __VERSION__; *p; ++p) {
-    if (*p == '"' || *p == '\\') out.push_back('\\');
-    out.push_back(*p);
-  }
-  out += "\"";
+  out.Set("compiler", JsonValue::String(__VERSION__));
 #endif
 #if defined(NDEBUG)
-  out += ",\"ndebug\":true";
+  out.Set("ndebug", JsonValue::Bool(true));
 #else
-  out += ",\"ndebug\":false";
+  out.Set("ndebug", JsonValue::Bool(false));
 #endif
 #if defined(__SANITIZE_ADDRESS__)
-  out += ",\"asan\":true";
+  out.Set("asan", JsonValue::Bool(true));
 #endif
 #if defined(__SANITIZE_THREAD__)
-  out += ",\"tsan\":true";
+  out.Set("tsan", JsonValue::Bool(true));
 #endif
-  out += "}";
   return out;
 }
 
@@ -64,13 +61,23 @@ void Telemetry::StopTicker() { series_.Stop(); }
 
 std::string Telemetry::DumpJson(size_t max_windows,
                                 size_t max_records) const {
-  std::string out = "{\"ts_unix_ms\":" + std::to_string(NowUnixMillis()) +
-                    ",\"build\":" + BuildInfoJson();
-  out += ",\"metrics\":" + MetricsRegistry::Global().SnapshotJson();
-  out += ",\"timeseries\":" + series_.Json(max_windows);
-  out += ",\"flight_recorder\":" + FlightRecorder::Global().Json(max_records);
-  out += "}";
-  return out;
+  using common::JsonValue;
+  // Sub-documents arrive as rendered JSON strings; parsing them back into the
+  // tree before dumping guarantees the stitched document is itself valid (a
+  // malformed sub-document degrades to null instead of corrupting the dump).
+  const auto embed = [](const std::string& rendered) {
+    auto parsed = JsonValue::Parse(rendered);
+    return parsed.ok() ? std::move(parsed).value() : JsonValue::Null();
+  };
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ts_unix_ms",
+          JsonValue::Number(static_cast<double>(NowUnixMillis())));
+  doc.Set("build", BuildInfoJson());
+  doc.Set("metrics", embed(MetricsRegistry::Global().SnapshotJson()));
+  doc.Set("timeseries", embed(series_.Json(max_windows)));
+  doc.Set("flight_recorder",
+          embed(FlightRecorder::Global().Json(max_records)));
+  return doc.Dump();
 }
 
 bool Telemetry::WriteDump(const std::string& path) const {

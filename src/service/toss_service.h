@@ -28,9 +28,9 @@
 //   * a prepared-query cache -- phase (i) rewrites memoized by canonical
 //     pattern hash, invalidated by SwapSeo.
 //
-// The 8 per-operator QueryExecutor entry points remain as deprecated thin
-// wrappers for embedded callers; everything multi-client should come
-// through here.
+// Everything multi-client comes through here; service/wire.h defines the
+// versioned JSON forms of QueryRequest/QueryResponse that the HTTP edge
+// (src/net/) speaks on top of this entry point.
 
 #ifndef TOSS_SERVICE_TOSS_SERVICE_H_
 #define TOSS_SERVICE_TOSS_SERVICE_H_

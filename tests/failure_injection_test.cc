@@ -352,7 +352,7 @@ TEST(ExecutorErrorTest, IllTypedQuerySurfacesTypeError) {
                                       "$2.tag = \"width\" & "
                                       "$2.content < \"red\":color")
                       .value());
-  auto r = exec.Select("c", pt, {1}, nullptr);
+  auto r = exec.Select("c", pt, {1}, core::QueryOptions{});
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsTypeError()) << r.status();
 }

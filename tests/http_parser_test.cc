@@ -1,0 +1,336 @@
+// RequestParser units and properties: correctness under torn reads (any
+// byte split), pipelined bursts, hostile bytes, and the bounded-buffer
+// limits. No sockets anywhere -- the parser is pure bytes-in,
+// requests-out, which is what makes exhaustive splitting feasible.
+
+#include "net/http.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace toss::net {
+namespace {
+
+using Result = RequestParser::Result;
+
+HttpRequest MustParse(const std::string& bytes) {
+  RequestParser parser;
+  parser.Feed(bytes);
+  HttpRequest req;
+  EXPECT_EQ(parser.Next(&req), Result::kReady) << parser.error_message();
+  return req;
+}
+
+int MustFail(const std::string& bytes) {
+  RequestParser parser;
+  parser.Feed(bytes);
+  HttpRequest req;
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  return parser.error_status();
+}
+
+TEST(HttpParser, ParsesASimpleGet) {
+  HttpRequest req = MustParse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_EQ(req.minor_version, 1);
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(req.body.empty());
+  ASSERT_NE(req.FindHeader("host"), nullptr);
+  EXPECT_EQ(*req.FindHeader("host"), "x");
+  EXPECT_EQ(*req.FindHeader("HOST"), "x");  // lookup is case-insensitive
+}
+
+TEST(HttpParser, ParsesAPostWithBody) {
+  HttpRequest req = MustParse(
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world");
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.body, "hello world");
+}
+
+TEST(HttpParser, HeaderNamesLowercasedValuesTrimmed) {
+  HttpRequest req = MustParse(
+      "GET / HTTP/1.1\r\nX-Thing:   padded value \t\r\n\r\n");
+  ASSERT_NE(req.FindHeader("x-thing"), nullptr);
+  EXPECT_EQ(req.headers[0].first, "x-thing");
+  EXPECT_EQ(*req.FindHeader("x-thing"), "padded value");
+}
+
+TEST(HttpParser, ConnectionSemantics) {
+  EXPECT_TRUE(MustParse("GET / HTTP/1.1\r\n\r\n").keep_alive);
+  EXPECT_FALSE(
+      MustParse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_FALSE(MustParse("GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_TRUE(
+      MustParse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+          .keep_alive);
+}
+
+TEST(HttpParser, ZeroLengthBodyIsReadyImmediately) {
+  HttpRequest req =
+      MustParse("POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_TRUE(req.body.empty());
+}
+
+// --- Error taxonomy --------------------------------------------------------
+
+TEST(HttpParser, MalformedRequestLinesAre400) {
+  EXPECT_EQ(MustFail("GET\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("GET /\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("GET  HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("G@T / HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("GET / NOTHTTP\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, BareLfIsRejectedNotTolerated) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/1.1\nHost: x\n\n");
+  HttpRequest req;
+  // No CRLFCRLF ever arrives; flood protection or more bytes decide. Add
+  // the CRLF form of the terminator and the buffered bare-LF head fails.
+  parser.Feed("\r\n\r\n");
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+  EXPECT_EQ(MustFail("GET / HTTP/2.0\r\n\r\n"), 505);
+  EXPECT_EQ(MustFail("GET / HTTP/0.9\r\n\r\n"), 505);
+}
+
+TEST(HttpParser, TransferEncodingIs501) {
+  EXPECT_EQ(
+      MustFail("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"), 501);
+}
+
+TEST(HttpParser, MalformedContentLengthIs400) {
+  EXPECT_EQ(MustFail("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, ConflictingContentLengthsAre400) {
+  EXPECT_EQ(MustFail("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                     "Content-Length: 4\r\n\r\n"),
+            400);
+  // Duplicates that agree are fine.
+  HttpRequest req = MustParse(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok");
+  EXPECT_EQ(req.body, "ok");
+}
+
+TEST(HttpParser, ControlBytesInHeaderValueAre400) {
+  EXPECT_EQ(MustFail("GET / HTTP/1.1\r\nX: a\x01z\r\n\r\n"), 400);
+  EXPECT_EQ(MustFail("GET / HTTP/1.1\r\nX: a\x7fz\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, ObsoleteLineFoldingIs400) {
+  EXPECT_EQ(MustFail("GET / HTTP/1.1\r\nX: a\r\n  folded\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, HeaderWithoutColonIs400) {
+  EXPECT_EQ(MustFail("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, ErrorsAreSticky) {
+  RequestParser parser;
+  parser.Feed("BAD\r\n\r\n");
+  HttpRequest req;
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  parser.Feed("GET / HTTP/1.1\r\n\r\n");  // dropped, not buffered
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+// --- Limits ----------------------------------------------------------------
+
+TEST(HttpParser, OversizeHeadIs431) {
+  ParserLimits limits;
+  limits.max_head_bytes = 128;
+  RequestParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nX: " + std::string(200, 'a') + "\r\n\r\n");
+  HttpRequest req;
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OversizeHeadDetectedBeforeTerminatorArrives) {
+  // The flood never sends \r\n\r\n; the parser must still cap its buffer.
+  ParserLimits limits;
+  limits.max_head_bytes = 128;
+  RequestParser parser(limits);
+  HttpRequest req;
+  parser.Feed("GET / HTTP/1.1\r\nX: ");
+  EXPECT_EQ(parser.Next(&req), Result::kNeedMore);
+  parser.Feed(std::string(500, 'a'));
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, TooManyHeadersIs431) {
+  ParserLimits limits;
+  limits.max_headers = 4;
+  std::string head = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    head += "H" + std::to_string(i) + ": v\r\n";
+  }
+  RequestParser parser(limits);
+  parser.Feed(head + "\r\n");
+  HttpRequest req;
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OversizeDeclaredBodyIs413) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  RequestParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+  HttpRequest req;
+  EXPECT_EQ(parser.Next(&req), Result::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, AbsurdContentLengthDoesNotOverflow) {
+  EXPECT_EQ(MustFail("POST / HTTP/1.1\r\nContent-Length: "
+                     "99999999999999999999999999\r\n\r\n"),
+            413);
+}
+
+// --- Incremental delivery --------------------------------------------------
+
+const char kPost[] =
+    "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Length: 17\r\n\r\n"
+    "{\"text\":\"SELECT\"}";
+
+void ExpectPostParses(RequestParser& parser) {
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Result::kReady) << parser.error_message();
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/v1/query");
+  EXPECT_EQ(req.body, "{\"text\":\"SELECT\"}");
+}
+
+TEST(HttpParserProperty, ByteAtATimeDelivery) {
+  const std::string bytes = kPost;
+  RequestParser parser;
+  HttpRequest req;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    parser.Feed(bytes.substr(i, 1));
+    ASSERT_EQ(parser.Next(&req), Result::kNeedMore)
+        << "spuriously complete after byte " << i;
+  }
+  parser.Feed(bytes.substr(bytes.size() - 1));
+  ExpectPostParses(parser);
+}
+
+TEST(HttpParserProperty, EverySingleSplitPoint) {
+  const std::string bytes = kPost;
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    RequestParser parser;
+    parser.Feed(bytes.substr(0, cut));
+    parser.Feed(bytes.substr(cut));
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    ExpectPostParses(parser);
+  }
+}
+
+TEST(HttpParserProperty, RandomTornReadsDeterministicSeeds) {
+  const std::string bytes = kPost;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937_64 rng(seed);
+    RequestParser parser;
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+      const size_t n = 1 + rng() % (bytes.size() - pos);
+      parser.Feed(bytes.substr(pos, n));
+      pos += n;
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectPostParses(parser);
+  }
+}
+
+TEST(HttpParserProperty, PipelinedBurstYieldsEveryRequestInOrder) {
+  std::string burst;
+  const size_t kN = 20;
+  for (size_t i = 0; i < kN; ++i) {
+    const std::string body = "body-" + std::to_string(i);
+    burst += "POST /r/" + std::to_string(i) +
+             " HTTP/1.1\r\nContent-Length: " + std::to_string(body.size()) +
+             "\r\n\r\n" + body;
+  }
+  // Deliver the whole burst in random chunks, then drain.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(seed);
+    RequestParser parser;
+    std::vector<HttpRequest> got;
+    size_t pos = 0;
+    while (pos < burst.size()) {
+      const size_t n = 1 + rng() % 97;
+      parser.Feed(burst.substr(pos, n));
+      pos += n;
+      HttpRequest req;
+      while (parser.Next(&req) == Result::kReady) {
+        got.push_back(std::move(req));
+      }
+      ASSERT_FALSE(parser.failed()) << parser.error_message();
+    }
+    ASSERT_EQ(got.size(), kN);
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(got[i].target, "/r/" + std::to_string(i));
+      EXPECT_EQ(got[i].body, "body-" + std::to_string(i));
+    }
+  }
+}
+
+TEST(HttpParserProperty, StrayCrlfBetweenPipelinedRequestsIsSkipped) {
+  RequestParser parser;
+  parser.Feed("\r\nGET /a HTTP/1.1\r\n\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Result::kReady);
+  EXPECT_EQ(req.target, "/a");
+  ASSERT_EQ(parser.Next(&req), Result::kReady);
+  EXPECT_EQ(req.target, "/b");
+  EXPECT_EQ(parser.Next(&req), Result::kNeedMore);
+}
+
+TEST(HttpParserProperty, HostileBytesNeverCrashOnlyFail) {
+  // Random byte soup: the parser must answer kNeedMore or kError, never
+  // crash, and once failed must stay failed.
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    std::mt19937_64 rng(seed);
+    RequestParser parser;
+    HttpRequest req;
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      std::string bytes(1 + rng() % 64, '\0');
+      for (char& c : bytes) c = static_cast<char>(rng() % 256);
+      parser.Feed(bytes);
+      const Result r = parser.Next(&req);
+      if (r == Result::kError) {
+        EXPECT_TRUE(parser.failed());
+        EXPECT_NE(parser.error_status(), 0);
+        break;
+      }
+    }
+  }
+}
+
+TEST(HttpParserProperty, BodyBytesArePassedThroughVerbatim) {
+  // Bodies are opaque: any byte value must survive, including NUL and CR.
+  std::string body(256, '\0');
+  for (size_t i = 0; i < body.size(); ++i) body[i] = static_cast<char>(i);
+  RequestParser parser;
+  parser.Feed("POST /bin HTTP/1.1\r\nContent-Length: 256\r\n\r\n");
+  parser.Feed(body);
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Result::kReady);
+  EXPECT_EQ(req.body, body);
+}
+
+}  // namespace
+}  // namespace toss::net

@@ -69,7 +69,7 @@ class PipelineTest : public ::testing::Test {
 TEST_F(PipelineTest, TaxPrecisionIsAlwaysOne) {
   core::QueryExecutor tax_exec(&db_, nullptr, nullptr);
   for (const auto& q : queries_) {
-    auto r = tax_exec.Select("dblp", q.pattern, q.sl, nullptr);
+    auto r = tax_exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
     ASSERT_TRUE(r.ok()) << q.name << ": " << r.status();
     auto m = eval::ComputePr(eval::ExtractRootProvenance(*r), q.correct);
     EXPECT_DOUBLE_EQ(m.precision, 1.0) << q.name;
@@ -84,8 +84,8 @@ TEST_F(PipelineTest, TossBeatsTaxOnRecallAndQuality) {
   double tax_quality = 0, toss_quality = 0;
   double tax_recall = 0, toss_recall = 0;
   for (const auto& q : queries_) {
-    auto tr = tax_exec.Select("dblp", q.pattern, q.sl, nullptr);
-    auto sr = toss_exec.Select("dblp", q.pattern, q.sl, nullptr);
+    auto tr = tax_exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
+    auto sr = toss_exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
     ASSERT_TRUE(tr.ok()) << q.name;
     ASSERT_TRUE(sr.ok()) << q.name;
     auto tm = eval::ComputePr(eval::ExtractRootProvenance(*tr), q.correct);
@@ -107,9 +107,9 @@ TEST_F(PipelineTest, TossAnswersGrowMonotonicallyWithEpsilon) {
   core::QueryExecutor exec2(&db_, &seo2, &types_);
   core::QueryExecutor exec3(&db_, &seo3, &types_);
   for (const auto& q : queries_) {
-    auto r0 = tax_exec.Select("dblp", q.pattern, q.sl, nullptr);
-    auto r2 = exec2.Select("dblp", q.pattern, q.sl, nullptr);
-    auto r3 = exec3.Select("dblp", q.pattern, q.sl, nullptr);
+    auto r0 = tax_exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
+    auto r2 = exec2.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
+    auto r3 = exec3.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
     ASSERT_TRUE(r0.ok());
     ASSERT_TRUE(r2.ok());
     ASSERT_TRUE(r3.ok());
@@ -130,7 +130,7 @@ TEST_F(PipelineTest, TossAnswersGrowMonotonicallyWithEpsilon) {
 TEST_F(PipelineTest, PersistenceDoesNotChangeAnswers) {
   core::Seo seo = BuildSeo(3.0);
   core::QueryExecutor exec(&db_, &seo, &types_);
-  auto before = exec.Select("dblp", queries_[0].pattern, {1}, nullptr);
+  auto before = exec.Select("dblp", queries_[0].pattern, {1}, core::QueryOptions{});
   ASSERT_TRUE(before.ok());
 
   namespace fs = std::filesystem;
@@ -141,7 +141,7 @@ TEST_F(PipelineTest, PersistenceDoesNotChangeAnswers) {
   ASSERT_TRUE(reopened.ok()) << reopened.status();
 
   core::QueryExecutor exec2(&*reopened, &seo, &types_);
-  auto after = exec2.Select("dblp", queries_[0].pattern, {1}, nullptr);
+  auto after = exec2.Select("dblp", queries_[0].pattern, {1}, core::QueryOptions{});
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(eval::ExtractRootProvenance(*before),
             eval::ExtractRootProvenance(*after));
@@ -164,8 +164,8 @@ TEST_F(PipelineTest, InflatedOntologyPreservesAnswers) {
   core::QueryExecutor small_exec(&db_, &seo, &types_);
   core::QueryExecutor big_exec(&db_, &*big, &types_);
   for (const auto& q : queries_) {
-    auto rs = small_exec.Select("dblp", q.pattern, q.sl, nullptr);
-    auto rb = big_exec.Select("dblp", q.pattern, q.sl, nullptr);
+    auto rs = small_exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
+    auto rb = big_exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
     ASSERT_TRUE(rs.ok());
     ASSERT_TRUE(rb.ok());
     EXPECT_EQ(eval::ExtractRootProvenance(*rs),
@@ -190,7 +190,7 @@ TEST_F(PipelineTest, DirectAlgebraMatchesExecutor) {
   }
   for (const auto& q : queries_) {
     auto direct = tax::Select(all, q.pattern, q.sl, sem);
-    auto via_exec = exec.Select("dblp", q.pattern, q.sl, nullptr);
+    auto via_exec = exec.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
     ASSERT_TRUE(direct.ok()) << q.name << direct.status();
     ASSERT_TRUE(via_exec.ok()) << q.name;
     EXPECT_EQ(eval::ExtractRootProvenance(*direct),

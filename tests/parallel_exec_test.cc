@@ -51,6 +51,13 @@ class ParallelExecTest : public ::testing::Test {
     queries_ = std::move(queries).value();
   }
 
+  /// The options-path width knob for one call.
+  static QueryOptions Width(size_t threads) {
+    QueryOptions o;
+    o.parallelism = threads;
+    return o;
+  }
+
   data::BibWorld world_;
   store::Database db_;
   Seo seo_;
@@ -67,8 +74,8 @@ TEST_F(ParallelExecTest, ParallelSelectMatchesSequentialExactly) {
     par.SetParallelism(4);
     EXPECT_EQ(par.parallelism(), 4u);
     for (const auto& q : queries_) {
-      auto rs = seq.Select("dblp", q.pattern, q.sl, nullptr);
-      auto rp = par.Select("dblp", q.pattern, q.sl, nullptr);
+      auto rs = seq.Select("dblp", q.pattern, q.sl, Width(1));
+      auto rp = par.Select("dblp", q.pattern, q.sl, Width(4));
       ASSERT_TRUE(rs.ok()) << rs.status();
       ASSERT_TRUE(rp.ok()) << rp.status();
       ASSERT_EQ(rs->size(), rp->size()) << q.name;
@@ -84,7 +91,8 @@ TEST_F(ParallelExecTest, ParallelismOfOneIsSequentialPath) {
   QueryExecutor exec(&db_, &seo_, &types_);
   exec.SetParallelism(0);  // clamped to 1
   EXPECT_EQ(exec.parallelism(), 1u);
-  auto r = exec.Select("dblp", queries_[0].pattern, queries_[0].sl, nullptr);
+  auto r = exec.Select("dblp", queries_[0].pattern, queries_[0].sl,
+                       Width(exec.parallelism()));
   EXPECT_TRUE(r.ok());
 }
 
@@ -92,7 +100,8 @@ TEST_F(ParallelExecTest, StatsStillPopulatedInParallelMode) {
   QueryExecutor par(&db_, &seo_, &types_);
   par.SetParallelism(4);
   ExecStats stats;
-  auto r = par.Select("dblp", queries_[0].pattern, queries_[0].sl, &stats);
+  auto r = par.Select("dblp", queries_[0].pattern, queries_[0].sl, Width(4),
+                      &stats);
   ASSERT_TRUE(r.ok());
   EXPECT_GT(stats.xpath_queries, 0u);
   EXPECT_EQ(stats.result_trees, r->size());
@@ -103,7 +112,8 @@ TEST_F(ParallelExecTest, ManyThreadsOnFewDocsFallsBack) {
   // Fewer docs than 2*threads: the sequential path runs; results valid.
   QueryExecutor par(&db_, &seo_, &types_);
   par.SetParallelism(64);
-  auto r = par.Select("dblp", queries_[0].pattern, queries_[0].sl, nullptr);
+  auto r = par.Select("dblp", queries_[0].pattern, queries_[0].sl,
+                      Width(64));
   ASSERT_TRUE(r.ok());
 }
 
@@ -126,8 +136,8 @@ TEST_F(ParallelExecTest, ParallelProjectMatchesSequentialExactly) {
       std::vector<tax::ProjectItem> pl;
       for (int label : q.sl) pl.push_back({label, false});
       if (pl.empty()) pl.push_back({1, true});
-      auto rs = seq.Project("dblp", q.pattern, pl, nullptr);
-      auto rp = par.Project("dblp", q.pattern, pl, nullptr);
+      auto rs = seq.Project("dblp", q.pattern, pl, Width(1));
+      auto rp = par.Project("dblp", q.pattern, pl, Width(4));
       ASSERT_TRUE(rs.ok()) << rs.status();
       ASSERT_TRUE(rp.ok()) << rp.status();
       ExpectSameTrees(*rs, *rp, q.name.c_str());
@@ -150,8 +160,8 @@ TEST_F(ParallelExecTest, ParallelGroupByMatchesSequentialExactly) {
     QueryExecutor par(&db_, use_toss ? &seo_ : nullptr,
                       use_toss ? &types_ : nullptr);
     par.SetParallelism(4);
-    auto rs = seq.GroupBy("dblp", pt, 2, {1}, nullptr);
-    auto rp = par.GroupBy("dblp", pt, 2, {1}, nullptr);
+    auto rs = seq.GroupBy("dblp", pt, 2, {1}, Width(1));
+    auto rp = par.GroupBy("dblp", pt, 2, {1}, Width(4));
     ASSERT_TRUE(rs.ok()) << rs.status();
     ASSERT_TRUE(rp.ok()) << rp.status();
     EXPECT_GT(rs->size(), 1u) << "fixture should span several years";
@@ -187,8 +197,8 @@ TEST_F(ParallelExecTest, ParallelJoinMatchesSequentialExactly) {
     QueryExecutor par(&db_, use_toss ? &seo_ : nullptr,
                       use_toss ? &types_ : nullptr);
     par.SetParallelism(4);
-    auto rs = seq.Join("mini", "mini", pt, {2, 4}, nullptr);
-    auto rp = par.Join("mini", "mini", pt, {2, 4}, nullptr);
+    auto rs = seq.Join("mini", "mini", pt, {2, 4}, Width(1));
+    auto rp = par.Join("mini", "mini", pt, {2, 4}, Width(4));
     ASSERT_TRUE(rs.ok()) << rs.status();
     ASSERT_TRUE(rp.ok()) << rp.status();
     EXPECT_GT(rs->size(), 0u) << "same-year pairs must exist";
@@ -209,8 +219,8 @@ TEST_F(ParallelExecTest, WorkerErrorAbortsPoolAndMatchesSequentialError) {
   QueryExecutor seq(&db_, &seo_, &types_);
   QueryExecutor par(&db_, &seo_, &types_);
   par.SetParallelism(4);
-  auto rs = seq.Select("dblp", pt, {1}, nullptr);
-  auto rp = par.Select("dblp", pt, {1}, nullptr);
+  auto rs = seq.Select("dblp", pt, {1}, Width(1));
+  auto rp = par.Select("dblp", pt, {1}, Width(4));
   ASSERT_FALSE(rs.ok());
   ASSERT_FALSE(rp.ok());
   EXPECT_EQ(rs.status().code(), rp.status().code());
@@ -224,7 +234,7 @@ TEST_F(ParallelExecTest, ConcurrentQueriesOnOneExecutorMatchSequential) {
   QueryExecutor exec(&db_, &seo_, &types_);
   std::vector<tax::TreeCollection> want;
   for (const auto& q : queries_) {
-    auto r = exec.Select("dblp", q.pattern, q.sl, nullptr);
+    auto r = exec.Select("dblp", q.pattern, q.sl, Width(1));
     ASSERT_TRUE(r.ok()) << r.status();
     want.push_back(std::move(r).value());
   }
@@ -235,7 +245,7 @@ TEST_F(ParallelExecTest, ConcurrentQueriesOnOneExecutorMatchSequential) {
     clients.emplace_back([&] {
       for (size_t qi = 0; qi < queries_.size(); ++qi) {
         auto r = exec.Select("dblp", queries_[qi].pattern, queries_[qi].sl,
-                             nullptr);
+                             Width(1));
         if (!r.ok() || r->size() != want[qi].size()) {
           failures.fetch_add(1);
           continue;
@@ -256,12 +266,12 @@ TEST_F(ParallelExecTest, RepeatedQueriesHitTheDecodedTreeCache) {
   QueryExecutor par(&db_, &seo_, &types_);
   par.SetParallelism(4);
   ASSERT_TRUE(par.Select("dblp", queries_[0].pattern, queries_[0].sl,
-                         nullptr)
+                         Width(4))
                   .ok());
   auto first = (*coll)->GetTreeCacheStats();
   EXPECT_GT(first.misses, 0u);
   ASSERT_TRUE(par.Select("dblp", queries_[0].pattern, queries_[0].sl,
-                         nullptr)
+                         Width(4))
                   .ok());
   auto second = (*coll)->GetTreeCacheStats();
   EXPECT_EQ(second.misses, first.misses) << "second run must decode nothing";

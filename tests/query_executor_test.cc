@@ -10,6 +10,10 @@
 namespace toss::core {
 namespace {
 
+// Every query in this file goes through the QueryOptions path; these are
+// the defaults (inline evaluation, no cancellation, no prepared cache).
+const QueryOptions kOpts{};
+
 class QueryExecutorTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -92,7 +96,7 @@ TEST_F(QueryExecutorTest, TaxBaselineFindsExactMatchesOnly) {
   QueryExecutor tax_exec(&db_, nullptr, nullptr);
   EXPECT_FALSE(tax_exec.is_toss());
   ExecStats stats;
-  auto r = tax_exec.Select("dblp", UllmanAtSigmod(), {1}, &stats);
+  auto r = tax_exec.Select("dblp", UllmanAtSigmod(), {1}, kOpts, &stats);
   ASSERT_TRUE(r.ok()) << r.status();
   // Exact author + contains(venue): only paper 10001.
   auto ids = ::toss::eval::ExtractRootProvenance(*r);
@@ -105,7 +109,7 @@ TEST_F(QueryExecutorTest, TossFindsVariantsAndVenueForms) {
   QueryExecutor toss_exec(&db_, &seo_, &types_);
   EXPECT_TRUE(toss_exec.is_toss());
   ExecStats stats;
-  auto r = toss_exec.Select("dblp", UllmanAtSigmod(), {1}, &stats);
+  auto r = toss_exec.Select("dblp", UllmanAtSigmod(), {1}, kOpts, &stats);
   ASSERT_TRUE(r.ok()) << r.status();
   // The middle-initial variant AND the full-venue-name paper both match.
   auto ids = ::toss::eval::ExtractRootProvenance(*r);
@@ -118,8 +122,8 @@ TEST_F(QueryExecutorTest, TossAnswersContainTaxAnswers) {
   QueryExecutor tax_exec(&db_, nullptr, nullptr);
   QueryExecutor toss_exec(&db_, &seo_, &types_);
   auto pattern = UllmanAtSigmod();
-  auto tax_r = tax_exec.Select("dblp", pattern, {1}, nullptr);
-  auto toss_r = toss_exec.Select("dblp", pattern, {1}, nullptr);
+  auto tax_r = tax_exec.Select("dblp", pattern, {1}, kOpts);
+  auto toss_r = toss_exec.Select("dblp", pattern, {1}, kOpts);
   ASSERT_TRUE(tax_r.ok());
   ASSERT_TRUE(toss_r.ok());
   auto tax_ids = ::toss::eval::ExtractRootProvenance(*tax_r);
@@ -138,7 +142,7 @@ TEST_F(QueryExecutorTest, CategoryQueryUsesIsaExpansion) {
                           "$2.tag = \"booktitle\" & "
                           "$2.content isa \"database conference\"")
           .value());
-  auto r = toss_exec.Select("dblp", pt, {1}, nullptr);
+  auto r = toss_exec.Select("dblp", pt, {1}, kOpts);
   ASSERT_TRUE(r.ok()) << r.status();
   auto ids = ::toss::eval::ExtractRootProvenance(*r);
   // All SIGMOD papers (either surface form) but not the SIGIR one.
@@ -147,8 +151,7 @@ TEST_F(QueryExecutorTest, CategoryQueryUsesIsaExpansion) {
 
 TEST_F(QueryExecutorTest, ProjectReturnsMatchedSubtrees) {
   QueryExecutor toss_exec(&db_, &seo_, &types_);
-  auto r = toss_exec.Project("dblp", UllmanAtSigmod(), {{2, false}},
-                             nullptr);
+  auto r = toss_exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, kOpts);
   ASSERT_TRUE(r.ok()) << r.status();
   // Two author nodes (one per matched paper).
   ASSERT_EQ(r->size(), 2u);
@@ -179,7 +182,7 @@ TEST_F(QueryExecutorTest, RangePredicatesPushDownToIndexScans) {
                           "$2.content >= \"1999\" & $2.content <= \"2000\"")
           .value());
   ExecStats stats;
-  auto r = toss_exec.Select("dblp", pt, {1}, &stats);
+  auto r = toss_exec.Select("dblp", pt, {1}, kOpts, &stats);
   ASSERT_TRUE(r.ok()) << r.status();
   // Papers 10001 (1999), 10002 (2000), 10003 (2000); 10004 is 1998.
   EXPECT_EQ(::toss::eval::ExtractRootProvenance(*r),
@@ -194,7 +197,7 @@ TEST_F(QueryExecutorTest, RangePredicatesPushDownToIndexScans) {
       tax::ParseCondition("$1.tag = \"inproceedings\" & $2.tag = \"year\" & "
                           "\"1999\" <= $2.content")
           .value());
-  auto r2 = toss_exec.Select("dblp", reversed, {1}, nullptr);
+  auto r2 = toss_exec.Select("dblp", reversed, {1}, kOpts);
   ASSERT_TRUE(r2.ok()) << r2.status();
   EXPECT_EQ(::toss::eval::ExtractRootProvenance(*r2),
             (std::set<uint64_t>{10001, 10002, 10003}));
@@ -247,7 +250,7 @@ TEST_F(QueryExecutorTest, JoinAcrossCollections) {
                           "$3.content ~ $5.content")
           .value());
   ExecStats stats;
-  auto r = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, &stats);
+  auto r = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, kOpts, &stats);
   ASSERT_TRUE(r.ok()) << r.status();
   // "Views" ~ "Views." at eps=3 via the measure fallback; nothing else.
   ASSERT_EQ(r->size(), 1u);
@@ -256,7 +259,7 @@ TEST_F(QueryExecutorTest, JoinAcrossCollections) {
 
   // TAX join: exact equality only -> empty.
   QueryExecutor tax_exec(&db_, nullptr, nullptr);
-  auto tr = tax_exec.Join("dblp", "sigmod", pt, {2, 4}, nullptr);
+  auto tr = tax_exec.Join("dblp", "sigmod", pt, {2, 4}, kOpts);
   ASSERT_TRUE(tr.ok());
   EXPECT_TRUE(tr->empty());
 }
@@ -265,24 +268,25 @@ TEST_F(QueryExecutorTest, JoinRequiresProductShapedPattern) {
   QueryExecutor toss_exec(&db_, &seo_, &types_);
   tax::PatternTree pt;
   pt.AddRoot();
-  auto r = toss_exec.Join("dblp", "dblp", pt, {}, nullptr);
+  auto r = toss_exec.Join("dblp", "dblp", pt, {}, kOpts);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsInvalidArgument());
 }
 
 TEST_F(QueryExecutorTest, UnknownCollectionIsNotFound) {
   QueryExecutor toss_exec(&db_, &seo_, &types_);
-  auto r = toss_exec.Select("nope", UllmanAtSigmod(), {1}, nullptr);
+  auto r = toss_exec.Select("nope", UllmanAtSigmod(), {1}, kOpts);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotFound());
 }
 
 // ---------------------------------------------------------------------------
-// EXPLAIN ANALYZE
+// Trace-enabled execution (EXPLAIN ANALYZE through the options path: pass a
+// live root span, read the trace back).
 // ---------------------------------------------------------------------------
 
 /// Each tree rendered to canonical XML: the byte-identical comparison
-/// between Execute and ExplainAnalyze results (same trees, same order).
+/// between plain and trace-enabled results (same trees, same order).
 std::vector<std::string> Serialize(const tax::TreeCollection& trees) {
   std::vector<std::string> out;
   out.reserve(trees.size());
@@ -297,45 +301,57 @@ std::vector<std::string> ChildNames(const obs::TraceNode& root) {
   return out;
 }
 
-TEST_F(QueryExecutorTest, ExplainAnalyzeSelectMatchesExecute) {
+TEST_F(QueryExecutorTest, TracedSelectMatchesPlainExecute) {
   for (bool toss : {false, true}) {
     QueryExecutor exec(&db_, toss ? &seo_ : nullptr,
                        toss ? &types_ : nullptr);
     ExecStats stats;
-    auto plain = exec.Select("dblp", UllmanAtSigmod(), {1}, &stats);
+    auto plain = exec.Select("dblp", UllmanAtSigmod(), {1}, kOpts, &stats);
     ASSERT_TRUE(plain.ok()) << plain.status();
-    auto explained = exec.ExplainAnalyzeSelect("dblp", UllmanAtSigmod(), {1});
-    ASSERT_TRUE(explained.ok()) << explained.status();
+
+    obs::Trace trace("select(dblp)");
+    ExecStats traced_stats;
+    Result<tax::TreeCollection> traced = tax::TreeCollection{};
+    {
+      obs::Span root_span = trace.RootSpan();
+      traced = exec.Select("dblp", UllmanAtSigmod(), {1}, kOpts,
+                           &traced_stats, &root_span);
+    }
+    ASSERT_TRUE(traced.ok()) << traced.status();
 
     // Golden: byte-identical answers in identical order.
-    EXPECT_EQ(Serialize(*plain), Serialize(explained->trees));
-    EXPECT_EQ(explained->stats.xpath_queries, stats.xpath_queries);
-    EXPECT_EQ(explained->stats.candidate_docs, stats.candidate_docs);
-    EXPECT_EQ(explained->stats.result_trees, stats.result_trees);
+    EXPECT_EQ(Serialize(*plain), Serialize(*traced));
+    EXPECT_EQ(traced_stats.xpath_queries, stats.xpath_queries);
+    EXPECT_EQ(traced_stats.candidate_docs, stats.candidate_docs);
+    EXPECT_EQ(traced_stats.result_trees, stats.result_trees);
 
     // Trace structure: the three instrumented phases, all closed.
-    ASSERT_NE(explained->trace, nullptr);
-    const obs::TraceNode& root = explained->trace->root();
+    const obs::TraceNode& root = trace.root();
     EXPECT_GT(root.duration_nanos, 0u);
     EXPECT_EQ(ChildNames(root),
               (std::vector<std::string>{"rewrite", "store_scan", "eval"}));
     for (const auto& c : root.children) EXPECT_GT(c->duration_nanos, 0u);
-    double cov = explained->trace->CoverageFraction();
+    double cov = trace.CoverageFraction();
     EXPECT_GT(cov, 0.0);
     EXPECT_LE(cov, 1.0);
 
-    // Pretty output carries the tree and the stats footer.
-    std::string pretty = explained->Pretty();
+    // Pretty output carries the phase tree.
+    std::string pretty = trace.Pretty();
     EXPECT_NE(pretty.find("store_scan"), std::string::npos) << pretty;
-    EXPECT_NE(pretty.find("trace coverage"), std::string::npos) << pretty;
   }
 }
 
-TEST_F(QueryExecutorTest, ExplainAnalyzeSelectAnnotatesThePhases) {
+TEST_F(QueryExecutorTest, TracedSelectAnnotatesThePhases) {
   QueryExecutor toss_exec(&db_, &seo_, &types_);
-  auto r = toss_exec.ExplainAnalyzeSelect("dblp", UllmanAtSigmod(), {1});
-  ASSERT_TRUE(r.ok()) << r.status();
-  const obs::TraceNode& root = r->trace->root();
+  obs::Trace trace("select(dblp)");
+  ExecStats stats;
+  {
+    obs::Span root_span = trace.RootSpan();
+    auto r = toss_exec.Select("dblp", UllmanAtSigmod(), {1}, kOpts, &stats,
+                              &root_span);
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  const obs::TraceNode& root = trace.root();
   auto annotation = [](const obs::TraceNode& n, const std::string& key) {
     for (const auto& [k, v] : n.annotations) {
       if (k == key) return v;
@@ -343,39 +359,49 @@ TEST_F(QueryExecutorTest, ExplainAnalyzeSelectAnnotatesThePhases) {
     return std::string();
   };
   EXPECT_EQ(annotation(*root.children[0], "xpath_queries"),
-            std::to_string(r->stats.xpath_queries));
+            std::to_string(stats.xpath_queries));
   EXPECT_EQ(annotation(*root.children[0], "expanded_terms"),
-            std::to_string(r->stats.expanded_terms));
+            std::to_string(stats.expanded_terms));
   EXPECT_EQ(annotation(*root.children[1], "candidate_docs"),
-            std::to_string(r->stats.candidate_docs));
+            std::to_string(stats.candidate_docs));
   EXPECT_FALSE(annotation(*root.children[1], "index_pruning_ratio").empty());
   EXPECT_EQ(annotation(*root.children[2], "result_trees"),
-            std::to_string(r->stats.result_trees));
+            std::to_string(stats.result_trees));
   // Decoded-tree cache deltas are recorded on the eval phase.
   EXPECT_FALSE(annotation(*root.children[2], "tree_cache_misses").empty());
 }
 
-TEST_F(QueryExecutorTest, ExplainAnalyzeProjectAndGroupByMatchExecute) {
+TEST_F(QueryExecutorTest, TracedProjectAndGroupByMatchPlainExecute) {
   QueryExecutor toss_exec(&db_, &seo_, &types_);
   auto plain_p =
-      toss_exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, nullptr);
-  auto explained_p =
-      toss_exec.ExplainAnalyzeProject("dblp", UllmanAtSigmod(), {{2, false}});
+      toss_exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, kOpts);
+  obs::Trace trace_p("project(dblp)");
+  Result<tax::TreeCollection> traced_p = tax::TreeCollection{};
+  {
+    obs::Span root_span = trace_p.RootSpan();
+    traced_p = toss_exec.Project("dblp", UllmanAtSigmod(), {{2, false}},
+                                 kOpts, nullptr, &root_span);
+  }
   ASSERT_TRUE(plain_p.ok()) << plain_p.status();
-  ASSERT_TRUE(explained_p.ok()) << explained_p.status();
-  EXPECT_EQ(Serialize(*plain_p), Serialize(explained_p->trees));
-  EXPECT_EQ(ChildNames(explained_p->trace->root()),
+  ASSERT_TRUE(traced_p.ok()) << traced_p.status();
+  EXPECT_EQ(Serialize(*plain_p), Serialize(*traced_p));
+  EXPECT_EQ(ChildNames(trace_p.root()),
             (std::vector<std::string>{"rewrite", "store_scan", "eval"}));
 
-  auto plain_g = toss_exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, nullptr);
-  auto explained_g =
-      toss_exec.ExplainAnalyzeGroupBy("dblp", UllmanAtSigmod(), 3, {1});
+  auto plain_g = toss_exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, kOpts);
+  obs::Trace trace_g("groupby(dblp)");
+  Result<tax::TreeCollection> traced_g = tax::TreeCollection{};
+  {
+    obs::Span root_span = trace_g.RootSpan();
+    traced_g = toss_exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, kOpts,
+                                 nullptr, &root_span);
+  }
   ASSERT_TRUE(plain_g.ok()) << plain_g.status();
-  ASSERT_TRUE(explained_g.ok()) << explained_g.status();
-  EXPECT_EQ(Serialize(*plain_g), Serialize(explained_g->trees));
+  ASSERT_TRUE(traced_g.ok()) << traced_g.status();
+  EXPECT_EQ(Serialize(*plain_g), Serialize(*traced_g));
 }
 
-TEST_F(QueryExecutorTest, ExplainAnalyzeJoinMatchesExecute) {
+TEST_F(QueryExecutorTest, TracedJoinMatchesPlainExecute) {
   auto sigmod = db_.CreateCollection("sigmod");
   ASSERT_TRUE(sigmod.ok());
   ASSERT_TRUE((*sigmod)
@@ -398,12 +424,18 @@ TEST_F(QueryExecutorTest, ExplainAnalyzeJoinMatchesExecute) {
                           "$4.tag = \"article\" & $5.tag = \"title\" & "
                           "$3.content ~ $5.content")
           .value());
-  auto plain = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, nullptr);
-  auto explained = toss_exec.ExplainAnalyzeJoin("dblp", "sigmod", pt, {2, 4});
+  auto plain = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, kOpts);
+  obs::Trace trace("join(dblp,sigmod)");
+  Result<tax::TreeCollection> traced = tax::TreeCollection{};
+  {
+    obs::Span root_span = trace.RootSpan();
+    traced = toss_exec.Join("dblp", "sigmod", pt, {2, 4}, kOpts, nullptr,
+                            &root_span);
+  }
   ASSERT_TRUE(plain.ok()) << plain.status();
-  ASSERT_TRUE(explained.ok()) << explained.status();
-  EXPECT_EQ(Serialize(*plain), Serialize(explained->trees));
-  EXPECT_EQ(ChildNames(explained->trace->root()),
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  EXPECT_EQ(Serialize(*plain), Serialize(*traced));
+  EXPECT_EQ(ChildNames(trace.root()),
             (std::vector<std::string>{"candidates_left", "candidates_right",
                                       "decode_right", "eval"}));
 }
@@ -420,13 +452,13 @@ TEST_F(QueryExecutorTest, OperatorsInvariantUnderSymbolFastPaths) {
   };
   auto run_all = [&](const QueryExecutor& exec) {
     Run out;
-    auto s = exec.Select("dblp", UllmanAtSigmod(), {1}, nullptr);
+    auto s = exec.Select("dblp", UllmanAtSigmod(), {1}, kOpts);
     EXPECT_TRUE(s.ok()) << s.status();
     if (s.ok()) out.select = Serialize(*s);
-    auto p = exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, nullptr);
+    auto p = exec.Project("dblp", UllmanAtSigmod(), {{2, false}}, kOpts);
     EXPECT_TRUE(p.ok()) << p.status();
     if (p.ok()) out.project = Serialize(*p);
-    auto g = exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, nullptr);
+    auto g = exec.GroupBy("dblp", UllmanAtSigmod(), 3, {1}, kOpts);
     EXPECT_TRUE(g.ok()) << g.status();
     if (g.ok()) out.group = Serialize(*g);
     return out;

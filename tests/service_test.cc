@@ -158,14 +158,18 @@ class ServiceTest : public ::testing::Test {
   std::vector<data::SelectionQuery> queries_;
 };
 
-TEST_F(ServiceTest, RunMatchesLegacyWrappersGolden) {
+// The retained golden test for the retired per-operator wrappers: the
+// service path must still produce exactly the answers a bare executor run
+// through the QueryOptions path produces, operator by operator.
+TEST_F(ServiceTest, RunMatchesDirectExecutorGolden) {
   TossService svc(&db_, &seo_, &types_);
-  core::QueryExecutor legacy(&db_, &seo_, &types_);
+  core::QueryExecutor direct(&db_, &seo_, &types_);
+  const core::QueryOptions opts;
 
   for (const auto& q : queries_) {
     QueryResponse resp =
         svc.Run(QueryRequest::Select("dblp", q.pattern, q.sl));
-    auto want = legacy.Select("dblp", q.pattern, q.sl);
+    auto want = direct.Select("dblp", q.pattern, q.sl, opts);
     ASSERT_TRUE(resp.ok()) << resp.status;
     ASSERT_TRUE(want.ok()) << want.status();
     ExpectSameTrees(*want, resp.trees, "select/" + q.name);
@@ -175,7 +179,7 @@ TEST_F(ServiceTest, RunMatchesLegacyWrappersGolden) {
   std::vector<tax::ProjectItem> pl{{1, true}};
   QueryResponse proj =
       svc.Run(QueryRequest::Project("dblp", queries_[0].pattern, pl));
-  auto want_proj = legacy.Project("dblp", queries_[0].pattern, pl);
+  auto want_proj = direct.Project("dblp", queries_[0].pattern, pl, opts);
   ASSERT_TRUE(proj.ok()) << proj.status;
   ASSERT_TRUE(want_proj.ok()) << want_proj.status();
   ExpectSameTrees(*want_proj, proj.trees, "project");
@@ -188,7 +192,7 @@ TEST_F(ServiceTest, RunMatchesLegacyWrappersGolden) {
                            .value());
   QueryResponse grouped =
       svc.Run(QueryRequest::GroupBy("dblp", by_year, 2, {1}));
-  auto want_grouped = legacy.GroupBy("dblp", by_year, 2, {1});
+  auto want_grouped = direct.GroupBy("dblp", by_year, 2, {1}, opts);
   ASSERT_TRUE(grouped.ok()) << grouped.status;
   ASSERT_TRUE(want_grouped.ok()) << want_grouped.status();
   ExpectSameTrees(*want_grouped, grouped.trees, "groupby");
@@ -196,7 +200,7 @@ TEST_F(ServiceTest, RunMatchesLegacyWrappersGolden) {
   tax::PatternTree join_pt = YearSelfJoinPattern();
   QueryResponse joined =
       svc.Run(QueryRequest::Join("mini", "mini", join_pt, {2, 4}));
-  auto want_joined = legacy.Join("mini", "mini", join_pt, {2, 4});
+  auto want_joined = direct.Join("mini", "mini", join_pt, {2, 4}, opts);
   ASSERT_TRUE(joined.ok()) << joined.status;
   ASSERT_TRUE(want_joined.ok()) << want_joined.status();
   EXPECT_GT(joined.trees.size(), 0u);
@@ -208,12 +212,14 @@ TEST_F(ServiceTest, ConcurrentMixedStressMatchesSequential) {
   core::QueryExecutor reference(&db_, &seo_, &types_);
   std::vector<tax::TreeCollection> want_select;
   for (const auto& q : queries_) {
-    auto r = reference.Select("dblp", q.pattern, q.sl);
+    auto r = reference.Select("dblp", q.pattern, q.sl,
+                              core::QueryOptions{});
     ASSERT_TRUE(r.ok()) << r.status();
     want_select.push_back(std::move(r).value());
   }
   tax::PatternTree join_pt = YearSelfJoinPattern();
-  auto want_join = reference.Join("mini", "mini", join_pt, {2, 4});
+  auto want_join =
+      reference.Join("mini", "mini", join_pt, {2, 4}, core::QueryOptions{});
   ASSERT_TRUE(want_join.ok()) << want_join.status();
 
   TossService svc(&db_, &seo_, &types_);
@@ -357,7 +363,7 @@ TEST_F(ServiceTest, PreparedCacheHitsOnRepeatAndInvalidatesOnSwap) {
   ASSERT_TRUE(after.ok()) << after.status;
   EXPECT_FALSE(after.prepared_cache_hit);
   core::QueryExecutor fresh(&db_, &tighter, &types_);
-  auto want = fresh.Select("dblp", q.pattern, q.sl);
+  auto want = fresh.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
   ASSERT_TRUE(want.ok()) << want.status();
   ExpectSameTrees(*want, after.trees, "post-swap answers");
 }
@@ -384,7 +390,7 @@ TEST_F(ServiceTest, SwapSeoToNullServesTaxBaseline) {
   QueryResponse resp = svc.Run(QueryRequest::Select("dblp", q.pattern, q.sl));
   ASSERT_TRUE(resp.ok()) << resp.status;
   core::QueryExecutor tax(&db_, nullptr, nullptr);
-  auto want = tax.Select("dblp", q.pattern, q.sl);
+  auto want = tax.Select("dblp", q.pattern, q.sl, core::QueryOptions{});
   ASSERT_TRUE(want.ok()) << want.status();
   ExpectSameTrees(*want, resp.trees, "tax baseline after swap");
 }

@@ -426,16 +426,21 @@ TEST_F(TwigGoldenTest, CancelledTokenAbortsTheTwigJoin) {
   EXPECT_TRUE(r.status().IsCancelled()) << r.status();
 }
 
-TEST_F(TwigGoldenTest, ExplainAnalyzeAnnotatesTheTwigPhases) {
+TEST_F(TwigGoldenTest, TracedJoinAnnotatesTheTwigPhases) {
   tax::PatternTree pt = JoinPattern(
       "$1.tag = \"tax_prod_root\" & "
       "$2.tag = \"inproceedings\" & $3.tag = \"title\" & "
       "$4.tag = \"article\" & $5.tag = \"title\" & "
       "$3.content ~ $5.content");
   core::QueryExecutor toss_exec(&db_, &seo_, &types_);
-  auto explained = toss_exec.ExplainAnalyzeJoin("dblp", "sigmod", pt, {2, 4});
-  ASSERT_TRUE(explained.ok()) << explained.status();
-  const std::string pretty = explained->Pretty();
+  obs::Trace trace("join(dblp,sigmod)");
+  {
+    obs::Span root_span = trace.RootSpan();
+    auto joined = toss_exec.Join("dblp", "sigmod", pt, {2, 4},
+                                 core::QueryOptions{}, nullptr, &root_span);
+    ASSERT_TRUE(joined.ok()) << joined.status();
+  }
+  const std::string pretty = trace.Pretty();
   EXPECT_NE(pretty.find("twig_postings"), std::string::npos) << pretty;
   EXPECT_NE(pretty.find("twig_merge"), std::string::npos) << pretty;
   EXPECT_NE(pretty.find("stream_advances"), std::string::npos) << pretty;

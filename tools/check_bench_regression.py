@@ -56,12 +56,14 @@ def load(path):
 
 def comparable(key, value):
     # meta/metrics keys are bookkeeping, not medians; qps keys are
-    # throughput (higher is better), so a ratio check reads backwards.
+    # throughput (higher is better), so a ratio check reads backwards;
+    # *_rate keys are ratios in [0, 1] (e.g. net shed_rate), not timings.
     return (
         isinstance(value, (int, float))
         and not key.startswith("meta/")
         and not key.startswith("metrics/")
         and "qps" not in key
+        and not key.endswith("_rate")
     )
 
 

@@ -56,9 +56,19 @@ def percentile_ms(buckets, q):
 
 
 def load_dump(path):
+    """Reads a dump from a file path or, for http(s):// URLs, from a live
+    server's GET /v1/telemetry endpoint (the src/net/ HTTP edge)."""
     try:
-        with open(path) as f:
-            doc = json.load(f)
+        if path.startswith(("http://", "https://")):
+            import urllib.request
+
+            url = path if "/v1/telemetry" in path else (
+                path.rstrip("/") + "/v1/telemetry")
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                doc = json.load(resp)
+        else:
+            with open(path) as f:
+                doc = json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
