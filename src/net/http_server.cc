@@ -68,6 +68,10 @@ struct HttpServer::Connection {
   size_t outpos = 0;
   bool close_after_flush = false;
 
+  /// The peer half-closed (read returned 0); buffered requests are still
+  /// served, but an incomplete request can never finish.
+  bool eof_seen = false;
+
   explicit Connection(ParserLimits limits) : parser(limits) {}
 };
 
@@ -183,7 +187,8 @@ void HttpServer::AcceptReady() {
       resp.body = "{\"error\":\"server at connection limit\"}";
       resp.close = true;
       const std::string bytes = SerializeResponse(resp, false);
-      [[maybe_unused]] ssize_t n = ::write(fd, bytes.data(), bytes.size());
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
       ::close(fd);
       Net().rejected.Increment();
       continue;
@@ -235,6 +240,11 @@ void HttpServer::PumpConnection(Connection* conn) {
       return;
     }
     case RequestParser::Result::kNeedMore:
+      if (conn->eof_seen) {
+        // The peer will never send the rest of this request.
+        CloseConnection(conn->id);
+        return;
+      }
       UpdateEvents(conn, EPOLLIN);
       return;
   }
@@ -255,22 +265,27 @@ void HttpServer::HandleReadable(Connection* conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    // EOF or hard error. If a response is still being produced or flushed,
-    // let it finish (the write will surface any error); otherwise close.
-    if (conn->busy || !conn->outbuf.empty()) {
-      conn->close_after_flush = true;
+    if (n < 0) {
+      // Hard error: the socket is unusable in both directions.
+      CloseConnection(conn->id);
       return;
     }
-    CloseConnection(conn->id);
-    return;
+    // EOF. A half-closing client (shutdown(SHUT_WR) after the request, the
+    // HTTP/1.0 idiom) may have a complete request sitting in the buffer;
+    // note the EOF and let the normal pump/flush path serve it. The pump
+    // closes the connection once nothing parseable remains.
+    conn->eof_seen = true;
+    break;
   }
   PumpConnection(conn);
 }
 
 void HttpServer::HandleWritable(Connection* conn) {
   while (conn->outpos < conn->outbuf.size()) {
-    const ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->outpos,
-                              conn->outbuf.size() - conn->outpos);
+    // MSG_NOSIGNAL: a peer that already reset the connection must surface
+    // as EPIPE here, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outpos,
+                             conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
     if (n > 0) {
       conn->outpos += static_cast<size_t>(n);
       continue;

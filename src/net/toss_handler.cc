@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/json.h"
 #include "obs/telemetry.h"
 #include "service/wire.h"
 
@@ -93,7 +94,11 @@ Handler MakeTossHandler(service::TossService* service) {
     }
     HttpResponse out;
     out.status = 404;
-    out.body = "{\"error\":\"no such route: " + http.target + "\"}";
+    // The target is attacker-controlled bytes; Dump() escapes them.
+    common::JsonValue body = common::JsonValue::Object();
+    body.Set("error",
+             common::JsonValue::String("no such route: " + http.target));
+    out.body = body.Dump();
     return out;
   };
 }

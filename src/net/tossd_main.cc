@@ -15,11 +15,13 @@
 // --papers N (synthetic corpus size, default 500), --epsilon F (SEO
 // threshold, default 3.0), --workers N, --max-connections N.
 
+#include <semaphore.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <semaphore>
 #include <string>
 
 #include "core/toss.h"
@@ -33,9 +35,11 @@ using namespace toss;
 
 namespace {
 
-std::binary_semaphore g_shutdown(0);
+// POSIX sem_post is on the async-signal-safe list;
+// std::binary_semaphore::release is not.
+sem_t g_shutdown;
 
-void HandleSignal(int) { g_shutdown.release(); }
+void HandleSignal(int) { ::sem_post(&g_shutdown); }
 
 void Die(const Status& status, const char* what) {
   if (status.ok()) return;
@@ -128,9 +132,11 @@ int main(int argc, char** argv) {
               server.options().bind_address.c_str(), server.port());
   std::fflush(stdout);
 
+  ::sem_init(&g_shutdown, 0, 0);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  g_shutdown.acquire();
+  while (::sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
 
   std::printf("tossd: shutting down\n");
   server.Stop();

@@ -58,6 +58,19 @@ class TestClient {
     fd_ = -1;
   }
 
+  /// Half-close: "request done, now send me the answer" (HTTP/1.0 idiom).
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Abortive close: RST instead of FIN, so the server's next write on
+  /// this connection fails immediately.
+  void AbortiveClose() {
+    struct linger lg {};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    Close();
+  }
+
   bool SendRaw(const std::string& bytes) {
     size_t off = 0;
     while (off < bytes.size()) {
@@ -335,6 +348,49 @@ TEST_F(NetServerTest, PipelinedRequestsAnswerInOrder) {
     EXPECT_EQ(query_resp.status, 200);
     EXPECT_NE(query_resp.body.find("\"trees\""), std::string::npos);
   }
+}
+
+TEST_F(NetServerTest, HalfCloseAfterCompleteRequestStillGetsAnswered) {
+  const uint16_t port = Serve();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port));
+  ASSERT_TRUE(client.SendRaw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  client.ShutdownWrite();
+  TestClient::Response r = client.ReadResponse();
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "{\"status\":\"ok\"}");
+}
+
+TEST_F(NetServerTest, AbortiveClientDisconnectDoesNotKillTheServer) {
+  const uint16_t port = Serve();
+  // Clients that RST right after the request make the server's response
+  // write hit a dead socket; without MSG_NOSIGNAL that raises SIGPIPE,
+  // whose default disposition would take down this whole process.
+  for (int i = 0; i < 8; ++i) {
+    TestClient rude;
+    ASSERT_TRUE(rude.Connect(port));
+    ASSERT_TRUE(rude.SendRaw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+    rude.AbortiveClose();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  TestClient polite;
+  ASSERT_TRUE(polite.Connect(port));
+  EXPECT_EQ(polite.Get("/healthz").status, 200);
+}
+
+TEST_F(NetServerTest, UnknownRouteBodyEscapesTheTarget) {
+  const uint16_t port = Serve();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port));
+  // Quotes and backslashes pass the parser's target check; the 404 body
+  // must still be valid JSON.
+  TestClient::Response r = client.Get("/no\"such\\route");
+  EXPECT_EQ(r.status, 404);
+  auto doc = common::JsonValue::Parse(r.body);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_NE(doc->Get("error"), nullptr);
+  EXPECT_NE(doc->Get("error")->AsString().find("/no\"such\\route"),
+            std::string::npos);
 }
 
 TEST_F(NetServerTest, ParseErrorAnswersOnceAndCloses) {
